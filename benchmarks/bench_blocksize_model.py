@@ -1,0 +1,23 @@
+"""E4 — regenerate the Sec III-C block-size determination table."""
+
+import pytest
+
+from repro.core import model
+from repro.experiments import table_blocksize
+
+
+def test_blocksize_table(benchmark, show):
+    result = benchmark(table_blocksize.run)
+    show(table_blocksize.render(result))
+    assert result.min_b_n == pytest.approx(174.68, abs=0.05)
+    assert result.register_tile == (4, 4)
+
+
+def test_register_tile_search(benchmark):
+    r_m, r_n = benchmark(model.optimal_register_tile)
+    assert (r_m, r_n) == (4, 4)
+
+
+def test_bandwidth_reduction_eval(benchmark):
+    s = benchmark(model.bandwidth_reduction, 256.0, 768.0, 9216.0)
+    assert s > 0

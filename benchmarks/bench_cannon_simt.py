@@ -1,0 +1,50 @@
+"""A7 ablation + SIMT executor benches."""
+
+import numpy as np
+
+from repro.arch.core_group import CoreGroup
+from repro.core.params import BlockingParams
+from repro.core.variants.cannon import CannonVariant
+from repro.experiments import ablations
+from repro.workloads.matrices import gemm_operands
+
+PARAMS = BlockingParams.small(double_buffered=False)
+
+
+def test_cannon_ablation(benchmark, show):
+    data = benchmark(ablations.cannon_comparison)
+    show(ablations.render_cannon())
+    assert data["kernel_slowdown"] > 1.2
+
+
+def test_cannon_functional_block(benchmark):
+    """Throughput of the functional Cannon variant on one CG block."""
+    m, n, k = PARAMS.b_m, PARAMS.b_n, PARAMS.b_k
+    a, b, c = gemm_operands(m, n, k, seed=1)
+
+    def run():
+        cg = CoreGroup()
+        ha, hb, hc = (cg.memory.store(x, arr) for x, arr in zip("ABC", (a, b, c)))
+        CannonVariant().run(cg, ha, hb, hc, params=PARAMS)
+        return cg.memory.read(hc)
+
+    out = benchmark(run)
+    assert np.isfinite(out).all()
+
+
+def test_simt_lockstep_throughput(benchmark):
+    """64-coroutine lockstep barrier machinery, 100 generations."""
+    from repro.sim.simt import BARRIER, run_lockstep
+
+    def worker():
+        total = 0
+        for step in range(100):
+            total += step
+            yield BARRIER
+        return total
+
+    def run():
+        return run_lockstep([worker() for _ in range(64)])
+
+    results = benchmark(run)
+    assert all(v == 4950 for v in results.values())

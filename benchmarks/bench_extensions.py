@@ -1,0 +1,47 @@
+"""E7/E8/A6 + the auto-tuner: benches for the extension experiments."""
+
+import pytest
+
+from repro.core.params import BlockingParams
+from repro.experiments import cache_ablation, hpl_projection, multi_cg_scaling
+from repro.tuning import autotune
+
+
+def test_multi_cg_scaling(benchmark, show):
+    result = benchmark(multi_cg_scaling.run)
+    show(multi_cg_scaling.render(result))
+    assert result.efficiency_at(15360) > 0.8
+
+
+def test_hpl_projection(benchmark, show):
+    result = benchmark(hpl_projection.run)
+    show(hpl_projection.render(result))
+    assert result.trace.gemm_fraction > 0.9
+
+
+def test_cache_ablation(benchmark, show):
+    result = benchmark(cache_ablation.run, 32)
+    show(cache_ablation.render(result))
+    assert result.slowdown > 20
+
+
+def test_autotune_search(benchmark, show):
+    result = benchmark(
+        autotune, 9216, 9216, 9216, "SCHED", None, 10, p_n_step=8
+    )
+    paper_rank = result.rank_of(BlockingParams.paper_double())
+    show(
+        f"autotune: best {result.best.params.p_m}x{result.best.params.p_n}"
+        f"x{result.best.params.p_k} at {result.best.gflops:.1f} Gflop/s; "
+        f"paper's (16,32,96) ranks #{paper_rank}"
+    )
+    assert paper_rank <= 3
+
+
+def test_future_hardware_whatifs(benchmark, show):
+    from repro.experiments import future_hw
+
+    scenarios = benchmark(future_hw.run)
+    show(future_hw.render(scenarios))
+    base = next(s for s in scenarios if "LDM x1" in s.label)
+    assert base.best_blocking == (16, 32, 96)

@@ -1,0 +1,21 @@
+"""E1 — regenerate Figure 4 (DMA sustained bandwidth, PE vs ROW)."""
+
+from repro.experiments import fig4_dma_bandwidth as fig4
+
+
+def test_fig4_bandwidth_sweep(benchmark, show):
+    result = benchmark(fig4.run)
+    show(fig4.render(result))
+    # the figure's shape: ROW strictly above PE, both rising
+    assert all(r > p for p, r in zip(result.pe_bandwidth, result.row_bandwidth))
+    assert result.plateau("ROW") > 26.0
+
+
+def test_fig4_functional_distribution(benchmark, show):
+    """Drive the functional DMA device over one CG block per mode."""
+    got = benchmark(fig4.verify_distribution_bytes)
+    show(
+        f"functional DMA check: PE moved {got['PE']} B, ROW moved "
+        f"{got['ROW']} B, block is {got['block']} B"
+    )
+    assert got["PE"] == got["ROW"] == got["block"]

@@ -1,0 +1,25 @@
+"""E2/E6 — regenerate Figure 6 (five DGEMM versions, square sizes)."""
+
+import pytest
+
+from repro.experiments import fig6_variants as fig6
+from repro.perf.estimator import Estimator
+
+
+def test_fig6_full_grid(benchmark, show):
+    result = benchmark(fig6.run)
+    show(fig6.render(result))
+    show(fig6.render_headlines(result))
+    g = result.gflops
+    for idx in range(len(result.sizes)):
+        series = [g[v][idx] for v in ("RAW", "PE", "ROW", "DB", "SCHED")]
+        assert series == sorted(series)
+    assert result.sustained("SCHED") == pytest.approx(706.1, rel=0.03)
+
+
+@pytest.mark.parametrize("variant", ["RAW", "PE", "ROW", "DB", "SCHED"])
+def test_fig6_single_point(benchmark, variant):
+    """Per-variant estimate at the paper's saturated size."""
+    estimator = Estimator()
+    estimate = benchmark(estimator.estimate, variant, 9216, 9216, 9216)
+    assert estimate.gflops > 0

@@ -1,0 +1,27 @@
+"""E3 — regenerate Figure 7 (SCHED across matrix shapes)."""
+
+from repro.experiments import fig7_shapes as fig7
+
+
+def test_fig7_shape_grid(benchmark, show):
+    result = benchmark(fig7.run)
+    show(fig7.render(result))
+    assert result.spread("m") > 0.05       # small m hurts
+    assert result.spread("n") < 0.02       # n negligible
+    assert result.spread("k") < 0.02       # k negligible
+
+
+def test_fig7_small_m_penalty(benchmark):
+    """The single data point behind the paper's explanation: the
+    double-buffer prologue cost at m = 1536 vs m = 12288."""
+    from repro.perf.estimator import Estimator
+
+    estimator = Estimator()
+
+    def penalty() -> float:
+        small = estimator.estimate("SCHED", 1536, 9216, 9216).gflops
+        large = estimator.estimate("SCHED", 12288, 9216, 9216).gflops
+        return small / large
+
+    ratio = benchmark(penalty)
+    assert ratio < 0.95

@@ -1,0 +1,29 @@
+"""E5/A5 — regenerate the Sec IV-C instruction-scheduling profile."""
+
+import pytest
+
+from repro.experiments import sched_profile
+from repro.isa.kernels import MicrokernelSpec, scheduled_pipeline, tile_program
+from repro.isa.profile import profile_kernel
+
+
+def test_sched_profile_table(benchmark, show):
+    result = benchmark(sched_profile.run)
+    show(sched_profile.render(result))
+    assert result.scheduled.strip_cycles == pytest.approx(101_858, rel=0.03)
+    assert result.scheduled.vmad_occupancy == pytest.approx(0.97, abs=0.015)
+
+
+def test_pipeline_simulation_throughput(benchmark):
+    """Raw speed of the cycle simulator over one full tile program
+    (~3000 instructions)."""
+    pipe = scheduled_pipeline()
+    program = tile_program(MicrokernelSpec(), scheduled=True)
+    result = benchmark(pipe.run, program)
+    assert result.cycles > 0
+
+
+@pytest.mark.parametrize("scheduled", [True, False], ids=["algorithm3", "naive"])
+def test_kernel_profile(benchmark, scheduled):
+    prof = benchmark(profile_kernel, MicrokernelSpec(), scheduled)
+    assert prof.strip_cycles > 0

@@ -1,0 +1,29 @@
+"""Throughput of the event-driven timeline simulator.
+
+Also not a paper artifact: measures how fast the discrete-event replay
+of Algorithm 2 runs, and demonstrates it agrees with the closed form it
+validates.
+"""
+
+import pytest
+
+from repro.perf.estimator import Estimator
+from repro.perf.timeline import TimelineSimulator
+
+
+def test_timeline_db_medium(benchmark):
+    sim = TimelineSimulator()
+    result = benchmark(sim.run, "SCHED", 1536, 1536, 1536)
+    closed = Estimator().estimate("SCHED", 1536, 1536, 1536)
+    assert result.seconds == pytest.approx(closed.seconds, rel=1e-9)
+
+
+def test_timeline_overlap_report(benchmark, show):
+    sim = TimelineSimulator()
+    result = benchmark(sim.run, "SCHED", 1536, 1536, 1536)
+    hidden = result.overlap_seconds / result.tracer.busy("dma")
+    show(
+        f"SCHED @1536^3: {result.gflops:.1f} Gflop/s, "
+        f"{100 * hidden:.1f}% of DMA time hidden under compute"
+    )
+    assert hidden > 0.5

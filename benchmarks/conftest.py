@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one of the paper's tables or
+figures: the benchmarked callable *is* the experiment, and after timing
+it the test prints the same rows/series the paper reports (visible in
+the pytest-benchmark run via ``capsys.disabled``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def show(capsys):
+    """Print a table to the real terminal even under capture."""
+
+    def _show(renderable) -> None:
+        with capsys.disabled():
+            print()
+            print(renderable if isinstance(renderable, str) else renderable.render())
+
+    return _show

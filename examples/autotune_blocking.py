@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Automatic blocking-parameter tuning (the paper's stated future work).
+
+Sec III-C derives the blocking parameters by hand; the conclusion
+promises "automatic performance tuning".  This example enumerates every
+hardware-feasible configuration (LDM budget, DMA granularity, register
+tile coverage), scores each with the performance model at the paper's
+saturated size, and shows where the hand-derived (16, 32, 96) lands.
+
+Run:  python examples/autotune_blocking.py
+"""
+
+from repro.core.params import BlockingParams
+from repro.tuning import autotune, enumerate_candidates
+from repro.utils.format import Table
+
+m = n = k = 9216
+feasible = enumerate_candidates(double_buffered=True, p_n_step=8)
+print(f"{len(feasible)} feasible double-buffered configurations "
+      "(pM mult of 16, pN mult of 8, pK mult of 16, LDM < 8192 doubles)")
+
+result = autotune(m, n, k, variant="SCHED", top=10, p_n_step=8)
+
+table = Table(
+    ["rank", "pM", "pN", "pK", "CG block", "LDM doubles", "Gflop/s"],
+    title=f"top 10 for SCHED at {m}^3",
+)
+for rank, cand in enumerate(result.candidates):
+    p = cand.params
+    table.add_row([
+        rank, p.p_m, p.p_n, p.p_k,
+        f"{p.b_m}x{p.b_n}x{p.b_k}",
+        p.ldm_doubles_per_cpe,
+        cand.gflops,
+    ])
+print(table)
+
+paper = BlockingParams.paper_double()
+paper_rank = result.rank_of(paper)
+best = result.best
+print(f"\npaper's hand-derived (16, 32, 96) ranks #{paper_rank} — "
+      f"within {100 * (1 - result.candidates[paper_rank].gflops / best.gflops):.1f}% "
+      "of the tuner's best")
+assert paper_rank <= 3, "the paper's parameters should be near-optimal"

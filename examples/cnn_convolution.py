@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Convolution as GEMM on the simulated core group.
+
+The paper's introduction cites convolutional neural networks as a
+major GEMM consumer.  This example lowers a small convolution layer to
+a single DGEMM via im2col, runs it on the simulated CPE cluster, and
+checks against a direct convolution.
+
+Run:  python examples/cnn_convolution.py
+"""
+
+import numpy as np
+
+from repro import BlockingParams, CoreGroup
+from repro.apps import conv2d_gemm, conv2d_reference
+
+batch, channels, height, width = 4, 3, 16, 16
+filters, kh, kw = 8, 3, 3
+
+rng = np.random.default_rng(11)
+images = rng.standard_normal((batch, channels, height, width))
+kernels = rng.standard_normal((filters, channels, kh, kw)) / (kh * kw)
+
+gemm_m = filters
+gemm_k = channels * kh * kw
+gemm_n = batch * (height - kh + 1) * (width - kw + 1)
+print(f"conv layer: {batch} images {channels}x{height}x{width}, "
+      f"{filters} filters {kh}x{kw}")
+print(f"lowered GEMM: ({gemm_m} x {gemm_k}) @ ({gemm_k} x {gemm_n}) "
+      "(padded to the CG block factors)\n")
+
+cg = CoreGroup()
+out = conv2d_gemm(
+    images, kernels, variant="SCHED",
+    params=BlockingParams.small(double_buffered=True), core_group=cg,
+)
+ref = conv2d_reference(images, kernels)
+
+err = np.max(np.abs(out - ref))
+print(f"feature maps: {out.shape}, max |gemm - direct| = {err:.3e}")
+assert np.allclose(out, ref, rtol=1e-10, atol=1e-10)
+
+useful = 2 * gemm_m * gemm_k * gemm_n
+print(f"useful flops: {useful / 1e6:.1f} M; device DMA traffic "
+      f"{cg.dma.stats.bytes_total / 1e6:.1f} MB")
+print("\nNOTE: im2col padding makes small layers DMA-heavy — the same "
+      "amortization effect Figure 7 shows for small m.")

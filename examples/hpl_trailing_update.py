@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""HPL-style blocked LU factorization on the simulated core group.
+
+The paper motivates DGEMM through HPL, "the standard to rank
+supercomputers in the TOP500 lists": HPL's flops are dominated by the
+trailing-matrix update A22 -= L21 @ U12, which is exactly a DGEMM with
+alpha = -1, beta = 1.  This example factors a diagonally dominant
+system with partial pivoting, runs every trailing update through the
+simulated CPE cluster, and reports the HPL-style scaled residual.
+
+Run:  python examples/hpl_trailing_update.py
+"""
+
+import numpy as np
+
+from repro import BlockingParams, CoreGroup
+from repro.apps import blocked_lu, lu_residual, lu_solve
+
+n = 256
+panel = 64
+rng = np.random.default_rng(7)
+a = rng.standard_normal((n, n)) + n * np.eye(n)   # well conditioned
+b = rng.standard_normal(n)
+
+print(f"blocked LU of a {n} x {n} system, panel width {panel}")
+print("panel factorization + pivoting on the MPE, trailing updates on "
+      "the 64 CPEs\n")
+
+cg = CoreGroup()
+result = blocked_lu(
+    a, panel=panel, variant="SCHED",
+    params=BlockingParams.small(double_buffered=True), core_group=cg,
+)
+
+residual = lu_residual(a, result)
+print(f"HPL scaled residual ||PA - LU|| / (||A|| n eps) = {residual:.3f} "
+      "(HPL accepts < 16)")
+assert residual < 16.0
+
+x = lu_solve(result, b)
+rel = np.linalg.norm(a @ x - b) / np.linalg.norm(b)
+print(f"solve  ||Ax - b|| / ||b|| = {rel:.2e}")
+assert rel < 1e-10
+
+total_flops = 2 * n**3 / 3
+print(f"\ntrailing updates executed {result.gemm_flops / 1e6:.1f} Mflops "
+      f"on the CG = {100 * result.gemm_flops / total_flops:.0f}% of the "
+      f"factorization's ~{total_flops / 1e6:.1f} Mflops")
+print(f"device DMA traffic: {cg.dma.stats.bytes_total / 1e6:.1f} MB")

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""All five DGEMM versions, functionally and at paper scale.
+
+Runs RAW / PE / ROW / DB / SCHED on the device model (same operands,
+identical results required) and then asks the performance model for
+each version's Gflop/s at the paper's largest size — Figure 6's
+right-hand column, with the paper's numbers alongside.
+
+Run:  python examples/variant_showdown.py
+"""
+
+import numpy as np
+
+from repro import BlockingParams, CoreGroup, Estimator, reference_dgemm
+from repro.core.api import dgemm
+from repro.utils.format import Table
+from repro.workloads.matrices import gemm_operands
+
+PAPER = {"RAW": 157.9, "PE": 224.7, "ROW": 262.0, "DB": 330.1, "SCHED": 706.1}
+
+single = BlockingParams.small(double_buffered=False)
+double = BlockingParams.small(double_buffered=True)
+m, n, k = 256, 192, 384  # common multiple of both block sets
+a, b, c = gemm_operands(m, n, k, seed=99)
+expected = reference_dgemm(1.0, a, b, 1.0, c)
+
+estimator = Estimator()
+table = Table(
+    ["variant", "functional max err", "DMA MB", "modelled Gflop/s @15360^3", "paper"],
+    title="the five versions of Section V",
+)
+for name in ("RAW", "PE", "ROW", "DB", "SCHED"):
+    params = None if name == "RAW" else (single if name in ("PE", "ROW") else double)
+    cg = CoreGroup()
+    out = dgemm(a, b, c, beta=1.0, variant=name, params=params, core_group=cg)
+    err = float(np.max(np.abs(out - expected)))
+    assert err < 1e-9, f"{name} diverged from the reference"
+    estimate = estimator.estimate(name, 15360, 15360, 15360)
+    table.add_row([
+        name, f"{err:.1e}", f"{cg.dma.stats.bytes_total / 1e6:.1f}",
+        estimate.gflops, PAPER[name],
+    ])
+print(table)
+print("\nevery version computes the identical result; they differ only "
+      "in data movement and instruction scheduling — exactly the "
+      "paper's story.")

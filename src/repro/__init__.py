@@ -1,0 +1,46 @@
+"""repro — a simulated reproduction of the SW26010 DGEMM paper.
+
+    Jiang, Yang, Ao, Yin, Ma, Sun, Liu, Lin, Zhang:
+    "Towards Highly Efficient DGEMM on the Emerging SW26010 Many-core
+    Processor", ICPP 2017.
+
+The package provides:
+
+- a functional device model of one SW26010 core group
+  (:mod:`repro.arch`): 64 CPEs with 64 KB LDMs on an 8x8 mesh, register
+  communication, and a DMA engine implementing the PE_MODE / ROW_MODE
+  data distributions;
+- the paper's DGEMM in five stages of optimization
+  (:mod:`repro.core`): RAW, PE, ROW, DB, SCHED, all validated against
+  numpy on the device model;
+- a cycle-level model of the CPE dual pipeline (:mod:`repro.isa`)
+  reproducing the Algorithm 3 instruction-scheduling results;
+- performance models (:mod:`repro.perf`) that regenerate Figures 4, 6
+  and 7 and the Sec III-C/IV-C analyses (:mod:`repro.experiments`).
+
+Quick start::
+
+    import numpy as np
+    from repro import dgemm
+
+    a = np.random.rand(128, 768)
+    b = np.random.rand(768, 256)
+    c = dgemm(a, b, variant="SCHED")    # runs on the simulated CG
+"""
+
+from repro._version import __version__
+from repro.arch import CoreGroup, SW26010Spec, DEFAULT_SPEC
+from repro.core import BlockingParams, dgemm, reference_dgemm
+from repro.perf import Estimator, TimelineSimulator
+
+__all__ = [
+    "__version__",
+    "CoreGroup",
+    "SW26010Spec",
+    "DEFAULT_SPEC",
+    "BlockingParams",
+    "dgemm",
+    "reference_dgemm",
+    "Estimator",
+    "TimelineSimulator",
+]

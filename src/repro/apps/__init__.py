@@ -1,0 +1,30 @@
+"""Application layers built on the DGEMM core.
+
+The paper motivates DGEMM through its consumers: HPL (the TOP500
+benchmark whose trailing-matrix updates are DGEMM calls) and dense
+kernels in machine-learning workloads (convolution as GEMM).  This
+subpackage implements both consumers against :func:`repro.core.api.dgemm`
+so the examples exercise the public API on the workloads the paper's
+introduction cites.
+
+- :mod:`repro.apps.lu` — blocked right-looking LU with partial
+  pivoting; panel factorization runs on the MPE (plain numpy, as real
+  xMath does for small panels), trailing updates are simulated-CG
+  DGEMM calls;
+- :mod:`repro.apps.conv` — 2-D convolution lowered to GEMM via im2col.
+"""
+
+from repro.apps.lu import blocked_lu, lu_residual, lu_solve
+from repro.apps.conv import conv2d_gemm, conv2d_reference, im2col
+from repro.apps.blas3 import dsyrk_ln, dtrsm_llnu
+
+__all__ = [
+    "blocked_lu",
+    "lu_solve",
+    "lu_residual",
+    "conv2d_gemm",
+    "conv2d_reference",
+    "im2col",
+    "dtrsm_llnu",
+    "dsyrk_ln",
+]

@@ -1,0 +1,108 @@
+"""2-D convolution lowered to GEMM (im2col).
+
+The paper's introduction cites convolutional networks as a GEMM
+consumer [Chellapilla et al.]; this module implements the classic
+lowering: unfold input patches into columns (``im2col``, done on the
+MPE), multiply by the flattened kernel bank on the CPE cluster, fold
+back into feature maps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, UnsupportedShapeError
+from repro.arch.core_group import CoreGroup
+from repro.core.api import dgemm
+from repro.core.params import BlockingParams
+
+__all__ = ["im2col", "conv2d_gemm", "conv2d_reference"]
+
+
+def im2col(images: np.ndarray, kh: int, kw: int, stride: int = 1) -> np.ndarray:
+    """Unfold NCHW images into a (C*kh*kw) x (N*oh*ow) patch matrix.
+
+    Column ``(n, y, x)`` holds the receptive field of output pixel
+    ``(y, x)`` of image ``n``, flattened channel-major — the layout
+    that makes convolution ``W_flat @ patches``.
+    """
+    if images.ndim != 4:
+        raise UnsupportedShapeError(f"expected NCHW images, got shape {images.shape}")
+    if kh < 1 or kw < 1 or stride < 1:
+        raise ConfigError("kernel dims and stride must be >= 1")
+    n, c, h, w = images.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise UnsupportedShapeError(
+            f"kernel {kh}x{kw} does not fit input {h}x{w}"
+        )
+    cols = np.empty((c * kh * kw, n * oh * ow), dtype=np.float64, order="F")
+    col = 0
+    for img in range(n):
+        for y in range(oh):
+            for x in range(ow):
+                patch = images[
+                    img, :, y * stride : y * stride + kh, x * stride : x * stride + kw
+                ]
+                cols[:, col] = patch.reshape(-1)
+                col += 1
+    return cols
+
+
+def conv2d_gemm(
+    images: np.ndarray,
+    kernels: np.ndarray,
+    stride: int = 1,
+    variant: str = "SCHED",
+    params: BlockingParams | None = None,
+    core_group: CoreGroup | None = None,
+) -> np.ndarray:
+    """Convolve NCHW ``images`` with OIHW ``kernels`` on the simulated CG.
+
+    Returns N x O x oh x ow feature maps.  The GEMM is
+    ``(O x C*kh*kw) @ (C*kh*kw x N*oh*ow)``, padded to the CG block
+    factors.
+    """
+    if kernels.ndim != 4:
+        raise UnsupportedShapeError(f"expected OIHW kernels, got shape {kernels.shape}")
+    n, c, h, w = images.shape
+    o, ci, kh, kw = kernels.shape
+    if ci != c:
+        raise UnsupportedShapeError(
+            f"kernel expects {ci} input channels, images have {c}"
+        )
+    cols = im2col(np.asarray(images, dtype=np.float64), kh, kw, stride)
+    w_flat = np.asarray(kernels, dtype=np.float64).reshape(o, c * kh * kw)
+    params = params or BlockingParams.small(double_buffered=True)
+    out_flat = dgemm(
+        w_flat, cols, variant=variant, params=params,
+        core_group=core_group, pad=True,
+    )
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    # columns are ordered (n, y, x); fold back to N O oh ow
+    return np.ascontiguousarray(
+        out_flat.reshape(o, n, oh, ow).transpose(1, 0, 2, 3)
+    )
+
+
+def conv2d_reference(
+    images: np.ndarray, kernels: np.ndarray, stride: int = 1
+) -> np.ndarray:
+    """Direct convolution for validation."""
+    n, c, h, w = images.shape
+    o, _, kh, kw = kernels.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    out = np.zeros((n, o, oh, ow))
+    for img in range(n):
+        for f in range(o):
+            for y in range(oh):
+                for x in range(ow):
+                    patch = images[
+                        img, :, y * stride : y * stride + kh,
+                        x * stride : x * stride + kw,
+                    ]
+                    out[img, f, y, x] = float(np.sum(patch * kernels[f]))
+    return out

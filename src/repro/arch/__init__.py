@@ -1,0 +1,64 @@
+"""Functional model of the SW26010 many-core processor (Sec II of the paper).
+
+The subpackage models exactly the hardware features the paper leverages:
+
+- :mod:`repro.arch.config` — frozen architecture parameters (clock,
+  mesh geometry, LDM capacity, register file, DMA rules, latencies).
+- :mod:`repro.arch.memory` — the CG's shared main memory holding
+  column-major f64 matrices.
+- :mod:`repro.arch.ldm` — the 64 KB per-CPE scratchpad with a byte
+  allocator that enforces capacity, as real LDM does.
+- :mod:`repro.arch.mesh` / :mod:`repro.arch.regcomm` — the 8x8 CPE mesh
+  and the row/column register-broadcast mechanism.
+- :mod:`repro.arch.dma` — the asynchronous DMA engine with ``PE_MODE``
+  and ``ROW_MODE`` data distributions (Figure 5), 128 B transactions and
+  alignment rules.
+- :mod:`repro.arch.cpe` / :mod:`repro.arch.mpe` /
+  :mod:`repro.arch.core_group` — device aggregation.
+"""
+
+from repro.arch.config import (
+    SW26010Spec,
+    CPESpec,
+    DMASpec,
+    LatencySpec,
+    DEFAULT_SPEC,
+)
+from repro.arch.memory import MainMemory, MatrixHandle
+from repro.arch.ldm import LDM, LDMBuffer
+from repro.arch.regfile import VectorRegisterFile
+from repro.arch.mesh import Coord, CPEMesh
+from repro.arch.regcomm import RegisterComm, Broadcast
+from repro.arch.dma import DMAMode, DMADescriptor, DMAEngine, DMAReply
+from repro.arch.dma_async import AsyncDMAEngine, ReplyCounter
+from repro.arch.swcache import SoftwareCache
+from repro.arch.cpe import CPE
+from repro.arch.mpe import MPE
+from repro.arch.core_group import CoreGroup
+
+__all__ = [
+    "SW26010Spec",
+    "CPESpec",
+    "DMASpec",
+    "LatencySpec",
+    "DEFAULT_SPEC",
+    "MainMemory",
+    "MatrixHandle",
+    "LDM",
+    "LDMBuffer",
+    "VectorRegisterFile",
+    "Coord",
+    "CPEMesh",
+    "RegisterComm",
+    "Broadcast",
+    "DMAMode",
+    "DMADescriptor",
+    "DMAEngine",
+    "DMAReply",
+    "AsyncDMAEngine",
+    "ReplyCounter",
+    "SoftwareCache",
+    "CPE",
+    "MPE",
+    "CoreGroup",
+]

@@ -1,0 +1,140 @@
+"""Architecture parameters of the SW26010 processor (paper Sec II).
+
+All values come straight from the paper's text:
+
+- 1.45 GHz clock, 64 CPEs per core group (CG) on an 8x8 mesh;
+- each CPE: one FP pipeline doing a 256-bit FMA per cycle
+  (4 doubles * 2 flops = 8 flop/cycle), plus a second pipeline for
+  integer operations and register communication;
+- 32 256-bit vector registers per CPE;
+- 64 KB LDM per CPE, 16 KB instruction cache (not modelled);
+- DMA between main memory and LDM with a 128 B transaction unit and
+  128 B alignment; theoretical DMA channel bandwidth 34 GB/s per CG;
+- register communication RAW latency 4 cycles, ``vmad`` RAW latency 6
+  cycles (Sec IV-C).
+
+Peak CG performance: 8 flop/cycle * 1.45 GHz * 64 = 742.4 Gflop/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+__all__ = ["CPESpec", "DMASpec", "LatencySpec", "SW26010Spec", "DEFAULT_SPEC"]
+
+
+@dataclass(frozen=True)
+class CPESpec:
+    """Per-CPE microarchitecture parameters."""
+
+    #: 256-bit SIMD width in doubles.
+    simd_width: int = 4
+    #: flops per cycle of the FP pipeline (one 4-wide FMA).
+    flops_per_cycle: int = 8
+    #: number of 256-bit vector registers.
+    vector_registers: int = 32
+    #: LDM (scratchpad) capacity in bytes.
+    ldm_bytes: int = 64 * 1024
+    #: instruction cache size in bytes (documented, not modelled).
+    icache_bytes: int = 16 * 1024
+
+    def __post_init__(self) -> None:
+        for name in ("simd_width", "flops_per_cycle", "vector_registers", "ldm_bytes"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"CPESpec.{name} must be positive")
+        if self.flops_per_cycle != 2 * self.simd_width:
+            raise ConfigError(
+                "flops_per_cycle must equal 2*simd_width for an FMA pipe; "
+                f"got {self.flops_per_cycle} vs simd_width {self.simd_width}"
+            )
+
+
+@dataclass(frozen=True)
+class DMASpec:
+    """DMA channel parameters shared by a CG."""
+
+    #: transaction unit and required alignment, in bytes.
+    transaction_bytes: int = 128
+    #: theoretical channel bandwidth per CG, bytes/second (34 GB/s).
+    peak_bandwidth: float = 34e9
+    #: bytes each CPE of a row receives per ROW_MODE transaction.
+    row_mode_slice_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.transaction_bytes <= 0 or self.transaction_bytes % 16 != 0:
+            raise ConfigError("transaction_bytes must be a positive multiple of 16")
+        if self.peak_bandwidth <= 0:
+            raise ConfigError("peak_bandwidth must be positive")
+        if self.row_mode_slice_bytes * 8 != self.transaction_bytes:
+            raise ConfigError(
+                "ROW_MODE distributes one transaction across the 8 CPEs of a "
+                "row; slice*8 must equal transaction_bytes"
+            )
+
+
+@dataclass(frozen=True)
+class LatencySpec:
+    """Instruction RAW latencies in cycles (paper Sec IV-C)."""
+
+    #: fused multiply-add vector instruction.
+    vmad: int = 6
+    #: register-communication produce/consume (vldr/lddec/getr/getc).
+    regcomm: int = 4
+    #: LDM load-to-use latency.
+    ldm_load: int = 4
+    #: integer ALU (address arithmetic such as ``addl``).
+    integer: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("vmad", "regcomm", "ldm_load", "integer"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"LatencySpec.{name} must be positive")
+
+
+@dataclass(frozen=True)
+class SW26010Spec:
+    """Full parameter set for one core group of the SW26010."""
+
+    clock_hz: float = 1.45e9
+    mesh_rows: int = 8
+    mesh_cols: int = 8
+    cpe: CPESpec = field(default_factory=CPESpec)
+    dma: DMASpec = field(default_factory=DMASpec)
+    latency: LatencySpec = field(default_factory=LatencySpec)
+    #: main memory per CG, bytes (8 GB of the 32 GB node).
+    main_memory_bytes: int = 8 * 1024 ** 3
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigError("clock_hz must be positive")
+        if self.mesh_rows <= 0 or self.mesh_cols <= 0:
+            raise ConfigError("mesh dimensions must be positive")
+
+    @property
+    def n_cpes(self) -> int:
+        """Number of CPEs in the cluster (64)."""
+        return self.mesh_rows * self.mesh_cols
+
+    @property
+    def peak_flops(self) -> float:
+        """Theoretical peak of the CPE cluster in flop/s (742.4 Gflop/s)."""
+        return self.cpe.flops_per_cycle * self.clock_hz * self.n_cpes
+
+    @property
+    def ldm_doubles(self) -> int:
+        """LDM capacity of one CPE expressed in f64 elements (8192)."""
+        return self.cpe.ldm_bytes // 8
+
+    def cycles(self, seconds: float) -> float:
+        """Convert seconds to cycles at this spec's clock."""
+        return seconds * self.clock_hz
+
+    def seconds(self, cycles: float) -> float:
+        """Convert cycles to seconds at this spec's clock."""
+        return cycles / self.clock_hz
+
+
+#: The spec used everywhere unless a test overrides it.
+DEFAULT_SPEC = SW26010Spec()

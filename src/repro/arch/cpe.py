@@ -1,0 +1,41 @@
+"""A single compute processing element (CPE)."""
+
+from __future__ import annotations
+
+from repro.arch.config import SW26010Spec, DEFAULT_SPEC
+from repro.arch.ldm import LDM
+from repro.arch.mesh import Coord
+from repro.arch.regfile import VectorRegisterFile
+
+__all__ = ["CPE"]
+
+
+class CPE:
+    """One compute core: coordinate, LDM scratchpad and register file.
+
+    The FP/secondary pipelines are modelled separately in
+    :mod:`repro.isa.pipeline` because the paper's instruction-scheduling
+    study operates on instruction streams, not on live device state.
+    """
+
+    def __init__(self, coord: Coord, spec: SW26010Spec = DEFAULT_SPEC) -> None:
+        self.coord = Coord(*coord)
+        self.spec = spec
+        self.ldm = LDM(spec.cpe)
+        self.regs = VectorRegisterFile(spec.cpe)
+
+    @property
+    def row(self) -> int:
+        return self.coord.row
+
+    @property
+    def col(self) -> int:
+        return self.coord.col
+
+    def reset(self) -> None:
+        """Clear LDM and registers between GEMM invocations."""
+        self.ldm.reset()
+        self.regs.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CPE{self.coord}"

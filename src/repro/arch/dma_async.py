@@ -1,0 +1,140 @@
+"""Asynchronous DMA: the athread-style issue / reply-counter interface.
+
+Real SW26010 code starts a transfer and continues computing::
+
+    athread_dma_iget(ldm_buf, mem_addr, size, &reply);
+    ...                                  /* overlap window */
+    athread_dma_wait_value(&reply, 1);   /* block until complete */
+
+Algorithm 2's double buffering is exactly this pattern.  The functional
+model here makes the discipline *checkable*: an issued descriptor is
+**deferred** — no data moves until the matching
+:meth:`ReplyCounter.wait` — so consuming a buffer without waiting reads
+stale contents, precisely the bug asynchronous DMA invites on silicon.
+The integration tests drive a double-buffered loop through this
+interface and show that correct waits give exact results while a
+skipped wait corrupts them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import DMAError
+from repro.arch.dma import DMAEngine, DMAReply
+from repro.arch.ldm import LDMBuffer
+from repro.arch.memory import MatrixHandle
+
+__all__ = ["ReplyCounter", "AsyncDMAEngine"]
+
+
+@dataclass
+class _PendingOp:
+    execute: Callable[[], DMAReply]
+    counter: "ReplyCounter"
+
+
+@dataclass
+class ReplyCounter:
+    """The athread reply word: incremented once per completed transfer."""
+
+    name: str = "reply"
+    count: int = 0
+    issued: int = 0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.issued = 0
+
+
+class AsyncDMAEngine:
+    """Deferred-execution wrapper over :class:`DMAEngine`.
+
+    ``iget``/``iput`` record descriptors; ``wait(counter, value)``
+    completes every pending transfer tied to that counter (hardware
+    may finish them in any order before the wait; completing all of
+    them is one legal schedule) and then checks the count.  Waiting for
+    more replies than were issued raises — on hardware that spin-wait
+    never returns.
+    """
+
+    def __init__(self, engine: DMAEngine) -> None:
+        self.engine = engine
+        self._pending: list[_PendingOp] = []
+
+    # -- issue side ------------------------------------------------------
+
+    def iget_pe(self, handle: MatrixHandle, row0: int, col0: int, rows: int,
+                cols: int, buf: LDMBuffer, reply: ReplyCounter) -> None:
+        self._defer(
+            lambda: self.engine.pe_get(handle, row0, col0, rows, cols, buf),
+            reply,
+        )
+
+    def iput_pe(self, handle: MatrixHandle, row0: int, col0: int, rows: int,
+                cols: int, buf: LDMBuffer, reply: ReplyCounter) -> None:
+        self._defer(
+            lambda: self.engine.pe_put(handle, row0, col0, rows, cols, buf),
+            reply,
+        )
+
+    def iget_row(self, handle: MatrixHandle, row0: int, col0: int, rows: int,
+                 cols: int, bufs: Sequence[LDMBuffer], reply: ReplyCounter) -> None:
+        self._defer(
+            lambda: self.engine.row_get(handle, row0, col0, rows, cols, bufs),
+            reply,
+        )
+
+    def iput_row(self, handle: MatrixHandle, row0: int, col0: int, rows: int,
+                 cols: int, bufs: Sequence[LDMBuffer], reply: ReplyCounter) -> None:
+        self._defer(
+            lambda: self.engine.row_put(handle, row0, col0, rows, cols, bufs),
+            reply,
+        )
+
+    def _defer(self, execute: Callable[[], DMAReply], reply: ReplyCounter) -> None:
+        reply.issued += 1
+        self._pending.append(_PendingOp(execute, reply))
+
+    # -- completion side ----------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+    def wait(self, reply: ReplyCounter, value: int) -> None:
+        """Block until ``reply.count >= value`` (athread semantics)."""
+        if value > reply.issued:
+            raise DMAError(
+                f"waiting for {value} replies on {reply.name!r} but only "
+                f"{reply.issued} transfers were issued — this spin-wait "
+                "never completes on hardware"
+            )
+        still_pending: list[_PendingOp] = []
+        for op in self._pending:
+            if op.counter is reply and reply.count < value:
+                op.execute()
+                reply.count += 1
+            else:
+                still_pending.append(op)
+        self._pending = still_pending
+        if reply.count < value:
+            raise DMAError(
+                f"reply counter {reply.name!r} stuck at {reply.count} < {value}"
+            )
+
+    def flush(self) -> None:
+        """Complete everything in flight (a full-barrier wait)."""
+        pending, self._pending = self._pending, []
+        for op in pending:
+            op.execute()
+            op.counter.count += 1
+
+    def assert_quiescent(self) -> None:
+        """No transfers may be in flight (call at kernel exit)."""
+        if self._pending:
+            raise DMAError(
+                f"{len(self._pending)} DMA transfers still in flight at "
+                "kernel exit — data would be lost on hardware"
+            )

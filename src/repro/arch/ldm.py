@@ -1,0 +1,112 @@
+"""The 64 KB local device memory (LDM) of a CPE.
+
+On SW26010 the LDM is a raw user-managed scratchpad; blowing its 64 KB
+is a hard failure on hardware, so the model enforces the byte budget on
+every allocation.  Buffers are backed by numpy arrays (column-major, as
+all matrix tiles in the paper) but the allocator does real byte
+accounting, which is how the paper's LDM capacity constraint
+
+    pM*pN + pN*pK + pK*pM < 8192   (doubles, Sec III-C2)
+
+and the stricter double-buffered variant (Sec IV-B) become executable
+checks instead of comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import LDMAllocationError
+from repro.arch.config import CPESpec
+
+__all__ = ["LDMBuffer", "LDM"]
+
+
+@dataclass
+class LDMBuffer:
+    """A named tile resident in one CPE's LDM."""
+
+    name: str
+    data: np.ndarray = field(repr=False)
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+
+class LDM:
+    """Bump allocator over a fixed 64 KB budget.
+
+    The DGEMM variants allocate all tiles up front (as the real code
+    does with static LDM arrays), so a simple bump allocator with
+    whole-heap reset is faithful; individual ``free`` is supported for
+    the variants that re-plan buffers between phases.
+    """
+
+    def __init__(self, spec: CPESpec | None = None) -> None:
+        self.spec = spec or CPESpec()
+        self._buffers: dict[str, LDMBuffer] = {}
+        self._used = 0
+        self._high_water = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.spec.ldm_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used
+
+    @property
+    def high_water_bytes(self) -> int:
+        """Peak allocation over the LDM's lifetime (for reports)."""
+        return self._high_water
+
+    def alloc(self, name: str, shape: tuple[int, ...]) -> LDMBuffer:
+        """Allocate a zeroed f64 tile; raise if over budget or name clash."""
+        if name in self._buffers:
+            raise LDMAllocationError(f"LDM buffer {name!r} already allocated")
+        nbytes = int(np.prod(shape)) * 8
+        if nbytes > self.free_bytes:
+            raise LDMAllocationError(
+                f"LDM overflow allocating {name!r}: need {nbytes} B, "
+                f"free {self.free_bytes} B of {self.capacity_bytes} B"
+            )
+        buf = LDMBuffer(name, np.zeros(shape, dtype=np.float64, order="F"))
+        self._buffers[name] = buf
+        self._used += nbytes
+        self._high_water = max(self._high_water, self._used)
+        return buf
+
+    def free(self, name: str) -> None:
+        buf = self._buffers.pop(name, None)
+        if buf is None:
+            raise KeyError(f"no LDM buffer named {name!r}")
+        self._used -= buf.nbytes
+
+    def get(self, name: str) -> LDMBuffer:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise KeyError(f"no LDM buffer named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._buffers
+
+    def reset(self) -> None:
+        """Free every buffer (between GEMM calls)."""
+        self._buffers.clear()
+        self._used = 0
+
+    def names(self) -> list[str]:
+        return list(self._buffers)

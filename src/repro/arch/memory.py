@@ -1,0 +1,125 @@
+"""Main (off-chip) memory of a core group.
+
+Matrices live here in column-major (Fortran) order, as the paper
+specifies, and are addressed by *handles*.  The model keeps a byte
+budget so a workload that could not fit in the CG's 8 GB is rejected
+instead of silently "working" in the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AlignmentError, ConfigError
+from repro.arch.config import SW26010Spec, DEFAULT_SPEC
+
+__all__ = ["MatrixHandle", "MainMemory"]
+
+
+@dataclass(frozen=True)
+class MatrixHandle:
+    """A named column-major f64 matrix resident in main memory."""
+
+    name: str
+    rows: int
+    cols: int
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+    @property
+    def nbytes(self) -> int:
+        return self.rows * self.cols * 8
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}[{self.rows}x{self.cols}]"
+
+
+class MainMemory:
+    """Byte-budgeted store of column-major matrices.
+
+    The DMA engine (:mod:`repro.arch.dma`) reads and writes submatrices
+    of these arrays; everything else treats main memory as opaque.
+    """
+
+    def __init__(self, spec: SW26010Spec = DEFAULT_SPEC) -> None:
+        self.spec = spec
+        self._arrays: dict[str, np.ndarray] = {}
+        self._used_bytes = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated to matrices."""
+        return self._used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.spec.main_memory_bytes - self._used_bytes
+
+    def store(self, name: str, array: np.ndarray) -> MatrixHandle:
+        """Copy ``array`` into main memory under ``name``.
+
+        The copy is converted to Fortran order and float64, matching the
+        paper's storage convention.  Overwriting an existing name with a
+        same-shape array reuses the allocation.
+        """
+        if array.ndim != 2:
+            raise ConfigError(f"expected a 2-D matrix, got ndim={array.ndim}")
+        arr = np.asfortranarray(array, dtype=np.float64)
+        old = self._arrays.get(name)
+        if old is not None:
+            self._used_bytes -= old.nbytes
+        if arr.nbytes > self.free_bytes:
+            # restore the old accounting before failing
+            if old is not None:
+                self._used_bytes += old.nbytes
+            raise MemoryError(
+                f"main memory exhausted: need {arr.nbytes} B, "
+                f"free {self.free_bytes} B"
+            )
+        self._arrays[name] = arr.copy(order="F")
+        self._used_bytes += arr.nbytes
+        return MatrixHandle(name, arr.shape[0], arr.shape[1])
+
+    def allocate(self, name: str, rows: int, cols: int) -> MatrixHandle:
+        """Allocate an uninitialised (zeroed) matrix."""
+        return self.store(name, np.zeros((rows, cols), dtype=np.float64, order="F"))
+
+    def free(self, name: str) -> None:
+        arr = self._arrays.pop(name, None)
+        if arr is None:
+            raise KeyError(f"no matrix named {name!r} in main memory")
+        self._used_bytes -= arr.nbytes
+
+    def array(self, handle: MatrixHandle | str) -> np.ndarray:
+        """Return the backing array (the DMA engine's access path)."""
+        name = handle if isinstance(handle, str) else handle.name
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise KeyError(f"no matrix named {name!r} in main memory") from None
+
+    def read(self, handle: MatrixHandle | str) -> np.ndarray:
+        """Return a defensive copy, for result verification."""
+        return self.array(handle).copy(order="F")
+
+    def handles(self) -> list[MatrixHandle]:
+        return [MatrixHandle(n, a.shape[0], a.shape[1]) for n, a in self._arrays.items()]
+
+    def check_dma_alignment(self, handle: MatrixHandle | str, col: int) -> None:
+        """Check that column ``col`` starts on a 128 B boundary.
+
+        Column-major storage means column ``j`` starts at byte
+        ``j * rows * 8``; the paper requires 128 B alignment for every
+        DMA transfer, which holds when ``rows`` is a multiple of 16.
+        """
+        arr = self.array(handle)
+        offset = col * arr.shape[0] * 8
+        if offset % self.spec.dma.transaction_bytes != 0:
+            raise AlignmentError(
+                f"column {col} of {handle} starts at byte {offset}, not "
+                f"{self.spec.dma.transaction_bytes}-byte aligned"
+            )

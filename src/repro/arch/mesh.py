@@ -1,0 +1,73 @@
+"""The 8x8 CPE mesh topology.
+
+Threads are identified by their (row, col) coordinate exactly as in the
+paper's ``thread(i, j)`` notation; the mesh knows row/column membership,
+which is all the register-communication network needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+from repro.errors import MeshError
+from repro.arch.config import SW26010Spec, DEFAULT_SPEC
+
+__all__ = ["Coord", "CPEMesh"]
+
+
+class Coord(NamedTuple):
+    """Position of a CPE / thread in the 8x8 cluster."""
+
+    row: int
+    col: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.row},{self.col})"
+
+
+class CPEMesh:
+    """Row/column structure of the CPE cluster."""
+
+    def __init__(self, spec: SW26010Spec = DEFAULT_SPEC) -> None:
+        self.spec = spec
+        self.rows = spec.mesh_rows
+        self.cols = spec.mesh_cols
+
+    @property
+    def size(self) -> int:
+        return self.rows * self.cols
+
+    def check(self, coord: Coord) -> Coord:
+        """Validate a coordinate, returning it normalised to :class:`Coord`."""
+        coord = Coord(*coord)
+        if not (0 <= coord.row < self.rows and 0 <= coord.col < self.cols):
+            raise MeshError(
+                f"coordinate {coord} outside {self.rows}x{self.cols} mesh"
+            )
+        return coord
+
+    def coords(self) -> Iterator[Coord]:
+        """All coordinates in row-major order (thread spawn order)."""
+        for i in range(self.rows):
+            for j in range(self.cols):
+                yield Coord(i, j)
+
+    def row_members(self, row: int) -> list[Coord]:
+        if not 0 <= row < self.rows:
+            raise MeshError(f"row {row} outside mesh")
+        return [Coord(row, j) for j in range(self.cols)]
+
+    def col_members(self, col: int) -> list[Coord]:
+        if not 0 <= col < self.cols:
+            raise MeshError(f"column {col} outside mesh")
+        return [Coord(i, col) for i in range(self.rows)]
+
+    def linear_index(self, coord: Coord) -> int:
+        """Thread id as the athread runtime numbers them (row-major)."""
+        coord = self.check(coord)
+        return coord.row * self.cols + coord.col
+
+    def from_linear(self, index: int) -> Coord:
+        if not 0 <= index < self.size:
+            raise MeshError(f"thread id {index} outside [0, {self.size})")
+        return Coord(index // self.cols, index % self.cols)

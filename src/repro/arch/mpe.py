@@ -1,0 +1,35 @@
+"""The management processing element (MPE).
+
+In the paper's DGEMM the MPE only spawns the 64 CPE threads and waits;
+it performs no floating-point work.  The model keeps it as an explicit
+object so the core group mirrors the hardware inventory and so
+extensions (MPE-side pre/post-processing, as real xMath does for edge
+tiles) have a home.
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import SW26010Spec, DEFAULT_SPEC
+
+__all__ = ["MPE"]
+
+
+class MPE:
+    """Management core: orchestration bookkeeping only."""
+
+    def __init__(self, spec: SW26010Spec = DEFAULT_SPEC) -> None:
+        self.spec = spec
+        #: number of CPE-thread team launches performed.
+        self.spawn_count = 0
+        #: documented but unmodelled caches.
+        self.l1_data_bytes = 32 * 1024
+        self.l2_bytes = 256 * 1024
+
+    def spawn(self, n_threads: int) -> None:
+        """Record a team launch (athread_spawn equivalent)."""
+        if n_threads != self.spec.n_cpes:
+            raise ValueError(
+                f"the paper's DGEMM launches all {self.spec.n_cpes} CPEs, "
+                f"got {n_threads}"
+            )
+        self.spawn_count += 1

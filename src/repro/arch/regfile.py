@@ -1,0 +1,77 @@
+"""The CPE vector register file: 32 registers of 256 bits (4 doubles).
+
+The functional GEMM path does its register-tile math on numpy views, so
+this class exists for the *constraint* (register budget, Sec III-C3) and
+for the ISA pipeline model's operand naming; it still supports lane-
+accurate reads/writes so the microkernel can be executed literally in
+tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RegisterFileError
+from repro.arch.config import CPESpec
+
+__all__ = ["VectorRegisterFile"]
+
+
+class VectorRegisterFile:
+    """Lane-accurate model of the 32x256-bit register file."""
+
+    def __init__(self, spec: CPESpec | None = None) -> None:
+        self.spec = spec or CPESpec()
+        self._regs = np.zeros((self.spec.vector_registers, self.spec.simd_width))
+
+    @property
+    def n_registers(self) -> int:
+        return self.spec.vector_registers
+
+    @property
+    def lanes(self) -> int:
+        return self.spec.simd_width
+
+    def _check(self, index: int) -> None:
+        if not (0 <= index < self.n_registers):
+            raise RegisterFileError(
+                f"register index {index} outside [0, {self.n_registers})"
+            )
+
+    def write(self, index: int, value: np.ndarray) -> None:
+        """Write a full 256-bit register (4 doubles)."""
+        self._check(index)
+        value = np.asarray(value, dtype=np.float64)
+        if value.shape != (self.lanes,):
+            raise RegisterFileError(
+                f"register write needs shape ({self.lanes},), got {value.shape}"
+            )
+        self._regs[index] = value
+
+    def splat(self, index: int, scalar: float) -> None:
+        """Broadcast one double into all four lanes (the ``lddec`` load)."""
+        self._check(index)
+        self._regs[index] = float(scalar)
+
+    def read(self, index: int) -> np.ndarray:
+        """Read a register as a 4-lane copy."""
+        self._check(index)
+        return self._regs[index].copy()
+
+    def fma(self, dst: int, a: int, b: int, c: int) -> None:
+        """``dst = a*b + c`` lane-wise: the ``vmad`` semantics."""
+        for index in (dst, a, b, c):
+            self._check(index)
+        self._regs[dst] = self._regs[a] * self._regs[b] + self._regs[c]
+
+    def clear(self) -> None:
+        self._regs[:] = 0.0
+
+    def budget_check(self, r_m: int, r_n: int) -> None:
+        """Enforce the Sec III-C3 constraint ``rM*rN + rM + rN < 32``."""
+        need = r_m * r_n + r_m + r_n
+        if need >= self.n_registers:
+            raise RegisterFileError(
+                f"register tile {r_m}x{r_n} needs {need} registers, "
+                f"only {self.n_registers} available (constraint is strict <)"
+            )

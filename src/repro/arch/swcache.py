@@ -1,0 +1,174 @@
+"""Software-emulated cache mode of the LDM (paper Sec II).
+
+"[The LDM] can be used as either a fast user-controlled cache or a
+software-emulated cache that achieves automatic data caching."  The
+paper's DGEMM uses the user-controlled mode exclusively; this module
+models the *other* mode so the ablation study can quantify what
+explicit data orchestration buys.
+
+The emulated cache is set-associative with LRU replacement over
+cache-line-sized blocks of main memory.  Every access is checked
+against the tag store; misses trigger a line-sized DMA transfer (one
+128 B transaction by default, matching the DMA granule) and an
+invocation cost — the software overhead of the tag check itself, which
+is what makes emulated caching slow on real CPEs (every load becomes a
+function call).
+
+Functional reads/writes go through the cache with full write-back
+semantics, so a GEMM written against :class:`SoftwareCache` produces
+exact results while the hit/miss counters feed the cost model in
+:mod:`repro.experiments.cache_ablation`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError, LDMAllocationError
+from repro.arch.memory import MainMemory, MatrixHandle
+
+__all__ = ["CacheStats", "SoftwareCache"]
+
+
+@dataclass
+class CacheStats:
+    """Access counters of one software cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class _Line:
+    tag: int
+    data: np.ndarray
+    dirty: bool = False
+
+
+class SoftwareCache:
+    """LRU set-associative cache emulated in LDM over one matrix.
+
+    Addresses are element indices in the matrix's column-major order
+    (the natural addressing of the Fortran-layout arrays everywhere in
+    this package).
+    """
+
+    def __init__(
+        self,
+        memory: MainMemory,
+        handle: MatrixHandle,
+        capacity_bytes: int = 32 * 1024,
+        line_doubles: int = 16,
+        ways: int = 4,
+    ) -> None:
+        if capacity_bytes <= 0 or line_doubles <= 0 or ways <= 0:
+            raise ConfigError("cache geometry must be positive")
+        line_bytes = line_doubles * 8
+        n_lines = capacity_bytes // line_bytes
+        if n_lines < ways or n_lines % ways != 0:
+            raise ConfigError(
+                f"capacity {capacity_bytes} B with {line_bytes} B lines gives "
+                f"{n_lines} lines, not divisible into {ways} ways"
+            )
+        if capacity_bytes > 64 * 1024:
+            raise LDMAllocationError(
+                f"software cache of {capacity_bytes} B exceeds the 64 KB LDM"
+            )
+        self.memory = memory
+        self.handle = handle
+        self.line_doubles = line_doubles
+        self.ways = ways
+        self.n_sets = n_lines // ways
+        #: per-set LRU-ordered (tag -> line); last item = most recent.
+        self._sets: list[OrderedDict[int, _Line]] = [
+            OrderedDict() for _ in range(self.n_sets)
+        ]
+        self.stats = CacheStats()
+        self._flat = self.memory.array(handle).reshape(-1, order="F")
+
+    # -- addressing -------------------------------------------------------
+
+    def _locate(self, element: int) -> tuple[int, int, int]:
+        if not 0 <= element < self._flat.size:
+            raise IndexError(
+                f"element {element} outside {self.handle} "
+                f"({self._flat.size} elements)"
+            )
+        block = element // self.line_doubles
+        return block % self.n_sets, block, element % self.line_doubles
+
+    def _line_for(self, element: int) -> _Line:
+        set_idx, tag, _ = self._locate(element)
+        cache_set = self._sets[set_idx]
+        line = cache_set.get(tag)
+        if line is not None:
+            self.stats.hits += 1
+            cache_set.move_to_end(tag)
+            return line
+        self.stats.misses += 1
+        if len(cache_set) >= self.ways:
+            _, victim = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self._write_line(victim)
+        line = _Line(tag, self._read_line(tag))
+        cache_set[tag] = line
+        return line
+
+    def _read_line(self, tag: int) -> np.ndarray:
+        start = tag * self.line_doubles
+        end = min(start + self.line_doubles, self._flat.size)
+        out = np.zeros(self.line_doubles)
+        out[: end - start] = self._flat[start:end]
+        return out
+
+    def _write_line(self, line: _Line) -> None:
+        start = line.tag * self.line_doubles
+        end = min(start + self.line_doubles, self._flat.size)
+        self._flat[start:end] = line.data[: end - start]
+        self.stats.writebacks += 1
+
+    # -- public access path ------------------------------------------------
+
+    def _element(self, row: int, col: int) -> int:
+        if not (0 <= row < self.handle.rows and 0 <= col < self.handle.cols):
+            raise IndexError(f"({row}, {col}) outside {self.handle}")
+        return col * self.handle.rows + row
+
+    def read(self, row: int, col: int) -> float:
+        """One element load through the cache."""
+        element = self._element(row, col)
+        _, _, offset = self._locate(element)
+        return float(self._line_for(element).data[offset])
+
+    def write(self, row: int, col: int, value: float) -> None:
+        """One element store through the cache (write-back)."""
+        element = self._element(row, col)
+        _, _, offset = self._locate(element)
+        line = self._line_for(element)
+        line.data[offset] = float(value)
+        line.dirty = True
+
+    def flush(self) -> None:
+        """Write every dirty line back (end of kernel)."""
+        for cache_set in self._sets:
+            for line in cache_set.values():
+                if line.dirty:
+                    self._write_line(line)
+                    line.dirty = False
+
+    def resident_bytes(self) -> int:
+        return sum(len(s) for s in self._sets) * self.line_doubles * 8

@@ -1,0 +1,48 @@
+"""The paper's contribution: three-level blocked DGEMM on one CG.
+
+- :mod:`repro.core.params` — blocking parameters and the hardware
+  constraints they must satisfy (LDM capacity, DMA granularity,
+  register budget);
+- :mod:`repro.core.model` — the closed-form bandwidth/blocking model of
+  Sec III-C;
+- :mod:`repro.core.mapping` — the two data-thread mappings: the
+  instinctive PE_MODE mapping of Sec III-A and the interleaved
+  mixed-mode mapping of Sec IV-A (Figure 5);
+- :mod:`repro.core.sharing` — the collective data-sharing roles of
+  Sec III-B (Figure 3) executed over the register-communication mesh;
+- :mod:`repro.core.kernel_functional` — the register-tile multiply,
+  both a lane-accurate register-file version and the vectorised one
+  the variants use;
+- :mod:`repro.core.variants` — RAW / PE / ROW / DB / SCHED;
+- :mod:`repro.core.api` — the public ``dgemm`` entry point;
+- :mod:`repro.core.reference` — the numpy reference.
+"""
+
+from repro.core.params import BlockingParams
+from repro.core.model import (
+    bandwidth_reduction,
+    required_bandwidth,
+    min_block_n,
+    ldm_doubles,
+    register_budget,
+    register_bandwidth_reduction,
+    optimal_register_tile,
+)
+from repro.core.reference import reference_dgemm
+from repro.core.api import dgemm
+from repro.core.variants import VARIANTS, get_variant
+
+__all__ = [
+    "BlockingParams",
+    "bandwidth_reduction",
+    "required_bandwidth",
+    "min_block_n",
+    "ldm_doubles",
+    "register_budget",
+    "register_bandwidth_reduction",
+    "optimal_register_tile",
+    "reference_dgemm",
+    "dgemm",
+    "VARIANTS",
+    "get_variant",
+]

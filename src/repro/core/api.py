@@ -1,0 +1,140 @@
+"""Public DGEMM entry point.
+
+``dgemm`` wraps the whole device pipeline: stage operands into the core
+group's main memory, run the chosen variant's functional execution, and
+read the result back.  It mirrors the BLAS contract (non-transposed,
+column-major, f64) with the paper's shape restriction — dimensions must
+be multiples of the CG block factors — relaxed by ``pad=True``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import UnsupportedShapeError
+from repro.arch.config import SW26010Spec, DEFAULT_SPEC
+from repro.arch.core_group import CoreGroup
+from repro.core.params import BlockingParams
+from repro.core.reference import reference_dgemm
+from repro.core.variants import get_variant
+
+__all__ = ["dgemm"]
+
+
+def _apply_trans(name: str, flag: str, array: np.ndarray) -> np.ndarray:
+    """Resolve a BLAS trans flag by MPE-side staging (extension)."""
+    flag = str(flag).upper()
+    if flag == "N":
+        return array
+    if flag == "T":
+        return np.asfortranarray(array.T)
+    raise UnsupportedShapeError(
+        f"{name} must be 'N' or 'T', got {flag!r} (conjugate transpose "
+        "is meaningless for real matrices)"
+    )
+
+
+def _pad_to(array: np.ndarray, rows: int, cols: int) -> np.ndarray:
+    out = np.zeros((rows, cols), dtype=np.float64, order="F")
+    out[: array.shape[0], : array.shape[1]] = array
+    return out
+
+
+def dgemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    *,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    transa: str = "N",
+    transb: str = "N",
+    variant: str = "SCHED",
+    params: BlockingParams | None = None,
+    spec: SW26010Spec = DEFAULT_SPEC,
+    core_group: CoreGroup | None = None,
+    pad: bool = False,
+    check: bool = False,
+) -> np.ndarray:
+    """Compute ``alpha * a @ b + beta * c`` on the simulated CG.
+
+    Parameters
+    ----------
+    a, b, c:
+        f64 matrices (any memory order; staged column-major).  ``c``
+        may be omitted when ``beta == 0``.
+    transa, transb:
+        ``"N"`` or ``"T"``.  The paper implements only the
+        non-transposed case; ``"T"`` is an extension handled by staging
+        an explicit transpose on the MPE before the CG kernel runs (the
+        approach production libraries use for unsupported layouts).
+    variant:
+        one of ``RAW``, ``PE``, ``ROW``, ``DB``, ``SCHED`` (default:
+        the paper's best version).
+    params:
+        blocking parameters; defaults to the variant's paper values.
+        Pass :meth:`BlockingParams.small` for fast experimentation.
+    core_group:
+        reuse an existing device (e.g. to accumulate DMA statistics);
+        a fresh one is built otherwise.
+    pad:
+        zero-pad dimensions up to the CG block factors instead of
+        raising :class:`~repro.errors.UnsupportedShapeError` — an
+        extension beyond the paper, which only handles exact multiples.
+    check:
+        verify the result against the numpy reference and raise
+        ``AssertionError`` on mismatch (debugging aid).
+
+    Returns
+    -------
+    numpy.ndarray
+        the m x n result, column-major.
+    """
+    impl = get_variant(variant)
+    params = params or impl.default_params()
+
+    a = np.asfortranarray(a, dtype=np.float64)
+    b = np.asfortranarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise UnsupportedShapeError("dgemm operates on 2-D matrices")
+    a = _apply_trans("transa", transa, a)
+    b = _apply_trans("transb", transb, b)
+    m, k = a.shape
+    k2, n = b.shape
+    if k2 != k:
+        raise UnsupportedShapeError(f"A is {a.shape} but B is {b.shape}")
+    if c is None:
+        if beta != 0.0:
+            raise UnsupportedShapeError("beta != 0 requires an input C")
+        c = np.zeros((m, n), dtype=np.float64, order="F")
+    else:
+        c = np.asfortranarray(c, dtype=np.float64)
+        if c.shape != (m, n):
+            raise UnsupportedShapeError(f"C is {c.shape}, expected {(m, n)}")
+
+    pm, pn, pk = m, n, k
+    if pad:
+        pm = -(-m // params.b_m) * params.b_m
+        pn = -(-n // params.b_n) * params.b_n
+        pk = -(-k // params.b_k) * params.b_k
+
+    cg = core_group or CoreGroup(spec)
+    ha = cg.memory.store("dgemm.A", a if (pm, pk) == (m, k) else _pad_to(a, pm, pk))
+    hb = cg.memory.store("dgemm.B", b if (pk, pn) == (k, n) else _pad_to(b, pk, pn))
+    hc = cg.memory.store("dgemm.C", c if (pm, pn) == (m, n) else _pad_to(c, pm, pn))
+
+    impl.run(cg, ha, hb, hc, alpha=alpha, beta=beta, params=params)
+
+    result = cg.memory.read(hc)[:m, :n]
+    if core_group is None:
+        for name in ("dgemm.A", "dgemm.B", "dgemm.C"):
+            cg.memory.free(name)
+    if check:
+        expected = reference_dgemm(alpha, a, b, beta, c)
+        if not np.allclose(result, expected, rtol=1e-12, atol=1e-9):
+            worst = float(np.max(np.abs(result - expected)))
+            raise AssertionError(
+                f"{impl.traits.name} result deviates from reference "
+                f"(max abs err {worst:.3e})"
+            )
+    return result

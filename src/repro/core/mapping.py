@@ -1,0 +1,213 @@
+"""Data-thread mappings: which CPE holds which piece of a CG block.
+
+Two mappings are implemented, matching the paper:
+
+``PEMapping`` (Sec III-A, the "instinctive" mapping)
+    the CG block is an 8x8 grid of thread-level blocks and
+    ``thread(u, v)`` holds block ``(u, v)`` of each matrix, fetched with
+    per-CPE ``PE_MODE`` transfers.
+
+``RowMapping`` (Sec IV-A, the mixed-mode mapping of Figure 5)
+    A and C travel in ``ROW_MODE``: column strip ``i`` of the CG block
+    (all ``bM`` rows x the ``i``-th ``pX``-column slice) is delivered
+    collectively to mesh row ``i``, and the hardware's 16 B round-robin
+    hands CPE ``(i, j)`` the interleaved rows
+    ``{r : r mod 16 in {2j, 2j+1}}``.  B stays in ``PE_MODE`` but is
+    remapped for consistency: CPE ``(i, j)`` holds B's k-rows
+    ``[j*pK, (j+1)*pK)`` of column strip ``i``.
+
+Both mappings expose the same load/store interface over a
+:class:`~repro.arch.core_group.CoreGroup`, so the GEMM variants differ
+only in which mapping (and which sharing scheme) they instantiate.
+
+Correctness note on the interleaving: the ROW_MODE A and C tiles of a
+CPE contain the *same* row subset (both matrices are distributed by the
+same hardware pattern), so the thread-local update
+``C_loc += A_loc @ B`` is exact even though ``C_loc``'s rows are not
+contiguous in the parent matrix.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.arch.core_group import CoreGroup
+from repro.arch.memory import MatrixHandle
+from repro.arch.mesh import Coord
+from repro.core.params import GRID, BlockingParams
+
+__all__ = ["DataThreadMapping", "PEMapping", "RowMapping", "BUF_A", "BUF_B", "BUF_C"]
+
+#: canonical LDM buffer names used by all variants.
+BUF_A = "A"
+BUF_B = "B"
+BUF_C = "C"
+
+
+class DataThreadMapping(ABC):
+    """Loads/stores CG-level blocks into/from the 64 CPEs' LDM tiles."""
+
+    #: name used in reports ("PE_MODE" / "mixed ROW/PE").
+    name: str = "abstract"
+
+    def __init__(self, params: BlockingParams) -> None:
+        self.params = params
+
+    # tile shapes are mapping-independent
+    def tile_shape(self, which: str) -> tuple[int, int]:
+        p = self.params
+        return {
+            BUF_A: (p.p_m, p.p_k),
+            BUF_B: (p.p_k, p.p_n),
+            BUF_C: (p.p_m, p.p_n),
+        }[which]
+
+    def allocate(self, cg: CoreGroup, double_buffered: bool | None = None) -> None:
+        """Allocate this mapping's LDM tiles on every CPE.
+
+        Double buffering allocates A0/A1 and C0/C1 pairs plus a single
+        B buffer, mirroring Algorithm 2's LDM budget.
+        """
+        db = self.params.double_buffered if double_buffered is None else double_buffered
+        for cpe in cg.cpes():
+            if db:
+                cpe.ldm.alloc(f"{BUF_A}0", self.tile_shape(BUF_A))
+                cpe.ldm.alloc(f"{BUF_A}1", self.tile_shape(BUF_A))
+                cpe.ldm.alloc(f"{BUF_C}0", self.tile_shape(BUF_C))
+                cpe.ldm.alloc(f"{BUF_C}1", self.tile_shape(BUF_C))
+                cpe.ldm.alloc(BUF_B, self.tile_shape(BUF_B))
+            else:
+                cpe.ldm.alloc(BUF_A, self.tile_shape(BUF_A))
+                cpe.ldm.alloc(BUF_B, self.tile_shape(BUF_B))
+                cpe.ldm.alloc(BUF_C, self.tile_shape(BUF_C))
+
+    # -- abstract transfer operations -----------------------------------
+
+    @abstractmethod
+    def load_a(self, cg: CoreGroup, handle: MatrixHandle, blk_i: int, blk_l: int,
+               buf: str = BUF_A) -> None:
+        """Load CG block (blk_i, blk_l) of A into every CPE's ``buf``."""
+
+    @abstractmethod
+    def load_b(self, cg: CoreGroup, handle: MatrixHandle, blk_l: int, blk_j: int,
+               buf: str = BUF_B) -> None:
+        """Load CG block (blk_l, blk_j) of B into every CPE's ``buf``."""
+
+    @abstractmethod
+    def load_c(self, cg: CoreGroup, handle: MatrixHandle, blk_i: int, blk_j: int,
+               buf: str = BUF_C) -> None:
+        """Load CG block (blk_i, blk_j) of C into every CPE's ``buf``."""
+
+    @abstractmethod
+    def store_c(self, cg: CoreGroup, handle: MatrixHandle, blk_i: int, blk_j: int,
+                buf: str = BUF_C) -> None:
+        """Store every CPE's ``buf`` back as CG block (blk_i, blk_j) of C."""
+
+
+class PEMapping(DataThreadMapping):
+    """Sec III-A: thread (u, v) owns thread-level block (u, v)."""
+
+    name = "PE_MODE"
+
+    def load_a(self, cg, handle, blk_i, blk_l, buf=BUF_A):
+        p = self.params
+        for coord in cg.mesh.coords():
+            cg.dma.pe_get(
+                handle,
+                blk_i * p.b_m + coord.row * p.p_m,
+                blk_l * p.b_k + coord.col * p.p_k,
+                p.p_m,
+                p.p_k,
+                cg.cpe(coord).ldm.get(buf),
+            )
+
+    def load_b(self, cg, handle, blk_l, blk_j, buf=BUF_B):
+        p = self.params
+        for coord in cg.mesh.coords():
+            cg.dma.pe_get(
+                handle,
+                blk_l * p.b_k + coord.row * p.p_k,
+                blk_j * p.b_n + coord.col * p.p_n,
+                p.p_k,
+                p.p_n,
+                cg.cpe(coord).ldm.get(buf),
+            )
+
+    def load_c(self, cg, handle, blk_i, blk_j, buf=BUF_C):
+        p = self.params
+        for coord in cg.mesh.coords():
+            cg.dma.pe_get(
+                handle,
+                blk_i * p.b_m + coord.row * p.p_m,
+                blk_j * p.b_n + coord.col * p.p_n,
+                p.p_m,
+                p.p_n,
+                cg.cpe(coord).ldm.get(buf),
+            )
+
+    def store_c(self, cg, handle, blk_i, blk_j, buf=BUF_C):
+        p = self.params
+        for coord in cg.mesh.coords():
+            cg.dma.pe_put(
+                handle,
+                blk_i * p.b_m + coord.row * p.p_m,
+                blk_j * p.b_n + coord.col * p.p_n,
+                p.p_m,
+                p.p_n,
+                cg.cpe(coord).ldm.get(buf),
+            )
+
+
+class RowMapping(DataThreadMapping):
+    """Sec IV-A: ROW_MODE for A and C, remapped PE_MODE for B."""
+
+    name = "mixed ROW/PE"
+
+    def load_a(self, cg, handle, blk_i, blk_l, buf=BUF_A):
+        p = self.params
+        for strip in range(GRID):
+            cg.dma.row_get(
+                handle,
+                blk_i * p.b_m,
+                blk_l * p.b_k + strip * p.p_k,
+                p.b_m,
+                p.p_k,
+                cg.row_ldm_buffers(strip, buf),
+            )
+
+    def load_b(self, cg, handle, blk_l, blk_j, buf=BUF_B):
+        p = self.params
+        for coord in cg.mesh.coords():
+            # CPE (i, j) holds k-rows [j*pK, (j+1)*pK) of column strip i
+            cg.dma.pe_get(
+                handle,
+                blk_l * p.b_k + coord.col * p.p_k,
+                blk_j * p.b_n + coord.row * p.p_n,
+                p.p_k,
+                p.p_n,
+                cg.cpe(coord).ldm.get(buf),
+            )
+
+    def load_c(self, cg, handle, blk_i, blk_j, buf=BUF_C):
+        p = self.params
+        for strip in range(GRID):
+            cg.dma.row_get(
+                handle,
+                blk_i * p.b_m,
+                blk_j * p.b_n + strip * p.p_n,
+                p.b_m,
+                p.p_n,
+                cg.row_ldm_buffers(strip, buf),
+            )
+
+    def store_c(self, cg, handle, blk_i, blk_j, buf=BUF_C):
+        p = self.params
+        for strip in range(GRID):
+            cg.dma.row_put(
+                handle,
+                blk_i * p.b_m,
+                blk_j * p.b_n + strip * p.p_n,
+                p.b_m,
+                p.p_n,
+                cg.row_ldm_buffers(strip, buf),
+            )

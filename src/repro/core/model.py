@@ -1,0 +1,159 @@
+"""The closed-form blocking model of Sec III-C.
+
+The section derives, for the CG-level N-K-M loop of Algorithm 1 with B
+as the reside matrix:
+
+- traffic: ``2*K*m*n + N*m*k + k*n`` elements, i.e.
+  ``m*n*k * (2/bK + 1/bN) + k*n``;
+- bandwidth-reduction ratio ``S = 2 / (2/bK + 1/bN + 1/m)``;
+- the sustain condition ``F*W/S < Bt`` which at the optimum
+  ``bK = 2*bN`` yields ``bN > F*W/Bt`` — 174.7 for the SW26010 numbers,
+  hence the paper's ``bK >= 350, bN >= 175``;
+- the LDM capacity bound ``pM*pN + pN*pK + pK*pM < 8192`` doubles;
+- the register bound ``rM*rN + rM + rN < 32`` with LDM-register
+  bandwidth reduction ``2/(1/rM + 1/rN)``, maximised at ``rM = rN = 4``.
+
+Every formula is exposed as a small function so the block-size
+experiment (E4) and the ablations (A3) can sweep them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.arch.config import SW26010Spec, DEFAULT_SPEC
+from repro.utils.units import BYTES_PER_DOUBLE
+
+__all__ = [
+    "cg_traffic_elements",
+    "bandwidth_reduction",
+    "required_bandwidth",
+    "min_block_n",
+    "ldm_doubles",
+    "ldm_fits",
+    "register_budget",
+    "register_fits",
+    "register_bandwidth_reduction",
+    "optimal_register_tile",
+    "optimal_bk_bn_split",
+]
+
+
+def cg_traffic_elements(m: int, n: int, k: int, b_n: int, b_k: int) -> int:
+    """Total elements moved between main memory and LDM (Algorithm 1).
+
+    C is fetched and written K times (2*K*m*n), A fetched N times
+    (N*m*k), B fetched once (k*n).
+    """
+    if min(m, n, k, b_n, b_k) <= 0:
+        raise ConfigError("dimensions and block sizes must be positive")
+    big_k = -(-k // b_k)
+    big_n = -(-n // b_n)
+    return 2 * big_k * m * n + big_n * m * k + k * n
+
+
+def bandwidth_reduction(b_n: float, b_k: float, m: float | None = None) -> float:
+    """The ratio S: flops per element moved, times two.
+
+    ``S = 2 / (2/bK + 1/bN + 1/m)``; with ``m`` omitted the asymptotic
+    form ``2 / (2/bK + 1/bN)`` is returned.
+    """
+    if b_n <= 0 or b_k <= 0:
+        raise ConfigError("block sizes must be positive")
+    denom = 2.0 / b_k + 1.0 / b_n
+    if m is not None:
+        if m <= 0:
+            raise ConfigError("m must be positive")
+        denom += 1.0 / m
+    return 2.0 / denom
+
+
+def required_bandwidth(
+    s: float, spec: SW26010Spec = DEFAULT_SPEC, word_bytes: int = BYTES_PER_DOUBLE
+) -> float:
+    """Memory bandwidth (B/s) DGEMM needs to run at peak: ``F*W/S``."""
+    if s <= 0:
+        raise ConfigError("bandwidth reduction must be positive")
+    return spec.peak_flops * word_bytes / s
+
+
+def min_block_n(
+    spec: SW26010Spec = DEFAULT_SPEC, word_bytes: int = BYTES_PER_DOUBLE
+) -> float:
+    """The lower bound ``bN > F*W/Bt`` at the optimal split ``bK = 2*bN``.
+
+    For F = 742.4 Gflop/s, W = 8 and Bt = 34 GB/s this is 174.7, which
+    the paper rounds to the constraints ``bN >= 175`` and ``bK >= 350``.
+    """
+    return spec.peak_flops * word_bytes / spec.dma.peak_bandwidth
+
+
+def ldm_doubles(p_m: int, p_n: int, p_k: int) -> int:
+    """Doubles of LDM one CPE's (single-buffered) tile set occupies."""
+    if min(p_m, p_n, p_k) <= 0:
+        raise ConfigError("tile sizes must be positive")
+    return p_m * p_n + p_n * p_k + p_k * p_m
+
+
+def ldm_fits(p_m: int, p_n: int, p_k: int, spec: SW26010Spec = DEFAULT_SPEC) -> bool:
+    """The strict Sec III-C2 capacity test ``... < 8192``."""
+    return ldm_doubles(p_m, p_n, p_k) < spec.ldm_doubles
+
+
+def register_budget(r_m: int, r_n: int) -> int:
+    """Vector registers a ``rM x rN`` tile consumes: C + A + B."""
+    if r_m <= 0 or r_n <= 0:
+        raise ConfigError("register tile sides must be positive")
+    return r_m * r_n + r_m + r_n
+
+
+def register_fits(r_m: int, r_n: int, spec: SW26010Spec = DEFAULT_SPEC) -> bool:
+    """The strict Sec III-C3 budget test ``rM*rN + rM + rN < 32``."""
+    return register_budget(r_m, r_n) < spec.cpe.vector_registers
+
+
+def register_bandwidth_reduction(r_m: int, r_n: int) -> float:
+    """LDM-to-register bandwidth reduction ``2 / (1/rM + 1/rN)``."""
+    if r_m <= 0 or r_n <= 0:
+        raise ConfigError("register tile sides must be positive")
+    return 2.0 / (1.0 / r_m + 1.0 / r_n)
+
+
+def optimal_register_tile(
+    p_m: int = 16, p_n: int = 32, spec: SW26010Spec = DEFAULT_SPEC
+) -> tuple[int, int]:
+    """Search the register-tile space of Sec III-C3; returns (4, 4).
+
+    Constraints: the budget is strict; ``rM`` vector registers must
+    cover whole pM columns (``rM * simd_width`` divides ``pM``) and
+    ``rN`` must divide ``pN``.  Ties in bandwidth reduction are broken
+    toward the squarer tile, as the paper argues the maximum lies at
+    ``rM = rN``.
+    """
+    simd = spec.cpe.simd_width
+    best: tuple[float, float, int, int] | None = None
+    for r_m in range(1, spec.cpe.vector_registers):
+        if p_m % (r_m * simd) != 0:
+            continue
+        for r_n in range(1, spec.cpe.vector_registers):
+            if p_n % r_n != 0 or not register_fits(r_m, r_n, spec):
+                continue
+            score = (register_bandwidth_reduction(r_m, r_n), -abs(r_m - r_n), r_m, r_n)
+            if best is None or score > best:
+                best = score
+    if best is None:
+        raise ConfigError("no register tile satisfies the constraints")
+    return best[2], best[3]
+
+
+def optimal_bk_bn_split(budget_elements: float) -> tuple[float, float]:
+    """Maximise S subject to a fixed LDM budget on ``bK + 2*bN``.
+
+    With resident strips of A (bM x bK) and B/C columns, the capacity
+    cost scales like ``bK + 2*bN`` at fixed ``bM``; maximising
+    ``S = 2/(2/bK + 1/bN)`` under that budget gives ``bK = 2*bN``
+    (the paper's optimum).  Returned as ``(bK, bN)``.
+    """
+    if budget_elements <= 0:
+        raise ConfigError("budget must be positive")
+    b_n = budget_elements / 4.0
+    return 2.0 * b_n, b_n

@@ -1,0 +1,147 @@
+"""Blocking parameters and their hardware-constraint validation.
+
+The paper's three levels (Sec III-A):
+
+- CG level: ``(bM, bN, bK)`` blocks streamed between main memory and
+  the cluster, with ``bX = 8 * pX``;
+- thread level: ``(pM, pN, pK)`` tiles per CPE, bounded by the 64 KB
+  LDM (and by *two* A/C buffers once double buffering is on);
+- register level: ``rM = rN = 4`` fixed by the 32-register budget.
+
+Two named parameter sets from the paper:
+
+- ``BlockingParams.paper_single()`` — ``pM=16, pN=48, pK=96``
+  (Sec III-C2, used by the PE and ROW versions);
+- ``BlockingParams.paper_double()`` — ``pM=16, pN=32, pK=96``
+  (Sec IV-B, used by the DB and SCHED versions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BlockingError
+from repro.arch.config import SW26010Spec, DEFAULT_SPEC
+from repro.utils.validation import check_multiple, check_positive_int
+
+__all__ = ["BlockingParams"]
+
+#: mesh side (the 8 of the 8x8 cluster); fixed by the architecture.
+GRID = 8
+#: register tile (Sec III-C3).
+R_M = 4
+R_N = 4
+#: doubles per 128 B DMA transaction.
+DMA_GRANULE_DOUBLES = 16
+
+
+@dataclass(frozen=True)
+class BlockingParams:
+    """Thread-level tile sizes plus the buffering regime."""
+
+    p_m: int = 16
+    p_n: int = 32
+    p_k: int = 96
+    double_buffered: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive_int("p_m", self.p_m)
+        check_positive_int("p_n", self.p_n)
+        check_positive_int("p_k", self.p_k)
+        # DMA granularity: both the A/C row count and the B row count
+        # (pK) produce column segments that must be 128 B multiples.
+        check_multiple("p_m", self.p_m, DMA_GRANULE_DOUBLES)
+        check_multiple("p_k", self.p_k, DMA_GRANULE_DOUBLES)
+        # register tile coverage
+        check_multiple("p_n", self.p_n, R_N)
+        if self.p_m % (R_M * 4) != 0:
+            raise BlockingError(
+                f"p_m must be a multiple of rM*4 = {R_M * 4} so the "
+                f"register tile covers whole columns, got {self.p_m}"
+            )
+
+    # -- CG-level sizes ------------------------------------------------
+
+    @property
+    def b_m(self) -> int:
+        return GRID * self.p_m
+
+    @property
+    def b_n(self) -> int:
+        return GRID * self.p_n
+
+    @property
+    def b_k(self) -> int:
+        return GRID * self.p_k
+
+    # -- LDM accounting --------------------------------------------------
+
+    @property
+    def ldm_doubles_per_cpe(self) -> int:
+        """Doubles of LDM the tile working set occupies on one CPE.
+
+        Double buffering (Algorithm 2) keeps two A and two C tiles in
+        flight; B has a single buffer because a ``dB`` block is loaded
+        once per (j, l) iteration and stays resident.
+        """
+        a = self.p_m * self.p_k
+        b = self.p_k * self.p_n
+        c = self.p_m * self.p_n
+        if self.double_buffered:
+            return 2 * a + b + 2 * c
+        return a + b + c
+
+    def validate(self, spec: SW26010Spec = DEFAULT_SPEC) -> None:
+        """Raise :class:`BlockingError` on any hardware violation."""
+        budget = spec.ldm_doubles
+        need = self.ldm_doubles_per_cpe
+        if need >= budget:
+            raise BlockingError(
+                f"tiles need {need} doubles of LDM per CPE "
+                f"({'double' if self.double_buffered else 'single'} buffered), "
+                f"budget is {budget}"
+            )
+        if GRID != spec.mesh_rows or GRID != spec.mesh_cols:
+            raise BlockingError(
+                f"blocking assumes an {GRID}x{GRID} mesh, spec has "
+                f"{spec.mesh_rows}x{spec.mesh_cols}"
+            )
+
+    def fits(self, spec: SW26010Spec = DEFAULT_SPEC) -> bool:
+        try:
+            self.validate(spec)
+        except BlockingError:
+            return False
+        return True
+
+    # -- shape admission ---------------------------------------------------
+
+    def check_shape(self, m: int, n: int, k: int) -> tuple[int, int, int]:
+        """Return the CG-block grid (M, N, K) for an admissible shape."""
+        from repro.errors import UnsupportedShapeError
+
+        for name, dim, block in (("m", m, self.b_m), ("n", n, self.b_n), ("k", k, self.b_k)):
+            if dim <= 0 or dim % block != 0:
+                raise UnsupportedShapeError(
+                    f"{name}={dim} is not a positive multiple of the CG "
+                    f"block factor {block} (paper Sec III); pass pad=True "
+                    "to dgemm() to zero-pad"
+                )
+        return m // self.b_m, n // self.b_n, k // self.b_k
+
+    # -- named configurations ---------------------------------------------
+
+    @classmethod
+    def paper_single(cls) -> "BlockingParams":
+        """Sec III-C2 parameters (PE and ROW versions)."""
+        return cls(p_m=16, p_n=48, p_k=96, double_buffered=False)
+
+    @classmethod
+    def paper_double(cls) -> "BlockingParams":
+        """Sec IV-B parameters (DB and SCHED versions)."""
+        return cls(p_m=16, p_n=32, p_k=96, double_buffered=True)
+
+    @classmethod
+    def small(cls, double_buffered: bool = True) -> "BlockingParams":
+        """A scaled-down set for fast functional tests."""
+        return cls(p_m=16, p_n=8, p_k=16, double_buffered=double_buffered)

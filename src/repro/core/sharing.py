@@ -1,0 +1,142 @@
+"""The collective data-sharing scheme (Sec III-B, Figure 3).
+
+Each CG-level block multiplication is eight *strip multiplication*
+steps.  In step ``s`` only one eighth of A and one eighth of B is
+needed, and it lives on one mesh line; the owners broadcast it over the
+register-communication networks so every CPE can update its local C
+tile without touching main memory.
+
+Role taxonomy (the paper's four thread types):
+
+- the *diagonal* thread owns valid A **and** B — it broadcasts both and
+  receives nothing;
+- *A owners* broadcast A and receive B from the diagonal thread;
+- *B owners* broadcast B and receive A from the diagonal thread;
+- everyone else receives both.
+
+Two schemes exist because the Sec IV-A remapping transposes ownership:
+
+``pe`` scheme (with :class:`~repro.core.mapping.PEMapping`)
+    step ``s``: mesh **column** ``s`` owns A (row-broadcasts), mesh
+    **row** ``s`` owns B (column-broadcasts) — Figure 3 exactly.
+
+``row`` scheme (with :class:`~repro.core.mapping.RowMapping`)
+    step ``s``: mesh **row** ``s`` owns A (column-broadcasts), mesh
+    **column** ``s`` owns B (row-broadcasts) — the swap the paper
+    describes at the end of Sec IV-A.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import SharingError
+from repro.arch.core_group import CoreGroup
+from repro.arch.mesh import Coord
+from repro.core.params import GRID
+
+__all__ = ["Role", "role_of", "exchange_step", "Scheme"]
+
+
+class Scheme(enum.Enum):
+    """Which mesh line owns A in step ``s``."""
+
+    PE = "pe"
+    ROW = "row"
+
+
+class Role(enum.Enum):
+    """The four thread types of Sec III-B."""
+
+    DIAGONAL = "diagonal"
+    A_OWNER = "a_owner"
+    B_OWNER = "b_owner"
+    RECEIVER = "receiver"
+
+
+def role_of(coord: Coord, step: int, scheme: Scheme) -> Role:
+    """Classify ``coord`` for strip-multiplication step ``step``."""
+    if not 0 <= step < GRID:
+        raise SharingError(f"step {step} outside [0, {GRID})")
+    row, col = coord
+    if scheme is Scheme.PE:
+        owns_a = col == step
+        owns_b = row == step
+    else:
+        owns_a = row == step
+        owns_b = col == step
+    if owns_a and owns_b:
+        return Role.DIAGONAL
+    if owns_a:
+        return Role.A_OWNER
+    if owns_b:
+        return Role.B_OWNER
+    return Role.RECEIVER
+
+
+def exchange_step(
+    cg: CoreGroup,
+    step: int,
+    scheme: Scheme,
+    a_tiles: Mapping[Coord, np.ndarray],
+    b_tiles: Mapping[Coord, np.ndarray],
+) -> dict[Coord, tuple[np.ndarray, np.ndarray]]:
+    """Run one step of the collective sharing over the mesh networks.
+
+    ``a_tiles`` / ``b_tiles`` map each CPE coordinate to its resident
+    thread-level tile.  Returns, per CPE, the (A part, B part) operands
+    for this step — the owners' local tiles, everyone else's received
+    copies.  All broadcasts go through
+    :class:`~repro.arch.regcomm.RegisterComm`, so buffer discipline is
+    checked by the device model; the receive phase drains every buffer
+    (asserted before returning, as a barrier would on hardware).
+    """
+    mesh = cg.mesh
+    comm = cg.regcomm
+
+    # broadcast phase: owners push their tiles into the networks
+    for line in range(GRID):
+        if scheme is Scheme.PE:
+            a_src = Coord(line, step)   # column `step` owns A, sends along rows
+            b_src = Coord(step, line)   # row `step` owns B, sends along columns
+            comm.row_broadcast(a_src, a_tiles[a_src])
+            comm.col_broadcast(b_src, b_tiles[b_src])
+        else:
+            a_src = Coord(step, line)   # row `step` owns A, sends along columns
+            b_src = Coord(line, step)   # column `step` owns B, sends along rows
+            comm.col_broadcast(a_src, a_tiles[a_src])
+            comm.row_broadcast(b_src, b_tiles[b_src])
+
+    # receive phase
+    operands: dict[Coord, tuple[np.ndarray, np.ndarray]] = {}
+    for coord in mesh.coords():
+        role = role_of(coord, step, scheme)
+        if scheme is Scheme.PE:
+            a_part = (
+                np.asarray(a_tiles[coord])
+                if role in (Role.DIAGONAL, Role.A_OWNER)
+                else comm.receive_row(coord).data
+            )
+            b_part = (
+                np.asarray(b_tiles[coord])
+                if role in (Role.DIAGONAL, Role.B_OWNER)
+                else comm.receive_col(coord).data
+            )
+        else:
+            a_part = (
+                np.asarray(a_tiles[coord])
+                if role in (Role.DIAGONAL, Role.A_OWNER)
+                else comm.receive_col(coord).data
+            )
+            b_part = (
+                np.asarray(b_tiles[coord])
+                if role in (Role.DIAGONAL, Role.B_OWNER)
+                else comm.receive_row(coord).data
+            )
+        operands[coord] = (a_part, b_part)
+
+    comm.assert_drained()
+    return operands

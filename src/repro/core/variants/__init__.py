@@ -1,0 +1,50 @@
+"""The five DGEMM implementations evaluated in the paper (Sec V).
+
+- ``RAW`` — straightforward N-M-K loop, per-thread PE_MODE tiles, no
+  inter-CPE sharing;
+- ``PE`` — three-level blocking + collective data sharing (Sec III);
+- ``ROW`` — PE plus the mixed ROW/PE data-thread mapping (Sec IV-A);
+- ``DB`` — ROW plus double buffering (Sec IV-B, Algorithm 2);
+- ``SCHED`` — DB plus the scheduled assembly kernel (Sec IV-C,
+  Algorithm 3).  Functionally identical to DB — scheduling only
+  changes cycles — so its run() shares DB's code path while its traits
+  select the scheduled kernel-cycle model.
+"""
+
+from repro.core.variants.base import GEMMVariant, VariantTraits
+from repro.core.variants.raw import RawVariant
+from repro.core.variants.pe import PEVariant
+from repro.core.variants.row import RowVariant
+from repro.core.variants.db import DoubleBufferedVariant
+from repro.core.variants.sched import ScheduledVariant
+
+__all__ = [
+    "GEMMVariant",
+    "VariantTraits",
+    "RawVariant",
+    "PEVariant",
+    "RowVariant",
+    "DoubleBufferedVariant",
+    "ScheduledVariant",
+    "VARIANTS",
+    "get_variant",
+]
+
+#: registry in the paper's presentation order.
+VARIANTS: dict[str, type[GEMMVariant]] = {
+    "RAW": RawVariant,
+    "PE": PEVariant,
+    "ROW": RowVariant,
+    "DB": DoubleBufferedVariant,
+    "SCHED": ScheduledVariant,
+}
+
+
+def get_variant(name: str) -> GEMMVariant:
+    """Instantiate a variant by its paper name (case-insensitive)."""
+    try:
+        return VARIANTS[name.upper()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown variant {name!r}; choose from {sorted(VARIANTS)}"
+        ) from None

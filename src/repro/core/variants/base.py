@@ -1,0 +1,130 @@
+"""Common machinery of the GEMM variants.
+
+A variant has two faces:
+
+- ``run(cg, a, b, c, ...)`` — the functional execution on the device
+  model, moving real data through DMA / register communication and
+  mutating C in main memory;
+- ``traits`` — the static description (mapping, buffering, kernel
+  class) from which :mod:`repro.perf.estimator` builds the timing
+  model.  Keeping timing out of the variant classes guarantees the
+  functional path cannot quietly diverge from what is being timed; an
+  integration test instead asserts both paths agree on bytes moved.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import UnsupportedShapeError
+from repro.arch.core_group import CoreGroup
+from repro.arch.memory import MatrixHandle
+from repro.arch.mesh import Coord
+from repro.core.kernel_functional import tile_multiply
+from repro.core.mapping import BUF_A, BUF_B, BUF_C, DataThreadMapping
+from repro.core.params import GRID, BlockingParams
+from repro.core.sharing import Scheme, exchange_step
+
+__all__ = ["VariantTraits", "GEMMVariant", "check_gemm_shapes"]
+
+
+@dataclass(frozen=True)
+class VariantTraits:
+    """Static properties the performance models key off."""
+
+    name: str
+    #: DMA mode for A and C ("PE" or "ROW"); B is always PE.
+    ac_mode: str
+    #: whether the collective sharing scheme is used (False only for RAW).
+    shared: bool
+    double_buffered: bool
+    #: kernel-cycle class: "naive" or "scheduled".
+    kernel: str
+
+
+def check_gemm_shapes(a: MatrixHandle, b: MatrixHandle, c: MatrixHandle) -> tuple[int, int, int]:
+    """Validate the BLAS shape contract; return (m, n, k)."""
+    m, k = a.rows, a.cols
+    k2, n = b.rows, b.cols
+    if k != k2 or c.rows != m or c.cols != n:
+        raise UnsupportedShapeError(
+            f"inconsistent GEMM shapes: A {a.shape}, B {b.shape}, C {c.shape}"
+        )
+    return m, n, k
+
+
+class GEMMVariant(ABC):
+    """Base class of the five implementations."""
+
+    traits: VariantTraits
+
+    @abstractmethod
+    def default_params(self) -> BlockingParams:
+        """The blocking parameters the paper uses for this variant."""
+
+    @abstractmethod
+    def run(
+        self,
+        cg: CoreGroup,
+        a: MatrixHandle,
+        b: MatrixHandle,
+        c: MatrixHandle,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        params: BlockingParams | None = None,
+    ) -> None:
+        """Execute ``C = alpha*A*B + beta*C`` on the core group."""
+
+    # -- helpers shared by the blocked variants -------------------------
+
+    @staticmethod
+    def _tiles(cg: CoreGroup, buf: str) -> dict[Coord, np.ndarray]:
+        """Live views of a named LDM buffer across the cluster."""
+        return {coord: cg.cpe(coord).ldm.get(buf).data for coord in cg.mesh.coords()}
+
+    @staticmethod
+    def scale_c(cg: CoreGroup, buf: str, beta: float) -> None:
+        """Apply the beta scaling to every CPE's loaded C tile."""
+        if beta == 1.0:
+            return
+        for coord in cg.mesh.coords():
+            cg.cpe(coord).ldm.get(buf).data *= beta
+
+    @staticmethod
+    def strip_multiply(
+        cg: CoreGroup,
+        scheme: Scheme,
+        alpha: float,
+        a_buf: str = BUF_A,
+        b_buf: str = BUF_B,
+        c_buf: str = BUF_C,
+    ) -> None:
+        """Eight sharing steps updating every CPE's local C tile."""
+        a_tiles = GEMMVariant._tiles(cg, a_buf)
+        b_tiles = GEMMVariant._tiles(cg, b_buf)
+        c_tiles = GEMMVariant._tiles(cg, c_buf)
+        for step in range(GRID):
+            operands = exchange_step(cg, step, scheme, a_tiles, b_tiles)
+            for coord, (a_part, b_part) in operands.items():
+                tile_multiply(c_tiles[coord], a_part, b_part, alpha)
+
+    @staticmethod
+    def prepare(
+        cg: CoreGroup,
+        mapping: DataThreadMapping,
+        params: BlockingParams,
+        a: MatrixHandle,
+        b: MatrixHandle,
+        c: MatrixHandle,
+    ) -> tuple[int, int, int]:
+        """Validate, reset the cluster, allocate tiles; return (M, N, K)."""
+        params.validate(cg.spec)
+        m, n, k = check_gemm_shapes(a, b, c)
+        grid_m, grid_n, grid_k = params.check_shape(m, n, k)
+        cg.reset_cpes()
+        cg.mpe.spawn(cg.spec.n_cpes)
+        mapping.allocate(cg)
+        return grid_m, grid_n, grid_k

@@ -1,0 +1,132 @@
+"""Cannon's algorithm on the CPE mesh — the A7 ablation variant.
+
+The classic alternative to the paper's broadcast sharing: after an
+initial skew (A's block row ``i`` rotated left by ``i``, B's block
+column ``j`` rotated up by ``j``), every step multiplies the local
+tiles and shifts A one hop left and B one hop up, using point-to-point
+register communication instead of broadcasts.
+
+Why the paper's scheme wins on this hardware (quantified in
+``experiments/ablations.py::render_cannon``):
+
+- in the broadcast scheme only the 16 owner CPEs *send* per step, and
+  each receiver's per-iteration communication (4 ``getr`` + 4 ``getc``)
+  fits the secondary pipe's 16 slots alongside the pointer bumps;
+- in Cannon every CPE both sends and receives its whole A and B tiles
+  every step, doubling the secondary-pipe pressure (8 receives + 8
+  sends per 16-vmad iteration) past what 16 dual-issue slots can hide —
+  the FP pipe starves on communication, not on data volume.
+
+The functional implementation below is exact (validated against the
+reference like every variant); it exists so the comparison is between
+two *working* algorithms, not a strawman.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.core_group import CoreGroup
+from repro.arch.memory import MatrixHandle
+from repro.arch.mesh import Coord
+from repro.core.kernel_functional import tile_multiply
+from repro.core.mapping import PEMapping
+from repro.core.params import GRID, BlockingParams
+from repro.core.variants.base import GEMMVariant, VariantTraits
+
+__all__ = ["CannonVariant"]
+
+
+class CannonVariant(GEMMVariant):
+    """Skew-and-shift mesh GEMM over point-to-point register sends."""
+
+    traits = VariantTraits(
+        name="CANNON", ac_mode="PE", shared=True, double_buffered=False,
+        kernel="naive",
+    )
+    mapping_cls = PEMapping
+
+    def default_params(self) -> BlockingParams:
+        return BlockingParams.paper_single()
+
+    # -- mesh dataflow -----------------------------------------------------
+
+    @staticmethod
+    def _line(coord: Coord, matrix: str) -> int:
+        """Skew distance of a tile: its block row for A, column for B."""
+        return coord.row if matrix == "A" else coord.col
+
+    @classmethod
+    def _skew(cls, cg: CoreGroup, tiles: dict[Coord, np.ndarray], matrix: str) -> dict[Coord, np.ndarray]:
+        """Initial alignment: A row i rotates left i hops, B column j
+        rotates up j hops — executed as single-hop rounds (round r
+        shifts every line with index >= r), so each movement is one
+        legal neighbour send."""
+        current = dict(tiles)
+        for round_ in range(1, GRID):
+            active = {c: t for c, t in current.items()
+                      if cls._line(c, matrix) >= round_}
+            passive = {c: t for c, t in current.items()
+                       if cls._line(c, matrix) < round_}
+            current = {**passive, **cls._shift(cg, active, matrix)}
+        return current
+
+    @staticmethod
+    def _shift(cg: CoreGroup, tiles: dict[Coord, np.ndarray], matrix: str) -> dict[Coord, np.ndarray]:
+        """One cyclic hop: A left along its row, B up along its column.
+
+        ``tiles`` must cover whole mesh lines (rows for A, columns for
+        B), so every participant both sends and receives exactly once.
+        """
+        comm = cg.regcomm
+        for coord, tile in tiles.items():
+            if matrix == "A":
+                comm.send_row(coord, (coord.col - 1) % GRID, tile)
+            else:
+                comm.send_col(coord, (coord.row - 1) % GRID, tile)
+        out: dict[Coord, np.ndarray] = {}
+        for coord in tiles:
+            receive = comm.receive_row if matrix == "A" else comm.receive_col
+            out[coord] = receive(coord).data
+        return out
+
+    # -- GEMM ---------------------------------------------------------------
+
+    def run(
+        self,
+        cg: CoreGroup,
+        a: MatrixHandle,
+        b: MatrixHandle,
+        c: MatrixHandle,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        params: BlockingParams | None = None,
+    ) -> None:
+        params = params or self.default_params()
+        if params.double_buffered:
+            raise ValueError("CANNON is a single-buffered variant")
+        mapping = self.mapping_cls(params)
+        grid_m, grid_n, grid_k = self.prepare(cg, mapping, params, a, b, c)
+        for j in range(grid_n):
+            for l in range(grid_k):
+                mapping.load_b(cg, b, l, j)
+                for i in range(grid_m):
+                    mapping.load_a(cg, a, i, l)
+                    mapping.load_c(cg, c, i, j)
+                    if l == 0:
+                        self.scale_c(cg, "C", beta)
+                    self._cannon_block_multiply(cg, alpha)
+                    mapping.store_c(cg, c, i, j)
+
+    def _cannon_block_multiply(self, cg: CoreGroup, alpha: float) -> None:
+        a_tiles = {c: cg.cpe(c).ldm.get("A").data.copy() for c in cg.mesh.coords()}
+        b_tiles = {c: cg.cpe(c).ldm.get("B").data.copy() for c in cg.mesh.coords()}
+        c_tiles = self._tiles(cg, "C")
+        a_tiles = self._skew(cg, a_tiles, "A")
+        b_tiles = self._skew(cg, b_tiles, "B")
+        for _step in range(GRID):
+            for coord in cg.mesh.coords():
+                tile_multiply(c_tiles[coord], a_tiles[coord], b_tiles[coord], alpha)
+            a_tiles = self._shift(cg, a_tiles, "A")
+            b_tiles = self._shift(cg, b_tiles, "B")
+        cg.regcomm.assert_drained()

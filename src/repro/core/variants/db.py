@@ -1,0 +1,88 @@
+"""The DB version: double buffering on top of ROW (Sec IV-B).
+
+Algorithm 2 verbatim: A and C tiles live in two LDM slots each; while
+slot ``p`` is being computed on, slot ``1-p`` is being prefetched (and
+the block two iterations back is written out).  The functional model
+performs the copies at issue points in Algorithm 2's exact program
+order, so a mis-sequenced slot index corrupts C and is caught by the
+reference comparison — this is the test that matters for double
+buffering, since timing overlap is the perf model's job.
+
+Blocking shrinks to ``pN = 32`` (from 48) so the doubled A/C tiles fit
+the 64 KB LDM (Sec IV-B's capacity rule), which
+``BlockingParams.paper_double().validate()`` enforces.
+"""
+
+from __future__ import annotations
+
+from repro.arch.core_group import CoreGroup
+from repro.arch.memory import MatrixHandle
+from repro.core.mapping import RowMapping
+from repro.core.params import BlockingParams
+from repro.core.sharing import Scheme
+from repro.core.variants.base import GEMMVariant, VariantTraits
+
+__all__ = ["DoubleBufferedVariant"]
+
+
+class DoubleBufferedVariant(GEMMVariant):
+    """Algorithm 2: double-buffered streaming of A and C blocks."""
+
+    traits = VariantTraits(
+        name="DB", ac_mode="ROW", shared=True, double_buffered=True, kernel="naive"
+    )
+    scheme = Scheme.ROW
+    mapping_cls = RowMapping
+
+    def default_params(self) -> BlockingParams:
+        return BlockingParams.paper_double()
+
+    def run(
+        self,
+        cg: CoreGroup,
+        a: MatrixHandle,
+        b: MatrixHandle,
+        c: MatrixHandle,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        params: BlockingParams | None = None,
+    ) -> None:
+        params = params or self.default_params()
+        if not params.double_buffered:
+            raise ValueError(f"{self.traits.name} requires double-buffered params")
+        mapping = self.mapping_cls(params)
+        grid_m, grid_n, grid_k = self.prepare(cg, mapping, params, a, b, c)
+
+        def load_slot(i: int, l: int, j: int, beta_now: float) -> None:
+            slot = i % 2
+            mapping.load_a(cg, a, i, l, buf=f"A{slot}")
+            mapping.load_c(cg, c, i, j, buf=f"C{slot}")
+            if beta_now != 1.0:
+                self.scale_c(cg, f"C{slot}", beta_now)
+
+        def compute(i: int) -> None:
+            slot = i % 2
+            self.strip_multiply(cg, self.scheme, alpha, a_buf=f"A{slot}", c_buf=f"C{slot}")
+
+        def store_slot(i: int, j: int) -> None:
+            mapping.store_c(cg, c, i, j, buf=f"C{i % 2}")
+
+        for j in range(grid_n):
+            for l in range(grid_k):
+                beta_now = beta if l == 0 else 1.0
+                mapping.load_b(cg, b, l, j)
+                load_slot(0, l, j, beta_now)
+                if grid_m == 1:
+                    compute(0)
+                    store_slot(0, j)
+                    continue
+                # Algorithm 2, lines 6-23
+                load_slot(1, l, j, beta_now)       # prefetch block 1
+                compute(0)                         # overlap target
+                for i in range(2, grid_m):
+                    store_slot(i - 2, j)
+                    load_slot(i, l, j, beta_now)
+                    compute(i - 1)
+                store_slot(grid_m - 2, j)
+                compute(grid_m - 1)
+                store_slot(grid_m - 1, j)

@@ -1,0 +1,58 @@
+"""The PE version: three-level blocking + collective sharing (Sec III).
+
+Algorithm 1 verbatim: B is the reside matrix (outermost N and K loops),
+and for each ``i`` the C and A blocks stream through the cluster while
+the eight-step strip multiplication updates C via register
+communication.  All transfers use ``PE_MODE`` with the instinctive
+thread (u, v) -> block (u, v) mapping.
+"""
+
+from __future__ import annotations
+
+from repro.arch.core_group import CoreGroup
+from repro.arch.memory import MatrixHandle
+from repro.core.mapping import PEMapping
+from repro.core.params import BlockingParams
+from repro.core.sharing import Scheme
+from repro.core.variants.base import GEMMVariant, VariantTraits
+
+__all__ = ["PEVariant"]
+
+
+class PEVariant(GEMMVariant):
+    """Three-level blocking over PE_MODE transfers."""
+
+    traits = VariantTraits(
+        name="PE", ac_mode="PE", shared=True, double_buffered=False, kernel="naive"
+    )
+    scheme = Scheme.PE
+    mapping_cls = PEMapping
+
+    def default_params(self) -> BlockingParams:
+        return BlockingParams.paper_single()
+
+    def run(
+        self,
+        cg: CoreGroup,
+        a: MatrixHandle,
+        b: MatrixHandle,
+        c: MatrixHandle,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        params: BlockingParams | None = None,
+    ) -> None:
+        params = params or self.default_params()
+        if params.double_buffered:
+            raise ValueError(f"{self.traits.name} is a single-buffered variant")
+        mapping = self.mapping_cls(params)
+        grid_m, grid_n, grid_k = self.prepare(cg, mapping, params, a, b, c)
+        for j in range(grid_n):
+            for l in range(grid_k):
+                mapping.load_b(cg, b, l, j)
+                for i in range(grid_m):
+                    mapping.load_a(cg, a, i, l)
+                    mapping.load_c(cg, c, i, j)
+                    if l == 0:
+                        self.scale_c(cg, "C", beta)
+                    self.strip_multiply(cg, self.scheme, alpha)
+                    mapping.store_c(cg, c, i, j)

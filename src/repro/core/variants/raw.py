@@ -1,0 +1,113 @@
+"""The RAW version: the paper's straightforward baseline (Sec V).
+
+"A straightforward implementation based on a simple N-M-K variant of
+the triple-nested loop, where C is partitioned to thread-level blocks
+and evenly assigned to the 64 threads to update, and matrix elements of
+A and B are fetched through DMA in PE_MODE."
+
+Each thread owns an (m/8) x (n/8) panel of C and works through it in
+LDM-sized tiles, fetching its own A and B tiles with no inter-CPE
+sharing — so the same A panel is fetched by all eight threads of a mesh
+row and the same B panel by all eight threads of a mesh column, an
+8x traffic blow-up that makes RAW memory-bound.  The paper does not
+pin the tile sizes; :func:`RawVariant.tile_geometry` documents the
+natural choice (the largest 128 B-aligned tiles below the classic 48
+cap that divide the panel) and the perf model reuses it, so the
+functional and timed executions agree by construction.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedShapeError
+from repro.arch.core_group import CoreGroup
+from repro.arch.memory import MatrixHandle
+from repro.core.kernel_functional import tile_multiply
+from repro.core.params import GRID, BlockingParams
+from repro.core.variants.base import GEMMVariant, VariantTraits, check_gemm_shapes
+
+__all__ = ["RawVariant", "pick_tile"]
+
+#: cap on tile sides, the classic LDM-friendly square (48^2 x 3 doubles
+#: = 54 KB < 64 KB).
+TILE_CAP = 48
+
+
+def pick_tile(dim: int, granule: int, cap: int = TILE_CAP) -> int:
+    """Largest multiple of ``granule`` <= ``cap`` that divides ``dim``."""
+    if dim <= 0 or dim % granule != 0:
+        raise UnsupportedShapeError(
+            f"dimension {dim} is not a positive multiple of {granule}"
+        )
+    for t in range(min(cap, dim) - min(cap, dim) % granule, 0, -granule):
+        if dim % t == 0:
+            return t
+    raise UnsupportedShapeError(f"no {granule}-aligned tile divides {dim}")
+
+
+class RawVariant(GEMMVariant):
+    """Per-thread tiled triple loop with no data sharing."""
+
+    traits = VariantTraits(
+        name="RAW", ac_mode="PE", shared=False, double_buffered=False, kernel="naive"
+    )
+
+    def default_params(self) -> BlockingParams:
+        # RAW ignores the three-level parameters; kept for API symmetry.
+        return BlockingParams.paper_single()
+
+    @staticmethod
+    def tile_geometry(m: int, n: int, k: int) -> tuple[int, int, int]:
+        """(tM, tN, tK) of the per-thread LDM tiles.
+
+        tM and tK obey the 128 B DMA granule (multiples of 16); tN only
+        needs the register tile's multiple of 4.
+        """
+        if m % GRID or n % GRID:
+            raise UnsupportedShapeError(
+                f"RAW partitions C across the {GRID}x{GRID} grid; "
+                f"m={m}, n={n} must be multiples of {GRID}"
+            )
+        t_m = pick_tile(m // GRID, 16)
+        t_n = pick_tile(n // GRID, 4)
+        t_k = pick_tile(k, 16)
+        return t_m, t_n, t_k
+
+    def run(
+        self,
+        cg: CoreGroup,
+        a: MatrixHandle,
+        b: MatrixHandle,
+        c: MatrixHandle,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        params: BlockingParams | None = None,
+    ) -> None:
+        m, n, k = check_gemm_shapes(a, b, c)
+        t_m, t_n, t_k = self.tile_geometry(m, n, k)
+        panel_m, panel_n = m // GRID, n // GRID
+        cg.reset_cpes()
+        cg.mpe.spawn(cg.spec.n_cpes)
+        for cpe in cg.cpes():
+            cpe.ldm.alloc("A", (t_m, t_k))
+            cpe.ldm.alloc("B", (t_k, t_n))
+            cpe.ldm.alloc("C", (t_m, t_n))
+
+        for coord in cg.mesh.coords():
+            cpe = cg.cpe(coord)
+            buf_a = cpe.ldm.get("A")
+            buf_b = cpe.ldm.get("B")
+            buf_c = cpe.ldm.get("C")
+            row0 = coord.row * panel_m
+            col0 = coord.col * panel_n
+            for ti in range(panel_m // t_m):
+                for tj in range(panel_n // t_n):
+                    r = row0 + ti * t_m
+                    s = col0 + tj * t_n
+                    cg.dma.pe_get(c, r, s, t_m, t_n, buf_c)
+                    if beta != 1.0:
+                        buf_c.data *= beta
+                    for kk in range(k // t_k):
+                        cg.dma.pe_get(a, r, kk * t_k, t_m, t_k, buf_a)
+                        cg.dma.pe_get(b, kk * t_k, s, t_k, t_n, buf_b)
+                        tile_multiply(buf_c.data, buf_a.data, buf_b.data, alpha)
+                    cg.dma.pe_put(c, r, s, t_m, t_n, buf_c)

@@ -1,0 +1,28 @@
+"""The ROW version: PE plus the mixed-mode data-thread mapping (Sec IV-A).
+
+A and C travel in ``ROW_MODE`` (higher sustained bandwidth, interleaved
+Figure 5 distribution); B stays in ``PE_MODE`` with its remapped
+layout; the register broadcast directions swap accordingly (A along
+columns, B along rows).  The loop structure is unchanged from
+Algorithm 1 — the paper stresses that only the communication pattern
+needs adjusting.
+"""
+
+from __future__ import annotations
+
+from repro.core.mapping import RowMapping
+from repro.core.sharing import Scheme
+from repro.core.variants.base import VariantTraits
+from repro.core.variants.pe import PEVariant
+
+__all__ = ["RowVariant"]
+
+
+class RowVariant(PEVariant):
+    """Three-level blocking over the mixed ROW/PE mapping."""
+
+    traits = VariantTraits(
+        name="ROW", ac_mode="ROW", shared=True, double_buffered=False, kernel="naive"
+    )
+    scheme = Scheme.ROW
+    mapping_cls = RowMapping

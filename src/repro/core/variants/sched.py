@@ -1,0 +1,23 @@
+"""The SCHED version: DB plus the scheduled assembly kernel (Sec IV-C).
+
+Instruction scheduling changes *when* the arithmetic happens, not what
+it computes, so the functional execution is DB's; the traits select the
+``scheduled`` kernel class, which the performance models resolve to the
+Algorithm 3 cycle profile from :mod:`repro.isa`.
+"""
+
+from __future__ import annotations
+
+from repro.core.variants.base import VariantTraits
+from repro.core.variants.db import DoubleBufferedVariant
+
+__all__ = ["ScheduledVariant"]
+
+
+class ScheduledVariant(DoubleBufferedVariant):
+    """DB with the hand-scheduled microkernel."""
+
+    traits = VariantTraits(
+        name="SCHED", ac_mode="ROW", shared=True, double_buffered=True,
+        kernel="scheduled",
+    )

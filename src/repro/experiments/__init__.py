@@ -1,0 +1,38 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each module exposes a ``run()`` returning a structured result and a
+``render()`` producing the text table the paper's figure corresponds
+to.  The :mod:`repro.experiments.runner` CLI (also reachable as
+``python -m repro.experiments``) runs any subset and can regenerate
+EXPERIMENTS.md.
+"""
+
+from repro.experiments import (
+    ablations,
+    cache_ablation,
+    multi_cg_scaling,
+    numerics,
+    fig4_dma_bandwidth,
+    fig6_variants,
+    fig7_shapes,
+    future_hw,
+    hpl_projection,
+    robustness,
+    sched_profile,
+    table_blocksize,
+)
+
+__all__ = [
+    "fig4_dma_bandwidth",
+    "fig6_variants",
+    "fig7_shapes",
+    "table_blocksize",
+    "sched_profile",
+    "ablations",
+    "cache_ablation",
+    "multi_cg_scaling",
+    "hpl_projection",
+    "robustness",
+    "numerics",
+    "future_hw",
+]

@@ -1,0 +1,310 @@
+"""A1-A4 — ablations of the design choices DESIGN.md calls out.
+
+- **A1 reside matrix**: the paper keeps B resident in LDM (Algorithm 1's
+  N-K-M nest).  Alternatives re-derive the Sec III-C traffic formula
+  with A or C resident; B-resident wins because ``bK`` is the largest
+  block dimension.
+- **A2 register tile shape**: 4x4 vs the other feasible tiles.  For
+  each tile the automatic scheduler builds and schedules the iteration
+  body; throughput collapses when the operand loads (``rM + rN`` per
+  iteration) outnumber the ``vmad`` slots (``rM * rN``) or the budget
+  ``rM*rN + rM + rN < 32`` fails.
+- **A3 bK = 2*bN**: sweeping the split under a fixed LDM budget shows
+  the bandwidth-reduction optimum at ratio 2, as derived in Sec III-C1.
+- **A4 double-buffer pN**: the LDM accounting that forces pN from 48
+  to 32 when A and C get second buffers (Sec IV-B).
+- **A7 broadcast sharing vs Cannon's algorithm**: the classic
+  skew-and-shift mesh GEMM, implemented exactly
+  (:mod:`repro.core.variants.cannon`), loses on this hardware because
+  every CPE must *send* as well as receive each step — the per-iteration
+  communication (8 receives + 8 sends) overflows the secondary pipe's
+  16 dual-issue slots, starving the FP pipe, and the initial skew adds
+  pure-communication rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import model
+from repro.core.params import BlockingParams
+from repro.errors import BlockingError
+from repro.isa.instructions import Instr, addl, lddec, vldr, vmad
+from repro.isa.kernels import scheduled_pipeline
+from repro.isa.scheduler import list_schedule
+from repro.utils.format import Table
+
+__all__ = [
+    "reside_matrix_traffic",
+    "render_reside_matrix",
+    "register_tile_throughput",
+    "render_register_tiles",
+    "bk_bn_split_sweep",
+    "render_split_sweep",
+    "double_buffer_ldm",
+    "render_double_buffer_ldm",
+    "cannon_comparison",
+    "render_cannon",
+]
+
+
+# -- A1: reside matrix -------------------------------------------------------
+
+
+def reside_matrix_traffic(
+    m: int, n: int, k: int, b_m: int, b_n: int, b_k: int
+) -> dict[str, float]:
+    """Elements moved per flop-pair for each choice of resident matrix.
+
+    Expressed as the asymptotic denominator of S (smaller is better):
+
+    - B resident (paper): C moves 2K times, A moves N times ->
+      ``2/bK + 1/bN``;
+    - A resident: C moves 2K times, B moves M times -> ``2/bK + 1/bM``;
+    - C resident: A moves N times, B moves M times -> ``1/bN + 1/bM``
+      (C moves once, amortized away).
+    """
+    del m, n, k  # asymptotic forms
+    return {
+        "B (paper)": 2.0 / b_k + 1.0 / b_n,
+        "A": 2.0 / b_k + 1.0 / b_m,
+        "C": 1.0 / b_n + 1.0 / b_m,
+    }
+
+
+def render_reside_matrix() -> Table:
+    p = BlockingParams.paper_double()
+    traffic = reside_matrix_traffic(9216, 9216, 9216, p.b_m, p.b_n, p.b_k)
+    table = Table(
+        ["resident matrix", "traffic denominator", "S = 2/denom"],
+        title="A1 — reside-matrix choice at (bM,bN,bK)=(128,256,768)",
+    )
+    for name, denom in traffic.items():
+        table.add_row([name, f"{denom:.5f}", 2.0 / denom])
+    return table
+
+
+# -- A2: register tile shape ------------------------------------------------
+
+
+def _generic_iteration(r_m: int, r_n: int) -> list[Instr]:
+    """One unordered iteration body for an ``r_m x r_n`` register tile."""
+    body: list[Instr] = []
+    for i in range(r_m):
+        body.append(vldr(f"rA{i}", "ldmA"))
+    for j in range(r_n):
+        body.append(lddec(f"rB{j}", "ldmB"))
+    for i in range(r_m):
+        for j in range(r_n):
+            reg = f"rC{i}_{j}"
+            body.append(vmad(reg, f"rA{i}", f"rB{j}", reg))
+    body.append(addl("ldmA", "PM", "ldmA"))
+    body.append(addl("ldmB", "two", "ldmB"))
+    return body
+
+
+@dataclass(frozen=True)
+class TileThroughput:
+    r_m: int
+    r_n: int
+    feasible: bool
+    registers: int
+    reduction: float
+    cycles_per_iteration: float | None
+    flops_per_cycle: float | None
+
+
+def register_tile_throughput(
+    shapes: tuple[tuple[int, int], ...] = ((4, 4), (2, 8), (8, 2), (2, 4), (5, 4), (1, 16), (6, 4)),
+) -> list[TileThroughput]:
+    pipe = scheduled_pipeline()
+    out = []
+    for r_m, r_n in shapes:
+        budget = model.register_budget(r_m, r_n)
+        feasible = model.register_fits(r_m, r_n)
+        cycles = flops = None
+        if feasible:
+            body = list_schedule(_generic_iteration(r_m, r_n))
+            cycles = pipe.steady_state_cycles(body)
+            flops = 8.0 * r_m * r_n / cycles
+        out.append(
+            TileThroughput(
+                r_m=r_m, r_n=r_n, feasible=feasible, registers=budget,
+                reduction=model.register_bandwidth_reduction(r_m, r_n),
+                cycles_per_iteration=cycles, flops_per_cycle=flops,
+            )
+        )
+    return out
+
+
+def render_register_tiles() -> Table:
+    table = Table(
+        ["tile", "registers", "feasible", "LDM reduction", "cycles/iter", "flops/cycle"],
+        title="A2 — register tile shapes (auto-scheduled; peak is 8 flops/cycle)",
+    )
+    for t in register_tile_throughput():
+        table.add_row([
+            f"{t.r_m}x{t.r_n}",
+            t.registers,
+            "yes" if t.feasible else "no (>31)",
+            t.reduction,
+            "-" if t.cycles_per_iteration is None else f"{t.cycles_per_iteration:.1f}",
+            "-" if t.flops_per_cycle is None else f"{t.flops_per_cycle:.2f}",
+        ])
+    # the paper's hand schedule shows 4x4's true optimum, which the
+    # greedy list scheduler does not reach — 4x4 is the only shape that
+    # can sustain one vmad per cycle while also maximising LDM reuse
+    from repro.isa.kernels import scheduled_iteration
+
+    hand = scheduled_pipeline().steady_state_cycles(scheduled_iteration())
+    table.add_row([
+        "4x4 (hand, Alg. 3)", model.register_budget(4, 4), "yes",
+        model.register_bandwidth_reduction(4, 4), f"{hand:.1f}",
+        f"{8.0 * 16 / hand:.2f}",
+    ])
+    return table
+
+
+# -- A3: bK = 2*bN ----------------------------------------------------------
+
+
+def bk_bn_split_sweep(
+    budget: float = 1024.0, ratios: tuple[float, ...] = (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 8.0)
+) -> list[tuple[float, float, float, float]]:
+    """Sweep ``bK/bN`` under the budget ``bK + 2*bN = budget``.
+
+    Returns (ratio, bK, bN, S) rows; S peaks at ratio 2.
+    """
+    rows = []
+    for ratio in ratios:
+        b_n = budget / (ratio + 2.0)
+        b_k = ratio * b_n
+        rows.append((ratio, b_k, b_n, model.bandwidth_reduction(b_n, b_k)))
+    return rows
+
+
+def render_split_sweep() -> Table:
+    table = Table(
+        ["bK/bN", "bK", "bN", "S"],
+        title="A3 — bandwidth reduction under fixed budget bK + 2*bN "
+              "(optimum at bK = 2*bN, Sec III-C1)",
+    )
+    for ratio, b_k, b_n, s in bk_bn_split_sweep():
+        table.add_row([ratio, b_k, b_n, s])
+    return table
+
+
+# -- A4: double-buffer pN ------------------------------------------------------
+
+
+def double_buffer_ldm(
+    p_n_values: tuple[int, ...] = (16, 32, 48, 64), p_m: int = 16, p_k: int = 96
+) -> list[tuple[int, int, bool, int, bool]]:
+    """(pN, single-buffered doubles, fits, double-buffered doubles, fits)."""
+    rows = []
+    for p_n in p_n_values:
+        try:
+            single = BlockingParams(p_m, p_n, p_k, double_buffered=False)
+            s_doubles, s_fits = single.ldm_doubles_per_cpe, single.fits()
+        except BlockingError:  # pragma: no cover - p_n values are valid
+            s_doubles, s_fits = -1, False
+        double = BlockingParams(p_m, p_n, p_k, double_buffered=True)
+        rows.append((p_n, s_doubles, s_fits, double.ldm_doubles_per_cpe, double.fits()))
+    return rows
+
+
+# -- A7: broadcast sharing vs Cannon -----------------------------------------
+
+
+def _cannon_iteration() -> list[Instr]:
+    """One 16-vmad iteration under Cannon dataflow: every CPE receives
+    its next operands AND forwards its current ones."""
+    from repro.isa.instructions import Unit, getc, getr
+
+    body: list[Instr] = []
+    for i in range(4):
+        body.append(getr(f"rA{i}"))
+        body.append(Instr("putr", None, (f"rA{i}",), Unit.SECONDARY, "regcomm"))
+    for j in range(4):
+        body.append(getc(f"rB{j}"))
+        body.append(Instr("putc", None, (f"rB{j}",), Unit.SECONDARY, "regcomm"))
+    for i in range(4):
+        for j in range(4):
+            reg = f"rC{i}_{j}"
+            body.append(vmad(reg, f"rA{i}", f"rB{j}", reg))
+    body.append(addl("ldmA", "PM", "ldmA"))
+    body.append(addl("ldmB", "two", "ldmB"))
+    return body
+
+
+def cannon_comparison() -> dict:
+    """Measure both schemes: mesh traffic (functional) and pipe cycles.
+
+    Traffic comes from running one CG-block multiply of each variant on
+    the device model and reading the register-communication counters;
+    cycles come from list-scheduling each dataflow's iteration body on
+    the dual-issue pipeline.
+    """
+    import numpy as np
+
+    from repro.arch.core_group import CoreGroup
+    from repro.core.params import BlockingParams
+    from repro.core.variants.cannon import CannonVariant
+    from repro.core.variants.pe import PEVariant
+    from repro.isa.kernels import scheduled_iteration
+    from repro.workloads.matrices import gemm_operands
+
+    params = BlockingParams.small(double_buffered=False)
+    traffic = {}
+    for name, variant in (("broadcast", PEVariant()), ("cannon", CannonVariant())):
+        cg = CoreGroup()
+        m, n, k = params.b_m, params.b_n, params.b_k
+        a, b, c = gemm_operands(m, n, k, seed=1)
+        ha, hb, hc = (cg.memory.store(x, arr) for x, arr in zip("ABC", (a, b, c)))
+        variant.run(cg, ha, hb, hc, params=params)
+        traffic[name] = cg.regcomm.stats.bytes_moved
+
+    pipe = scheduled_pipeline()
+    broadcast_cycles = pipe.steady_state_cycles(scheduled_iteration())
+    cannon_cycles = pipe.steady_state_cycles(list_schedule(_cannon_iteration()))
+    return {
+        "traffic_bytes": traffic,
+        "broadcast_cycles": broadcast_cycles,
+        "cannon_cycles": cannon_cycles,
+        "kernel_slowdown": cannon_cycles / broadcast_cycles,
+    }
+
+
+def render_cannon() -> Table:
+    data = cannon_comparison()
+    table = Table(
+        ["quantity", "broadcast (paper)", "Cannon"],
+        title="A7 — collective broadcast sharing vs Cannon's algorithm "
+              "(one scaled-down CG block; cycles per 16-vmad iteration)",
+    )
+    table.add_row([
+        "mesh traffic per CG block (KB)",
+        f"{data['traffic_bytes']['broadcast'] / 1024:.0f}",
+        f"{data['traffic_bytes']['cannon'] / 1024:.0f}",
+    ])
+    table.add_row([
+        "steady cycles / iteration",
+        f"{data['broadcast_cycles']:.1f}",
+        f"{data['cannon_cycles']:.1f}",
+    ])
+    table.add_row([
+        "kernel slowdown vs paper scheme", "1.00x",
+        f"{data['kernel_slowdown']:.2f}x",
+    ])
+    return table
+
+
+def render_double_buffer_ldm() -> Table:
+    table = Table(
+        ["pN", "single buf doubles", "fits", "double buf doubles", "fits"],
+        title="A4 — LDM accounting: why double buffering shrinks pN 48 -> 32 "
+              "(budget 8192 doubles)",
+    )
+    for p_n, s_d, s_f, d_d, d_f in double_buffer_ldm():
+        table.add_row([p_n, s_d, "yes" if s_f else "NO", d_d, "yes" if d_f else "NO"])
+    return table

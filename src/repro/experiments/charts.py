@@ -1,0 +1,65 @@
+"""ASCII-chart views of the figure experiments, plus CSV export.
+
+``python -m repro.experiments`` prints tables; the functions here give
+the *figure* form of Figures 4, 6 and 7 (terminal line charts) and a
+CSV writer so users with plotting tools can regenerate the actual
+graphics.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.experiments import fig4_dma_bandwidth, fig6_variants, fig7_shapes
+from repro.utils.asciichart import line_chart
+
+__all__ = ["fig4_chart", "fig6_chart", "fig7_chart", "to_csv"]
+
+
+def fig4_chart(width: int = 64, height: int = 14) -> str:
+    result = fig4_dma_bandwidth.run()
+    chart = line_chart(
+        result.sizes,
+        {"PE_MODE": result.pe_bandwidth, "ROW_MODE": result.row_bandwidth},
+        width=width, height=height,
+        y_label="GB/s", x_label="m=k",
+    )
+    return "Figure 4 — sustained DMA bandwidth\n" + chart
+
+
+def fig6_chart(width: int = 64, height: int = 18) -> str:
+    result = fig6_variants.run()
+    chart = line_chart(
+        result.sizes,
+        {name: result.gflops[name] for name in fig6_variants.VARIANT_ORDER},
+        width=width, height=height,
+        y_label="Gflop/s", x_label="m=n=k",
+    )
+    return "Figure 6 — the five DGEMM versions\n" + chart
+
+
+def fig7_chart(width: int = 64, height: int = 12) -> str:
+    result = fig7_shapes.run()
+    by_shape = result.by_shape()
+    varied = (1536, 3072, 6144, 12288)
+    series = {
+        "vary m": [by_shape[(v, 9216, 9216)] for v in varied],
+        "vary n": [by_shape[(9216, v, 9216)] for v in varied],
+        "vary k": [by_shape[(9216, 9216, v)] for v in varied],
+    }
+    chart = line_chart(
+        varied, series, width=width, height=height,
+        y_label="Gflop/s", x_label="varied dimension",
+    )
+    return "Figure 7 — shape sensitivity (others fixed at 9216)\n" + chart
+
+
+def to_csv(xs, series: dict, x_name: str = "x") -> str:
+    """Render series as CSV text (for external plotting)."""
+    out = io.StringIO()
+    names = list(series)
+    out.write(",".join([x_name, *names]) + "\n")
+    for idx, x in enumerate(xs):
+        row = [str(x)] + [repr(float(series[name][idx])) for name in names]
+        out.write(",".join(row) + "\n")
+    return out.getvalue()

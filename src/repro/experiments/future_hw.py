@@ -1,0 +1,112 @@
+"""E9 (extension) — what-if analysis for future SW-series processors.
+
+The paper's conclusion: "... so that the work can be smoothly extended
+to ... future SW series processors."  With the methodology fully
+mechanized (constraint model + auto-tuner + performance model), the
+extension is a function call: change a hardware parameter, re-derive
+the blocking, re-predict the performance.
+
+Scenarios modelled (per-CG, paper kernel):
+
+- **LDM scaling** (the successor SW26010-Pro quadrupled the scratchpad
+  to 256 KB): larger tiles raise the bandwidth-reduction ratio S and
+  buy headroom against slower relative memory;
+- **DMA bandwidth scaling**: where the 34 GB/s channel would start to
+  starve the double-buffered kernel (ties into the crossover analysis
+  of :mod:`repro.perf.bottleneck`);
+- **clock scaling at fixed bandwidth**: the machine-balance squeeze —
+  faster cores need bigger tiles to stay compute-bound.
+
+All numbers come from the same frozen calibration as Figure 6; only
+the stated hardware parameter changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.arch.config import CPESpec, DMASpec, SW26010Spec, DEFAULT_SPEC
+from repro.perf.estimator import Estimator
+from repro.tuning.search import autotune
+from repro.utils.format import Table
+
+__all__ = ["Scenario", "run", "render", "LDM_SCALES", "BANDWIDTH_SCALES",
+           "CLOCK_SCALES"]
+
+LDM_SCALES = (1, 2, 4)          # 64 KB (SW26010) .. 256 KB (SW26010-Pro class)
+BANDWIDTH_SCALES = (0.5, 1.0, 2.0)
+CLOCK_SCALES = (1.0, 1.55)      # 1.45 GHz -> ~2.25 GHz (Pro class)
+SIZE = 9216
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One hardware what-if, tuned and predicted."""
+
+    label: str
+    spec: SW26010Spec
+    best_blocking: tuple[int, int, int]
+    ldm_doubles_used: int
+    gflops: float
+    efficiency: float
+
+
+def _scenario(label: str, spec: SW26010Spec) -> Scenario:
+    result = autotune(SIZE, SIZE, SIZE, variant="SCHED", spec=spec,
+                      p_n_step=16, p_k_step=32, top=1)
+    best = result.best.params
+    pm = -(-SIZE // best.b_m) * best.b_m
+    pn = -(-SIZE // best.b_n) * best.b_n
+    pk = -(-SIZE // best.b_k) * best.b_k
+    estimate = Estimator(spec).estimate("SCHED", pm, pn, pk, params=best)
+    return Scenario(
+        label=label,
+        spec=spec,
+        best_blocking=(best.p_m, best.p_n, best.p_k),
+        ldm_doubles_used=best.ldm_doubles_per_cpe,
+        gflops=2.0 * SIZE**3 / estimate.seconds / 1e9,
+        efficiency=2.0 * SIZE**3 / estimate.seconds / spec.peak_flops,
+    )
+
+
+def run() -> list[Scenario]:
+    base = DEFAULT_SPEC
+    scenarios = []
+    for scale in LDM_SCALES:
+        spec = replace(
+            base, cpe=CPESpec(ldm_bytes=scale * 64 * 1024)
+        )
+        scenarios.append(_scenario(f"LDM x{scale} ({scale * 64} KB)", spec))
+    for scale in BANDWIDTH_SCALES:
+        if scale == 1.0:
+            continue  # the baseline is the LDM x1 row
+        spec = replace(
+            base, dma=DMASpec(peak_bandwidth=scale * 34e9)
+        )
+        scenarios.append(_scenario(f"DMA bandwidth x{scale:g}", spec))
+    for scale in CLOCK_SCALES:
+        if scale == 1.0:
+            continue
+        spec = replace(base, clock_hz=scale * 1.45e9)
+        scenarios.append(_scenario(f"clock x{scale:g} ({scale * 1.45:.2f} GHz)", spec))
+    return scenarios
+
+
+def render(scenarios: list[Scenario] | None = None) -> Table:
+    scenarios = scenarios or run()
+    table = Table(
+        ["scenario", "peak Gflop/s", "tuned (pM,pN,pK)", "LDM doubles",
+         "Gflop/s @9216^3", "efficiency"],
+        title="E9 — future SW-series what-ifs (paper kernel, frozen "
+              "calibration, auto-tuned blocking per scenario)",
+    )
+    for s in scenarios:
+        table.add_row([
+            s.label,
+            s.spec.peak_flops / 1e9,
+            f"{s.best_blocking}",
+            s.ldm_doubles_used,
+            s.gflops,
+            f"{100 * s.efficiency:.1f}%",
+        ])
+    return table

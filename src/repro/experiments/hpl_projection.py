@@ -1,0 +1,100 @@
+"""E8 (extension) — projecting the paper's kernel into an HPL run.
+
+The introduction motivates DGEMM through HPL ("a performance-critical
+basis in the HPL package").  This experiment makes the connection
+quantitative on one CG: enumerate the trailing-update DGEMM sequence of
+an HPL factorization, price every update with the performance model
+(padded to the CG block factors, exactly as a real port would), and
+report
+
+- the fraction of HPL's flops that are DGEMM,
+- the flop-weighted DGEMM rate over the whole sequence (early huge
+  updates run near 706 Gflop/s; late skinny ones pay the Figure 7
+  small-m penalty),
+- the resulting ceiling on single-CG HPL efficiency if every non-GEMM
+  flop were free — context for TaihuLight's measured HPL/peak ratio of
+  74% (93/125.4 Pflops, Sec I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import SW26010Spec, DEFAULT_SPEC
+from repro.core.params import BlockingParams
+from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.perf.estimator import Estimator
+from repro.utils.format import Table
+from repro.workloads.hpl import HPLTrace, hpl_trace
+
+__all__ = ["HPLProjection", "run", "render"]
+
+
+#: assumed rate of the non-GEMM work (panel factorization, pivoting,
+#: swaps): latency-bound code on the MPE + CPEs, a few percent of peak.
+PANEL_RATE_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class HPLProjection:
+    trace: HPLTrace
+    gemm_seconds: float
+    weighted_gflops: float
+    hpl_efficiency_ceiling: float
+    hpl_efficiency_projected: float
+
+
+def run(
+    n: int = 15360,
+    nb: int = 768,
+    variant: str = "SCHED",
+    spec: SW26010Spec = DEFAULT_SPEC,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> HPLProjection:
+    trace = hpl_trace(n, nb)
+    estimator = Estimator(spec, calibration)
+    params = BlockingParams.paper_double()
+    gemm_seconds = 0.0
+    for m, n_, k in trace.updates:
+        pm = -(-m // params.b_m) * params.b_m
+        pn = -(-n_ // params.b_n) * params.b_n
+        pk = -(-k // params.b_k) * params.b_k
+        gemm_seconds += estimator.estimate(variant, pm, pn, pk, params=params).seconds
+    weighted = trace.gemm_flops / gemm_seconds / 1e9
+    # if everything but DGEMM were instantaneous:
+    ceiling = trace.total_flops / gemm_seconds / spec.peak_flops
+    other_flops = trace.total_flops - trace.gemm_flops
+    other_seconds = other_flops / (PANEL_RATE_FRACTION * spec.peak_flops)
+    projected = trace.total_flops / (gemm_seconds + other_seconds) / spec.peak_flops
+    return HPLProjection(
+        trace=trace,
+        gemm_seconds=gemm_seconds,
+        weighted_gflops=weighted,
+        hpl_efficiency_ceiling=min(ceiling, 1.0),
+        hpl_efficiency_projected=projected,
+    )
+
+
+def render(result: HPLProjection | None = None) -> Table:
+    result = result or run()
+    trace = result.trace
+    table = Table(
+        ["quantity", "value"],
+        title=f"E8 — HPL projection on one CG (N={trace.n}, NB={trace.nb})",
+    )
+    table.add_row(["trailing updates", len(trace.updates)])
+    table.add_row(["largest / smallest update",
+                   f"{trace.updates[0][0]} / {trace.updates[-1][0]}"])
+    table.add_row(["DGEMM share of HPL flops", f"{100 * trace.gemm_fraction:.1f}%"])
+    table.add_row(["flop-weighted DGEMM rate", f"{result.weighted_gflops:.1f} Gflop/s"])
+    table.add_row(["DGEMM wall time", f"{result.gemm_seconds:.2f} s"])
+    table.add_row(["HPL eff. ceiling (panels overlapped via lookahead)",
+                   f"{100 * result.hpl_efficiency_ceiling:.1f}%"])
+    table.add_row([
+        f"HPL eff., serial panels at {100 * PANEL_RATE_FRACTION:.0f}% of peak "
+        "(no lookahead)",
+        f"{100 * result.hpl_efficiency_projected:.1f}%",
+    ])
+    table.add_row(["TaihuLight measured HPL/peak (Sec I; full machine, "
+                   "incl. network)", "74.2%"])
+    return table

@@ -1,0 +1,69 @@
+"""E7 (extension) — scaling the paper's kernel to all four core groups.
+
+The paper stops at one CG (742.4 Gflop/s peak); the chip has four, and
+HPL uses them all.  This experiment models the block-column-parallel
+decomposition of :mod:`repro.multi.dgemm4` across the Figure 6 size
+sweep, reporting speedup and parallel efficiency, plus the sensitivity
+of the conclusion to the assumed NoC bandwidth (which the paper does
+not publish).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.multi.dgemm4 import MultiCGEstimate, estimate_multi_cg
+from repro.multi.noc import NoC
+from repro.utils.format import Table
+
+__all__ = ["MultiCGScalingResult", "run", "render"]
+
+#: sizes whose quarter-panels are multiples of bN = 256.
+SIZES = (3072, 6144, 9216, 12288, 15360)
+#: NoC bandwidth assumptions for the sensitivity sweep (B/s).
+NOC_BANDWIDTHS = (8e9, 16e9, 32e9)
+
+
+@dataclass(frozen=True)
+class MultiCGScalingResult:
+    sizes: tuple[int, ...]
+    estimates: tuple[MultiCGEstimate, ...]            # at the default NoC
+    sensitivity: dict  # noc_bw -> tuple of parallel efficiencies
+
+    def efficiency_at(self, size: int) -> float:
+        for s, est in zip(self.sizes, self.estimates):
+            if s == size:
+                return est.parallel_efficiency
+        raise KeyError(size)
+
+
+def run(sizes: tuple[int, ...] = SIZES) -> MultiCGScalingResult:
+    estimates = tuple(estimate_multi_cg(s, s, s) for s in sizes)
+    sensitivity = {}
+    for bw in NOC_BANDWIDTHS:
+        noc = NoC(link_bandwidth=bw)
+        sensitivity[bw] = tuple(
+            estimate_multi_cg(s, s, s, noc=noc).parallel_efficiency for s in sizes
+        )
+    return MultiCGScalingResult(
+        sizes=tuple(sizes), estimates=estimates, sensitivity=sensitivity
+    )
+
+
+def render(result: MultiCGScalingResult | None = None) -> Table:
+    result = result or run()
+    table = Table(
+        ["m=n=k", "4-CG Gflop/s", "speedup", "efficiency",
+         *(f"eff @NoC {bw / 1e9:.0f} GB/s" for bw in NOC_BANDWIDTHS)],
+        title="E7 — four-core-group scaling of the SCHED kernel "
+              "(extension; NoC bandwidth is an assumption)",
+    )
+    for idx, (size, est) in enumerate(zip(result.sizes, result.estimates)):
+        table.add_row([
+            size,
+            est.gflops,
+            f"{est.speedup_vs_single_cg:.2f}x",
+            f"{100 * est.parallel_efficiency:.1f}%",
+            *(f"{100 * result.sensitivity[bw][idx]:.1f}%" for bw in NOC_BANDWIDTHS),
+        ])
+    return table

@@ -1,0 +1,106 @@
+"""Experiment CLI: run any subset of E1-E5/A1-A4 and print the tables.
+
+Usage::
+
+    python -m repro.experiments [fig4] [fig6] [fig7] [blocksize] [sched]
+                                [ablations] [all]
+
+The same entry point backs the ``repro-experiments`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    cache_ablation,
+    multi_cg_scaling,
+    numerics,
+    fig4_dma_bandwidth,
+    fig6_variants,
+    fig7_shapes,
+    future_hw,
+    hpl_projection,
+    robustness,
+    sched_profile,
+    table_blocksize,
+)
+
+__all__ = ["main", "run_all", "EXPERIMENTS"]
+
+
+def _render_fig6() -> str:
+    result = fig6_variants.run()
+    return "\n\n".join(
+        [fig6_variants.render(result).render(),
+         fig6_variants.render_headlines(result).render()]
+    )
+
+
+def _render_charts() -> str:
+    from repro.experiments import charts
+
+    return "\n\n".join(
+        [charts.fig4_chart(), charts.fig6_chart(), charts.fig7_chart()]
+    )
+
+
+def _render_ablations() -> str:
+    return "\n\n".join(
+        [
+            ablations.render_reside_matrix().render(),
+            ablations.render_register_tiles().render(),
+            ablations.render_split_sweep().render(),
+            ablations.render_double_buffer_ldm().render(),
+            ablations.render_cannon().render(),
+        ]
+    )
+
+
+EXPERIMENTS: dict[str, Callable[[], str]] = {
+    "fig4": lambda: fig4_dma_bandwidth.render().render(),
+    "fig6": _render_fig6,
+    "fig7": lambda: fig7_shapes.render().render(),
+    "blocksize": lambda: table_blocksize.render().render(),
+    "sched": lambda: sched_profile.render().render(),
+    "ablations": _render_ablations,
+    "cache": lambda: cache_ablation.render().render(),
+    "multicg": lambda: multi_cg_scaling.render().render(),
+    "hpl": lambda: hpl_projection.render().render(),
+    "robustness": lambda: robustness.render().render(),
+    "numerics": lambda: numerics.render().render(),
+    "charts": _render_charts,
+    "future": lambda: future_hw.render().render(),
+}
+
+
+def run_all() -> str:
+    """Render every experiment (the body of EXPERIMENTS.md's tables)."""
+    return "\n\n\n".join(EXPERIMENTS[name]() for name in EXPERIMENTS)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        choices=[*EXPERIMENTS, "all"],
+        help="which experiments to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    for name in names:
+        print(EXPERIMENTS[name]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

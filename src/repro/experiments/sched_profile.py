@@ -1,0 +1,111 @@
+"""E5 — Sec IV-C: the instruction-scheduling cycle profile.
+
+Paper: "the whole loop takes 101,858 cycles in total, and vmad takes
+97% of the cycles", for the strip multiplication with
+(pM, pN, pK) = (16, 32, 96).  Plus the Figure 6 implication that the
+scheduled kernel is ~2.14x the unscheduled one (SCHED is +113.9% over
+DB with transfers already hidden).
+
+The numbers here come straight from the dual-issue pipeline simulator
+executing the literal Algorithm 3 stream vs. the naive ordering — no
+calibration constants are involved.  The A5 extension (automatic list
+scheduling, the paper's stated future work) is reported alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.kernels import (
+    MicrokernelSpec,
+    naive_iteration,
+    scheduled_iteration,
+    scheduled_pipeline,
+)
+from repro.isa.profile import KernelProfile, profile_kernel
+from repro.isa.scheduler import list_schedule
+from repro.perf.report import ComparisonRow, comparison_table
+from repro.utils.format import Table
+
+__all__ = ["SchedProfileResult", "run", "render", "PAPER_STRIP_CYCLES",
+           "PAPER_VMAD_OCCUPANCY"]
+
+PAPER_STRIP_CYCLES = 101_858
+PAPER_VMAD_OCCUPANCY = 0.97
+
+
+@dataclass(frozen=True)
+class SchedProfileResult:
+    scheduled: KernelProfile
+    naive: KernelProfile
+    auto_cycles_per_iteration: float
+    hand_cycles_per_iteration: float
+    naive_cycles_per_iteration: float
+
+    @property
+    def speedup(self) -> float:
+        """Kernel speedup of SCHED's stream over the naive stream."""
+        return self.naive.strip_cycles / self.scheduled.strip_cycles
+
+
+def run(spec: MicrokernelSpec | None = None) -> SchedProfileResult:
+    spec = spec or MicrokernelSpec()
+    pipe = scheduled_pipeline()
+    hand_body = scheduled_iteration()
+    naive_body = naive_iteration()
+    auto_body = list_schedule(naive_body)
+    return SchedProfileResult(
+        scheduled=profile_kernel(spec, scheduled=True),
+        naive=profile_kernel(spec, scheduled=False),
+        auto_cycles_per_iteration=pipe.steady_state_cycles(auto_body),
+        hand_cycles_per_iteration=pipe.steady_state_cycles(hand_body),
+        naive_cycles_per_iteration=pipe.steady_state_cycles(naive_body),
+    )
+
+
+def render(result: SchedProfileResult | None = None) -> Table:
+    result = result or run()
+    from repro.isa.kernels import MicrokernelSpec as MKSpec, tile_program
+    from repro.isa.semantics import verify_tile_semantics
+
+    one_tile = MKSpec(p_n=4)
+    sched_ok = not verify_tile_semantics(tile_program(one_tile, True), one_tile.p_k)
+    naive_ok = not verify_tile_semantics(tile_program(one_tile, False), one_tile.p_k)
+    rows = [
+        ComparisonRow(
+            "strip multiplication cycles (scheduled)",
+            float(PAPER_STRIP_CYCLES),
+            float(result.scheduled.strip_cycles),
+        ),
+        ComparisonRow(
+            "vmad occupancy (%)",
+            100 * PAPER_VMAD_OCCUPANCY,
+            100 * result.scheduled.vmad_occupancy,
+        ),
+        ComparisonRow(
+            "kernel speedup, scheduled vs naive",
+            2.139,  # the +113.9% SCHED-over-DB improvement
+            result.speedup,
+        ),
+        ComparisonRow(
+            "steady cycles/iteration, hand schedule (Algorithm 3)",
+            16.0,  # one dual-issue pair per vmad
+            result.hand_cycles_per_iteration,
+        ),
+        ComparisonRow(
+            "steady cycles/iteration, naive ordering",
+            None,
+            result.naive_cycles_per_iteration,
+        ),
+        ComparisonRow(
+            "steady cycles/iteration, automatic list scheduler (A5)",
+            None,
+            result.auto_cycles_per_iteration,
+        ),
+        ComparisonRow(
+            "schedules symbolically verified exact (1.0 = yes)",
+            1.0,
+            1.0 if (sched_ok and naive_ok) else 0.0,
+        ),
+    ]
+    return comparison_table(rows, title="Sec IV-C instruction-scheduling profile")

@@ -1,0 +1,82 @@
+"""E4 — Sec III-C: block-size determination, reproduced numerically.
+
+The paper derives, in order:
+
+1. CG level: ``S = 2/(2/bK + 1/bN)``; sustaining peak requires
+   ``bN > F*W/Bt = 174.7`` (so ``bN >= 175``) and ``bK = 2*bN >= 350``
+   at the optimal split;
+2. thread level: ``pM*pN + pN*pK + pK*pM < 8192`` doubles of LDM, pK a
+   multiple of 16 (128 B DMA transactions), chosen ``(pM, pN, pK) =
+   (16, 48, 96)``;
+3. register level: ``rM*rN + rM + rN < 32``, LDM-register reduction
+   ``2/(1/rM + 1/rN)`` maximised at ``rM = rN = 4``.
+
+Every derived constant is recomputed from the architecture spec and
+compared against the paper's quoted values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import SW26010Spec, DEFAULT_SPEC
+from repro.core import model
+from repro.core.params import BlockingParams
+from repro.perf.report import ComparisonRow, comparison_table
+from repro.utils.format import Table
+
+__all__ = ["BlockSizeResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class BlockSizeResult:
+    min_b_n: float
+    min_b_k: float
+    s_at_paper_blocks: float
+    required_bw_gbs: float
+    ldm_single: int
+    ldm_double: int
+    register_tile: tuple[int, int]
+    register_budget: int
+    register_reduction: float
+
+
+def run(spec: SW26010Spec = DEFAULT_SPEC) -> BlockSizeResult:
+    min_b_n = model.min_block_n(spec)
+    single = BlockingParams.paper_single()
+    double = BlockingParams.paper_double()
+    s = model.bandwidth_reduction(single.b_n, single.b_k)
+    r_m, r_n = model.optimal_register_tile(p_m=16, p_n=double.p_n, spec=spec)
+    return BlockSizeResult(
+        min_b_n=min_b_n,
+        min_b_k=2 * min_b_n,
+        s_at_paper_blocks=s,
+        required_bw_gbs=model.required_bandwidth(s, spec) / 1e9,
+        ldm_single=single.ldm_doubles_per_cpe,
+        ldm_double=double.ldm_doubles_per_cpe,
+        register_tile=(r_m, r_n),
+        register_budget=model.register_budget(r_m, r_n),
+        register_reduction=model.register_bandwidth_reduction(r_m, r_n),
+    )
+
+
+def render(result: BlockSizeResult | None = None,
+           spec: SW26010Spec = DEFAULT_SPEC) -> Table:
+    result = result or run(spec)
+    rows = [
+        ComparisonRow("min bN = F*W/Bt", 175.0, result.min_b_n),
+        ComparisonRow("min bK = 2*bN", 350.0, result.min_b_k),
+        ComparisonRow("LDM doubles, single-buffered (pN=48)", None, result.ldm_single),
+        ComparisonRow("LDM budget (doubles)", 8192.0, float(spec.ldm_doubles)),
+        ComparisonRow("LDM doubles, double-buffered (pN=32)", None, result.ldm_double),
+        ComparisonRow("optimal rM", 4.0, float(result.register_tile[0])),
+        ComparisonRow("optimal rN", 4.0, float(result.register_tile[1])),
+        ComparisonRow("register budget rM*rN+rM+rN", None, float(result.register_budget)),
+        ComparisonRow("LDM-register bandwidth reduction", 4.0, result.register_reduction),
+        ComparisonRow(
+            "required bandwidth at (bN,bK)=(384,768) [GB/s]",
+            None,
+            result.required_bw_gbs,
+        ),
+    ]
+    return comparison_table(rows, title="Sec III-C block-size determination")

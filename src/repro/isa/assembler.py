@@ -1,0 +1,136 @@
+"""A tiny assembler for the CPE instruction subset.
+
+The paper presents Algorithm 3 as an assembly listing; this module
+parses that textual form into :class:`~repro.isa.instructions.Instr`
+streams so kernels can be written (and reviewed) in the paper's own
+notation, and so the hand transcription in
+:func:`repro.isa.kernels.scheduled_iteration` can be *checked* against
+a literal quotation of the listing (see
+``tests/unit/isa/test_assembler.py``).
+
+Syntax, one instruction per statement, ``;`` or newline separated,
+``#`` comments::
+
+    vmad  rC0, rA0, rB0, rC0      # dst, a, b, acc
+    vldr  rA3, ldmA               # load-and-row-broadcast
+    lddec rB3, ldmB               # splat-and-column-broadcast
+    getr  rA2                     # receive from the row network
+    getc  rB1                     # receive from the column network
+    vldd  rA0, ldmA               # plain LDM vector load
+    vstd  rC5, ldmC               # LDM vector store
+    addl  ldmA, PM, ldmA          # integer add: dst = src1 + src2
+    nop
+
+The paper writes ``regA``/``regB`` as stand-ins for the communication
+ops; the assembler accepts them as aliases (``regA`` -> ``vldr``,
+``regB`` -> ``lddec``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PipelineError
+from repro.isa.instructions import (
+    Instr,
+    addl,
+    getc,
+    getr,
+    lddec,
+    nop,
+    vldd,
+    vldr,
+    vmad,
+    vstd,
+)
+
+__all__ = ["assemble", "assemble_line", "disassemble"]
+
+_ALIASES = {"rega": "vldr", "regb": "lddec"}
+_ARITY = {
+    "vmad": 4,
+    "vldr": (1, 2),
+    "lddec": (1, 2),
+    "getr": 1,
+    "getc": 1,
+    "vldd": (1, 2),
+    "vstd": (1, 2),
+    "addl": 3,
+    "nop": 0,
+}
+
+
+def _split_statements(text: str) -> list[str]:
+    statements: list[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0]
+        for stmt in line.split(";"):
+            stmt = stmt.strip()
+            if stmt:
+                statements.append(stmt)
+    return statements
+
+
+def assemble_line(stmt: str) -> Instr:
+    """Parse one statement into an instruction."""
+    parts = stmt.replace(",", " ").split()
+    if not parts:
+        raise PipelineError("empty statement")
+    op = parts[0].lower()
+    op = _ALIASES.get(op, op)
+    args = parts[1:]
+    arity = _ARITY.get(op)
+    if arity is None:
+        raise PipelineError(f"unknown mnemonic {parts[0]!r} in {stmt!r}")
+    if isinstance(arity, tuple):
+        if len(args) not in arity:
+            raise PipelineError(
+                f"{op} takes {arity[0]} or {arity[1]} operands, got "
+                f"{len(args)} in {stmt!r}"
+            )
+    elif len(args) != arity:
+        raise PipelineError(
+            f"{op} takes {arity} operands, got {len(args)} in {stmt!r}"
+        )
+    if op == "vmad":
+        return vmad(args[0], args[1], args[2], args[3])
+    if op == "vldr":
+        return vldr(args[0], args[1] if len(args) > 1 else "ldm")
+    if op == "lddec":
+        return lddec(args[0], args[1] if len(args) > 1 else "ldm")
+    if op == "getr":
+        return getr(args[0])
+    if op == "getc":
+        return getc(args[0])
+    if op == "vldd":
+        return vldd(args[0], args[1] if len(args) > 1 else "ldm")
+    if op == "vstd":
+        return vstd(args[0], args[1] if len(args) > 1 else "ldm")
+    if op == "addl":
+        return addl(args[0], args[1], args[2])
+    return nop()
+
+
+def assemble(text: str) -> list[Instr]:
+    """Parse a multi-statement listing into an instruction stream."""
+    return [assemble_line(stmt) for stmt in _split_statements(text)]
+
+
+def disassemble(program: list[Instr]) -> str:
+    """Render a stream back to assembler text (one per line)."""
+    lines = []
+    for ins in program:
+        if ins.op == "vmad":
+            a, b, acc = ins.srcs
+            lines.append(f"vmad {ins.dst}, {a}, {b}, {acc}")
+        elif ins.op in ("vldr", "lddec", "vldd"):
+            lines.append(f"{ins.op} {ins.dst}, {ins.srcs[0]}")
+        elif ins.op in ("getr", "getc"):
+            lines.append(f"{ins.op} {ins.dst}")
+        elif ins.op == "vstd":
+            lines.append(f"vstd {ins.srcs[0]}, {ins.srcs[1]}")
+        elif ins.op == "addl":
+            lines.append(f"addl {ins.dst}, {', '.join(ins.srcs)}")
+        elif ins.op == "nop":
+            lines.append("nop")
+        else:  # pragma: no cover - vocabulary is closed
+            raise PipelineError(f"cannot disassemble {ins!r}")
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Instruction vocabulary for the CPE pipeline model.
+
+Registers are plain strings (``"rA0"``, ``"rC15"``, ``"ptrA"``); the
+pipeline simulator only needs identity, not contents — the functional
+math lives in :mod:`repro.core`.
+
+Issue units (paper Sec IV-C): the FP pipe executes ``vmad``; the
+secondary pipe executes register communication (``vldr``, ``lddec``,
+``getr``, ``getc``), LDM access (``vldd``, ``vstd``) and integer
+operations (``addl``).  ``nop`` pads the secondary slot, which is
+exactly what the paper inserts to keep the software pipeline in order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import PipelineError
+
+__all__ = [
+    "Unit",
+    "Instr",
+    "vmad",
+    "vldd",
+    "vstd",
+    "vldr",
+    "lddec",
+    "getr",
+    "getc",
+    "addl",
+    "nop",
+    "REGCOMM_OPS",
+    "LDM_OPS",
+]
+
+
+class Unit(enum.Enum):
+    """Issue pipe of an instruction."""
+
+    FP = "fp"
+    SECONDARY = "secondary"
+
+
+#: ops that use the register-communication network.
+REGCOMM_OPS = frozenset({"vldr", "lddec", "getr", "getc"})
+#: ops that touch the LDM.
+LDM_OPS = frozenset({"vldd", "vstd", "vldr", "lddec"})
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One machine instruction: op, destination, sources, issue unit."""
+
+    op: str
+    dst: str | None
+    srcs: tuple[str, ...]
+    unit: Unit
+    #: RAW latency class key into LatencySpec; resolved by the pipeline.
+    latency_class: str
+
+    def __post_init__(self) -> None:
+        if not self.op:
+            raise PipelineError("instruction needs an op name")
+        if self.dst is not None and not self.dst:
+            raise PipelineError("empty destination register name")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [self.op]
+        if self.dst:
+            parts.append(self.dst)
+        parts.extend(self.srcs)
+        return " ".join(parts)
+
+
+def vmad(dst: str, a: str, b: str, acc: str) -> Instr:
+    """Fused multiply-add: ``dst = a*b + acc`` (FP pipe, 6-cycle RAW)."""
+    return Instr("vmad", dst, (a, b, acc), Unit.FP, "vmad")
+
+
+def vldd(dst: str, addr: str = "ldm") -> Instr:
+    """Plain 256-bit LDM vector load (secondary pipe)."""
+    return Instr("vldd", dst, (addr,), Unit.SECONDARY, "ldm_load")
+
+
+def vstd(src: str, addr: str = "ldm") -> Instr:
+    """256-bit LDM vector store (secondary pipe, no consumer latency)."""
+    return Instr("vstd", None, (src, addr), Unit.SECONDARY, "integer")
+
+
+def vldr(dst: str, addr: str = "ldm") -> Instr:
+    """Load 256 bits from LDM and row-broadcast (secondary pipe)."""
+    return Instr("vldr", dst, (addr,), Unit.SECONDARY, "regcomm")
+
+
+def lddec(dst: str, addr: str = "ldm") -> Instr:
+    """Load one f64, splat to 4 lanes, column-broadcast (secondary pipe)."""
+    return Instr("lddec", dst, (addr,), Unit.SECONDARY, "regcomm")
+
+
+def getr(dst: str) -> Instr:
+    """Receive from the row network into a register (secondary pipe)."""
+    return Instr("getr", dst, (), Unit.SECONDARY, "regcomm")
+
+
+def getc(dst: str) -> Instr:
+    """Receive from the column network into a register (secondary pipe)."""
+    return Instr("getc", dst, (), Unit.SECONDARY, "regcomm")
+
+
+def addl(dst: str, *srcs: str) -> Instr:
+    """Integer add (pointer bump; secondary pipe, 1-cycle)."""
+    return Instr("addl", dst, tuple(srcs), Unit.SECONDARY, "integer")
+
+
+def nop() -> Instr:
+    """Secondary-pipe filler keeping issue order (paper Algorithm 3)."""
+    return Instr("nop", None, (), Unit.SECONDARY, "integer")

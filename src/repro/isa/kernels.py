@@ -1,0 +1,234 @@
+"""Microkernel instruction streams: naive vs. the paper's Algorithm 3.
+
+One *iteration* of the register-level kernel consumes one column of the
+A panel (4 vector registers = 16 rows) and one row of the B panel (4
+splatted scalars) and issues the 16 ``vmad`` of the 16x4 C tile
+(128 flops).  A *tile* wraps ``pK`` iterations with a prologue that
+loads the C tile into registers and preloads the operands the software
+pipeline expects, and an epilogue that stores C back to LDM.  A *strip
+multiplication* (one step of Algorithm 1's innermost parallel update)
+executes ``(pN/rN) * 8 = 64`` tiles per CPE, which is the unit the
+paper profiles (101,858 cycles, 97% vmad).
+
+Two orderings are provided:
+
+``scheduled_iteration``
+    the hand schedule of Algorithm 3, transcribed line by line: every
+    ``vmad`` is paired with the register-communication load of an
+    operand for the *next* iteration (or a ``nop`` to pin issue order),
+    each operand register is reloaded immediately after its last read,
+    and no two consecutive ``vmad`` touch the same accumulator.
+
+``naive_iteration``
+    the unscheduled ordering an optimizing-but-not-heroic compiler
+    emits for the same tile: the four B scalars are loaded up front,
+    each A vector is loaded just before its row of multiplies, and
+    nothing is software-pipelined across iterations.  The dual-issue
+    hardware cannot rescue a bad order: the just-in-time loads expose
+    their 4-cycle LDM latency to the dependent ``vmad`` group, which is
+    precisely the "LDM memory access appears to be the bottleneck"
+    effect the paper describes.  Both streams run on the same
+    dual-issue pipeline; only the ordering differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.arch.config import LatencySpec
+from repro.isa.instructions import (
+    Instr,
+    addl,
+    lddec,
+    nop,
+    vldd,
+    vldr,
+    vmad,
+    vstd,
+)
+from repro.isa.pipeline import Pipeline
+
+__all__ = [
+    "MicrokernelSpec",
+    "scheduled_iteration",
+    "naive_iteration",
+    "tile_program",
+    "scheduled_pipeline",
+    "naive_pipeline",
+    "strip_cycles",
+]
+
+#: register-tile geometry fixed by Sec III-C3: rM = rN = 4.
+R_M = 4
+R_N = 4
+#: flops of one iteration: 16 vmad x (4 lanes x 2 flops).
+FLOPS_PER_ITERATION = R_M * R_N * 8
+
+
+@dataclass(frozen=True)
+class MicrokernelSpec:
+    """Geometry of the thread-level multiply the microkernel executes."""
+
+    p_m: int = 16
+    p_n: int = 32
+    p_k: int = 96
+
+    def __post_init__(self) -> None:
+        if self.p_m % 16 != 0 or self.p_m <= 0:
+            raise ConfigError(
+                "the register tile covers pM in chunks of 16 rows "
+                f"(4 vector registers x 4 lanes); got pM = {self.p_m}"
+            )
+        if self.p_n % R_N != 0:
+            raise ConfigError(f"pN must be a multiple of rN = {R_N}, got {self.p_n}")
+        if self.p_k < 2:
+            raise ConfigError(f"pK must be >= 2, got {self.p_k}")
+
+    @property
+    def tiles_per_thread_multiply(self) -> int:
+        """Register tiles per thread-level block multiply."""
+        return (self.p_m // 16) * (self.p_n // R_N)
+
+    @property
+    def tiles_per_strip(self) -> int:
+        """Tiles per strip multiplication: 8 steps x (pN/rN)."""
+        return 8 * self.tiles_per_thread_multiply
+
+    @property
+    def flops_per_tile(self) -> int:
+        return self.p_k * FLOPS_PER_ITERATION
+
+
+def scheduled_iteration() -> list[Instr]:
+    """One steady-state iteration of Algorithm 3 (16 issue pairs).
+
+    Transcription of the paper's listing; ``regA`` is rendered as
+    ``vldr`` and ``regB`` as ``lddec`` (the producer side; receivers
+    run ``getr``/``getc`` with identical unit and latency).
+    """
+    a, b, c = "rA", "rB", "rC"
+    lines: list[tuple[Instr, Instr | None]] = [
+        (vmad(f"{c}0", f"{a}0", f"{b}0", f"{c}0"), vldr(f"{a}3", "ldmA")),
+        (vmad(f"{c}1", f"{a}0", f"{b}1", f"{c}1"), lddec(f"{b}3", "ldmB")),
+        (vmad(f"{c}4", f"{a}1", f"{b}0", f"{c}4"), addl("ldmA", "PM", "ldmA")),
+        (vmad(f"{c}5", f"{a}1", f"{b}1", f"{c}5"), addl("ldmB", "two", "ldmB")),
+        (vmad(f"{c}2", f"{a}0", f"{b}2", f"{c}2"), nop()),
+        (vmad(f"{c}8", f"{a}2", f"{b}0", f"{c}8"), nop()),
+        (vmad(f"{c}3", f"{a}0", f"{b}3", f"{c}3"), vldr(f"{a}0", "ldmA")),
+        (vmad(f"{c}12", f"{a}3", f"{b}0", f"{c}12"), nop()),
+        (vmad(f"{c}6", f"{a}1", f"{b}2", f"{c}6"), lddec(f"{b}0", "ldmB")),
+        (vmad(f"{c}7", f"{a}1", f"{b}3", f"{c}7"), vldr(f"{a}1", "ldmA")),
+        (vmad(f"{c}9", f"{a}2", f"{b}1", f"{c}9"), nop()),
+        (vmad(f"{c}13", f"{a}3", f"{b}1", f"{c}13"), lddec(f"{b}1", "ldmB")),
+        (vmad(f"{c}10", f"{a}2", f"{b}2", f"{c}10"), nop()),
+        (vmad(f"{c}11", f"{a}2", f"{b}3", f"{c}11"), vldr(f"{a}2", "ldmA")),
+        (vmad(f"{c}14", f"{a}3", f"{b}2", f"{c}14"), lddec(f"{b}2", "ldmB")),
+        (vmad(f"{c}15", f"{a}3", f"{b}3", f"{c}15"), None),
+    ]
+    program: list[Instr] = []
+    for fp, sec in lines:
+        program.append(fp)
+        if sec is not None:
+            program.append(sec)
+    return program
+
+
+def naive_iteration() -> list[Instr]:
+    """One iteration of the unscheduled (compiler-style) kernel."""
+    program: list[Instr] = []
+    for j in range(R_N):
+        program.append(lddec(f"rB{j}", "ldmB"))
+    for i in range(R_M):
+        program.append(vldd(f"rA{i}", "ldmA"))
+        for j in range(R_N):
+            k = R_N * i + j
+            program.append(vmad(f"rC{k}", f"rA{i}", f"rB{j}", f"rC{k}"))
+    program.append(addl("ldmA", "PM", "ldmA"))
+    program.append(addl("ldmB", "two", "ldmB"))
+    return program
+
+
+def _c_prologue() -> list[Instr]:
+    """Load the 16 C accumulators from LDM (start of a tile)."""
+    return [vldd(f"rC{k}", "ldmC") for k in range(R_M * R_N)]
+
+
+def _c_epilogue() -> list[Instr]:
+    """Store the 16 C accumulators back to LDM (end of a tile)."""
+    return [vstd(f"rC{k}", "ldmC") for k in range(R_M * R_N)]
+
+
+def _peeled_last_iteration(body: list[Instr]) -> list[Instr]:
+    """The final loop iteration with next-iteration prefetches removed.
+
+    Algorithm 3 loads two kinds of operands: lines 1-2 fetch the
+    *current* iteration's ``rA3``/``rB3`` (before the pointer bumps),
+    while the loads after the ``addl`` pointer advances prefetch
+    iteration ``t+1``'s operands.  The peeled last iteration must keep
+    the former and drop only the latter, or the final k-step computes
+    with stale row-3 operands — a bug the symbolic checker in
+    :mod:`repro.isa.semantics` catches (and did catch, in an earlier
+    version of this function).
+    """
+    out: list[Instr] = []
+    past_pointer_advance = False
+    for ins in body:
+        if ins.op == "addl":
+            past_pointer_advance = True
+            continue  # no next column to point at
+        if ins.op in ("vldr", "lddec", "getr", "getc", "vldd") and past_pointer_advance:
+            out.append(nop())  # keep the issue pairing without the load
+            continue
+        out.append(ins)
+    return out
+
+
+def tile_program(spec: MicrokernelSpec, scheduled: bool = True) -> list[Instr]:
+    """Full instruction stream of one register tile's k-loop."""
+    program: list[Instr] = []
+    program.extend(_c_prologue())
+    if scheduled:
+        body = scheduled_iteration()
+        # preload the operands the steady-state schedule expects to
+        # already be in flight: A rows 0..2 and B scalars 0..2
+        for i in range(R_M - 1):
+            program.append(vldr(f"rA{i}", "ldmA"))
+        for j in range(R_N - 1):
+            program.append(lddec(f"rB{j}", "ldmB"))
+        program.extend(body * (spec.p_k - 1))
+        program.extend(_peeled_last_iteration(body))
+    else:
+        body = naive_iteration()
+        program.extend(body * spec.p_k)
+    program.extend(_c_epilogue())
+    return program
+
+
+def scheduled_pipeline(latency: LatencySpec | None = None) -> Pipeline:
+    """The pipeline model the scheduled kernel runs on (dual issue)."""
+    return Pipeline(latency, dual_issue=True)
+
+
+def naive_pipeline(latency: LatencySpec | None = None) -> Pipeline:
+    """The pipeline model for unscheduled code.
+
+    Same dual-issue hardware as :func:`scheduled_pipeline`; the naive
+    kernel is slower purely because its instruction *order* exposes
+    load latency and bunches same-pipe instructions.
+    """
+    return Pipeline(latency, dual_issue=True)
+
+
+def strip_cycles(spec: MicrokernelSpec, scheduled: bool = True,
+                 latency: LatencySpec | None = None) -> int:
+    """Cycles one CPE spends on a full strip multiplication.
+
+    This is the quantity the paper profiles for the SCHED version:
+    ``tiles_per_strip`` sequential tile programs.  Tiles drain the
+    pipeline between invocations (C store / C load dependency), so the
+    strip cost is tiles x tile cost.
+    """
+    pipe = scheduled_pipeline(latency) if scheduled else naive_pipeline(latency)
+    per_tile = pipe.run(tile_program(spec, scheduled)).cycles
+    return per_tile * spec.tiles_per_strip

@@ -1,0 +1,143 @@
+"""Block-column-parallel DGEMM across the four core groups.
+
+Decomposition (the standard HPL-style panel split):
+
+- C and B are partitioned by block columns: CG ``g`` owns columns
+  ``[g * n/4, (g+1) * n/4)``;
+- A is needed by every CG; it starts in CG 0's memory and is broadcast
+  over the NoC;
+- each CG then runs the paper's single-CG algorithm on its
+  ``m x (n/4) x k`` panel — no inter-CG communication during compute.
+
+Functional execution runs the four CGs' panels through the device model
+(sequentially in Python; they are independent), writes each panel back,
+and must match the reference exactly.  The timing model is
+``NoC broadcast + max over CGs of the single-CG estimate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import UnsupportedShapeError
+from repro.arch.config import SW26010Spec, DEFAULT_SPEC
+from repro.core.api import dgemm
+from repro.core.params import BlockingParams
+from repro.multi.noc import NoC
+from repro.multi.processor import SW26010Processor
+from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.perf.estimator import Estimator
+
+__all__ = ["dgemm_multi_cg", "MultiCGEstimate", "estimate_multi_cg"]
+
+
+def dgemm_multi_cg(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    *,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    variant: str = "SCHED",
+    params: BlockingParams | None = None,
+    processor: SW26010Processor | None = None,
+) -> np.ndarray:
+    """Compute ``alpha*a@b + beta*c`` across all four CGs (functional).
+
+    ``n`` must split evenly into four panels that are multiples of the
+    CG block factor ``b_n`` (use the single-CG ``dgemm(pad=True)`` for
+    awkward shapes).
+    """
+    proc = processor or SW26010Processor()
+    params = params or BlockingParams.small(double_buffered=True)
+    a = np.asfortranarray(a, dtype=np.float64)
+    b = np.asfortranarray(b, dtype=np.float64)
+    m, k = a.shape
+    k2, n = b.shape
+    if k2 != k:
+        raise UnsupportedShapeError(f"A is {a.shape} but B is {b.shape}")
+    if c is None:
+        if beta != 0.0:
+            raise UnsupportedShapeError("beta != 0 requires an input C")
+        c = np.zeros((m, n), dtype=np.float64, order="F")
+    c = np.asfortranarray(c, dtype=np.float64)
+    if c.shape != (m, n):
+        raise UnsupportedShapeError(f"C is {c.shape}, expected {(m, n)}")
+    n_cgs = proc.N_CORE_GROUPS
+    panel = n // n_cgs
+    if n % n_cgs != 0 or panel % params.b_n != 0:
+        raise UnsupportedShapeError(
+            f"n={n} must split into {n_cgs} panels that are multiples of "
+            f"bN={params.b_n}"
+        )
+
+    # stage A in CG 0's memory and broadcast it over the NoC
+    proc.cg(0).memory.store("mc.A", a)
+    for g in range(1, n_cgs):
+        proc.noc.copy(proc.cg(0).memory, proc.cg(g).memory, "mc.A", src=0, dst=g)
+
+    out = np.empty_like(c)
+    for g in range(n_cgs):
+        cols = slice(g * panel, (g + 1) * panel)
+        out[:, cols] = dgemm(
+            a, b[:, cols], c[:, cols],
+            alpha=alpha, beta=beta, variant=variant, params=params,
+            core_group=proc.cg(g),
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class MultiCGEstimate:
+    """Timing prediction for the 4-CG decomposition."""
+
+    m: int
+    n: int
+    k: int
+    broadcast_seconds: float
+    panel_seconds: float
+    single_cg_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        return self.broadcast_seconds + self.panel_seconds
+
+    @property
+    def gflops(self) -> float:
+        return 2 * self.m * self.n * self.k / self.seconds / 1e9
+
+    @property
+    def speedup_vs_single_cg(self) -> float:
+        return self.single_cg_seconds / self.seconds
+
+    @property
+    def parallel_efficiency(self) -> float:
+        return self.speedup_vs_single_cg / 4.0
+
+
+def estimate_multi_cg(
+    m: int,
+    n: int,
+    k: int,
+    variant: str = "SCHED",
+    params: BlockingParams | None = None,
+    spec: SW26010Spec = DEFAULT_SPEC,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    noc: NoC | None = None,
+) -> MultiCGEstimate:
+    """Model the 4-CG run at paper scale."""
+    noc = noc or NoC()
+    estimator = Estimator(spec, calibration)
+    panel = n // 4
+    if n % 4 != 0:
+        raise UnsupportedShapeError(f"n={n} does not split across 4 CGs")
+    panel_est = estimator.estimate(variant, m, panel, k, params=params)
+    single = estimator.estimate(variant, m, n, k, params=params)
+    return MultiCGEstimate(
+        m=m, n=n, k=k,
+        broadcast_seconds=noc.broadcast_seconds(m * k * 8),
+        panel_seconds=panel_est.seconds,
+        single_cg_seconds=single.seconds,
+    )

@@ -1,0 +1,81 @@
+"""The network-on-chip between the four core groups.
+
+Functionally the NoC copies matrices between CG memories; for timing it
+charges a per-message latency plus bytes over a per-link bandwidth.
+A broadcast from one CG to the other three is modelled as three
+point-to-point copies that share the source's egress link (serialized),
+which is the conservative reading of Figure 1's ring-like topology.
+
+Calibration note: the paper gives no NoC numbers.  ``link_bandwidth``
+defaults to 16 GB/s with a 2 us message latency — the right order of
+magnitude for on-chip interconnects of the era — and is an explicit
+assumption documented in DESIGN.md; the multi-CG experiment reports how
+the scaling conclusion depends on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, MeshError
+from repro.arch.memory import MatrixHandle
+
+__all__ = ["NoCStats", "NoC"]
+
+
+@dataclass
+class NoCStats:
+    """Cumulative NoC transfer counters."""
+
+    messages: int = 0
+    bytes_moved: int = 0
+    seconds: float = 0.0
+
+
+class NoC:
+    """Inter-CG transport."""
+
+    def __init__(
+        self,
+        n_nodes: int = 4,
+        link_bandwidth: float = 16e9,
+        message_latency: float = 2e-6,
+    ) -> None:
+        if n_nodes < 1:
+            raise ConfigError("NoC needs at least one node")
+        if link_bandwidth <= 0 or message_latency < 0:
+            raise ConfigError("bad NoC timing parameters")
+        self.n_nodes = n_nodes
+        self.link_bandwidth = link_bandwidth
+        self.message_latency = message_latency
+        self.stats = NoCStats()
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise MeshError(f"CG index {node} outside [0, {self.n_nodes})")
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Cost of one point-to-point copy."""
+        if nbytes < 0:
+            raise ConfigError("negative transfer size")
+        return self.message_latency + nbytes / self.link_bandwidth
+
+    def copy(self, src_memory, dst_memory, handle: MatrixHandle | str,
+             src: int, dst: int, dst_name: str | None = None) -> float:
+        """Functionally copy a matrix between CG memories; return cost."""
+        self._check_node(src)
+        self._check_node(dst)
+        array = src_memory.read(handle)
+        name = dst_name or (handle if isinstance(handle, str) else handle.name)
+        dst_memory.store(name, array)
+        cost = self.transfer_seconds(array.nbytes)
+        self.stats.messages += 1
+        self.stats.bytes_moved += array.nbytes
+        self.stats.seconds += cost
+        return cost
+
+    def broadcast_seconds(self, nbytes: int) -> float:
+        """Source-egress-serialized broadcast to the other CGs."""
+        return (self.n_nodes - 1) * self.transfer_seconds(nbytes)

@@ -1,0 +1,41 @@
+"""Performance models: what the paper measured on silicon, modelled.
+
+Layers, bottom-up:
+
+- :mod:`repro.perf.calibration` — the few fitted constants, with
+  provenance (all fitted once against Figure 4 and the hardware specs,
+  never per-experiment);
+- :mod:`repro.perf.dma_model` — transaction/segment-level DMA cost:
+  effective bandwidth emerges from segment geometry, which is how
+  PE_MODE's 128 B scattered segments lose to ROW_MODE's 1 KB columns;
+- :mod:`repro.perf.kernel_model` — seconds per CG-block multiply from
+  the :mod:`repro.isa` pipeline profiles;
+- :mod:`repro.perf.estimator` — closed-form end-to-end Gflop/s per
+  (variant, shape), exploiting the lock-step structure of
+  Algorithms 1/2;
+- :mod:`repro.perf.timeline` — the same loop structures replayed on
+  the discrete-event engine (used to validate the closed forms and to
+  report DMA/compute overlap);
+- :mod:`repro.perf.roofline` — the CG roofline;
+- :mod:`repro.perf.report` — paper-vs-measured tables.
+"""
+
+from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.perf.dma_model import DMACostModel, BlockTransfer
+from repro.perf.kernel_model import KernelModel
+from repro.perf.estimator import Estimator, GemmEstimate
+from repro.perf.timeline import TimelineSimulator
+from repro.perf.roofline import roofline_gflops, arithmetic_intensity
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "DMACostModel",
+    "BlockTransfer",
+    "KernelModel",
+    "Estimator",
+    "GemmEstimate",
+    "TimelineSimulator",
+    "roofline_gflops",
+    "arithmetic_intensity",
+]

@@ -1,0 +1,109 @@
+"""Bottleneck analysis: what limits each variant, and where it flips.
+
+Figure 6's story in analytic form.  For a (variant, shape) this module
+answers:
+
+- which resource binds the steady state (DMA channel, FP pipeline, or
+  the un-overlapped serial sum for single-buffered variants);
+- the utilization of the non-binding resource;
+- for double-buffered variants, the *crossover bandwidth*: the DMA
+  bandwidth below which the steady-state iteration would flip from
+  compute-bound to memory-bound (the headroom double buffering has
+  before SCHED's 95% would collapse).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.arch.config import SW26010Spec, DEFAULT_SPEC
+from repro.core.params import BlockingParams
+from repro.core.variants import VARIANTS
+from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.perf.estimator import Estimator
+
+__all__ = ["Binding", "BottleneckReport", "analyze"]
+
+
+class Binding(enum.Enum):
+    """What the steady state waits on."""
+
+    COMPUTE = "compute"
+    DMA = "dma"
+    SERIAL = "serial"  # single-buffered: nothing overlaps
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    variant: str
+    m: int
+    n: int
+    k: int
+    binding: Binding
+    #: steady-iteration times (seconds)
+    dma_batch_seconds: float
+    compute_seconds: float
+    #: fraction of the steady iteration the non-binding side is active.
+    secondary_utilization: float
+    #: bandwidth scale factor at which compute/DMA would swap (only for
+    #: double-buffered variants; None otherwise).
+    crossover_bandwidth_scale: float | None
+
+    @property
+    def headroom(self) -> str:
+        if self.crossover_bandwidth_scale is None:
+            return "n/a"
+        return f"{self.crossover_bandwidth_scale:.2f}x"
+
+
+def analyze(
+    variant: str,
+    m: int,
+    n: int,
+    k: int,
+    params: BlockingParams | None = None,
+    spec: SW26010Spec = DEFAULT_SPEC,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> BottleneckReport:
+    """Classify the steady-state bottleneck of a blocked variant.
+
+    RAW is reported too (its binding is whichever of channel time and
+    per-thread compute dominates the makespan).
+    """
+    impl = VARIANTS[variant.upper()]()
+    traits = impl.traits
+    estimator = Estimator(spec, calibration)
+    if not traits.shared:
+        estimate = estimator.estimate(variant, m, n, k)
+        dma_s = estimate.dma_seconds
+        cmp_s = estimate.compute_seconds
+        binding = Binding.DMA if dma_s >= cmp_s else Binding.COMPUTE
+        secondary = min(dma_s, cmp_s) / max(dma_s, cmp_s)
+        return BottleneckReport(
+            variant=traits.name, m=m, n=n, k=k, binding=binding,
+            dma_batch_seconds=dma_s, compute_seconds=cmp_s,
+            secondary_utilization=secondary,
+            crossover_bandwidth_scale=None,
+        )
+
+    params = params or impl.default_params()
+    costs = estimator.block_costs(traits, params)
+    dma_batch = costs.dma_steady
+    compute = costs.t_compute
+    if not traits.double_buffered:
+        binding = Binding.SERIAL
+        secondary = 0.0
+        crossover = None
+    else:
+        binding = Binding.COMPUTE if compute >= dma_batch else Binding.DMA
+        secondary = min(dma_batch, compute) / max(dma_batch, compute)
+        # DMA time scales ~ 1/bandwidth; the iteration flips when the
+        # batch stretches to the compute time
+        crossover = dma_batch / compute if compute > 0 else None
+    return BottleneckReport(
+        variant=traits.name, m=m, n=n, k=k, binding=binding,
+        dma_batch_seconds=dma_batch, compute_seconds=compute,
+        secondary_utilization=secondary,
+        crossover_bandwidth_scale=crossover,
+    )

@@ -1,0 +1,246 @@
+"""Closed-form end-to-end performance estimates.
+
+Algorithms 1 and 2 are lock-step: every (j, l, i) iteration does the
+same work, and Algorithm 2's per-iteration ``sync`` makes the
+double-buffered overlap exactly ``max(dma_batch, compute)``.  The
+closed forms below are therefore not approximations of the event-driven
+timeline — :class:`repro.perf.timeline.TimelineSimulator` reproduces
+them to float precision, which an integration test asserts.
+
+Per-variant structure (T_X = block-transfer seconds, T_cmp = CG-block
+multiply seconds, s = cluster sync):
+
+``PE`` / ``ROW`` (single buffered, Algorithm 1)::
+
+    T = N*K*(T_B + s) + N*K*M*(T_A + 2*T_C + T_cmp + s)
+
+``DB`` / ``SCHED`` (Algorithm 2)::
+
+    per (j,l):  T_B + T_A + T_C + s                      (lines 3-6)
+              + max(T_A + T_C, T_cmp) + s                (lines 7-11)
+              + (M-2) * (max(T_A + 2*T_C, T_cmp) + s)    (lines 12-19)
+              + 2*T_C + T_cmp                            (lines 20-23)
+
+``RAW`` (no sharing): the 64 threads contend for the DMA channel, so
+the makespan is ``max(channel busy time, per-thread compute +
+per-thread request latency)`` — memory-bound at every realistic size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.arch.config import SW26010Spec, DEFAULT_SPEC
+from repro.core.params import GRID, BlockingParams
+from repro.core.variants import VARIANTS
+from repro.core.variants.base import VariantTraits
+from repro.core.variants.raw import RawVariant
+from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.perf.dma_model import BlockTransfer, DMACostModel
+from repro.perf.kernel_model import KernelModel
+
+__all__ = ["GemmEstimate", "Estimator", "BlockCosts"]
+
+
+@dataclass(frozen=True)
+class BlockCosts:
+    """Per-CG-block costs shared by the estimator and the timeline."""
+
+    t_a: float
+    t_b: float
+    t_c: float
+    t_compute: float
+    t_sync: float
+
+    @property
+    def dma_steady(self) -> float:
+        """DMA batch of one steady Algorithm 2 iteration: store C,
+        load A, load C."""
+        return self.t_a + 2 * self.t_c
+
+
+@dataclass(frozen=True)
+class GemmEstimate:
+    """A predicted DGEMM execution."""
+
+    variant: str
+    m: int
+    n: int
+    k: int
+    seconds: float
+    dma_seconds: float
+    compute_seconds: float
+    bytes_moved: int
+    breakdown: dict = field(default_factory=dict, hash=False, compare=False)
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.m * self.n * self.k
+
+    @property
+    def gflops(self) -> float:
+        return self.flops / self.seconds / 1e9
+
+    def efficiency(self, spec: SW26010Spec = DEFAULT_SPEC) -> float:
+        return self.flops / self.seconds / spec.peak_flops
+
+
+class Estimator:
+    """Closed-form Gflop/s predictions for all five variants."""
+
+    def __init__(
+        self,
+        spec: SW26010Spec = DEFAULT_SPEC,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        self.spec = spec
+        self.cal = calibration
+        self.dma = DMACostModel(spec, calibration)
+        self.kernel = KernelModel(spec)
+
+    # -- shared geometry ---------------------------------------------------
+
+    def block_transfers(
+        self, traits: VariantTraits, params: BlockingParams
+    ) -> dict[str, BlockTransfer]:
+        """The A/B/C block-level transfer geometries of a blocked variant."""
+        p = params
+        if traits.ac_mode == "ROW":
+            t_a = self.dma.row_strip_block("A", p.b_m, p.p_k, GRID)
+            t_c = self.dma.row_strip_block("C", p.b_m, p.p_n, GRID)
+        elif traits.ac_mode == "PE":
+            t_a = self.dma.pe_tile_block("A", p.p_m, p.p_k, GRID * GRID)
+            t_c = self.dma.pe_tile_block("C", p.p_m, p.p_n, GRID * GRID)
+        else:
+            raise ConfigError(f"unknown A/C mode {traits.ac_mode!r}")
+        t_b = self.dma.pe_tile_block("B", p.p_k, p.p_n, GRID * GRID)
+        return {"A": t_a, "B": t_b, "C": t_c}
+
+    def block_costs(self, traits: VariantTraits, params: BlockingParams) -> BlockCosts:
+        tr = self.block_transfers(traits, params)
+        return BlockCosts(
+            t_a=self.dma.seconds(tr["A"]),
+            t_b=self.dma.seconds(tr["B"]),
+            t_c=self.dma.seconds(tr["C"]),
+            t_compute=self.kernel.block_multiply_seconds(params, traits.kernel),
+            t_sync=self.cal.sync_seconds(self.spec),
+        )
+
+    # -- public API -----------------------------------------------------
+
+    def estimate(
+        self,
+        variant: str,
+        m: int,
+        n: int,
+        k: int,
+        params: BlockingParams | None = None,
+    ) -> GemmEstimate:
+        impl = VARIANTS[variant.upper()]()
+        traits = impl.traits
+        if not traits.shared:
+            return self._estimate_raw(traits, m, n, k)
+        params = params or impl.default_params()
+        params.validate(self.spec)
+        grid_m, grid_n, grid_k = params.check_shape(m, n, k)
+        costs = self.block_costs(traits, params)
+        if traits.double_buffered:
+            seconds, dma_s = self._double_buffered_seconds(costs, grid_m, grid_n, grid_k)
+        else:
+            seconds, dma_s = self._single_buffered_seconds(costs, grid_m, grid_n, grid_k)
+        compute_s = grid_m * grid_n * grid_k * costs.t_compute
+        return GemmEstimate(
+            variant=traits.name,
+            m=m, n=n, k=k,
+            seconds=seconds,
+            dma_seconds=dma_s,
+            compute_seconds=compute_s,
+            bytes_moved=self.predicted_bytes(traits, m, n, k, params),
+            breakdown={
+                "t_a": costs.t_a, "t_b": costs.t_b, "t_c": costs.t_c,
+                "t_compute": costs.t_compute, "t_sync": costs.t_sync,
+                "grid": (grid_m, grid_n, grid_k),
+            },
+        )
+
+    # -- blocked variants ----------------------------------------------
+
+    @staticmethod
+    def _single_buffered_seconds(
+        c: BlockCosts, grid_m: int, grid_n: int, grid_k: int
+    ) -> tuple[float, float]:
+        per_i = c.t_a + 2 * c.t_c + c.t_compute + c.t_sync
+        total = grid_n * grid_k * (c.t_b + c.t_sync + grid_m * per_i)
+        dma = grid_n * grid_k * (c.t_b + grid_m * (c.t_a + 2 * c.t_c))
+        return total, dma
+
+    @staticmethod
+    def _double_buffered_seconds(
+        c: BlockCosts, grid_m: int, grid_n: int, grid_k: int
+    ) -> tuple[float, float]:
+        if grid_m == 1:
+            per_jl = c.t_b + c.t_a + c.t_c + c.t_sync + c.t_compute + c.t_c
+        else:
+            per_jl = (
+                c.t_b + c.t_a + c.t_c + c.t_sync                    # prologue
+                + max(c.t_a + c.t_c, c.t_compute) + c.t_sync        # i = 1 prefetch
+                + (grid_m - 2) * (max(c.dma_steady, c.t_compute) + c.t_sync)
+                + 2 * c.t_c + c.t_compute                           # drain
+            )
+        total = grid_n * grid_k * per_jl
+        dma = grid_n * grid_k * (c.t_b + grid_m * (c.t_a + 2 * c.t_c))
+        return total, dma
+
+    # -- RAW -----------------------------------------------------------------
+
+    def _estimate_raw(self, traits: VariantTraits, m: int, n: int, k: int) -> GemmEstimate:
+        t_m, t_n, t_k = RawVariant.tile_geometry(m, n, k)
+        panel_m, panel_n = m // GRID, n // GRID
+        tiles_per_thread = (panel_m // t_m) * (panel_n // t_n)
+        chunks = k // t_k
+        n_threads = GRID * GRID
+
+        a_tr = BlockTransfer("A", segments=t_k, segment_doubles=t_m)
+        b_tr = BlockTransfer("B", segments=t_n, segment_doubles=t_k)
+        c_tr = BlockTransfer("C", segments=t_n, segment_doubles=t_m)
+        per_thread_requests = tiles_per_thread * (2 + 2 * chunks)
+        channel = n_threads * tiles_per_thread * (
+            chunks * (self.dma.seconds(a_tr, False) + self.dma.seconds(b_tr, False))
+            + 2 * self.dma.seconds(c_tr, False)
+        )
+        compute = tiles_per_thread * chunks * self.kernel.thread_tile_multiply_seconds(
+            t_m, t_n, t_k, traits.kernel
+        )
+        thread_latency = per_thread_requests * self.cal.request_latency_s
+        seconds = max(channel, compute + thread_latency)
+        bytes_moved = n_threads * tiles_per_thread * (
+            chunks * (a_tr.nbytes + b_tr.nbytes) + 2 * c_tr.nbytes
+        )
+        return GemmEstimate(
+            variant=traits.name,
+            m=m, n=n, k=k,
+            seconds=seconds,
+            dma_seconds=channel,
+            compute_seconds=compute,
+            bytes_moved=bytes_moved,
+            breakdown={
+                "tiles": (t_m, t_n, t_k),
+                "per_thread_requests": per_thread_requests,
+                "thread_latency": thread_latency,
+            },
+        )
+
+    # -- byte accounting (cross-checked against the functional DMA stats) --
+
+    @staticmethod
+    def predicted_bytes(
+        traits: VariantTraits, m: int, n: int, k: int, params: BlockingParams
+    ) -> int:
+        """Bytes the blocked loop moves: C twice per K-step, A once per
+        N-step, B once (the Sec III-C traffic formula, exactly)."""
+        grid_m, grid_n, grid_k = params.check_shape(m, n, k)
+        c_bytes = 2 * grid_k * m * n * 8
+        a_bytes = grid_n * m * k * 8
+        b_bytes = k * n * 8
+        return c_bytes + a_bytes + b_bytes

@@ -1,0 +1,77 @@
+"""ASCII Gantt rendering of timeline traces.
+
+Turns a :class:`~repro.sim.trace.Tracer` into a terminal chart so the
+double-buffering overlap of Algorithm 2 is *visible*: one lane per
+category, time bucketed into fixed-width cells, a cell marked when any
+span of that category is active inside it.
+
+Example output for a DB run::
+
+    dma      ███▒░░█▒░░█▒░░█▒░░█▒...
+    compute     ████████████████...
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.sim.trace import Tracer
+
+__all__ = ["render_gantt"]
+
+#: glyphs by activity fraction of a cell.
+_GLYPHS = " .:-=#"
+
+
+def _cell_glyph(fraction: float) -> str:
+    fraction = min(max(fraction, 0.0), 1.0)
+    return _GLYPHS[min(int(fraction * (len(_GLYPHS) - 1) + 0.9999), len(_GLYPHS) - 1)]
+
+
+def render_gantt(
+    tracer: Tracer,
+    width: int = 72,
+    categories: list[str] | None = None,
+    start: float | None = None,
+    end: float | None = None,
+) -> str:
+    """Render the trace as one text lane per category.
+
+    Each cell's glyph encodes the fraction of the cell's time window
+    during which the category was active (space = idle, ``#`` = fully
+    busy), so partially overlapped transfers read as lighter shading.
+    """
+    if width < 8:
+        raise ConfigError(f"gantt width must be >= 8, got {width}")
+    categories = categories or tracer.categories()
+    if not tracer.spans or not categories:
+        return "(empty trace)"
+    t0 = min(s.start for s in tracer.spans) if start is None else start
+    t1 = max(s.end for s in tracer.spans) if end is None else end
+    if t1 <= t0:
+        raise ConfigError(f"empty time window [{t0}, {t1}]")
+    cell = (t1 - t0) / width
+
+    label_width = max(len(c) for c in categories)
+    lines = []
+    for category in categories:
+        intervals = sorted(
+            (s.start, s.end) for s in tracer.filter(category)
+        )
+        cells = []
+        for i in range(width):
+            lo = t0 + i * cell
+            hi = lo + cell
+            busy = 0.0
+            for s_start, s_end in intervals:
+                if s_start >= hi:
+                    break
+                overlap = min(hi, s_end) - max(lo, s_start)
+                if overlap > 0:
+                    busy += overlap
+            cells.append(_cell_glyph(busy / cell))
+        lines.append(f"{category.ljust(label_width)} |{''.join(cells)}|")
+    header = (
+        f"{' ' * label_width} |{'time -> '.ljust(width)[:width]}|"
+        f"  [{t0:.3e}s, {t1:.3e}s]"
+    )
+    return "\n".join([header, *lines])

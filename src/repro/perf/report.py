@@ -1,0 +1,61 @@
+"""Paper-vs-measured reporting helpers.
+
+Every experiment produces rows of (label, paper value, measured value);
+this module renders them uniformly and computes the deviation columns
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.utils.format import Table
+
+__all__ = ["ComparisonRow", "comparison_table", "series_table"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One reproduced quantity."""
+
+    label: str
+    paper: float | None
+    measured: float
+    unit: str = ""
+
+    @property
+    def deviation(self) -> float | None:
+        """Relative deviation measured vs paper (None if no paper value)."""
+        if self.paper in (None, 0):
+            return None
+        return (self.measured - self.paper) / self.paper
+
+
+def comparison_table(rows: Iterable[ComparisonRow], title: str | None = None) -> Table:
+    table = Table(["quantity", "paper", "measured", "deviation"], title=title)
+    for row in rows:
+        table.add_row([
+            row.label,
+            "-" if row.paper is None else f"{row.paper:.1f}{row.unit}",
+            f"{row.measured:.1f}{row.unit}",
+            "-" if row.deviation is None else f"{row.deviation:+.1%}",
+        ])
+    return table
+
+
+def series_table(
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+) -> Table:
+    """A figure-style table: one x column, one column per series."""
+    lengths = {name: len(vals) for name, vals in series.items()}
+    bad = {name: n for name, n in lengths.items() if n != len(xs)}
+    if bad:
+        raise ValueError(f"series lengths {bad} do not match {len(xs)} x values")
+    table = Table([x_label, *series], title=title)
+    for idx, x in enumerate(xs):
+        table.add_row([x, *(series[name][idx] for name in series)])
+    return table

@@ -1,0 +1,41 @@
+"""Roofline model for the CG.
+
+Useful context for the Figure 6 discussion: the blocked DGEMM's
+arithmetic intensity (Sec III-C's S, in flops per byte) against the
+machine balance explains which variants are memory-bound.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.arch.config import SW26010Spec, DEFAULT_SPEC
+
+__all__ = ["arithmetic_intensity", "roofline_gflops", "machine_balance"]
+
+
+def arithmetic_intensity(flops: float, bytes_moved: float) -> float:
+    """Flops per byte of main-memory traffic."""
+    if bytes_moved <= 0:
+        raise ConfigError("bytes_moved must be positive")
+    return flops / bytes_moved
+
+
+def roofline_gflops(
+    intensity: float,
+    spec: SW26010Spec = DEFAULT_SPEC,
+    bandwidth: float | None = None,
+) -> float:
+    """Attainable Gflop/s at a given arithmetic intensity.
+
+    ``bandwidth`` defaults to the theoretical DMA channel (34 GB/s);
+    pass an effective bandwidth from the DMA model for a tighter roof.
+    """
+    if intensity <= 0:
+        raise ConfigError("intensity must be positive")
+    bw = spec.dma.peak_bandwidth if bandwidth is None else bandwidth
+    return min(spec.peak_flops, intensity * bw) / 1e9
+
+
+def machine_balance(spec: SW26010Spec = DEFAULT_SPEC) -> float:
+    """Flops/byte needed to saturate the FP pipes: F / Bt (~21.8)."""
+    return spec.peak_flops / spec.dma.peak_bandwidth

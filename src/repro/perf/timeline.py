@@ -1,0 +1,168 @@
+"""Event-driven replay of the GEMM loop structures.
+
+Runs Algorithm 1 (single buffered) or Algorithm 2 (double buffered) as
+concurrent processes on :mod:`repro.sim`: a compute stream and a DMA
+stream sharing the memory channel as a :class:`Resource`.  Produces the
+same totals as the closed forms in :mod:`repro.perf.estimator` — an
+integration test asserts that — plus a :class:`~repro.sim.trace.Tracer`
+timeline from which DMA/compute overlap can be measured, e.g. to show
+that double buffering hides the steady-state transfers completely once
+compute dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.arch.config import SW26010Spec, DEFAULT_SPEC
+from repro.core.params import BlockingParams
+from repro.core.variants import VARIANTS
+from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.perf.estimator import BlockCosts, Estimator
+from repro.sim import AllOf, Engine, Resource, Tracer
+
+__all__ = ["TimelineResult", "TimelineSimulator"]
+
+
+@dataclass
+class TimelineResult:
+    """Outcome of one timeline run."""
+
+    variant: str
+    m: int
+    n: int
+    k: int
+    seconds: float
+    tracer: Tracer
+    channel_busy: float
+
+    @property
+    def gflops(self) -> float:
+        return 2 * self.m * self.n * self.k / self.seconds / 1e9
+
+    @property
+    def overlap_seconds(self) -> float:
+        """Time during which DMA and compute proceeded concurrently."""
+        return self.tracer.overlap("dma", "compute")
+
+
+class TimelineSimulator:
+    """Replays a blocked variant's loop structure on the event engine."""
+
+    def __init__(
+        self,
+        spec: SW26010Spec = DEFAULT_SPEC,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        self.spec = spec
+        self.estimator = Estimator(spec, calibration)
+
+    def run(
+        self,
+        variant: str,
+        m: int,
+        n: int,
+        k: int,
+        params: BlockingParams | None = None,
+    ) -> TimelineResult:
+        impl = VARIANTS[variant.upper()]()
+        traits = impl.traits
+        if not traits.shared:
+            raise ConfigError(
+                "the timeline replays the blocked loop structures; RAW has "
+                "no CG-level loop (use Estimator for RAW)"
+            )
+        params = params or impl.default_params()
+        params.validate(self.spec)
+        grid = params.check_shape(m, n, k)
+        costs = self.estimator.block_costs(traits, params)
+
+        engine = Engine()
+        tracer = Tracer()
+        channel = Resource(engine, capacity=1, name="dma_channel")
+        if traits.double_buffered:
+            body = self._double_buffered(engine, channel, tracer, costs, *grid)
+        else:
+            body = self._single_buffered(engine, channel, tracer, costs, *grid)
+        main = engine.process(body, name=f"{traits.name}-gemm")
+        engine.run(main)
+        return TimelineResult(
+            variant=traits.name, m=m, n=n, k=k,
+            seconds=engine.now, tracer=tracer, channel_busy=channel.busy_time,
+        )
+
+    # -- building blocks ---------------------------------------------------
+
+    def _transfer(self, engine: Engine, channel: Resource, tracer: Tracer,
+                  duration: float, label: str):
+        """A DMA op: hold the channel for its duration, trace it."""
+        start = engine.now
+        yield engine.process(channel.use(duration), name=f"dma:{label}")
+        tracer.record("dma", label, start, engine.now)
+
+    def _compute(self, engine: Engine, tracer: Tracer, duration: float, label: str):
+        start = engine.now
+        yield engine.timeout(duration)
+        tracer.record("compute", label, start, engine.now)
+
+    # -- Algorithm 1 -----------------------------------------------------
+
+    def _single_buffered(self, engine, channel, tracer, c: BlockCosts,
+                         grid_m: int, grid_n: int, grid_k: int):
+        for j in range(grid_n):
+            for l in range(grid_k):
+                yield engine.process(
+                    self._transfer(engine, channel, tracer, c.t_b, f"B{l},{j}")
+                )
+                yield engine.timeout(c.t_sync)
+                for i in range(grid_m):
+                    yield engine.process(self._transfer(
+                        engine, channel, tracer, c.t_a, f"A{i},{l}"))
+                    yield engine.process(self._transfer(
+                        engine, channel, tracer, c.t_c, f"Cget{i},{j}"))
+                    yield engine.process(self._compute(
+                        engine, tracer, c.t_compute, f"mul{i},{j},{l}"))
+                    yield engine.process(self._transfer(
+                        engine, channel, tracer, c.t_c, f"Cput{i},{j}"))
+                    yield engine.timeout(c.t_sync)
+
+    # -- Algorithm 2 ---------------------------------------------------------
+
+    def _double_buffered(self, engine, channel, tracer, c: BlockCosts,
+                         grid_m: int, grid_n: int, grid_k: int):
+        def dma_batch(ops: list[tuple[float, str]]):
+            for duration, label in ops:
+                yield engine.process(
+                    self._transfer(engine, channel, tracer, duration, label)
+                )
+
+        for j in range(grid_n):
+            for l in range(grid_k):
+                # lines 3-6: B, A0, C0, sync
+                yield engine.process(dma_batch(
+                    [(c.t_b, "B"), (c.t_a, "A0"), (c.t_c, "Cget0")]))
+                yield engine.timeout(c.t_sync)
+                if grid_m == 1:
+                    yield engine.process(self._compute(engine, tracer, c.t_compute, "mul0"))
+                    yield engine.process(dma_batch([(c.t_c, "Cput0")]))
+                    continue
+                # lines 7-11: prefetch (A1, C1) overlapped with compute 0
+                dma = engine.process(dma_batch([(c.t_a, "A1"), (c.t_c, "Cget1")]))
+                cmp_ = engine.process(self._compute(engine, tracer, c.t_compute, "mul0"))
+                yield AllOf(engine, [dma, cmp_])
+                yield engine.timeout(c.t_sync)
+                # lines 12-19
+                for i in range(2, grid_m):
+                    dma = engine.process(dma_batch([
+                        (c.t_c, f"Cput{i - 2}"), (c.t_a, f"A{i}"), (c.t_c, f"Cget{i}"),
+                    ]))
+                    cmp_ = engine.process(
+                        self._compute(engine, tracer, c.t_compute, f"mul{i - 1}"))
+                    yield AllOf(engine, [dma, cmp_])
+                    yield engine.timeout(c.t_sync)
+                # lines 20-23
+                yield engine.process(dma_batch([(c.t_c, f"Cput{grid_m - 2}")]))
+                yield engine.process(
+                    self._compute(engine, tracer, c.t_compute, f"mul{grid_m - 1}"))
+                yield engine.process(dma_batch([(c.t_c, f"Cput{grid_m - 1}")]))

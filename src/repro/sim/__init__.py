@@ -1,0 +1,40 @@
+"""A small discrete-event simulation engine.
+
+The performance path of the library replays the paper's Algorithm 1 and
+Algorithm 2 loop structures as concurrent processes (compute stream,
+DMA streams) so that serialization vs. double-buffered overlap emerges
+from event timing rather than from hand-written max()/sum() formulas.
+
+The engine is deliberately simpy-like but dependency-free:
+
+- :class:`~repro.sim.engine.Engine` — the event loop and clock;
+- :class:`~repro.sim.events.Event` — one-shot triggerable values;
+- :class:`~repro.sim.process.Process` — generator coroutines that
+  ``yield`` events to wait on them;
+- :class:`~repro.sim.resources.Resource` — FIFO servers (e.g. the
+  memory controller's DMA channel);
+- :class:`~repro.sim.barrier.Barrier` — the CPE cluster ``sync``;
+- :class:`~repro.sim.trace.Tracer` — timeline records for reports.
+"""
+
+from repro.sim.events import Event, AllOf, AnyOf
+from repro.sim.engine import Engine
+from repro.sim.process import Process
+from repro.sim.resources import Resource
+from repro.sim.barrier import Barrier
+from repro.sim.trace import Tracer, Span
+from repro.sim.simt import BARRIER, run_lockstep
+
+__all__ = [
+    "BARRIER",
+    "run_lockstep",
+    "Event",
+    "AllOf",
+    "AnyOf",
+    "Engine",
+    "Process",
+    "Resource",
+    "Barrier",
+    "Tracer",
+    "Span",
+]

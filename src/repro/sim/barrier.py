@@ -1,0 +1,43 @@
+"""Reusable barrier: the CPE cluster's ``sync`` instruction."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+
+__all__ = ["Barrier"]
+
+
+class Barrier:
+    """All ``parties`` processes must arrive before any proceeds.
+
+    The barrier is cyclic: it resets automatically after releasing a
+    full generation, like the hardware row/cluster synchronisation the
+    paper's Algorithm 2 relies on between pipeline stages.
+    """
+
+    def __init__(self, engine: Engine, parties: int, name: str = "barrier") -> None:
+        if parties < 1:
+            raise SimulationError(f"barrier needs >= 1 parties, got {parties}")
+        self.engine = engine
+        self.parties = parties
+        self.name = name
+        self._waiting: list[Event] = []
+        self.generations = 0
+
+    @property
+    def arrived(self) -> int:
+        return len(self._waiting)
+
+    def wait(self) -> Event:
+        """Arrive; the returned event fires when the generation is full."""
+        ev = self.engine.event(f"{self.name}.wait")
+        self._waiting.append(ev)
+        if len(self._waiting) == self.parties:
+            generation, self._waiting = self._waiting, []
+            self.generations += 1
+            gen_index = self.generations
+            for waiter in generation:
+                waiter.succeed(gen_index)
+        return ev

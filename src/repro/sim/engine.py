@@ -1,0 +1,86 @@
+"""The event loop: a heap of (time, sequence, action) triples."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Discrete-event clock and scheduler.
+
+    Time is unitless from the engine's point of view; the performance
+    models schedule in seconds.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+
+    # -- primitives ------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` at ``now + delay``."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, action))
+
+    def timeout(self, delay: float, value: Any = None, name: str = "timeout") -> Event:
+        """An event that fires ``delay`` time units from now."""
+        ev = Event(self, name)
+        self.schedule(delay, lambda: ev.succeed(value))
+        return ev
+
+    def process(self, generator: Generator, name: str = "process"):
+        """Spawn a :class:`~repro.sim.process.Process` (import-cycle shim)."""
+        from repro.sim.process import Process
+
+        return Process(self, generator, name)
+
+    # -- running ---------------------------------------------------------
+
+    def step(self) -> None:
+        if not self._heap:
+            raise SimulationError("no events to step")
+        time, _seq, action = heapq.heappop(self._heap)
+        if time < self.now:
+            raise SimulationError("event heap went backwards in time")
+        self.now = time
+        action()
+
+    def run(self, until: Event | float | None = None) -> Any:
+        """Run until an event fires, a time is reached, or the heap drains.
+
+        Returns the event's value when ``until`` is an event.
+        """
+        if isinstance(until, Event):
+            while not until.triggered:
+                if not self._heap:
+                    raise SimulationError(
+                        f"event {until.name!r} can never fire: event heap empty "
+                        f"at t={self.now} (deadlocked processes?)"
+                    )
+                self.step()
+            return until.value
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        self.now = max(self.now, float(until))
+        return None
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,95 @@
+"""One-shot events for the discrete-event engine."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+__all__ = ["Event", "AllOf", "AnyOf"]
+
+
+class Event:
+    """A value that will be produced at some simulated time.
+
+    Processes wait on events by yielding them; callbacks run at the
+    simulated instant the event is triggered.
+    """
+
+    def __init__(self, engine: "Engine", name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._callbacks: list[Callable[["Event"], None]] = []
+        self._triggered = False
+        self.value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self._triggered:
+            # late subscribers run immediately, preserving determinism
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger now (at the engine's current time)."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "triggered" if self._triggered else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is the child values."""
+
+    def __init__(self, engine: "Engine", events: list[Event], name: str = "all_of") -> None:
+        super().__init__(engine, name)
+        self._waiting = 0
+        self._children = list(events)
+        for ev in self._children:
+            if not ev.triggered:
+                self._waiting += 1
+                ev.add_callback(self._child_done)
+        if self._waiting == 0:
+            self.succeed([ev.value for ev in self._children])
+
+    def _child_done(self, _ev: Event) -> None:
+        self._waiting -= 1
+        if self._waiting == 0 and not self.triggered:
+            self.succeed([ev.value for ev in self._children])
+
+
+class AnyOf(Event):
+    """Fires when the first child fires; value is (index, child value)."""
+
+    def __init__(self, engine: "Engine", events: list[Event], name: str = "any_of") -> None:
+        super().__init__(engine, name)
+        self._children = list(events)
+        for idx, ev in enumerate(self._children):
+            if ev.triggered:
+                self.succeed((idx, ev.value))
+                break
+        else:
+            for idx, ev in enumerate(self._children):
+                ev.add_callback(self._make_cb(idx))
+
+    def _make_cb(self, idx: int) -> Callable[[Event], None]:
+        def cb(ev: Event) -> None:
+            if not self.triggered:
+                self.succeed((idx, ev.value))
+
+        return cb

@@ -1,0 +1,53 @@
+"""Generator-based coroutine processes.
+
+A process is a generator that yields :class:`~repro.sim.events.Event`
+objects; the process resumes when the yielded event fires, receiving
+the event's value as the result of the ``yield`` expression.  A process
+is itself an event that fires (with the generator's return value) when
+the generator finishes, so processes can wait on each other — that is
+how the timeline model expresses "compute waits for the prefetch of the
+next block".
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running coroutine inside the engine."""
+
+    def __init__(self, engine: Engine, generator: Generator, name: str = "process") -> None:
+        super().__init__(engine, name)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__} "
+                "(did you forget a yield?)"
+            )
+        self._gen = generator
+        # start at the current instant, but via the heap so creation
+        # order does not matter within a timestep
+        engine.schedule(0.0, lambda: self._resume(None))
+
+    def _resume(self, send_value) -> None:
+        try:
+            target = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}; "
+                "processes may only yield Event instances"
+            )
+        target.add_callback(lambda ev: self._resume(ev.value))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "done" if self.triggered else "running"
+        return f"<Process {self.name!r} {state}>"

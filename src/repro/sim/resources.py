@@ -1,0 +1,91 @@
+"""Capacity-limited FIFO resources (servers).
+
+The DMA channel of a CG is a single shared resource: concurrent
+requests from double buffering queue up and serialize on it, which is
+exactly the effect that limits how much latency double buffering can
+hide once compute time drops below transfer time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+
+__all__ = ["Resource"]
+
+
+class Resource:
+    """A server pool with FIFO admission.
+
+    ``request()`` returns an event that fires when a slot is granted;
+    the holder must call ``release()`` exactly once per grant.
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._queue: deque[Event] = deque()
+        #: cumulative busy time integral (for utilization reports).
+        self.busy_time = 0.0
+        self._last_change = 0.0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def _account(self) -> None:
+        now = self.engine.now
+        self.busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def request(self) -> Event:
+        ev = self.engine.event(f"{self.name}.request")
+        self._account()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._queue.append(ev)
+        return ev
+
+    def release(self) -> None:
+        self._account()
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._queue:
+            # hand the slot straight to the next waiter
+            self._queue.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+    def use(self, duration: float):
+        """A process body that acquires, holds for ``duration``, releases.
+
+        Usage from another process::
+
+            yield engine.process(channel.use(t), name="dma")
+        """
+        yield self.request()
+        try:
+            yield self.engine.timeout(duration)
+        finally:
+            self.release()
+
+    def utilization(self, horizon: float | None = None) -> float:
+        """Busy fraction over ``[0, horizon]`` (default: now)."""
+        self._account()
+        horizon = self.engine.now if horizon is None else horizon
+        if horizon <= 0:
+            return 0.0
+        return self.busy_time / (horizon * self.capacity)

@@ -1,0 +1,77 @@
+"""Lockstep SIMT execution of per-thread kernels.
+
+The paper: "The 64 threads work in the way of single-instruction
+multiple-thread (SIMT)."  The GEMM variants exploit that by executing
+bulk-synchronously (one Python loop over threads per phase); this
+module provides the *general* model — every CPE thread is its own
+generator, yielding :data:`BARRIER` at synchronization points — so the
+equivalence of the two executions can be tested rather than assumed
+(see ``tests/unit/sim/test_simt.py``, which runs a full strip
+multiplication as 64 coroutines and matches the bulk-synchronous
+result).
+
+Threads may return values; :func:`run_lockstep` collects them.  A
+thread that exits while others still hit barriers is an error (on
+hardware the cluster sync would hang), as is a generator yielding
+anything but :data:`BARRIER`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.arch.mesh import Coord
+
+__all__ = ["BARRIER", "run_lockstep"]
+
+#: the value SIMT threads yield to arrive at the cluster barrier.
+BARRIER = object()
+
+
+def run_lockstep(
+    threads: Mapping[Coord, Generator] | Sequence[Generator],
+    max_steps: int = 1_000_000,
+) -> dict[Any, Any]:
+    """Drive all threads barrier-to-barrier until every one returns.
+
+    All threads advance to their next barrier before any crosses it —
+    the lockstep semantics of the CPE cluster's ``sync``.  Returns each
+    thread's return value, keyed like the input.
+    """
+    if isinstance(threads, Mapping):
+        items = list(threads.items())
+    else:
+        items = list(enumerate(threads))
+    if not items:
+        raise SimulationError("no threads to run")
+    live: dict[Any, Generator] = {key: gen for key, gen in items}
+    results: dict[Any, Any] = {}
+    for _step in range(max_steps):
+        arrived = []
+        finished = []
+        for key, gen in live.items():
+            try:
+                yielded = gen.send(None)
+            except StopIteration as stop:
+                results[key] = stop.value
+                finished.append(key)
+                continue
+            if yielded is not BARRIER:
+                raise SimulationError(
+                    f"SIMT thread {key} yielded {yielded!r}; threads may "
+                    "only yield BARRIER"
+                )
+            arrived.append(key)
+        for key in finished:
+            del live[key]
+        if not live:
+            return results
+        if arrived and finished:
+            # divergence: some threads ended while others wait at a
+            # barrier that can now never fill
+            raise SimulationError(
+                f"{len(finished)} threads exited while {len(arrived)} wait "
+                "at a barrier — the cluster sync would hang"
+            )
+    raise SimulationError(f"lockstep did not converge in {max_steps} steps")

@@ -1,0 +1,91 @@
+"""Timeline tracing: named spans with categories.
+
+The Figure 6 analysis uses traces to report how much of the wall clock
+each variant spends in DMA vs. compute and how much overlap double
+buffering achieves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """A closed interval of activity on the timeline."""
+
+    category: str
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects spans and answers aggregate questions about them."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+
+    def record(self, category: str, label: str, start: float, end: float) -> None:
+        if end < start:
+            raise ValueError(f"span ends before it starts: [{start}, {end}]")
+        self.spans.append(Span(category, label, start, end))
+
+    def total(self, category: str) -> float:
+        """Sum of span durations in a category (overlap counted twice)."""
+        return sum(s.duration for s in self.spans if s.category == category)
+
+    def busy(self, category: str) -> float:
+        """Union length of a category's spans (overlap counted once)."""
+        intervals = sorted(
+            (s.start, s.end) for s in self.spans if s.category == category
+        )
+        busy = 0.0
+        cur_start: float | None = None
+        cur_end = 0.0
+        for start, end in intervals:
+            if cur_start is None:
+                cur_start, cur_end = start, end
+            elif start <= cur_end:
+                cur_end = max(cur_end, end)
+            else:
+                busy += cur_end - cur_start
+                cur_start, cur_end = start, end
+        if cur_start is not None:
+            busy += cur_end - cur_start
+        return busy
+
+    def overlap(self, cat_a: str, cat_b: str) -> float:
+        """Total time during which both categories are active."""
+        a = sorted((s.start, s.end) for s in self.spans if s.category == cat_a)
+        b = sorted((s.start, s.end) for s in self.spans if s.category == cat_b)
+        i = j = 0
+        shared = 0.0
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if lo < hi:
+                shared += hi - lo
+            if a[i][1] <= b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return shared
+
+    def categories(self) -> list[str]:
+        return sorted({s.category for s in self.spans})
+
+    def makespan(self) -> float:
+        if not self.spans:
+            return 0.0
+        return max(s.end for s in self.spans) - min(s.start for s in self.spans)
+
+    def filter(self, category: str) -> Iterable[Span]:
+        return (s for s in self.spans if s.category == category)

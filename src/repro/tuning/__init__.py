@@ -1,0 +1,12 @@
+"""Automatic blocking-parameter tuning (the paper's future work).
+
+The conclusion announces "automatic code generation and automatic
+performance tuning"; :mod:`repro.isa.scheduler` covers the code
+generation half, this subpackage the tuning half: enumerate every
+blocking configuration that satisfies the hardware constraints and rank
+them with the performance model.
+"""
+
+from repro.tuning.search import Candidate, TuningResult, autotune, enumerate_candidates
+
+__all__ = ["Candidate", "TuningResult", "autotune", "enumerate_candidates"]

@@ -1,0 +1,34 @@
+"""Small shared helpers: unit conversions, validation, table formatting."""
+
+from repro.utils.units import (
+    GIGA,
+    KIB,
+    MIB,
+    bytes_per_double,
+    cycles_to_seconds,
+    gflops,
+    seconds_to_cycles,
+)
+from repro.utils.validation import (
+    check_multiple,
+    check_positive,
+    check_positive_int,
+    check_range,
+)
+from repro.utils.format import Table, format_si
+
+__all__ = [
+    "GIGA",
+    "KIB",
+    "MIB",
+    "bytes_per_double",
+    "cycles_to_seconds",
+    "gflops",
+    "seconds_to_cycles",
+    "check_multiple",
+    "check_positive",
+    "check_positive_int",
+    "check_range",
+    "Table",
+    "format_si",
+]

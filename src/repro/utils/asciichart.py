@@ -1,0 +1,107 @@
+"""Terminal line charts for the figure experiments.
+
+No plotting library is available offline, so the figure reproductions
+render as ASCII: one glyph per series, points placed on a
+character-cell canvas with a labelled y-axis. Good enough to *see*
+Figure 6's ordering and saturation without leaving the terminal::
+
+    Gflop/s
+     706.1 |                        EEEEEEEEE
+           |              EEEE
+           |        EE
+     ...
+           +----------------------------------
+            1536      7680            15360
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigError
+
+__all__ = ["line_chart"]
+
+#: glyphs assigned to series in order.
+GLYPHS = "ox*+#@%&"
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render series over common x values as an ASCII chart.
+
+    Points are nearest-cell plotted and joined by vertical fill when
+    consecutive points jump more than one row (so steep rises stay
+    visually connected). A legend maps glyphs to series names.
+    """
+    if width < 16 or height < 4:
+        raise ConfigError("chart needs width >= 16 and height >= 4")
+    if not xs or not series:
+        raise ConfigError("chart needs x values and at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ConfigError(
+                f"series {name!r} has {len(ys)} points for {len(xs)} x values"
+            )
+    if len(series) > len(GLYPHS):
+        raise ConfigError(f"at most {len(GLYPHS)} series supported")
+
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    def col(x: float) -> int:
+        return round((x - x_min) / (x_max - x_min) * (width - 1))
+
+    def row(y: float) -> int:
+        # row 0 is the top of the canvas
+        return (height - 1) - round((y - y_min) / (y_max - y_min) * (height - 1))
+
+    canvas = [[" "] * width for _ in range(height)]
+    for glyph, (name, ys) in zip(GLYPHS, series.items()):
+        prev: tuple[int, int] | None = None
+        for x, y in zip(xs, ys):
+            c, r = col(x), row(y)
+            canvas[r][c] = glyph
+            if prev is not None:
+                pc, pr = prev
+                lo, hi = sorted((pr, r))
+                for rr in range(lo + 1, hi):
+                    cc = pc + round((c - pc) * (rr - lo) / max(hi - lo, 1))
+                    if canvas[rr][cc] == " ":
+                        canvas[rr][cc] = "|" if pc == c else "."
+            prev = (c, r)
+
+    margin = max(len(f"{y_max:.1f}"), len(f"{y_min:.1f}")) + 1
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    for r, cells in enumerate(canvas):
+        if r == 0:
+            tick = f"{y_max:.1f}"
+        elif r == height - 1:
+            tick = f"{y_min:.1f}"
+        else:
+            tick = ""
+        lines.append(f"{tick.rjust(margin)} |{''.join(cells)}")
+    axis = f"{' ' * margin} +{'-' * width}"
+    lines.append(axis)
+    x_lo, x_hi = f"{x_min:g}", f"{x_max:g}"
+    pad = width - len(x_lo) - len(x_hi)
+    lines.append(f"{' ' * margin}  {x_lo}{' ' * max(pad, 1)}{x_hi}"
+                 + (f"  {x_label}" if x_label else ""))
+    legend = "   ".join(
+        f"{glyph}={name}" for glyph, name in zip(GLYPHS, series)
+    )
+    lines.append(f"{' ' * margin}  {legend}")
+    return "\n".join(line.rstrip() for line in lines)

@@ -1,0 +1,66 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment drivers print the same rows/series the paper's figures
+show; a small dependency-free table keeps that output readable in a
+terminal and stable in test fixtures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_si(value: float, unit: str = "", digits: int = 1) -> str:
+    """Format a value with an SI suffix, e.g. ``706.1 G`` for 7.061e11."""
+    for threshold, suffix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.{digits}f} {suffix}{unit}".rstrip()
+    return f"{value:.{digits}f} {unit}".rstrip()
+
+
+class Table:
+    """A minimal column-aligned text table.
+
+    >>> t = Table(["size", "Gflop/s"])
+    >>> t.add_row([1536, 623.9])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    size  Gflop/s
+    ----  -------
+    1536  623.9
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None) -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = [self._fmt(c) for c in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    @staticmethod
+    def _fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.1f}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(line.rstrip() for line in lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,42 @@
+"""Unit conversions used throughout the performance models.
+
+The paper quotes clock cycles (1.45 GHz), bandwidths in GB/s (decimal
+gigabytes, as is conventional for memory-channel figures) and
+performance in Gflop/s.  Centralising the conversions avoids the classic
+GiB-vs-GB calibration bug.
+"""
+
+from __future__ import annotations
+
+GIGA = 1e9
+KIB = 1024
+MIB = 1024 * 1024
+
+#: Size of an IEEE-754 double in bytes (the W of Sec III-C).
+BYTES_PER_DOUBLE = 8
+
+
+def bytes_per_double() -> int:
+    """Return the storage size of one matrix element (f64)."""
+    return BYTES_PER_DOUBLE
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float) -> float:
+    """Convert a cycle count at ``clock_hz`` to seconds."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return cycles / clock_hz
+
+
+def seconds_to_cycles(seconds: float, clock_hz: float) -> float:
+    """Convert seconds to (fractional) cycles at ``clock_hz``."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return seconds * clock_hz
+
+
+def gflops(flops: float, seconds: float) -> float:
+    """Return Gflop/s for ``flops`` done in ``seconds``."""
+    if seconds <= 0:
+        raise ValueError(f"seconds must be positive, got {seconds}")
+    return flops / seconds / GIGA

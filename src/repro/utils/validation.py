@@ -1,0 +1,57 @@
+"""Argument-validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigError
+
+
+def check_positive_int(name: str, value: Any) -> int:
+    """Validate that ``value`` is a positive integer and return it.
+
+    Accepts ints and integer-valued numpy scalars; rejects bools (a bool
+    is an int in Python but never a meaningful block size).
+    """
+    if isinstance(value, bool) or not isinstance(value, (int,)) and not _is_np_integer(value):
+        raise ConfigError(f"{name} must be an int, got {type(value).__name__}")
+    ivalue = int(value)
+    if ivalue <= 0:
+        raise ConfigError(f"{name} must be positive, got {ivalue}")
+    return ivalue
+
+
+def check_positive(name: str, value: Any) -> float:
+    """Validate that ``value`` is a positive real number and return it."""
+    try:
+        fvalue = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"{name} must be a number, got {type(value).__name__}") from exc
+    if not fvalue > 0:
+        raise ConfigError(f"{name} must be positive, got {fvalue}")
+    return fvalue
+
+
+def check_multiple(name: str, value: int, factor: int) -> int:
+    """Validate that ``value`` is a positive multiple of ``factor``."""
+    ivalue = check_positive_int(name, value)
+    if ivalue % factor != 0:
+        raise ConfigError(f"{name} must be a multiple of {factor}, got {ivalue}")
+    return ivalue
+
+
+def check_range(name: str, value: int, low: int, high: int) -> int:
+    """Validate ``low <= value <= high`` (inclusive) and return value."""
+    ivalue = int(value)
+    if not (low <= ivalue <= high):
+        raise ConfigError(f"{name} must be in [{low}, {high}], got {ivalue}")
+    return ivalue
+
+
+def _is_np_integer(value: Any) -> bool:
+    try:
+        import numpy as np
+
+        return isinstance(value, np.integer)
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        return False

@@ -1,0 +1,19 @@
+"""Workload definitions: matrix generators and the paper's shape sets."""
+
+from repro.workloads.matrices import random_matrix, gemm_operands, hilbert_like
+from repro.workloads.shapes import (
+    FIG6_SIZES,
+    FIG7_SHAPES,
+    FIG4_SIZES,
+    functional_shapes,
+)
+
+__all__ = [
+    "random_matrix",
+    "gemm_operands",
+    "hilbert_like",
+    "FIG6_SIZES",
+    "FIG7_SHAPES",
+    "FIG4_SIZES",
+    "functional_shapes",
+]

@@ -1,0 +1,54 @@
+"""HPL workload model: the DGEMM shape sequence of a factorization.
+
+HPL factors an N x N system in panels of width NB; after each panel the
+trailing update is a DGEMM of shape (N - j*NB) x (N - j*NB) x NB.  This
+module enumerates that sequence and its flop accounting so the E8
+experiment can project how much of an HPL run the paper's kernel
+covers, and at what rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["HPLTrace", "hpl_trace"]
+
+
+@dataclass(frozen=True)
+class HPLTrace:
+    """Shapes and flops of one HPL factorization."""
+
+    n: int
+    nb: int
+    #: trailing-update GEMM shapes (m, n, k), largest first.
+    updates: tuple[tuple[int, int, int], ...]
+
+    @property
+    def gemm_flops(self) -> int:
+        return sum(2 * m * n_ * k for m, n_, k in self.updates)
+
+    @property
+    def total_flops(self) -> float:
+        """The classic HPL flop count 2/3 N^3 + 3/2 N^2."""
+        return 2.0 * self.n**3 / 3.0 + 1.5 * self.n**2
+
+    @property
+    def gemm_fraction(self) -> float:
+        return self.gemm_flops / self.total_flops
+
+
+def hpl_trace(n: int, nb: int) -> HPLTrace:
+    """Enumerate the trailing-update DGEMMs of an N x N, NB-blocked HPL."""
+    if n <= 0 or nb <= 0:
+        raise ConfigError("n and nb must be positive")
+    if nb > n:
+        raise ConfigError(f"panel width {nb} exceeds matrix size {n}")
+    updates = []
+    offset = nb
+    while offset < n:
+        trailing = n - offset
+        updates.append((trailing, trailing, min(nb, trailing)))
+        offset += nb
+    return HPLTrace(n=n, nb=nb, updates=tuple(updates))

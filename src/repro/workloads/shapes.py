@@ -1,0 +1,44 @@
+"""The shape sets of the paper's evaluation section.
+
+- Figure 4 and Figure 6 sweep ``1536 .. 15360`` in steps of 1536
+  (square matrices / ``m = k`` for the DMA micro-benchmark);
+- Figure 7 varies one dimension at a time around the saturated square
+  size 9216 — the paper's finding is that small ``m`` hurts (the
+  double-buffer prologue is amortized over the M loop) while ``n`` and
+  ``k`` barely matter.
+
+All values are multiples of the SCHED block factors
+(bM, bN, bK) = (128, 256, 768), as the paper requires.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FIG4_SIZES", "FIG6_SIZES", "FIG7_SHAPES", "functional_shapes"]
+
+#: m = k sweep of the DMA mode micro-benchmark (Figure 4).
+FIG4_SIZES: tuple[int, ...] = tuple(range(1536, 15360 + 1, 1536))
+
+#: m = n = k sweep of the variant comparison (Figure 6).
+FIG6_SIZES: tuple[int, ...] = tuple(range(1536, 15360 + 1, 1536))
+
+#: (m, n, k) grid of the shape study (Figure 7): vary each dimension
+#: across {1536, 3072, 6144, 12288} holding the others at 9216.
+_BASE = 9216
+_VARIED = (1536, 3072, 6144, 12288)
+FIG7_SHAPES: tuple[tuple[int, int, int], ...] = (
+    *((v, _BASE, _BASE) for v in _VARIED),
+    *((_BASE, v, _BASE) for v in _VARIED),
+    *((_BASE, _BASE, v) for v in _VARIED),
+    (_BASE, _BASE, _BASE),
+)
+
+
+def functional_shapes(params_b_m: int, params_b_n: int, params_b_k: int,
+                      max_blocks: int = 2) -> list[tuple[int, int, int]]:
+    """Small shapes (in block multiples) for functional validation."""
+    shapes = []
+    for gm in range(1, max_blocks + 1):
+        for gn in range(1, max_blocks + 1):
+            for gk in range(1, max_blocks + 1):
+                shapes.append((gm * params_b_m, gn * params_b_n, gk * params_b_k))
+    return shapes

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import CoreGroup, SW26010Spec
+from repro.core.params import BlockingParams
+
+
+@pytest.fixture()
+def spec() -> SW26010Spec:
+    return SW26010Spec()
+
+
+@pytest.fixture()
+def cg(spec: SW26010Spec) -> CoreGroup:
+    return CoreGroup(spec)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def small_single() -> BlockingParams:
+    """Scaled-down single-buffered params for fast functional runs."""
+    return BlockingParams.small(double_buffered=False)
+
+
+@pytest.fixture()
+def small_double() -> BlockingParams:
+    """Scaled-down double-buffered params for fast functional runs."""
+    return BlockingParams.small(double_buffered=True)

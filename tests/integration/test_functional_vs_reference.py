@@ -1,0 +1,84 @@
+"""Integration: every variant, many shapes and scalar combinations,
+always exactly matching the numpy reference."""
+
+import numpy as np
+import pytest
+
+from repro.arch.core_group import CoreGroup
+from repro.core.api import dgemm
+from repro.core.params import BlockingParams
+from repro.core.reference import reference_dgemm
+from repro.workloads.matrices import gemm_operands, hilbert_like
+from repro.workloads.shapes import functional_shapes
+
+SINGLE = BlockingParams.small(double_buffered=False)
+DOUBLE = BlockingParams.small(double_buffered=True)
+
+
+def params_for(variant: str) -> BlockingParams:
+    return SINGLE if variant in ("PE", "ROW") else DOUBLE
+
+
+@pytest.mark.parametrize("variant", ["RAW", "PE", "ROW", "DB", "SCHED"])
+@pytest.mark.parametrize("alpha,beta", [(1.0, 0.0), (1.0, 1.0), (-2.5, 0.75)])
+def test_variant_matches_reference(variant, alpha, beta):
+    p = params_for(variant)
+    m, n, k = 2 * p.b_m, p.b_n, p.b_k
+    a, b, c = gemm_operands(m, n, k, seed=hash((variant, alpha)) % 2**16)
+    out = dgemm(a, b, c, alpha=alpha, beta=beta, variant=variant, params=p)
+    assert np.allclose(out, reference_dgemm(alpha, a, b, beta, c), rtol=1e-12, atol=1e-9)
+
+
+@pytest.mark.parametrize("shape", functional_shapes(128, 64, 128, max_blocks=2))
+def test_sched_all_block_grids(shape):
+    m, n, k = shape
+    a, b, c = gemm_operands(m, n, k, seed=5)
+    out = dgemm(a, b, c, alpha=1.1, beta=-0.2, variant="SCHED", params=DOUBLE)
+    assert np.allclose(out, reference_dgemm(1.1, a, b, -0.2, c), rtol=1e-12, atol=1e-9)
+
+
+def test_ill_conditioned_operands():
+    """Blocked accumulation order on poorly scaled data stays close to
+    the reference (same data, different summation order)."""
+    p = DOUBLE
+    m, n, k = p.b_m, p.b_n, 2 * p.b_k
+    a = hilbert_like(m, k) * 1e8
+    b = hilbert_like(k, n)
+    out = dgemm(a, b, variant="SCHED", params=p)
+    ref = a @ b
+    assert np.allclose(out, ref, rtol=1e-9)
+
+
+def test_identity_propagation():
+    p = DOUBLE
+    n = p.b_n
+    a = np.eye(p.b_m, p.b_k)
+    b = np.zeros((p.b_k, n))
+    b[: p.b_m, :] = np.arange(p.b_m * n).reshape(p.b_m, n)
+    out = dgemm(a, b, variant="SCHED", params=p)
+    assert np.array_equal(out, b[: p.b_m, :])
+
+
+def test_zero_alpha_scales_c_only():
+    p = SINGLE
+    a, b, c = gemm_operands(p.b_m, p.b_n, p.b_k, seed=9)
+    out = dgemm(a, b, c, alpha=0.0, beta=3.0, variant="PE", params=p)
+    assert np.allclose(out, 3.0 * c, rtol=1e-13)
+
+
+def test_repeated_runs_on_one_device_are_deterministic():
+    cg = CoreGroup()
+    p = DOUBLE
+    a, b, c = gemm_operands(p.b_m, p.b_n, p.b_k, seed=11)
+    first = dgemm(a, b, c, beta=1.0, variant="SCHED", params=p, core_group=cg)
+    second = dgemm(a, b, c, beta=1.0, variant="SCHED", params=p, core_group=cg)
+    assert np.array_equal(first, second)
+
+
+def test_paper_params_one_block():
+    """One full paper-sized CG block through DB params (the smallest
+    admissible paper shape: 128 x 256 x 768)."""
+    p = BlockingParams.paper_double()
+    a, b, c = gemm_operands(p.b_m, p.b_n, p.b_k, seed=21)
+    out = dgemm(a, b, c, alpha=2.0, beta=-1.0, variant="SCHED", params=p)
+    assert np.allclose(out, reference_dgemm(2.0, a, b, -1.0, c), rtol=1e-12, atol=1e-9)

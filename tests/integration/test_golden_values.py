@@ -1,0 +1,58 @@
+"""Golden-value snapshots of the headline numbers.
+
+The paper-claims tests use tolerance bands; these pin the *exact*
+model outputs (to 0.1 Gflop/s / 0.1 GB/s) so any change to a model or
+calibration constant shows up as a diff here even when it stays inside
+the bands. Update deliberately, alongside EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig4_dma_bandwidth,
+    fig6_variants,
+    sched_profile,
+)
+
+GOLDEN_FIG6_SUSTAINED = {
+    "RAW": 156.7,
+    "PE": 248.4,
+    "ROW": 272.7,
+    "DB": 340.5,
+    "SCHED": 701.0,
+}
+
+GOLDEN_SCHED_SERIES = (626.8, 665.9, 680.1, 687.4, 691.9,
+                       694.9, 697.1, 698.7, 700.0, 701.0)
+
+GOLDEN_FIG4_PLATEAUS = {"PE": 18.9, "ROW": 28.1}
+
+
+class TestGoldenFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_variants.run()
+
+    def test_sustained_values(self, result):
+        for variant, golden in GOLDEN_FIG6_SUSTAINED.items():
+            assert result.sustained(variant) == pytest.approx(golden, abs=0.1), variant
+
+    def test_sched_series(self, result):
+        for got, golden in zip(result.gflops["SCHED"], GOLDEN_SCHED_SERIES):
+            assert got == pytest.approx(golden, abs=0.1)
+
+
+class TestGoldenFig4:
+    def test_plateaus(self):
+        result = fig4_dma_bandwidth.run()
+        assert result.plateau("PE") == pytest.approx(GOLDEN_FIG4_PLATEAUS["PE"], abs=0.1)
+        assert result.plateau("ROW") == pytest.approx(GOLDEN_FIG4_PLATEAUS["ROW"], abs=0.1)
+
+
+class TestGoldenKernel:
+    def test_strip_cycles_exact(self):
+        result = sched_profile.run()
+        assert result.scheduled.strip_cycles == 100_736
+        assert result.naive.strip_cycles == 210_944
+        assert result.hand_cycles_per_iteration == 16.0
+        assert result.naive_cycles_per_iteration == 34.0

@@ -1,0 +1,51 @@
+"""Integration: Figure 6's conclusions survive calibration perturbation."""
+
+import pytest
+
+from repro.experiments import robustness
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return robustness.run()
+
+
+class TestRobustness:
+    def test_every_corner_covered(self, cases):
+        perturbed = [(c.field, c.scale) for c in cases if c.scale != 1.0]
+        assert len(perturbed) == len(robustness.PERTURBED_FIELDS) * 2
+
+    def test_ordering_holds_everywhere(self, cases):
+        assert all(c.ordering_holds for c in cases)
+
+    def test_sched_efficiency_band_everywhere(self, cases):
+        for case in cases:
+            assert 0.90 <= case.sched_efficiency <= 0.97, (
+                f"SCHED efficiency {case.sched_efficiency:.3f} outside band "
+                f"under {case.field} x{case.scale}"
+            )
+
+    def test_db_over_row_stable(self, cases):
+        for case in cases:
+            improvement = case.gflops["DB"] / case.gflops["ROW"] - 1.0
+            assert 0.15 <= improvement <= 0.40
+
+    def test_sched_over_db_stable(self, cases):
+        for case in cases:
+            improvement = case.gflops["SCHED"] / case.gflops["DB"] - 1.0
+            assert 0.9 <= improvement <= 1.3
+
+    def test_segment_overhead_moves_memory_bound_variants_most(self, cases):
+        """RAW (memory bound) must react to segment overhead far more
+        than SCHED (compute bound) — a sanity check that the
+        perturbation reaches the right code paths."""
+        by_key = {(c.field, c.scale): c for c in cases}
+        base = by_key[("tx_overhead_s", 1.0)]
+        heavy = by_key[("segment_overhead_s", 2.0)]
+        raw_drop = 1 - heavy.gflops["RAW"] / base.gflops["RAW"]
+        sched_drop = 1 - heavy.gflops["SCHED"] / base.gflops["SCHED"]
+        assert raw_drop > 10 * sched_drop
+
+    def test_render(self, cases):
+        text = robustness.render(cases).render()
+        assert "holds" in text and "BROKEN" not in text

@@ -1,0 +1,73 @@
+"""Property tests for the application layers (LU, conv)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.conv import conv2d_gemm, conv2d_reference, im2col
+from repro.apps.lu import blocked_lu, lu_residual, lu_solve
+from repro.core.params import BlockingParams
+
+PARAMS = BlockingParams.small(double_buffered=True)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    n=st.sampled_from([32, 48, 64, 96]),
+    panel=st.sampled_from([16, 32]),
+    seed=st.integers(0, 2**16),
+)
+def test_lu_residual_always_acceptable(n, panel, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n)) + n * np.eye(n)   # diagonally dominant
+    result = blocked_lu(a, panel=panel, params=PARAMS)
+    assert lu_residual(a, result) < 16.0
+
+
+@settings(max_examples=6, deadline=None)
+@given(n=st.sampled_from([32, 64]), seed=st.integers(0, 2**16))
+def test_lu_solve_recovers_known_solution(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n)) + n * np.eye(n)
+    x_true = rng.standard_normal(n)
+    result = blocked_lu(a, panel=16, params=PARAMS)
+    x = lu_solve(result, a @ x_true)
+    assert np.allclose(x, x_true, rtol=1e-8, atol=1e-8)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    batch=st.integers(1, 3),
+    channels=st.integers(1, 3),
+    size=st.integers(5, 10),
+    filters=st.integers(1, 4),
+    kernel=st.integers(1, 3),
+    stride=st.integers(1, 2),
+    seed=st.integers(0, 2**16),
+)
+def test_conv_gemm_matches_direct(batch, channels, size, filters, kernel, stride, seed):
+    rng = np.random.default_rng(seed)
+    images = rng.standard_normal((batch, channels, size, size))
+    kernels = rng.standard_normal((filters, channels, kernel, kernel))
+    got = conv2d_gemm(images, kernels, stride=stride, params=PARAMS)
+    ref = conv2d_reference(images, kernels, stride=stride)
+    assert got.shape == ref.shape
+    assert np.allclose(got, ref, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    channels=st.integers(1, 4),
+    h=st.integers(3, 10),
+    w=st.integers(3, 10),
+    kh=st.integers(1, 3),
+    kw=st.integers(1, 3),
+)
+def test_im2col_shape_and_count(channels, h, w, kh, kw):
+    if kh > h or kw > w:
+        return
+    images = np.arange(float(channels * h * w)).reshape(1, channels, h, w)
+    cols = im2col(images, kh, kw)
+    oh, ow = h - kh + 1, w - kw + 1
+    assert cols.shape == (channels * kh * kw, oh * ow)
+    # every column is a genuine sub-patch: values come from the image
+    assert set(np.unique(cols)).issubset(set(images.reshape(-1)))

@@ -1,0 +1,93 @@
+"""Property tests: assembler roundtrips and software-cache coherence."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.memory import MainMemory
+from repro.arch.swcache import SoftwareCache
+from repro.isa.assembler import assemble, disassemble
+from repro.isa.instructions import addl, getc, getr, lddec, nop, vldd, vldr, vmad, vstd
+
+REGS = [f"r{i}" for i in range(6)] + ["ldmA", "ldmB", "ldmC"]
+
+
+@st.composite
+def instruction(draw):
+    kind = draw(st.sampled_from(
+        ["vmad", "vldd", "vldr", "lddec", "getr", "getc", "vstd", "addl", "nop"]
+    ))
+    reg = lambda: draw(st.sampled_from(REGS))  # noqa: E731
+    if kind == "vmad":
+        return vmad(reg(), reg(), reg(), reg())
+    if kind == "vldd":
+        return vldd(reg(), reg())
+    if kind == "vldr":
+        return vldr(reg(), reg())
+    if kind == "lddec":
+        return lddec(reg(), reg())
+    if kind == "getr":
+        return getr(reg())
+    if kind == "getc":
+        return getc(reg())
+    if kind == "vstd":
+        return vstd(reg(), reg())
+    if kind == "addl":
+        return addl(reg(), reg(), reg())
+    return nop()
+
+
+@settings(max_examples=40, deadline=None)
+@given(prog=st.lists(instruction(), min_size=1, max_size=30))
+def test_disassemble_assemble_roundtrip(prog):
+    text = disassemble(prog)
+    again = assemble(text)
+    assert [str(i) for i in again] == [str(i) for i in prog]
+    assert [i.unit for i in again] == [i.unit for i in prog]
+    assert [i.latency_class for i in again] == [i.latency_class for i in prog]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    accesses=st.lists(
+        st.tuples(st.integers(0, 63), st.integers(0, 15)),
+        min_size=1, max_size=200,
+    ),
+    ways=st.sampled_from([1, 2, 4]),
+    seed=st.integers(0, 2**16),
+)
+def test_cache_reads_always_coherent(accesses, ways, seed):
+    """Any access pattern: cached reads equal the backing matrix."""
+    memory = MainMemory()
+    rng = np.random.default_rng(seed)
+    matrix = np.asfortranarray(rng.standard_normal((64, 16)))
+    handle = memory.store("M", matrix)
+    cache = SoftwareCache(memory, handle, capacity_bytes=1024,
+                          line_doubles=16, ways=ways)
+    for row, col in accesses:
+        assert cache.read(row, col) == matrix[row, col]
+    assert cache.stats.accesses == len(accesses)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, 63), st.integers(0, 15),
+                  st.floats(-100, 100)),
+        min_size=1, max_size=100,
+    ),
+    ways=st.sampled_from([1, 4]),
+)
+def test_cache_writeback_preserves_all_stores(writes, ways):
+    """After flush, main memory reflects the last write to every cell
+    regardless of eviction interleavings."""
+    memory = MainMemory()
+    matrix = np.zeros((64, 16), order="F")
+    handle = memory.store("M", matrix)
+    cache = SoftwareCache(memory, handle, capacity_bytes=512,
+                          line_doubles=16, ways=ways)
+    expected = matrix.copy()
+    for row, col, value in writes:
+        cache.write(row, col, value)
+        expected[row, col] = value
+    cache.flush()
+    assert np.array_equal(memory.array(handle), expected)

@@ -1,0 +1,81 @@
+"""Property tests: blocking parameters and the Sec III-C model."""
+
+import pytest
+from hypothesis import assume, given, strategies as st
+
+from repro.core import model
+from repro.core.params import BlockingParams
+from repro.errors import BlockingError, ConfigError, UnsupportedShapeError
+
+p_m_strategy = st.integers(1, 4).map(lambda x: 16 * x)
+p_n_strategy = st.integers(1, 24).map(lambda x: 4 * x)
+p_k_strategy = st.integers(1, 12).map(lambda x: 16 * x)
+
+
+@given(p_m=p_m_strategy, p_n=p_n_strategy, p_k=p_k_strategy,
+       db=st.booleans())
+def test_fits_iff_doubles_below_budget(p_m, p_n, p_k, db):
+    params = BlockingParams(p_m, p_n, p_k, double_buffered=db)
+    assert params.fits() == (params.ldm_doubles_per_cpe < 8192)
+
+
+@given(p_m=p_m_strategy, p_n=p_n_strategy, p_k=p_k_strategy)
+def test_double_buffering_needs_more_ldm(p_m, p_n, p_k):
+    single = BlockingParams(p_m, p_n, p_k, double_buffered=False)
+    double = BlockingParams(p_m, p_n, p_k, double_buffered=True)
+    extra = double.ldm_doubles_per_cpe - single.ldm_doubles_per_cpe
+    assert extra == p_m * p_k + p_m * p_n  # one extra A and C tile
+
+
+@given(p_m=p_m_strategy, p_n=p_n_strategy, p_k=p_k_strategy)
+def test_cg_blocks_are_8x_thread_blocks(p_m, p_n, p_k):
+    p = BlockingParams(p_m, p_n, p_k)
+    assert (p.b_m, p.b_n, p.b_k) == (8 * p_m, 8 * p_n, 8 * p_k)
+
+
+@given(
+    p_m=p_m_strategy, p_n=p_n_strategy, p_k=p_k_strategy,
+    gm=st.integers(1, 5), gn=st.integers(1, 5), gk=st.integers(1, 5),
+)
+def test_shape_admission_roundtrip(p_m, p_n, p_k, gm, gn, gk):
+    p = BlockingParams(p_m, p_n, p_k)
+    grid = p.check_shape(gm * p.b_m, gn * p.b_n, gk * p.b_k)
+    assert grid == (gm, gn, gk)
+
+
+@given(p_m=p_m_strategy, p_n=p_n_strategy, p_k=p_k_strategy,
+       off=st.integers(1, 127))
+def test_misaligned_shapes_rejected(p_m, p_n, p_k, off):
+    p = BlockingParams(p_m, p_n, p_k)
+    assume(off % p.b_m != 0)
+    with pytest.raises(UnsupportedShapeError):
+        p.check_shape(p.b_m + off, p.b_n, p.b_k)
+
+
+@given(b_n=st.floats(1.0, 1e5), b_k=st.floats(1.0, 1e5))
+def test_bandwidth_reduction_bounds(b_n, b_k):
+    s = model.bandwidth_reduction(b_n, b_k)
+    # S < 2*min(bK/2, bN) trivially; also S grows in both args
+    assert 0 < s < 2 * min(b_k / 2, b_n) + 1e-6
+    assert model.bandwidth_reduction(b_n * 2, b_k * 2) > s
+
+
+@given(m=st.floats(1.0, 1e7))
+def test_finite_m_only_decreases_s(m):
+    assert model.bandwidth_reduction(384, 768, m=m) <= model.bandwidth_reduction(384, 768)
+
+
+@given(r_m=st.integers(1, 10), r_n=st.integers(1, 10))
+def test_register_reduction_harmonic_mean_bounds(r_m, r_n):
+    red = model.register_bandwidth_reduction(r_m, r_n)
+    assert min(r_m, r_n) <= red <= 2 * min(r_m, r_n)
+    assert red <= (r_m + r_n)  # harmonic <= arithmetic
+
+
+@given(budget=st.floats(10.0, 1e6))
+def test_split_optimum_is_ratio_two(budget):
+    b_k, b_n = model.optimal_bk_bn_split(budget)
+    s_opt = model.bandwidth_reduction(b_n, b_k)
+    for ratio in (1.0, 1.5, 3.0):
+        alt_n = budget / (2 + ratio)
+        assert model.bandwidth_reduction(alt_n, ratio * alt_n) <= s_opt + 1e-9

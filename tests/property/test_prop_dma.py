@@ -1,0 +1,80 @@
+"""Property tests: DMA distributions are lossless permutations."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.core_group import CoreGroup
+from repro.arch.dma import row_mode_owner_rows
+
+# row counts: multiples of 16 (ROW_MODE groups); columns free
+rows_strategy = st.integers(min_value=1, max_value=8).map(lambda x: 16 * x)
+cols_strategy = st.integers(min_value=1, max_value=24)
+
+
+@given(rows=st.integers(min_value=1, max_value=64).map(lambda x: 16 * x))
+def test_owner_rows_partition_all_rows(rows):
+    """The 8 CPEs' ROW_MODE row subsets partition [0, rows) exactly."""
+    chunks = [row_mode_owner_rows(rows, j) for j in range(8)]
+    union = np.concatenate(chunks)
+    assert len(union) == rows
+    assert sorted(union.tolist()) == list(range(rows))
+
+
+@given(rows=rows_strategy, j=st.integers(min_value=0, max_value=7))
+def test_owner_rows_follow_mod16_rule(rows, j):
+    for r in row_mode_owner_rows(rows, j):
+        assert r % 16 in (2 * j, 2 * j + 1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(rows=rows_strategy, cols=cols_strategy, seed=st.integers(0, 2**16))
+def test_row_mode_roundtrip_is_identity(rows, cols, seed):
+    """scatter (row_get) then gather (row_put) reproduces the matrix."""
+    cg = CoreGroup()
+    rng = np.random.default_rng(seed)
+    original = np.asfortranarray(rng.standard_normal((rows, cols)))
+    handle = cg.memory.store("M", original)
+    for cpe in cg.cpes():
+        cpe.ldm.alloc("t", (rows // 8, cols))
+    bufs = cg.row_ldm_buffers(0, "t")
+    cg.dma.row_get(handle, 0, 0, rows, cols, bufs)
+    cg.memory.array(handle)[:] = np.nan
+    cg.dma.row_put(handle, 0, 0, rows, cols, bufs)
+    assert np.array_equal(cg.memory.array(handle), original)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    tile_rows=st.integers(1, 4).map(lambda x: 16 * x),
+    tile_cols=st.integers(1, 12),
+    seed=st.integers(0, 2**16),
+)
+def test_pe_mode_roundtrip_is_identity(tile_rows, tile_cols, seed):
+    cg = CoreGroup()
+    rng = np.random.default_rng(seed)
+    original = np.asfortranarray(rng.standard_normal((2 * tile_rows, 2 * tile_cols)))
+    handle = cg.memory.store("M", original)
+    cpe = cg.cpe((0, 0))
+    cpe.ldm.alloc("t", (tile_rows, tile_cols))
+    buf = cpe.ldm.get("t")
+    cg.dma.pe_get(handle, tile_rows, tile_cols, tile_rows, tile_cols, buf)
+    region = cg.memory.array(handle)[
+        tile_rows : 2 * tile_rows, tile_cols : 2 * tile_cols
+    ]
+    region[:] = 0.0
+    cg.dma.pe_put(handle, tile_rows, tile_cols, tile_rows, tile_cols, buf)
+    assert np.array_equal(cg.memory.array(handle), original)
+
+
+@settings(max_examples=20, deadline=None)
+@given(rows=rows_strategy, cols=cols_strategy)
+def test_reply_accounting_consistent(rows, cols):
+    """bytes == segments * segment bytes == transactions * 128."""
+    cg = CoreGroup()
+    handle = cg.memory.store("M", np.zeros((rows, cols), order="F"))
+    for cpe in cg.cpes():
+        cpe.ldm.alloc("t", (rows // 8, cols))
+    reply = cg.dma.row_get(handle, 0, 0, rows, cols, cg.row_ldm_buffers(0, "t"))
+    assert reply.nbytes == rows * cols * 8
+    assert reply.transactions * 128 == reply.nbytes
+    assert reply.segments == cols

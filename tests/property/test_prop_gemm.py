@@ -1,0 +1,78 @@
+"""Property tests: end-to-end GEMM correctness over random inputs."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.api import dgemm
+from repro.core.params import BlockingParams
+from repro.core.reference import reference_dgemm
+from repro.workloads.matrices import gemm_operands
+
+SINGLE = BlockingParams.small(double_buffered=False)
+DOUBLE = BlockingParams.small(double_buffered=True)
+
+scalars = st.floats(-4.0, 4.0).map(lambda x: round(x, 3))
+grids = st.integers(1, 2)
+
+
+@settings(max_examples=8, deadline=None)
+@given(alpha=scalars, beta=scalars, gm=grids, gk=grids, seed=st.integers(0, 2**16))
+def test_sched_matches_reference(alpha, beta, gm, gk, seed):
+    m, n, k = gm * DOUBLE.b_m, DOUBLE.b_n, gk * DOUBLE.b_k
+    a, b, c = gemm_operands(m, n, k, seed=seed)
+    out = dgemm(a, b, c, alpha=alpha, beta=beta, variant="SCHED", params=DOUBLE)
+    assert np.allclose(out, reference_dgemm(alpha, a, b, beta, c),
+                       rtol=1e-11, atol=1e-8)
+
+
+@settings(max_examples=6, deadline=None)
+@given(variant=st.sampled_from(["PE", "ROW"]), alpha=scalars, seed=st.integers(0, 2**16))
+def test_single_buffered_matches_reference(variant, alpha, seed):
+    m, n, k = SINGLE.b_m, SINGLE.b_n, SINGLE.b_k
+    a, b, c = gemm_operands(m, n, k, seed=seed)
+    out = dgemm(a, b, c, alpha=alpha, beta=1.0, variant=variant, params=SINGLE)
+    assert np.allclose(out, reference_dgemm(alpha, a, b, 1.0, c),
+                       rtol=1e-11, atol=1e-8)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 2**16), alpha=scalars)
+def test_raw_matches_reference(seed, alpha):
+    m, n, k = 128, 64, 96
+    a, b, c = gemm_operands(m, n, k, seed=seed)
+    out = dgemm(a, b, c, alpha=alpha, beta=-1.0, variant="RAW")
+    assert np.allclose(out, reference_dgemm(alpha, a, b, -1.0, c),
+                       rtol=1e-11, atol=1e-8)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_variants_agree_with_each_other(seed):
+    """DB and SCHED share a functional path; PE and ROW must agree with
+    them too (same math, different data movement)."""
+    m, n, k = 128, 192, 128  # common multiple of both small param sets
+    a, b, c = gemm_operands(m, n, k, seed=seed)
+    outs = [
+        dgemm(a, b, c, beta=1.0, variant="PE",
+              params=BlockingParams(16, 24, 16, double_buffered=False)),
+        dgemm(a, b, c, beta=1.0, variant="ROW",
+              params=BlockingParams(16, 24, 16, double_buffered=False)),
+        dgemm(a, b, c, beta=1.0, variant="SCHED",
+              params=BlockingParams(16, 24, 16, double_buffered=True)),
+    ]
+    for other in outs[1:]:
+        assert np.allclose(outs[0], other, rtol=1e-11, atol=1e-8)
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    dm=st.integers(1, 16), dn=st.integers(1, 16), dk=st.integers(1, 16),
+    seed=st.integers(0, 2**16),
+)
+def test_padding_handles_arbitrary_shapes(dm, dn, dk, seed):
+    """pad=True admits any shape and still matches the reference."""
+    m, n, k = DOUBLE.b_m - dm, DOUBLE.b_n - dn, DOUBLE.b_k - dk
+    a, b, c = gemm_operands(m, n, k, seed=seed)
+    out = dgemm(a, b, c, alpha=1.3, beta=0.7, params=DOUBLE, pad=True)
+    assert np.allclose(out, reference_dgemm(1.3, a, b, 0.7, c),
+                       rtol=1e-11, atol=1e-8)

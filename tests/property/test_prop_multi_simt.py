@@ -1,0 +1,86 @@
+"""Property tests: multi-CG decomposition and SIMT lockstep invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import BlockingParams
+from repro.core.reference import reference_dgemm
+from repro.multi import SW26010Processor, dgemm_multi_cg
+from repro.sim.simt import BARRIER, run_lockstep
+from repro.workloads.matrices import gemm_operands
+
+PARAMS = BlockingParams.small(double_buffered=True)
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    alpha=st.floats(-2.0, 2.0).map(lambda x: round(x, 2)),
+    beta=st.floats(-2.0, 2.0).map(lambda x: round(x, 2)),
+    seed=st.integers(0, 2**16),
+)
+def test_multi_cg_always_matches_reference(alpha, beta, seed):
+    m, n, k = PARAMS.b_m, 4 * PARAMS.b_n, PARAMS.b_k
+    a, b, c = gemm_operands(m, n, k, seed=seed)
+    out = dgemm_multi_cg(a, b, c, alpha=alpha, beta=beta, params=PARAMS)
+    assert np.allclose(out, reference_dgemm(alpha, a, b, beta, c),
+                       rtol=1e-11, atol=1e-8)
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_multi_cg_panels_are_independent(seed):
+    """Zeroing one CG's panel of B only changes that panel of C."""
+    m, n, k = PARAMS.b_m, 4 * PARAMS.b_n, PARAMS.b_k
+    a, b, _ = gemm_operands(m, n, k, seed=seed)
+    full = dgemm_multi_cg(a, b, params=PARAMS)
+    b2 = b.copy()
+    panel = n // 4
+    b2[:, 2 * panel : 3 * panel] = 0.0
+    partial = dgemm_multi_cg(a, b2, params=PARAMS)
+    assert np.allclose(partial[:, : 2 * panel], full[:, : 2 * panel])
+    assert np.allclose(partial[:, 3 * panel :], full[:, 3 * panel :])
+    assert np.allclose(partial[:, 2 * panel : 3 * panel], 0.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    parties=st.integers(1, 16),
+    rounds=st.integers(1, 8),
+)
+def test_lockstep_generations_are_aligned(parties, rounds):
+    """Every thread observes every generation in the same order, and
+    within a generation no thread runs ahead."""
+    progress = [0] * parties
+    observed: list[list[int]] = [[] for _ in range(parties)]
+
+    def worker(idx):
+        for round_ in range(rounds):
+            progress[idx] = round_
+            # lockstep invariant: nobody can be more than one phase
+            # ahead of anybody else at a barrier arrival
+            assert max(progress) - min(progress) <= 1
+            observed[idx].append(round_)
+            yield BARRIER
+        return idx
+
+    results = run_lockstep([worker(i) for i in range(parties)])
+    assert sorted(results.values()) == list(range(parties))
+    assert all(obs == list(range(rounds)) for obs in observed)
+
+
+@settings(max_examples=20, deadline=None)
+@given(values=st.lists(st.integers(-100, 100), min_size=1, max_size=16))
+def test_lockstep_allreduce(values):
+    """A barrier-synchronized tree-free allreduce: every thread writes
+    its value, syncs, then reads the sum — the canonical SIMT idiom."""
+    shared = list(values)
+    total = sum(values)
+
+    def worker(idx):
+        shared[idx] = values[idx]
+        yield BARRIER
+        return sum(shared)
+
+    results = run_lockstep([worker(i) for i in range(len(values))])
+    assert all(v == total for v in results.values())

@@ -1,0 +1,79 @@
+"""Property tests: performance-model invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import BlockingParams
+from repro.perf.dma_model import BlockTransfer, DMACostModel
+from repro.perf.estimator import Estimator
+from repro.perf.timeline import TimelineSimulator
+
+DB_PARAMS = BlockingParams.paper_double()
+grid = st.integers(1, 4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    segments=st.integers(1, 1000),
+    seg_doubles=st.integers(1, 64).map(lambda x: 16 * x),
+)
+def test_dma_cost_linear_in_segments(segments, seg_doubles):
+    model = DMACostModel()
+    one = model.seconds(BlockTransfer("x", 1, seg_doubles), include_request=False)
+    many = model.seconds(BlockTransfer("x", segments, seg_doubles), include_request=False)
+    assert many == pytest.approx(segments * one, rel=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seg_doubles=st.integers(1, 256).map(lambda x: 16 * x))
+def test_effective_bandwidth_below_channel_peak(seg_doubles):
+    model = DMACostModel()
+    assert 0 < model.effective_bandwidth(seg_doubles) < model.spec.dma.peak_bandwidth
+
+
+@settings(max_examples=20, deadline=None)
+@given(gm=grid, gn=grid, gk=grid)
+def test_estimator_flops_scale_linearly_per_block(gm, gn, gk):
+    """Doubling any grid dimension doubles total work; Gflop/s can only
+    improve or stay equal (amortization), never degrade."""
+    est = Estimator()
+    m, n, k = gm * DB_PARAMS.b_m, gn * DB_PARAMS.b_n, gk * DB_PARAMS.b_k
+    base = est.estimate("SCHED", m, n, k, params=DB_PARAMS)
+    bigger = est.estimate("SCHED", 2 * m, n, k, params=DB_PARAMS)
+    assert bigger.gflops >= base.gflops - 1e-9
+
+
+@settings(max_examples=12, deadline=None)
+@given(gm=grid, gn=st.integers(1, 2), gk=st.integers(1, 2))
+def test_timeline_equals_closed_form_on_random_grids(gm, gn, gk):
+    m, n, k = gm * DB_PARAMS.b_m, gn * DB_PARAMS.b_n, gk * DB_PARAMS.b_k
+    closed = Estimator().estimate("SCHED", m, n, k, params=DB_PARAMS)
+    timeline = TimelineSimulator().run("SCHED", m, n, k, params=DB_PARAMS)
+    assert timeline.seconds == pytest.approx(closed.seconds, rel=1e-9)
+
+
+@settings(max_examples=12, deadline=None)
+@given(gm=grid, gn=st.integers(1, 2), gk=st.integers(1, 2))
+def test_double_buffering_never_slower_than_serial(gm, gn, gk):
+    """max(dma, compute) + prologue <= dma + compute, per (j, l)."""
+    est = Estimator()
+    m, n, k = gm * DB_PARAMS.b_m, gn * DB_PARAMS.b_n, gk * DB_PARAMS.b_k
+    from repro.core.variants import VARIANTS
+
+    costs = est.block_costs(VARIANTS["DB"].traits, DB_PARAMS)
+    grid3 = DB_PARAMS.check_shape(m, n, k)
+    t_db, _ = est._double_buffered_seconds(costs, *grid3)
+    t_serial, _ = est._single_buffered_seconds(costs, *grid3)
+    assert t_db <= t_serial + 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(gm=grid, gn=grid, gk=grid, variant=st.sampled_from(["PE", "ROW", "DB", "SCHED"]))
+def test_estimates_always_below_peak(gm, gn, gk, variant):
+    est = Estimator()
+    params = (
+        BlockingParams.paper_single() if variant in ("PE", "ROW") else DB_PARAMS
+    )
+    m, n, k = gm * params.b_m, gn * params.b_n, gk * params.b_k
+    e = est.estimate(variant, m, n, k, params=params)
+    assert 0.0 < e.efficiency() < 1.0

@@ -1,0 +1,102 @@
+"""Property tests: pipeline simulator and scheduler invariants."""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.instructions import Instr, Unit, addl, lddec, nop, vldd, vldr, vmad
+from repro.isa.pipeline import Pipeline
+from repro.isa.scheduler import DependenceGraph, list_schedule
+
+REGS = [f"r{i}" for i in range(8)]
+
+
+@st.composite
+def instruction(draw):
+    kind = draw(st.sampled_from(["vmad", "vldd", "vldr", "lddec", "addl", "nop"]))
+    if kind == "vmad":
+        return vmad(draw(st.sampled_from(REGS)), draw(st.sampled_from(REGS)),
+                    draw(st.sampled_from(REGS)), draw(st.sampled_from(REGS)))
+    if kind == "vldd":
+        return vldd(draw(st.sampled_from(REGS)))
+    if kind == "vldr":
+        return vldr(draw(st.sampled_from(REGS)))
+    if kind == "lddec":
+        return lddec(draw(st.sampled_from(REGS)))
+    if kind == "addl":
+        return addl(draw(st.sampled_from(REGS)), draw(st.sampled_from(REGS)))
+    return nop()
+
+
+programs = st.lists(instruction(), min_size=1, max_size=40)
+
+
+@settings(max_examples=60, deadline=None)
+@given(prog=programs)
+def test_cycles_lower_bounds(prog):
+    """Cycles >= per-unit instruction counts and >= ceil(n / 2)."""
+    result = Pipeline(dual_issue=True).run(prog)
+    fp = sum(1 for i in prog if i.unit is Unit.FP)
+    sec = len(prog) - fp
+    assert result.cycles >= max(fp, sec)
+    assert result.cycles >= -(-len(prog) // 2)
+    assert result.cycles <= 7 * len(prog)  # no hang: bounded by worst latency
+
+
+@settings(max_examples=60, deadline=None)
+@given(prog=programs)
+def test_single_issue_never_faster(prog):
+    dual = Pipeline(dual_issue=True).run(prog).cycles
+    single = Pipeline(dual_issue=False).run(prog).cycles
+    assert single >= dual
+    assert single >= len(prog)
+
+
+@settings(max_examples=60, deadline=None)
+@given(prog=programs)
+def test_issue_order_and_hazards_respected(prog):
+    """In-order issue; RAW/WAW distances respect latencies."""
+    pipe = Pipeline(dual_issue=True)
+    result = pipe.run(prog, collect_issues=True)
+    lat = {ins.latency_class: getattr(pipe.latency, ins.latency_class) for ins in prog}
+    issue_cycle = [rec.cycle for rec in result.issues]
+    # in order
+    assert all(a <= b for a, b in zip(issue_cycle, issue_cycle[1:]))
+    # hazards
+    last_write: dict[str, tuple[int, int]] = {}
+    for idx, ins in enumerate(prog):
+        for src in ins.srcs:
+            if src in last_write:
+                w_idx, w_cycle = last_write[src]
+                ready = w_cycle + lat[prog[w_idx].latency_class]
+                assert issue_cycle[idx] >= ready
+        if ins.dst is not None:
+            if ins.dst in last_write:
+                w_idx, w_cycle = last_write[ins.dst]
+                ready = w_cycle + lat[prog[w_idx].latency_class]
+                assert issue_cycle[idx] >= ready
+            last_write[ins.dst] = (idx, issue_cycle[idx])
+
+
+@settings(max_examples=60, deadline=None)
+@given(prog=programs)
+def test_op_counts_conserved(prog):
+    result = Pipeline().run(prog)
+    assert sum(result.op_counts.values()) == len(prog)
+    assert result.instructions == len(prog)
+
+
+@settings(max_examples=40, deadline=None)
+@given(prog=programs, sp=st.booleans())
+def test_scheduler_emits_permutation(prog, sp):
+    out = list_schedule(prog, software_pipeline=sp)
+    assert Counter(map(str, out)) == Counter(map(str, prog))
+
+
+@settings(max_examples=40, deadline=None)
+@given(prog=programs)
+def test_dependence_graph_is_acyclic_and_respects_program_order(prog):
+    g = DependenceGraph.build(prog)
+    for a in range(len(prog)):
+        for b in g.succs[a]:
+            assert a < b  # edges always point forward

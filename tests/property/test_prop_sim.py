@@ -1,0 +1,88 @@
+"""Property tests: discrete-event engine invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import AllOf, AnyOf, Barrier, Engine, Resource
+
+delays = st.lists(st.floats(0.0, 100.0), min_size=1, max_size=20)
+
+
+@given(delays=delays)
+def test_timeouts_complete_at_max_delay(delays):
+    engine = Engine()
+    combined = AllOf(engine, [engine.timeout(d) for d in delays])
+    engine.run(combined)
+    assert engine.now == max(delays)
+
+
+@given(delays=delays)
+def test_any_of_completes_at_min_delay(delays):
+    engine = Engine()
+    combined = AnyOf(engine, [engine.timeout(d) for d in delays])
+    engine.run(combined)
+    assert engine.now == min(delays)
+
+
+@given(delays=delays, capacity=st.integers(1, 4))
+def test_resource_never_exceeds_capacity(delays, capacity):
+    engine = Engine()
+    resource = Resource(engine, capacity)
+    peak = [0]
+
+    def worker(hold):
+        yield resource.request()
+        peak[0] = max(peak[0], resource.in_use)
+        assert resource.in_use <= capacity
+        yield engine.timeout(hold)
+        resource.release()
+
+    for d in delays:
+        engine.process(worker(d))
+    engine.run()
+    assert peak[0] <= capacity
+    assert resource.in_use == 0
+    assert resource.queued == 0
+
+
+@given(delays=delays)
+def test_serial_resource_total_time_is_sum(delays):
+    """A capacity-1 resource serializes: makespan == sum of holds when
+    all requests arrive at t=0."""
+    engine = Engine()
+    resource = Resource(engine, 1)
+
+    def worker(hold):
+        yield engine.process(resource.use(hold))
+
+    for d in delays:
+        engine.process(worker(d))
+    engine.run()
+    assert engine.now == sum(delays)
+    assert resource.busy_time == sum(delays)
+
+
+@given(
+    parties=st.integers(1, 8),
+    rounds=st.integers(1, 4),
+    jitter=st.lists(st.floats(0.0, 5.0), min_size=8, max_size=8),
+)
+def test_barrier_generations(parties, rounds, jitter):
+    engine = Engine()
+    barrier = Barrier(engine, parties)
+    releases = []
+
+    def party(offset):
+        for _ in range(rounds):
+            yield engine.timeout(offset)
+            yield barrier.wait()
+            releases.append(engine.now)
+
+    for p in range(parties):
+        engine.process(party(jitter[p]))
+    engine.run()
+    assert barrier.generations == rounds
+    assert len(releases) == parties * rounds
+    # within one generation every party releases at the same instant
+    for g in range(rounds):
+        chunk = sorted(releases)[g * parties : (g + 1) * parties]
+        assert max(chunk) - min(chunk) == 0.0

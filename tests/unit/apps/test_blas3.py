@@ -1,0 +1,87 @@
+"""Unit tests for the DTRSM/DSYRK extensions."""
+
+import numpy as np
+import pytest
+
+from repro.apps.blas3 import dsyrk_ln, dtrsm_llnu
+from repro.core.params import BlockingParams
+from repro.errors import ConfigError, UnsupportedShapeError
+
+PARAMS = BlockingParams.small(double_buffered=True)
+
+
+def unit_lower(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.tril(rng.standard_normal((n, n)) / np.sqrt(n), -1) + np.eye(n)
+
+
+class TestDtrsm:
+    @pytest.mark.parametrize("n,nrhs,block", [(64, 32, 16), (96, 48, 32), (50, 10, 64)])
+    def test_solves_unit_lower_system(self, n, nrhs, block):
+        l = unit_lower(n, seed=n)
+        rng = np.random.default_rng(1)
+        b = rng.standard_normal((n, nrhs))
+        x = dtrsm_llnu(l, b, block=block, params=PARAMS)
+        assert np.allclose(l @ x, b, rtol=1e-9, atol=1e-9)
+
+    def test_ignores_strict_upper_and_diagonal(self):
+        n = 48
+        l = unit_lower(n, seed=3)
+        garbage = l + np.triu(np.full((n, n), 7.0), 1) + 4.0 * np.eye(n)
+        b = np.random.default_rng(2).standard_normal((n, 8))
+        x_clean = dtrsm_llnu(l, b, block=16, params=PARAMS)
+        x_garbage = dtrsm_llnu(garbage, b, block=16, params=PARAMS)
+        assert np.allclose(x_clean, x_garbage, rtol=1e-12)
+
+    def test_identity_l_returns_b(self):
+        b = np.arange(32.0 * 4).reshape(32, 4)
+        assert np.allclose(dtrsm_llnu(np.eye(32), b, block=8, params=PARAMS), b)
+
+    def test_validation(self):
+        with pytest.raises(UnsupportedShapeError):
+            dtrsm_llnu(np.ones((4, 5)), np.ones((4, 2)))
+        with pytest.raises(UnsupportedShapeError):
+            dtrsm_llnu(np.eye(4), np.ones((5, 2)))
+        with pytest.raises(ConfigError):
+            dtrsm_llnu(np.eye(4), np.ones((4, 2)), block=0)
+
+    def test_matches_numpy_solve(self):
+        n = 64
+        l = unit_lower(n, seed=9)
+        b = np.random.default_rng(4).standard_normal((n, 16))
+        x = dtrsm_llnu(l, b, block=32, params=PARAMS)
+        assert np.allclose(x, np.linalg.solve(l, b), rtol=1e-9, atol=1e-9)
+
+
+class TestDsyrk:
+    @pytest.mark.parametrize("n,k,block", [(64, 32, 32), (96, 128, 48), (40, 12, 64)])
+    def test_matches_reference_lower(self, n, k, block):
+        rng = np.random.default_rng(n + k)
+        a = rng.standard_normal((n, k))
+        c = rng.standard_normal((n, n))
+        got = dsyrk_ln(a, c, alpha=1.5, beta=0.5, block=block, params=PARAMS)
+        expected = np.tril(1.5 * a @ a.T + 0.5 * c)
+        assert np.allclose(got, expected, rtol=1e-9, atol=1e-9)
+
+    def test_upper_triangle_zeroed(self):
+        a = np.random.default_rng(1).standard_normal((32, 8))
+        got = dsyrk_ln(a, block=16, params=PARAMS)
+        assert np.array_equal(got, np.tril(got))
+
+    def test_beta_zero_needs_no_c(self):
+        a = np.random.default_rng(2).standard_normal((32, 8))
+        got = dsyrk_ln(a, block=16, params=PARAMS)
+        assert np.allclose(got, np.tril(a @ a.T), rtol=1e-10)
+
+    def test_result_diagonal_nonnegative_for_gram(self):
+        a = np.random.default_rng(3).standard_normal((48, 16))
+        got = dsyrk_ln(a, block=24, params=PARAMS)
+        assert np.all(np.diag(got) >= 0.0)
+
+    def test_validation(self):
+        with pytest.raises(UnsupportedShapeError):
+            dsyrk_ln(np.ones((4, 4)), beta=1.0)  # beta without C
+        with pytest.raises(UnsupportedShapeError):
+            dsyrk_ln(np.ones((4, 4)), np.ones((3, 3)), beta=1.0)
+        with pytest.raises(ConfigError):
+            dsyrk_ln(np.ones((4, 4)), block=-1)

@@ -1,0 +1,105 @@
+"""Unit tests for the blocked LU application layer."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lu import blocked_lu, lu_residual, lu_solve
+from repro.core.params import BlockingParams
+from repro.errors import ConfigError, UnsupportedShapeError
+
+
+def well_conditioned(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, n)) + n * np.eye(n)
+
+
+PARAMS = BlockingParams.small(double_buffered=True)
+
+
+class TestFactorization:
+    @pytest.mark.parametrize("n,panel", [(64, 16), (96, 32), (128, 64)])
+    def test_residual_small(self, n, panel):
+        a = well_conditioned(n, seed=n)
+        result = blocked_lu(a, panel=panel, params=PARAMS)
+        assert lu_residual(a, result) < 16.0  # the HPL acceptance bound
+
+    def test_matches_scipy_style_reconstruction(self):
+        n = 96
+        a = well_conditioned(n, seed=4)
+        result = blocked_lu(a, panel=32, params=PARAMS)
+        l = np.tril(result.lu, -1) + np.eye(n)
+        u = np.triu(result.lu)
+        pa = a[result.permutation(), :]
+        assert np.allclose(pa, l @ u, rtol=1e-10, atol=1e-10)
+
+    def test_pivoting_actually_pivots(self):
+        # a matrix needing row swaps: zero leading pivot
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        result = blocked_lu(a, panel=2)
+        assert lu_residual(a, result) < 16.0
+        assert result.piv[0] == 1
+
+    def test_panel_equal_to_n(self):
+        a = well_conditioned(48)
+        result = blocked_lu(a, panel=48, params=PARAMS)
+        assert result.gemm_flops == 0  # single panel, no trailing update
+        assert lu_residual(a, result) < 16.0
+
+    def test_gemm_flops_accounted(self):
+        n, panel = 96, 32
+        a = well_conditioned(n)
+        result = blocked_lu(a, panel=panel, params=PARAMS)
+        expected = sum(
+            2 * (n - hi) * (n - hi) * panel
+            for hi in (panel, 2 * panel)
+        )
+        assert result.gemm_flops == expected
+
+    def test_singular_matrix_rejected(self):
+        with pytest.raises(ConfigError):
+            blocked_lu(np.zeros((8, 8)), panel=4)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(UnsupportedShapeError):
+            blocked_lu(np.ones((4, 6)))
+
+    def test_bad_panel(self):
+        with pytest.raises(ConfigError):
+            blocked_lu(np.eye(4), panel=0)
+
+    def test_input_not_modified(self):
+        a = well_conditioned(32)
+        snapshot = a.copy()
+        blocked_lu(a, panel=16, params=PARAMS)
+        assert np.array_equal(a, snapshot)
+
+    @pytest.mark.parametrize("variant", ["PE", "SCHED"])
+    def test_variant_choice(self, variant):
+        a = well_conditioned(64, seed=8)
+        params = (
+            BlockingParams.small(double_buffered=False)
+            if variant == "PE"
+            else PARAMS
+        )
+        result = blocked_lu(a, panel=32, variant=variant, params=params)
+        assert lu_residual(a, result) < 16.0
+
+
+class TestSolve:
+    def test_solution_accuracy(self):
+        n = 96
+        a = well_conditioned(n, seed=6)
+        b = np.random.default_rng(1).standard_normal(n)
+        result = blocked_lu(a, panel=32, params=PARAMS)
+        x = lu_solve(result, b)
+        assert np.linalg.norm(a @ x - b) / np.linalg.norm(b) < 1e-10
+
+    def test_rhs_shape_checked(self):
+        result = blocked_lu(well_conditioned(16), panel=8, params=PARAMS)
+        with pytest.raises(UnsupportedShapeError):
+            lu_solve(result, np.ones(8))
+
+    def test_identity_system(self):
+        result = blocked_lu(np.eye(32), panel=16, params=PARAMS)
+        b = np.arange(32.0)
+        assert np.allclose(lu_solve(result, b), b)

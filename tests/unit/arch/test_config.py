@@ -1,0 +1,77 @@
+"""Unit tests for the SW26010 architecture spec."""
+
+import pytest
+
+from repro.arch.config import CPESpec, DMASpec, LatencySpec, SW26010Spec, DEFAULT_SPEC
+from repro.errors import ConfigError
+
+
+class TestCPESpec:
+    def test_defaults_match_paper(self):
+        cpe = CPESpec()
+        assert cpe.simd_width == 4
+        assert cpe.flops_per_cycle == 8
+        assert cpe.vector_registers == 32
+        assert cpe.ldm_bytes == 64 * 1024
+
+    def test_flops_must_match_fma_width(self):
+        with pytest.raises(ConfigError):
+            CPESpec(simd_width=4, flops_per_cycle=4)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            CPESpec(ldm_bytes=0)
+
+
+class TestDMASpec:
+    def test_defaults_match_paper(self):
+        dma = DMASpec()
+        assert dma.transaction_bytes == 128
+        assert dma.peak_bandwidth == 34e9
+        assert dma.row_mode_slice_bytes == 16
+
+    def test_row_slice_consistency(self):
+        with pytest.raises(ConfigError):
+            DMASpec(row_mode_slice_bytes=32)
+
+    def test_transaction_must_be_multiple_of_16(self):
+        with pytest.raises(ConfigError):
+            DMASpec(transaction_bytes=100)
+
+
+class TestLatencySpec:
+    def test_paper_latencies(self):
+        lat = LatencySpec()
+        assert lat.vmad == 6
+        assert lat.regcomm == 4
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            LatencySpec(vmad=0)
+
+
+class TestSW26010Spec:
+    def test_peak_is_742_4_gflops(self):
+        assert DEFAULT_SPEC.peak_flops == pytest.approx(742.4e9)
+
+    def test_n_cpes(self):
+        assert DEFAULT_SPEC.n_cpes == 64
+
+    def test_ldm_doubles(self):
+        assert DEFAULT_SPEC.ldm_doubles == 8192
+
+    def test_cycle_conversions_roundtrip(self):
+        spec = SW26010Spec()
+        assert spec.seconds(spec.cycles(1.5)) == pytest.approx(1.5)
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ConfigError):
+            SW26010Spec(clock_hz=0)
+
+    def test_rejects_bad_mesh(self):
+        with pytest.raises(ConfigError):
+            SW26010Spec(mesh_rows=0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_SPEC.clock_hz = 2e9  # type: ignore[misc]

@@ -1,0 +1,64 @@
+"""Unit tests for CPE / MPE / CoreGroup aggregation."""
+
+import pytest
+
+from repro.arch.core_group import CoreGroup
+from repro.arch.mesh import Coord
+from repro.errors import MeshError
+
+
+class TestCPE:
+    def test_coordinates(self, cg):
+        cpe = cg.cpe((3, 5))
+        assert cpe.row == 3 and cpe.col == 5
+        assert cpe.coord == Coord(3, 5)
+
+    def test_reset_clears_state(self, cg):
+        cpe = cg.cpe((0, 0))
+        cpe.ldm.alloc("x", (4, 4))
+        cpe.regs.splat(0, 1.0)
+        cpe.reset()
+        assert cpe.ldm.used_bytes == 0
+        assert cpe.regs.read(0).sum() == 0.0
+
+
+class TestMPE:
+    def test_spawn_counts(self, cg):
+        cg.mpe.spawn(64)
+        cg.mpe.spawn(64)
+        assert cg.mpe.spawn_count == 2
+
+    def test_spawn_requires_full_cluster(self, cg):
+        with pytest.raises(ValueError):
+            cg.mpe.spawn(32)
+
+
+class TestCoreGroup:
+    def test_has_64_cpes(self, cg):
+        assert len(cg.cpes()) == 64
+
+    def test_cpe_lookup_validates(self, cg):
+        with pytest.raises(MeshError):
+            cg.cpe((9, 0))
+
+    def test_row_ldm_buffers_ordered_by_column(self, cg):
+        for cpe in cg.cpes():
+            cpe.ldm.alloc("t", (2, 2))
+        bufs = cg.row_ldm_buffers(4, "t")
+        assert len(bufs) == 8
+        assert bufs[0] is cg.cpe((4, 0)).ldm.get("t")
+        assert bufs[7] is cg.cpe((4, 7)).ldm.get("t")
+
+    def test_reset_cpes(self, cg):
+        for cpe in cg.cpes():
+            cpe.ldm.alloc("t", (2, 2))
+        cg.reset_cpes()
+        assert all(c.ldm.used_bytes == 0 for c in cg.cpes())
+
+    def test_peak_flops(self, cg):
+        assert cg.peak_flops == pytest.approx(742.4e9)
+
+    def test_fresh_groups_do_not_share_memory(self, spec):
+        a, b = CoreGroup(spec), CoreGroup(spec)
+        a.memory.allocate("x", 16, 16)
+        assert b.memory.used_bytes == 0

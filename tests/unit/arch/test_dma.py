@@ -1,0 +1,187 @@
+"""Unit tests for the DMA engine: modes, alignment, distribution."""
+
+import numpy as np
+import pytest
+
+from repro.arch.core_group import CoreGroup
+from repro.arch.dma import (
+    DMADescriptor,
+    DMADirection,
+    DMAMode,
+    row_mode_owner_rows,
+)
+from repro.errors import AlignmentError, DMAError, UnsupportedModeError
+
+
+@pytest.fixture()
+def loaded_cg(cg):
+    """A core group with a 128x96 matrix and per-CPE buffers."""
+    arr = np.arange(128 * 96, dtype=float).reshape(128, 96, order="F")
+    handle = cg.memory.store("M", arr)
+    for cpe in cg.cpes():
+        cpe.ldm.alloc("pe", (16, 96))
+        cpe.ldm.alloc("row", (16, 96))
+    return cg, handle, arr
+
+
+class TestOwnerRows:
+    def test_cpe0_gets_first_pair_of_each_group(self):
+        rows = row_mode_owner_rows(32, 0)
+        assert list(rows) == [0, 1, 16, 17]
+
+    def test_cpe7_gets_last_pair(self):
+        rows = row_mode_owner_rows(32, 7)
+        assert list(rows) == [14, 15, 30, 31]
+
+    def test_partition_is_exact(self):
+        all_rows = np.concatenate([row_mode_owner_rows(128, j) for j in range(8)])
+        assert sorted(all_rows) == list(range(128))
+
+    def test_requires_multiple_of_16(self):
+        with pytest.raises(AlignmentError):
+            row_mode_owner_rows(24, 0)
+
+
+class TestPEMode:
+    def test_get_copies_submatrix(self, loaded_cg):
+        cg, handle, arr = loaded_cg
+        buf = cg.cpe((0, 0)).ldm.get("pe")
+        cg.dma.pe_get(handle, 16, 32, 16, 8, buf)
+        assert np.array_equal(buf.data[:16, :8], arr[16:32, 32:40])
+
+    def test_put_writes_back(self, loaded_cg):
+        cg, handle, _ = loaded_cg
+        buf = cg.cpe((0, 0)).ldm.get("pe")
+        buf.data[:] = -1.0
+        cg.dma.pe_put(handle, 0, 0, 16, 96, buf)
+        assert np.all(cg.memory.array(handle)[:16, :] == -1.0)
+
+    def test_reply_counts(self, loaded_cg):
+        cg, handle, _ = loaded_cg
+        buf = cg.cpe((0, 0)).ldm.get("pe")
+        reply = cg.dma.pe_get(handle, 0, 0, 16, 96, buf)
+        assert reply.nbytes == 16 * 96 * 8
+        assert reply.transactions == reply.nbytes // 128
+        assert reply.segments == 96
+        assert reply.bytes_per_segment == 128
+
+    def test_out_of_bounds_region(self, loaded_cg):
+        cg, handle, _ = loaded_cg
+        buf = cg.cpe((0, 0)).ldm.get("pe")
+        with pytest.raises(DMAError):
+            cg.dma.pe_get(handle, 120, 0, 16, 96, buf)
+
+    def test_buffer_too_small(self, loaded_cg):
+        cg, handle, _ = loaded_cg
+        buf = cg.cpe((0, 0)).ldm.get("pe")
+        with pytest.raises(DMAError):
+            cg.dma.pe_get(handle, 0, 0, 32, 96, buf)
+
+
+class TestAlignment:
+    def test_unaligned_row_offset(self, loaded_cg):
+        cg, handle, _ = loaded_cg
+        buf = cg.cpe((0, 0)).ldm.get("pe")
+        with pytest.raises(AlignmentError):
+            cg.dma.pe_get(handle, 8, 0, 16, 8, buf)  # 64 B offset
+
+    def test_unaligned_segment_length(self, loaded_cg):
+        cg, handle, _ = loaded_cg
+        buf = cg.cpe((0, 0)).ldm.get("pe")
+        with pytest.raises(AlignmentError):
+            cg.dma.pe_get(handle, 0, 0, 8, 8, buf)  # 64 B segments
+
+    def test_unaligned_leading_dimension(self, cg):
+        handle = cg.memory.store("odd", np.zeros((24, 8), order="F"))
+        cg.cpe((0, 0)).ldm.alloc("b", (16, 8))
+        with pytest.raises(AlignmentError):
+            cg.dma.pe_get(handle, 0, 0, 16, 8, cg.cpe((0, 0)).ldm.get("b"))
+
+
+class TestRowMode:
+    def test_distribution_matches_figure5(self, loaded_cg):
+        cg, handle, arr = loaded_cg
+        bufs = cg.row_ldm_buffers(0, "row")
+        cg.dma.row_get(handle, 0, 0, 128, 96, bufs)
+        for j in range(8):
+            mine = row_mode_owner_rows(128, j)
+            assert np.array_equal(cg.cpe((0, j)).ldm.get("row").data, arr[mine, :])
+
+    def test_roundtrip_identity(self, loaded_cg):
+        cg, handle, arr = loaded_cg
+        bufs = cg.row_ldm_buffers(2, "row")
+        cg.dma.row_get(handle, 0, 0, 128, 96, bufs)
+        cg.memory.array(handle)[:] = 0.0
+        cg.dma.row_put(handle, 0, 0, 128, 96, bufs)
+        assert np.array_equal(cg.memory.array(handle), arr)
+
+    def test_needs_eight_buffers(self, loaded_cg):
+        cg, handle, _ = loaded_cg
+        bufs = cg.row_ldm_buffers(0, "row")[:4]
+        with pytest.raises(DMAError):
+            cg.dma.row_get(handle, 0, 0, 128, 96, bufs)
+
+    def test_rows_must_be_multiple_of_16(self, cg):
+        handle = cg.memory.store("m", np.zeros((144, 8), order="F"))
+        for cpe in cg.cpes():
+            cpe.ldm.alloc("r", (18, 8))
+        with pytest.raises(AlignmentError):
+            # 136 rows: aligned in bytes (17 transactions) but not a
+            # multiple of the 16-double interleave group
+            cg.dma.row_get(handle, 0, 0, 136, 8, cg.row_ldm_buffers(0, "r"))
+
+
+class TestBcastMode:
+    def test_replicates_to_all_cpes(self, loaded_cg):
+        cg, handle, arr = loaded_cg
+        bufs = [cpe.ldm.get("pe") for cpe in cg.cpes()]
+        reply = cg.dma.bcast_get(handle, 16, 8, 16, 8, bufs)
+        for cpe in cg.cpes():
+            assert np.array_equal(cpe.ldm.get("pe").data[:16, :8], arr[16:32, 8:16])
+        # memory is read once: transactions match a single copy
+        assert reply.transactions == 16 * 8 * 8 // 128
+
+    def test_needs_all_64_buffers(self, loaded_cg):
+        cg, handle, _ = loaded_cg
+        with pytest.raises(DMAError):
+            cg.dma.bcast_get(handle, 0, 0, 16, 8, [cg.cpe((0, 0)).ldm.get("pe")])
+
+    def test_bcast_vs_sharing_traffic(self, loaded_cg):
+        """Broadcast-loading what the sharing scheme communicates
+        on-mesh would multiply main-memory traffic 64x."""
+        cg, handle, _ = loaded_cg
+        bufs = [cpe.ldm.get("pe") for cpe in cg.cpes()]
+        bcast = cg.dma.bcast_get(handle, 0, 0, 16, 96, bufs)
+        per_cpe_copy = cg.dma.pe_get(handle, 0, 0, 16, 96, bufs[0])
+        assert bcast.nbytes == per_cpe_copy.nbytes
+        # loading each CPE separately costs 64x the transactions
+        assert 64 * bcast.transactions == 64 * per_cpe_copy.transactions
+
+
+class TestUnsupportedModes:
+    @pytest.mark.parametrize(
+        "mode,direction",
+        [
+            (DMAMode.BROW, DMADirection.GET),
+            (DMAMode.RANK, DMADirection.GET),
+            (DMAMode.BCAST, DMADirection.PUT),  # broadcast store is meaningless
+        ],
+    )
+    def test_raise_by_design(self, loaded_cg, mode, direction):
+        cg, handle, _ = loaded_cg
+        desc = DMADescriptor(mode, direction, handle, 0, 0, 16, 8)
+        with pytest.raises(UnsupportedModeError):
+            cg.dma.execute(desc)
+
+
+class TestStats:
+    def test_accumulation(self, loaded_cg):
+        cg, handle, _ = loaded_cg
+        buf = cg.cpe((0, 0)).ldm.get("pe")
+        cg.dma.pe_get(handle, 0, 0, 16, 96, buf)
+        cg.dma.pe_put(handle, 0, 0, 16, 96, buf)
+        stats = cg.dma.stats
+        assert stats.gets == 1 and stats.puts == 1
+        assert stats.bytes_get == stats.bytes_put == 16 * 96 * 8
+        assert stats.bytes_total == 2 * 16 * 96 * 8
+        assert stats.by_mode["PE_MODE"] == stats.bytes_total

@@ -1,0 +1,132 @@
+"""Unit + integration tests for the async DMA reply-counter interface."""
+
+import numpy as np
+import pytest
+
+from repro.arch.dma_async import AsyncDMAEngine, ReplyCounter
+from repro.errors import DMAError
+
+
+@pytest.fixture()
+def setup(cg):
+    arr = np.asfortranarray(
+        np.arange(64.0 * 32).reshape(64, 32, order="F")
+    )
+    handle = cg.memory.store("M", arr)
+    cpe = cg.cpe((0, 0))
+    cpe.ldm.alloc("t", (16, 8))
+    return cg, handle, arr, AsyncDMAEngine(cg.dma), cpe.ldm.get("t")
+
+
+class TestDeferredSemantics:
+    def test_no_data_moves_before_wait(self, setup):
+        cg, handle, arr, adma, buf = setup
+        reply = ReplyCounter("r")
+        adma.iget_pe(handle, 0, 0, 16, 8, buf, reply)
+        assert buf.data.sum() == 0.0           # still stale
+        assert adma.in_flight == 1
+        adma.wait(reply, 1)
+        assert np.array_equal(buf.data[:16, :8], arr[:16, :8])
+        assert adma.in_flight == 0
+        assert reply.count == 1
+
+    def test_wait_completes_only_its_counter(self, setup):
+        cg, handle, arr, adma, buf = setup
+        cpe = cg.cpe((0, 1))
+        cpe.ldm.alloc("t", (16, 8))
+        other_buf = cpe.ldm.get("t")
+        r1, r2 = ReplyCounter("r1"), ReplyCounter("r2")
+        adma.iget_pe(handle, 0, 0, 16, 8, buf, r1)
+        adma.iget_pe(handle, 16, 0, 16, 8, other_buf, r2)
+        adma.wait(r1, 1)
+        assert np.array_equal(buf.data[:16, :8], arr[:16, :8])
+        assert other_buf.data.sum() == 0.0      # r2 still in flight
+        adma.wait(r2, 1)
+        assert np.array_equal(other_buf.data[:16, :8], arr[16:32, :8])
+
+    def test_overwaiting_raises(self, setup):
+        _, handle, _, adma, buf = setup
+        reply = ReplyCounter()
+        adma.iget_pe(handle, 0, 0, 16, 8, buf, reply)
+        with pytest.raises(DMAError, match="never completes"):
+            adma.wait(reply, 2)
+
+    def test_flush_completes_everything(self, setup):
+        _, handle, arr, adma, buf = setup
+        reply = ReplyCounter()
+        adma.iget_pe(handle, 0, 0, 16, 8, buf, reply)
+        adma.flush()
+        assert reply.count == 1
+        assert np.array_equal(buf.data[:16, :8], arr[:16, :8])
+
+    def test_quiescence_check(self, setup):
+        _, handle, _, adma, buf = setup
+        adma.assert_quiescent()
+        adma.iget_pe(handle, 0, 0, 16, 8, buf, ReplyCounter())
+        with pytest.raises(DMAError, match="in flight"):
+            adma.assert_quiescent()
+
+    def test_put_reads_buffer_at_completion(self, setup):
+        """Overwriting an LDM buffer before the put completes is a
+        race; the model resolves it as late-read (one legal schedule),
+        so the *new* data lands — never silently both."""
+        cg, handle, arr, adma, buf = setup
+        reply = ReplyCounter()
+        buf.data[:] = 1.0
+        adma.iput_pe(handle, 0, 0, 16, 8, buf, reply)
+        buf.data[:] = 2.0                        # race!
+        adma.wait(reply, 1)
+        assert np.all(cg.memory.array(handle)[:16, :8] == 2.0)
+
+    def test_counter_reset(self):
+        reply = ReplyCounter(count=3, issued=3)
+        reply.reset()
+        assert reply.count == 0 and reply.issued == 0
+
+
+class TestAsyncDoubleBufferedLoop:
+    """A miniature Algorithm 2 through the async interface."""
+
+    def _run(self, cg, skip_wait: bool) -> tuple[np.ndarray, np.ndarray]:
+        rng = np.random.default_rng(8)
+        blocks = 4
+        rows, cols = 16, 8
+        a = np.asfortranarray(rng.standard_normal((blocks * rows, cols)))
+        handle = cg.memory.store("A", a)
+        out = cg.memory.allocate("OUT", blocks * rows, cols)
+        cpe = cg.cpe((0, 0))
+        for slot in range(2):
+            if f"s{slot}" not in cpe.ldm:
+                cpe.ldm.alloc(f"s{slot}", (rows, cols))
+        adma = AsyncDMAEngine(cg.dma)
+        replies = [ReplyCounter("s0"), ReplyCounter("s1")]
+
+        def load(i):
+            slot = i % 2
+            replies[slot].reset()
+            adma.iget_pe(handle, i * rows, 0, rows, cols,
+                         cpe.ldm.get(f"s{slot}"), replies[slot])
+
+        def consume(i):
+            slot = i % 2
+            if not skip_wait:
+                adma.wait(replies[slot], 1)
+            buf = cpe.ldm.get(f"s{slot}")
+            result = 2.0 * buf.data
+            cg.memory.array(out)[i * rows : (i + 1) * rows, :] = result
+
+        load(0)
+        for i in range(blocks):
+            if i + 1 < blocks:
+                load(i + 1)   # prefetch next while "computing" current
+            consume(i)
+        adma.flush()
+        return cg.memory.array(out).copy(), 2.0 * a
+
+    def test_correct_waits_give_exact_result(self, cg):
+        got, expected = self._run(cg, skip_wait=False)
+        assert np.array_equal(got, expected)
+
+    def test_skipped_wait_consumes_stale_buffers(self, cg):
+        got, expected = self._run(cg, skip_wait=True)
+        assert not np.allclose(got, expected)

@@ -1,0 +1,88 @@
+"""Unit tests for the LDM scratchpad allocator."""
+
+import pytest
+
+from repro.arch.ldm import LDM
+from repro.errors import LDMAllocationError
+
+
+@pytest.fixture()
+def ldm() -> LDM:
+    return LDM()
+
+
+class TestCapacity:
+    def test_capacity_is_64k(self, ldm):
+        assert ldm.capacity_bytes == 64 * 1024
+
+    def test_alloc_accounts_bytes(self, ldm):
+        ldm.alloc("a", (16, 96))
+        assert ldm.used_bytes == 16 * 96 * 8
+        assert ldm.free_bytes == 64 * 1024 - 16 * 96 * 8
+
+    def test_overflow_raises(self, ldm):
+        with pytest.raises(LDMAllocationError):
+            ldm.alloc("big", (100, 100))  # 80 KB > 64 KB
+
+    def test_paper_single_buffered_set_fits(self, ldm):
+        # pM=16, pN=48, pK=96: 6912 doubles = 55296 B
+        ldm.alloc("A", (16, 96))
+        ldm.alloc("B", (96, 48))
+        ldm.alloc("C", (16, 48))
+        assert ldm.used_bytes == 6912 * 8
+
+    def test_paper_double_buffered_pn48_overflows(self, ldm):
+        ldm.alloc("A0", (16, 96))
+        ldm.alloc("A1", (16, 96))
+        ldm.alloc("C0", (16, 48))
+        ldm.alloc("C1", (16, 48))
+        with pytest.raises(LDMAllocationError):
+            ldm.alloc("B", (96, 48))  # 9216 doubles total > 8192
+
+    def test_paper_double_buffered_pn32_fits(self, ldm):
+        ldm.alloc("A0", (16, 96))
+        ldm.alloc("A1", (16, 96))
+        ldm.alloc("C0", (16, 32))
+        ldm.alloc("C1", (16, 32))
+        ldm.alloc("B", (96, 32))
+        assert ldm.used_bytes == 7168 * 8
+
+
+class TestLifecycle:
+    def test_duplicate_name_rejected(self, ldm):
+        ldm.alloc("a", (4, 4))
+        with pytest.raises(LDMAllocationError):
+            ldm.alloc("a", (4, 4))
+
+    def test_free_returns_budget(self, ldm):
+        ldm.alloc("a", (16, 16))
+        ldm.free("a")
+        assert ldm.used_bytes == 0
+        assert "a" not in ldm
+
+    def test_free_unknown_raises(self, ldm):
+        with pytest.raises(KeyError):
+            ldm.free("nope")
+
+    def test_get_unknown_raises(self, ldm):
+        with pytest.raises(KeyError):
+            ldm.get("nope")
+
+    def test_reset_clears_all(self, ldm):
+        ldm.alloc("a", (4, 4))
+        ldm.alloc("b", (4, 4))
+        ldm.reset()
+        assert ldm.used_bytes == 0
+        assert ldm.names() == []
+
+    def test_high_water_survives_reset(self, ldm):
+        ldm.alloc("a", (32, 32))
+        peak = ldm.used_bytes
+        ldm.reset()
+        assert ldm.high_water_bytes == peak
+
+    def test_buffers_zero_initialised_fortran(self, ldm):
+        buf = ldm.alloc("a", (8, 8))
+        assert buf.data.flags.f_contiguous
+        assert buf.data.sum() == 0.0
+        assert buf.shape == (8, 8)

@@ -1,0 +1,94 @@
+"""Unit tests for main memory."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import SW26010Spec
+from repro.arch.memory import MainMemory, MatrixHandle
+from repro.errors import AlignmentError, ConfigError
+
+
+@pytest.fixture()
+def mem() -> MainMemory:
+    return MainMemory()
+
+
+class TestStore:
+    def test_store_returns_handle(self, mem):
+        h = mem.store("A", np.ones((32, 16)))
+        assert h == MatrixHandle("A", 32, 16)
+        assert h.nbytes == 32 * 16 * 8
+
+    def test_stored_column_major(self, mem):
+        h = mem.store("A", np.arange(12.0).reshape(3, 4))
+        assert mem.array(h).flags.f_contiguous
+
+    def test_store_copies_input(self, mem):
+        src = np.ones((4, 4))
+        h = mem.store("A", src)
+        src[0, 0] = 99.0
+        assert mem.array(h)[0, 0] == 1.0
+
+    def test_rejects_non_2d(self, mem):
+        with pytest.raises(ConfigError):
+            mem.store("A", np.ones(5))
+
+    def test_overwrite_same_name_reuses_budget(self, mem):
+        mem.store("A", np.ones((16, 16)))
+        used = mem.used_bytes
+        mem.store("A", np.zeros((16, 16)))
+        assert mem.used_bytes == used
+
+    def test_budget_enforced(self):
+        small = SW26010Spec(main_memory_bytes=1024)
+        mem = MainMemory(small)
+        with pytest.raises(MemoryError):
+            mem.store("A", np.ones((64, 64)))
+
+    def test_failed_store_keeps_old_matrix(self):
+        small = SW26010Spec(main_memory_bytes=3000)
+        mem = MainMemory(small)
+        mem.store("A", np.full((16, 16), 7.0))
+        with pytest.raises(MemoryError):
+            mem.store("A", np.ones((64, 64)))
+        assert mem.array("A")[0, 0] == 7.0
+        assert mem.used_bytes == 16 * 16 * 8
+
+
+class TestAccess:
+    def test_read_is_a_copy(self, mem):
+        h = mem.store("A", np.zeros((4, 4)))
+        out = mem.read(h)
+        out[0, 0] = 5.0
+        assert mem.array(h)[0, 0] == 0.0
+
+    def test_unknown_name_raises(self, mem):
+        with pytest.raises(KeyError):
+            mem.array("nope")
+
+    def test_free(self, mem):
+        mem.store("A", np.zeros((4, 4)))
+        mem.free("A")
+        assert mem.used_bytes == 0
+        with pytest.raises(KeyError):
+            mem.free("A")
+
+    def test_handles_listing(self, mem):
+        mem.store("A", np.zeros((4, 4)))
+        mem.store("B", np.zeros((2, 2)))
+        assert {h.name for h in mem.handles()} == {"A", "B"}
+
+    def test_allocate_zeroed(self, mem):
+        h = mem.allocate("Z", 8, 8)
+        assert np.all(mem.array(h) == 0.0)
+
+
+class TestAlignment:
+    def test_aligned_column(self, mem):
+        h = mem.store("A", np.zeros((128, 4)))
+        mem.check_dma_alignment(h, 1)  # 128*8 = 1024 B per column
+
+    def test_misaligned_column(self, mem):
+        h = mem.store("A", np.zeros((12, 4)))  # 96 B columns
+        with pytest.raises(AlignmentError):
+            mem.check_dma_alignment(h, 1)

@@ -1,0 +1,66 @@
+"""Unit tests for the CPE mesh topology."""
+
+import pytest
+
+from repro.arch.mesh import Coord, CPEMesh
+from repro.errors import MeshError
+
+
+@pytest.fixture()
+def mesh() -> CPEMesh:
+    return CPEMesh()
+
+
+class TestGeometry:
+    def test_size(self, mesh):
+        assert mesh.size == 64
+        assert mesh.rows == 8 and mesh.cols == 8
+
+    def test_coords_row_major(self, mesh):
+        coords = list(mesh.coords())
+        assert len(coords) == 64
+        assert coords[0] == Coord(0, 0)
+        assert coords[7] == Coord(0, 7)
+        assert coords[8] == Coord(1, 0)
+        assert coords[-1] == Coord(7, 7)
+
+    def test_row_members(self, mesh):
+        members = mesh.row_members(3)
+        assert members == [Coord(3, j) for j in range(8)]
+
+    def test_col_members(self, mesh):
+        members = mesh.col_members(5)
+        assert members == [Coord(i, 5) for i in range(8)]
+
+    def test_bad_row_col(self, mesh):
+        with pytest.raises(MeshError):
+            mesh.row_members(8)
+        with pytest.raises(MeshError):
+            mesh.col_members(-1)
+
+
+class TestValidation:
+    def test_check_normalises_tuples(self, mesh):
+        coord = mesh.check((2, 3))
+        assert isinstance(coord, Coord)
+        assert coord == Coord(2, 3)
+
+    @pytest.mark.parametrize("bad", [(-1, 0), (0, -1), (8, 0), (0, 8)])
+    def test_check_rejects_out_of_mesh(self, mesh, bad):
+        with pytest.raises(MeshError):
+            mesh.check(Coord(*bad))
+
+
+class TestLinearIndex:
+    def test_matches_athread_numbering(self, mesh):
+        assert mesh.linear_index(Coord(0, 0)) == 0
+        assert mesh.linear_index(Coord(1, 0)) == 8
+        assert mesh.linear_index(Coord(7, 7)) == 63
+
+    def test_roundtrip(self, mesh):
+        for idx in range(64):
+            assert mesh.linear_index(mesh.from_linear(idx)) == idx
+
+    def test_from_linear_bounds(self, mesh):
+        with pytest.raises(MeshError):
+            mesh.from_linear(64)

@@ -1,0 +1,112 @@
+"""Unit tests for the register communication networks."""
+
+import numpy as np
+import pytest
+
+from repro.arch.mesh import Coord, CPEMesh
+from repro.arch.regcomm import ITEM_BYTES, Broadcast, RegisterComm
+from repro.errors import RegisterCommError
+
+
+@pytest.fixture()
+def comm() -> RegisterComm:
+    return RegisterComm(CPEMesh())
+
+
+def payload(n_doubles: int = 4, fill: float = 1.0) -> np.ndarray:
+    return np.full(n_doubles, fill)
+
+
+class TestRowBroadcast:
+    def test_delivers_to_row_only(self, comm):
+        comm.row_broadcast(Coord(2, 3), payload(fill=7.0))
+        for j in range(8):
+            if j == 3:
+                continue
+            got = comm.receive_row(Coord(2, j))
+            assert np.all(got.data == 7.0)
+            assert got.src == Coord(2, 3)
+        # other rows received nothing
+        with pytest.raises(RegisterCommError):
+            comm.receive_row(Coord(3, 0))
+
+    def test_source_does_not_receive_own_broadcast(self, comm):
+        comm.row_broadcast(Coord(1, 1), payload())
+        with pytest.raises(RegisterCommError):
+            comm.receive_row(Coord(1, 1))
+
+    def test_fifo_order(self, comm):
+        comm.row_broadcast(Coord(0, 0), payload(fill=1.0))
+        comm.row_broadcast(Coord(0, 1), payload(fill=2.0))
+        first = comm.receive_row(Coord(0, 5))
+        second = comm.receive_row(Coord(0, 5))
+        assert first.data[0] == 1.0 and second.data[0] == 2.0
+
+
+class TestColBroadcast:
+    def test_delivers_to_column_only(self, comm):
+        comm.col_broadcast(Coord(4, 6), payload(fill=3.0))
+        for i in range(8):
+            if i == 4:
+                continue
+            assert comm.receive_col(Coord(i, 6)).data[0] == 3.0
+        with pytest.raises(RegisterCommError):
+            comm.receive_col(Coord(0, 5))
+
+
+class TestValidation:
+    def test_payload_must_be_256bit_multiple(self, comm):
+        with pytest.raises(RegisterCommError):
+            comm.row_broadcast(Coord(0, 0), np.ones(3))  # 24 B
+
+    def test_empty_payload_rejected(self, comm):
+        with pytest.raises(RegisterCommError):
+            comm.row_broadcast(Coord(0, 0), np.empty(0))
+
+    def test_payload_is_copied(self, comm):
+        src = payload(fill=1.0)
+        comm.row_broadcast(Coord(0, 0), src)
+        src[:] = 99.0
+        assert comm.receive_row(Coord(0, 1)).data[0] == 1.0
+
+    def test_broadcast_item_count(self):
+        bc = Broadcast(Coord(0, 0), np.ones(16))  # 128 B = 4 items
+        assert bc.items == 128 // ITEM_BYTES
+
+
+class TestDrainCheck:
+    def test_drained_passes(self, comm):
+        comm.row_broadcast(Coord(0, 0), payload())
+        for j in range(1, 8):
+            comm.receive_row(Coord(0, j))
+        comm.assert_drained()
+
+    def test_undrained_fails(self, comm):
+        comm.row_broadcast(Coord(0, 0), payload())
+        with pytest.raises(RegisterCommError, match="undrained"):
+            comm.assert_drained()
+
+    def test_pending_counts(self, comm):
+        comm.row_broadcast(Coord(0, 0), payload())
+        comm.col_broadcast(Coord(0, 1), payload())
+        assert comm.pending(Coord(0, 1)) == (1, 0)
+        assert comm.pending(Coord(5, 1)) == (0, 1)
+
+
+class TestStats:
+    def test_counters(self, comm):
+        comm.row_broadcast(Coord(0, 0), payload(8))  # 64 B = 2 items
+        comm.col_broadcast(Coord(0, 0), payload(4))
+        assert comm.stats.row_broadcasts == 1
+        assert comm.stats.col_broadcasts == 1
+        assert comm.stats.row_items == 2
+        assert comm.stats.col_items == 1
+        assert comm.stats.bytes_moved == 64 * 7 + 32 * 7
+        comm.receive_row(Coord(0, 3))
+        assert comm.stats.receives == 1
+
+    def test_merge(self, comm):
+        other = RegisterComm(CPEMesh())
+        other.row_broadcast(Coord(0, 0), payload())
+        comm.stats.merge(other.stats)
+        assert comm.stats.row_broadcasts == 1

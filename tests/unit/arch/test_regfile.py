@@ -1,0 +1,78 @@
+"""Unit tests for the vector register file."""
+
+import numpy as np
+import pytest
+
+from repro.arch.regfile import VectorRegisterFile
+from repro.errors import RegisterFileError
+
+
+@pytest.fixture()
+def regs() -> VectorRegisterFile:
+    return VectorRegisterFile()
+
+
+class TestBasics:
+    def test_geometry(self, regs):
+        assert regs.n_registers == 32
+        assert regs.lanes == 4
+
+    def test_write_read_roundtrip(self, regs):
+        regs.write(3, np.array([1.0, 2.0, 3.0, 4.0]))
+        assert np.array_equal(regs.read(3), [1.0, 2.0, 3.0, 4.0])
+
+    def test_read_is_copy(self, regs):
+        regs.write(0, np.ones(4))
+        out = regs.read(0)
+        out[0] = 99.0
+        assert regs.read(0)[0] == 1.0
+
+    def test_splat_fills_lanes(self, regs):
+        regs.splat(5, 2.5)
+        assert np.array_equal(regs.read(5), [2.5] * 4)
+
+    def test_out_of_range_index(self, regs):
+        with pytest.raises(RegisterFileError):
+            regs.read(32)
+        with pytest.raises(RegisterFileError):
+            regs.write(-1, np.zeros(4))
+
+    def test_wrong_shape_write(self, regs):
+        with pytest.raises(RegisterFileError):
+            regs.write(0, np.zeros(3))
+
+    def test_clear(self, regs):
+        regs.write(0, np.ones(4))
+        regs.clear()
+        assert regs.read(0).sum() == 0.0
+
+
+class TestFMA:
+    def test_vmad_semantics(self, regs):
+        regs.write(0, np.array([1.0, 2.0, 3.0, 4.0]))   # a
+        regs.write(1, np.array([2.0, 2.0, 2.0, 2.0]))   # b
+        regs.write(2, np.array([10.0, 10.0, 10.0, 10.0]))  # acc
+        regs.fma(2, 0, 1, 2)
+        assert np.array_equal(regs.read(2), [12.0, 14.0, 16.0, 18.0])
+
+    def test_fma_validates_indices(self, regs):
+        with pytest.raises(RegisterFileError):
+            regs.fma(0, 0, 0, 40)
+
+
+class TestBudget:
+    def test_paper_tile_fits(self, regs):
+        regs.budget_check(4, 4)  # 24 < 32
+
+    def test_5x5_rejected(self, regs):
+        with pytest.raises(RegisterFileError):
+            regs.budget_check(5, 5)  # 35 >= 32
+
+    def test_strict_inequality(self, regs):
+        # 2x10 needs exactly 32 registers; the paper's constraint is
+        # strict (<), so this must fail
+        with pytest.raises(RegisterFileError):
+            regs.budget_check(2, 10)
+
+    def test_just_under_budget_passes(self, regs):
+        regs.budget_check(5, 4)  # 29 < 32

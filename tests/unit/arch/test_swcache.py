@@ -1,0 +1,119 @@
+"""Unit tests for the software-emulated LDM cache."""
+
+import numpy as np
+import pytest
+
+from repro.arch.memory import MainMemory
+from repro.arch.swcache import SoftwareCache
+from repro.errors import ConfigError, LDMAllocationError
+
+
+@pytest.fixture()
+def setup():
+    memory = MainMemory()
+    matrix = np.asfortranarray(np.arange(64.0 * 32).reshape(64, 32, order="F"))
+    handle = memory.store("M", matrix)
+    cache = SoftwareCache(memory, handle, capacity_bytes=4096, line_doubles=16, ways=4)
+    return memory, handle, matrix, cache
+
+
+class TestGeometry:
+    def test_sets_and_ways(self, setup):
+        _, _, _, cache = setup
+        assert cache.n_sets == 4096 // 128 // 4
+        assert cache.ways == 4
+
+    def test_rejects_bad_geometry(self):
+        memory = MainMemory()
+        handle = memory.store("M", np.zeros((16, 16), order="F"))
+        with pytest.raises(ConfigError):
+            SoftwareCache(memory, handle, capacity_bytes=100, line_doubles=16)
+        with pytest.raises(ConfigError):
+            SoftwareCache(memory, handle, capacity_bytes=0)
+
+    def test_rejects_cache_larger_than_ldm(self):
+        memory = MainMemory()
+        handle = memory.store("M", np.zeros((16, 16), order="F"))
+        with pytest.raises(LDMAllocationError):
+            SoftwareCache(memory, handle, capacity_bytes=128 * 1024)
+
+
+class TestReads:
+    def test_read_returns_matrix_value(self, setup):
+        _, _, matrix, cache = setup
+        assert cache.read(5, 7) == matrix[5, 7]
+
+    def test_first_access_misses_second_hits(self, setup):
+        _, _, _, cache = setup
+        cache.read(0, 0)
+        assert cache.stats.misses == 1 and cache.stats.hits == 0
+        cache.read(1, 0)  # same 16-double line (column-major)
+        assert cache.stats.hits == 1
+
+    def test_spatial_locality_within_line(self, setup):
+        _, _, _, cache = setup
+        for row in range(16):
+            cache.read(row, 0)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 15
+
+    def test_out_of_bounds(self, setup):
+        _, _, _, cache = setup
+        with pytest.raises(IndexError):
+            cache.read(64, 0)
+
+
+class TestWrites:
+    def test_write_back_on_flush(self, setup):
+        memory, handle, _, cache = setup
+        cache.write(3, 3, -99.0)
+        cache.flush()
+        assert memory.array(handle)[3, 3] == -99.0
+
+    def test_write_visible_through_cache_before_flush(self, setup):
+        _, _, _, cache = setup
+        cache.write(3, 3, 42.0)
+        assert cache.read(3, 3) == 42.0
+
+    def test_dirty_eviction_writes_back(self):
+        memory = MainMemory()
+        handle = memory.store("M", np.zeros((1024, 1), order="F"))
+        # direct mapped, 2 lines total: accesses alternate and evict
+        cache = SoftwareCache(memory, handle, capacity_bytes=256,
+                              line_doubles=16, ways=1)
+        cache.write(0, 0, 7.0)
+        # touch enough distinct lines mapping to set 0 to evict line 0
+        for idx in range(1, 4):
+            cache.read(idx * 32, 0)
+        assert memory.array(handle)[0, 0] == 7.0
+        assert cache.stats.writebacks >= 1
+
+    def test_lru_order(self):
+        memory = MainMemory()
+        handle = memory.store("M", np.zeros((1024, 1), order="F"))
+        cache = SoftwareCache(memory, handle, capacity_bytes=512,
+                              line_doubles=16, ways=2)
+        n_sets = cache.n_sets
+        stride = 16 * n_sets  # rows between lines mapping to set 0
+        cache.read(0, 0)            # line A
+        cache.read(stride, 0)       # line B
+        cache.read(0, 0)            # A again -> most recent
+        cache.read(2 * stride, 0)   # C evicts B (LRU), not A
+        cache.read(0, 0)
+        assert cache.stats.hits == 2  # the two repeat reads of A
+
+
+class TestAccounting:
+    def test_resident_bytes_bounded(self, setup):
+        _, _, matrix, cache = setup
+        for col in range(matrix.shape[1]):
+            for row in range(0, matrix.shape[0], 16):
+                cache.read(row, col)
+        assert cache.resident_bytes() <= 4096
+
+    def test_hit_rate(self, setup):
+        _, _, _, cache = setup
+        assert cache.stats.hit_rate == 0.0
+        cache.read(0, 0)
+        cache.read(0, 0)
+        assert cache.stats.hit_rate == 0.5

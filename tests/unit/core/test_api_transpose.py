@@ -1,0 +1,60 @@
+"""Unit tests for the transpose extension of dgemm."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import dgemm
+from repro.core.params import BlockingParams
+from repro.errors import UnsupportedShapeError
+from repro.workloads.matrices import random_matrix
+
+PARAMS = BlockingParams.small(double_buffered=True)
+M, N, K = PARAMS.b_m, PARAMS.b_n, PARAMS.b_k
+
+
+class TestTranspose:
+    def test_transa(self):
+        a_t = random_matrix(K, M, seed=1)  # stored as A^T
+        b = random_matrix(K, N, seed=2)
+        out = dgemm(a_t, b, transa="T", params=PARAMS)
+        assert np.allclose(out, a_t.T @ b, rtol=1e-12, atol=1e-9)
+
+    def test_transb(self):
+        a = random_matrix(M, K, seed=3)
+        b_t = random_matrix(N, K, seed=4)
+        out = dgemm(a, b_t, transb="T", params=PARAMS)
+        assert np.allclose(out, a @ b_t.T, rtol=1e-12, atol=1e-9)
+
+    def test_both_transposed(self):
+        a_t = random_matrix(K, M, seed=5)
+        b_t = random_matrix(N, K, seed=6)
+        c = random_matrix(M, N, seed=7)
+        out = dgemm(a_t, b_t, c, alpha=2.0, beta=1.0, transa="T", transb="T",
+                    params=PARAMS)
+        assert np.allclose(out, 2.0 * a_t.T @ b_t.T + c, rtol=1e-12, atol=1e-9)
+
+    def test_lowercase_accepted(self):
+        a_t = random_matrix(K, M, seed=8)
+        b = random_matrix(K, N, seed=9)
+        out = dgemm(a_t, b, transa="t", params=PARAMS)
+        assert np.allclose(out, a_t.T @ b, rtol=1e-12, atol=1e-9)
+
+    def test_invalid_flag_rejected(self):
+        a = random_matrix(M, K)
+        b = random_matrix(K, N)
+        with pytest.raises(UnsupportedShapeError):
+            dgemm(a, b, transa="C", params=PARAMS)
+
+    def test_shape_check_happens_after_transpose(self):
+        # A^T has the right inner dimension only after transposing
+        a_t = random_matrix(K, 2 * M, seed=10)
+        b = random_matrix(K, N, seed=11)
+        out = dgemm(a_t, b, transa="T", params=PARAMS)
+        assert out.shape == (2 * M, N)
+        with pytest.raises(UnsupportedShapeError):
+            dgemm(a_t, b, params=PARAMS)  # inner dims 2M vs K mismatch
+
+    def test_check_flag_with_transpose(self):
+        a_t = random_matrix(K, M, seed=12)
+        b = random_matrix(K, N, seed=13)
+        dgemm(a_t, b, transa="T", params=PARAMS, check=True)

@@ -1,0 +1,78 @@
+"""Unit tests for the batched DGEMM interface."""
+
+import numpy as np
+import pytest
+
+from repro.arch.core_group import CoreGroup
+from repro.core.batch import BatchItem, BatchResult, dgemm_batch
+from repro.core.params import BlockingParams
+from repro.errors import ConfigError
+from repro.workloads.matrices import gemm_operands
+
+PARAMS = BlockingParams.small(double_buffered=True)
+
+
+def make_items(count: int, seed: int = 0) -> list[BatchItem]:
+    items = []
+    for i in range(count):
+        a, b, c = gemm_operands(PARAMS.b_m, PARAMS.b_n, PARAMS.b_k, seed=seed + 7 * i)
+        items.append(BatchItem(a, b, c, alpha=1.0 + i, beta=0.5))
+    return items
+
+
+class TestBatch:
+    def test_outputs_match_individual_runs(self):
+        items = make_items(3)
+        result = dgemm_batch(items, params=PARAMS)
+        assert len(result) == 3
+        for item, out in zip(items, result.outputs):
+            expected = item.alpha * item.a @ item.b + item.beta * item.c
+            assert np.allclose(out, expected, rtol=1e-12, atol=1e-9)
+
+    def test_accounting_accumulates(self):
+        one = dgemm_batch(make_items(1), params=PARAMS)
+        three = dgemm_batch(make_items(3), params=PARAMS)
+        assert three.dma_bytes == 3 * one.dma_bytes
+        assert three.flops == 3 * one.flops
+        assert three.regcomm_bytes == 3 * one.regcomm_bytes
+
+    def test_pad_default_accepts_odd_shapes(self, rng):
+        a = rng.standard_normal((100, 50))
+        b = rng.standard_normal((50, 30))
+        result = dgemm_batch([BatchItem(a, b)], params=PARAMS)
+        assert np.allclose(result.outputs[0], a @ b, rtol=1e-11, atol=1e-9)
+
+    def test_shared_core_group_visible_to_caller(self):
+        cg = CoreGroup()
+        dgemm_batch(make_items(2), params=PARAMS, core_group=cg)
+        assert cg.dma.stats.bytes_total > 0
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ConfigError):
+            dgemm_batch([])
+
+    def test_non_item_rejected(self):
+        with pytest.raises(ConfigError):
+            dgemm_batch([("a", "b")])  # type: ignore[list-item]
+
+    def test_mixed_sizes_in_one_batch(self, rng):
+        items = [
+            BatchItem(rng.standard_normal((64, 32)), rng.standard_normal((32, 16))),
+            BatchItem(rng.standard_normal((128, 128)), rng.standard_normal((128, 64))),
+        ]
+        result = dgemm_batch(items, params=PARAMS)
+        for item, out in zip(items, result.outputs):
+            assert np.allclose(out, item.a @ item.b, rtol=1e-11, atol=1e-9)
+
+    def test_generator_input_accepted(self):
+        result = dgemm_batch(iter(make_items(2)), params=PARAMS)
+        assert isinstance(result, BatchResult) and len(result) == 2
+
+    def test_shared_group_reports_only_batch_delta(self):
+        """A pre-used device's earlier traffic must not be attributed
+        to this batch."""
+        cg = CoreGroup()
+        first = dgemm_batch(make_items(1), params=PARAMS, core_group=cg)
+        second = dgemm_batch(make_items(1, seed=9), params=PARAMS, core_group=cg)
+        assert second.dma_bytes == first.dma_bytes
+        assert cg.dma.stats.bytes_total == first.dma_bytes + second.dma_bytes

@@ -1,0 +1,105 @@
+"""Unit tests for the Cannon ablation variant (A7)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.mesh import Coord
+from repro.core.params import BlockingParams
+from repro.core.reference import reference_dgemm
+from repro.core.variants.cannon import CannonVariant
+from repro.experiments import ablations
+from repro.workloads.matrices import gemm_operands
+
+PARAMS = BlockingParams.small(double_buffered=False)
+
+
+def run_cannon(cg, m, n, k, alpha=1.0, beta=0.0, seed=0):
+    a, b, c = gemm_operands(m, n, k, seed=seed)
+    ha = cg.memory.store("A", a)
+    hb = cg.memory.store("B", b)
+    hc = cg.memory.store("C", c)
+    CannonVariant().run(cg, ha, hb, hc, alpha=alpha, beta=beta, params=PARAMS)
+    return cg.memory.read(hc), reference_dgemm(alpha, a, b, beta, c)
+
+
+class TestCannonCorrectness:
+    def test_single_block(self, cg):
+        got, expected = run_cannon(cg, PARAMS.b_m, PARAMS.b_n, PARAMS.b_k,
+                                   alpha=2.0, beta=-1.0)
+        assert np.allclose(got, expected, rtol=1e-12, atol=1e-9)
+
+    def test_multi_block(self, cg):
+        got, expected = run_cannon(cg, 2 * PARAMS.b_m, PARAMS.b_n,
+                                   2 * PARAMS.b_k, alpha=0.5, beta=0.25, seed=3)
+        assert np.allclose(got, expected, rtol=1e-12, atol=1e-9)
+
+    def test_buffers_drained(self, cg):
+        run_cannon(cg, PARAMS.b_m, PARAMS.b_n, PARAMS.b_k)
+        cg.regcomm.assert_drained()
+
+    def test_uses_p2p_not_broadcast(self, cg):
+        run_cannon(cg, PARAMS.b_m, PARAMS.b_n, PARAMS.b_k)
+        assert cg.regcomm.stats.p2p_sends > 0
+        assert cg.regcomm.stats.row_broadcasts == 0
+        assert cg.regcomm.stats.col_broadcasts == 0
+
+
+class TestSkewShift:
+    def test_shift_rotates_rows(self, cg):
+        tiles = {c: np.full((4, 4), float(c.col)) for c in cg.mesh.coords()}
+        shifted = CannonVariant._shift(cg, tiles, "A")
+        for coord in cg.mesh.coords():
+            assert shifted[coord][0, 0] == float((coord.col + 1) % 8)
+
+    def test_shift_rotates_columns_for_b(self, cg):
+        tiles = {c: np.full((4, 4), float(c.row)) for c in cg.mesh.coords()}
+        shifted = CannonVariant._shift(cg, tiles, "B")
+        for coord in cg.mesh.coords():
+            assert shifted[coord][0, 0] == float((coord.row + 1) % 8)
+
+    def test_skew_alignment(self, cg):
+        """After skewing, position (i, j) holds A block (i, (j+i)%8)."""
+        tiles = {c: np.full((4, 4), 10.0 * c.row + c.col) for c in cg.mesh.coords()}
+        skewed = CannonVariant._skew(cg, tiles, "A")
+        for coord in cg.mesh.coords():
+            expect = 10.0 * coord.row + (coord.col + coord.row) % 8
+            assert skewed[coord][0, 0] == expect
+
+    def test_skew_b_alignment(self, cg):
+        tiles = {c: np.full((4, 4), 10.0 * c.row + c.col) for c in cg.mesh.coords()}
+        skewed = CannonVariant._skew(cg, tiles, "B")
+        for coord in cg.mesh.coords():
+            expect = 10.0 * ((coord.row + coord.col) % 8) + coord.col
+            assert skewed[coord][0, 0] == expect
+
+
+class TestP2PRegcomm:
+    def test_send_row_targets_one_cpe(self, cg):
+        cg.regcomm.send_row(Coord(1, 2), 5, np.full(4, 9.0))
+        assert cg.regcomm.receive_row(Coord(1, 5)).data[0] == 9.0
+        # nobody else got it
+        for j in (0, 1, 2, 3, 4, 6, 7):
+            assert cg.regcomm.pending(Coord(1, j)) == (0, 0)
+
+    def test_self_send_rejected(self, cg):
+        from repro.errors import RegisterCommError
+
+        with pytest.raises(RegisterCommError):
+            cg.regcomm.send_row(Coord(0, 0), 0, np.zeros(4))
+
+    def test_stats_counted(self, cg):
+        cg.regcomm.send_col(Coord(3, 3), 0, np.zeros(8))
+        assert cg.regcomm.stats.p2p_sends == 1
+        assert cg.regcomm.stats.p2p_items == 2
+        assert cg.regcomm.stats.bytes_moved == 64
+
+
+class TestAblationA7:
+    def test_cannon_loses_on_both_axes(self):
+        data = ablations.cannon_comparison()
+        assert data["traffic_bytes"]["cannon"] > data["traffic_bytes"]["broadcast"]
+        assert data["kernel_slowdown"] > 1.2
+
+    def test_render(self):
+        text = ablations.render_cannon().render()
+        assert "Cannon" in text and "slowdown" in text

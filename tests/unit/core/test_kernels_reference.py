@@ -1,0 +1,111 @@
+"""Unit tests for the functional kernels and the reference GEMM."""
+
+import numpy as np
+import pytest
+
+from repro.arch.regfile import VectorRegisterFile
+from repro.core.kernel_functional import (
+    register_tile_multiply,
+    tile_multiply,
+)
+from repro.core.reference import reference_dgemm
+from repro.errors import ConfigError, UnsupportedShapeError
+
+
+class TestTileMultiply:
+    def test_accumulates_in_place(self, rng):
+        a = rng.standard_normal((16, 8))
+        b = rng.standard_normal((8, 12))
+        c = rng.standard_normal((16, 12))
+        expected = c + 2.0 * (a @ b)
+        tile_multiply(c, a, b, alpha=2.0)
+        assert np.allclose(c, expected)
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigError):
+            tile_multiply(np.zeros((4, 4)), np.zeros((5, 4)), np.zeros((4, 4)))
+        with pytest.raises(ConfigError):
+            tile_multiply(np.zeros((4, 4)), np.zeros((4, 3)), np.zeros((4, 4)))
+
+
+class TestRegisterTileMultiply:
+    def test_matches_numpy(self, rng):
+        regs = VectorRegisterFile()
+        a = rng.standard_normal((16, 8))
+        b = rng.standard_normal((8, 8))
+        c = np.asfortranarray(rng.standard_normal((16, 8)))
+        expected = c + 1.5 * (a @ b)
+        register_tile_multiply(regs, c, a, b, alpha=1.5)
+        assert np.allclose(c, expected, rtol=1e-12, atol=1e-12)
+
+    def test_instruction_counts(self, rng):
+        regs = VectorRegisterFile()
+        p_k, p_n = 8, 8
+        a = rng.standard_normal((16, p_k))
+        b = rng.standard_normal((p_k, p_n))
+        c = np.zeros((16, p_n), order="F")
+        counts = register_tile_multiply(regs, c, a, b)
+        tiles = p_n // 4
+        assert counts.vmad == tiles * p_k * 16
+        assert counts.a_loads == tiles * p_k * 4
+        assert counts.b_loads == tiles * p_k * 4
+        assert counts.c_loads == counts.c_stores == tiles * 16
+
+    def test_vmad_flop_accounting_matches_gemm(self):
+        # 2*pM*pN*pK flops = vmads * 8
+        regs = VectorRegisterFile()
+        p_k, p_n = 4, 8
+        counts = register_tile_multiply(
+            regs, np.zeros((16, p_n), order="F"),
+            np.ones((16, p_k)), np.ones((p_k, p_n)),
+        )
+        assert counts.vmad * 8 == 2 * 16 * p_n * p_k
+
+    def test_rejects_wrong_pm(self):
+        regs = VectorRegisterFile()
+        with pytest.raises(ConfigError):
+            register_tile_multiply(
+                regs, np.zeros((8, 4)), np.zeros((8, 4)), np.zeros((4, 4))
+            )
+
+    def test_rejects_mismatched_tiles(self):
+        regs = VectorRegisterFile()
+        with pytest.raises(ConfigError):
+            register_tile_multiply(
+                regs, np.zeros((16, 4)), np.zeros((16, 5)), np.zeros((4, 4))
+            )
+
+    def test_rejects_pn_not_multiple_of_4(self):
+        regs = VectorRegisterFile()
+        with pytest.raises(ConfigError):
+            register_tile_multiply(
+                regs, np.zeros((16, 6)), np.zeros((16, 4)), np.zeros((4, 6))
+            )
+
+
+class TestReference:
+    def test_blas_contract(self, rng):
+        a = rng.standard_normal((6, 4))
+        b = rng.standard_normal((4, 5))
+        c = rng.standard_normal((6, 5))
+        out = reference_dgemm(2.0, a, b, -1.0, c)
+        assert np.allclose(out, 2.0 * a @ b - c)
+
+    def test_input_c_not_modified(self, rng):
+        c = rng.standard_normal((4, 4))
+        before = c.copy()
+        reference_dgemm(1.0, np.eye(4), np.eye(4), 3.0, c)
+        assert np.array_equal(c, before)
+
+    def test_shape_checks(self):
+        with pytest.raises(UnsupportedShapeError):
+            reference_dgemm(1.0, np.zeros((2, 3)), np.zeros((4, 2)), 0.0, np.zeros((2, 2)))
+        with pytest.raises(UnsupportedShapeError):
+            reference_dgemm(1.0, np.zeros(3), np.zeros((3, 2)), 0.0, np.zeros((1, 2)))
+
+    def test_output_fortran_order(self, rng):
+        out = reference_dgemm(
+            1.0, rng.standard_normal((3, 3)), rng.standard_normal((3, 3)),
+            0.0, np.zeros((3, 3)),
+        )
+        assert out.flags.f_contiguous

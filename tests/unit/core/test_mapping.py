@@ -1,0 +1,139 @@
+"""Unit tests for the two data-thread mappings (Sec III-A / IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.dma import row_mode_owner_rows
+from repro.core.mapping import BUF_A, BUF_B, BUF_C, PEMapping, RowMapping
+from repro.core.params import BlockingParams
+
+
+@pytest.fixture()
+def params() -> BlockingParams:
+    return BlockingParams.small(double_buffered=False)
+
+
+@pytest.fixture()
+def staged(cg, params, rng):
+    """A core group with one CG block of each matrix resident."""
+    p = params
+    a = np.asfortranarray(rng.standard_normal((2 * p.b_m, 2 * p.b_k)))
+    b = np.asfortranarray(rng.standard_normal((2 * p.b_k, 2 * p.b_n)))
+    c = np.asfortranarray(rng.standard_normal((2 * p.b_m, 2 * p.b_n)))
+    return (
+        cg,
+        cg.memory.store("A", a),
+        cg.memory.store("B", b),
+        cg.memory.store("C", c),
+        (a, b, c),
+    )
+
+
+class TestAllocation:
+    def test_single_buffered_names(self, cg, params):
+        PEMapping(params).allocate(cg)
+        names = set(cg.cpe((0, 0)).ldm.names())
+        assert names == {BUF_A, BUF_B, BUF_C}
+
+    def test_double_buffered_names(self, cg):
+        params = BlockingParams.small(double_buffered=True)
+        RowMapping(params).allocate(cg)
+        names = set(cg.cpe((0, 0)).ldm.names())
+        assert names == {"A0", "A1", "C0", "C1", "B"}
+
+    def test_tile_shapes(self, params):
+        m = PEMapping(params)
+        assert m.tile_shape(BUF_A) == (params.p_m, params.p_k)
+        assert m.tile_shape(BUF_B) == (params.p_k, params.p_n)
+        assert m.tile_shape(BUF_C) == (params.p_m, params.p_n)
+
+
+class TestPEMapping:
+    def test_thread_uv_owns_block_uv(self, staged, params):
+        cg, ha, hb, hc, (a, b, c) = staged
+        mapping = PEMapping(params)
+        mapping.allocate(cg)
+        mapping.load_a(cg, ha, 1, 0)
+        mapping.load_b(cg, hb, 0, 1)
+        mapping.load_c(cg, hc, 1, 1)
+        p = params
+        for coord in cg.mesh.coords():
+            u, v = coord
+            got_a = cg.cpe(coord).ldm.get(BUF_A).data
+            expect_a = a[
+                p.b_m + u * p.p_m : p.b_m + (u + 1) * p.p_m,
+                v * p.p_k : (v + 1) * p.p_k,
+            ]
+            assert np.array_equal(got_a, expect_a)
+            got_b = cg.cpe(coord).ldm.get(BUF_B).data
+            expect_b = b[
+                u * p.p_k : (u + 1) * p.p_k,
+                p.b_n + v * p.p_n : p.b_n + (v + 1) * p.p_n,
+            ]
+            assert np.array_equal(got_b, expect_b)
+
+    def test_store_c_roundtrip(self, staged, params):
+        cg, ha, hb, hc, (a, b, c) = staged
+        mapping = PEMapping(params)
+        mapping.allocate(cg)
+        mapping.load_c(cg, hc, 0, 0)
+        for coord in cg.mesh.coords():
+            cg.cpe(coord).ldm.get(BUF_C).data *= 2.0
+        mapping.store_c(cg, hc, 0, 0)
+        got = cg.memory.array(hc)
+        p = params
+        assert np.array_equal(got[: p.b_m, : p.b_n], 2.0 * c[: p.b_m, : p.b_n])
+        # other blocks untouched
+        assert np.array_equal(got[p.b_m :, :], c[p.b_m :, :])
+
+
+class TestRowMapping:
+    def test_a_distribution_interleaved(self, staged, params):
+        cg, ha, hb, hc, (a, b, c) = staged
+        mapping = RowMapping(params)
+        mapping.allocate(cg)
+        mapping.load_a(cg, ha, 0, 1)
+        p = params
+        for coord in cg.mesh.coords():
+            strip, j = coord
+            block = a[: p.b_m, p.b_k + strip * p.p_k : p.b_k + (strip + 1) * p.p_k]
+            mine = row_mode_owner_rows(p.b_m, j)
+            assert np.array_equal(cg.cpe(coord).ldm.get(BUF_A).data, block[mine, :])
+
+    def test_b_remapped_distribution(self, staged, params):
+        cg, ha, hb, hc, (a, b, c) = staged
+        mapping = RowMapping(params)
+        mapping.allocate(cg)
+        mapping.load_b(cg, hb, 1, 0)
+        p = params
+        for coord in cg.mesh.coords():
+            i, j = coord
+            expect = b[
+                p.b_k + j * p.p_k : p.b_k + (j + 1) * p.p_k,
+                i * p.p_n : (i + 1) * p.p_n,
+            ]
+            assert np.array_equal(cg.cpe(coord).ldm.get(BUF_B).data, expect)
+
+    def test_c_store_roundtrip_preserves_interleave(self, staged, params):
+        cg, ha, hb, hc, (a, b, c) = staged
+        mapping = RowMapping(params)
+        mapping.allocate(cg)
+        mapping.load_c(cg, hc, 1, 0)
+        mapping.store_c(cg, hc, 1, 0)
+        assert np.array_equal(cg.memory.array(hc), c)
+
+    def test_a_and_c_share_row_subsets(self, staged, params):
+        """The correctness keystone: a CPE's A rows == its C rows."""
+        cg, ha, hb, hc, (a, b, c) = staged
+        mapping = RowMapping(params)
+        mapping.allocate(cg)
+        mapping.load_a(cg, ha, 0, 0)
+        mapping.load_c(cg, hc, 0, 0)
+        p = params
+        for coord in cg.mesh.coords():
+            strip, j = coord
+            mine = row_mode_owner_rows(p.b_m, j)
+            a_rows = a[mine, strip * p.p_k : (strip + 1) * p.p_k]
+            c_rows = c[mine, strip * p.p_n : (strip + 1) * p.p_n]
+            assert np.array_equal(cg.cpe(coord).ldm.get(BUF_A).data, a_rows)
+            assert np.array_equal(cg.cpe(coord).ldm.get(BUF_C).data, c_rows)

@@ -1,0 +1,120 @@
+"""Unit tests for the Sec III-C analytic model."""
+
+import pytest
+
+from repro.core import model
+from repro.errors import ConfigError
+
+
+class TestTraffic:
+    def test_cg_traffic_formula(self):
+        # 2*K*m*n + N*m*k + k*n with (M,N,K) grids of CG blocks
+        m = n = k = 1536
+        b_n, b_k = 384, 768
+        traffic = model.cg_traffic_elements(m, n, k, b_n, b_k)
+        big_k, big_n = k // b_k, n // b_n
+        assert traffic == 2 * big_k * m * n + big_n * m * k + k * n
+
+    def test_traffic_positive_args(self):
+        with pytest.raises(ConfigError):
+            model.cg_traffic_elements(0, 1, 1, 1, 1)
+
+
+class TestBandwidthReduction:
+    def test_asymptotic_form(self):
+        s = model.bandwidth_reduction(384, 768)
+        assert s == pytest.approx(2.0 / (2.0 / 768 + 1.0 / 384))
+
+    def test_finite_m_reduces_s(self):
+        assert model.bandwidth_reduction(384, 768, m=1536) < model.bandwidth_reduction(384, 768)
+
+    def test_larger_blocks_increase_s(self):
+        assert model.bandwidth_reduction(512, 1024) > model.bandwidth_reduction(384, 768)
+
+    def test_positive_args(self):
+        with pytest.raises(ConfigError):
+            model.bandwidth_reduction(0, 768)
+        with pytest.raises(ConfigError):
+            model.bandwidth_reduction(384, 768, m=0)
+
+
+class TestPaperConstants:
+    def test_min_bn_is_174_7(self):
+        assert model.min_block_n() == pytest.approx(174.68, abs=0.05)
+
+    def test_paper_rounds_to_175_and_350(self):
+        min_bn = model.min_block_n()
+        assert 174 < min_bn < 175  # paper: bN >= 175, bK >= 350
+
+    def test_required_bandwidth_below_peak_at_paper_blocks(self):
+        s = model.bandwidth_reduction(384, 768)
+        assert model.required_bandwidth(s) < 34e9
+
+    def test_required_bandwidth_validates(self):
+        with pytest.raises(ConfigError):
+            model.required_bandwidth(0.0)
+
+
+class TestLDM:
+    def test_paper_single_buffered_fits(self):
+        assert model.ldm_fits(16, 48, 96)
+        assert model.ldm_doubles(16, 48, 96) == 6912
+
+    def test_too_large_rejected(self):
+        assert not model.ldm_fits(64, 64, 64)  # 12288 doubles
+
+    def test_exactly_8192_fails_strict(self):
+        # 32*64 + 64*64 + 32*64 = 8192 exactly
+        assert model.ldm_doubles(32, 64, 64) == 8192
+        assert not model.ldm_fits(32, 64, 64)
+
+    def test_validates(self):
+        with pytest.raises(ConfigError):
+            model.ldm_doubles(0, 1, 1)
+
+
+class TestRegisterModel:
+    def test_budget(self):
+        assert model.register_budget(4, 4) == 24
+
+    def test_fits_strict(self):
+        assert model.register_fits(4, 4)
+        assert not model.register_fits(2, 10)  # exactly 32
+
+    def test_reduction_symmetric(self):
+        assert model.register_bandwidth_reduction(4, 4) == pytest.approx(4.0)
+        assert model.register_bandwidth_reduction(2, 8) == pytest.approx(3.2)
+
+    def test_optimal_tile_is_4x4(self):
+        assert model.optimal_register_tile() == (4, 4)
+
+    def test_optimal_tile_respects_pn_divisibility(self):
+        # pN = 20: rN must divide 20 -> candidates 1,2,4,5,10,20
+        r_m, r_n = model.optimal_register_tile(p_m=16, p_n=20)
+        assert 20 % r_n == 0 and 16 % (r_m * 4) == 0
+
+    def test_validates(self):
+        with pytest.raises(ConfigError):
+            model.register_budget(0, 4)
+        with pytest.raises(ConfigError):
+            model.register_bandwidth_reduction(-1, 4)
+
+
+class TestSplitOptimum:
+    def test_bk_equals_2bn(self):
+        b_k, b_n = model.optimal_bk_bn_split(1024)
+        assert b_k == pytest.approx(2 * b_n)
+        assert b_k + 2 * b_n == pytest.approx(1024)
+
+    def test_optimum_beats_other_splits(self):
+        budget = 1024.0
+        b_k_opt, b_n_opt = model.optimal_bk_bn_split(budget)
+        s_opt = model.bandwidth_reduction(b_n_opt, b_k_opt)
+        for ratio in (0.5, 1.0, 3.0, 8.0):
+            b_n = budget / (2 + ratio)
+            s = model.bandwidth_reduction(b_n, ratio * b_n)
+            assert s <= s_opt + 1e-9
+
+    def test_validates(self):
+        with pytest.raises(ConfigError):
+            model.optimal_bk_bn_split(0)

@@ -1,0 +1,88 @@
+"""Unit tests for blocking parameters."""
+
+import pytest
+
+from repro.core.params import BlockingParams
+from repro.errors import BlockingError, ConfigError, UnsupportedShapeError
+
+
+class TestPaperConfigurations:
+    def test_single_buffered_paper_values(self):
+        p = BlockingParams.paper_single()
+        assert (p.p_m, p.p_n, p.p_k) == (16, 48, 96)
+        assert (p.b_m, p.b_n, p.b_k) == (128, 384, 768)
+        assert not p.double_buffered
+        p.validate()
+
+    def test_double_buffered_paper_values(self):
+        p = BlockingParams.paper_double()
+        assert (p.p_m, p.p_n, p.p_k) == (16, 32, 96)
+        assert (p.b_m, p.b_n, p.b_k) == (128, 256, 768)
+        assert p.double_buffered
+        p.validate()
+
+    def test_small_fits(self):
+        BlockingParams.small(True).validate()
+        BlockingParams.small(False).validate()
+
+
+class TestLDMAccounting:
+    def test_single_buffered_doubles(self):
+        p = BlockingParams.paper_single()
+        assert p.ldm_doubles_per_cpe == 16 * 48 + 48 * 96 + 96 * 16  # 6912
+
+    def test_double_buffered_doubles(self):
+        p = BlockingParams.paper_double()
+        assert p.ldm_doubles_per_cpe == 2 * 16 * 96 + 96 * 32 + 2 * 16 * 32  # 7168
+
+    def test_pn48_double_buffered_overflows(self):
+        p = BlockingParams(16, 48, 96, double_buffered=True)
+        assert p.ldm_doubles_per_cpe == 9216
+        with pytest.raises(BlockingError):
+            p.validate()
+        assert not p.fits()
+
+    def test_exactly_8192_rejected(self):
+        # the paper's constraint is strict: pM*pN + pN*pK + pK*pM < 8192
+        p = BlockingParams(16, 240, 16, double_buffered=False)
+        assert p.ldm_doubles_per_cpe == 16 * 240 + 240 * 16 + 16 * 16  # 7936 < 8192
+        p.validate()
+        q = BlockingParams(16, 244, 16, double_buffered=False)
+        assert q.ldm_doubles_per_cpe == 8064
+        q.validate()
+
+
+class TestConstraints:
+    @pytest.mark.parametrize("bad", [
+        dict(p_m=8),    # not a multiple of 16 (DMA granule / register tile)
+        dict(p_m=0),
+        dict(p_k=40),   # not a multiple of 16
+        dict(p_n=30),   # not a multiple of rN=4
+        dict(p_n=-4),
+    ])
+    def test_invalid_tile_sizes(self, bad):
+        with pytest.raises((BlockingError, ConfigError)):
+            BlockingParams(**bad)
+
+    def test_mesh_mismatch_detected(self):
+        from repro.arch.config import SW26010Spec
+
+        odd = SW26010Spec(mesh_rows=4, mesh_cols=4)
+        with pytest.raises(BlockingError):
+            BlockingParams.small().validate(odd)
+
+
+class TestShapeAdmission:
+    def test_exact_multiples_accepted(self):
+        p = BlockingParams.paper_double()
+        assert p.check_shape(256, 512, 1536) == (2, 2, 2)
+
+    @pytest.mark.parametrize("shape", [
+        (100, 256, 768),
+        (128, 100, 768),
+        (128, 256, 100),
+        (0, 256, 768),
+    ])
+    def test_non_multiples_rejected(self, shape):
+        with pytest.raises(UnsupportedShapeError):
+            BlockingParams.paper_double().check_shape(*shape)

@@ -1,0 +1,91 @@
+"""Unit tests for the collective data-sharing scheme (Sec III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.mesh import Coord
+from repro.core.sharing import Role, Scheme, exchange_step, role_of
+from repro.errors import SharingError
+
+
+class TestRoles:
+    def test_pe_scheme_matches_figure3(self):
+        step = 2
+        assert role_of(Coord(2, 2), step, Scheme.PE) is Role.DIAGONAL
+        assert role_of(Coord(5, 2), step, Scheme.PE) is Role.A_OWNER   # column 2
+        assert role_of(Coord(2, 5), step, Scheme.PE) is Role.B_OWNER   # row 2
+        assert role_of(Coord(4, 5), step, Scheme.PE) is Role.RECEIVER
+
+    def test_row_scheme_transposes_ownership(self):
+        step = 3
+        assert role_of(Coord(3, 3), step, Scheme.ROW) is Role.DIAGONAL
+        assert role_of(Coord(3, 6), step, Scheme.ROW) is Role.A_OWNER  # row 3
+        assert role_of(Coord(6, 3), step, Scheme.ROW) is Role.B_OWNER  # column 3
+        assert role_of(Coord(1, 6), step, Scheme.ROW) is Role.RECEIVER
+
+    def test_role_census_per_step(self):
+        for scheme in Scheme:
+            for step in range(8):
+                roles = [role_of(c, step, scheme) for c in
+                         (Coord(i, j) for i in range(8) for j in range(8))]
+                assert roles.count(Role.DIAGONAL) == 1
+                assert roles.count(Role.A_OWNER) == 7
+                assert roles.count(Role.B_OWNER) == 7
+                assert roles.count(Role.RECEIVER) == 49
+
+    def test_step_bounds(self):
+        with pytest.raises(SharingError):
+            role_of(Coord(0, 0), 8, Scheme.PE)
+
+
+def _tiles(cg, fill_fn):
+    return {c: fill_fn(c) for c in cg.mesh.coords()}
+
+
+class TestExchangeStep:
+    @pytest.mark.parametrize("scheme", [Scheme.PE, Scheme.ROW])
+    @pytest.mark.parametrize("step", [0, 3, 7])
+    def test_every_cpe_gets_the_owners_tiles(self, cg, scheme, step):
+        # tag each tile with its owner's coordinates so provenance is
+        # checkable after the exchange
+        a_tiles = _tiles(cg, lambda c: np.full((4, 4), 100 * c.row + c.col, dtype=float))
+        b_tiles = _tiles(cg, lambda c: np.full((4, 4), -(100 * c.row + c.col) - 1.0))
+        operands = exchange_step(cg, step, scheme, a_tiles, b_tiles)
+        for coord, (a_part, b_part) in operands.items():
+            if scheme is Scheme.PE:
+                a_owner = Coord(coord.row, step)
+                b_owner = Coord(step, coord.col)
+            else:
+                a_owner = Coord(step, coord.col)
+                b_owner = Coord(coord.row, step)
+            assert np.all(a_part == 100 * a_owner.row + a_owner.col)
+            assert np.all(b_part == -(100 * b_owner.row + b_owner.col) - 1.0)
+
+    def test_buffers_drained_after_exchange(self, cg):
+        a_tiles = _tiles(cg, lambda c: np.zeros((4, 4)))
+        b_tiles = _tiles(cg, lambda c: np.zeros((4, 4)))
+        exchange_step(cg, 0, Scheme.PE, a_tiles, b_tiles)
+        cg.regcomm.assert_drained()
+
+    def test_broadcast_counts(self, cg):
+        a_tiles = _tiles(cg, lambda c: np.zeros((4, 4)))
+        b_tiles = _tiles(cg, lambda c: np.zeros((4, 4)))
+        exchange_step(cg, 5, Scheme.PE, a_tiles, b_tiles)
+        # 8 A row-broadcasts + 8 B column-broadcasts
+        assert cg.regcomm.stats.row_broadcasts == 8
+        assert cg.regcomm.stats.col_broadcasts == 8
+        # every non-owner receives: 2 * 56 pops
+        assert cg.regcomm.stats.receives == 112
+
+    def test_full_eight_steps_consume_full_k(self, cg):
+        """Over all 8 steps each CPE sees each owner line exactly once."""
+        seen: dict[Coord, list[float]] = {c: [] for c in cg.mesh.coords()}
+        for step in range(8):
+            a_tiles = _tiles(cg, lambda c: np.full((4, 4), float(c.col)))
+            b_tiles = _tiles(cg, lambda c: np.zeros((4, 4)))
+            operands = exchange_step(cg, step, Scheme.PE, a_tiles, b_tiles)
+            for coord, (a_part, _) in operands.items():
+                seen[coord].append(float(a_part[0, 0]))
+        for coord, cols in seen.items():
+            # in the PE scheme, step s serves column s's A tiles
+            assert cols == [float(s) for s in range(8)]

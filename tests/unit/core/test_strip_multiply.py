@@ -1,0 +1,72 @@
+"""Direct tests of the shared strip-multiply helper."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import PEMapping, RowMapping
+from repro.core.params import BlockingParams
+from repro.core.sharing import Scheme
+from repro.core.variants.base import GEMMVariant
+from repro.workloads.matrices import random_matrix
+
+
+@pytest.fixture()
+def params():
+    return BlockingParams.small(double_buffered=False)
+
+
+def stage_block(cg, params, scheme, seed=0):
+    """Load one CG block of A, B, C through the scheme's mapping."""
+    mapping = (PEMapping if scheme is Scheme.PE else RowMapping)(params)
+    mapping.allocate(cg)
+    a = random_matrix(params.b_m, params.b_k, seed=seed)
+    b = random_matrix(params.b_k, params.b_n, seed=seed + 1)
+    c = random_matrix(params.b_m, params.b_n, seed=seed + 2)
+    ha = cg.memory.store("A", a)
+    hb = cg.memory.store("B", b)
+    hc = cg.memory.store("C", c)
+    mapping.load_a(cg, ha, 0, 0)
+    mapping.load_b(cg, hb, 0, 0)
+    mapping.load_c(cg, hc, 0, 0)
+    return mapping, (a, b, c), hc
+
+
+@pytest.mark.parametrize("scheme", [Scheme.PE, Scheme.ROW])
+def test_strip_multiply_computes_block_product(cg, params, scheme):
+    mapping, (a, b, c), hc = stage_block(cg, params, scheme)
+    GEMMVariant.strip_multiply(cg, scheme, alpha=2.0)
+    mapping.store_c(cg, hc, 0, 0)
+    got = cg.memory.array(hc)
+    assert np.allclose(got, c + 2.0 * a @ b, rtol=1e-12, atol=1e-9)
+
+
+def test_strip_multiply_accumulates_on_repeat(cg, params):
+    mapping, (a, b, c), hc = stage_block(cg, params, Scheme.PE)
+    GEMMVariant.strip_multiply(cg, Scheme.PE, alpha=1.0)
+    GEMMVariant.strip_multiply(cg, Scheme.PE, alpha=1.0)
+    mapping.store_c(cg, hc, 0, 0)
+    got = cg.memory.array(hc)
+    assert np.allclose(got, c + 2.0 * (a @ b), rtol=1e-12, atol=1e-9)
+
+
+def test_scale_c_applies_beta(cg, params):
+    mapping, (a, b, c), hc = stage_block(cg, params, Scheme.PE)
+    GEMMVariant.scale_c(cg, "C", 0.5)
+    mapping.store_c(cg, hc, 0, 0)
+    assert np.allclose(cg.memory.array(hc), 0.5 * c, rtol=1e-13)
+
+
+def test_scale_c_beta_one_is_noop(cg, params):
+    mapping, (a, b, c), hc = stage_block(cg, params, Scheme.PE)
+    before = {
+        coord: cg.cpe(coord).ldm.get("C").data.copy() for coord in cg.mesh.coords()
+    }
+    GEMMVariant.scale_c(cg, "C", 1.0)
+    for coord, snapshot in before.items():
+        assert np.array_equal(cg.cpe(coord).ldm.get("C").data, snapshot)
+
+
+def test_regcomm_drained_after_strip(cg, params):
+    stage_block(cg, params, Scheme.ROW)
+    GEMMVariant.strip_multiply(cg, Scheme.ROW, alpha=1.0)
+    cg.regcomm.assert_drained()

@@ -1,0 +1,135 @@
+"""Unit tests for the five GEMM variants' functional execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import BlockingParams
+from repro.core.reference import reference_dgemm
+from repro.core.variants import VARIANTS, get_variant
+from repro.core.variants.raw import RawVariant, pick_tile
+from repro.errors import UnsupportedShapeError
+from repro.workloads.matrices import gemm_operands
+
+
+def run_variant(cg, name, m, n, k, alpha=1.0, beta=0.0, params=None, seed=0):
+    a, b, c = gemm_operands(m, n, k, seed=seed)
+    ha = cg.memory.store("A", a)
+    hb = cg.memory.store("B", b)
+    hc = cg.memory.store("C", c)
+    get_variant(name).run(cg, ha, hb, hc, alpha=alpha, beta=beta, params=params)
+    got = cg.memory.read(hc)
+    expected = reference_dgemm(alpha, a, b, beta, c)
+    return got, expected
+
+
+class TestRegistry:
+    def test_paper_order(self):
+        assert list(VARIANTS) == ["RAW", "PE", "ROW", "DB", "SCHED"]
+
+    def test_lookup_case_insensitive(self):
+        assert get_variant("sched").traits.name == "SCHED"
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError):
+            get_variant("TURBO")
+
+    def test_traits_progression(self):
+        assert VARIANTS["RAW"].traits.shared is False
+        assert VARIANTS["PE"].traits.ac_mode == "PE"
+        assert VARIANTS["ROW"].traits.ac_mode == "ROW"
+        assert VARIANTS["DB"].traits.double_buffered is True
+        assert VARIANTS["SCHED"].traits.kernel == "scheduled"
+        assert VARIANTS["DB"].traits.kernel == "naive"
+
+
+class TestBlockedVariants:
+    @pytest.mark.parametrize("name", ["PE", "ROW"])
+    def test_single_buffered_correct(self, cg, name, small_single):
+        p = small_single
+        got, expected = run_variant(
+            cg, name, 2 * p.b_m, p.b_n, 2 * p.b_k, alpha=1.5, beta=0.5, params=p
+        )
+        assert np.allclose(got, expected, rtol=1e-12, atol=1e-9)
+
+    @pytest.mark.parametrize("name", ["DB", "SCHED"])
+    def test_double_buffered_correct(self, cg, name, small_double):
+        p = small_double
+        got, expected = run_variant(
+            cg, name, 3 * p.b_m, p.b_n, p.b_k, alpha=-0.5, beta=2.0, params=p
+        )
+        assert np.allclose(got, expected, rtol=1e-12, atol=1e-9)
+
+    def test_db_single_block_m(self, cg, small_double):
+        """grid_m == 1 takes Algorithm 2's degenerate path."""
+        p = small_double
+        got, expected = run_variant(cg, "DB", p.b_m, p.b_n, p.b_k, params=p)
+        assert np.allclose(got, expected, rtol=1e-12, atol=1e-9)
+
+    def test_db_two_blocks_m(self, cg, small_double):
+        """grid_m == 2 exercises the empty steady-state loop."""
+        p = small_double
+        got, expected = run_variant(cg, "DB", 2 * p.b_m, p.b_n, p.b_k, params=p)
+        assert np.allclose(got, expected, rtol=1e-12, atol=1e-9)
+
+    def test_beta_zero_ignores_input_c(self, cg, small_single):
+        p = small_single
+        got, expected = run_variant(cg, "PE", p.b_m, p.b_n, p.b_k, beta=0.0, params=p)
+        assert np.allclose(got, expected, rtol=1e-12, atol=1e-9)
+
+    def test_variant_buffer_regime_enforced(self, cg, small_single, small_double):
+        a, b, c = gemm_operands(128, 64, 128)
+        ha, hb, hc = (cg.memory.store(n, m) for n, m in zip("ABC", (a, b, c)))
+        with pytest.raises(ValueError):
+            get_variant("PE").run(cg, ha, hb, hc, params=small_double)
+        with pytest.raises(ValueError):
+            get_variant("DB").run(cg, ha, hb, hc, params=small_single)
+
+    def test_shape_must_be_block_multiple(self, cg, small_single):
+        a, b, c = gemm_operands(100, 64, 128)
+        ha, hb, hc = (cg.memory.store(n, m) for n, m in zip("ABC", (a, b, c)))
+        with pytest.raises(UnsupportedShapeError):
+            get_variant("PE").run(cg, ha, hb, hc, params=small_single)
+
+    def test_inconsistent_operands_rejected(self, cg, small_single):
+        ha = cg.memory.store("A", np.zeros((128, 128)))
+        hb = cg.memory.store("B", np.zeros((64, 64)))
+        hc = cg.memory.store("C", np.zeros((128, 64)))
+        with pytest.raises(UnsupportedShapeError):
+            get_variant("PE").run(cg, ha, hb, hc, params=small_single)
+
+
+class TestRawVariant:
+    def test_correct(self, cg):
+        got, expected = run_variant(cg, "RAW", 256, 128, 96, alpha=2.0, beta=-1.0)
+        assert np.allclose(got, expected, rtol=1e-12, atol=1e-9)
+
+    def test_tile_geometry_alignment(self):
+        t_m, t_n, t_k = RawVariant.tile_geometry(1920 * 8, 1920 * 8, 15360)
+        assert t_m % 16 == 0 and t_k % 16 == 0 and t_n % 4 == 0
+        assert t_m <= 48 and t_n <= 48 and t_k <= 48
+
+    def test_tile_geometry_divides(self):
+        t_m, t_n, t_k = RawVariant.tile_geometry(256, 128, 96)
+        assert (256 // 8) % t_m == 0
+        assert (128 // 8) % t_n == 0
+        assert 96 % t_k == 0
+
+    def test_requires_grid_divisibility(self):
+        with pytest.raises(UnsupportedShapeError):
+            RawVariant.tile_geometry(100, 128, 96)
+
+    def test_pick_tile(self):
+        assert pick_tile(96, 16) == 48
+        assert pick_tile(32, 16) == 32
+        assert pick_tile(16, 16) == 16
+        assert pick_tile(60, 4) == 20  # largest 4-multiple <= 48 dividing 60
+
+    def test_pick_tile_rejects_misaligned(self):
+        with pytest.raises(UnsupportedShapeError):
+            pick_tile(24, 16)
+
+    def test_ldm_respected(self, cg):
+        run_variant(cg, "RAW", 384, 384, 768)
+        assert all(
+            cpe.ldm.high_water_bytes <= cpe.ldm.capacity_bytes for cpe in cg.cpes()
+        )

@@ -1,0 +1,40 @@
+"""Unit tests for the verification battery."""
+
+import pytest
+
+from repro.core.verify import verify_variants
+
+
+class TestVerifyVariants:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return verify_variants(grids=((1, 1, 1),))
+
+    def test_all_variants_pass(self, report):
+        assert report.all_passed
+        assert report.failures() == []
+
+    def test_case_coverage(self, report):
+        variants = {c.variant for c in report.cases}
+        assert variants == {"RAW", "PE", "ROW", "DB", "SCHED"}
+        # 5 variants x 1 grid x 2 scalar pairs
+        assert len(report.cases) == 10
+
+    def test_worst_case_reported(self, report):
+        worst = report.worst
+        assert worst.max_abs_error == max(c.max_abs_error for c in report.cases)
+
+    def test_tight_atol_fails(self):
+        report = verify_variants(
+            variants=("SCHED",), grids=((1, 1, 1),), atol=0.0
+        )
+        # float accumulation order differs from numpy: exact zero error
+        # is not achievable, so the battery must report failures
+        assert not report.all_passed
+
+    def test_seed_changes_operands(self):
+        r1 = verify_variants(variants=("PE",), grids=((1, 1, 1),),
+                             scalars=((1.0, 0.0),), seed=1)
+        r2 = verify_variants(variants=("PE",), grids=((1, 1, 1),),
+                             scalars=((1.0, 0.0),), seed=2)
+        assert r1.cases[0].max_abs_error != r2.cases[0].max_abs_error

@@ -1,0 +1,71 @@
+"""Unit tests for the instruction vocabulary."""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.isa.instructions import (
+    Instr,
+    Unit,
+    addl,
+    getc,
+    getr,
+    lddec,
+    nop,
+    vldd,
+    vldr,
+    vmad,
+    vstd,
+)
+
+
+class TestConstructors:
+    def test_vmad_is_fp(self):
+        ins = vmad("rC0", "rA0", "rB0", "rC0")
+        assert ins.unit is Unit.FP
+        assert ins.latency_class == "vmad"
+        assert ins.dst == "rC0"
+        assert ins.srcs == ("rA0", "rB0", "rC0")
+
+    @pytest.mark.parametrize(
+        "factory,cls",
+        [
+            (lambda: vldr("rA0"), "regcomm"),
+            (lambda: lddec("rB0"), "regcomm"),
+            (lambda: getr("rA0"), "regcomm"),
+            (lambda: getc("rB0"), "regcomm"),
+            (lambda: vldd("rA0"), "ldm_load"),
+            (lambda: addl("ptr", "x"), "integer"),
+            (nop, "integer"),
+        ],
+    )
+    def test_secondary_pipe_ops(self, factory, cls):
+        ins = factory()
+        assert ins.unit is Unit.SECONDARY
+        assert ins.latency_class == cls
+
+    def test_vstd_has_no_destination(self):
+        ins = vstd("rC0")
+        assert ins.dst is None
+        assert "rC0" in ins.srcs
+
+    def test_nop_has_no_operands(self):
+        ins = nop()
+        assert ins.dst is None and ins.srcs == ()
+
+    def test_str_rendering(self):
+        assert str(vmad("rC0", "rA0", "rB0", "rC0")) == "vmad rC0 rA0 rB0 rC0"
+
+
+class TestValidation:
+    def test_empty_op_rejected(self):
+        with pytest.raises(PipelineError):
+            Instr("", "d", (), Unit.FP, "vmad")
+
+    def test_empty_dst_rejected(self):
+        with pytest.raises(PipelineError):
+            Instr("vmad", "", (), Unit.FP, "vmad")
+
+    def test_frozen(self):
+        ins = nop()
+        with pytest.raises(AttributeError):
+            ins.op = "x"  # type: ignore[misc]

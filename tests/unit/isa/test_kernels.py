@@ -1,0 +1,126 @@
+"""Unit tests for the microkernel instruction streams."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa.kernels import (
+    FLOPS_PER_ITERATION,
+    MicrokernelSpec,
+    naive_iteration,
+    naive_pipeline,
+    scheduled_iteration,
+    scheduled_pipeline,
+    strip_cycles,
+    tile_program,
+)
+
+
+class TestMicrokernelSpec:
+    def test_paper_db_spec(self):
+        spec = MicrokernelSpec()
+        assert (spec.p_m, spec.p_n, spec.p_k) == (16, 32, 96)
+        assert spec.tiles_per_thread_multiply == 8
+        assert spec.tiles_per_strip == 64
+        assert spec.flops_per_tile == 96 * 128
+
+    def test_raw_tile_spec(self):
+        spec = MicrokernelSpec(p_m=48, p_n=48, p_k=48)
+        assert spec.tiles_per_thread_multiply == 3 * 12
+
+    @pytest.mark.parametrize("bad", [dict(p_m=8), dict(p_n=30), dict(p_k=1)])
+    def test_invalid_specs(self, bad):
+        with pytest.raises(ConfigError):
+            MicrokernelSpec(**bad)
+
+    def test_flops_per_iteration(self):
+        assert FLOPS_PER_ITERATION == 128
+
+
+class TestScheduledIteration:
+    def test_shape_matches_algorithm3(self):
+        body = scheduled_iteration()
+        ops = [i.op for i in body]
+        assert ops.count("vmad") == 16
+        assert ops.count("vldr") == 4
+        assert ops.count("lddec") == 4
+        assert ops.count("addl") == 2
+        assert ops.count("nop") == 5
+        # 16 fp + 15 secondary (last vmad unpaired)
+        assert len(body) == 31
+
+    def test_all_16_accumulators_touched_once(self):
+        vmads = [i for i in scheduled_iteration() if i.op == "vmad"]
+        assert sorted(i.dst for i in vmads) == sorted(f"rC{k}" for k in range(16))
+
+    def test_steady_state_is_16_cycles(self):
+        pipe = scheduled_pipeline()
+        assert pipe.steady_state_cycles(scheduled_iteration()) == pytest.approx(16.0)
+
+    def test_consecutive_vmads_never_share_accumulator(self):
+        vmads = [i for i in scheduled_iteration() if i.op == "vmad"]
+        for a, b in zip(vmads, vmads[1:]):
+            assert a.dst != b.dst
+
+    def test_operand_registers_reloaded_after_last_read(self):
+        """Within one iteration, a reload of rX never precedes a read
+        of rX (same-line WAR pairs excepted, which hardware permits)."""
+        body = scheduled_iteration()
+        reload_pos: dict[str, int] = {}
+        for pos, ins in enumerate(body):
+            if ins.op in ("vldr", "lddec"):
+                reload_pos[ins.dst] = pos
+        for pos, ins in enumerate(body):
+            if ins.op != "vmad":
+                continue
+            for src in ins.srcs[:2]:  # rA, rB operands
+                if src in reload_pos:
+                    # reads after the reload are fine only if the
+                    # pipeline's 4-cycle latency has elapsed (Sec IV-C)
+                    gap = pos - reload_pos[src]
+                    assert gap <= 0 or gap >= 8, (
+                        f"{ins} reads {src} {gap} slots after its reload; "
+                        "value would be mid-flight"
+                    )
+
+
+class TestNaiveIteration:
+    def test_instruction_mix(self):
+        ops = [i.op for i in naive_iteration()]
+        assert ops.count("vmad") == 16
+        assert ops.count("lddec") == 4
+        assert ops.count("vldd") == 4
+        assert ops.count("addl") == 2
+
+    def test_slower_than_scheduled(self):
+        sched = scheduled_pipeline().steady_state_cycles(scheduled_iteration())
+        naive = naive_pipeline().steady_state_cycles(naive_iteration())
+        assert naive > 1.8 * sched
+
+
+class TestTilePrograms:
+    def test_scheduled_tile_vmad_count(self):
+        spec = MicrokernelSpec()
+        prog = tile_program(spec, scheduled=True)
+        vmads = sum(1 for i in prog if i.op == "vmad")
+        assert vmads == 16 * spec.p_k
+
+    def test_naive_tile_vmad_count(self):
+        spec = MicrokernelSpec()
+        prog = tile_program(spec, scheduled=False)
+        assert sum(1 for i in prog if i.op == "vmad") == 16 * spec.p_k
+
+    def test_tile_has_c_prologue_and_epilogue(self):
+        prog = tile_program(MicrokernelSpec(), scheduled=True)
+        assert sum(1 for i in prog if i.op == "vldd" and i.dst and i.dst.startswith("rC")) == 16
+        assert sum(1 for i in prog if i.op == "vstd") == 16
+
+    def test_strip_cycles_scale_with_tiles(self):
+        spec32 = MicrokernelSpec(p_n=32)
+        spec16 = MicrokernelSpec(p_n=16)
+        c32 = strip_cycles(spec32, scheduled=True)
+        c16 = strip_cycles(spec16, scheduled=True)
+        assert c32 == 2 * c16
+
+    def test_scheduled_strip_near_paper_profile(self):
+        cycles = strip_cycles(MicrokernelSpec(), scheduled=True)
+        assert abs(cycles - 101_858) / 101_858 < 0.03

@@ -1,0 +1,132 @@
+"""Unit tests for the dual-issue pipeline simulator."""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.isa.instructions import addl, nop, vldd, vldr, vmad
+from repro.isa.pipeline import Pipeline
+
+
+@pytest.fixture()
+def pipe() -> Pipeline:
+    return Pipeline(dual_issue=True)
+
+
+@pytest.fixture()
+def single() -> Pipeline:
+    return Pipeline(dual_issue=False)
+
+
+class TestIssueRules:
+    def test_independent_fp_sec_pair_issues_same_cycle(self, pipe):
+        prog = [vmad("rC0", "rA0", "rB0", "rC0"), addl("p", "q")]
+        assert pipe.run(prog).cycles == 1
+
+    def test_two_fp_ops_take_two_cycles(self, pipe):
+        prog = [
+            vmad("rC0", "rA0", "rB0", "rC0"),
+            vmad("rC1", "rA0", "rB1", "rC1"),
+        ]
+        assert pipe.run(prog).cycles == 2
+
+    def test_two_secondary_ops_take_two_cycles(self, pipe):
+        assert pipe.run([addl("a"), addl("b")]).cycles == 2
+
+    def test_single_issue_never_pairs(self, single):
+        prog = [vmad("rC0", "rA0", "rB0", "rC0"), addl("p", "q")]
+        assert single.run(prog).cycles == 2
+
+
+class TestHazards:
+    def test_raw_stall_on_load(self, pipe):
+        # vldd latency 4: dependent vmad waits 4 cycles after the load
+        prog = [vldd("rA0"), vmad("rC0", "rA0", "rB0", "rC0")]
+        result = pipe.run(prog)
+        # load at 0, vmad at 4, ends at 5
+        assert result.cycles == 5
+
+    def test_raw_stall_on_vmad_chain(self, pipe):
+        # dependent FMAs 6 cycles apart (dot-product accumulation chain)
+        prog = [
+            vmad("acc", "a", "b", "acc"),
+            vmad("acc", "c", "d", "acc"),
+        ]
+        assert pipe.run(prog).cycles == 7  # issue at 0 and 6
+
+    def test_independent_vmads_fully_pipelined(self, pipe):
+        prog = [vmad(f"rC{i}", "rA0", "rB0", f"rC{i}") for i in range(8)]
+        assert pipe.run(prog).cycles == 8
+
+    def test_war_is_free(self, pipe):
+        # the Algorithm 3 trick: reload a register on the same cycle
+        # its old value is consumed
+        prog = [vmad("rC0", "rA0", "rB0", "rC0"), vldr("rA0")]
+        assert pipe.run(prog).cycles == 1
+
+    def test_waw_stalls(self, pipe):
+        # two writes to the same register cannot reorder (no renaming)
+        prog = [vldd("rA0"), vldd("rA0")]
+        result = pipe.run(prog)
+        assert result.cycles == 5  # second issues at 4
+
+    def test_in_order_blocking(self, pipe):
+        # a stalled older instruction blocks a ready younger one
+        prog = [
+            vldd("rA0"),
+            vmad("rC0", "rA0", "rB0", "rC0"),  # stalls to cycle 4
+            addl("p"),  # could issue at 1, but must wait for the vmad
+        ]
+        result = pipe.run(prog, collect_issues=True)
+        cycles = {rec.op: rec.cycle for rec in result.issues}
+        assert cycles["vmad"] == 4
+        assert cycles["addl"] == 4  # pairs with the vmad, not earlier
+
+
+class TestAccounting:
+    def test_occupancy(self, pipe):
+        prog = [vmad("rC0", "a", "b", "rC0"), nop(), addl("p")]
+        result = pipe.run(prog)
+        # cycle 0: vmad+nop, cycle 1: addl => vmad occupies 1 of 2
+        assert result.cycles == 2
+        assert result.occupancy("vmad") == pytest.approx(0.5)
+
+    def test_op_counts(self, pipe):
+        prog = [nop(), nop(), addl("p")]
+        result = pipe.run(prog)
+        assert result.op_counts == {"nop": 2, "addl": 1}
+
+    def test_ipc(self, pipe):
+        prog = [vmad("rC0", "a", "b", "rC0"), addl("p")]
+        assert pipe.run(prog).ipc() == pytest.approx(2.0)
+
+    def test_empty_program(self, pipe):
+        result = pipe.run([])
+        assert result.cycles == 0
+        assert result.occupancy("vmad") == 0.0
+        assert result.ipc() == 0.0
+
+    def test_collect_issues_records_units(self, pipe):
+        result = pipe.run([nop()], collect_issues=True)
+        assert len(result.issues) == 1
+        assert result.issues[0].cycle == 0
+
+
+class TestValidationAndSteadyState:
+    def test_non_instr_rejected(self, pipe):
+        with pytest.raises(PipelineError):
+            pipe.run(["vmad"])  # type: ignore[list-item]
+
+    def test_unknown_latency_class(self, pipe):
+        from repro.isa.instructions import Instr, Unit
+
+        bad = Instr("weird", "d", (), Unit.FP, "no_such_class")
+        with pytest.raises(PipelineError):
+            pipe.run([bad])
+
+    def test_steady_state_removes_fill(self, pipe):
+        body = [vmad(f"rC{i}", "rA0", "rB0", f"rC{i}") for i in range(8)]
+        assert pipe.steady_state_cycles(body) == pytest.approx(8.0)
+
+    def test_steady_state_validates_args(self, pipe):
+        with pytest.raises(PipelineError):
+            pipe.steady_state_cycles([nop()], warmup=0)

@@ -1,0 +1,57 @@
+"""Unit tests for kernel profiles (the paper's Sec IV-C numbers)."""
+
+import pytest
+
+from repro.isa.kernels import MicrokernelSpec
+from repro.isa.profile import profile_kernel
+
+
+class TestScheduledProfile:
+    def test_strip_cycles_match_paper_within_3pct(self):
+        prof = profile_kernel(scheduled=True)
+        assert abs(prof.strip_cycles - 101_858) / 101_858 < 0.03
+
+    def test_vmad_occupancy_97pct(self):
+        prof = profile_kernel(scheduled=True)
+        assert 0.95 <= prof.vmad_occupancy <= 0.99
+
+    def test_vmad_count_is_exact(self):
+        # 64 tiles x 96 iterations x 16 vmads
+        prof = profile_kernel(scheduled=True)
+        assert prof.vmad_count == 64 * 96 * 16
+        assert prof.flops_per_strip == prof.vmad_count * 8
+
+    def test_efficiency_above_95(self):
+        assert profile_kernel(scheduled=True).efficiency > 0.95
+
+    def test_cycles_per_iteration_near_16(self):
+        prof = profile_kernel(scheduled=True)
+        assert 16.0 <= prof.cycles_per_iteration < 17.0
+
+
+class TestNaiveProfile:
+    def test_efficiency_band(self):
+        # the DB version runs at ~44% of peak (330/742); the naive
+        # kernel model must land in that neighbourhood
+        prof = profile_kernel(scheduled=False)
+        assert 0.40 <= prof.efficiency <= 0.52
+
+    def test_speedup_matches_sched_improvement(self):
+        # paper: SCHED is +113.9% over DB => kernel ratio ~2.14
+        sched = profile_kernel(scheduled=True)
+        naive = profile_kernel(scheduled=False)
+        ratio = naive.strip_cycles / sched.strip_cycles
+        assert 1.85 <= ratio <= 2.35
+
+
+class TestScaling:
+    def test_profile_scales_with_pn(self):
+        small = profile_kernel(MicrokernelSpec(p_n=16), scheduled=True)
+        large = profile_kernel(MicrokernelSpec(p_n=32), scheduled=True)
+        assert large.strip_cycles == 2 * small.strip_cycles
+
+    def test_cycles_per_flop_positive(self):
+        prof = profile_kernel(scheduled=True)
+        assert prof.cycles_per_flop == pytest.approx(
+            prof.strip_cycles / prof.flops_per_strip
+        )

@@ -1,0 +1,72 @@
+"""Unit tests for the automatic list scheduler (A5 extension)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.isa.instructions import addl, lddec, vldd, vldr, vmad
+from repro.isa.kernels import naive_iteration, scheduled_iteration, scheduled_pipeline
+from repro.isa.scheduler import DependenceGraph, list_schedule
+
+
+class TestDependenceGraph:
+    def test_raw_edge(self):
+        prog = [vldd("rA0"), vmad("rC0", "rA0", "rB0", "rC0")]
+        g = DependenceGraph.build(prog)
+        assert 1 in g.succs[0]
+
+    def test_waw_edge(self):
+        prog = [vldd("rA0"), vldd("rA0")]
+        g = DependenceGraph.build(prog)
+        assert 1 in g.succs[0]
+
+    def test_war_edge(self):
+        prog = [vmad("rC0", "rA0", "rB0", "rC0"), vldr("rA0")]
+        g = DependenceGraph.build(prog)
+        assert 1 in g.succs[0]
+
+    def test_independent_ops_unordered(self):
+        prog = [vldd("rA0"), vldd("rB0")]
+        g = DependenceGraph.build(prog)
+        assert not g.succs[0] and not g.preds[1]
+
+    def test_critical_path(self):
+        prog = [vldd("rA0"), vmad("rC0", "rA0", "rB0", "rC0")]
+        g = DependenceGraph.build(prog)
+        depth = g.critical_path({0: 4, 1: 6})
+        assert depth == [10, 6]
+
+
+class TestListSchedule:
+    def test_output_is_permutation(self):
+        body = naive_iteration()
+        out = list_schedule(body)
+        assert Counter(map(str, out)) == Counter(map(str, body))
+
+    def test_preserves_war_ordering_without_pipelining(self):
+        body = [vmad("rC0", "rA0", "rB0", "rC0"), vldr("rA0"), addl("p")]
+        out = list_schedule(body, software_pipeline=False)
+        assert [i.op for i in out].index("vmad") < [i.op for i in out].index("vldr")
+
+    def test_beats_naive_ordering(self):
+        pipe = scheduled_pipeline()
+        naive = pipe.steady_state_cycles(naive_iteration())
+        auto = pipe.steady_state_cycles(list_schedule(naive_iteration()))
+        assert auto < naive
+
+    def test_within_50pct_of_hand_schedule(self):
+        pipe = scheduled_pipeline()
+        hand = pipe.steady_state_cycles(scheduled_iteration())
+        auto = pipe.steady_state_cycles(list_schedule(naive_iteration()))
+        assert auto <= 1.5 * hand
+
+    def test_custom_latencies_accepted(self):
+        body = [vldd("rA0"), lddec("rB0")]
+        out = list_schedule(body, latency_of={"vldd": 1, "lddec": 1})
+        assert len(out) == 2
+
+    def test_deterministic(self):
+        body = naive_iteration()
+        assert [str(i) for i in list_schedule(body)] == [
+            str(i) for i in list_schedule(body)
+        ]

@@ -1,0 +1,119 @@
+"""Unit tests for symbolic schedule verification."""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.isa.instructions import addl, lddec, nop, vldd, vldr, vmad, vstd
+from repro.isa.kernels import MicrokernelSpec, tile_program
+from repro.isa.scheduler import list_schedule
+from repro.isa.semantics import symbolic_execute, verify_tile_semantics
+
+SPEC = MicrokernelSpec(p_n=4)  # one register tile
+
+
+class TestVerifiedKernels:
+    def test_algorithm3_tile_is_semantically_exact(self):
+        assert verify_tile_semantics(tile_program(SPEC, scheduled=True), SPEC.p_k) == []
+
+    def test_naive_tile_is_semantically_exact(self):
+        assert verify_tile_semantics(tile_program(SPEC, scheduled=False), SPEC.p_k) == []
+
+    def test_small_pk(self):
+        spec = MicrokernelSpec(p_n=4, p_k=2)
+        assert verify_tile_semantics(tile_program(spec, scheduled=True), 2) == []
+
+
+class TestCorruptedSchedules:
+    def test_swapped_accumulators_detected(self):
+        prog = tile_program(SPEC, scheduled=True)
+        corrupted = []
+        for ins in prog:
+            if ins.op == "vmad" and ins.dst == "rC0":
+                corrupted.append(vmad("rC1", *ins.srcs[:2], "rC1"))
+            else:
+                corrupted.append(ins)
+        errors = verify_tile_semantics(corrupted, SPEC.p_k)
+        assert any("rC0" in e for e in errors)
+        assert any("rC1" in e for e in errors)
+
+    def test_dropped_load_detected(self):
+        """Dropping the first rB1 load leaves a vmad reading an unbound
+        register — the executor fails loudly."""
+        prog = tile_program(SPEC, scheduled=True)
+        dropped = False
+        corrupted = []
+        for ins in prog:
+            if not dropped and ins.op == "lddec" and ins.dst == "rB1":
+                corrupted.append(nop())
+                dropped = True
+            else:
+                corrupted.append(ins)
+        with pytest.raises(PipelineError, match="before any load"):
+            verify_tile_semantics(corrupted, SPEC.p_k)
+
+    def test_dropped_mid_stream_load_detected_as_stale(self):
+        """Dropping a *reload* (not the first load) leaves stale data:
+        detected as wrong terms rather than an unbound read."""
+        prog = tile_program(SPEC, scheduled=True)
+        seen = 0
+        corrupted = []
+        for ins in prog:
+            if ins.op == "lddec" and ins.dst == "rB1":
+                seen += 1
+                if seen == 3:  # a mid-kernel reload
+                    corrupted.append(nop())
+                    continue
+            corrupted.append(ins)
+        errors = verify_tile_semantics(corrupted, SPEC.p_k)
+        assert errors
+
+    def test_missing_pointer_bump_detected(self):
+        prog = [i for i in tile_program(SPEC, scheduled=True)
+                if not (i.op == "addl" and i.dst == "ldmA")]
+        errors = verify_tile_semantics(prog, SPEC.p_k)
+        assert errors
+
+    def test_missing_c_store_detected(self):
+        prog = [i for i in tile_program(SPEC, scheduled=True)
+                if not (i.op == "vstd" and i.srcs[0] == "rC5")]
+        errors = verify_tile_semantics(prog, SPEC.p_k)
+        assert any("never stored" in e for e in errors)
+
+    def test_auto_scheduled_naive_body_stays_exact(self):
+        """Reordering by the list scheduler must not change semantics
+        ... for the naive body, whose loads all precede the pointer
+        bumps (the scheduler preserves load/addl orderings via WAW/RAW
+        edges on the pointer registers)."""
+        from repro.isa.kernels import _c_epilogue, _c_prologue, naive_iteration
+
+        body = list_schedule(naive_iteration(), software_pipeline=False)
+        prog = _c_prologue() + body * SPEC.p_k + _c_epilogue()
+        assert verify_tile_semantics(prog, SPEC.p_k) == []
+
+
+class TestSymbolicExecutor:
+    def test_operand_before_load_rejected(self):
+        with pytest.raises(PipelineError, match="before any load"):
+            symbolic_execute([vmad("rC0", "rA0", "rB0", "rC0")])
+
+    def test_bad_register_naming_rejected(self):
+        with pytest.raises(PipelineError):
+            symbolic_execute([vldr("weird7", "ldmA")])
+
+    def test_report_tracks_init_and_store(self):
+        report = symbolic_execute([vldd("rC0", "ldmC"), vstd("rC0", "ldmC")])
+        assert "rC0" in report.initialized
+        assert "rC0" in report.stored
+
+    def test_pointer_advance_scopes_later_loads(self):
+        prog = [
+            vldr("rA0", "ldmA"),
+            addl("ldmA", "PM", "ldmA"),
+            vldr("rA1", "ldmA"),
+            lddec("rB0", "ldmB"),
+            vmad("rC0", "rA0", "rB0", "rC0"),
+            vmad("rC1", "rA1", "rB0", "rC1"),
+        ]
+        report = symbolic_execute(prog)
+        assert list(report.terms["rC0"]) == [(("A", 0, 0), ("B", 0, 0))]
+        assert list(report.terms["rC1"]) == [(("A", 1, 1), ("B", 0, 0))]

@@ -1,0 +1,51 @@
+"""Unit tests for the bottleneck analysis."""
+
+import pytest
+
+from repro.perf.bottleneck import Binding, analyze
+
+SIZE = 9216
+
+
+class TestBindings:
+    def test_sched_is_compute_bound(self):
+        report = analyze("SCHED", SIZE, SIZE, SIZE)
+        assert report.binding is Binding.COMPUTE
+        # even the fast kernel leaves the channel busy a good fraction
+        assert 0.3 < report.secondary_utilization < 1.0
+
+    def test_db_is_compute_bound_with_more_headroom(self):
+        sched = analyze("SCHED", SIZE, SIZE, SIZE)
+        db = analyze("DB", SIZE, SIZE, SIZE)
+        assert db.binding is Binding.COMPUTE
+        # the slow kernel leaves the DMA relatively idler
+        assert db.secondary_utilization < sched.secondary_utilization
+
+    def test_raw_is_memory_bound(self):
+        report = analyze("RAW", SIZE, SIZE, SIZE)
+        assert report.binding is Binding.DMA
+
+    def test_single_buffered_reported_serial(self):
+        for variant in ("PE", "ROW"):
+            report = analyze(variant, SIZE, SIZE, SIZE)
+            assert report.binding is Binding.SERIAL
+            assert report.crossover_bandwidth_scale is None
+            assert report.headroom == "n/a"
+
+
+class TestCrossover:
+    def test_sched_survives_some_bandwidth_loss(self):
+        """SCHED stays compute-bound until bandwidth drops below the
+        crossover scale — which must be < 1 (headroom exists)."""
+        report = analyze("SCHED", SIZE, SIZE, SIZE)
+        assert report.crossover_bandwidth_scale is not None
+        assert 0.3 < report.crossover_bandwidth_scale < 1.0
+
+    def test_db_has_more_headroom_than_sched(self):
+        db = analyze("DB", SIZE, SIZE, SIZE)
+        sched = analyze("SCHED", SIZE, SIZE, SIZE)
+        assert db.crossover_bandwidth_scale < sched.crossover_bandwidth_scale
+
+    def test_headroom_formatting(self):
+        report = analyze("SCHED", SIZE, SIZE, SIZE)
+        assert report.headroom.endswith("x")

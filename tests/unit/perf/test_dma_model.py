@@ -1,0 +1,88 @@
+"""Unit tests for the segment-level DMA cost model."""
+
+import pytest
+
+from repro.errors import DMAError
+from repro.perf.calibration import Calibration
+from repro.perf.dma_model import BlockTransfer, DMACostModel
+
+
+@pytest.fixture()
+def model() -> DMACostModel:
+    return DMACostModel()
+
+
+class TestBlockTransfer:
+    def test_geometry_accounting(self):
+        tr = BlockTransfer("A", segments=96, segment_doubles=128)
+        assert tr.nbytes == 96 * 128 * 8
+        assert tr.transactions == tr.nbytes // 128
+
+    def test_rejects_empty(self):
+        with pytest.raises(DMAError):
+            BlockTransfer("x", segments=0, segment_doubles=16)
+
+    def test_rejects_misaligned_segment(self):
+        with pytest.raises(DMAError):
+            BlockTransfer("x", segments=1, segment_doubles=10)  # 80 B
+
+
+class TestEffectiveBandwidth:
+    def test_longer_segments_are_faster(self, model):
+        bw16 = model.effective_bandwidth(16)
+        bw96 = model.effective_bandwidth(96)
+        bw128 = model.effective_bandwidth(128)
+        assert bw16 < bw96 < bw128 < model.spec.dma.peak_bandwidth
+
+    def test_pe_mode_plateau_in_fig4_band(self, model):
+        """16-double segments (the instinctive A/C tiles): ~19-23 GB/s."""
+        assert 17e9 <= model.effective_bandwidth(16) <= 23e9
+
+    def test_row_mode_plateau_in_fig4_band(self, model):
+        """128-double ROW_MODE columns: ~27-30 GB/s."""
+        assert 27e9 <= model.effective_bandwidth(128) <= 30e9
+
+    def test_bandwidth_asymptote_below_channel_peak(self, model):
+        # long segments amortize the per-segment overhead but every
+        # transaction still pays arbitration: the asymptote is
+        # 128 B / (128/34e9 + tx_overhead) ~ 31.7 GB/s < 34 GB/s
+        bw = model.effective_bandwidth(16384)
+        assert 0.90 * model.spec.dma.peak_bandwidth < bw < model.spec.dma.peak_bandwidth
+
+
+class TestSeconds:
+    def test_monotone_in_bytes(self, model):
+        small = model.seconds(BlockTransfer("s", 10, 16))
+        large = model.seconds(BlockTransfer("l", 20, 16))
+        assert large > small
+
+    def test_request_latency_toggle(self, model):
+        tr = BlockTransfer("x", 1, 16)
+        with_req = model.seconds(tr, include_request=True)
+        without = model.seconds(tr, include_request=False)
+        assert with_req - without == pytest.approx(model.cal.request_latency_s)
+
+    def test_zero_overhead_calibration_hits_channel_peak(self):
+        free = DMACostModel(calibration=Calibration(
+            tx_overhead_s=0.0, segment_overhead_s=0.0))
+        assert free.effective_bandwidth(16) == pytest.approx(34e9)
+
+
+class TestConstructors:
+    def test_pe_tile_block(self, model):
+        tr = model.pe_tile_block("A", tile_rows=16, tile_cols=96, n_cpes=64)
+        assert tr.segments == 96 * 64
+        assert tr.segment_doubles == 16
+        assert tr.nbytes == 128 * 768 * 8  # one full CG block
+
+    def test_row_strip_block(self, model):
+        tr = model.row_strip_block("A", b_m=128, strip_cols=96, n_strips=8)
+        assert tr.segments == 96 * 8
+        assert tr.segment_doubles == 128
+        assert tr.nbytes == 128 * 768 * 8
+
+    def test_same_block_row_mode_is_faster(self, model):
+        pe = model.pe_tile_block("A", 16, 96, 64)
+        row = model.row_strip_block("A", 128, 96, 8)
+        assert pe.nbytes == row.nbytes
+        assert model.seconds(row) < model.seconds(pe)

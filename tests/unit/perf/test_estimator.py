@@ -1,0 +1,119 @@
+"""Unit tests for the closed-form estimator."""
+
+import pytest
+
+from repro.core.params import BlockingParams
+from repro.errors import ConfigError, UnsupportedShapeError
+from repro.perf.estimator import Estimator
+
+SIZE = 9216
+
+
+@pytest.fixture(scope="module")
+def est() -> Estimator:
+    return Estimator()
+
+
+class TestOrdering:
+    def test_paper_ordering_strict(self, est):
+        g = {v: est.estimate(v, SIZE, SIZE, SIZE).gflops
+             for v in ("RAW", "PE", "ROW", "DB", "SCHED")}
+        assert g["RAW"] < g["PE"] < g["ROW"] < g["DB"] < g["SCHED"]
+
+    def test_all_below_peak(self, est):
+        for v in ("RAW", "PE", "ROW", "DB", "SCHED"):
+            assert est.estimate(v, SIZE, SIZE, SIZE).efficiency() < 1.0
+
+
+class TestGemmEstimate:
+    def test_flops_accounting(self, est):
+        e = est.estimate("SCHED", 1536, 1536, 1536)
+        assert e.flops == 2 * 1536 ** 3
+        assert e.gflops == pytest.approx(e.flops / e.seconds / 1e9)
+
+    def test_breakdown_present(self, est):
+        e = est.estimate("DB", 1536, 1536, 1536)
+        assert {"t_a", "t_b", "t_c", "t_compute", "grid"} <= set(e.breakdown)
+
+    def test_shape_admission(self, est):
+        with pytest.raises(UnsupportedShapeError):
+            est.estimate("SCHED", 1000, 1536, 1536)
+
+    def test_custom_params(self, est):
+        p = BlockingParams.small(double_buffered=True)
+        e = est.estimate("SCHED", p.b_m, p.b_n, p.b_k, params=p)
+        assert e.seconds > 0
+
+
+class TestBlockTransfers:
+    def test_row_vs_pe_geometry(self, est):
+        p = BlockingParams.paper_double()
+        from repro.core.variants import VARIANTS
+
+        row_tr = est.block_transfers(VARIANTS["ROW"].traits, p)
+        pe_tr = est.block_transfers(VARIANTS["PE"].traits, p)
+        assert row_tr["A"].segment_doubles == p.b_m
+        assert pe_tr["A"].segment_doubles == p.p_m
+        assert row_tr["A"].nbytes == pe_tr["A"].nbytes
+        # B is PE_MODE in both
+        assert row_tr["B"].segment_doubles == pe_tr["B"].segment_doubles == p.p_k
+
+    def test_unknown_mode_rejected(self, est):
+        from repro.core.variants.base import VariantTraits
+
+        bad = VariantTraits("X", ac_mode="WAT", shared=True,
+                            double_buffered=False, kernel="naive")
+        with pytest.raises(ConfigError):
+            est.block_transfers(bad, BlockingParams.paper_double())
+
+
+class TestDoubleBufferingStructure:
+    def test_db_faster_than_single_buffered_same_params(self, est):
+        """Same blocking, only the overlap differs."""
+        p_db = BlockingParams.paper_double()
+        p_sb = BlockingParams(16, 32, 96, double_buffered=False)
+        from repro.core.variants import VARIANTS
+
+        costs_db = est.block_costs(VARIANTS["DB"].traits, p_db)
+        grid = p_db.check_shape(SIZE, SIZE, SIZE)
+        t_db, _ = est._double_buffered_seconds(costs_db, *grid)
+        costs_sb = est.block_costs(VARIANTS["ROW"].traits, p_sb)
+        t_sb, _ = est._single_buffered_seconds(costs_sb, *grid)
+        assert t_db < t_sb
+
+    def test_grid_m_one_degenerate(self, est):
+        p = BlockingParams.paper_double()
+        e = est.estimate("DB", p.b_m, 1536, 1536, params=p)
+        assert e.seconds > 0
+
+    def test_overlap_bounded_by_serial(self, est):
+        """max(dma, compute) per iteration can never beat the larger leg."""
+        e = est.estimate("SCHED", SIZE, SIZE, SIZE)
+        assert e.seconds >= e.compute_seconds * 0.999
+
+
+class TestRawEstimate:
+    def test_memory_bound_at_paper_sizes(self, est):
+        e = est.estimate("RAW", SIZE, SIZE, SIZE)
+        assert e.dma_seconds > e.compute_seconds
+        assert e.seconds == pytest.approx(e.dma_seconds)
+
+    def test_traffic_blowup_vs_blocked(self, est):
+        raw = est.estimate("RAW", SIZE, SIZE, SIZE)
+        sched = est.estimate("SCHED", SIZE, SIZE, SIZE)
+        assert raw.bytes_moved > 2 * sched.bytes_moved
+
+    def test_breakdown_has_tiles(self, est):
+        e = est.estimate("RAW", 1536, 1536, 1536)
+        assert "tiles" in e.breakdown
+
+
+class TestPredictedBytes:
+    def test_matches_sec3c_formula(self, est):
+        from repro.core.variants import VARIANTS
+
+        p = BlockingParams.paper_double()
+        m = n = k = 1536
+        grid_k, grid_n = k // p.b_k, n // p.b_n
+        expected = (2 * grid_k * m * n + grid_n * m * k + k * n) * 8
+        assert est.predicted_bytes(VARIANTS["SCHED"].traits, m, n, k, p) == expected

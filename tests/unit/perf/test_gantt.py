@@ -1,0 +1,64 @@
+"""Unit tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf.gantt import render_gantt
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture()
+def tracer() -> Tracer:
+    t = Tracer()
+    t.record("dma", "a", 0.0, 4.0)
+    t.record("compute", "m", 2.0, 10.0)
+    return t
+
+
+class TestRenderGantt:
+    def test_one_lane_per_category(self, tracer):
+        text = render_gantt(tracer, width=20)
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + 2 lanes
+        assert lines[1].startswith("compute")
+        assert lines[2].startswith("dma")
+
+    def test_busy_cells_marked(self, tracer):
+        text = render_gantt(tracer, width=10)
+        dma_lane = [l for l in text.splitlines() if l.startswith("dma")][0]
+        cells = dma_lane.split("|")[1]
+        # dma active for the first 40% of the window only
+        assert cells[0] == "#"
+        assert cells[-1] == " "
+
+    def test_partial_cells_shaded(self):
+        t = Tracer()
+        t.record("dma", "", 0.0, 0.25)  # half of the first 0.5-wide cell
+        text = render_gantt(t, width=8, end=4.0, start=0.0)
+        cells = text.splitlines()[1].split("|")[1]
+        assert cells[0] not in (" ", "#")  # intermediate glyph
+
+    def test_width_validated(self, tracer):
+        with pytest.raises(ConfigError):
+            render_gantt(tracer, width=4)
+
+    def test_empty_trace(self):
+        assert render_gantt(Tracer()) == "(empty trace)"
+
+    def test_bad_window(self, tracer):
+        with pytest.raises(ConfigError):
+            render_gantt(tracer, start=5.0, end=5.0)
+
+    def test_category_filter(self, tracer):
+        text = render_gantt(tracer, categories=["dma"])
+        assert "compute" not in text
+
+    def test_db_timeline_shows_overlap(self):
+        """End to end: Algorithm 2's DMA lane nests under compute."""
+        from repro.perf.timeline import TimelineSimulator
+
+        result = TimelineSimulator().run("SCHED", 512, 512, 1536)
+        text = render_gantt(result.tracer, width=60)
+        assert "dma" in text and "compute" in text
+        compute_lane = [l for l in text.splitlines() if l.startswith("compute")][0]
+        assert "#" in compute_lane

@@ -1,0 +1,50 @@
+"""Unit tests for the kernel cycle model."""
+
+import pytest
+
+from repro.core.params import BlockingParams
+from repro.errors import ConfigError
+from repro.perf.kernel_model import KernelModel
+
+
+@pytest.fixture()
+def model() -> KernelModel:
+    return KernelModel()
+
+
+class TestBlockMultiply:
+    def test_scheduled_faster_than_naive(self, model):
+        p = BlockingParams.paper_double()
+        assert model.block_multiply_seconds(p, "scheduled") < model.block_multiply_seconds(p, "naive")
+
+    def test_seconds_match_cycles(self, model):
+        p = BlockingParams.paper_double()
+        prof = model.profile(p, "scheduled")
+        assert model.block_multiply_seconds(p, "scheduled") == pytest.approx(
+            prof.strip_cycles / model.spec.clock_hz
+        )
+
+    def test_unknown_kernel_class(self, model):
+        with pytest.raises(ConfigError):
+            model.block_multiply_seconds(BlockingParams.paper_double(), "magic")
+
+    def test_efficiency_bands(self, model):
+        p = BlockingParams.paper_double()
+        assert model.kernel_efficiency(p, "scheduled") > 0.95
+        assert 0.40 < model.kernel_efficiency(p, "naive") < 0.52
+
+
+class TestThreadTileMultiply:
+    def test_scales_with_tiles(self, model):
+        one = model.thread_tile_multiply_seconds(16, 4, 48)
+        four = model.thread_tile_multiply_seconds(16, 16, 48)
+        assert four == pytest.approx(4 * one)
+
+    def test_raw_tile_geometry_supported(self, model):
+        assert model.thread_tile_multiply_seconds(48, 48, 48) > 0
+
+
+class TestCaching:
+    def test_profiles_are_cached(self, model):
+        p = BlockingParams.paper_double()
+        assert model.profile(p, "scheduled") is model.profile(p, "scheduled")

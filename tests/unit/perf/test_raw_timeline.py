@@ -1,0 +1,43 @@
+"""Unit tests for the 64-thread RAW event timeline."""
+
+import pytest
+
+from repro.perf.estimator import Estimator
+from repro.perf.raw_timeline import simulate_raw
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate_raw(512, 512, 512)
+
+
+class TestRawTimeline:
+    def test_channel_saturated(self, result):
+        """RAW is memory bound: the channel must be ~fully busy."""
+        assert result.channel_utilization > 0.97
+
+    def test_threads_balanced(self, result):
+        """Identical work per thread: finish times nearly equal."""
+        assert result.last_thread_done / result.first_thread_done < 1.05
+
+    def test_closed_form_agrees(self, result):
+        closed = Estimator().estimate("RAW", 512, 512, 512)
+        assert result.seconds == pytest.approx(closed.seconds, rel=0.05)
+
+    def test_event_sim_never_beats_channel_bound(self, result):
+        """Contention can only add time over the pure channel bound."""
+        closed = Estimator().estimate("RAW", 512, 512, 512)
+        assert result.seconds >= closed.dma_seconds * 0.999
+
+    def test_gflops_accounting(self, result):
+        assert result.gflops == pytest.approx(
+            2 * 512**3 / result.seconds / 1e9
+        )
+
+    def test_larger_tiles_do_better(self):
+        """1024^3 gets 32-wide tiles vs 512^3's — more reuse, more
+        Gflop/s (the S = 2/(1/tM + 1/tN) effect)."""
+        small = simulate_raw(512, 512, 512)
+        # 768/8 = 96 -> 48-wide tiles
+        large = simulate_raw(768, 768, 768)
+        assert large.gflops > small.gflops

@@ -1,0 +1,77 @@
+"""Unit tests for roofline, report helpers and calibration."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.perf.report import ComparisonRow, comparison_table, series_table
+from repro.perf.roofline import arithmetic_intensity, machine_balance, roofline_gflops
+
+
+class TestRoofline:
+    def test_machine_balance(self):
+        assert machine_balance() == pytest.approx(742.4e9 / 34e9)
+
+    def test_memory_bound_region(self):
+        # below the balance point, performance scales with intensity
+        assert roofline_gflops(1.0) == pytest.approx(34.0)
+
+    def test_compute_bound_region(self):
+        assert roofline_gflops(1000.0) == pytest.approx(742.4)
+
+    def test_custom_bandwidth(self):
+        assert roofline_gflops(1.0, bandwidth=17e9) == pytest.approx(17.0)
+
+    def test_intensity(self):
+        assert arithmetic_intensity(100.0, 50.0) == 2.0
+        with pytest.raises(ConfigError):
+            arithmetic_intensity(1.0, 0.0)
+
+    def test_roofline_validates(self):
+        with pytest.raises(ConfigError):
+            roofline_gflops(0.0)
+
+    def test_blocked_dgemm_is_compute_bound(self):
+        # S = 307 flops per element = 38.4 flops/byte > balance 21.8
+        from repro.core.model import bandwidth_reduction
+
+        s = bandwidth_reduction(256, 768)
+        assert s / 8 > machine_balance()
+
+
+class TestCalibration:
+    def test_frozen_defaults(self):
+        cal = DEFAULT_CALIBRATION
+        assert cal.tx_overhead_s == 0.28e-9
+        assert cal.segment_overhead_s == 2.52e-9
+        with pytest.raises(AttributeError):
+            cal.tx_overhead_s = 0.0  # type: ignore[misc]
+
+    def test_sync_seconds(self):
+        cal = Calibration(cluster_sync_cycles=1450)
+        assert cal.sync_seconds() == pytest.approx(1e-6)
+
+
+class TestReport:
+    def test_comparison_row_deviation(self):
+        row = ComparisonRow("x", 100.0, 110.0)
+        assert row.deviation == pytest.approx(0.10)
+
+    def test_deviation_none_without_paper_value(self):
+        assert ComparisonRow("x", None, 5.0).deviation is None
+
+    def test_comparison_table_renders(self):
+        table = comparison_table(
+            [ComparisonRow("peak", 706.1, 701.0), ComparisonRow("new", None, 1.0)],
+            title="t",
+        )
+        text = table.render()
+        assert "706.1" in text and "-0.7%" in text and "t" in text
+
+    def test_series_table(self):
+        table = series_table("x", [1, 2], {"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        assert "4.0" in table.render()
+
+    def test_series_table_validates_lengths(self):
+        with pytest.raises(ValueError):
+            series_table("x", [1, 2], {"a": [1.0]})

@@ -1,0 +1,99 @@
+"""Unit tests for the event-driven timeline."""
+
+import pytest
+
+from repro.core.params import BlockingParams
+from repro.errors import ConfigError
+from repro.perf.timeline import TimelineSimulator
+
+# small paper-shaped problem: grids (4, 2, 2) for DB params
+M, N, K = 4 * 128, 2 * 256, 2 * 768
+
+
+@pytest.fixture(scope="module")
+def sim() -> TimelineSimulator:
+    return TimelineSimulator()
+
+
+class TestBasics:
+    def test_db_timeline_runs(self, sim):
+        res = sim.run("DB", M, N, K)
+        assert res.seconds > 0
+        assert res.gflops > 0
+
+    def test_raw_rejected(self, sim):
+        with pytest.raises(ConfigError):
+            sim.run("RAW", M, N, K)
+
+    def test_tracer_has_both_categories(self, sim):
+        res = sim.run("SCHED", M, N, K)
+        assert set(res.tracer.categories()) == {"compute", "dma"}
+
+    def test_channel_busy_le_makespan(self, sim):
+        res = sim.run("SCHED", M, N, K)
+        assert res.channel_busy <= res.seconds + 1e-12
+
+
+class TestOverlapSemantics:
+    def test_single_buffered_has_no_overlap(self, sim):
+        p = BlockingParams.small(double_buffered=False)
+        res = sim.run("ROW", 2 * p.b_m, p.b_n, p.b_k, params=p)
+        assert res.overlap_seconds == pytest.approx(0.0, abs=1e-15)
+
+    def test_double_buffered_overlaps(self, sim):
+        res = sim.run("SCHED", M, N, K)
+        assert res.overlap_seconds > 0
+
+    def test_db_beats_row_wall_clock(self, sim):
+        """Same naive kernel; overlap alone must win despite DB's
+        smaller bN (more B reloads).  Shape chosen as a common multiple
+        of both variants' block factors."""
+        m, n, k = 512, 768, 1536
+        db = sim.run("DB", m, n, k)
+        row = sim.run("ROW", m, n, k, params=BlockingParams.paper_single())
+        assert db.gflops > row.gflops
+
+    def test_compute_busy_equals_total_compute(self, sim):
+        res = sim.run("DB", M, N, K)
+        p = BlockingParams.paper_double()
+        grid_m, grid_n, grid_k = p.check_shape(M, N, K)
+        from repro.core.variants import VARIANTS
+        from repro.perf.estimator import Estimator
+
+        costs = Estimator().block_costs(VARIANTS["DB"].traits, p)
+        expected = grid_m * grid_n * grid_k * costs.t_compute
+        assert res.tracer.total("compute") == pytest.approx(expected, rel=1e-9)
+
+
+class TestAgainstClosedForm:
+    @pytest.mark.parametrize("variant", ["PE", "ROW", "DB", "SCHED"])
+    def test_timeline_matches_estimator(self, sim, variant):
+        from repro.perf.estimator import Estimator
+
+        params = (
+            BlockingParams.paper_single()
+            if variant in ("PE", "ROW")
+            else BlockingParams.paper_double()
+        )
+        m, n, k = 3 * params.b_m, 2 * params.b_n, 2 * params.b_k
+        timeline = sim.run(variant, m, n, k, params=params)
+        closed = Estimator().estimate(variant, m, n, k, params=params)
+        assert timeline.seconds == pytest.approx(closed.seconds, rel=1e-9)
+
+    def test_grid_m_one(self, sim):
+        from repro.perf.estimator import Estimator
+
+        p = BlockingParams.paper_double()
+        m, n, k = p.b_m, p.b_n, p.b_k
+        timeline = sim.run("DB", m, n, k, params=p)
+        closed = Estimator().estimate("DB", m, n, k, params=p)
+        assert timeline.seconds == pytest.approx(closed.seconds, rel=1e-9)
+
+    def test_grid_m_two(self, sim):
+        from repro.perf.estimator import Estimator
+
+        p = BlockingParams.paper_double()
+        m, n, k = 2 * p.b_m, p.b_n, p.b_k
+        timeline = sim.run("DB", m, n, k, params=p)
+        closed = Estimator().estimate("DB", m, n, k, params=p)
+        assert timeline.seconds == pytest.approx(closed.seconds, rel=1e-9)

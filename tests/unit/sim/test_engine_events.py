@@ -1,0 +1,98 @@
+"""Unit tests for the event engine, events and combinators."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Engine
+
+
+@pytest.fixture()
+def engine() -> Engine:
+    return Engine()
+
+
+class TestEngineBasics:
+    def test_timeout_advances_clock(self, engine):
+        ev = engine.timeout(5.0, value="done")
+        assert engine.run(ev) == "done"
+        assert engine.now == 5.0
+
+    def test_events_fire_in_time_order(self, engine):
+        order = []
+        engine.schedule(3.0, lambda: order.append("b"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(7.0, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_within_same_timestamp(self, engine):
+        order = []
+        engine.schedule(1.0, lambda: order.append(1))
+        engine.schedule(1.0, lambda: order.append(2))
+        engine.run()
+        assert order == [1, 2]
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_run_until_time(self, engine):
+        hits = []
+        engine.schedule(1.0, lambda: hits.append(1))
+        engine.schedule(10.0, lambda: hits.append(2))
+        engine.run(until=5.0)
+        assert hits == [1]
+        assert engine.now == 5.0
+        assert engine.pending_count == 1
+
+    def test_step_on_empty_heap_raises(self, engine):
+        with pytest.raises(SimulationError):
+            engine.step()
+
+    def test_run_until_unreachable_event_raises(self, engine):
+        ev = engine.event("never")
+        with pytest.raises(SimulationError, match="never fire"):
+            engine.run(ev)
+
+
+class TestEvent:
+    def test_double_trigger_rejected(self, engine):
+        ev = engine.event("x")
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_late_callback_runs_immediately(self, engine):
+        ev = engine.event()
+        ev.succeed("v")
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        assert got == ["v"]
+
+
+class TestCombinators:
+    def test_all_of_waits_for_every_child(self, engine):
+        evs = [engine.timeout(t) for t in (1.0, 3.0, 2.0)]
+        combined = AllOf(engine, evs)
+        engine.run(combined)
+        assert engine.now == 3.0
+
+    def test_all_of_collects_values_in_order(self, engine):
+        evs = [engine.timeout(2.0, "late"), engine.timeout(1.0, "early")]
+        combined = AllOf(engine, evs)
+        assert engine.run(combined) == ["late", "early"]
+
+    def test_all_of_empty_fires_immediately(self, engine):
+        assert AllOf(engine, []).triggered
+
+    def test_any_of_fires_on_first(self, engine):
+        evs = [engine.timeout(5.0, "slow"), engine.timeout(1.0, "fast")]
+        idx, value = engine.run(AnyOf(engine, evs))
+        assert (idx, value) == (1, "fast")
+        assert engine.now == 1.0
+
+    def test_any_of_with_pretriggered_child(self, engine):
+        done = engine.event()
+        done.succeed("now")
+        idx, value = AnyOf(engine, [engine.timeout(1.0), done]).value
+        assert (idx, value) == (1, "now")

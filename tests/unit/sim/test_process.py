@@ -1,0 +1,72 @@
+"""Unit tests for generator processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine
+
+
+@pytest.fixture()
+def engine() -> Engine:
+    return Engine()
+
+
+class TestProcess:
+    def test_process_waits_on_yielded_events(self, engine):
+        def body():
+            yield engine.timeout(2.0)
+            yield engine.timeout(3.0)
+            return engine.now
+
+        proc = engine.process(body())
+        assert engine.run(proc) == 5.0
+
+    def test_yield_receives_event_value(self, engine):
+        def body():
+            got = yield engine.timeout(1.0, value=42)
+            return got
+
+        assert engine.run(engine.process(body())) == 42
+
+    def test_process_is_event_for_other_processes(self, engine):
+        def child():
+            yield engine.timeout(4.0)
+            return "child done"
+
+        def parent():
+            result = yield engine.process(child())
+            return (result, engine.now)
+
+        assert engine.run(engine.process(parent())) == ("child done", 4.0)
+
+    def test_processes_run_concurrently(self, engine):
+        log = []
+
+        def worker(name, delay):
+            yield engine.timeout(delay)
+            log.append((engine.now, name))
+
+        engine.process(worker("slow", 3.0))
+        engine.process(worker("fast", 1.0))
+        engine.run()
+        assert log == [(1.0, "fast"), (3.0, "slow")]
+
+    def test_non_generator_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_yielding_non_event_rejected(self, engine):
+        def body():
+            yield 3.0  # not an Event
+
+        engine.process(body())
+        with pytest.raises(SimulationError, match="only yield Event"):
+            engine.run()
+
+    def test_immediate_return(self, engine):
+        def body():
+            return "done"
+            yield  # pragma: no cover
+
+        assert engine.run(engine.process(body())) == "done"
+        assert engine.now == 0.0

@@ -1,0 +1,130 @@
+"""Unit tests for Resource and Barrier."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Barrier, Engine, Resource
+
+
+@pytest.fixture()
+def engine() -> Engine:
+    return Engine()
+
+
+class TestResource:
+    def test_serializes_at_capacity_one(self, engine):
+        res = Resource(engine, 1)
+        finish = []
+
+        def worker(name, hold):
+            yield engine.process(res.use(hold))
+            finish.append((engine.now, name))
+
+        engine.process(worker("a", 2.0))
+        engine.process(worker("b", 3.0))
+        engine.run()
+        assert finish == [(2.0, "a"), (5.0, "b")]
+
+    def test_capacity_two_overlaps(self, engine):
+        res = Resource(engine, 2)
+        finish = []
+
+        def worker(hold):
+            yield engine.process(res.use(hold))
+            finish.append(engine.now)
+
+        for _ in range(3):
+            engine.process(worker(2.0))
+        engine.run()
+        assert finish == [2.0, 2.0, 4.0]
+
+    def test_fifo_admission(self, engine):
+        res = Resource(engine, 1)
+        order = []
+
+        def worker(name):
+            yield engine.process(res.use(1.0))
+            order.append(name)
+
+        for name in "abc":
+            engine.process(worker(name))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_release_without_request_raises(self, engine):
+        res = Resource(engine, 1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_busy_time_and_utilization(self, engine):
+        res = Resource(engine, 1)
+
+        def worker():
+            yield engine.process(res.use(3.0))
+            yield engine.timeout(1.0)
+
+        engine.run(engine.process(worker()))
+        assert res.busy_time == pytest.approx(3.0)
+        assert res.utilization() == pytest.approx(3.0 / 4.0)
+
+    def test_bad_capacity(self, engine):
+        with pytest.raises(SimulationError):
+            Resource(engine, 0)
+
+    def test_queue_depth_visible(self, engine):
+        res = Resource(engine, 1)
+        res.request()
+        res.request()
+        assert res.in_use == 1
+        assert res.queued == 1
+
+
+class TestBarrier:
+    def test_releases_when_full(self, engine):
+        barrier = Barrier(engine, 3)
+        times = []
+
+        def party(delay):
+            yield engine.timeout(delay)
+            yield barrier.wait()
+            times.append(engine.now)
+
+        for d in (1.0, 5.0, 3.0):
+            engine.process(party(d))
+        engine.run()
+        assert times == [5.0, 5.0, 5.0]
+        assert barrier.generations == 1
+
+    def test_cyclic_reuse(self, engine):
+        barrier = Barrier(engine, 2)
+        log = []
+
+        def party(name):
+            for round_ in range(3):
+                yield engine.timeout(1.0)
+                gen = yield barrier.wait()
+                log.append((name, gen))
+
+        engine.process(party("x"))
+        engine.process(party("y"))
+        engine.run()
+        assert barrier.generations == 3
+        assert log.count(("x", 1)) == 1 and log.count(("y", 3)) == 1
+
+    def test_single_party_never_blocks(self, engine):
+        barrier = Barrier(engine, 1)
+
+        def body():
+            yield barrier.wait()
+            return engine.now
+
+        assert engine.run(engine.process(body())) == 0.0
+
+    def test_bad_parties(self, engine):
+        with pytest.raises(SimulationError):
+            Barrier(engine, 0)
+
+    def test_arrived_count(self, engine):
+        barrier = Barrier(engine, 3)
+        barrier.wait()
+        assert barrier.arrived == 1

@@ -1,0 +1,120 @@
+"""Unit tests for the lockstep SIMT executor."""
+
+import numpy as np
+import pytest
+
+from repro.arch.core_group import CoreGroup
+from repro.arch.mesh import Coord
+from repro.core.kernel_functional import tile_multiply
+from repro.core.params import GRID
+from repro.core.sharing import Role, Scheme, role_of
+from repro.errors import SimulationError
+from repro.sim.simt import BARRIER, run_lockstep
+
+
+class TestLockstepBasics:
+    def test_threads_advance_together(self):
+        log = []
+
+        def worker(name):
+            log.append(("phase1", name))
+            yield BARRIER
+            log.append(("phase2", name))
+            return name
+
+        results = run_lockstep([worker("a"), worker("b")])
+        assert results == {0: "a", 1: "b"}
+        # all phase1 entries precede all phase2 entries
+        phases = [entry[0] for entry in log]
+        assert phases == ["phase1", "phase1", "phase2", "phase2"]
+
+    def test_mapping_input_keys_preserved(self):
+        def worker():
+            yield BARRIER
+            return 42
+
+        results = run_lockstep({Coord(0, 0): worker(), Coord(1, 1): worker()})
+        assert set(results) == {Coord(0, 0), Coord(1, 1)}
+
+    def test_no_threads_rejected(self):
+        with pytest.raises(SimulationError):
+            run_lockstep([])
+
+    def test_non_barrier_yield_rejected(self):
+        def bad():
+            yield "not a barrier"
+
+        with pytest.raises(SimulationError, match="only yield BARRIER"):
+            run_lockstep([bad()])
+
+    def test_divergent_exit_detected(self):
+        def short():
+            yield BARRIER
+            return "done"
+
+        def long():
+            yield BARRIER
+            yield BARRIER
+            return "late"
+
+        with pytest.raises(SimulationError, match="hang"):
+            run_lockstep([short(), long()])
+
+    def test_max_steps_guard(self):
+        def forever():
+            while True:
+                yield BARRIER
+
+        with pytest.raises(SimulationError, match="converge"):
+            run_lockstep([forever(), forever()], max_steps=10)
+
+
+class TestSIMTStripMultiply:
+    """The keystone: a full strip multiplication executed as 64 real
+    coroutines matches the bulk-synchronous implementation."""
+
+    def test_matches_bulk_synchronous(self, cg, rng):
+        p_m, p_k, p_n = 4, 8, 4
+        a_tiles = {c: rng.standard_normal((p_m, p_k)) for c in cg.mesh.coords()}
+        b_tiles = {c: rng.standard_normal((p_k, p_n)) for c in cg.mesh.coords()}
+        c_simt = {c: np.zeros((p_m, p_n)) for c in cg.mesh.coords()}
+
+        def thread(coord: Coord):
+            comm = cg.regcomm
+            for step in range(GRID):
+                role = role_of(coord, step, Scheme.PE)
+                # broadcast phase: owners push
+                if role in (Role.DIAGONAL, Role.A_OWNER):
+                    comm.row_broadcast(coord, a_tiles[coord])
+                if role in (Role.DIAGONAL, Role.B_OWNER):
+                    comm.col_broadcast(coord, b_tiles[coord])
+                yield BARRIER  # all sends posted before any receive
+                a_part = (
+                    a_tiles[coord]
+                    if role in (Role.DIAGONAL, Role.A_OWNER)
+                    else comm.receive_row(coord).data
+                )
+                b_part = (
+                    b_tiles[coord]
+                    if role in (Role.DIAGONAL, Role.B_OWNER)
+                    else comm.receive_col(coord).data
+                )
+                tile_multiply(c_simt[coord], a_part, b_part, 1.0)
+                yield BARRIER  # step boundary (the cluster sync)
+            return coord
+
+        run_lockstep({c: thread(c) for c in cg.mesh.coords()})
+        cg.regcomm.assert_drained()
+
+        # reference: the bulk-synchronous exchange used by the variants
+        from repro.core.sharing import exchange_step
+
+        cg2 = CoreGroup()
+        c_bulk = {c: np.zeros((p_m, p_n)) for c in cg2.mesh.coords()}
+        for step in range(GRID):
+            operands = exchange_step(cg2, step, Scheme.PE, a_tiles, b_tiles)
+            for coord, (a_part, b_part) in operands.items():
+                tile_multiply(c_bulk[coord], a_part, b_part, 1.0)
+
+        for coord in cg.mesh.coords():
+            assert np.allclose(c_simt[coord], c_bulk[coord], rtol=1e-13)

@@ -1,0 +1,71 @@
+"""Unit tests for the span tracer."""
+
+import pytest
+
+from repro.sim import Tracer
+
+
+@pytest.fixture()
+def tracer() -> Tracer:
+    return Tracer()
+
+
+class TestRecording:
+    def test_record_and_total(self, tracer):
+        tracer.record("dma", "a", 0.0, 2.0)
+        tracer.record("dma", "b", 5.0, 6.0)
+        assert tracer.total("dma") == pytest.approx(3.0)
+
+    def test_backwards_span_rejected(self, tracer):
+        with pytest.raises(ValueError):
+            tracer.record("x", "bad", 2.0, 1.0)
+
+    def test_categories(self, tracer):
+        tracer.record("dma", "", 0, 1)
+        tracer.record("compute", "", 0, 1)
+        assert tracer.categories() == ["compute", "dma"]
+
+    def test_filter(self, tracer):
+        tracer.record("dma", "a", 0, 1)
+        tracer.record("compute", "b", 0, 1)
+        assert [s.label for s in tracer.filter("dma")] == ["a"]
+
+
+class TestBusyUnion:
+    def test_overlapping_spans_counted_once(self, tracer):
+        tracer.record("dma", "a", 0.0, 3.0)
+        tracer.record("dma", "b", 2.0, 5.0)
+        assert tracer.busy("dma") == pytest.approx(5.0)
+        assert tracer.total("dma") == pytest.approx(6.0)
+
+    def test_disjoint_spans(self, tracer):
+        tracer.record("dma", "a", 0.0, 1.0)
+        tracer.record("dma", "b", 3.0, 4.0)
+        assert tracer.busy("dma") == pytest.approx(2.0)
+
+    def test_empty_category(self, tracer):
+        assert tracer.busy("none") == 0.0
+
+
+class TestOverlap:
+    def test_overlap_between_categories(self, tracer):
+        tracer.record("dma", "", 0.0, 4.0)
+        tracer.record("compute", "", 2.0, 6.0)
+        assert tracer.overlap("dma", "compute") == pytest.approx(2.0)
+
+    def test_no_overlap(self, tracer):
+        tracer.record("dma", "", 0.0, 1.0)
+        tracer.record("compute", "", 2.0, 3.0)
+        assert tracer.overlap("dma", "compute") == 0.0
+
+    def test_multiple_intervals(self, tracer):
+        tracer.record("dma", "", 0.0, 2.0)
+        tracer.record("dma", "", 4.0, 6.0)
+        tracer.record("compute", "", 1.0, 5.0)
+        assert tracer.overlap("dma", "compute") == pytest.approx(2.0)
+
+    def test_makespan(self, tracer):
+        tracer.record("dma", "", 1.0, 2.0)
+        tracer.record("compute", "", 4.0, 9.0)
+        assert tracer.makespan() == pytest.approx(8.0)
+        assert Tracer().makespan() == 0.0

@@ -1,0 +1,92 @@
+"""Unit tests for the ASCII chart renderer and the chart experiments."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.asciichart import GLYPHS, line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        text = line_chart([0, 1, 2], {"a": [0.0, 1.0, 2.0]}, width=20, height=6)
+        assert "a" in text.splitlines()[-1]       # legend
+        assert "o" in text                        # first glyph
+        assert "2.0" in text and "0.0" in text    # y ticks
+
+    def test_max_at_top_min_at_bottom(self):
+        text = line_chart([0, 1], {"a": [0.0, 10.0]}, width=20, height=6)
+        lines = text.splitlines()
+        top_row = [l for l in lines if l.strip().startswith("10.0")][0]
+        bottom_row = [l for l in lines if l.strip().startswith("0.0")][0]
+        assert "o" in top_row and "o" in bottom_row
+        assert lines.index(top_row) < lines.index(bottom_row)
+
+    def test_multiple_series_get_distinct_glyphs(self):
+        text = line_chart(
+            [0, 1], {"a": [0.0, 1.0], "b": [1.0, 0.0]}, width=20, height=6
+        )
+        assert "o=a" in text and "x=b" in text
+        assert "x" in text and "o" in text
+
+    def test_flat_series_handled(self):
+        text = line_chart([0, 1, 2], {"flat": [5.0, 5.0, 5.0]}, width=20, height=6)
+        assert "flat" in text
+
+    def test_labels(self):
+        text = line_chart([0, 1], {"a": [0.0, 1.0]}, width=20, height=6,
+                          y_label="Gflop/s", x_label="size")
+        assert text.startswith("Gflop/s")
+        assert "size" in text
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(width=4), dict(height=2),
+    ])
+    def test_geometry_validated(self, kwargs):
+        with pytest.raises(ConfigError):
+            line_chart([0, 1], {"a": [0.0, 1.0]}, **kwargs)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            line_chart([], {"a": []})
+        with pytest.raises(ConfigError):
+            line_chart([0], {})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            line_chart([0, 1], {"a": [1.0]})
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [0.0, 1.0] for i in range(len(GLYPHS) + 1)}
+        with pytest.raises(ConfigError):
+            line_chart([0, 1], series)
+
+
+class TestChartExperiments:
+    def test_fig6_chart_shows_all_variants(self):
+        from repro.experiments.charts import fig6_chart
+
+        text = fig6_chart()
+        for name in ("RAW", "PE", "ROW", "DB", "SCHED"):
+            assert name in text
+
+    def test_fig4_chart(self):
+        from repro.experiments.charts import fig4_chart
+
+        text = fig4_chart()
+        assert "PE_MODE" in text and "ROW_MODE" in text and "GB/s" in text
+
+    def test_fig7_chart(self):
+        from repro.experiments.charts import fig7_chart
+
+        text = fig7_chart()
+        assert "vary m" in text
+
+    def test_to_csv(self):
+        from repro.experiments.charts import to_csv
+
+        csv = to_csv([1, 2], {"a": [1.5, 2.5], "b": [0.0, 1.0]}, x_name="size")
+        lines = csv.strip().splitlines()
+        assert lines[0] == "size,a,b"
+        assert lines[1].startswith("1,1.5")
+        # full float precision preserved
+        assert repr(2.5) in lines[2] or "2.5" in lines[2]

@@ -1,0 +1,36 @@
+"""Unit tests for the A6 software-cache ablation."""
+
+import pytest
+
+from repro.experiments import cache_ablation
+
+
+@pytest.fixture(scope="module")
+def result():
+    return cache_ablation.run(n=32)
+
+
+class TestCacheAblation:
+    def test_numerically_exact(self, result):
+        assert result.max_error < 1e-10
+
+    def test_high_hit_rate_yet_slow(self, result):
+        """The point of the ablation: even >95% hit rate cannot save
+        per-access software overhead."""
+        assert result.stats.hit_rate > 0.90
+        assert result.slowdown > 20.0
+
+    def test_cycles_per_flop_dominated_by_tag_checks(self, result):
+        # 3+ accesses per inner FMA * 10 cycles >> 1/8 cycle of math
+        assert result.cycles_per_flop > 5.0
+
+    def test_access_count_matches_loop_structure(self, result):
+        n = result.n
+        # i-k-j loop: A read n^2 times; B and C read n^3 times; C
+        # written n^3 times (writes also probe the cache)
+        expected = n * n + 3 * n**3
+        assert result.stats.accesses == expected
+
+    def test_render(self, result):
+        text = cache_ablation.render(result).render()
+        assert "slowdown" in text and "hit rate" in text

@@ -1,0 +1,55 @@
+"""Unit tests for the repro-dgemm CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.variant == "SCHED"
+        assert args.preset == "small"
+
+    def test_variant_case_insensitive(self):
+        args = build_parser().parse_args(["--variant", "db"])
+        assert args.variant == "DB"
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--variant", "TURBO"])
+
+
+class TestMain:
+    def test_functional_run_ok(self, capsys):
+        assert main(["--variant", "PE"]) == 0
+        out = capsys.readouterr().out
+        assert "[OK]" in out and "DMA:" in out
+
+    def test_estimate_only(self, capsys):
+        assert main(["--estimate-only", "--preset", "paper",
+                     "--m", "9216", "--n", "9216", "--k", "9216"]) == 0
+        out = capsys.readouterr().out
+        assert "Gflop/s" in out and "modelled" in out
+
+    def test_bad_shape_returns_error_code(self, capsys):
+        assert main(["--m", "100", "--n", "64", "--k", "128"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_pad_rescues_bad_shape(self, capsys):
+        assert main(["--m", "120", "--n", "60", "--k", "120", "--pad"]) == 0
+        assert "[OK]" in capsys.readouterr().out
+
+    def test_gantt_output(self, capsys):
+        assert main(["--variant", "SCHED", "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "compute" in out and "dma" in out
+
+    def test_gantt_skipped_for_raw(self, capsys):
+        assert main(["--variant", "RAW", "--gantt"]) == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_alpha_beta_plumbed(self, capsys):
+        assert main(["--variant", "SCHED", "--alpha", "2.5",
+                     "--beta", "-0.5"]) == 0
+        assert "[OK]" in capsys.readouterr().out

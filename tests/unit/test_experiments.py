@@ -1,0 +1,125 @@
+"""Unit tests for the experiment drivers (fast sanity; full claims live
+in tests/integration/test_paper_claims.py)."""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig4_dma_bandwidth,
+    fig6_variants,
+    fig7_shapes,
+    sched_profile,
+    table_blocksize,
+)
+from repro.experiments.runner import EXPERIMENTS, main, run_all
+
+
+class TestFig4:
+    def test_run_and_render(self):
+        result = fig4_dma_bandwidth.run(sizes=(1536, 4608))
+        assert len(result.pe_bandwidth) == 2
+        text = fig4_dma_bandwidth.render(result).render()
+        assert "PE_MODE" in text and "ROW_MODE" in text
+
+    def test_verify_distribution_bytes(self):
+        got = fig4_dma_bandwidth.verify_distribution_bytes()
+        assert got["PE"] == got["ROW"] == got["block"]
+
+
+class TestFig6:
+    def test_structs(self):
+        result = fig6_variants.run(sizes=(1536,))
+        assert set(result.gflops) == {"RAW", "PE", "ROW", "DB", "SCHED"}
+        assert result.sustained("SCHED") > 0
+        assert fig6_variants.render(result).render()
+
+    def test_headlines_render(self):
+        result = fig6_variants.run(sizes=(1536, 3072))
+        text = fig6_variants.render_headlines(result).render()
+        assert "SCHED" in text and "deviation" in text
+
+    def test_improvement_math(self):
+        result = fig6_variants.run(sizes=(1536,))
+        imp = result.improvement("SCHED", "DB")
+        assert imp == pytest.approx(
+            result.sustained("SCHED") / result.sustained("DB") - 1.0
+        )
+
+
+class TestFig7:
+    def test_shapes_roundtrip(self):
+        result = fig7_shapes.run(shapes=((1536, 9216, 9216), (9216, 9216, 9216)))
+        assert len(result.gflops) == 2
+        assert fig7_shapes.render(result).render()
+
+    def test_spread(self):
+        result = fig7_shapes.run()
+        assert result.spread("m") > result.spread("n")
+
+
+class TestBlocksize:
+    def test_paper_constants(self):
+        result = table_blocksize.run()
+        assert result.min_b_n == pytest.approx(174.68, abs=0.05)
+        assert result.register_tile == (4, 4)
+        assert result.ldm_double == 7168
+        assert table_blocksize.render(result).render()
+
+
+class TestSchedProfile:
+    def test_result_fields(self):
+        result = sched_profile.run()
+        assert result.scheduled.strip_cycles < result.naive.strip_cycles
+        assert result.hand_cycles_per_iteration == pytest.approx(16.0)
+        assert result.auto_cycles_per_iteration <= result.naive_cycles_per_iteration
+        assert sched_profile.render(result).render()
+
+
+class TestAblations:
+    def test_reside_matrix_b_wins(self):
+        traffic = ablations.reside_matrix_traffic(9216, 9216, 9216, 128, 256, 768)
+        assert traffic["B (paper)"] < traffic["A"]
+        assert traffic["B (paper)"] < traffic["C"]
+
+    def test_register_tiles_4x4_feasible_1x16_not(self):
+        rows = {(t.r_m, t.r_n): t for t in ablations.register_tile_throughput()}
+        assert rows[(4, 4)].feasible
+        assert not rows[(1, 16)].feasible
+        assert rows[(4, 4)].reduction == pytest.approx(4.0)
+
+    def test_split_sweep_peaks_at_2(self):
+        rows = ablations.bk_bn_split_sweep()
+        best = max(rows, key=lambda r: r[3])
+        assert best[0] == 2.0
+
+    def test_double_buffer_ldm_table(self):
+        rows = {r[0]: r for r in ablations.double_buffer_ldm()}
+        assert rows[48][2] is True      # single buffered pN=48 fits
+        assert rows[48][4] is False     # double buffered pN=48 does not
+        assert rows[32][4] is True      # double buffered pN=32 fits
+
+    def test_renders(self):
+        assert ablations.render_reside_matrix().render()
+        assert ablations.render_register_tiles().render()
+        assert ablations.render_split_sweep().render()
+        assert ablations.render_double_buffer_ldm().render()
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig4", "fig6", "fig7", "blocksize", "sched", "ablations",
+            "cache", "multicg", "hpl", "robustness", "numerics", "charts",
+            "future",
+        }
+
+    def test_cli_single_experiment(self, capsys):
+        assert main(["blocksize"]) == 0
+        out = capsys.readouterr().out
+        assert "Sec III-C" in out
+
+    def test_run_all_contains_every_title(self):
+        text = run_all()
+        for marker in ("Figure 4", "Figure 6", "Figure 7", "Sec III-C",
+                       "Sec IV-C", "A1", "A2", "A3", "A4"):
+            assert marker in text

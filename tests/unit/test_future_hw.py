@@ -1,0 +1,60 @@
+"""Unit tests for the E9 future-hardware what-if experiment."""
+
+import pytest
+
+from repro.experiments import future_hw
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return future_hw.run()
+
+
+def by_label(scenarios, needle):
+    for s in scenarios:
+        if needle in s.label:
+            return s
+    raise KeyError(needle)
+
+
+class TestFutureHardware:
+    def test_baseline_recovers_paper_blocking(self, scenarios):
+        base = by_label(scenarios, "LDM x1")
+        assert base.best_blocking == (16, 32, 96)
+        assert base.efficiency == pytest.approx(0.936, abs=0.01)
+
+    def test_bigger_ldm_improves_efficiency(self, scenarios):
+        effs = [by_label(scenarios, f"LDM x{s}").efficiency for s in (1, 2, 4)]
+        assert effs == sorted(effs)
+        assert effs[-1] > 0.96
+
+    def test_bigger_ldm_deepens_blocking(self, scenarios):
+        base = by_label(scenarios, "LDM x1")
+        big = by_label(scenarios, "LDM x4")
+        assert big.ldm_doubles_used > 2 * base.ldm_doubles_used
+        # deeper k-blocking (the Sec III-C S formula rewards bK most)
+        assert big.best_blocking[2] > base.best_blocking[2]
+
+    def test_tuned_blocking_respects_each_budget(self, scenarios):
+        for s in scenarios:
+            assert s.ldm_doubles_used < s.spec.ldm_doubles
+
+    def test_halved_bandwidth_hurts_hard(self, scenarios):
+        slow = by_label(scenarios, "x0.5")
+        assert slow.efficiency < 0.85
+
+    def test_doubled_bandwidth_saturates(self, scenarios):
+        fast = by_label(scenarios, "bandwidth x2")
+        base = by_label(scenarios, "LDM x1")
+        # already compute-bound: little to gain
+        assert fast.efficiency - base.efficiency < 0.03
+
+    def test_faster_clock_squeezes_efficiency(self, scenarios):
+        turbo = by_label(scenarios, "clock")
+        base = by_label(scenarios, "LDM x1")
+        assert turbo.gflops > base.gflops          # absolute win
+        assert turbo.efficiency < base.efficiency  # relative squeeze
+
+    def test_render(self, scenarios):
+        text = future_hw.render(scenarios).render()
+        assert "256 KB" in text and "efficiency" in text

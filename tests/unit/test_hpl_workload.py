@@ -1,0 +1,60 @@
+"""Unit tests for the HPL trace workload and the E8 projection."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import hpl_projection
+from repro.workloads.hpl import hpl_trace
+
+
+class TestHPLTrace:
+    def test_update_sequence(self):
+        trace = hpl_trace(4 * 768, 768)
+        assert len(trace.updates) == 3
+        assert trace.updates[0] == (3 * 768, 3 * 768, 768)
+        assert trace.updates[-1] == (768, 768, 768)
+
+    def test_non_divisible_n(self):
+        trace = hpl_trace(1000, 300)
+        # offsets 300, 600, 900 -> trailing 700, 400, 100
+        assert trace.updates == ((700, 700, 300), (400, 400, 300), (100, 100, 100))
+
+    def test_gemm_fraction_grows_with_n(self):
+        small = hpl_trace(4 * 768, 768)
+        large = hpl_trace(20 * 768, 768)
+        assert large.gemm_fraction > small.gemm_fraction
+        assert 0.0 < small.gemm_fraction < 1.0
+
+    def test_gemm_flops_bounded_by_total(self):
+        trace = hpl_trace(8 * 768, 768)
+        assert trace.gemm_flops < trace.total_flops
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            hpl_trace(0, 64)
+        with pytest.raises(ConfigError):
+            hpl_trace(64, 128)
+
+    def test_single_panel_has_no_updates(self):
+        assert hpl_trace(768, 768).updates == ()
+
+
+class TestProjection:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return hpl_projection.run(n=6144, nb=768)
+
+    def test_gemm_dominates_flops(self, result):
+        assert result.trace.gemm_fraction > 0.70
+
+    def test_weighted_rate_between_extremes(self, result):
+        """The mix of shapes lands between the small-m penalty floor
+        and the saturated rate."""
+        assert 600.0 < result.weighted_gflops < 710.0
+
+    def test_efficiency_orderings(self, result):
+        assert result.hpl_efficiency_projected < result.hpl_efficiency_ceiling <= 1.0
+
+    def test_render(self, result):
+        text = hpl_projection.render(result).render()
+        assert "DGEMM share" in text and "74.2%" in text

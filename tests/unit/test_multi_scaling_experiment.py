@@ -1,0 +1,36 @@
+"""Unit tests for the E7 multi-CG scaling experiment."""
+
+import pytest
+
+from repro.experiments import multi_cg_scaling
+
+
+@pytest.fixture(scope="module")
+def result():
+    return multi_cg_scaling.run(sizes=(3072, 9216, 15360))
+
+
+class TestMultiCGScaling:
+    def test_efficiency_grows_with_size(self, result):
+        effs = [e.parallel_efficiency for e in result.estimates]
+        assert effs == sorted(effs)
+
+    def test_efficiency_bands(self, result):
+        assert 0.5 < result.efficiency_at(3072) < 0.9
+        assert 0.8 < result.efficiency_at(15360) < 1.0
+
+    def test_faster_noc_helps(self, result):
+        slow = result.sensitivity[8e9]
+        fast = result.sensitivity[32e9]
+        assert all(f > s for s, f in zip(slow, fast))
+
+    def test_chip_throughput_exceeds_single_cg(self, result):
+        assert all(e.gflops > 800 for e in result.estimates)
+
+    def test_unknown_size_raises(self, result):
+        with pytest.raises(KeyError):
+            result.efficiency_at(1234)
+
+    def test_render(self, result):
+        text = multi_cg_scaling.render(result).render()
+        assert "speedup" in text and "NoC" in text

@@ -1,0 +1,40 @@
+"""Unit tests for the N1 numerical-accuracy experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import numerics
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return numerics.run(k=128)
+
+
+class TestNumerics:
+    def test_all_cases_within_gamma_bound(self, cases):
+        assert all(c.within_bound for c in cases)
+
+    def test_errors_are_tiny_in_absolute_terms(self, cases):
+        for case in cases:
+            assert case.err_vs_longdouble < 1e-13
+
+    def test_bound_grows_with_k(self):
+        assert numerics.dot_error_bound(1024) > numerics.dot_error_bound(64)
+
+    def test_bound_matches_definition(self):
+        eps = float(np.finfo(np.float64).eps)
+        k = 100
+        assert numerics.dot_error_bound(k) == pytest.approx(
+            k * eps / (1 - k * eps)
+        )
+
+    def test_case_coverage(self, cases):
+        labels = {c.label for c in cases}
+        assert "gaussian O(1)" in labels
+        assert any("cancellation" in l for l in labels)
+        assert len(cases) == 5
+
+    def test_render(self, cases):
+        text = numerics.render(cases).render()
+        assert "gamma_k" in text and "NO" not in text

@@ -1,0 +1,97 @@
+"""Unit tests for the utils package."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.format import Table, format_si
+from repro.utils.units import (
+    BYTES_PER_DOUBLE,
+    cycles_to_seconds,
+    gflops,
+    seconds_to_cycles,
+)
+from repro.utils.validation import (
+    check_multiple,
+    check_positive,
+    check_positive_int,
+    check_range,
+)
+
+
+class TestUnits:
+    def test_bytes_per_double(self):
+        assert BYTES_PER_DOUBLE == 8
+
+    def test_cycle_seconds_roundtrip(self):
+        s = cycles_to_seconds(1.45e9, 1.45e9)
+        assert s == pytest.approx(1.0)
+        assert seconds_to_cycles(s, 1.45e9) == pytest.approx(1.45e9)
+
+    def test_gflops(self):
+        assert gflops(742.4e9, 1.0) == pytest.approx(742.4)
+
+    @pytest.mark.parametrize("fn", [cycles_to_seconds, seconds_to_cycles])
+    def test_bad_clock(self, fn):
+        with pytest.raises(ValueError):
+            fn(1.0, 0.0)
+
+    def test_gflops_bad_time(self):
+        with pytest.raises(ValueError):
+            gflops(1.0, 0.0)
+
+
+class TestValidation:
+    def test_positive_int_accepts(self):
+        assert check_positive_int("x", 5) == 5
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "3", True])
+    def test_positive_int_rejects(self, bad):
+        with pytest.raises(ConfigError):
+            check_positive_int("x", bad)
+
+    def test_positive_int_accepts_numpy(self):
+        import numpy as np
+
+        assert check_positive_int("x", np.int64(7)) == 7
+
+    def test_positive_float(self):
+        assert check_positive("x", 2.5) == 2.5
+        with pytest.raises(ConfigError):
+            check_positive("x", 0.0)
+        with pytest.raises(ConfigError):
+            check_positive("x", "not a number")
+
+    def test_multiple(self):
+        assert check_multiple("x", 96, 16) == 96
+        with pytest.raises(ConfigError):
+            check_multiple("x", 97, 16)
+
+    def test_range(self):
+        assert check_range("x", 3, 0, 7) == 3
+        with pytest.raises(ConfigError):
+            check_range("x", 8, 0, 7)
+
+
+class TestFormat:
+    def test_format_si(self):
+        assert format_si(7.061e11, "flop/s") == "706.1 Gflop/s"
+        assert format_si(1.5e3) == "1.5 K"
+        assert format_si(12.0) == "12.0"
+
+    def test_table_renders_aligned(self):
+        t = Table(["size", "Gflop/s"], title="demo")
+        t.add_row([1536, 623.9])
+        text = t.render()
+        assert "demo" in text
+        assert "1536" in text and "623.9" in text
+        assert str(t) == text
+
+    def test_table_rejects_ragged_rows(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_float_formatting(self):
+        t = Table(["v"])
+        t.add_row([1.23456])
+        assert "1.2" in t.render()

@@ -1,0 +1,69 @@
+"""Unit tests for workload generators and shape sets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.matrices import gemm_operands, hilbert_like, random_matrix
+from repro.workloads.shapes import FIG4_SIZES, FIG6_SIZES, FIG7_SHAPES, functional_shapes
+
+
+class TestMatrices:
+    def test_random_matrix_deterministic(self):
+        a = random_matrix(8, 8, seed=7)
+        b = random_matrix(8, 8, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(random_matrix(8, 8, 0), random_matrix(8, 8, 1))
+
+    def test_fortran_order(self):
+        assert random_matrix(4, 4).flags.f_contiguous
+
+    def test_scale(self):
+        a = random_matrix(100, 100, scale=10.0)
+        assert a.std() > 5.0
+
+    def test_gemm_operands_shapes(self):
+        a, b, c = gemm_operands(8, 12, 16)
+        assert a.shape == (8, 16) and b.shape == (16, 12) and c.shape == (8, 12)
+
+    def test_operands_independent(self):
+        a, b, c = gemm_operands(8, 8, 8)
+        assert not np.array_equal(a, b[: 8, : 8])
+
+    def test_hilbert_like(self):
+        h = hilbert_like(3, 3)
+        assert h[0, 0] == 1.0
+        assert h[1, 1] == pytest.approx(1.0 / 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            random_matrix(0, 4)
+        with pytest.raises(ConfigError):
+            hilbert_like(4, -1)
+
+
+class TestShapes:
+    def test_fig6_sweep(self):
+        assert FIG6_SIZES[0] == 1536
+        assert FIG6_SIZES[-1] == 15360
+        assert len(FIG6_SIZES) == 10
+        assert all(s % 1536 == 0 for s in FIG6_SIZES)
+
+    def test_fig4_matches_fig6_axis(self):
+        assert FIG4_SIZES == FIG6_SIZES
+
+    def test_fig7_all_block_aligned(self):
+        for m, n, k in FIG7_SHAPES:
+            assert m % 128 == 0 and n % 256 == 0 and k % 768 == 0
+
+    def test_fig7_covers_each_dimension(self):
+        ms = {s for s in FIG7_SHAPES if s[1] == 9216 and s[2] == 9216}
+        assert len(ms) >= 4
+
+    def test_functional_shapes(self):
+        shapes = functional_shapes(128, 64, 128, max_blocks=2)
+        assert (128, 64, 128) in shapes
+        assert (256, 128, 256) in shapes
+        assert len(shapes) == 8

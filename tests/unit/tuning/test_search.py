@@ -1,0 +1,87 @@
+"""Unit tests for the automatic blocking-parameter tuner."""
+
+import pytest
+
+from repro.core.params import BlockingParams
+from repro.errors import ConfigError
+from repro.tuning.search import autotune, enumerate_candidates
+
+
+class TestEnumeration:
+    def test_all_candidates_feasible(self):
+        for params in enumerate_candidates(double_buffered=True, p_n_step=16):
+            assert params.fits()
+            assert params.p_m % 16 == 0
+            assert params.p_n % 16 == 0
+            assert params.p_k % 16 == 0
+
+    def test_paper_configs_in_space(self):
+        space = {
+            (p.p_m, p.p_n, p.p_k)
+            for p in enumerate_candidates(double_buffered=True, p_n_step=4)
+        }
+        assert (16, 32, 96) in space
+        space_single = {
+            (p.p_m, p.p_n, p.p_k)
+            for p in enumerate_candidates(double_buffered=False, p_n_step=4)
+        }
+        assert (16, 48, 96) in space_single
+
+    def test_infeasible_excluded(self):
+        space = {
+            (p.p_m, p.p_n, p.p_k)
+            for p in enumerate_candidates(double_buffered=True, p_n_step=4)
+        }
+        assert (16, 48, 96) not in space  # 9216 doubles > 8192
+
+    def test_buffering_regime_respected(self):
+        assert all(
+            p.double_buffered for p in enumerate_candidates(double_buffered=True,
+                                                            p_n_step=32)
+        )
+
+
+class TestAutotune:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return autotune(9216, 9216, 9216, variant="SCHED", top=20, p_n_step=8)
+
+    def test_ranked_descending(self, result):
+        gf = [c.gflops for c in result.candidates]
+        assert gf == sorted(gf, reverse=True)
+
+    def test_paper_params_near_optimal(self, result):
+        """The tuner must vindicate Sec III-C/IV-B's hand derivation."""
+        rank = result.rank_of(BlockingParams.paper_double())
+        assert rank <= 3
+        paper_gf = result.candidates[rank].gflops
+        assert paper_gf >= 0.98 * result.best.gflops
+
+    def test_best_beats_tiny_blocks(self, result):
+        tiny = autotune(
+            9216, 9216, 9216, variant="SCHED", top=200, p_n_step=8
+        )
+        small = BlockingParams(16, 8, 16, double_buffered=True)
+        assert tiny.candidates[tiny.rank_of(small)].gflops < result.best.gflops
+
+    def test_padding_counts_against_oversized_blocks(self):
+        # at a small problem, giant blocks waste padded flops
+        result = autotune(256, 256, 768, variant="SCHED", top=50, p_n_step=8)
+        best = result.best.params
+        assert best.b_m <= 256 or best.b_n <= 256
+
+    def test_single_buffered_variant_searches_single_space(self):
+        result = autotune(1536, 1536, 1536, variant="ROW", top=5, p_n_step=16)
+        assert all(not c.params.double_buffered for c in result.candidates)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ConfigError):
+            autotune(0, 9216, 9216)
+        with pytest.raises(ConfigError):
+            autotune(9216, 9216, 9216, top=0)
+
+    def test_padded_shape_recorded(self, result):
+        for cand in result.candidates:
+            pm, pn, pk = cand.padded_shape
+            assert pm % cand.params.b_m == 0
+            assert pm >= 9216 and pn >= 9216 and pk >= 9216
