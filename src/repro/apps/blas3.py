@@ -23,6 +23,7 @@ import numpy as np
 from repro.errors import ConfigError, UnsupportedShapeError
 from repro.arch.core_group import CoreGroup
 from repro.core.api import dgemm
+from repro.core.context import ExecutionContext
 from repro.core.params import BlockingParams
 
 __all__ = ["dtrsm_llnu", "dsyrk_ln"]
@@ -35,6 +36,7 @@ def dtrsm_llnu(
     variant: str = "SCHED",
     params: BlockingParams | None = None,
     core_group: CoreGroup | None = None,
+    context: ExecutionContext | None = None,
 ) -> np.ndarray:
     """Solve ``L X = B`` for unit-lower-triangular L (blocked).
 
@@ -58,28 +60,30 @@ def dtrsm_llnu(
     if block < 1:
         raise ConfigError(f"block must be >= 1, got {block}")
     params = params or BlockingParams.small(double_buffered=True)
-    cg = core_group or CoreGroup()
 
     x = b.copy(order="F")
-    for lo in range(0, n, block):
-        hi = min(lo + block, n)
-        if lo > 0:
-            # X[lo:hi] -= L[lo:hi, :lo] @ X[:lo]  — on the CPE cluster
-            x[lo:hi, :] = dgemm(
-                l_matrix[lo:hi, :lo],
-                x[:lo, :],
-                x[lo:hi, :],
-                alpha=-1.0,
-                beta=1.0,
-                variant=variant,
-                params=params,
-                core_group=cg,
-                pad=True,
-            )
-        # unit-lower diagonal block solve on the MPE
-        diag = np.tril(l_matrix[lo:hi, lo:hi], -1) + np.eye(hi - lo)
-        for j in range(hi - lo):  # forward substitution, unit diagonal
-            x[lo + j + 1 : hi, :] -= np.outer(diag[j + 1 :, j], x[lo + j, :])
+    # one staging scope for the whole sweep: equal-width panels reuse
+    # their staging allocations in place across iterations
+    with ExecutionContext.scoped(context, core_group) as ctx:
+        for lo in range(0, n, block):
+            hi = min(lo + block, n)
+            if lo > 0:
+                # X[lo:hi] -= L[lo:hi, :lo] @ X[:lo]  — on the CPE cluster
+                x[lo:hi, :] = dgemm(
+                    l_matrix[lo:hi, :lo],
+                    x[:lo, :],
+                    x[lo:hi, :],
+                    alpha=-1.0,
+                    beta=1.0,
+                    variant=variant,
+                    params=params,
+                    context=ctx,
+                    pad=True,
+                )
+            # unit-lower diagonal block solve on the MPE
+            diag = np.tril(l_matrix[lo:hi, lo:hi], -1) + np.eye(hi - lo)
+            for j in range(hi - lo):  # forward substitution, unit diagonal
+                x[lo + j + 1 : hi, :] -= np.outer(diag[j + 1 :, j], x[lo + j, :])
     return x
 
 
@@ -92,6 +96,7 @@ def dsyrk_ln(
     variant: str = "SCHED",
     params: BlockingParams | None = None,
     core_group: CoreGroup | None = None,
+    context: ExecutionContext | None = None,
 ) -> np.ndarray:
     """Symmetric rank-k update ``C = alpha*A*A^T + beta*C`` (lower).
 
@@ -114,24 +119,24 @@ def dsyrk_ln(
     if block < 1:
         raise ConfigError(f"block must be >= 1, got {block}")
     params = params or BlockingParams.small(double_buffered=True)
-    cg = core_group or CoreGroup()
 
     out = c.copy(order="F")
-    for lo in range(0, n, block):
-        hi = min(lo + block, n)
-        # one block row of the product: rows [lo, hi) x columns [0, hi)
-        update = dgemm(
-            a[lo:hi, :],
-            a[:hi, :],
-            out[lo:hi, :hi],
-            alpha=alpha,
-            beta=beta,
-            transb="T",
-            variant=variant,
-            params=params,
-            core_group=cg,
-            pad=True,
-        )
-        out[lo:hi, :hi] = update
+    with ExecutionContext.scoped(context, core_group) as ctx:
+        for lo in range(0, n, block):
+            hi = min(lo + block, n)
+            # one block row of the product: rows [lo, hi) x columns [0, hi)
+            update = dgemm(
+                a[lo:hi, :],
+                a[:hi, :],
+                out[lo:hi, :hi],
+                alpha=alpha,
+                beta=beta,
+                transb="T",
+                variant=variant,
+                params=params,
+                context=ctx,
+                pad=True,
+            )
+            out[lo:hi, :hi] = update
     # zero the strict upper triangle for a canonical result
     return np.asfortranarray(np.tril(out))

@@ -14,6 +14,7 @@ import numpy as np
 from repro.errors import ConfigError, UnsupportedShapeError
 from repro.arch.core_group import CoreGroup
 from repro.core.api import dgemm
+from repro.core.context import ExecutionContext
 from repro.core.params import BlockingParams
 
 __all__ = ["im2col", "conv2d_gemm", "conv2d_reference"]
@@ -57,12 +58,15 @@ def conv2d_gemm(
     variant: str = "SCHED",
     params: BlockingParams | None = None,
     core_group: CoreGroup | None = None,
+    context: ExecutionContext | None = None,
 ) -> np.ndarray:
     """Convolve NCHW ``images`` with OIHW ``kernels`` on the simulated CG.
 
     Returns N x O x oh x ow feature maps.  The GEMM is
     ``(O x C*kh*kw) @ (C*kh*kw x N*oh*ow)``, padded to the CG block
-    factors.
+    factors.  Pass ``context=`` when convolving a sequence of
+    same-shape layers so the staging allocations stay warm between
+    calls.
     """
     if kernels.ndim != 4:
         raise UnsupportedShapeError(f"expected OIHW kernels, got shape {kernels.shape}")
@@ -77,7 +81,7 @@ def conv2d_gemm(
     params = params or BlockingParams.small(double_buffered=True)
     out_flat = dgemm(
         w_flat, cols, variant=variant, params=params,
-        core_group=core_group, pad=True,
+        core_group=core_group, context=context, pad=True,
     )
     oh = (h - kh) // stride + 1
     ow = (w - kw) // stride + 1

@@ -24,6 +24,7 @@ import numpy as np
 from repro.errors import ConfigError, UnsupportedShapeError
 from repro.arch.core_group import CoreGroup
 from repro.core.api import dgemm
+from repro.core.context import ExecutionContext
 from repro.core.params import BlockingParams
 
 __all__ = ["LUResult", "blocked_lu", "lu_solve", "lu_residual"]
@@ -75,11 +76,14 @@ def blocked_lu(
     variant: str = "SCHED",
     params: BlockingParams | None = None,
     core_group: CoreGroup | None = None,
+    context: ExecutionContext | None = None,
 ) -> LUResult:
     """Factor PA = LU with trailing updates on the simulated CG.
 
     ``panel`` is the blocking width of the panel factorization; the
-    pivoting is applied across the whole row, as in HPL.
+    pivoting is applied across the whole row, as in HPL.  All trailing
+    updates run inside one staging scope, so the device's byte budget
+    is back at its baseline when the factorization returns.
     """
     a = np.asfortranarray(a, dtype=np.float64)
     if a.ndim != 2 or a.shape[0] != a.shape[1]:
@@ -90,41 +94,42 @@ def blocked_lu(
     lu = a.copy(order="F")
     piv = np.empty(n, dtype=np.int64)
     params = params or BlockingParams.small(double_buffered=True)
-    cg = core_group or CoreGroup()
     gemm_flops = 0
 
-    for col0 in range(0, n, panel):
-        width = min(panel, n - col0)
-        # pivoted panel factorization touches the full rows (HPL style:
-        # swaps are applied across the matrix)
-        piv[col0 : col0 + width] = _factor_panel(lu, col0, width)
-        hi = col0 + width
-        if hi >= n:
-            break
-        # block row: U12 = L11^{-1} A12 via the blocked DTRSM extension
-        # (diagonal solves on the MPE, inner updates back on the CG)
-        from repro.apps.blas3 import dtrsm_llnu
+    with ExecutionContext.scoped(context, core_group) as ctx:
+        for col0 in range(0, n, panel):
+            width = min(panel, n - col0)
+            # pivoted panel factorization touches the full rows (HPL
+            # style: swaps are applied across the matrix)
+            piv[col0 : col0 + width] = _factor_panel(lu, col0, width)
+            hi = col0 + width
+            if hi >= n:
+                break
+            # block row: U12 = L11^{-1} A12 via the blocked DTRSM
+            # extension (diagonal solves on the MPE, inner updates back
+            # on the CG)
+            from repro.apps.blas3 import dtrsm_llnu
 
-        lu[col0:hi, hi:] = dtrsm_llnu(
-            lu[col0:hi, col0:hi], lu[col0:hi, hi:],
-            block=max(16, width // 2), variant=variant,
-            params=params, core_group=cg,
-        )
-        # trailing update on the CPE cluster: A22 -= L21 @ U12
-        l21 = lu[hi:, col0:hi]
-        u12 = lu[col0:hi, hi:]
-        lu[hi:, hi:] = dgemm(
-            l21,
-            u12,
-            lu[hi:, hi:],
-            alpha=-1.0,
-            beta=1.0,
-            variant=variant,
-            params=params,
-            core_group=cg,
-            pad=True,
-        )
-        gemm_flops += 2 * l21.shape[0] * u12.shape[1] * width
+            lu[col0:hi, hi:] = dtrsm_llnu(
+                lu[col0:hi, col0:hi], lu[col0:hi, hi:],
+                block=max(16, width // 2), variant=variant,
+                params=params, context=ctx,
+            )
+            # trailing update on the CPE cluster: A22 -= L21 @ U12
+            l21 = lu[hi:, col0:hi]
+            u12 = lu[col0:hi, hi:]
+            lu[hi:, hi:] = dgemm(
+                l21,
+                u12,
+                lu[hi:, hi:],
+                alpha=-1.0,
+                beta=1.0,
+                variant=variant,
+                params=params,
+                context=ctx,
+                pad=True,
+            )
+            gemm_flops += 2 * l21.shape[0] * u12.shape[1] * width
     return LUResult(lu=lu, piv=piv, panel=panel, gemm_flops=gemm_flops)
 
 

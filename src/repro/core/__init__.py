@@ -14,6 +14,8 @@
   both a lane-accurate register-file version and the vectorised one
   the variants use;
 - :mod:`repro.core.variants` — RAW / PE / ROW / DB / SCHED;
+- :mod:`repro.core.context` — scoped staging of operands in CG main
+  memory (unique handles, free-on-exit, staging-plan cache);
 - :mod:`repro.core.api` — the public ``dgemm`` entry point;
 - :mod:`repro.core.reference` — the numpy reference.
 """
@@ -29,10 +31,13 @@ from repro.core.model import (
     optimal_register_tile,
 )
 from repro.core.reference import reference_dgemm
+from repro.core.context import ContextStats, ExecutionContext
 from repro.core.api import dgemm
 from repro.core.variants import VARIANTS, get_variant
 
 __all__ = [
+    "ContextStats",
+    "ExecutionContext",
     "BlockingParams",
     "bandwidth_reduction",
     "required_bandwidth",

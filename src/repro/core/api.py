@@ -5,6 +5,14 @@ group's main memory, run the chosen variant's functional execution, and
 read the result back.  It mirrors the BLAS contract (non-transposed,
 column-major, f64) with the paper's shape restriction — dimensions must
 be multiples of the CG block factors — relaxed by ``pad=True``.
+
+Staging goes through a scoped :class:`~repro.core.context.ExecutionContext`:
+operands get context-unique handle names (so concurrent calls sharing a
+core group cannot clobber each other), each operand costs at most one
+host-side copy, and every staged handle is freed when the scope exits —
+including when a variant raises — so ``MainMemory.used_bytes`` always
+returns to its pre-call baseline.  Pass ``context=`` to share staging
+plans across calls (the batched hot path).
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ import numpy as np
 from repro.errors import UnsupportedShapeError
 from repro.arch.config import SW26010Spec, DEFAULT_SPEC
 from repro.arch.core_group import CoreGroup
+from repro.core.context import ExecutionContext
 from repro.core.params import BlockingParams
 from repro.core.reference import reference_dgemm
 from repro.core.variants import get_variant
@@ -22,22 +31,20 @@ __all__ = ["dgemm"]
 
 
 def _apply_trans(name: str, flag: str, array: np.ndarray) -> np.ndarray:
-    """Resolve a BLAS trans flag by MPE-side staging (extension)."""
+    """Resolve a BLAS trans flag (extension).
+
+    Returns a transposed *view*; the MPE materializes it during the
+    single staging copy, so ``"T"`` costs no extra host-side pass.
+    """
     flag = str(flag).upper()
     if flag == "N":
         return array
     if flag == "T":
-        return np.asfortranarray(array.T)
+        return array.T
     raise UnsupportedShapeError(
         f"{name} must be 'N' or 'T', got {flag!r} (conjugate transpose "
         "is meaningless for real matrices)"
     )
-
-
-def _pad_to(array: np.ndarray, rows: int, cols: int) -> np.ndarray:
-    out = np.zeros((rows, cols), dtype=np.float64, order="F")
-    out[: array.shape[0], : array.shape[1]] = array
-    return out
 
 
 def dgemm(
@@ -53,6 +60,7 @@ def dgemm(
     params: BlockingParams | None = None,
     spec: SW26010Spec = DEFAULT_SPEC,
     core_group: CoreGroup | None = None,
+    context: ExecutionContext | None = None,
     pad: bool = False,
     check: bool = False,
 ) -> np.ndarray:
@@ -76,7 +84,15 @@ def dgemm(
         Pass :meth:`BlockingParams.small` for fast experimentation.
     core_group:
         reuse an existing device (e.g. to accumulate DMA statistics);
-        a fresh one is built otherwise.
+        a fresh one is built otherwise.  Staged operands are always
+        freed on return, so sharing a device never leaks its byte
+        budget.
+    context:
+        stage through an existing :class:`ExecutionContext` instead of
+        a per-call scope.  Same-shape calls then reuse staging
+        allocations in place, and the *context's* owner decides when
+        the handles are freed.  Mutually consistent with
+        ``core_group`` (they must name the same device).
     pad:
         zero-pad dimensions up to the CG block factors instead of
         raising :class:`~repro.errors.UnsupportedShapeError` — an
@@ -93,8 +109,8 @@ def dgemm(
     impl = get_variant(variant)
     params = params or impl.default_params()
 
-    a = np.asfortranarray(a, dtype=np.float64)
-    b = np.asfortranarray(b, dtype=np.float64)
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
     if a.ndim != 2 or b.ndim != 2:
         raise UnsupportedShapeError("dgemm operates on 2-D matrices")
     a = _apply_trans("transa", transa, a)
@@ -106,31 +122,28 @@ def dgemm(
     if c is None:
         if beta != 0.0:
             raise UnsupportedShapeError("beta != 0 requires an input C")
-        c = np.zeros((m, n), dtype=np.float64, order="F")
     else:
-        c = np.asfortranarray(c, dtype=np.float64)
+        c = np.asarray(c, dtype=np.float64)
         if c.shape != (m, n):
             raise UnsupportedShapeError(f"C is {c.shape}, expected {(m, n)}")
 
-    pm, pn, pk = m, n, k
-    if pad:
-        pm = -(-m // params.b_m) * params.b_m
-        pn = -(-n // params.b_n) * params.b_n
-        pk = -(-k // params.b_k) * params.b_k
+    pm, pn, pk = (params.pad_shape(m, n, k) if pad else (m, n, k))
 
-    cg = core_group or CoreGroup(spec)
-    ha = cg.memory.store("dgemm.A", a if (pm, pk) == (m, k) else _pad_to(a, pm, pk))
-    hb = cg.memory.store("dgemm.B", b if (pk, pn) == (k, n) else _pad_to(b, pk, pn))
-    hc = cg.memory.store("dgemm.C", c if (pm, pn) == (m, n) else _pad_to(c, pm, pn))
+    with ExecutionContext.scoped(context, core_group, spec) as ctx, ctx.executing():
+        cg = ctx.core_group
+        ha = ctx.stage("A", a, rows=pm, cols=pk)
+        hb = ctx.stage("B", b, rows=pk, cols=pn)
+        hc = (
+            ctx.stage("C", c, rows=pm, cols=pn)
+            if c is not None
+            else ctx.stage_zeros("C", pm, pn)
+        )
+        impl.run(cg, ha, hb, hc, alpha=alpha, beta=beta, params=params)
+        result = np.array(cg.memory.array(hc)[:m, :n], order="F", copy=True)
 
-    impl.run(cg, ha, hb, hc, alpha=alpha, beta=beta, params=params)
-
-    result = cg.memory.read(hc)[:m, :n]
-    if core_group is None:
-        for name in ("dgemm.A", "dgemm.B", "dgemm.C"):
-            cg.memory.free(name)
     if check:
-        expected = reference_dgemm(alpha, a, b, beta, c)
+        base = c if c is not None else np.zeros((m, n), dtype=np.float64, order="F")
+        expected = reference_dgemm(alpha, a, b, beta, base)
         if not np.allclose(result, expected, rtol=1e-12, atol=1e-9):
             worst = float(np.max(np.abs(result - expected)))
             raise AssertionError(

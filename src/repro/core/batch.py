@@ -3,9 +3,16 @@
 The application layers (blocked LU, im2col convolution) issue long
 sequences of GEMMs; rebuilding a :class:`CoreGroup` per call wastes
 setup and discards the cumulative DMA statistics.  ``dgemm_batch``
-runs a sequence on a single device and returns results plus the
-aggregate traffic accounting — the interface a host-side library would
-expose.
+runs a sequence on a single device inside one
+:class:`~repro.core.context.ExecutionContext` and returns results plus
+the context's traffic accounting — the interface a host-side library
+would expose.
+
+The shared context is what makes the batch the *hot* path: same-shape
+items reuse the staging allocations in place (at most one host-side
+copy per operand per item), and every staged handle is freed when the
+batch scope exits, so the device's byte budget returns to its
+pre-batch baseline even when an item raises mid-run.
 """
 
 from __future__ import annotations
@@ -19,7 +26,9 @@ from repro.errors import ConfigError
 from repro.arch.config import SW26010Spec, DEFAULT_SPEC
 from repro.arch.core_group import CoreGroup
 from repro.core.api import dgemm
+from repro.core.context import ExecutionContext
 from repro.core.params import BlockingParams
+from repro.core.variants import get_variant
 
 __all__ = ["BatchItem", "BatchResult", "dgemm_batch"]
 
@@ -37,13 +46,26 @@ class BatchItem:
 
 @dataclass(frozen=True)
 class BatchResult:
-    """Results plus the device's aggregate accounting."""
+    """Results plus the device's aggregate accounting.
+
+    ``flops`` counts the *logical* (unpadded) work ``2*m*n*k`` per
+    item; ``padded_flops`` counts what the device executed after
+    ``pad=True`` rounded shapes up to the CG block factors.  Efficiency
+    numbers should divide by the one that matches the question being
+    asked — conflating them silently inflates (or deflates) rates.
+    """
 
     outputs: tuple[np.ndarray, ...]
     dma_bytes: int
     dma_transactions: int
     regcomm_bytes: int
     flops: int
+    padded_flops: int = 0
+
+    @property
+    def padding_overhead(self) -> float:
+        """``padded_flops / flops`` — 1.0 means no padding waste."""
+        return self.padded_flops / self.flops if self.flops else 1.0
 
     def __len__(self) -> int:
         return len(self.outputs)
@@ -56,41 +78,47 @@ def dgemm_batch(
     spec: SW26010Spec = DEFAULT_SPEC,
     core_group: CoreGroup | None = None,
     pad: bool = True,
+    context: ExecutionContext | None = None,
 ) -> BatchResult:
     """Run every item on one shared core group.
 
     ``pad`` defaults to True here (unlike ``dgemm``) because batch
     workloads — LU trailing updates, convolution layers — rarely arrive
-    in block-factor multiples.
+    in block-factor multiples.  Pass ``context=`` to keep staging plans
+    warm across several batches; otherwise a batch-scoped context is
+    created and torn down here.
     """
     items = list(items)
     if not items:
         raise ConfigError("empty batch")
-    cg = core_group or CoreGroup(spec)
-    # snapshot so a shared device's prior traffic is not attributed to
-    # this batch
-    dma_bytes0 = cg.dma.stats.bytes_total
-    dma_tx0 = cg.dma.stats.transactions
-    regcomm0 = cg.regcomm.stats.bytes_moved
-    outputs = []
+    params = params or get_variant(variant).default_params()
+    outputs: list[np.ndarray] = []
     flops = 0
-    for idx, item in enumerate(items):
-        if not isinstance(item, BatchItem):
-            raise ConfigError(
-                f"batch item {idx} is {type(item).__name__}, expected BatchItem"
+    padded_flops = 0
+    with ExecutionContext.scoped(context, core_group, spec) as ctx:
+        start = ctx.stats()
+        for idx, item in enumerate(items):
+            if not isinstance(item, BatchItem):
+                raise ConfigError(
+                    f"batch item {idx} is {type(item).__name__}, expected BatchItem"
+                )
+            out = dgemm(
+                item.a, item.b, item.c,
+                alpha=item.alpha, beta=item.beta,
+                variant=variant, params=params, context=ctx, pad=pad,
             )
-        out = dgemm(
-            item.a, item.b, item.c,
-            alpha=item.alpha, beta=item.beta,
-            variant=variant, params=params, core_group=cg, pad=pad,
-        )
-        m, k = item.a.shape
-        flops += 2 * m * item.b.shape[1] * k
-        outputs.append(out)
+            m, k = item.a.shape
+            n = item.b.shape[1]
+            flops += 2 * m * n * k
+            pm, pn, pk = params.pad_shape(m, n, k) if pad else (m, n, k)
+            padded_flops += 2 * pm * pn * pk
+            outputs.append(out)
+        delta = ctx.stats().since(start)
     return BatchResult(
         outputs=tuple(outputs),
-        dma_bytes=cg.dma.stats.bytes_total - dma_bytes0,
-        dma_transactions=cg.dma.stats.transactions - dma_tx0,
-        regcomm_bytes=cg.regcomm.stats.bytes_moved - regcomm0,
+        dma_bytes=delta.dma_bytes,
+        dma_transactions=delta.dma_transactions,
+        regcomm_bytes=delta.regcomm_bytes,
         flops=flops,
+        padded_flops=padded_flops,
     )

@@ -129,6 +129,18 @@ class BlockingParams:
                 )
         return m // self.b_m, n // self.b_n, k // self.b_k
 
+    def pad_shape(self, m: int, n: int, k: int) -> tuple[int, int, int]:
+        """Round a GEMM shape up to the CG block factors (``pad=True``).
+
+        This is the shape the device actually executes; batch
+        accounting reports both it and the logical shape so padded
+        efficiency numbers are never silently conflated.
+        """
+        def up(dim: int, block: int) -> int:
+            return -(-dim // block) * block
+
+        return up(m, self.b_m), up(n, self.b_n), up(k, self.b_k)
+
     # -- named configurations ---------------------------------------------
 
     @classmethod

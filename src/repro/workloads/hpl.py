@@ -4,16 +4,21 @@ HPL factors an N x N system in panels of width NB; after each panel the
 trailing update is a DGEMM of shape (N - j*NB) x (N - j*NB) x NB.  This
 module enumerates that sequence and its flop accounting so the E8
 experiment can project how much of an HPL run the paper's kernel
-covers, and at what rate.
+covers, and at what rate — and, via :func:`run_trace`, executes the
+sequence functionally through the batched staging path
+(:func:`repro.core.batch.dgemm_batch`), the way a host-side HPL driver
+would feed the device.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigError
 
-__all__ = ["HPLTrace", "hpl_trace"]
+__all__ = ["HPLTrace", "hpl_trace", "trace_items", "run_trace"]
 
 
 @dataclass(frozen=True)
@@ -52,3 +57,51 @@ def hpl_trace(n: int, nb: int) -> HPLTrace:
         updates.append((trailing, trailing, min(nb, trailing)))
         offset += nb
     return HPLTrace(n=n, nb=nb, updates=tuple(updates))
+
+
+def trace_items(trace: HPLTrace, seed: int = 0) -> list:
+    """Synthesize the trace's trailing updates as batch items.
+
+    Each update becomes ``C -= L21 @ U12`` (``alpha=-1, beta=1``) over
+    random operands of the traced shape — the data content is
+    irrelevant to the staging/traffic behaviour being exercised.
+    """
+    from repro.core.batch import BatchItem
+
+    rng = np.random.default_rng(seed)
+    items = []
+    for m, n_, k in trace.updates:
+        items.append(
+            BatchItem(
+                a=rng.standard_normal((m, k)),
+                b=rng.standard_normal((k, n_)),
+                c=rng.standard_normal((m, n_)),
+                alpha=-1.0,
+                beta=1.0,
+            )
+        )
+    return items
+
+
+def run_trace(
+    trace: HPLTrace,
+    variant: str = "SCHED",
+    params=None,
+    core_group=None,
+    seed: int = 0,
+):
+    """Execute the trace's update sequence on one core group.
+
+    Returns the :class:`~repro.core.batch.BatchResult`, whose
+    ``flops`` / ``padded_flops`` pair shows how much extra work the
+    block-factor padding costs for this (N, NB) choice.
+    """
+    from repro.core.batch import dgemm_batch
+
+    return dgemm_batch(
+        trace_items(trace, seed=seed),
+        variant=variant,
+        params=params,
+        core_group=core_group,
+        pad=True,
+    )

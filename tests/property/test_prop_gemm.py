@@ -76,3 +76,24 @@ def test_padding_handles_arbitrary_shapes(dm, dn, dk, seed):
     out = dgemm(a, b, c, alpha=1.3, beta=0.7, params=DOUBLE, pad=True)
     assert np.allclose(out, reference_dgemm(1.3, a, b, 0.7, c),
                        rtol=1e-11, atol=1e-8)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    dm=st.integers(0, 16), dn=st.integers(0, 16), dk=st.integers(0, 16),
+    beta=scalars, seed=st.integers(0, 2**16),
+)
+def test_dgemm_leaves_main_memory_unchanged(dm, dn, dk, beta, seed):
+    """The staging lifecycle invariant: any dgemm call on a shared
+    device restores used_bytes and the handle set exactly."""
+    from repro.arch.core_group import CoreGroup
+
+    cg = CoreGroup()
+    cg.memory.store("user.resident", np.ones((16, 16)))
+    handles_before = sorted(h.name for h in cg.memory.handles())
+    bytes_before = cg.memory.used_bytes
+    m, n, k = DOUBLE.b_m - dm, DOUBLE.b_n - dn, DOUBLE.b_k - dk
+    a, b, c = gemm_operands(m, n, k, seed=seed)
+    dgemm(a, b, c, alpha=0.9, beta=beta, params=DOUBLE, core_group=cg, pad=True)
+    assert sorted(h.name for h in cg.memory.handles()) == handles_before
+    assert cg.memory.used_bytes == bytes_before

@@ -39,6 +39,49 @@ class TestStore:
         mem.store("A", np.zeros((16, 16)))
         assert mem.used_bytes == used
 
+    def test_overwrite_same_shape_reuses_allocation(self, mem):
+        h = mem.store("A", np.ones((16, 16)))
+        backing = mem.array(h)
+        mem.store("A", np.full((16, 16), 4.0))
+        assert mem.array("A") is backing  # documented in-place path
+        assert backing[0, 0] == 4.0
+        assert mem.stats.allocations == 1
+        assert mem.stats.in_place_stores == 1
+
+    def test_store_is_single_copy(self, mem):
+        """Exactly one new array per fresh store — never the old
+        asfortranarray + copy(order='F') double copy."""
+        mem.store("A", np.ones((16, 16), order="C"))
+        mem.store("B", np.ones((16, 16), order="F"))
+        mem.store("C", np.ones((16, 16), dtype=np.float32))
+        assert mem.stats.stores == 3
+        assert mem.stats.allocations == 3
+
+    def test_padded_store(self, mem):
+        h = mem.store("A", np.ones((3, 2)), rows=8, cols=4)
+        assert h.shape == (8, 4)
+        arr = mem.array(h)
+        assert np.all(arr[:3, :2] == 1.0)
+        assert arr.sum() == 6.0  # border zeroed
+        assert mem.used_bytes == 8 * 4 * 8
+
+    def test_padded_store_rejects_too_small_target(self, mem):
+        with pytest.raises(ConfigError):
+            mem.store("A", np.ones((8, 8)), rows=4, cols=8)
+
+    def test_store_zeros_requires_shape(self, mem):
+        with pytest.raises(ConfigError):
+            mem.store("A", None)
+
+    def test_peak_bytes_high_water(self, mem):
+        mem.store("A", np.ones((16, 16)))
+        mem.store("B", np.ones((32, 32)))
+        peak = mem.used_bytes
+        mem.free("A")
+        assert mem.used_bytes < peak
+        assert mem.peak_bytes == peak
+        assert mem.stats.frees == 1
+
     def test_budget_enforced(self):
         small = SW26010Spec(main_memory_bytes=1024)
         mem = MainMemory(small)

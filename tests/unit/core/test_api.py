@@ -5,6 +5,7 @@ import pytest
 
 from repro.arch.core_group import CoreGroup
 from repro.core.api import dgemm
+from repro.core.context import ExecutionContext
 from repro.core.params import BlockingParams
 from repro.core.reference import reference_dgemm
 from repro.errors import UnsupportedShapeError
@@ -101,3 +102,69 @@ class TestCoreGroupReuse:
     def test_check_flag_passes_on_correct_result(self, small):
         a, b, c = gemm_operands(small.b_m, small.b_n, small.b_k)
         dgemm(a, b, c, beta=1.0, params=small, check=True)
+
+
+class TestStagingLifecycle:
+    """The memory-budget invariant: a dgemm call owns its staging."""
+
+    def test_shared_group_budget_restored(self, small):
+        cg = CoreGroup()
+        a, b, _ = gemm_operands(small.b_m, small.b_n, small.b_k)
+        baseline = cg.memory.used_bytes
+        dgemm(a, b, params=small, core_group=cg)
+        assert cg.memory.used_bytes == baseline
+        assert cg.memory.handles() == []
+
+    def test_no_legacy_staging_names_survive(self, small):
+        cg = CoreGroup()
+        a, b, _ = gemm_operands(small.b_m, small.b_n, small.b_k)
+        dgemm(a, b, params=small, core_group=cg)
+        names = {h.name for h in cg.memory.handles()}
+        assert not any(n.startswith("dgemm.") for n in names)
+        assert names == set()
+
+    def test_budget_restored_when_variant_raises(self, small, monkeypatch):
+        class ExplodingVariant:
+            def default_params(self):
+                return small
+
+            def run(self, cg, a, b, c, **kwargs):
+                raise RuntimeError("mid-run failure")
+
+        monkeypatch.setattr(
+            "repro.core.api.get_variant", lambda name: ExplodingVariant()
+        )
+        cg = CoreGroup()
+        a, b, _ = gemm_operands(small.b_m, small.b_n, small.b_k)
+        baseline = cg.memory.used_bytes
+        with pytest.raises(RuntimeError):
+            dgemm(a, b, params=small, core_group=cg)
+        assert cg.memory.used_bytes == baseline
+        assert cg.memory.handles() == []
+
+    def test_unrelated_resident_matrices_untouched(self, small):
+        cg = CoreGroup()
+        cg.memory.store("user.X", np.full((16, 16), 3.0))
+        a, b, _ = gemm_operands(small.b_m, small.b_n, small.b_k)
+        dgemm(a, b, params=small, core_group=cg)
+        assert [h.name for h in cg.memory.handles()] == ["user.X"]
+        assert cg.memory.array("user.X")[0, 0] == 3.0
+
+    def test_external_context_keeps_staging_warm(self, small):
+        cg = CoreGroup()
+        a, b, _ = gemm_operands(small.b_m, small.b_n, small.b_k)
+        with ExecutionContext(cg) as ctx:
+            dgemm(a, b, params=small, context=ctx)
+            allocs = cg.memory.stats.allocations
+            dgemm(a, b, params=small, context=ctx)
+            # second same-shape call restages in place: zero new arrays
+            assert cg.memory.stats.allocations == allocs
+        assert cg.memory.used_bytes == 0
+
+    def test_single_host_copy_per_operand(self, small):
+        cg = CoreGroup()
+        a, b, c = gemm_operands(small.b_m, small.b_n, small.b_k)
+        dgemm(a, b, c, beta=1.0, params=small, core_group=cg)
+        # three operands, three allocations, no asfortranarray+copy churn
+        assert cg.memory.stats.allocations == 3
+        assert cg.memory.stats.in_place_stores == 0

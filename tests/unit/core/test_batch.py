@@ -76,3 +76,45 @@ class TestBatch:
         second = dgemm_batch(make_items(1, seed=9), params=PARAMS, core_group=cg)
         assert second.dma_bytes == first.dma_bytes
         assert cg.dma.stats.bytes_total == first.dma_bytes + second.dma_bytes
+
+
+class TestMemoryInvariant:
+    def test_shared_group_budget_restored_after_batch(self):
+        cg = CoreGroup()
+        baseline = cg.memory.used_bytes
+        dgemm_batch(make_items(3), params=PARAMS, core_group=cg)
+        assert cg.memory.used_bytes == baseline
+        assert cg.memory.handles() == []
+
+    def test_budget_restored_when_item_raises(self):
+        cg = CoreGroup()
+        baseline = cg.memory.used_bytes
+        good = make_items(1)
+        bad = [good[0], ("not", "an item")]
+        with pytest.raises(ConfigError):
+            dgemm_batch(bad, params=PARAMS, core_group=cg)  # type: ignore[list-item]
+        assert cg.memory.used_bytes == baseline
+        assert cg.memory.handles() == []
+
+    def test_batch_allocations_bounded_by_first_item(self):
+        cg = CoreGroup()
+        dgemm_batch(make_items(5), params=PARAMS, core_group=cg)
+        assert cg.memory.stats.allocations == 3
+        assert cg.memory.stats.in_place_stores == 12
+
+
+class TestFlopsAccounting:
+    def test_exact_shapes_have_equal_flop_fields(self):
+        result = dgemm_batch(make_items(2), params=PARAMS)
+        assert result.flops == result.padded_flops
+        assert result.padding_overhead == 1.0
+
+    def test_padded_flops_reported_separately(self, rng):
+        a = rng.standard_normal((100, 50))
+        b = rng.standard_normal((50, 30))
+        result = dgemm_batch([BatchItem(a, b)], params=PARAMS)
+        assert result.flops == 2 * 100 * 30 * 50
+        pm, pn, pk = PARAMS.pad_shape(100, 30, 50)
+        assert result.padded_flops == 2 * pm * pn * pk
+        assert result.padded_flops > result.flops
+        assert result.padding_overhead > 1.0

@@ -1,0 +1,182 @@
+"""Unit tests for the scoped staging ExecutionContext."""
+
+import numpy as np
+import pytest
+
+from repro.arch.core_group import CoreGroup
+from repro.core.api import dgemm
+from repro.core.context import ContextStats, ExecutionContext
+from repro.core.params import BlockingParams
+from repro.errors import ConfigError
+from repro.workloads.matrices import gemm_operands
+
+PARAMS = BlockingParams.small(double_buffered=True)
+
+
+class TestLifecycle:
+    def test_handles_freed_on_exit(self, cg):
+        with ExecutionContext(cg) as ctx:
+            ctx.stage("A", np.ones((32, 16)))
+            ctx.stage("B", np.ones((16, 8)))
+            assert len(cg.memory.handles()) == 2
+        assert cg.memory.handles() == []
+        assert cg.memory.used_bytes == 0
+
+    def test_handles_freed_when_body_raises(self, cg):
+        baseline = cg.memory.used_bytes
+        with pytest.raises(RuntimeError):
+            with ExecutionContext(cg) as ctx:
+                ctx.stage("A", np.ones((32, 16)))
+                raise RuntimeError("variant exploded")
+        assert cg.memory.used_bytes == baseline
+        assert cg.memory.handles() == []
+
+    def test_close_is_idempotent(self, cg):
+        ctx = ExecutionContext(cg)
+        with ctx:
+            ctx.stage("A", np.ones((16, 16)))
+        ctx.close()
+        ctx.close()
+        assert cg.memory.used_bytes == 0
+
+    def test_stage_outside_open_context_rejected(self, cg):
+        ctx = ExecutionContext(cg)
+        with pytest.raises(ConfigError):
+            ctx.stage("A", np.ones((16, 16)))  # never entered
+        with ctx:
+            ctx.stage("A", np.ones((16, 16)))
+        with pytest.raises(ConfigError):
+            ctx.stage("A", np.ones((16, 16)))  # closed: would leak
+        assert cg.memory.used_bytes == 0
+
+    def test_context_reusable_after_close(self, cg):
+        ctx = ExecutionContext(cg)
+        for fill in (1.0, 2.0):
+            with ctx:
+                h = ctx.stage("A", np.full((8, 8), fill))
+                assert cg.memory.array(h)[0, 0] == fill
+            assert cg.memory.used_bytes == 0
+
+    def test_not_reentrant(self, cg):
+        with ExecutionContext(cg) as ctx:
+            with pytest.raises(ConfigError):
+                ctx.__enter__()
+
+    def test_externally_freed_handle_tolerated(self, cg):
+        with ExecutionContext(cg) as ctx:
+            h = ctx.stage("A", np.ones((16, 16)))
+            cg.memory.free(h.name)
+        assert cg.memory.used_bytes == 0
+
+
+class TestUniqueNames:
+    def test_two_contexts_never_clobber(self, cg):
+        with ExecutionContext(cg) as ctx1, ExecutionContext(cg) as ctx2:
+            h1 = ctx1.stage("A", np.full((8, 8), 1.0))
+            h2 = ctx2.stage("A", np.full((8, 8), 2.0))
+            assert h1.name != h2.name
+            assert cg.memory.array(h1)[0, 0] == 1.0
+            assert cg.memory.array(h2)[0, 0] == 2.0
+
+    def test_genuine_name_conflict_raises(self, cg):
+        cg.memory.store("mine.A[8x8]", np.zeros((8, 8)))
+        with ExecutionContext(cg, namespace="mine") as ctx:
+            with pytest.raises(ConfigError):
+                ctx.stage("A", np.ones((8, 8)))
+
+    def test_executing_guard_rejects_interleaved_calls(self, cg):
+        a, b, _ = gemm_operands(PARAMS.b_m, PARAMS.b_n, PARAMS.b_k)
+        with ExecutionContext(cg) as ctx:
+            with ctx.executing():
+                with pytest.raises(ConfigError):
+                    dgemm(a, b, params=PARAMS, context=ctx)
+
+    def test_context_core_group_mismatch_raises(self):
+        ctx = ExecutionContext(CoreGroup())
+        other = CoreGroup()
+        a, b, _ = gemm_operands(PARAMS.b_m, PARAMS.b_n, PARAMS.b_k)
+        with pytest.raises(ConfigError):
+            dgemm(a, b, params=PARAMS, context=ctx, core_group=other)
+
+
+class TestPlanCache:
+    def test_same_shape_restage_reuses_allocation(self, cg):
+        with ExecutionContext(cg) as ctx:
+            h1 = ctx.stage("A", np.full((16, 16), 1.0))
+            backing = cg.memory.array(h1)
+            allocs = cg.memory.stats.allocations
+            h2 = ctx.stage("A", np.full((16, 16), 2.0))
+            assert h2.name == h1.name
+            assert cg.memory.stats.allocations == allocs  # no realloc
+            assert cg.memory.array(h2) is backing  # same buffer, rewritten
+            assert backing[0, 0] == 2.0
+            assert ctx.stats().plan_hits == 1
+
+    def test_distinct_shapes_get_distinct_plans(self, cg):
+        with ExecutionContext(cg) as ctx:
+            h1 = ctx.stage("A", np.ones((16, 16)))
+            h2 = ctx.stage("A", np.ones((32, 16)))
+            assert h1.name != h2.name
+            assert len(cg.memory.handles()) == 2
+
+    def test_eviction_frees_cold_plans(self, cg):
+        with ExecutionContext(cg, cache_capacity=2) as ctx:
+            for rows in (16, 32, 48):
+                ctx.stage("A", np.ones((rows, 8)))
+            assert len(cg.memory.handles()) == 2  # 16-row plan evicted
+        assert cg.memory.used_bytes == 0
+
+    def test_padded_stage_zero_fills_border(self, cg):
+        with ExecutionContext(cg) as ctx:
+            h = ctx.stage("A", np.ones((3, 3)), rows=8, cols=8)
+            arr = cg.memory.array(h)
+            assert arr.shape == (8, 8)
+            assert np.all(arr[:3, :3] == 1.0)
+            assert np.all(arr[3:, :] == 0.0) and np.all(arr[:3, 3:] == 0.0)
+            # restage smaller content into the same padded plan: border
+            # must be re-zeroed in place
+            ctx.stage("A", np.full((2, 2), 5.0), rows=8, cols=8)
+            assert arr[0, 0] == 5.0 and np.all(arr[2:, :] == 0.0)
+
+    def test_stage_zeros_makes_no_host_copy(self, cg):
+        with ExecutionContext(cg) as ctx:
+            h = ctx.stage_zeros("C", 16, 8)
+            assert np.all(cg.memory.array(h) == 0.0)
+
+    def test_bad_cache_capacity_rejected(self, cg):
+        with pytest.raises(ConfigError):
+            ExecutionContext(cg, cache_capacity=0)
+
+
+class TestAccounting:
+    def test_stat_deltas_start_at_zero(self, cg):
+        with ExecutionContext(cg) as ctx:
+            assert ctx.stats() == ContextStats(0, 0, 0, 0, 0, 0)
+
+    def test_deltas_exclude_prior_traffic(self):
+        cg = CoreGroup()
+        a, b, _ = gemm_operands(PARAMS.b_m, PARAMS.b_n, PARAMS.b_k)
+        dgemm(a, b, params=PARAMS, core_group=cg)  # pre-existing traffic
+        before = cg.dma.stats.bytes_total
+        assert before > 0
+        with ExecutionContext(cg) as ctx:
+            dgemm(a, b, params=PARAMS, context=ctx)
+            assert ctx.dma_bytes == cg.dma.stats.bytes_total - before
+            assert ctx.dma_transactions > 0
+            assert ctx.regcomm_bytes > 0
+
+    def test_stats_since_subtracts(self, cg):
+        with ExecutionContext(cg) as ctx:
+            ctx.stage("A", np.ones((16, 16)))
+            snap = ctx.stats()
+            ctx.stage("A", np.ones((16, 16)))
+            delta = ctx.stats().since(snap)
+            assert delta.staged == 1 and delta.plan_hits == 1
+            assert delta.allocations == 0
+
+    def test_baseline_bytes_records_entry_level(self, cg):
+        cg.memory.store("resident", np.ones((16, 16)))
+        with ExecutionContext(cg) as ctx:
+            assert ctx.baseline_bytes == 16 * 16 * 8
+            ctx.stage("A", np.ones((8, 8)))
+        assert cg.memory.used_bytes == 16 * 16 * 8

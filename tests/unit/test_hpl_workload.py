@@ -1,10 +1,13 @@
 """Unit tests for the HPL trace workload and the E8 projection."""
 
+import numpy as np
 import pytest
 
+from repro.arch.core_group import CoreGroup
+from repro.core.params import BlockingParams
 from repro.errors import ConfigError
 from repro.experiments import hpl_projection
-from repro.workloads.hpl import hpl_trace
+from repro.workloads.hpl import hpl_trace, run_trace, trace_items
 
 
 class TestHPLTrace:
@@ -37,6 +40,45 @@ class TestHPLTrace:
 
     def test_single_panel_has_no_updates(self):
         assert hpl_trace(768, 768).updates == ()
+
+
+class TestRunTrace:
+    PARAMS = BlockingParams.small(double_buffered=True)
+
+    def test_one_output_per_update(self):
+        trace = hpl_trace(40, 16)
+        result = run_trace(trace, params=self.PARAMS)
+        assert len(result) == len(trace.updates)
+
+    def test_outputs_match_numpy(self):
+        trace = hpl_trace(40, 16)
+        items = trace_items(trace, seed=4)
+        result = run_trace(trace, params=self.PARAMS, seed=4)
+        for item, out in zip(items, result.outputs):
+            expected = -item.a @ item.b + item.c
+            assert np.allclose(out, expected, rtol=1e-11, atol=1e-8)
+
+    def test_padded_flops_cover_odd_shapes(self):
+        # 40/16 gives updates (24,24,16) and (8,8,8): not block multiples
+        result = run_trace(hpl_trace(40, 16), params=self.PARAMS)
+        assert result.padded_flops > result.flops
+
+    def test_shared_group_budget_restored(self):
+        cg = CoreGroup()
+        baseline = cg.memory.used_bytes
+        run_trace(hpl_trace(40, 16), params=self.PARAMS, core_group=cg)
+        assert cg.memory.used_bytes == baseline
+        assert cg.memory.handles() == []
+
+    def test_trace_items_shapes(self):
+        trace = hpl_trace(40, 16)
+        items = trace_items(trace)
+        assert len(items) == len(trace.updates)
+        for (m, n, k), item in zip(trace.updates, items):
+            assert item.a.shape == (m, k)
+            assert item.b.shape == (k, n)
+            assert item.c.shape == (m, n)
+            assert item.alpha == -1.0 and item.beta == 1.0
 
 
 class TestProjection:

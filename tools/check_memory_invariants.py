@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Smoke-check the staging lifecycle invariants on a shared CoreGroup.
+
+Run as ``PYTHONPATH=src python tools/check_memory_invariants.py``.
+Exercises dgemm and dgemm_batch against one device and verifies the
+guarantees the ExecutionContext refactor made contractual:
+
+1. used_bytes returns exactly to its pre-call value,
+2. no staging handles survive a call (including a failing one),
+3. a same-shape batch allocates each operand slot once and restages
+   the rest in place.
+
+Exits non-zero with a diagnostic on the first violation, so CI can run
+it alongside the unit suite as a fast end-to-end guard.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.arch.core_group import CoreGroup
+from repro.core.batch import BatchItem, dgemm_batch
+from repro.core.api import dgemm
+from repro.core.params import BlockingParams
+from repro.workloads.matrices import gemm_operands
+
+PARAMS = BlockingParams.small(double_buffered=True)
+
+_failures: list[str] = []
+
+
+def check(condition: bool, message: str) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {message}")
+    if not condition:
+        _failures.append(message)
+
+
+def main() -> int:
+    cg = CoreGroup()
+    cg.memory.store("user.resident", np.ones((16, 16)))
+    baseline = cg.memory.used_bytes
+    resident = sorted(h.name for h in cg.memory.handles())
+
+    print("single dgemm on a shared CoreGroup:")
+    a, b, c = gemm_operands(PARAMS.b_m, PARAMS.b_n, PARAMS.b_k, seed=0)
+    out = dgemm(a, b, c, beta=1.0, params=PARAMS, core_group=cg)
+    check(np.allclose(out, a @ b + c, rtol=1e-11, atol=1e-8),
+          "result matches numpy")
+    check(cg.memory.used_bytes == baseline, "used_bytes back to baseline")
+    check(sorted(h.name for h in cg.memory.handles()) == resident,
+          "handle set unchanged")
+
+    print("odd-shape padded dgemm:")
+    a2, b2, _ = gemm_operands(100, 30, 50, seed=1)
+    dgemm(a2, b2, params=PARAMS, core_group=cg, pad=True)
+    check(cg.memory.used_bytes == baseline, "used_bytes back to baseline")
+
+    print("same-shape batch reuses staging allocations:")
+    items = [
+        BatchItem(*gemm_operands(PARAMS.b_m, PARAMS.b_n, PARAMS.b_k, seed=s)[:2])
+        for s in range(4)
+    ]
+    allocs_before = cg.memory.stats.allocations
+    dgemm_batch(items, params=PARAMS, core_group=cg)
+    new_allocs = cg.memory.stats.allocations - allocs_before
+    check(new_allocs == 3,
+          f"one allocation per operand slot (got {new_allocs}, want 3)")
+    check(cg.memory.used_bytes == baseline, "used_bytes back to baseline")
+    check(sorted(h.name for h in cg.memory.handles()) == resident,
+          "handle set unchanged")
+
+    print("failing call still frees its staging:")
+    try:
+        dgemm_batch([items[0], ("not", "an item")],  # type: ignore[list-item]
+                    params=PARAMS, core_group=cg)
+    except Exception:
+        pass
+    else:
+        check(False, "malformed batch item raised")
+    check(cg.memory.used_bytes == baseline,
+          "used_bytes back to baseline after raise")
+
+    if _failures:
+        print(f"\n{len(_failures)} invariant violation(s)")
+        return 1
+    print("\nall memory invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
