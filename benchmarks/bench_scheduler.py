@@ -1,0 +1,121 @@
+"""1 -> 4-CG scaling of the batch scheduler on mixed-shape batches.
+
+Not a paper artifact — this measures the *library*: what
+:class:`~repro.multi.scheduler.CGScheduler` buys over serializing the
+same batch on one core group.  Two claims are checked:
+
+- the **modeled makespan** on the pool never exceeds the serial
+  single-CG modeled time (the acceptance bar for the scheduler), and
+  approaches ``serial / n_cgs`` as the mix balances;
+- the **functional outputs** are bit-identical to the serial
+  ``dgemm_batch`` run, so the dispatch layer costs no numerics.
+
+Runnable standalone (used by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.batch import dgemm_batch
+from repro.core.params import BlockingParams
+from repro.multi.processor import SW26010Processor
+from repro.multi.scheduler import CGScheduler
+from repro.workloads.matrices import mixed_batch
+
+PARAMS = BlockingParams.small(double_buffered=True)
+ITEMS = 16
+
+
+def test_scheduler_vs_serial_outputs(benchmark, show):
+    items = mixed_batch(ITEMS, params=PARAMS, seed=0)
+    serial = dgemm_batch(items, params=PARAMS)
+
+    def run():
+        return CGScheduler(n_core_groups=4, params=PARAMS).run(items)
+
+    result = benchmark(run)
+    show(
+        f"{ITEMS} mixed-shape items on 4 CGs: modeled makespan "
+        f"{result.makespan_seconds * 1e3:.3f} ms vs serial "
+        f"{result.serial_seconds * 1e3:.3f} ms "
+        f"({result.modeled_speedup:.2f}x, load balance "
+        f"{100 * result.load_balance_efficiency:.1f}%)"
+    )
+    assert result.ok
+    assert all(
+        np.array_equal(x, y) for x, y in zip(serial.outputs, result.outputs)
+    )
+    assert result.makespan_seconds <= result.serial_seconds
+
+
+@pytest.mark.parametrize("pool", [1, 2, 4])
+def test_scheduler_pool_scaling(pool, benchmark, show):
+    items = mixed_batch(ITEMS, params=PARAMS, seed=1)
+    scheduler = CGScheduler(n_core_groups=pool, params=PARAMS)
+
+    result = benchmark(scheduler.run, items)
+    show(
+        f"pool={pool}: modeled speedup {result.modeled_speedup:.2f}x, "
+        f"DMA {result.dma_bytes / 1e6:.2f} MB across "
+        f"{sum(1 for t in result.per_cg if t.items)} active CG(s)"
+    )
+    assert result.ok
+    assert result.makespan_seconds <= result.serial_seconds + 1e-15
+
+
+def smoke() -> int:
+    """Fast scheduler regression check for CI (no benchmark harness)."""
+    items = mixed_batch(ITEMS, params=PARAMS, seed=0)
+    serial = dgemm_batch(items, params=PARAMS)
+    proc = SW26010Processor()
+    baselines = [proc.cg(g).memory.used_bytes for g in range(4)]
+    result = CGScheduler(proc, params=PARAMS).run(items)
+
+    failures: list[str] = []
+    if not result.ok:
+        failures.append(f"scheduler reported item errors: {result.errors}")
+    if not all(
+        np.array_equal(x, y) for x, y in zip(serial.outputs, result.outputs)
+    ):
+        failures.append("pool outputs differ from serial dgemm_batch")
+    if result.makespan_seconds > result.serial_seconds:
+        failures.append(
+            f"modeled makespan {result.makespan_seconds} exceeds serial "
+            f"time {result.serial_seconds}"
+        )
+    after = [proc.cg(g).memory.used_bytes for g in range(4)]
+    if after != baselines:
+        failures.append(f"CG byte budgets leaked: {baselines} -> {after}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            f"scheduler smoke OK: {ITEMS} items, "
+            f"{result.modeled_speedup:.2f}x modeled speedup on 4 CGs, "
+            f"budgets restored"
+        )
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the fast CI regression check and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return smoke()
+    return pytest.main([__file__, "-q"])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -18,19 +18,41 @@ The package provides:
 - performance models (:mod:`repro.perf`) that regenerate Figures 4, 6
   and 7 and the Sec III-C/IV-C analyses (:mod:`repro.experiments`).
 
-Quick start::
+Quick start — the :class:`~repro.core.session.Session` facade is the
+documented entry point (it owns the device, keeps staging warm, and
+can dispatch batches across the chip's four core groups)::
 
     import numpy as np
-    from repro import dgemm
+    from repro import Session, BatchItem
 
-    a = np.random.rand(128, 768)
-    b = np.random.rand(768, 256)
-    c = dgemm(a, b, variant="SCHED")    # runs on the simulated CG
+    with Session(n_core_groups=4) as s:
+        c = s.dgemm(np.random.rand(128, 768), np.random.rand(768, 256))
+        r = s.batch([BatchItem(a, b) for a, b in pairs])
+        print(s.stats())
+
+The functional entry points (``dgemm``, ``dgemm_batch``,
+``dgemm_multi_cg``) remain available for one-shot calls and for code
+that manages devices explicitly.
 """
 
 from repro._version import __version__
 from repro.arch import CoreGroup, SW26010Spec, DEFAULT_SPEC
-from repro.core import BlockingParams, dgemm, reference_dgemm
+from repro.core import (
+    BatchItem,
+    BatchResult,
+    BlockingParams,
+    Session,
+    SessionStats,
+    dgemm,
+    dgemm_batch,
+    reference_dgemm,
+)
+from repro.multi import (
+    CGScheduler,
+    ScheduleResult,
+    SW26010Processor,
+    dgemm_multi_cg,
+)
 from repro.perf import Estimator, TimelineSimulator
 
 __all__ = [
@@ -39,8 +61,17 @@ __all__ = [
     "SW26010Spec",
     "DEFAULT_SPEC",
     "BlockingParams",
+    "Session",
+    "SessionStats",
+    "BatchItem",
+    "BatchResult",
     "dgemm",
+    "dgemm_batch",
     "reference_dgemm",
+    "CGScheduler",
+    "ScheduleResult",
+    "SW26010Processor",
+    "dgemm_multi_cg",
     "Estimator",
     "TimelineSimulator",
 ]

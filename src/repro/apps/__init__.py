@@ -15,7 +15,7 @@ introduction cites.
 """
 
 from repro.apps.lu import blocked_lu, lu_residual, lu_solve
-from repro.apps.conv import conv2d_gemm, conv2d_reference, im2col
+from repro.apps.conv import conv2d_gemm, conv2d_gemm_batch, conv2d_reference, im2col
 from repro.apps.blas3 import dsyrk_ln, dtrsm_llnu
 
 __all__ = [
@@ -23,6 +23,7 @@ __all__ = [
     "lu_solve",
     "lu_residual",
     "conv2d_gemm",
+    "conv2d_gemm_batch",
     "conv2d_reference",
     "im2col",
     "dtrsm_llnu",

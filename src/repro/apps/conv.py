@@ -9,15 +9,21 @@ back into feature maps.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
 import numpy as np
 
 from repro.errors import ConfigError, UnsupportedShapeError
 from repro.arch.core_group import CoreGroup
 from repro.core.api import dgemm
+from repro.core.batch import BatchItem, dgemm_batch
 from repro.core.context import ExecutionContext
 from repro.core.params import BlockingParams
 
-__all__ = ["im2col", "conv2d_gemm", "conv2d_reference"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.multi.processor import SW26010Processor
+
+__all__ = ["im2col", "conv2d_gemm", "conv2d_gemm_batch", "conv2d_reference"]
 
 
 def im2col(images: np.ndarray, kh: int, kw: int, stride: int = 1) -> np.ndarray:
@@ -88,6 +94,58 @@ def conv2d_gemm(
     # columns are ordered (n, y, x); fold back to N O oh ow
     return np.ascontiguousarray(
         out_flat.reshape(o, n, oh, ow).transpose(1, 0, 2, 3)
+    )
+
+
+def conv2d_gemm_batch(
+    layers: Sequence[tuple[np.ndarray, np.ndarray]],
+    stride: int = 1,
+    variant: str = "SCHED",
+    params: BlockingParams | None = None,
+    processor: "SW26010Processor | None" = None,
+    n_core_groups: int | None = None,
+) -> tuple[np.ndarray, ...]:
+    """Convolve many independent ``(images, kernels)`` layers at once.
+
+    Each layer lowers to one GEMM; the whole sequence then runs through
+    :func:`~repro.core.batch.dgemm_batch` — serially on one CG by
+    default, or dispatched across the chip's core-group pool when
+    ``processor=``/``n_core_groups=`` is given (the layers are
+    independent, which is exactly the workload the
+    :class:`~repro.multi.scheduler.CGScheduler` exists for; same-shape
+    layers keep one CG's staging-plan cache hot).
+
+    Returns the N x O x oh x ow feature maps per layer, in order.
+    """
+    if not layers:
+        raise ConfigError("empty layer batch")
+    params = params or BlockingParams.small(double_buffered=True)
+    items: list[BatchItem] = []
+    folds: list[tuple[int, int, int, int]] = []
+    for images, kernels in layers:
+        if np.asarray(kernels).ndim != 4:
+            raise UnsupportedShapeError(
+                f"expected OIHW kernels, got shape {np.shape(kernels)}"
+            )
+        n, c, h, w = images.shape
+        o, ci, kh, kw = kernels.shape
+        if ci != c:
+            raise UnsupportedShapeError(
+                f"kernel expects {ci} input channels, images have {c}"
+            )
+        cols = im2col(np.asarray(images, dtype=np.float64), kh, kw, stride)
+        w_flat = np.asarray(kernels, dtype=np.float64).reshape(o, c * kh * kw)
+        items.append(BatchItem(w_flat, cols))
+        folds.append((o, n, (h - kh) // stride + 1, (w - kw) // stride + 1))
+    result = dgemm_batch(
+        items, variant=variant, params=params, pad=True,
+        processor=processor, n_core_groups=n_core_groups,
+    )
+    return tuple(
+        np.ascontiguousarray(
+            out.reshape(o, n, oh, ow).transpose(1, 0, 2, 3)
+        )
+        for out, (o, n, oh, ow) in zip(result.outputs, folds)
     )
 
 

@@ -21,11 +21,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.errors import ConfigError, UnsupportedShapeError
 from repro.arch.core_group import CoreGroup
 from repro.core.api import dgemm
 from repro.core.context import ExecutionContext
 from repro.core.params import BlockingParams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.multi.processor import SW26010Processor
 
 __all__ = ["LUResult", "blocked_lu", "lu_solve", "lu_residual"]
 
@@ -77,6 +82,7 @@ def blocked_lu(
     params: BlockingParams | None = None,
     core_group: CoreGroup | None = None,
     context: ExecutionContext | None = None,
+    processor: "SW26010Processor | None" = None,
 ) -> LUResult:
     """Factor PA = LU with trailing updates on the simulated CG.
 
@@ -84,7 +90,18 @@ def blocked_lu(
     pivoting is applied across the whole row, as in HPL.  All trailing
     updates run inside one staging scope, so the device's byte budget
     is back at its baseline when the factorization returns.
+
+    Pass ``processor=`` (an :class:`~repro.multi.processor.SW26010Processor`)
+    to route each trailing update across the chip's four core groups —
+    the HPL configuration — instead of serializing it on one CG; panel
+    factorization and the triangular solves stay on CG 0.
     """
+    if processor is not None and (core_group is not None or context is not None):
+        raise ConfigError(
+            "processor= routes trailing updates across core groups; "
+            "core_group=/context= pin the single-CG path — pass one or "
+            "the other"
+        )
     a = np.asfortranarray(a, dtype=np.float64)
     if a.ndim != 2 or a.shape[0] != a.shape[1]:
         raise UnsupportedShapeError(f"blocked_lu needs a square matrix, got {a.shape}")
@@ -96,6 +113,8 @@ def blocked_lu(
     params = params or BlockingParams.small(double_buffered=True)
     gemm_flops = 0
 
+    if processor is not None:
+        core_group = processor.cg(0)
     with ExecutionContext.scoped(context, core_group) as ctx:
         for col0 in range(0, n, panel):
             width = min(panel, n - col0)
@@ -118,17 +137,26 @@ def blocked_lu(
             # trailing update on the CPE cluster: A22 -= L21 @ U12
             l21 = lu[hi:, col0:hi]
             u12 = lu[col0:hi, hi:]
-            lu[hi:, hi:] = dgemm(
-                l21,
-                u12,
-                lu[hi:, hi:],
-                alpha=-1.0,
-                beta=1.0,
-                variant=variant,
-                params=params,
-                context=ctx,
-                pad=True,
-            )
+            if processor is not None:
+                from repro.multi.dgemm4 import dgemm_multi_cg
+
+                lu[hi:, hi:] = dgemm_multi_cg(
+                    l21, u12, lu[hi:, hi:], alpha=-1.0, beta=1.0,
+                    variant=variant, params=params, processor=processor,
+                    pad=True,
+                )
+            else:
+                lu[hi:, hi:] = dgemm(
+                    l21,
+                    u12,
+                    lu[hi:, hi:],
+                    alpha=-1.0,
+                    beta=1.0,
+                    variant=variant,
+                    params=params,
+                    context=ctx,
+                    pad=True,
+                )
             gemm_flops += 2 * l21.shape[0] * u12.shape[1] * width
     return LUResult(lu=lu, piv=piv, panel=panel, gemm_flops=gemm_flops)
 

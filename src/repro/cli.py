@@ -5,10 +5,15 @@ Installed as ``repro-dgemm``::
     repro-dgemm --m 256 --n 128 --k 256 --variant SCHED --check
     repro-dgemm --preset paper --variant DB --estimate-only
     repro-dgemm --m 512 --n 512 --k 1536 --gantt
+    repro-dgemm schedule --items 16 --cgs 4
 
 ``--estimate-only`` skips the functional simulation and prints the
 performance model's prediction (any paper-scale size is fine there);
 functional runs execute on the device model and verify against numpy.
+The ``schedule`` subcommand dispatches a mixed-shape batch across the
+chip's core-group pool and reports the per-CG split, the modeled
+makespan vs. the serial single-CG time, and the load-balance
+efficiency.
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ from repro.errors import ReproError
 from repro.perf.estimator import Estimator
 from repro.workloads.matrices import gemm_operands
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "build_schedule_parser", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,6 +66,79 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_schedule_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dgemm schedule",
+        description="Dispatch a mixed-shape batch across the SW26010's "
+                    "core-group pool (CGScheduler)",
+    )
+    parser.add_argument("--items", type=int, default=16,
+                        help="number of batch items (default 16)")
+    parser.add_argument("--cgs", type=int, default=4,
+                        help="pool size, 1..4 core groups (default 4)")
+    parser.add_argument(
+        "--variant", default="SCHED", choices=sorted(VARIANTS),
+        type=lambda s: s.upper(), help="implementation (paper Sec V)",
+    )
+    parser.add_argument(
+        "--preset", choices=["small", "paper"], default="small",
+        help="blocking parameters: scaled-down (default) or the paper's",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--estimate-only", action="store_true",
+                        help="plan only: print the dispatch and modeled "
+                             "timing without executing the batch")
+    return parser
+
+
+def _run_schedule(argv: list[str]) -> int:
+    from repro.multi.scheduler import CGScheduler
+    from repro.workloads.matrices import mixed_batch
+
+    args = build_schedule_parser().parse_args(argv)
+    params = _params_for(args)
+    try:
+        scheduler = CGScheduler(
+            n_core_groups=args.cgs, variant=args.variant, params=params,
+        )
+        items = mixed_batch(args.items, params=params, seed=args.seed)
+        if args.estimate_only:
+            plan = scheduler.plan(items)
+            counts = [0] * plan.n_core_groups
+            for g in plan.assignments:
+                counts[g] += 1
+            per_cg = [
+                (g, counts[g], plan.cg_seconds[g]) for g in range(args.cgs)
+            ]
+            errors_by_cg = {}
+        else:
+            result = scheduler.run(items)
+            plan = result.plan
+            per_cg = [
+                (t.core_group, t.items, t.modeled_seconds)
+                for t in result.per_cg
+            ]
+            errors_by_cg = {e.core_group: e for e in result.errors}
+            print(f"executed {len(result)} items "
+                  f"({len(result.errors)} failed), "
+                  f"DMA {result.dma_bytes / 1e6:.2f} MB in "
+                  f"{result.dma_transactions} transactions")
+        for g, n_items, seconds in per_cg:
+            bar = "#" * int(round(40 * seconds / max(plan.makespan_seconds, 1e-30)))
+            suffix = "  [item failed]" if g in errors_by_cg else ""
+            print(f"CG{g}: {n_items:3d} items  {seconds * 1e3:8.3f} ms  "
+                  f"{bar}{suffix}")
+        print(f"makespan {plan.makespan_seconds * 1e3:.3f} ms vs serial "
+              f"{plan.serial_seconds * 1e3:.3f} ms -> modeled speedup "
+              f"{plan.modeled_speedup:.2f}x on {args.cgs} CG(s), "
+              f"load-balance efficiency "
+              f"{100 * plan.load_balance_efficiency:.1f}%")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _params_for(args) -> BlockingParams:
     traits = VARIANTS[args.variant].traits
     if args.preset == "paper":
@@ -70,6 +148,9 @@ def _params_for(args) -> BlockingParams:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "schedule":
+        return _run_schedule(argv[1:])
     args = build_parser().parse_args(argv)
     params = _params_for(args)
     m = args.m if args.m is not None else 2 * params.b_m

@@ -17,6 +17,9 @@
 - :mod:`repro.core.context` — scoped staging of operands in CG main
   memory (unique handles, free-on-exit, staging-plan cache);
 - :mod:`repro.core.api` — the public ``dgemm`` entry point;
+- :mod:`repro.core.session` — the :class:`Session` facade that owns a
+  device, a warm staging context, and a multi-CG batch pool — the
+  documented entry point for callers who don't want to plumb devices;
 - :mod:`repro.core.reference` — the numpy reference.
 """
 
@@ -34,10 +37,21 @@ from repro.core.reference import reference_dgemm
 from repro.core.context import ContextStats, ExecutionContext
 from repro.core.api import dgemm
 from repro.core.variants import VARIANTS, get_variant
+from repro.core.batch import BatchItem, BatchResult, dgemm_batch, validate_items
+
+# imported last: Session pulls in repro.multi, which imports the
+# submodules above — reordering this import recreates the cycle.
+from repro.core.session import Session, SessionStats
 
 __all__ = [
     "ContextStats",
     "ExecutionContext",
+    "Session",
+    "SessionStats",
+    "BatchItem",
+    "BatchResult",
+    "dgemm_batch",
+    "validate_items",
     "BlockingParams",
     "bandwidth_reduction",
     "required_bandwidth",

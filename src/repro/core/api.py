@@ -83,10 +83,12 @@ def dgemm(
         blocking parameters; defaults to the variant's paper values.
         Pass :meth:`BlockingParams.small` for fast experimentation.
     core_group:
-        reuse an existing device (e.g. to accumulate DMA statistics);
-        a fresh one is built otherwise.  Staged operands are always
-        freed on return, so sharing a device never leaks its byte
-        budget.
+        low-level escape hatch: reuse an existing device (e.g. to
+        accumulate DMA statistics); a fresh one is built otherwise.
+        Staged operands are always freed on return, so sharing a
+        device never leaks its byte budget.  Callers who don't need
+        explicit device management should use
+        :class:`repro.core.session.Session` instead.
     context:
         stage through an existing :class:`ExecutionContext` instead of
         a per-call scope.  Same-shape calls then reuse staging

@@ -13,16 +13,26 @@ items reuse the staging allocations in place (at most one host-side
 copy per operand per item), and every staged handle is freed when the
 batch scope exits, so the device's byte budget returns to its
 pre-batch baseline even when an item raises mid-run.
+
+Every batch is validated **up front** by :func:`validate_items`:
+a mis-shaped item is rejected with its index in the message before
+anything is staged, instead of surfacing as an opaque device error
+mid-batch after earlier items already executed.
+
+Pass ``processor=`` (or ``n_core_groups=``) to dispatch the batch
+across the chip's core groups through
+:class:`repro.multi.scheduler.CGScheduler` instead of serializing it
+on one CG.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, UnsupportedShapeError
 from repro.arch.config import SW26010Spec, DEFAULT_SPEC
 from repro.arch.core_group import CoreGroup
 from repro.core.api import dgemm
@@ -30,18 +40,85 @@ from repro.core.context import ExecutionContext
 from repro.core.params import BlockingParams
 from repro.core.variants import get_variant
 
-__all__ = ["BatchItem", "BatchResult", "dgemm_batch"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.multi.processor import SW26010Processor
+    from repro.multi.scheduler import ScheduleResult
+
+__all__ = ["BatchItem", "BatchResult", "dgemm_batch", "validate_items"]
 
 
 @dataclass(frozen=True)
 class BatchItem:
-    """One multiply in a batch (C may be None when beta == 0)."""
+    """One multiply in a batch (C may be None when beta == 0).
+
+    ``transa``/``transb`` carry the BLAS trans flags per item, exactly
+    as the scalar :func:`repro.core.api.dgemm` accepts them — the
+    transpose is materialized on the MPE during the single staging
+    copy, so it costs no extra host-side pass.
+    """
 
     a: np.ndarray
     b: np.ndarray
     c: np.ndarray | None = None
     alpha: float = 1.0
     beta: float = 0.0
+    transa: str = "N"
+    transb: str = "N"
+
+
+def _trans_shape(flag: str, shape: tuple[int, int]) -> tuple[int, int]:
+    return shape[::-1] if str(flag).upper() == "T" else shape
+
+
+def validate_items(
+    items: Sequence[BatchItem],
+) -> list[tuple[int, int, int]]:
+    """Validate every item up front; return the effective (m, n, k) shapes.
+
+    The returned shapes account for ``transa``/``transb``.  Any
+    mis-shaped item raises :class:`UnsupportedShapeError` (or
+    :class:`ConfigError` for a non-item) naming the item's index, so a
+    bad batch fails before a single operand is staged.
+    """
+    shapes: list[tuple[int, int, int]] = []
+    for idx, item in enumerate(items):
+        if not isinstance(item, BatchItem):
+            raise ConfigError(
+                f"batch item {idx} is {type(item).__name__}, expected BatchItem"
+            )
+        a = np.asarray(item.a)
+        b = np.asarray(item.b)
+        if a.ndim != 2 or b.ndim != 2:
+            raise UnsupportedShapeError(
+                f"batch item {idx}: operands must be 2-D matrices, got "
+                f"A ndim={a.ndim}, B ndim={b.ndim}"
+            )
+        for name, flag in (("transa", item.transa), ("transb", item.transb)):
+            if str(flag).upper() not in ("N", "T"):
+                raise UnsupportedShapeError(
+                    f"batch item {idx}: {name} must be 'N' or 'T', got {flag!r}"
+                )
+        m, k = _trans_shape(item.transa, a.shape)
+        k2, n = _trans_shape(item.transb, b.shape)
+        if k2 != k:
+            raise UnsupportedShapeError(
+                f"batch item {idx}: A is {a.shape} (transa={item.transa!r}) "
+                f"but B is {b.shape} (transb={item.transb!r}) — inner "
+                f"dimensions {k} != {k2}"
+            )
+        if item.c is None:
+            if item.beta != 0.0:
+                raise UnsupportedShapeError(
+                    f"batch item {idx}: beta={item.beta} requires an input C"
+                )
+        else:
+            c = np.asarray(item.c)
+            if c.shape != (m, n):
+                raise UnsupportedShapeError(
+                    f"batch item {idx}: C is {c.shape}, expected {(m, n)}"
+                )
+        shapes.append((m, n, k))
+    return shapes
 
 
 @dataclass(frozen=True)
@@ -79,36 +156,63 @@ def dgemm_batch(
     core_group: CoreGroup | None = None,
     pad: bool = True,
     context: ExecutionContext | None = None,
-) -> BatchResult:
-    """Run every item on one shared core group.
+    check: bool = False,
+    processor: "SW26010Processor | None" = None,
+    n_core_groups: int | None = None,
+) -> "BatchResult | ScheduleResult":
+    """Run every item on one shared core group — or across a CG pool.
 
     ``pad`` defaults to True here (unlike ``dgemm``) because batch
     workloads — LU trailing updates, convolution layers — rarely arrive
     in block-factor multiples.  Pass ``context=`` to keep staging plans
     warm across several batches; otherwise a batch-scoped context is
-    created and torn down here.
+    created and torn down here.  ``check=`` verifies each item against
+    the numpy reference, as in the scalar entry point.
+
+    Passing ``processor=`` (an :class:`SW26010Processor`) or
+    ``n_core_groups=`` dispatches the batch across multiple core
+    groups through :class:`repro.multi.scheduler.CGScheduler` and
+    returns its :class:`~repro.multi.scheduler.ScheduleResult` (a
+    superset of :class:`BatchResult`'s accounting).  Any item failure
+    propagates on this path, matching the serial contract.
     """
     items = list(items)
     if not items:
         raise ConfigError("empty batch")
+    if processor is not None or n_core_groups is not None:
+        if core_group is not None or context is not None:
+            raise ConfigError(
+                "processor=/n_core_groups= dispatches across core groups; "
+                "core_group=/context= apply only to the single-CG path — "
+                "pass one or the other"
+            )
+        from repro.multi.scheduler import CGScheduler
+
+        scheduler = CGScheduler(
+            processor,
+            n_core_groups=n_core_groups,
+            variant=variant,
+            params=params,
+            spec=spec,
+            pad=pad,
+            check=check,
+        )
+        return scheduler.run(items, isolate_failures=False)
+    shapes = validate_items(items)
     params = params or get_variant(variant).default_params()
     outputs: list[np.ndarray] = []
     flops = 0
     padded_flops = 0
     with ExecutionContext.scoped(context, core_group, spec) as ctx:
         start = ctx.stats()
-        for idx, item in enumerate(items):
-            if not isinstance(item, BatchItem):
-                raise ConfigError(
-                    f"batch item {idx} is {type(item).__name__}, expected BatchItem"
-                )
+        for item, (m, n, k) in zip(items, shapes):
             out = dgemm(
                 item.a, item.b, item.c,
                 alpha=item.alpha, beta=item.beta,
+                transa=item.transa, transb=item.transb,
                 variant=variant, params=params, context=ctx, pad=pad,
+                check=check,
             )
-            m, k = item.a.shape
-            n = item.b.shape[1]
             flops += 2 * m * n * k
             pm, pn, pk = params.pad_shape(m, n, k) if pad else (m, n, k)
             padded_flops += 2 * pm * pn * pk

@@ -68,6 +68,20 @@ class ContextStats:
             )
         )
 
+    def plus(self, other: "ContextStats") -> "ContextStats":
+        """Counter sums — aggregation across contexts (e.g. a CG pool)."""
+        return ContextStats(
+            *(
+                getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            )
+        )
+
+    @classmethod
+    def zero(cls) -> "ContextStats":
+        """The additive identity for :meth:`plus`."""
+        return cls(*(0 for _ in fields(cls)))
+
 
 class ExecutionContext:
     """A scope that owns every operand it stages on a core group.

@@ -1,0 +1,239 @@
+"""The one-true entry point: a session that owns device, context, pool.
+
+The layers below are deliberately explicit — ``dgemm`` takes a
+``core_group``/``context``, ``dgemm_batch`` takes a device or a
+processor, ``CGScheduler`` wants a pool — and that explicitness is the
+right *low-level* surface.  But a caller who just wants the paper's
+DGEMM served fast should not have to thread devices and contexts by
+hand.  :class:`Session` is that caller's API:
+
+    with Session(n_core_groups=4) as s:
+        y = s.dgemm(a, b)                # scalar call, staging kept warm
+        r = s.batch(items)               # dispatched across the CG pool
+        print(s.stats())                 # cumulative session accounting
+
+One session owns one :class:`~repro.multi.processor.SW26010Processor`,
+a long-lived scalar :class:`~repro.core.context.ExecutionContext` on
+CG 0 (so repeated same-shape ``dgemm`` calls hit the staging-plan
+cache), and a :class:`~repro.multi.scheduler.CGScheduler` over the
+requested pool for batches.  Closing the session (context-manager exit
+or :meth:`close`) frees every staged handle, returning each CG's
+``MainMemory.used_bytes`` to its pre-session baseline.
+
+Sessions accumulate accounting *across* calls: :meth:`stats` reports
+calls, items, failures, flops and the summed per-context traffic since
+the session opened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.arch.config import SW26010Spec, DEFAULT_SPEC
+from repro.core.api import dgemm as _dgemm
+from repro.core.batch import BatchItem, BatchResult, validate_items
+from repro.core.context import ContextStats, ExecutionContext
+from repro.core.params import BlockingParams
+from repro.core.variants import get_variant
+from repro.multi.processor import SW26010Processor
+from repro.multi.scheduler import CGScheduler, ScheduleResult
+from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
+
+__all__ = ["Session", "SessionStats"]
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Cumulative accounting for one session."""
+
+    #: scalar ``session.dgemm`` calls.
+    calls: int
+    #: ``session.batch`` invocations.
+    batches: int
+    #: batch items executed (successes + failures).
+    items: int
+    #: batch items that raised (isolated per-item failures).
+    failures: int
+    #: logical flops of successful work, ``2*m*n*k`` per multiply.
+    flops: int
+    #: flops the device executed after padding.
+    padded_flops: int
+    #: summed staging/DMA/regcomm traffic across every context used.
+    traffic: ContextStats
+
+
+class Session:
+    """A stateful facade over device, context and scheduler.
+
+    Parameters mirror :func:`repro.core.api.dgemm` where they overlap;
+    ``pad`` defaults to True (a session exists to serve arbitrary
+    shapes) and ``n_core_groups`` sizes the batch-dispatch pool (scalar
+    calls always run on CG 0).  Usable as a context manager or via an
+    explicit :meth:`close`; a closed session raises on use.
+    """
+
+    def __init__(
+        self,
+        *,
+        variant: str = "SCHED",
+        params: BlockingParams | None = None,
+        spec: SW26010Spec = DEFAULT_SPEC,
+        processor: SW26010Processor | None = None,
+        n_core_groups: int | None = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        pad: bool = True,
+        check: bool = False,
+    ) -> None:
+        self.variant = str(variant).upper()
+        self.params = params or get_variant(self.variant).default_params()
+        self.pad = pad
+        self.check = check
+        self.processor = processor or SW26010Processor(spec)
+        self.scheduler = CGScheduler(
+            self.processor,
+            n_core_groups=n_core_groups,
+            variant=self.variant,
+            params=self.params,
+            calibration=calibration,
+            pad=pad,
+            check=check,
+        )
+        self._ctx = ExecutionContext(self.processor.cg(0))
+        self._ctx_open = False
+        self._closed = False
+        self._calls = 0
+        self._batches = 0
+        self._items = 0
+        self._failures = 0
+        self._flops = 0
+        self._padded_flops = 0
+        self._traffic = ContextStats.zero()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "Session":
+        self._require_open()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Free every staged handle this session holds (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._ctx_open:
+            self._ctx.__exit__(None, None, None)
+            self._ctx_open = False
+        else:
+            self._ctx.close()
+
+    @property
+    def n_core_groups(self) -> int:
+        """Size of the batch-dispatch pool."""
+        return self.scheduler.n_core_groups
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ConfigError("this Session is closed")
+
+    def _scalar_context(self) -> ExecutionContext:
+        # entered lazily and kept open for the session's lifetime, so
+        # repeated same-shape calls restage in place instead of
+        # reallocating; close() frees everything.
+        if not self._ctx_open:
+            self._ctx.__enter__()
+            self._ctx_open = True
+        return self._ctx
+
+    # -- entry points --------------------------------------------------
+
+    def dgemm(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: np.ndarray | None = None,
+        *,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        transa: str = "N",
+        transb: str = "N",
+        pad: bool | None = None,
+        check: bool | None = None,
+    ) -> np.ndarray:
+        """One multiply on CG 0, staging kept warm across calls."""
+        self._require_open()
+        ctx = self._scalar_context()
+        before = ctx.stats()
+        out = _dgemm(
+            a, b, c,
+            alpha=alpha, beta=beta, transa=transa, transb=transb,
+            variant=self.variant, params=self.params, context=ctx,
+            pad=self.pad if pad is None else pad,
+            check=self.check if check is None else check,
+        )
+        self._traffic = self._traffic.plus(ctx.stats().since(before))
+        self._calls += 1
+        m, n = out.shape
+        k = a.shape[0] if str(transa).upper() == "T" else a.shape[1]
+        self._flops += 2 * m * n * k
+        pm, pn, pk = (
+            self.params.pad_shape(m, n, k)
+            if (self.pad if pad is None else pad)
+            else (m, n, k)
+        )
+        self._padded_flops += 2 * pm * pn * pk
+        return out
+
+    def batch(
+        self,
+        items,
+        *,
+        isolate_failures: bool = True,
+    ) -> ScheduleResult:
+        """Dispatch a batch across the session's CG pool.
+
+        Returns the scheduler's
+        :class:`~repro.multi.scheduler.ScheduleResult` (a superset of
+        :class:`~repro.core.batch.BatchResult`'s accounting).  By
+        default item failures are isolated — inspect ``result.errors``;
+        pass ``isolate_failures=False`` for the raise-on-first-failure
+        contract of serial :func:`~repro.core.batch.dgemm_batch`.
+        """
+        self._require_open()
+        result = self.scheduler.run(items, isolate_failures=isolate_failures)
+        self._batches += 1
+        self._items += len(result)
+        self._failures += len(result.errors)
+        self._flops += result.flops
+        self._padded_flops += result.padded_flops
+        for t in result.per_cg:
+            self._traffic = self._traffic.plus(t.stats)
+        return result
+
+    def stats(self) -> SessionStats:
+        """Cumulative accounting since the session opened."""
+        # the scalar context may have moved since the last snapshot
+        # (it is long-lived, unlike the scheduler's per-run scopes);
+        # fold nothing here — dgemm() folds its own deltas eagerly.
+        return SessionStats(
+            calls=self._calls,
+            batches=self._batches,
+            items=self._items,
+            failures=self._failures,
+            flops=self._flops,
+            padded_flops=self._padded_flops,
+            traffic=replace(self._traffic),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return (
+            f"Session({self.variant}, pool={self.n_core_groups} CGs, "
+            f"{state}, calls={self._calls}, batches={self._batches})"
+        )

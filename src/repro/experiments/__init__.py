@@ -19,6 +19,7 @@ from repro.experiments import (
     hpl_projection,
     robustness,
     sched_profile,
+    scheduler_scaling,
     table_blocksize,
 )
 
@@ -31,6 +32,7 @@ __all__ = [
     "ablations",
     "cache_ablation",
     "multi_cg_scaling",
+    "scheduler_scaling",
     "hpl_projection",
     "robustness",
     "numerics",

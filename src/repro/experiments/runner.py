@@ -26,6 +26,7 @@ from repro.experiments import (
     hpl_projection,
     robustness,
     sched_profile,
+    scheduler_scaling,
     table_blocksize,
 )
 
@@ -69,6 +70,7 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
     "ablations": _render_ablations,
     "cache": lambda: cache_ablation.render().render(),
     "multicg": lambda: multi_cg_scaling.render().render(),
+    "scheduler": lambda: scheduler_scaling.render().render(),
     "hpl": lambda: hpl_projection.render().render(),
     "robustness": lambda: robustness.render().render(),
     "numerics": lambda: numerics.render().render(),

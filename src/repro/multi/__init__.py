@@ -9,7 +9,11 @@ subpackage extends the reproduction to the full chip:
 - :mod:`repro.multi.processor` — the 4-CG SW26010 device;
 - :mod:`repro.multi.dgemm4` — block-column-parallel DGEMM: C and B are
   partitioned by columns across CGs, A is broadcast over the NoC, each
-  CG runs the paper's single-CG SCHED kernel on its panel.
+  CG runs the paper's single-CG SCHED kernel on its panel;
+- :mod:`repro.multi.scheduler` — :class:`CGScheduler`, the device pool
+  that dispatches independent batch items across the CGs (shape-aware
+  binning + least-modeled-load), each CG behind its own long-lived
+  :class:`~repro.core.context.ExecutionContext`.
 
 The NoC bandwidth is **not** published in the paper; the model uses a
 documented assumption (16 GB/s per link) and the scaling experiment
@@ -19,6 +23,13 @@ reports sensitivity to it.
 from repro.multi.noc import NoC, NoCStats
 from repro.multi.processor import SW26010Processor
 from repro.multi.dgemm4 import MultiCGEstimate, dgemm_multi_cg, estimate_multi_cg
+from repro.multi.scheduler import (
+    CGScheduler,
+    CGTraffic,
+    ItemError,
+    SchedulePlan,
+    ScheduleResult,
+)
 
 __all__ = [
     "NoC",
@@ -27,4 +38,9 @@ __all__ = [
     "dgemm_multi_cg",
     "estimate_multi_cg",
     "MultiCGEstimate",
+    "CGScheduler",
+    "CGTraffic",
+    "ItemError",
+    "SchedulePlan",
+    "ScheduleResult",
 ]

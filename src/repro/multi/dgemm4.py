@@ -13,6 +13,14 @@ Functional execution runs the four CGs' panels through the device model
 (sequentially in Python; they are independent), writes each panel back,
 and must match the reference exactly.  The timing model is
 ``NoC broadcast + max over CGs of the single-CG estimate``.
+
+The keyword surface matches the scalar :func:`repro.core.api.dgemm`:
+``alpha``/``beta``/``transa``/``transb``/``pad``/``check`` behave the
+same way (``pad=True`` zero-pads ``m``/``k`` to the CG block factors
+and ``n`` to a whole number of block-multiple panels).  Because this
+entry point drives four devices, the scalar ``context=`` becomes
+``contexts=``: one :class:`ExecutionContext` per CG, for callers that
+keep panel staging warm across calls.
 """
 
 from __future__ import annotations
@@ -21,10 +29,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import UnsupportedShapeError
+from repro.errors import ConfigError, UnsupportedShapeError
 from repro.arch.config import SW26010Spec, DEFAULT_SPEC
-from repro.core.api import dgemm
+from repro.core.api import dgemm, _apply_trans
+from repro.core.context import ExecutionContext
 from repro.core.params import BlockingParams
+from repro.core.reference import reference_dgemm
 from repro.multi.noc import NoC
 from repro.multi.processor import SW26010Processor
 from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
@@ -40,20 +50,32 @@ def dgemm_multi_cg(
     *,
     alpha: float = 1.0,
     beta: float = 0.0,
+    transa: str = "N",
+    transb: str = "N",
     variant: str = "SCHED",
     params: BlockingParams | None = None,
+    spec: SW26010Spec = DEFAULT_SPEC,
     processor: SW26010Processor | None = None,
+    contexts: "list[ExecutionContext] | None" = None,
+    pad: bool = False,
+    check: bool = False,
 ) -> np.ndarray:
     """Compute ``alpha*a@b + beta*c`` across all four CGs (functional).
 
-    ``n`` must split evenly into four panels that are multiples of the
-    CG block factor ``b_n`` (use the single-CG ``dgemm(pad=True)`` for
-    awkward shapes).
+    Without ``pad``, ``n`` must split evenly into four panels that are
+    multiples of the CG block factor ``b_n`` and ``m``/``k`` must be
+    block-factor multiples; with ``pad=True`` every dimension is
+    zero-padded up (``n`` to a whole number of block-multiple panels)
+    and the result is truncated back, as in the single-CG entry point.
     """
-    proc = processor or SW26010Processor()
+    proc = processor or SW26010Processor(spec)
     params = params or BlockingParams.small(double_buffered=True)
-    a = np.asfortranarray(a, dtype=np.float64)
-    b = np.asfortranarray(b, dtype=np.float64)
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise UnsupportedShapeError("dgemm operates on 2-D matrices")
+    a = np.asfortranarray(_apply_trans("transa", transa, a))
+    b = np.asfortranarray(_apply_trans("transb", transb, b))
     m, k = a.shape
     k2, n = b.shape
     if k2 != k:
@@ -66,27 +88,71 @@ def dgemm_multi_cg(
     if c.shape != (m, n):
         raise UnsupportedShapeError(f"C is {c.shape}, expected {(m, n)}")
     n_cgs = proc.N_CORE_GROUPS
-    panel = n // n_cgs
-    if n % n_cgs != 0 or panel % params.b_n != 0:
+    if contexts is not None and len(contexts) != n_cgs:
+        raise ConfigError(
+            f"contexts must supply one ExecutionContext per CG "
+            f"({n_cgs}), got {len(contexts)}"
+        )
+
+    pm, pn, pk = m, n, k
+    if pad:
+        pm, _, pk = params.pad_shape(m, 1, k)
+        panel_block = n_cgs * params.b_n
+        pn = -(-n // panel_block) * panel_block
+        if (pm, pn, pk) != (m, n, k):
+            ap = np.zeros((pm, pk), dtype=np.float64, order="F")
+            ap[:m, :k] = a
+            bp = np.zeros((pk, pn), dtype=np.float64, order="F")
+            bp[:k, :n] = b
+            cp = np.zeros((pm, pn), dtype=np.float64, order="F")
+            cp[:m, :n] = c
+            a, b_eff, c_eff = ap, bp, cp
+        else:
+            b_eff, c_eff = b, c
+    else:
+        b_eff, c_eff = b, c
+    panel = pn // n_cgs
+    if pn % n_cgs != 0 or panel % params.b_n != 0:
         raise UnsupportedShapeError(
-            f"n={n} must split into {n_cgs} panels that are multiples of "
-            f"bN={params.b_n}"
+            f"n={pn} must split into {n_cgs} panels that are multiples of "
+            f"bN={params.b_n} (pass pad=True to zero-pad)"
         )
 
-    # stage A in CG 0's memory and broadcast it over the NoC
+    # stage A in CG 0's memory and broadcast it over the NoC; the
+    # broadcast copies are scratch operands of this call, so they are
+    # freed before returning (raise or no raise) — a shared processor's
+    # byte budget must come back to its baseline.
     proc.cg(0).memory.store("mc.A", a)
-    for g in range(1, n_cgs):
-        proc.noc.copy(proc.cg(0).memory, proc.cg(g).memory, "mc.A", src=0, dst=g)
-
-    out = np.empty_like(c)
-    for g in range(n_cgs):
-        cols = slice(g * panel, (g + 1) * panel)
-        out[:, cols] = dgemm(
-            a, b[:, cols], c[:, cols],
-            alpha=alpha, beta=beta, variant=variant, params=params,
-            core_group=proc.cg(g),
-        )
-    return out
+    try:
+        for g in range(1, n_cgs):
+            proc.noc.copy(
+                proc.cg(0).memory, proc.cg(g).memory, "mc.A", src=0, dst=g
+            )
+        out = np.empty_like(c_eff)
+        for g in range(n_cgs):
+            cols = slice(g * panel, (g + 1) * panel)
+            out[:, cols] = dgemm(
+                a, b_eff[:, cols], c_eff[:, cols],
+                alpha=alpha, beta=beta, variant=variant, params=params,
+                core_group=None if contexts is not None else proc.cg(g),
+                context=None if contexts is None else contexts[g],
+            )
+    finally:
+        for g in range(n_cgs):
+            try:
+                proc.cg(g).memory.free("mc.A")
+            except KeyError:
+                pass
+    result = np.array(out[:m, :n], order="F", copy=True)
+    if check:
+        expected = reference_dgemm(alpha, a[:m, :k], b_eff[:k, :n], beta, c)
+        if not np.allclose(result, expected, rtol=1e-12, atol=1e-9):
+            worst = float(np.max(np.abs(result - expected)))
+            raise AssertionError(
+                f"multi-CG {variant} result deviates from reference "
+                f"(max abs err {worst:.3e})"
+            )
+    return result
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,380 @@
+"""Multi-CG batch scheduling: a device pool over the chip's core groups.
+
+The paper optimizes DGEMM on one core group; the SW26010 has four, each
+with its own memory controller and DRAM slice, and a *batched* GEMM
+stream (LU trailing updates, convolution layers, served inference
+traffic) is exactly the workload that can occupy all of them at once —
+the items are independent, so no inter-CG communication is needed at
+all.  :class:`CGScheduler` is the runtime layer that turns the
+single-CG kernel into a chip-level throughput engine:
+
+- **shape-aware binning** — items of the same (padded) shape are routed
+  to the same CG, so that CG's
+  :class:`~repro.core.context.ExecutionContext` keeps serving them from
+  its LRU staging-plan cache (in-place restage, one host copy per
+  operand, zero fresh allocations);
+- **least-modeled-load dispatch** — a shape's first appearance lands on
+  the CG with the least accumulated modeled time (via
+  :class:`~repro.perf.estimator.Estimator`), and a bin spills to the
+  least-loaded CG when staying would worsen the makespan by more than
+  the item's own cost, re-homing the bin so the cache warms up there;
+- **per-item failure isolation** — an item that raises is recorded as
+  an :class:`ItemError` and its CG's context stays usable; the other
+  items and CGs are unaffected;
+- **aggregated accounting** — :class:`ScheduleResult` reports per-CG
+  traffic deltas, the modeled makespan vs. the serial single-CG time,
+  and the load-balance efficiency.
+
+Every CG is driven through its own long-lived ``ExecutionContext``,
+entered for the duration of one :meth:`CGScheduler.run` — so after a
+pool run (raise or no raise) every CG's ``MainMemory.used_bytes`` is
+back at its pre-run baseline, the same memory-budget invariant the
+single-CG path guarantees.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.arch.config import SW26010Spec, DEFAULT_SPEC
+from repro.core.api import dgemm
+from repro.core.batch import BatchItem, validate_items
+from repro.core.context import ContextStats, ExecutionContext
+from repro.core.params import BlockingParams
+from repro.core.variants import get_variant
+from repro.multi.processor import SW26010Processor
+from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.perf.estimator import Estimator
+
+__all__ = [
+    "CGScheduler",
+    "CGTraffic",
+    "ItemError",
+    "SchedulePlan",
+    "ScheduleResult",
+]
+
+
+@dataclass(frozen=True)
+class SchedulePlan:
+    """Where every item goes, and what the model says it will cost.
+
+    Produced by :meth:`CGScheduler.plan` (or :meth:`plan_shapes`, which
+    needs only ``(m, n, k)`` tuples — paper-scale planning allocates no
+    matrices).  ``cg_seconds`` are modeled times, so the makespan and
+    efficiency figures are predictions of the co-scheduled run, not
+    wall-clock measurements of the Python simulation.
+    """
+
+    #: CG index per item, in item order.
+    assignments: tuple[int, ...]
+    #: modeled seconds per item (at its padded shape).
+    item_seconds: tuple[float, ...]
+    #: accumulated modeled seconds per CG.
+    cg_seconds: tuple[float, ...]
+    #: padded shape -> CG currently homing that shape's bin.
+    shape_bins: dict = field(hash=False, compare=False, default_factory=dict)
+
+    @property
+    def n_core_groups(self) -> int:
+        return len(self.cg_seconds)
+
+    @property
+    def serial_seconds(self) -> float:
+        """Modeled time of the same batch serialized on one CG."""
+        return sum(self.item_seconds)
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Modeled completion time: the most-loaded CG's total."""
+        return max(self.cg_seconds) if self.cg_seconds else 0.0
+
+    @property
+    def modeled_speedup(self) -> float:
+        """``serial / makespan`` — what the pool buys over one CG."""
+        makespan = self.makespan_seconds
+        return self.serial_seconds / makespan if makespan else 1.0
+
+    @property
+    def load_balance_efficiency(self) -> float:
+        """``serial / (n_cgs * makespan)`` — 1.0 is a perfect split."""
+        return self.modeled_speedup / self.n_core_groups
+
+
+@dataclass(frozen=True)
+class ItemError:
+    """One failed batch item, attributed to its CG (failure isolation)."""
+
+    index: int
+    core_group: int
+    kind: str
+    message: str
+
+
+@dataclass(frozen=True)
+class CGTraffic:
+    """One CG's share of a pool run."""
+
+    core_group: int
+    items: int
+    failures: int
+    #: modeled seconds of the work dispatched here (includes failed items).
+    modeled_seconds: float
+    #: staging/DMA/regcomm deltas of this CG's context over the run.
+    stats: ContextStats
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Aggregate of a pool run: outputs, failures, per-CG traffic, plan.
+
+    The accounting fields (``dma_bytes`` ... ``padded_flops``) mirror
+    :class:`repro.core.batch.BatchResult`, so callers that consume a
+    serial batch result can consume a scheduled one unchanged; ``flops``
+    counts successfully executed items only.
+    """
+
+    #: per-item results in input order; ``None`` where the item failed.
+    outputs: tuple
+    errors: tuple[ItemError, ...]
+    per_cg: tuple[CGTraffic, ...]
+    plan: SchedulePlan
+    dma_bytes: int
+    dma_transactions: int
+    regcomm_bytes: int
+    flops: int
+    padded_flops: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def n_core_groups(self) -> int:
+        return len(self.per_cg)
+
+    @property
+    def makespan_seconds(self) -> float:
+        return self.plan.makespan_seconds
+
+    @property
+    def serial_seconds(self) -> float:
+        return self.plan.serial_seconds
+
+    @property
+    def modeled_speedup(self) -> float:
+        return self.plan.modeled_speedup
+
+    @property
+    def load_balance_efficiency(self) -> float:
+        return self.plan.load_balance_efficiency
+
+    @property
+    def padding_overhead(self) -> float:
+        """``padded_flops / flops`` — 1.0 means no padding waste."""
+        return self.padded_flops / self.flops if self.flops else 1.0
+
+    def __len__(self) -> int:
+        return len(self.outputs)
+
+
+class CGScheduler:
+    """Dispatch a stream of :class:`BatchItem`s across a CG pool.
+
+    One scheduler owns an :class:`SW26010Processor` (built here unless
+    passed in) and a per-CG :class:`ExecutionContext`.  ``run`` plans
+    the batch, executes every item on its assigned CG, and returns a
+    :class:`ScheduleResult`; ``plan``/``plan_shapes`` expose the
+    dispatch decision and modeled timing without executing anything.
+
+    ``n_core_groups`` may restrict the pool to a prefix of the chip's
+    CGs (the 1-CG pool is the serial baseline the scaling experiment
+    compares against).  The scheduler is not reentrant: two in-flight
+    ``run`` calls would race on the per-CG contexts, and the context's
+    own non-reentrancy guard raises loudly.
+    """
+
+    def __init__(
+        self,
+        processor: SW26010Processor | None = None,
+        *,
+        n_core_groups: int | None = None,
+        variant: str = "SCHED",
+        params: BlockingParams | None = None,
+        spec: SW26010Spec = DEFAULT_SPEC,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        pad: bool = True,
+        check: bool = False,
+    ) -> None:
+        self.processor = processor or SW26010Processor(spec)
+        limit = self.processor.N_CORE_GROUPS
+        pool = limit if n_core_groups is None else int(n_core_groups)
+        if not 1 <= pool <= limit:
+            raise ConfigError(
+                f"n_core_groups must be in [1, {limit}], got {pool}"
+            )
+        self.n_core_groups = pool
+        self.variant = str(variant).upper()
+        self.params = params or get_variant(self.variant).default_params()
+        self.pad = pad
+        self.check = check
+        self._estimator = Estimator(self.processor.spec, calibration)
+        self._contexts = [
+            ExecutionContext(self.processor.cg(g)) for g in range(pool)
+        ]
+        #: padded shape -> modeled seconds (estimates are pure functions
+        #: of shape, so one batch full of repeats costs one estimate).
+        self._seconds_cache: dict[tuple[int, int, int], float] = {}
+
+    # -- planning ------------------------------------------------------
+
+    def modeled_item_seconds(self, m: int, n: int, k: int) -> float:
+        """Modeled single-CG seconds for one item (at its padded shape)."""
+        key = self.params.pad_shape(m, n, k)
+        seconds = self._seconds_cache.get(key)
+        if seconds is None:
+            seconds = self._estimator.estimate(
+                self.variant, *key, params=self.params
+            ).seconds
+            self._seconds_cache[key] = seconds
+        return seconds
+
+    def plan(self, items: Sequence[BatchItem] | Iterable[BatchItem]) -> SchedulePlan:
+        """Validate ``items`` and plan their dispatch (no execution)."""
+        items = list(items)
+        if not items:
+            raise ConfigError("empty batch")
+        return self.plan_shapes(validate_items(items))
+
+    def plan_shapes(
+        self, shapes: Sequence[tuple[int, int, int]]
+    ) -> SchedulePlan:
+        """Plan a batch given only its (m, n, k) shapes.
+
+        Dispatch rule, per item in stream order: a shape already binned
+        goes to its bin's CG — unless that CG is ahead of the
+        least-loaded one by more than this item's own modeled cost, in
+        which case the bin spills (and re-homes) to the least-loaded CG.
+        A new shape always starts on the least-loaded CG.  Affinity
+        keeps the staging-plan cache hot; the spill bound keeps a
+        single dominant shape from serializing the whole pool.
+        """
+        loads = [0.0] * self.n_core_groups
+        bins: dict[tuple[int, int, int], int] = {}
+        assignments: list[int] = []
+        item_seconds: list[float] = []
+        for m, n, k in shapes:
+            key = self.params.pad_shape(m, n, k)
+            seconds = self.modeled_item_seconds(m, n, k)
+            lightest = min(range(self.n_core_groups), key=loads.__getitem__)
+            home = bins.get(key)
+            if home is None or loads[home] - loads[lightest] > seconds:
+                home = lightest
+                bins[key] = home
+            loads[home] += seconds
+            assignments.append(home)
+            item_seconds.append(seconds)
+        return SchedulePlan(
+            assignments=tuple(assignments),
+            item_seconds=tuple(item_seconds),
+            cg_seconds=tuple(loads),
+            shape_bins=bins,
+        )
+
+    # -- execution -----------------------------------------------------
+
+    def run(
+        self,
+        items: Sequence[BatchItem] | Iterable[BatchItem],
+        *,
+        isolate_failures: bool = True,
+    ) -> ScheduleResult:
+        """Execute a batch across the pool.
+
+        With ``isolate_failures`` (the default), an item that raises is
+        recorded in ``result.errors`` — its slot in ``outputs`` is
+        ``None``, its CG's context stays usable, and the rest of the
+        batch proceeds.  With ``isolate_failures=False`` the first
+        failure propagates (the serial ``dgemm_batch`` contract).
+
+        Either way, every CG's staged handles are freed when the run
+        exits, so each ``MainMemory.used_bytes`` returns to its pre-run
+        baseline.
+        """
+        items = list(items)
+        if not items:
+            raise ConfigError("empty batch")
+        shapes = validate_items(items)
+        plan = self.plan_shapes(shapes)
+        outputs: list = [None] * len(items)
+        errors: list[ItemError] = []
+        counts = [0] * self.n_core_groups
+        failures = [0] * self.n_core_groups
+        flops = 0
+        padded_flops = 0
+        with contextlib.ExitStack() as stack:
+            for ctx in self._contexts:
+                stack.enter_context(ctx)
+            starts = [ctx.stats() for ctx in self._contexts]
+            for idx, item in enumerate(items):
+                home = plan.assignments[idx]
+                counts[home] += 1
+                try:
+                    outputs[idx] = dgemm(
+                        item.a, item.b, item.c,
+                        alpha=item.alpha, beta=item.beta,
+                        transa=item.transa, transb=item.transb,
+                        variant=self.variant, params=self.params,
+                        context=self._contexts[home], pad=self.pad,
+                        check=self.check,
+                    )
+                except Exception as exc:
+                    if not isolate_failures:
+                        raise
+                    failures[home] += 1
+                    errors.append(
+                        ItemError(idx, home, type(exc).__name__, str(exc))
+                    )
+                    continue
+                m, n, k = shapes[idx]
+                flops += 2 * m * n * k
+                pm, pn, pk = (
+                    self.params.pad_shape(m, n, k) if self.pad else (m, n, k)
+                )
+                padded_flops += 2 * pm * pn * pk
+            deltas = [
+                ctx.stats().since(start)
+                for ctx, start in zip(self._contexts, starts)
+            ]
+        per_cg = tuple(
+            CGTraffic(
+                core_group=g,
+                items=counts[g],
+                failures=failures[g],
+                modeled_seconds=plan.cg_seconds[g],
+                stats=deltas[g],
+            )
+            for g in range(self.n_core_groups)
+        )
+        return ScheduleResult(
+            outputs=tuple(outputs),
+            errors=tuple(errors),
+            per_cg=per_cg,
+            plan=plan,
+            dma_bytes=sum(d.dma_bytes for d in deltas),
+            dma_transactions=sum(d.dma_transactions for d in deltas),
+            regcomm_bytes=sum(d.regcomm_bytes for d in deltas),
+            flops=flops,
+            padded_flops=padded_flops,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CGScheduler({self.variant}, pool={self.n_core_groups} CGs, "
+            f"pad={self.pad})"
+        )

@@ -1,6 +1,11 @@
 """Workload definitions: matrix generators and the paper's shape sets."""
 
-from repro.workloads.matrices import random_matrix, gemm_operands, hilbert_like
+from repro.workloads.matrices import (
+    random_matrix,
+    gemm_operands,
+    hilbert_like,
+    mixed_batch,
+)
 from repro.workloads.shapes import (
     FIG6_SIZES,
     FIG7_SHAPES,
@@ -12,6 +17,7 @@ __all__ = [
     "random_matrix",
     "gemm_operands",
     "hilbert_like",
+    "mixed_batch",
     "FIG6_SIZES",
     "FIG7_SHAPES",
     "FIG4_SIZES",

@@ -6,7 +6,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 
-__all__ = ["random_matrix", "gemm_operands", "hilbert_like"]
+__all__ = ["random_matrix", "gemm_operands", "hilbert_like", "mixed_batch"]
 
 
 def random_matrix(
@@ -28,6 +28,40 @@ def gemm_operands(
         random_matrix(k, n, seed=seed + 1),
         random_matrix(m, n, seed=seed + 2),
     )
+
+
+def mixed_batch(n_items: int, params=None, seed: int = 0) -> list:
+    """A mixed-shape :class:`~repro.core.batch.BatchItem` stream.
+
+    The canonical scheduler workload: a few recurring shapes (so the
+    staging-plan caches get hits) at different sizes (so the load is
+    uneven), drawn round-robin with shuffled order.  Shapes are
+    multiples/near-multiples of the blocking factors of ``params``
+    (default: the small test preset), sized for fast functional runs.
+    """
+    from repro.core.batch import BatchItem
+    from repro.core.params import BlockingParams
+
+    if n_items < 1:
+        raise ConfigError(f"n_items must be >= 1, got {n_items}")
+    params = params or BlockingParams.small(double_buffered=True)
+    bm, bn, bk = params.b_m, params.b_n, params.b_k
+    shapes = [
+        (bm, bn, bk),                       # exactly one block
+        (2 * bm, bn, bk),                   # taller
+        (bm, 2 * bn, 2 * bk),               # wider and deeper
+        (bm + bm // 2, bn, bk + bk // 4),   # needs padding
+    ]
+    rng = np.random.default_rng(seed)
+    order = [shapes[i % len(shapes)] for i in range(n_items)]
+    rng.shuffle(order)
+    return [
+        BatchItem(
+            rng.standard_normal((m, k)),
+            rng.standard_normal((k, n)),
+        )
+        for m, n, k in order
+    ]
 
 
 def hilbert_like(rows: int, cols: int) -> np.ndarray:

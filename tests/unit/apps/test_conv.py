@@ -71,3 +71,44 @@ class TestConv2dGemm:
         delta[0, 0, 1, 1] = 1.0
         out = conv2d_gemm(images, delta, params=PARAMS)
         assert np.allclose(out[0, 0], images[0, 0, 1:-1, 1:-1])
+
+
+class TestConvBatch:
+    def _layers(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return [
+            (rng.standard_normal((2, 3, 10, 10)),
+             rng.standard_normal((4, 3, 3, 3))),
+            (rng.standard_normal((1, 2, 8, 8)),
+             rng.standard_normal((3, 2, 5, 5))),
+            (rng.standard_normal((2, 3, 10, 10)),
+             rng.standard_normal((4, 3, 3, 3))),
+        ]
+
+    def test_serial_batch_matches_reference(self):
+        from repro.apps.conv import conv2d_gemm_batch
+
+        layers = self._layers()
+        maps = conv2d_gemm_batch(layers, params=PARAMS)
+        assert len(maps) == 3
+        for out, (images, kernels) in zip(maps, layers):
+            assert np.allclose(out, conv2d_reference(images, kernels),
+                               rtol=1e-9, atol=1e-7)
+
+    def test_pool_batch_bit_identical_to_serial(self):
+        from repro.apps.conv import conv2d_gemm_batch
+        from repro.multi import SW26010Processor
+
+        layers = self._layers(seed=1)
+        proc = SW26010Processor()
+        baselines = [cg.memory.used_bytes for cg in proc.core_groups]
+        pooled = conv2d_gemm_batch(layers, params=PARAMS, processor=proc)
+        serial = conv2d_gemm_batch(layers, params=PARAMS)
+        assert all(np.array_equal(x, y) for x, y in zip(pooled, serial))
+        assert [cg.memory.used_bytes for cg in proc.core_groups] == baselines
+
+    def test_empty_batch_rejected(self):
+        from repro.apps.conv import conv2d_gemm_batch
+
+        with pytest.raises(ConfigError):
+            conv2d_gemm_batch([])

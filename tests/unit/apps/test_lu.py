@@ -103,3 +103,28 @@ class TestSolve:
         result = blocked_lu(np.eye(32), panel=16, params=PARAMS)
         b = np.arange(32.0)
         assert np.allclose(lu_solve(result, b), b)
+
+
+class TestPoolRouting:
+    def test_processor_path_matches_single_cg(self):
+        from repro.multi import SW26010Processor
+
+        a = well_conditioned(96, seed=21)
+        proc = SW26010Processor()
+        baselines = [cg.memory.used_bytes for cg in proc.core_groups]
+        pooled = blocked_lu(a, panel=32, params=PARAMS, processor=proc)
+        single = blocked_lu(a, panel=32, params=PARAMS)
+        assert np.allclose(pooled.lu, single.lu, rtol=1e-11, atol=1e-8)
+        assert np.array_equal(pooled.piv, single.piv)
+        assert lu_residual(a, pooled) < 16.0
+        # the trailing updates touched more than one CG
+        assert sum(1 for cg in proc.core_groups if cg.dma.stats.bytes_total) >= 2
+        assert [cg.memory.used_bytes for cg in proc.core_groups] == baselines
+
+    def test_processor_conflicts_with_single_cg_kwargs(self):
+        from repro.arch.core_group import CoreGroup
+        from repro.multi import SW26010Processor
+
+        with pytest.raises(ConfigError):
+            blocked_lu(well_conditioned(32), params=PARAMS,
+                       processor=SW26010Processor(), core_group=CoreGroup())

@@ -4,9 +4,9 @@ import numpy as np
 import pytest
 
 from repro.arch.core_group import CoreGroup
-from repro.core.batch import BatchItem, BatchResult, dgemm_batch
+from repro.core.batch import BatchItem, BatchResult, dgemm_batch, validate_items
 from repro.core.params import BlockingParams
-from repro.errors import ConfigError
+from repro.errors import ConfigError, UnsupportedShapeError
 from repro.workloads.matrices import gemm_operands
 
 PARAMS = BlockingParams.small(double_buffered=True)
@@ -76,6 +76,72 @@ class TestBatch:
         second = dgemm_batch(make_items(1, seed=9), params=PARAMS, core_group=cg)
         assert second.dma_bytes == first.dma_bytes
         assert cg.dma.stats.bytes_total == first.dma_bytes + second.dma_bytes
+
+
+class TestUpFrontValidation:
+    def test_inner_dim_mismatch_names_the_item(self, rng):
+        items = make_items(2)
+        items.insert(1, BatchItem(rng.standard_normal((32, 16)),
+                                  rng.standard_normal((24, 8))))
+        with pytest.raises(UnsupportedShapeError, match="item 1"):
+            dgemm_batch(items, params=PARAMS)
+
+    def test_c_shape_mismatch_names_the_item(self, rng):
+        bad = BatchItem(rng.standard_normal((32, 16)),
+                        rng.standard_normal((16, 8)),
+                        rng.standard_normal((32, 9)), beta=1.0)
+        with pytest.raises(UnsupportedShapeError, match="item 2"):
+            dgemm_batch([*make_items(2), bad], params=PARAMS)
+
+    def test_beta_without_c_names_the_item(self, rng):
+        bad = BatchItem(rng.standard_normal((32, 16)),
+                        rng.standard_normal((16, 8)), beta=0.5)
+        with pytest.raises(UnsupportedShapeError, match="item 0"):
+            dgemm_batch([bad], params=PARAMS)
+
+    def test_bad_batch_fails_before_any_execution(self, rng):
+        """The bugfix: earlier items must not run before the rejection."""
+        cg = CoreGroup()
+        items = make_items(2)
+        items.append(BatchItem(rng.standard_normal((32, 16)),
+                               rng.standard_normal((24, 8))))
+        with pytest.raises(UnsupportedShapeError, match="item 2"):
+            dgemm_batch(items, params=PARAMS, core_group=cg)
+        assert cg.dma.stats.bytes_total == 0
+
+    def test_validate_items_returns_trans_aware_shapes(self, rng):
+        shapes = validate_items([
+            BatchItem(rng.standard_normal((16, 32)),
+                      rng.standard_normal((8, 16)),
+                      transa="T", transb="T"),
+        ])
+        assert shapes == [(32, 8, 16)]
+
+    def test_bad_trans_flag_names_the_item(self, rng):
+        bad = BatchItem(rng.standard_normal((16, 16)),
+                        rng.standard_normal((16, 16)), transa="C")
+        with pytest.raises(UnsupportedShapeError, match="item 0"):
+            validate_items([bad])
+
+
+class TestHarmonizedKwargs:
+    def test_trans_items_match_reference(self, rng):
+        a = rng.standard_normal((64, 96))   # A^T is 96x64
+        b = rng.standard_normal((48, 64))   # B^T is 64x48
+        result = dgemm_batch(
+            [BatchItem(a, b, transa="T", transb="T")], params=PARAMS
+        )
+        assert np.allclose(result.outputs[0], a.T @ b.T, rtol=1e-11, atol=1e-8)
+        assert result.flops == 2 * 96 * 48 * 64
+
+    def test_check_kwarg_verifies_each_item(self, rng):
+        good = BatchItem(rng.standard_normal((32, 16)),
+                         rng.standard_normal((16, 8)))
+        nan = BatchItem(np.full((32, 16), np.nan),
+                        rng.standard_normal((16, 8)))
+        dgemm_batch([good], params=PARAMS, check=True)
+        with pytest.raises(AssertionError):
+            dgemm_batch([good, nan], params=PARAMS, check=True)
 
 
 class TestMemoryInvariant:

@@ -107,6 +107,62 @@ class TestMultiCGDgemm:
         with pytest.raises(UnsupportedShapeError):
             dgemm_multi_cg(a, b, beta=1.0, params=PARAMS)
 
+    def test_pad_rescues_odd_shapes(self):
+        """Harmonized kwargs: pad=True works like the single-CG path."""
+        rng = np.random.default_rng(8)
+        a = rng.standard_normal((100, 70))
+        b = rng.standard_normal((70, 90))
+        out = dgemm_multi_cg(a, b, params=PARAMS, pad=True)
+        assert out.shape == (100, 90)
+        assert np.allclose(out, a @ b, rtol=1e-11, atol=1e-8)
+
+    def test_trans_flags(self):
+        rng = np.random.default_rng(9)
+        m, n, k = PARAMS.b_m, 4 * PARAMS.b_n, PARAMS.b_k
+        a = rng.standard_normal((k, m))
+        b = rng.standard_normal((n, k))
+        out = dgemm_multi_cg(a, b, transa="T", transb="T", params=PARAMS)
+        assert np.allclose(out, a.T @ b.T, rtol=1e-11, atol=1e-8)
+
+    def test_check_kwarg(self):
+        m, n, k = PARAMS.b_m, 4 * PARAMS.b_n, PARAMS.b_k
+        a, b, _ = gemm_operands(m, n, k, seed=10)
+        dgemm_multi_cg(a, b, params=PARAMS, check=True)
+        with pytest.raises(AssertionError):
+            dgemm_multi_cg(np.full((m, k), np.nan), b, params=PARAMS,
+                           check=True)
+
+    def test_broadcast_operands_freed(self):
+        """The 'mc.A' staging copies must not outlive the call."""
+        proc = SW26010Processor()
+        proc.cg(1).memory.store("user.resident", np.ones((8, 8)))
+        baselines = [cg.memory.used_bytes for cg in proc.core_groups]
+        m, n, k = PARAMS.b_m, 4 * PARAMS.b_n, PARAMS.b_k
+        a, b, _ = gemm_operands(m, n, k, seed=11)
+        dgemm_multi_cg(a, b, params=PARAMS, processor=proc)
+        assert [cg.memory.used_bytes for cg in proc.core_groups] == baselines
+
+    def test_broadcast_operands_freed_on_raise(self):
+        proc = SW26010Processor()
+        baselines = [cg.memory.used_bytes for cg in proc.core_groups]
+        m, n, k = PARAMS.b_m, 4 * PARAMS.b_n, PARAMS.b_k
+        a, b, _ = gemm_operands(m, n, k, seed=12)
+        with pytest.raises(AssertionError):
+            dgemm_multi_cg(np.full((m, k), np.nan), b, params=PARAMS,
+                           processor=proc, check=True)
+        assert [cg.memory.used_bytes for cg in proc.core_groups] == baselines
+
+    def test_contexts_kwarg_validated(self):
+        from repro.core.context import ExecutionContext
+        from repro.errors import ConfigError as CfgErr
+
+        proc = SW26010Processor()
+        m, n, k = PARAMS.b_m, 4 * PARAMS.b_n, PARAMS.b_k
+        a, b, _ = gemm_operands(m, n, k, seed=13)
+        with pytest.raises(CfgErr):
+            dgemm_multi_cg(a, b, params=PARAMS, processor=proc,
+                           contexts=[ExecutionContext(proc.cg(0))])
+
 
 class TestMultiCGEstimate:
     def test_speedup_band(self):

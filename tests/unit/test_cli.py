@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, build_schedule_parser, main
 
 
 class TestParser:
@@ -53,3 +53,29 @@ class TestMain:
         assert main(["--variant", "SCHED", "--alpha", "2.5",
                      "--beta", "-0.5"]) == 0
         assert "[OK]" in capsys.readouterr().out
+
+
+class TestSchedule:
+    def test_parser_defaults(self):
+        args = build_schedule_parser().parse_args([])
+        assert args.items == 16
+        assert args.cgs == 4
+        assert args.variant == "SCHED"
+
+    def test_schedule_run(self, capsys):
+        assert main(["schedule", "--items", "8", "--cgs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "executed 8 items" in out
+        assert "CG0:" in out and "CG3:" in out
+        assert "makespan" in out and "load-balance efficiency" in out
+
+    def test_schedule_estimate_only_plans_without_executing(self, capsys):
+        assert main(["schedule", "--items", "6", "--cgs", "2",
+                     "--estimate-only"]) == 0
+        out = capsys.readouterr().out
+        assert "executed" not in out
+        assert "CG1:" in out and "modeled speedup" in out
+
+    def test_schedule_bad_pool_returns_error_code(self, capsys):
+        assert main(["schedule", "--cgs", "9"]) == 2
+        assert "error:" in capsys.readouterr().err

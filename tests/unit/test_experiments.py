@@ -109,8 +109,8 @@ class TestRunner:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "fig4", "fig6", "fig7", "blocksize", "sched", "ablations",
-            "cache", "multicg", "hpl", "robustness", "numerics", "charts",
-            "future",
+            "cache", "multicg", "scheduler", "hpl", "robustness",
+            "numerics", "charts", "future",
         }
 
     def test_cli_single_experiment(self, capsys):

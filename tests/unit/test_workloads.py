@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError
-from repro.workloads.matrices import gemm_operands, hilbert_like, random_matrix
+from repro.workloads.matrices import (
+    gemm_operands,
+    hilbert_like,
+    mixed_batch,
+    random_matrix,
+)
 from repro.workloads.shapes import FIG4_SIZES, FIG6_SIZES, FIG7_SHAPES, functional_shapes
 
 
@@ -42,6 +47,20 @@ class TestMatrices:
             random_matrix(0, 4)
         with pytest.raises(ConfigError):
             hilbert_like(4, -1)
+        with pytest.raises(ConfigError):
+            mixed_batch(0)
+
+    def test_mixed_batch_is_mixed_and_deterministic(self):
+        items = mixed_batch(8, seed=3)
+        again = mixed_batch(8, seed=3)
+        assert len(items) == 8
+        shapes = {(i.a.shape, i.b.shape) for i in items}
+        assert len(shapes) >= 3
+        assert all(
+            np.array_equal(x.a, y.a) and np.array_equal(x.b, y.b)
+            for x, y in zip(items, again)
+        )
+        assert all(i.a.shape[1] == i.b.shape[0] for i in items)
 
 
 class TestShapes:

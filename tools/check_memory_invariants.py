@@ -8,7 +8,10 @@ guarantees the ExecutionContext refactor made contractual:
 1. used_bytes returns exactly to its pre-call value,
 2. no staging handles survive a call (including a failing one),
 3. a same-shape batch allocates each operand slot once and restages
-   the rest in place.
+   the rest in place,
+4. the multi-CG pool (CGScheduler / dgemm_multi_cg / Session) returns
+   **every** core group's used_bytes to its pre-run baseline — with and
+   without a failing item in the batch.
 
 Exits non-zero with a diagnostic on the first violation, so CI can run
 it alongside the unit suite as a fast end-to-end guard.
@@ -24,7 +27,11 @@ from repro.arch.core_group import CoreGroup
 from repro.core.batch import BatchItem, dgemm_batch
 from repro.core.api import dgemm
 from repro.core.params import BlockingParams
-from repro.workloads.matrices import gemm_operands
+from repro.core.session import Session
+from repro.multi.dgemm4 import dgemm_multi_cg
+from repro.multi.processor import SW26010Processor
+from repro.multi.scheduler import CGScheduler
+from repro.workloads.matrices import gemm_operands, mixed_batch
 
 PARAMS = BlockingParams.small(double_buffered=True)
 
@@ -82,6 +89,41 @@ def main() -> int:
         check(False, "malformed batch item raised")
     check(cg.memory.used_bytes == baseline,
           "used_bytes back to baseline after raise")
+
+    print("multi-CG pool run restores every CG's baseline:")
+    proc = SW26010Processor()
+    proc.cg(2).memory.store("user.resident", np.ones((16, 16)))
+    baselines = [proc.cg(g).memory.used_bytes for g in range(4)]
+    scheduler = CGScheduler(proc, params=PARAMS)
+    result = scheduler.run(mixed_batch(8, params=PARAMS, seed=0))
+    check(result.ok, "pool run completed without item errors")
+    check([proc.cg(g).memory.used_bytes for g in range(4)] == baselines,
+          "all four CG byte budgets back to baseline")
+
+    print("pool run with a failing item still restores baselines:")
+    bad_items = mixed_batch(6, params=PARAMS, seed=1)
+    bad_items[3] = BatchItem(np.full_like(bad_items[3].a, np.nan),
+                             bad_items[3].b)
+    result = CGScheduler(proc, params=PARAMS, check=True).run(bad_items)
+    check(len(result.errors) == 1 and result.errors[0].index == 3,
+          "failure isolated to the offending item")
+    check([proc.cg(g).memory.used_bytes for g in range(4)] == baselines,
+          "all four CG byte budgets back to baseline after item failure")
+
+    print("dgemm_multi_cg broadcast operands are freed:")
+    a4, b4, _ = gemm_operands(2 * PARAMS.b_m, 4 * PARAMS.b_n, PARAMS.b_k,
+                              seed=2)
+    dgemm_multi_cg(a4, b4, params=PARAMS, processor=proc)
+    check([proc.cg(g).memory.used_bytes for g in range(4)] == baselines,
+          "all four CG byte budgets back to baseline")
+
+    print("closing a Session frees its warm staging:")
+    session = Session(processor=proc, params=PARAMS)
+    session.dgemm(a, b)
+    session.batch(mixed_batch(4, params=PARAMS, seed=3))
+    session.close()
+    check([proc.cg(g).memory.used_bytes for g in range(4)] == baselines,
+          "all four CG byte budgets back to baseline after close()")
 
     if _failures:
         print(f"\n{len(_failures)} invariant violation(s)")
