@@ -1,0 +1,239 @@
+"""Device vs vectorized execution engine: wall-clock and traffic.
+
+Not a paper artifact — this measures the *library*: what
+``engine="vectorized"`` buys over the per-CPE device model on the
+functional GEMM hot path, per variant.  Every timed configuration is
+also *verified*: the vectorized result must match the device result to
+the library comparison tolerance (``rtol=1e-12 / atol=1e-9``, the same
+bar ``dgemm(check=True)`` applies) and the DMA / register-communication
+statistics must match exactly, otherwise the run fails.
+
+Timings cover ``engine.run`` on pre-staged operands — the execution
+engine itself, excluding the engine-independent host staging copies.
+
+Runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --json BENCH_engine.json
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke   # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.arch.core_group import CoreGroup
+from repro.core.context import ExecutionContext
+from repro.core.engine import get_engine
+from repro.core.params import BlockingParams
+from repro.core.variants import get_variant
+
+#: paper-sized shapes per variant (multiples of the CG block factors).
+PAPER_SHAPES = {
+    "RAW": (768, 768, 768),
+    "PE": (512, 768, 768),
+    "ROW": (512, 768, 768),
+    "DB": (1024, 1024, 768),
+    "SCHED": (1024, 1024, 768),
+}
+SMOKE_PARAMS = BlockingParams.small(double_buffered=True)
+#: the acceptance bar: vectorized must beat device by this factor on
+#: the paper-sized SCHED variant.
+SCHED_SPEEDUP_FLOOR = 10.0
+
+
+def _stats_snapshot(cg: CoreGroup) -> dict:
+    d, r = cg.dma.stats, cg.regcomm.stats
+    return {
+        "dma_gets": d.gets,
+        "dma_puts": d.puts,
+        "dma_bytes_get": d.bytes_get,
+        "dma_bytes_put": d.bytes_put,
+        "dma_transactions": d.transactions,
+        "dma_by_mode": dict(sorted(d.by_mode.items())),
+        "regcomm_row_broadcasts": r.row_broadcasts,
+        "regcomm_col_broadcasts": r.col_broadcasts,
+        "regcomm_row_items": r.row_items,
+        "regcomm_col_items": r.col_items,
+        "regcomm_bytes": r.bytes_moved,
+        "regcomm_receives": r.receives,
+    }
+
+
+def _run_engine(
+    variant: str,
+    engine_name: str,
+    shape: tuple[int, int, int],
+    params: BlockingParams | None,
+    reps: int,
+) -> tuple[np.ndarray, dict, float]:
+    """Return (result, stats, best-of-reps seconds) for one engine run.
+
+    The first repetition runs on the freshly staged C and provides the
+    verified result and statistics; later repetitions only refine the
+    timing (they accumulate into C, which does not affect wall-clock).
+    """
+    impl = get_variant(variant)
+    params = params or impl.default_params()
+    m, n, k = shape
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    c = rng.standard_normal((m, n))
+    eng = get_engine(engine_name)
+    cg = CoreGroup()
+    with ExecutionContext.scoped(None, cg, cg.spec) as ctx, ctx.executing():
+        ha = ctx.stage("A", a, rows=m, cols=k)
+        hb = ctx.stage("B", b, rows=k, cols=n)
+        hc = ctx.stage("C", c, rows=m, cols=n)
+        best = float("inf")
+        result = None
+        stats = None
+        for rep in range(reps):
+            t0 = time.perf_counter()
+            eng.run(impl, cg, ha, hb, hc, alpha=1.0, beta=1.0, params=params)
+            best = min(best, time.perf_counter() - t0)
+            if rep == 0:
+                result = np.array(cg.memory.array(hc), order="F", copy=True)
+                stats = _stats_snapshot(cg)
+    return result, stats, best
+
+
+def bench_variant(
+    variant: str,
+    shape: tuple[int, int, int],
+    params: BlockingParams | None = None,
+    device_reps: int = 1,
+    vectorized_reps: int = 3,
+) -> tuple[dict, list[str]]:
+    """Measure and verify one variant; return (record, failures)."""
+    m, n, k = shape
+    dev_out, dev_stats, dev_s = _run_engine(
+        variant, "device", shape, params, device_reps)
+    vec_out, vec_stats, vec_s = _run_engine(
+        variant, "vectorized", shape, params, vectorized_reps)
+
+    failures: list[str] = []
+    if not np.allclose(vec_out, dev_out, rtol=1e-12, atol=1e-9):
+        worst = float(np.max(np.abs(vec_out - dev_out)))
+        failures.append(
+            f"{variant}: vectorized result deviates from device "
+            f"(max abs err {worst:.3e})"
+        )
+    if vec_stats != dev_stats:
+        diff = {key for key in dev_stats if dev_stats[key] != vec_stats[key]}
+        failures.append(
+            f"{variant}: traffic statistics differ on {sorted(diff)}"
+        )
+
+    dma_bytes = dev_stats["dma_bytes_get"] + dev_stats["dma_bytes_put"]
+    record = {
+        "shape": {"m": m, "n": n, "k": k},
+        "flops": 2 * m * n * k,
+        "device_seconds": dev_s,
+        "vectorized_seconds": vec_s,
+        "speedup": dev_s / vec_s,
+        "device_gflops": 2 * m * n * k / dev_s / 1e9,
+        "vectorized_gflops": 2 * m * n * k / vec_s / 1e9,
+        "dma_gb_moved": dma_bytes / 1e9,
+        "regcomm_gb_moved": dev_stats["regcomm_bytes"] / 1e9,
+        "stats_match": vec_stats == dev_stats,
+        "traffic": dev_stats,
+    }
+    return record, failures
+
+
+def full(json_path: str) -> int:
+    """Measure every variant at paper size and write the trajectory file."""
+    records: dict[str, dict] = {}
+    failures: list[str] = []
+    for variant, shape in PAPER_SHAPES.items():
+        record, errs = bench_variant(variant, shape)
+        records[variant] = record
+        failures.extend(errs)
+        print(
+            f"{variant:6s} {shape}: device {record['device_seconds']:.3f}s, "
+            f"vectorized {record['vectorized_seconds']:.3f}s "
+            f"-> {record['speedup']:.1f}x, "
+            f"DMA {record['dma_gb_moved']:.3f} GB, "
+            f"regcomm {record['regcomm_gb_moved']:.3f} GB"
+        )
+
+    sched = records["SCHED"]["speedup"]
+    if sched < SCHED_SPEEDUP_FLOOR:
+        failures.append(
+            f"SCHED speedup {sched:.1f}x is below the "
+            f"{SCHED_SPEEDUP_FLOOR:.0f}x acceptance floor"
+        )
+    payload = {
+        "benchmark": "bench_engine",
+        "description": "device vs vectorized execution engine, per variant",
+        "tolerance": {"rtol": 1e-12, "atol": 1e-9},
+        "variants": records,
+        "sched_speedup": sched,
+    }
+    with open(json_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {json_path} (SCHED speedup {sched:.1f}x)")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def smoke() -> int:
+    """Fast engine regression check for CI (no benchmark harness).
+
+    Verifies result/statistics equivalence on small blocks for a
+    single- and a double-buffered variant and fails if the vectorized
+    engine is not faster than the device engine.
+    """
+    failures: list[str] = []
+    speedups: dict[str, float] = {}
+    single = BlockingParams.small(double_buffered=False)
+    cases = [
+        ("PE", (2 * single.b_m, 2 * single.b_n, 2 * single.b_k), single),
+        ("SCHED", (2 * SMOKE_PARAMS.b_m, 2 * SMOKE_PARAMS.b_n,
+                   2 * SMOKE_PARAMS.b_k), SMOKE_PARAMS),
+    ]
+    for variant, shape, params in cases:
+        record, errs = bench_variant(
+            variant, shape, params, device_reps=3, vectorized_reps=5)
+        failures.extend(errs)
+        speedups[variant] = record["speedup"]
+        if record["speedup"] <= 1.0:
+            failures.append(
+                f"{variant}: vectorized engine is slower than device "
+                f"({record['vectorized_seconds']:.4f}s vs "
+                f"{record['device_seconds']:.4f}s)"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        summary = ", ".join(f"{v} {s:.1f}x" for v, s in speedups.items())
+        print(f"engine smoke OK: results and stats match; {summary}")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the fast CI regression check and exit",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default="BENCH_engine.json",
+        help="trajectory file to write in full mode (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return smoke()
+    return full(args.json)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

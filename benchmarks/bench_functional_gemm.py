@@ -3,7 +3,9 @@
 Not a paper artifact — this measures the *library*: how fast the
 full functional path (DMA distribution + register-communication
 exchange + per-CPE tile math on 64 simulated CPEs) executes a small
-DGEMM, per variant.
+DGEMM, per variant — and what the vectorized execution engine buys
+over it (``benchmarks/bench_engine.py`` measures the engines at paper
+size; this keeps the comparison visible at benchmark-suite scale).
 """
 
 import numpy as np
@@ -17,18 +19,22 @@ SINGLE = BlockingParams.small(double_buffered=False)
 DOUBLE = BlockingParams.small(double_buffered=True)
 
 
+@pytest.mark.parametrize("engine", ["device", "vectorized"])
 @pytest.mark.parametrize("variant", ["RAW", "PE", "ROW", "DB", "SCHED"])
-def test_functional_dgemm(benchmark, variant):
+def test_functional_dgemm(benchmark, variant, engine):
     params = SINGLE if variant in ("PE", "ROW") else DOUBLE
     m, n, k = params.b_m, params.b_n, params.b_k
     a, b, c = gemm_operands(m, n, k, seed=1)
-    out = benchmark(dgemm, a, b, c, beta=1.0, variant=variant, params=params)
+    out = benchmark(dgemm, a, b, c, beta=1.0, variant=variant,
+                    engine=engine, params=params)
     assert np.isfinite(out).all()
 
 
-def test_functional_dgemm_two_blocks_each_dim(benchmark):
+@pytest.mark.parametrize("engine", ["device", "vectorized"])
+def test_functional_dgemm_two_blocks_each_dim(benchmark, engine):
     p = DOUBLE
     m, n, k = 2 * p.b_m, 2 * p.b_n, 2 * p.b_k
     a, b, c = gemm_operands(m, n, k, seed=2)
-    out = benchmark(dgemm, a, b, c, beta=1.0, variant="SCHED", params=p)
+    out = benchmark(dgemm, a, b, c, beta=1.0, variant="SCHED",
+                    engine=engine, params=p)
     assert out.shape == (m, n)

@@ -131,6 +131,31 @@ class DMAStats:
         mode_bytes = self.by_mode.setdefault(key, 0)
         self.by_mode[key] = mode_bytes + reply.nbytes
 
+    def tally(
+        self,
+        mode: DMAMode,
+        direction: DMADirection,
+        nbytes: int,
+        transactions: int,
+        transfers: int = 1,
+    ) -> None:
+        """Account ``transfers`` identical transfers without executing them.
+
+        The vectorized execution engine moves whole 8x8-grid blocks in
+        one strided slice copy but must report the *same* counters the
+        per-CPE device path would; ``nbytes``/``transactions`` are per
+        transfer, exactly as one :class:`DMAReply` would carry them.
+        """
+        if direction is DMADirection.GET:
+            self.gets += transfers
+            self.bytes_get += nbytes * transfers
+        else:
+            self.puts += transfers
+            self.bytes_put += nbytes * transfers
+        self.transactions += transactions * transfers
+        key = mode.value
+        self.by_mode[key] = self.by_mode.get(key, 0) + nbytes * transfers
+
     @property
     def bytes_total(self) -> int:
         return self.bytes_get + self.bytes_put

@@ -70,6 +70,34 @@ class RegCommStats:
         self.bytes_moved += other.bytes_moved
         self.receives += other.receives
 
+    def tally_broadcasts(
+        self,
+        *,
+        row_broadcasts: int = 0,
+        col_broadcasts: int = 0,
+        row_nbytes: int = 0,
+        col_nbytes: int = 0,
+        fanout: int,
+        receives: int,
+    ) -> None:
+        """Account broadcasts without pushing payloads through the FIFOs.
+
+        The vectorized execution engine resolves every sharing step as
+        an index gather, so no :class:`Broadcast` objects exist — this
+        books the counters one ``row_broadcast``/``col_broadcast`` call
+        per owner would have produced.  ``row_nbytes``/``col_nbytes``
+        are per-payload sizes; ``fanout`` is receivers per broadcast
+        (mesh side minus one).
+        """
+        self.row_broadcasts += row_broadcasts
+        self.col_broadcasts += col_broadcasts
+        self.row_items += row_broadcasts * max(1, -(-row_nbytes // ITEM_BYTES))
+        self.col_items += col_broadcasts * max(1, -(-col_nbytes // ITEM_BYTES))
+        self.bytes_moved += fanout * (
+            row_broadcasts * row_nbytes + col_broadcasts * col_nbytes
+        )
+        self.receives += receives
+
 
 class RegisterComm:
     """Row/column broadcast networks of one CPE cluster."""

@@ -14,6 +14,9 @@
   both a lane-accurate register-file version and the vectorised one
   the variants use;
 - :mod:`repro.core.variants` — RAW / PE / ROW / DB / SCHED;
+- :mod:`repro.core.engine` — the two execution engines: the checked
+  per-CPE ``device`` path and the mesh-wide ``vectorized`` path
+  (stacked tiles, batched matmuls, identical accounting);
 - :mod:`repro.core.context` — scoped staging of operands in CG main
   memory (unique handles, free-on-exit, staging-plan cache);
 - :mod:`repro.core.api` — the public ``dgemm`` entry point;
@@ -36,6 +39,7 @@ from repro.core.model import (
 from repro.core.reference import reference_dgemm
 from repro.core.context import ContextStats, ExecutionContext
 from repro.core.api import dgemm
+from repro.core.engine import ENGINES, get_engine
 from repro.core.variants import VARIANTS, get_variant
 from repro.core.batch import BatchItem, BatchResult, dgemm_batch, validate_items
 
@@ -64,4 +68,6 @@ __all__ = [
     "dgemm",
     "VARIANTS",
     "get_variant",
+    "ENGINES",
+    "get_engine",
 ]

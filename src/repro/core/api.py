@@ -23,6 +23,7 @@ from repro.errors import UnsupportedShapeError
 from repro.arch.config import SW26010Spec, DEFAULT_SPEC
 from repro.arch.core_group import CoreGroup
 from repro.core.context import ExecutionContext
+from repro.core.engine import get_engine
 from repro.core.params import BlockingParams
 from repro.core.reference import reference_dgemm
 from repro.core.variants import get_variant
@@ -57,6 +58,7 @@ def dgemm(
     transa: str = "N",
     transb: str = "N",
     variant: str = "SCHED",
+    engine: str = "device",
     params: BlockingParams | None = None,
     spec: SW26010Spec = DEFAULT_SPEC,
     core_group: CoreGroup | None = None,
@@ -79,6 +81,13 @@ def dgemm(
     variant:
         one of ``RAW``, ``PE``, ``ROW``, ``DB``, ``SCHED`` (default:
         the paper's best version).
+    engine:
+        ``"device"`` (default) executes every per-CPE transfer and
+        broadcast through the checked device model; ``"vectorized"``
+        runs the same program mesh-wide over stacked tiles (batched
+        ``np.matmul`` per sharing step) — same results to at least
+        rtol=1e-12, identical traffic statistics, an order of
+        magnitude faster.  See :mod:`repro.core.engine`.
     params:
         blocking parameters; defaults to the variant's paper values.
         Pass :meth:`BlockingParams.small` for fast experimentation.
@@ -109,6 +118,7 @@ def dgemm(
         the m x n result, column-major.
     """
     impl = get_variant(variant)
+    eng = get_engine(engine)
     params = params or impl.default_params()
 
     a = np.asarray(a, dtype=np.float64)
@@ -140,7 +150,7 @@ def dgemm(
             if c is not None
             else ctx.stage_zeros("C", pm, pn)
         )
-        impl.run(cg, ha, hb, hc, alpha=alpha, beta=beta, params=params)
+        eng.run(impl, cg, ha, hb, hc, alpha=alpha, beta=beta, params=params)
         result = np.array(cg.memory.array(hc)[:m, :n], order="F", copy=True)
 
     if check:

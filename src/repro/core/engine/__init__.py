@@ -1,0 +1,57 @@
+"""Execution engines: two ways to run the same GEMM program.
+
+A :class:`~repro.core.variants.base.GEMMVariant` describes *what* the
+cluster does — which mapping distributes blocks, which sharing scheme
+exchanges strips, in what order tiles multiply.  An **engine** decides
+*how* that program is executed by the simulation:
+
+``device`` (:class:`DeviceEngine`)
+    the fidelity path: every per-CPE DMA transfer, register-network
+    broadcast and LDM tile is individually executed through the
+    :mod:`repro.arch` device model, so buffer discipline, alignment
+    and producer/consumer protocols are *checked*, not assumed.
+
+``vectorized`` (:class:`VectorizedEngine`)
+    the throughput path: all 64 CPEs' tiles live in one
+    ``(64, rows, cols)`` stack, block transfers are strided slice
+    copies, each sharing step is an index gather, and a step's 64 tile
+    multiplies run as one batched ``np.matmul`` — the same arithmetic
+    in the same order, minus the Python-loop object machinery.  The
+    DMA/register-communication statistics the device path would have
+    measured are booked analytically, so accounting is identical.
+
+Both engines mutate C in core-group main memory and are
+interchangeable behind the ``engine=`` keyword of
+:func:`repro.core.api.dgemm`, :func:`repro.core.batch.dgemm_batch`,
+:class:`repro.multi.scheduler.CGScheduler` and
+:class:`repro.core.session.Session`.  ``device`` is the default for
+fidelity experiments; :meth:`Session.batch` defaults to ``vectorized``
+because a served batch stream wants throughput, not protocol checking.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.core.engine.base import Engine
+from repro.core.engine.device import DeviceEngine
+from repro.core.engine.vectorized import VectorizedEngine
+
+__all__ = ["Engine", "DeviceEngine", "VectorizedEngine", "ENGINES", "get_engine"]
+
+#: registry, keyed by the ``engine=`` keyword values.
+ENGINES: dict[str, type[Engine]] = {
+    "device": DeviceEngine,
+    "vectorized": VectorizedEngine,
+}
+
+
+def get_engine(name: "str | Engine") -> Engine:
+    """Resolve an ``engine=`` keyword (name or instance) to an engine."""
+    if isinstance(name, Engine):
+        return name
+    try:
+        return ENGINES[str(name).lower()]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown engine {name!r}; choose from {sorted(ENGINES)}"
+        ) from None

@@ -1,0 +1,48 @@
+"""The engine interface: execute one variant's GEMM on a core group."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.arch.core_group import CoreGroup
+from repro.arch.memory import MatrixHandle
+from repro.core.params import BlockingParams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.variants.base import GEMMVariant
+
+__all__ = ["Engine"]
+
+
+class Engine(ABC):
+    """Executes ``C = alpha*A*B + beta*C`` for a chosen variant.
+
+    Engines share one contract: operands are resident
+    :class:`~repro.arch.memory.MatrixHandle`\\ s, C is mutated in main
+    memory, and afterwards the core group's DMA and
+    register-communication statistics read exactly as if the device
+    path had run — byte for byte, transaction for transaction.  How
+    faithfully the *mechanics* in between are modelled is what
+    distinguishes the implementations.
+    """
+
+    #: the ``engine=`` keyword value selecting this engine.
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(
+        self,
+        impl: "GEMMVariant",
+        cg: CoreGroup,
+        a: MatrixHandle,
+        b: MatrixHandle,
+        c: MatrixHandle,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        params: BlockingParams | None = None,
+    ) -> None:
+        """Execute ``impl``'s program for these operands on ``cg``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

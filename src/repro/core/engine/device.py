@@ -1,0 +1,37 @@
+"""The fidelity engine: run the variant on the full device model."""
+
+from __future__ import annotations
+
+from repro.arch.core_group import CoreGroup
+from repro.arch.memory import MatrixHandle
+from repro.core.engine.base import Engine
+from repro.core.params import BlockingParams
+
+__all__ = ["DeviceEngine"]
+
+
+class DeviceEngine(Engine):
+    """Delegates to the variant's own per-CPE execution.
+
+    Every DMA descriptor, register-network broadcast and LDM
+    allocation is individually executed and *checked* by the
+    :mod:`repro.arch` device model — this is the engine that catches
+    protocol bugs (undrained buffers, misaligned transfers, LDM
+    overflow at runtime), at the cost of walking 64 CPE coordinates
+    through Python per step.
+    """
+
+    name = "device"
+
+    def run(
+        self,
+        impl,
+        cg: CoreGroup,
+        a: MatrixHandle,
+        b: MatrixHandle,
+        c: MatrixHandle,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        params: BlockingParams | None = None,
+    ) -> None:
+        impl.run(cg, a, b, c, alpha=alpha, beta=beta, params=params)

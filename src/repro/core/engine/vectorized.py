@@ -1,0 +1,290 @@
+"""The throughput engine: mesh-wide execution over stacked tiles.
+
+The device path simulates the cluster one CPE at a time: 64 dict
+lookups and 64 tiny ``a @ b`` calls per sharing step, plus a
+:class:`~repro.arch.regcomm.RegisterComm` object round trip per
+broadcast.  That faithfulness is the point of the device model — and
+pure overhead once the protocols are trusted.  This engine runs the
+same program mesh-wide, at two fusion levels:
+
+**Stepwise mode** (``VectorizedEngine(stepwise=True)``) is the literal
+mesh-wide formulation:
+
+- each operand's 64 thread-level tiles live in one contiguous
+  ``(64, rows, cols)`` stack (the cluster's LDM, as an array), filled
+  by ``DataThreadMapping.stack_load_* / stack_store_c`` — one strided
+  slice copy replaces 64 per-CPE DMA calls (or 8 collective ROW_MODE
+  transfers);
+- a sharing step is two fancy-indexed gathers through the
+  :func:`~repro.core.sharing.step_owner_indices` tables — the owner
+  lines' tiles land where the register networks would have delivered
+  them — and all 64 tile multiplies of the step execute as one batched
+  :func:`~repro.core.kernel_functional.tile_multiply_batched`;
+- the beta scaling is one ``stack *= beta`` over the whole C stack.
+
+It performs the identical arithmetic in the identical order as the
+device path (same BLAS calls on the same operands), so its results are
+bit-for-bit equal — it exists as the bridge that *proves* the index
+algebra, and as the shape the real hardware's batched execution takes.
+
+**Fused mode** (the default) goes one step further: because every
+stack gather/scatter is an axis permutation and the owner tables make
+each strip multiplication a plain block matrix product, the
+permutations compose away — the eight sharing steps collapse into one
+blocked ``C_panel += alpha * A_panel @ B_panel`` on strided views of
+the operands in main memory, one BLAS call per (j, l) panel, with zero
+intermediate copies.  Results then agree with the device engine to
+well below the library's ``rtol=1e-12 / atol=1e-9`` comparison
+tolerance (the only difference is floating-point summation *order*
+inside a k-panel), which the property tests in
+``tests/property/test_prop_engine.py`` enforce across all variants.
+
+Either way the DMA / register-communication statistics are booked
+analytically — per block transfer via the mapping's ``tally_*``
+closed forms, per strip multiplication via
+:meth:`~repro.arch.regcomm.RegCommStats.tally_broadcasts` — and match
+the device engine's measured counters exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.arch.core_group import CoreGroup
+from repro.arch.dma import DMADirection, DMAMode
+from repro.arch.memory import MatrixHandle
+from repro.core.engine.base import Engine
+from repro.core.kernel_functional import tile_multiply_batched
+from repro.core.params import GRID, BlockingParams
+from repro.core.sharing import Scheme, step_owner_indices
+from repro.core.variants.base import check_gemm_shapes
+
+__all__ = ["VectorizedEngine", "TileStacks"]
+
+
+class TileStacks:
+    """The cluster's LDM as three stacked tile arrays.
+
+    ``a[t]``, ``b[t]``, ``c[t]`` are the tiles of flat thread ``t``
+    (row-major coordinate order, matching
+    :meth:`~repro.arch.mesh.CPEMesh.linear_index`).  Scratch stacks for
+    the per-step gathers and the batched product are preallocated here
+    so the hot loop performs no allocations at all.
+    """
+
+    def __init__(self, params: BlockingParams) -> None:
+        n = GRID * GRID
+        self.a = np.empty((n, params.p_m, params.p_k))
+        self.b = np.empty((n, params.p_k, params.p_n))
+        self.c = np.empty((n, params.p_m, params.p_n))
+        self.a_step = np.empty_like(self.a)
+        self.b_step = np.empty_like(self.b)
+        self.prod = np.empty_like(self.c)
+
+
+class VectorizedEngine(Engine):
+    """Batched mesh-wide execution of the five variants.
+
+    Functionally equivalent to :class:`~repro.core.engine.device.DeviceEngine`
+    (same blocks, same panel order, same operands) with identical
+    DMA / register-communication accounting; what it does *not* do is
+    exercise the device model's runtime protocol checks — buffer
+    discipline and alignment hold by construction on this path, because
+    the shapes were validated by :class:`BlockingParams` up front.
+
+    ``stepwise=True`` selects the per-step stacked-tile formulation
+    (bit-identical to the device, ~5x); the default fused formulation
+    collapses each strip multiplication into one BLAS panel product
+    (>=10x, same results to the library comparison tolerance).
+    """
+
+    name = "vectorized"
+
+    def __init__(self, stepwise: bool = False) -> None:
+        self.stepwise = stepwise
+
+    def run(
+        self,
+        impl,
+        cg: CoreGroup,
+        a: MatrixHandle,
+        b: MatrixHandle,
+        c: MatrixHandle,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        params: BlockingParams | None = None,
+    ) -> None:
+        name = impl.traits.name
+        if not impl.traits.shared:
+            self._run_raw(impl, cg, a, b, c, alpha, beta)
+            return
+        if not hasattr(impl, "scheme") or not hasattr(impl, "mapping_cls"):
+            raise ConfigError(
+                f"variant {name!r} has no vectorized execution; run it on "
+                "the device engine"
+            )
+        params = params or impl.default_params()
+        # the same buffering contracts the device variants enforce
+        if impl.traits.double_buffered and not params.double_buffered:
+            raise ValueError(f"{name} requires double-buffered params")
+        if not impl.traits.double_buffered and params.double_buffered:
+            raise ValueError(f"{name} is a single-buffered variant")
+        params.validate(cg.spec)
+        m, n, k = check_gemm_shapes(a, b, c)
+        grid = params.check_shape(m, n, k)
+        cg.reset_cpes()
+        cg.mpe.spawn(cg.spec.n_cpes)
+        mapping = impl.mapping_cls(params)
+        # Double buffering changes *when* transfers are issued relative
+        # to compute (Algorithm 2's overlap), not which transfers happen
+        # or what they carry — so DB/SCHED share PE's block order here
+        # and the cumulative statistics still match the device path
+        # exactly.
+        if self.stepwise:
+            self._shared_stepwise(impl, cg, a, b, c, alpha, beta,
+                                  params, mapping, grid)
+        else:
+            self._shared_fused(impl, cg, a, b, c, alpha, beta,
+                               params, mapping, grid, m)
+
+    # -- the blocked, shared variants (PE / ROW / DB / SCHED) -----------
+
+    def _shared_fused(self, impl, cg, a, b, c, alpha, beta,
+                      params, mapping, grid, m) -> None:
+        """One BLAS panel product per (j, l); stats booked analytically.
+
+        The stack gathers, owner-index gathers, and write-back scatters
+        are mutually inverse permutations, so the strip multiplication
+        is executed directly on strided views of the operands in main
+        memory.  The product lands in a transposed scratch (computed as
+        ``B^T A^T``) so both the matmul output and the C accumulation
+        run over column-major-aligned memory.
+        """
+        grid_m, grid_n, grid_k = grid
+        b_m, b_n, b_k = params.b_m, params.b_n, params.b_k
+        a_v = cg.memory.array(a)
+        b_v = cg.memory.array(b)
+        c_v = cg.memory.array(c)
+        res_t = np.empty((b_n, m))
+        for j in range(grid_n):
+            jb = slice(j * b_n, (j + 1) * b_n)
+            for l in range(grid_k):
+                lb = slice(l * b_k, (l + 1) * b_k)
+                if l == 0 and beta != 1.0:
+                    c_v[:, jb] *= beta
+                np.matmul(b_v[lb, jb].T, a_v[:, lb].T, out=res_t)
+                if alpha != 1.0:
+                    res_t *= alpha
+                c_v[:, jb] += res_t.T
+                mapping.tally_load_b(cg)
+                for _ in range(grid_m):
+                    mapping.tally_load_a(cg)
+                    mapping.tally_load_c(cg)
+                    mapping.tally_store_c(cg)
+                    self._tally_sharing(cg, impl.scheme, params)
+
+    def _shared_stepwise(self, impl, cg, a, b, c, alpha, beta,
+                         params, mapping, grid) -> None:
+        """The literal mesh-wide program: stacks, gathers, batched steps."""
+        grid_m, grid_n, grid_k = grid
+        stacks = TileStacks(params)
+        idx_a, idx_b = step_owner_indices(impl.scheme)
+        for j in range(grid_n):
+            for l in range(grid_k):
+                mapping.stack_load_b(cg, b, l, j, stacks.b)
+                beta_now = beta if l == 0 else 1.0
+                for i in range(grid_m):
+                    mapping.stack_load_a(cg, a, i, l, stacks.a)
+                    mapping.stack_load_c(cg, c, i, j, stacks.c)
+                    if beta_now != 1.0:
+                        stacks.c *= beta_now
+                    self._strip_multiply(cg, impl.scheme, stacks,
+                                         idx_a, idx_b, alpha, params)
+                    mapping.stack_store_c(cg, c, i, j, stacks.c)
+
+    def _strip_multiply(self, cg, scheme, stacks, idx_a, idx_b,
+                        alpha, params) -> None:
+        """Eight sharing steps as gathers + batched multiplies."""
+        for step in range(GRID):
+            np.take(stacks.a, idx_a[step], axis=0, out=stacks.a_step)
+            np.take(stacks.b, idx_b[step], axis=0, out=stacks.b_step)
+            tile_multiply_batched(stacks.c, stacks.a_step, stacks.b_step,
+                                  alpha, out=stacks.prod)
+        self._tally_sharing(cg, scheme, params)
+
+    @staticmethod
+    def _tally_sharing(cg, scheme, params) -> None:
+        """Book the register traffic of one full strip multiplication.
+
+        Per step the device path issues 8 A broadcasts and 8 B
+        broadcasts (one per owner on the step's mesh lines) and 56 + 56
+        receives (every CPE not on an owner line pops each operand).
+        Which network carries which operand is the scheme's transpose.
+        """
+        a_nbytes = params.p_m * params.p_k * 8
+        b_nbytes = params.p_k * params.p_n * 8
+        n_bcasts = GRID * GRID  # 8 owners x 8 steps
+        receives = 2 * GRID * (GRID * GRID - GRID)  # 2 x 8 steps x 56
+        if scheme is Scheme.PE:
+            row_nbytes, col_nbytes = a_nbytes, b_nbytes
+        else:
+            row_nbytes, col_nbytes = b_nbytes, a_nbytes
+        cg.regcomm.stats.tally_broadcasts(
+            row_broadcasts=n_bcasts,
+            col_broadcasts=n_bcasts,
+            row_nbytes=row_nbytes,
+            col_nbytes=col_nbytes,
+            fanout=GRID - 1,
+            receives=receives,
+        )
+
+    # -- RAW ------------------------------------------------------------
+
+    def _run_raw(self, impl, cg, a, b, c, alpha, beta) -> None:
+        """RAW's per-thread tiled triple loop, batched over the mesh.
+
+        A tile row is shared by a whole mesh row and a B tile by a
+        whole mesh column (the 8x traffic blow-up that makes RAW
+        memory-bound), so the stacks are 8-deep per side and one
+        broadcasting ``matmul`` covers all 64 panels.
+        """
+        m, n, k = check_gemm_shapes(a, b, c)
+        t_m, t_n, t_k = impl.tile_geometry(m, n, k)
+        panel_m, panel_n = m // GRID, n // GRID
+        cg.reset_cpes()
+        cg.mpe.spawn(cg.spec.n_cpes)
+        tb = cg.spec.dma.transaction_bytes
+        stats = cg.dma.stats
+        n_cpes = GRID * GRID
+        # panel-blocked views of the resident matrices (axis splits only)
+        a_v = cg.memory.array(a).reshape(GRID, panel_m, k)
+        b_v = cg.memory.array(b).reshape(k, GRID, panel_n)
+        c_v = cg.memory.array(c).reshape(GRID, panel_m, GRID, panel_n)
+        n_kk = k // t_k
+        for ti in range(panel_m // t_m):
+            rows = slice(ti * t_m, (ti + 1) * t_m)
+            for tj in range(panel_n // t_n):
+                cols = slice(tj * t_n, (tj + 1) * t_n)
+                c_region = c_v[:, rows, :, cols]
+                c_stack = c_region.transpose(0, 2, 1, 3).copy()
+                if beta != 1.0:
+                    c_stack *= beta
+                for kk in range(n_kk):
+                    ks = slice(kk * t_k, (kk + 1) * t_k)
+                    a_stack = a_v[:, rows, ks].copy()               # (8, tM, tK)
+                    b_stack = b_v[ks, :, cols].transpose(1, 0, 2).copy()
+                    prod = np.matmul(a_stack[:, None], b_stack[None, :])
+                    if alpha == 1.0:
+                        c_stack += prod
+                    else:
+                        c_stack += alpha * prod
+                c_region[:] = c_stack.transpose(0, 2, 1, 3)
+                stats.tally(DMAMode.PE, DMADirection.GET,
+                            t_m * t_n * 8, t_m * t_n * 8 // tb, n_cpes)
+                stats.tally(DMAMode.PE, DMADirection.GET,
+                            t_m * t_k * 8, t_m * t_k * 8 // tb, n_cpes * n_kk)
+                stats.tally(DMAMode.PE, DMADirection.GET,
+                            t_k * t_n * 8, t_k * t_n * 8 // tb, n_cpes * n_kk)
+                stats.tally(DMAMode.PE, DMADirection.PUT,
+                            t_m * t_n * 8, t_m * t_n * 8 // tb, n_cpes)

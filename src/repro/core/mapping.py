@@ -31,7 +31,10 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 from repro.arch.core_group import CoreGroup
+from repro.arch.dma import DMADirection, DMAMode
 from repro.arch.memory import MatrixHandle
 from repro.arch.mesh import Coord
 from repro.core.params import GRID, BlockingParams
@@ -103,6 +106,84 @@ class DataThreadMapping(ABC):
                 buf: str = BUF_C) -> None:
         """Store every CPE's ``buf`` back as CG block (blk_i, blk_j) of C."""
 
+    # -- mesh-wide (stacked) transfers ----------------------------------
+    #
+    # The vectorized execution engine keeps all 64 CPEs' tiles of one
+    # operand as a single ``(64, rows, cols)`` stack and moves a whole
+    # CG block with one strided slice copy instead of 64 per-CPE DMA
+    # calls.  Each ``stack_*`` method performs exactly the data
+    # movement of its per-CPE counterpart above (same tiles land on the
+    # same flat thread index) and books the identical DMA statistics
+    # analytically through :meth:`~repro.arch.dma.DMAStats.tally`.
+    # Alignment is guaranteed by construction on this path: the block
+    # origins and tile shapes are the ones ``BlockingParams`` already
+    # validated, the same regions the device path transfers.
+
+    @abstractmethod
+    def stack_load_a(self, cg: CoreGroup, handle: MatrixHandle, blk_i: int,
+                     blk_l: int, stack: np.ndarray) -> None:
+        """Load CG block (blk_i, blk_l) of A into the ``(64, pM, pK)`` stack."""
+
+    @abstractmethod
+    def stack_load_b(self, cg: CoreGroup, handle: MatrixHandle, blk_l: int,
+                     blk_j: int, stack: np.ndarray) -> None:
+        """Load CG block (blk_l, blk_j) of B into the ``(64, pK, pN)`` stack."""
+
+    @abstractmethod
+    def stack_load_c(self, cg: CoreGroup, handle: MatrixHandle, blk_i: int,
+                     blk_j: int, stack: np.ndarray) -> None:
+        """Load CG block (blk_i, blk_j) of C into the ``(64, pM, pN)`` stack."""
+
+    @abstractmethod
+    def stack_store_c(self, cg: CoreGroup, handle: MatrixHandle, blk_i: int,
+                      blk_j: int, stack: np.ndarray) -> None:
+        """Store the ``(64, pM, pN)`` stack back as CG block (blk_i, blk_j) of C."""
+
+    # -- analytic DMA accounting ----------------------------------------
+    #
+    # One block transfer of this mapping always moves the same bytes in
+    # the same number of descriptors, whatever engine executes it — so
+    # the statistics are closed-form.  The ``tally_*`` methods book
+    # exactly what the per-CPE ``load_*``/``store_c`` path would have
+    # accumulated; ``stack_*`` uses them after its strided copy, and
+    # the fused vectorized path uses them standalone (the data movement
+    # there is implicit in views over main memory).
+
+    @abstractmethod
+    def tally_load_a(self, cg: CoreGroup) -> None:
+        """Book the DMA statistics of one A block load."""
+
+    @abstractmethod
+    def tally_load_b(self, cg: CoreGroup) -> None:
+        """Book the DMA statistics of one B block load."""
+
+    @abstractmethod
+    def tally_load_c(self, cg: CoreGroup) -> None:
+        """Book the DMA statistics of one C block load."""
+
+    @abstractmethod
+    def tally_store_c(self, cg: CoreGroup) -> None:
+        """Book the DMA statistics of one C block store."""
+
+    def _tally_pe(self, cg: CoreGroup, direction: DMADirection,
+                  rows: int, cols: int) -> None:
+        """Book the stats of 64 per-CPE ``PE_MODE`` transfers."""
+        nbytes = rows * cols * 8
+        tb = cg.spec.dma.transaction_bytes
+        cg.dma.stats.tally(
+            DMAMode.PE, direction, nbytes, nbytes // tb,
+            transfers=GRID * GRID,
+        )
+
+    def _tally_row(self, cg: CoreGroup, direction: DMADirection,
+                   rows: int, cols: int) -> None:
+        """Book the stats of 8 collective ``ROW_MODE`` strip transfers."""
+        nbytes = rows * cols * 8
+        tb = cg.spec.dma.transaction_bytes
+        cg.dma.stats.tally(
+            DMAMode.ROW, direction, nbytes, nbytes // tb, transfers=GRID
+        )
+
 
 class PEMapping(DataThreadMapping):
     """Sec III-A: thread (u, v) owns thread-level block (u, v)."""
@@ -156,6 +237,73 @@ class PEMapping(DataThreadMapping):
                 p.p_n,
                 cg.cpe(coord).ldm.get(buf),
             )
+
+    # -- stacked transfers ----------------------------------------------
+    #
+    # Thread (u, v) owns tile (u, v) of the block, so a whole block
+    # load is one 4-D axis-split of the memory region (a pure view)
+    # assigned into the stack in a single vectorized copy:
+    # ``stack[u*8+v] = region[u*rows:(u+1)*rows, v*cols:(v+1)*cols]``.
+
+    @staticmethod
+    def _region(cg, handle, row0, col0, rows, cols) -> np.ndarray:
+        return cg.memory.array(handle)[row0:row0 + rows * GRID,
+                                       col0:col0 + cols * GRID]
+
+    @staticmethod
+    def _pe_gather(region: np.ndarray, stack: np.ndarray,
+                   rows: int, cols: int) -> None:
+        stack.reshape(GRID, GRID, rows, cols)[:] = (
+            region.reshape(GRID, rows, GRID, cols).transpose(0, 2, 1, 3)
+        )
+
+    @staticmethod
+    def _pe_scatter(region: np.ndarray, stack: np.ndarray,
+                    rows: int, cols: int) -> None:
+        region.reshape(GRID, rows, GRID, cols)[:] = (
+            stack.reshape(GRID, GRID, rows, cols).transpose(0, 2, 1, 3)
+        )
+
+    def stack_load_a(self, cg, handle, blk_i, blk_l, stack):
+        p = self.params
+        region = self._region(cg, handle, blk_i * p.b_m, blk_l * p.b_k,
+                              p.p_m, p.p_k)
+        self._pe_gather(region, stack, p.p_m, p.p_k)
+        self.tally_load_a(cg)
+
+    def stack_load_b(self, cg, handle, blk_l, blk_j, stack):
+        p = self.params
+        region = self._region(cg, handle, blk_l * p.b_k, blk_j * p.b_n,
+                              p.p_k, p.p_n)
+        self._pe_gather(region, stack, p.p_k, p.p_n)
+        self.tally_load_b(cg)
+
+    def stack_load_c(self, cg, handle, blk_i, blk_j, stack):
+        p = self.params
+        region = self._region(cg, handle, blk_i * p.b_m, blk_j * p.b_n,
+                              p.p_m, p.p_n)
+        self._pe_gather(region, stack, p.p_m, p.p_n)
+        self.tally_load_c(cg)
+
+    def stack_store_c(self, cg, handle, blk_i, blk_j, stack):
+        p = self.params
+        region = self._region(cg, handle, blk_i * p.b_m, blk_j * p.b_n,
+                              p.p_m, p.p_n)
+        self._pe_scatter(region, stack, p.p_m, p.p_n)
+        self.tally_store_c(cg)
+
+    # every PE_MODE block transfer is 64 per-CPE tile descriptors
+    def tally_load_a(self, cg):
+        self._tally_pe(cg, DMADirection.GET, self.params.p_m, self.params.p_k)
+
+    def tally_load_b(self, cg):
+        self._tally_pe(cg, DMADirection.GET, self.params.p_k, self.params.p_n)
+
+    def tally_load_c(self, cg):
+        self._tally_pe(cg, DMADirection.GET, self.params.p_m, self.params.p_n)
+
+    def tally_store_c(self, cg):
+        self._tally_pe(cg, DMADirection.PUT, self.params.p_m, self.params.p_n)
 
 
 class RowMapping(DataThreadMapping):
@@ -211,3 +359,80 @@ class RowMapping(DataThreadMapping):
                 p.p_n,
                 cg.row_ldm_buffers(strip, buf),
             )
+
+    # -- stacked transfers ----------------------------------------------
+    #
+    # ROW_MODE's Figure 5 interleave is a pure index permutation: block
+    # row ``g*16 + 2j + t`` of column strip ``u`` lands on CPE (u, j) as
+    # tile row ``2g + t``.  Splitting the block's row axis into
+    # ``(groups, j, t)`` and its column axis into ``(u, cols)`` makes
+    # the whole distribution one 5-D transpose between two views —
+    # a single vectorized copy for all 8 collective strip transfers.
+
+    def _row_gather(self, region: np.ndarray, stack: np.ndarray,
+                    cols: int) -> None:
+        p = self.params
+        groups = p.b_m // 16
+        stack.reshape(GRID, GRID, groups, 2, cols)[:] = (
+            region.reshape(groups, GRID, 2, GRID, cols).transpose(3, 1, 0, 2, 4)
+        )
+
+    def _row_scatter(self, region: np.ndarray, stack: np.ndarray,
+                     cols: int) -> None:
+        p = self.params
+        groups = p.b_m // 16
+        region.reshape(groups, GRID, 2, GRID, cols)[:] = (
+            stack.reshape(GRID, GRID, groups, 2, cols).transpose(2, 1, 3, 0, 4)
+        )
+
+    def stack_load_a(self, cg, handle, blk_i, blk_l, stack):
+        p = self.params
+        region = cg.memory.array(handle)[
+            blk_i * p.b_m : (blk_i + 1) * p.b_m,
+            blk_l * p.b_k : (blk_l + 1) * p.b_k,
+        ]
+        self._row_gather(region, stack, p.p_k)
+        self.tally_load_a(cg)
+
+    def stack_load_b(self, cg, handle, blk_l, blk_j, stack):
+        # CPE (i, j) holds k-rows [j*pK, (j+1)*pK) of column strip i.
+        p = self.params
+        region = cg.memory.array(handle)[
+            blk_l * p.b_k : (blk_l + 1) * p.b_k,
+            blk_j * p.b_n : (blk_j + 1) * p.b_n,
+        ]
+        stack.reshape(GRID, GRID, p.p_k, p.p_n)[:] = (
+            region.reshape(GRID, p.p_k, GRID, p.p_n).transpose(2, 0, 1, 3)
+        )
+        self.tally_load_b(cg)
+
+    def stack_load_c(self, cg, handle, blk_i, blk_j, stack):
+        p = self.params
+        region = cg.memory.array(handle)[
+            blk_i * p.b_m : (blk_i + 1) * p.b_m,
+            blk_j * p.b_n : (blk_j + 1) * p.b_n,
+        ]
+        self._row_gather(region, stack, p.p_n)
+        self.tally_load_c(cg)
+
+    def stack_store_c(self, cg, handle, blk_i, blk_j, stack):
+        p = self.params
+        region = cg.memory.array(handle)[
+            blk_i * p.b_m : (blk_i + 1) * p.b_m,
+            blk_j * p.b_n : (blk_j + 1) * p.b_n,
+        ]
+        self._row_scatter(region, stack, p.p_n)
+        self.tally_store_c(cg)
+
+    # A and C ride the 8 collective ROW_MODE strips; B stays PE_MODE
+    def tally_load_a(self, cg):
+        self._tally_row(cg, DMADirection.GET, self.params.b_m, self.params.p_k)
+
+    def tally_load_b(self, cg):
+        self._tally_pe(cg, DMADirection.GET, self.params.p_k, self.params.p_n)
+
+    def tally_load_c(self, cg):
+        self._tally_row(cg, DMADirection.GET, self.params.b_m, self.params.p_n)
+
+    def tally_store_c(self, cg):
+        self._tally_row(cg, DMADirection.PUT, self.params.b_m, self.params.p_n)

@@ -79,6 +79,7 @@ class Session:
         self,
         *,
         variant: str = "SCHED",
+        engine: str | None = None,
         params: BlockingParams | None = None,
         spec: SW26010Spec = DEFAULT_SPEC,
         processor: SW26010Processor | None = None,
@@ -88,6 +89,11 @@ class Session:
         check: bool = False,
     ) -> None:
         self.variant = str(variant).upper()
+        # None means "per-path default": scalar dgemm keeps the checked
+        # device model (fidelity), while batch dispatch — the throughput
+        # path a session exists to serve — runs the vectorized engine.
+        # Pass an explicit engine to force one choice everywhere.
+        self.engine = None if engine is None else str(engine).lower()
         self.params = params or get_variant(self.variant).default_params()
         self.pad = pad
         self.check = check
@@ -96,6 +102,7 @@ class Session:
             self.processor,
             n_core_groups=n_core_groups,
             variant=self.variant,
+            engine=self.engine or "vectorized",
             params=self.params,
             calibration=calibration,
             pad=pad,
@@ -163,17 +170,25 @@ class Session:
         beta: float = 0.0,
         transa: str = "N",
         transb: str = "N",
+        engine: str | None = None,
         pad: bool | None = None,
         check: bool | None = None,
     ) -> np.ndarray:
-        """One multiply on CG 0, staging kept warm across calls."""
+        """One multiply on CG 0, staging kept warm across calls.
+
+        ``engine=`` overrides the session's engine for this call;
+        scalar calls default to ``"device"`` (full protocol checking)
+        unless the session was built with an explicit ``engine=``.
+        """
         self._require_open()
         ctx = self._scalar_context()
         before = ctx.stats()
         out = _dgemm(
             a, b, c,
             alpha=alpha, beta=beta, transa=transa, transb=transb,
-            variant=self.variant, params=self.params, context=ctx,
+            variant=self.variant,
+            engine=engine or self.engine or "device",
+            params=self.params, context=ctx,
             pad=self.pad if pad is None else pad,
             check=self.check if check is None else check,
         )

@@ -38,7 +38,7 @@ from repro.arch.core_group import CoreGroup
 from repro.arch.mesh import Coord
 from repro.core.params import GRID
 
-__all__ = ["Role", "role_of", "exchange_step", "Scheme"]
+__all__ = ["Role", "role_of", "exchange_step", "step_owner_indices", "Scheme"]
 
 
 class Scheme(enum.Enum):
@@ -110,33 +110,49 @@ def exchange_step(
             comm.col_broadcast(a_src, a_tiles[a_src])
             comm.row_broadcast(b_src, b_tiles[b_src])
 
-    # receive phase
+    # receive phase.  Role classification is resolved once per scheme
+    # here — the owner lines and receive networks are fixed for the
+    # whole step — and owner tiles are returned as the live LDM views
+    # they already are (they were ndarrays all along; wrapping them per
+    # coordinate in the hottest loop bought nothing).
+    if scheme is Scheme.PE:
+        recv_a, recv_b = comm.receive_row, comm.receive_col
+        a_owner_axis, b_owner_axis = 1, 0  # col == step owns A, row == step owns B
+    else:
+        recv_a, recv_b = comm.receive_col, comm.receive_row
+        a_owner_axis, b_owner_axis = 0, 1
     operands: dict[Coord, tuple[np.ndarray, np.ndarray]] = {}
     for coord in mesh.coords():
-        role = role_of(coord, step, scheme)
-        if scheme is Scheme.PE:
-            a_part = (
-                np.asarray(a_tiles[coord])
-                if role in (Role.DIAGONAL, Role.A_OWNER)
-                else comm.receive_row(coord).data
-            )
-            b_part = (
-                np.asarray(b_tiles[coord])
-                if role in (Role.DIAGONAL, Role.B_OWNER)
-                else comm.receive_col(coord).data
-            )
-        else:
-            a_part = (
-                np.asarray(a_tiles[coord])
-                if role in (Role.DIAGONAL, Role.A_OWNER)
-                else comm.receive_col(coord).data
-            )
-            b_part = (
-                np.asarray(b_tiles[coord])
-                if role in (Role.DIAGONAL, Role.B_OWNER)
-                else comm.receive_row(coord).data
-            )
+        owns_a = coord[a_owner_axis] == step
+        owns_b = coord[b_owner_axis] == step
+        a_part = a_tiles[coord] if owns_a else recv_a(coord).data
+        b_part = b_tiles[coord] if owns_b else recv_b(coord).data
         operands[coord] = (a_part, b_part)
 
     comm.assert_drained()
     return operands
+
+
+def step_owner_indices(scheme: Scheme) -> tuple[np.ndarray, np.ndarray]:
+    """Gather indices resolving every sharing step over a tile stack.
+
+    For tiles stacked in thread-spawn (row-major) order, entry
+    ``[s, r * GRID + c]`` of each returned ``(GRID, GRID*GRID)`` array
+    is the flat index of the tile CPE ``(r, c)`` operates on in step
+    ``s`` — its own tile when it owns the strip, the owner's tile
+    otherwise.  This is the whole sharing scheme as two index tables:
+    the vectorized execution engine replays a step as two fancy-indexed
+    gathers plus one batched multiply, instead of 64
+    :class:`~repro.arch.regcomm.RegisterComm` round trips.
+    """
+    rows, cols = np.divmod(np.arange(GRID * GRID), GRID)
+    steps = np.arange(GRID)[:, None]
+    if scheme is Scheme.PE:
+        # step s: CPE (r, c) multiplies A of (r, s) with B of (s, c)
+        a_idx = rows[None, :] * GRID + steps
+        b_idx = steps * GRID + cols[None, :]
+    else:
+        # step s: CPE (r, c) multiplies A of (s, c) with B of (r, s)
+        a_idx = steps * GRID + cols[None, :]
+        b_idx = rows[None, :] * GRID + steps
+    return a_idx, b_idx

@@ -30,7 +30,7 @@ from repro.arch.core_group import CoreGroup
 from repro.arch.memory import MatrixHandle
 from repro.arch.mesh import Coord
 from repro.core.kernel_functional import tile_multiply
-from repro.core.mapping import PEMapping
+from repro.core.mapping import BUF_A, BUF_B, BUF_C, PEMapping
 from repro.core.params import GRID, BlockingParams
 from repro.core.variants.base import GEMMVariant, VariantTraits
 
@@ -114,14 +114,14 @@ class CannonVariant(GEMMVariant):
                     mapping.load_a(cg, a, i, l)
                     mapping.load_c(cg, c, i, j)
                     if l == 0:
-                        self.scale_c(cg, "C", beta)
+                        self.scale_c(cg, BUF_C, beta)
                     self._cannon_block_multiply(cg, alpha)
                     mapping.store_c(cg, c, i, j)
 
     def _cannon_block_multiply(self, cg: CoreGroup, alpha: float) -> None:
-        a_tiles = {c: cg.cpe(c).ldm.get("A").data.copy() for c in cg.mesh.coords()}
-        b_tiles = {c: cg.cpe(c).ldm.get("B").data.copy() for c in cg.mesh.coords()}
-        c_tiles = self._tiles(cg, "C")
+        a_tiles = {c: cg.cpe(c).ldm.get(BUF_A).data.copy() for c in cg.mesh.coords()}
+        b_tiles = {c: cg.cpe(c).ldm.get(BUF_B).data.copy() for c in cg.mesh.coords()}
+        c_tiles = self._tiles(cg, BUF_C)
         a_tiles = self._skew(cg, a_tiles, "A")
         b_tiles = self._skew(cg, b_tiles, "B")
         for _step in range(GRID):

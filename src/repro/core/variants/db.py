@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.arch.core_group import CoreGroup
 from repro.arch.memory import MatrixHandle
-from repro.core.mapping import RowMapping
+from repro.core.mapping import BUF_A, BUF_C, RowMapping
 from repro.core.params import BlockingParams
 from repro.core.sharing import Scheme
 from repro.core.variants.base import GEMMVariant, VariantTraits
@@ -55,17 +55,20 @@ class DoubleBufferedVariant(GEMMVariant):
 
         def load_slot(i: int, l: int, j: int, beta_now: float) -> None:
             slot = i % 2
-            mapping.load_a(cg, a, i, l, buf=f"A{slot}")
-            mapping.load_c(cg, c, i, j, buf=f"C{slot}")
+            mapping.load_a(cg, a, i, l, buf=f"{BUF_A}{slot}")
+            mapping.load_c(cg, c, i, j, buf=f"{BUF_C}{slot}")
             if beta_now != 1.0:
-                self.scale_c(cg, f"C{slot}", beta_now)
+                self.scale_c(cg, f"{BUF_C}{slot}", beta_now)
 
         def compute(i: int) -> None:
             slot = i % 2
-            self.strip_multiply(cg, self.scheme, alpha, a_buf=f"A{slot}", c_buf=f"C{slot}")
+            self.strip_multiply(
+                cg, self.scheme, alpha,
+                a_buf=f"{BUF_A}{slot}", c_buf=f"{BUF_C}{slot}",
+            )
 
         def store_slot(i: int, j: int) -> None:
-            mapping.store_c(cg, c, i, j, buf=f"C{i % 2}")
+            mapping.store_c(cg, c, i, j, buf=f"{BUF_C}{i % 2}")
 
         for j in range(grid_n):
             for l in range(grid_k):

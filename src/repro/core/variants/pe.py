@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.arch.core_group import CoreGroup
 from repro.arch.memory import MatrixHandle
-from repro.core.mapping import PEMapping
+from repro.core.mapping import BUF_C, PEMapping
 from repro.core.params import BlockingParams
 from repro.core.sharing import Scheme
 from repro.core.variants.base import GEMMVariant, VariantTraits
@@ -53,6 +53,6 @@ class PEVariant(GEMMVariant):
                     mapping.load_a(cg, a, i, l)
                     mapping.load_c(cg, c, i, j)
                     if l == 0:
-                        self.scale_c(cg, "C", beta)
+                        self.scale_c(cg, BUF_C, beta)
                     self.strip_multiply(cg, self.scheme, alpha)
                     mapping.store_c(cg, c, i, j)

@@ -22,6 +22,7 @@ from repro.errors import UnsupportedShapeError
 from repro.arch.core_group import CoreGroup
 from repro.arch.memory import MatrixHandle
 from repro.core.kernel_functional import tile_multiply
+from repro.core.mapping import BUF_A, BUF_B, BUF_C
 from repro.core.params import GRID, BlockingParams
 from repro.core.variants.base import GEMMVariant, VariantTraits, check_gemm_shapes
 
@@ -88,15 +89,15 @@ class RawVariant(GEMMVariant):
         cg.reset_cpes()
         cg.mpe.spawn(cg.spec.n_cpes)
         for cpe in cg.cpes():
-            cpe.ldm.alloc("A", (t_m, t_k))
-            cpe.ldm.alloc("B", (t_k, t_n))
-            cpe.ldm.alloc("C", (t_m, t_n))
+            cpe.ldm.alloc(BUF_A, (t_m, t_k))
+            cpe.ldm.alloc(BUF_B, (t_k, t_n))
+            cpe.ldm.alloc(BUF_C, (t_m, t_n))
 
         for coord in cg.mesh.coords():
             cpe = cg.cpe(coord)
-            buf_a = cpe.ldm.get("A")
-            buf_b = cpe.ldm.get("B")
-            buf_c = cpe.ldm.get("C")
+            buf_a = cpe.ldm.get(BUF_A)
+            buf_b = cpe.ldm.get(BUF_B)
+            buf_c = cpe.ldm.get(BUF_C)
             row0 = coord.row * panel_m
             col0 = coord.col * panel_n
             for ti in range(panel_m // t_m):

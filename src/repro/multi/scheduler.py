@@ -205,6 +205,7 @@ class CGScheduler:
         *,
         n_core_groups: int | None = None,
         variant: str = "SCHED",
+        engine: str = "device",
         params: BlockingParams | None = None,
         spec: SW26010Spec = DEFAULT_SPEC,
         calibration: Calibration = DEFAULT_CALIBRATION,
@@ -220,6 +221,7 @@ class CGScheduler:
             )
         self.n_core_groups = pool
         self.variant = str(variant).upper()
+        self.engine = str(engine).lower()
         self.params = params or get_variant(self.variant).default_params()
         self.pad = pad
         self.check = check
@@ -329,7 +331,8 @@ class CGScheduler:
                         item.a, item.b, item.c,
                         alpha=item.alpha, beta=item.beta,
                         transa=item.transa, transb=item.transb,
-                        variant=self.variant, params=self.params,
+                        variant=self.variant, engine=self.engine,
+                        params=self.params,
                         context=self._contexts[home], pad=self.pad,
                         check=self.check,
                     )
@@ -375,6 +378,6 @@ class CGScheduler:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"CGScheduler({self.variant}, pool={self.n_core_groups} CGs, "
-            f"pad={self.pad})"
+            f"CGScheduler({self.variant}, engine={self.engine}, "
+            f"pool={self.n_core_groups} CGs, pad={self.pad})"
         )

@@ -13,6 +13,11 @@ guarantees the ExecutionContext refactor made contractual:
    **every** core group's used_bytes to its pre-run baseline — with and
    without a failing item in the batch.
 
+The single-CG checks run under **both execution engines** (device and
+vectorized): staging is engine-independent, so the lifecycle
+guarantees must hold identically whichever engine executes the
+multiply.
+
 Exits non-zero with a diagnostic on the first violation, so CI can run
 it alongside the unit suite as a fast end-to-end guard.
 """
@@ -51,44 +56,47 @@ def main() -> int:
     baseline = cg.memory.used_bytes
     resident = sorted(h.name for h in cg.memory.handles())
 
-    print("single dgemm on a shared CoreGroup:")
-    a, b, c = gemm_operands(PARAMS.b_m, PARAMS.b_n, PARAMS.b_k, seed=0)
-    out = dgemm(a, b, c, beta=1.0, params=PARAMS, core_group=cg)
-    check(np.allclose(out, a @ b + c, rtol=1e-11, atol=1e-8),
-          "result matches numpy")
-    check(cg.memory.used_bytes == baseline, "used_bytes back to baseline")
-    check(sorted(h.name for h in cg.memory.handles()) == resident,
-          "handle set unchanged")
+    for engine in ("device", "vectorized"):
+        print(f"single dgemm on a shared CoreGroup [{engine} engine]:")
+        a, b, c = gemm_operands(PARAMS.b_m, PARAMS.b_n, PARAMS.b_k, seed=0)
+        out = dgemm(a, b, c, beta=1.0, params=PARAMS, core_group=cg,
+                    engine=engine)
+        check(np.allclose(out, a @ b + c, rtol=1e-11, atol=1e-8),
+              "result matches numpy")
+        check(cg.memory.used_bytes == baseline, "used_bytes back to baseline")
+        check(sorted(h.name for h in cg.memory.handles()) == resident,
+              "handle set unchanged")
 
-    print("odd-shape padded dgemm:")
-    a2, b2, _ = gemm_operands(100, 30, 50, seed=1)
-    dgemm(a2, b2, params=PARAMS, core_group=cg, pad=True)
-    check(cg.memory.used_bytes == baseline, "used_bytes back to baseline")
+        print(f"odd-shape padded dgemm [{engine} engine]:")
+        a2, b2, _ = gemm_operands(100, 30, 50, seed=1)
+        dgemm(a2, b2, params=PARAMS, core_group=cg, pad=True, engine=engine)
+        check(cg.memory.used_bytes == baseline, "used_bytes back to baseline")
 
-    print("same-shape batch reuses staging allocations:")
-    items = [
-        BatchItem(*gemm_operands(PARAMS.b_m, PARAMS.b_n, PARAMS.b_k, seed=s)[:2])
-        for s in range(4)
-    ]
-    allocs_before = cg.memory.stats.allocations
-    dgemm_batch(items, params=PARAMS, core_group=cg)
-    new_allocs = cg.memory.stats.allocations - allocs_before
-    check(new_allocs == 3,
-          f"one allocation per operand slot (got {new_allocs}, want 3)")
-    check(cg.memory.used_bytes == baseline, "used_bytes back to baseline")
-    check(sorted(h.name for h in cg.memory.handles()) == resident,
-          "handle set unchanged")
+        print(f"same-shape batch reuses staging allocations [{engine} engine]:")
+        items = [
+            BatchItem(*gemm_operands(PARAMS.b_m, PARAMS.b_n, PARAMS.b_k,
+                                     seed=s)[:2])
+            for s in range(4)
+        ]
+        allocs_before = cg.memory.stats.allocations
+        dgemm_batch(items, params=PARAMS, core_group=cg, engine=engine)
+        new_allocs = cg.memory.stats.allocations - allocs_before
+        check(new_allocs == 3,
+              f"one allocation per operand slot (got {new_allocs}, want 3)")
+        check(cg.memory.used_bytes == baseline, "used_bytes back to baseline")
+        check(sorted(h.name for h in cg.memory.handles()) == resident,
+              "handle set unchanged")
 
-    print("failing call still frees its staging:")
-    try:
-        dgemm_batch([items[0], ("not", "an item")],  # type: ignore[list-item]
-                    params=PARAMS, core_group=cg)
-    except Exception:
-        pass
-    else:
-        check(False, "malformed batch item raised")
-    check(cg.memory.used_bytes == baseline,
-          "used_bytes back to baseline after raise")
+        print(f"failing call still frees its staging [{engine} engine]:")
+        try:
+            dgemm_batch([items[0], ("not", "an item")],  # type: ignore[list-item]
+                        params=PARAMS, core_group=cg, engine=engine)
+        except Exception:
+            pass
+        else:
+            check(False, "malformed batch item raised")
+        check(cg.memory.used_bytes == baseline,
+              "used_bytes back to baseline after raise")
 
     print("multi-CG pool run restores every CG's baseline:")
     proc = SW26010Processor()
