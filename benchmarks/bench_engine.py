@@ -10,6 +10,9 @@ statistics must match exactly, otherwise the run fails.
 
 Timings cover ``engine.run`` on pre-staged operands — the execution
 engine itself, excluding the engine-independent host staging copies.
+Every repetition's wall-clock is kept; records report the best-of-reps
+headline number plus a min/p50/p95/mean summary so the trajectory file
+captures run-to-run jitter, not just the fastest sample.
 
 Runnable standalone::
 
@@ -64,14 +67,26 @@ def _stats_snapshot(cg: CoreGroup) -> dict:
     }
 
 
+def _timing_summary(samples: list[float]) -> dict:
+    """min/p50/p95/mean over the per-rep wall-clock samples."""
+    arr = np.asarray(samples, dtype=np.float64)
+    return {
+        "reps": len(samples),
+        "min": float(arr.min()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "mean": float(arr.mean()),
+    }
+
+
 def _run_engine(
     variant: str,
     engine_name: str,
     shape: tuple[int, int, int],
     params: BlockingParams | None,
     reps: int,
-) -> tuple[np.ndarray, dict, float]:
-    """Return (result, stats, best-of-reps seconds) for one engine run.
+) -> tuple[np.ndarray, dict, list[float]]:
+    """Return (result, stats, per-rep seconds) for one engine run.
 
     The first repetition runs on the freshly staged C and provides the
     verified result and statistics; later repetitions only refine the
@@ -90,17 +105,17 @@ def _run_engine(
         ha = ctx.stage("A", a, rows=m, cols=k)
         hb = ctx.stage("B", b, rows=k, cols=n)
         hc = ctx.stage("C", c, rows=m, cols=n)
-        best = float("inf")
+        samples: list[float] = []
         result = None
         stats = None
         for rep in range(reps):
             t0 = time.perf_counter()
             eng.run(impl, cg, ha, hb, hc, alpha=1.0, beta=1.0, params=params)
-            best = min(best, time.perf_counter() - t0)
+            samples.append(time.perf_counter() - t0)
             if rep == 0:
                 result = np.array(cg.memory.array(hc), order="F", copy=True)
                 stats = _stats_snapshot(cg)
-    return result, stats, best
+    return result, stats, samples
 
 
 def bench_variant(
@@ -110,12 +125,18 @@ def bench_variant(
     device_reps: int = 1,
     vectorized_reps: int = 3,
 ) -> tuple[dict, list[str]]:
-    """Measure and verify one variant; return (record, failures)."""
+    """Measure and verify one variant; return (record, failures).
+
+    The headline ``*_seconds``/``speedup`` numbers use the best-of-reps
+    sample; the ``*_timing`` summaries expose the full distribution.
+    """
     m, n, k = shape
-    dev_out, dev_stats, dev_s = _run_engine(
+    dev_out, dev_stats, dev_samples = _run_engine(
         variant, "device", shape, params, device_reps)
-    vec_out, vec_stats, vec_s = _run_engine(
+    vec_out, vec_stats, vec_samples = _run_engine(
         variant, "vectorized", shape, params, vectorized_reps)
+    dev_s = min(dev_samples)
+    vec_s = min(vec_samples)
 
     failures: list[str] = []
     if not np.allclose(vec_out, dev_out, rtol=1e-12, atol=1e-9):
@@ -136,6 +157,8 @@ def bench_variant(
         "flops": 2 * m * n * k,
         "device_seconds": dev_s,
         "vectorized_seconds": vec_s,
+        "device_timing": _timing_summary(dev_samples),
+        "vectorized_timing": _timing_summary(vec_samples),
         "speedup": dev_s / vec_s,
         "device_gflops": 2 * m * n * k / dev_s / 1e9,
         "vectorized_gflops": 2 * m * n * k / vec_s / 1e9,
@@ -152,12 +175,15 @@ def full(json_path: str) -> int:
     records: dict[str, dict] = {}
     failures: list[str] = []
     for variant, shape in PAPER_SHAPES.items():
-        record, errs = bench_variant(variant, shape)
+        record, errs = bench_variant(
+            variant, shape, device_reps=3, vectorized_reps=5)
         records[variant] = record
         failures.extend(errs)
+        vec_t = record["vectorized_timing"]
         print(
             f"{variant:6s} {shape}: device {record['device_seconds']:.3f}s, "
             f"vectorized {record['vectorized_seconds']:.3f}s "
+            f"(p50 {vec_t['p50']:.3f}s, p95 {vec_t['p95']:.3f}s) "
             f"-> {record['speedup']:.1f}x, "
             f"DMA {record['dma_gb_moved']:.3f} GB, "
             f"regcomm {record['regcomm_gb_moved']:.3f} GB"

@@ -33,6 +33,19 @@ can dispatch batches across the chip's four core groups)::
 The functional entry points (``dgemm``, ``dgemm_batch``,
 ``dgemm_multi_cg``) remain available for one-shot calls and for code
 that manages devices explicitly.
+
+Telemetry (:mod:`repro.obs`) is opt-in: pass ``tracer=SpanTracer()``
+to a session (or to ``dgemm``/``dgemm_batch`` directly) and every
+phase — staging, per-panel multiplies, stores, dispatch — records its
+wall time and counter deltas, exportable as a Perfetto-loadable Chrome
+trace::
+
+    from repro import Session, SpanTracer, write_chrome_trace
+
+    tracer = SpanTracer()
+    with Session(n_core_groups=4, tracer=tracer) as s:
+        s.batch(items)
+    write_chrome_trace(tracer.spans, "trace.json")
 """
 
 from repro._version import __version__
@@ -52,6 +65,13 @@ from repro.multi import (
     ScheduleResult,
     SW26010Processor,
     dgemm_multi_cg,
+)
+from repro.obs import (
+    MetricsRegistry,
+    SpanTracer,
+    chrome_trace,
+    phase_report,
+    write_chrome_trace,
 )
 from repro.perf import Estimator, TimelineSimulator
 
@@ -74,4 +94,9 @@ __all__ = [
     "dgemm_multi_cg",
     "Estimator",
     "TimelineSimulator",
+    "MetricsRegistry",
+    "SpanTracer",
+    "chrome_trace",
+    "phase_report",
+    "write_chrome_trace",
 ]

@@ -38,6 +38,7 @@ from repro.errors import AlignmentError, DMAError, UnsupportedModeError
 from repro.arch.config import SW26010Spec, DEFAULT_SPEC
 from repro.arch.ldm import LDMBuffer
 from repro.arch.memory import MainMemory, MatrixHandle
+from repro.utils.stats import StatsProtocol
 
 __all__ = [
     "DMAMode",
@@ -109,7 +110,7 @@ class DMAReply:
 
 
 @dataclass
-class DMAStats:
+class DMAStats(StatsProtocol):
     """Cumulative per-mode transfer counters."""
 
     gets: int = 0

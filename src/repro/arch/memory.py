@@ -17,12 +17,13 @@ tests) can assert the copy discipline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import AlignmentError, ConfigError
 from repro.arch.config import SW26010Spec, DEFAULT_SPEC
+from repro.utils.stats import StatsProtocol
 
 __all__ = ["MatrixHandle", "MainMemory", "MemoryStats"]
 
@@ -48,7 +49,7 @@ class MatrixHandle:
 
 
 @dataclass
-class MemoryStats:
+class MemoryStats(StatsProtocol):
     """Host-side staging counters (DMA traffic is counted elsewhere).
 
     ``allocations`` is the number of new backing arrays created — each
@@ -61,9 +62,6 @@ class MemoryStats:
     allocations: int = 0
     in_place_stores: int = 0
     frees: int = 0
-
-    def snapshot(self) -> "MemoryStats":
-        return replace(self)
 
 
 class MainMemory:

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.errors import RegisterCommError
 from repro.arch.mesh import Coord, CPEMesh
+from repro.utils.stats import StatsProtocol
 
 __all__ = ["Broadcast", "RegCommStats", "RegisterComm"]
 
@@ -47,7 +48,7 @@ class Broadcast:
 
 
 @dataclass
-class RegCommStats:
+class RegCommStats(StatsProtocol):
     """Operation counters for the two mesh networks."""
 
     row_broadcasts: int = 0

@@ -29,12 +29,13 @@ import numpy as np
 
 from repro.errors import ConfigError, LDMAllocationError
 from repro.arch.memory import MainMemory, MatrixHandle
+from repro.utils.stats import StatsProtocol
 
 __all__ = ["CacheStats", "SoftwareCache"]
 
 
 @dataclass
-class CacheStats:
+class CacheStats(StatsProtocol):
     """Access counters of one software cache instance."""
 
     hits: int = 0

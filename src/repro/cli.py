@@ -6,6 +6,7 @@ Installed as ``repro-dgemm``::
     repro-dgemm --preset paper --variant DB --estimate-only
     repro-dgemm --m 512 --n 512 --k 1536 --gantt
     repro-dgemm schedule --items 16 --cgs 4
+    repro-dgemm trace --items 8 --cgs 4 --out trace.json --report
 
 ``--estimate-only`` skips the functional simulation and prints the
 performance model's prediction (any paper-scale size is fine there);
@@ -13,7 +14,10 @@ functional runs execute on the device model and verify against numpy.
 The ``schedule`` subcommand dispatches a mixed-shape batch across the
 chip's core-group pool and reports the per-CG split, the modeled
 makespan vs. the serial single-CG time, and the load-balance
-efficiency.
+efficiency.  The ``trace`` subcommand runs a traced session batch and
+exports the span tree as a Chrome trace (load it at ui.perfetto.dev)
+or JSONL, reconciling span counter deltas against the session totals
+before it reports success.
 """
 
 from __future__ import annotations
@@ -32,7 +36,7 @@ from repro.errors import ReproError
 from repro.perf.estimator import Estimator
 from repro.workloads.matrices import gemm_operands
 
-__all__ = ["build_parser", "build_schedule_parser", "main"]
+__all__ = ["build_parser", "build_schedule_parser", "build_trace_parser", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -139,6 +143,100 @@ def _run_schedule(argv: list[str]) -> int:
     return 0
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dgemm trace",
+        description="Run a traced Session batch and export the span tree "
+                    "as a Chrome trace (Perfetto) or JSONL",
+    )
+    parser.add_argument("--items", type=int, default=8,
+                        help="number of batch items (default 8)")
+    parser.add_argument("--cgs", type=int, default=4,
+                        help="pool size, 1..4 core groups (default 4)")
+    parser.add_argument(
+        "--variant", default="SCHED", choices=sorted(VARIANTS),
+        type=lambda s: s.upper(), help="implementation (paper Sec V)",
+    )
+    parser.add_argument(
+        "--preset", choices=["small", "paper"], default="small",
+        help="blocking parameters: scaled-down (default) or the paper's",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="trace.json",
+                        help="output path (default trace.json)")
+    parser.add_argument("--format", choices=["chrome", "jsonl"],
+                        default="chrome",
+                        help="chrome trace-event JSON (default) or one "
+                             "span per JSONL line")
+    parser.add_argument("--report", action="store_true",
+                        help="also print the per-phase text report")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny fixed workload (4 items, 2 CGs, small "
+                             "preset) for CI; still reconciles counters")
+    return parser
+
+
+def _run_trace(argv: list[str]) -> int:
+    from repro.core.session import Session
+    from repro.obs import (
+        SpanTracer, phase_report, write_chrome_trace, write_jsonl,
+    )
+    from repro.workloads.matrices import mixed_batch
+
+    args = build_trace_parser().parse_args(argv)
+    if args.smoke:
+        args.items, args.cgs, args.preset = 4, 2, "small"
+    params = _params_for(args)
+    tracer = SpanTracer()
+    try:
+        with Session(
+            variant=args.variant, params=params,
+            n_core_groups=args.cgs, tracer=tracer,
+        ) as session:
+            items = mixed_batch(args.items, params=params, seed=args.seed)
+            result = session.batch(items)
+            totals = session.stats().traffic.as_dict()
+        if result.errors:
+            print(f"error: {len(result.errors)} batch item(s) failed",
+                  file=sys.stderr)
+            return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    # every byte the session accounted must appear in exactly one
+    # dgemm span's counter deltas — the trace is trustworthy only if
+    # this reconciles bit-exactly.
+    deltas = tracer.counter_totals("dgemm")
+    mismatches = [
+        f"{field}: spans={deltas.get(f'ctx.{field}', 0)!r} "
+        f"session={total!r}"
+        for field, total in totals.items()
+        if deltas.get(f"ctx.{field}", 0) != total
+    ]
+    if mismatches:
+        print("error: span counters do not reconcile with Session.stats():",
+              file=sys.stderr)
+        for line in mismatches:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+
+    if args.format == "chrome":
+        write_chrome_trace(tracer.spans, args.out,
+                           label=f"repro {args.variant} x{args.items}")
+    else:
+        write_jsonl(tracer.spans, args.out)
+    print(f"{len(tracer.spans)} spans over {args.cgs} CG(s), "
+          f"{tracer.total_seconds('session.batch') * 1e3:.3f} ms wall; "
+          f"counters reconcile "
+          f"with Session.stats() ({len(totals)} fields)")
+    print(f"wrote {args.format} trace to {args.out}")
+    if args.report:
+        print()
+        print(phase_report(tracer.spans))
+    return 0
+
+
 def _params_for(args) -> BlockingParams:
     traits = VARIANTS[args.variant].traits
     if args.preset == "paper":
@@ -151,6 +249,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "schedule":
         return _run_schedule(argv[1:])
+    if argv and argv[0] == "trace":
+        return _run_trace(argv[1:])
     args = build_parser().parse_args(argv)
     params = _params_for(args)
     m = args.m if args.m is not None else 2 * params.b_m

@@ -27,6 +27,8 @@ from repro.core.engine import get_engine
 from repro.core.params import BlockingParams
 from repro.core.reference import reference_dgemm
 from repro.core.variants import get_variant
+from repro.obs.registry import cg_meter, context_meter
+from repro.obs.tracer import ensure_tracer
 
 __all__ = ["dgemm"]
 
@@ -65,6 +67,7 @@ def dgemm(
     context: ExecutionContext | None = None,
     pad: bool = False,
     check: bool = False,
+    tracer=None,
 ) -> np.ndarray:
     """Compute ``alpha * a @ b + beta * c`` on the simulated CG.
 
@@ -111,6 +114,11 @@ def dgemm(
     check:
         verify the result against the numpy reference and raise
         ``AssertionError`` on mismatch (debugging aid).
+    tracer:
+        a :class:`repro.obs.SpanTracer` to record phase spans into
+        (``dgemm`` → ``stage_A``/``stage_B``/``stage_C``/``strip_mult``
+        /``store_C``) with counter deltas attached; ``None`` (the
+        default) resolves to the no-op tracer.
 
     Returns
     -------
@@ -141,17 +149,30 @@ def dgemm(
 
     pm, pn, pk = (params.pad_shape(m, n, k) if pad else (m, n, k))
 
+    tracer = ensure_tracer(tracer)
     with ExecutionContext.scoped(context, core_group, spec) as ctx, ctx.executing():
         cg = ctx.core_group
-        ha = ctx.stage("A", a, rows=pm, cols=pk)
-        hb = ctx.stage("B", b, rows=pk, cols=pn)
-        hc = (
-            ctx.stage("C", c, rows=pm, cols=pn)
-            if c is not None
-            else ctx.stage_zeros("C", pm, pn)
-        )
-        eng.run(impl, cg, ha, hb, hc, alpha=alpha, beta=beta, params=params)
-        result = np.array(cg.memory.array(hc)[:m, :n], order="F", copy=True)
+        with tracer.span(
+            "dgemm", cat="dgemm", meter=context_meter(ctx),
+            m=m, n=n, k=k, variant=str(variant).upper(), engine=eng.name,
+            flops=2 * m * n * k,
+        ):
+            meter = cg_meter(cg)
+            with tracer.span("stage_A", cat="stage", meter=meter):
+                ha = ctx.stage("A", a, rows=pm, cols=pk)
+            with tracer.span("stage_B", cat="stage", meter=meter):
+                hb = ctx.stage("B", b, rows=pk, cols=pn)
+            with tracer.span("stage_C", cat="stage", meter=meter):
+                hc = (
+                    ctx.stage("C", c, rows=pm, cols=pn)
+                    if c is not None
+                    else ctx.stage_zeros("C", pm, pn)
+                )
+            eng.run(impl, cg, ha, hb, hc, alpha=alpha, beta=beta,
+                    params=params, tracer=tracer)
+            with tracer.span("store_C", cat="stage", meter=meter):
+                result = np.array(cg.memory.array(hc)[:m, :n], order="F",
+                                  copy=True)
 
     if check:
         base = c if c is not None else np.zeros((m, n), dtype=np.float64, order="F")

@@ -160,6 +160,7 @@ def dgemm_batch(
     check: bool = False,
     processor: "SW26010Processor | None" = None,
     n_core_groups: int | None = None,
+    tracer=None,
 ) -> "BatchResult | ScheduleResult":
     """Run every item on one shared core group — or across a CG pool.
 
@@ -179,6 +180,10 @@ def dgemm_batch(
     returns its :class:`~repro.multi.scheduler.ScheduleResult` (a
     superset of :class:`BatchResult`'s accounting).  Any item failure
     propagates on this path, matching the serial contract.
+
+    ``tracer=`` records per-item ``dgemm`` phase spans (and, on the
+    pool path, the scheduler's ``cg_dispatch`` spans) into a
+    :class:`repro.obs.SpanTracer`; ``None`` disables tracing.
     """
     items = list(items)
     if not items:
@@ -201,6 +206,7 @@ def dgemm_batch(
             spec=spec,
             pad=pad,
             check=check,
+            tracer=tracer,
         )
         return scheduler.run(items, isolate_failures=False)
     shapes = validate_items(items)
@@ -216,7 +222,7 @@ def dgemm_batch(
                 alpha=item.alpha, beta=item.beta,
                 transa=item.transa, transb=item.transb,
                 variant=variant, engine=engine, params=params,
-                context=ctx, pad=pad, check=check,
+                context=ctx, pad=pad, check=check, tracer=tracer,
             )
             flops += 2 * m * n * k
             pm, pn, pk = params.pad_shape(m, n, k) if pad else (m, n, k)

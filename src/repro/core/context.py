@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import contextlib
 from collections import OrderedDict
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 from itertools import count
 
 import numpy as np
@@ -36,6 +36,7 @@ from repro.errors import ConfigError
 from repro.arch.config import SW26010Spec, DEFAULT_SPEC
 from repro.arch.core_group import CoreGroup
 from repro.arch.memory import MatrixHandle
+from repro.utils.stats import StatsProtocol
 
 __all__ = ["ContextStats", "ExecutionContext"]
 
@@ -44,8 +45,14 @@ _CONTEXT_IDS = count(1)
 
 
 @dataclass(frozen=True)
-class ContextStats:
-    """Traffic and staging counters attributed to one context."""
+class ContextStats(StatsProtocol):
+    """Traffic and staging counters attributed to one context.
+
+    ``delta``/``plus``/``zero``/``as_dict`` come from
+    :class:`~repro.utils.stats.StatsProtocol`; :meth:`since` is the
+    delta spelled in baseline terms, kept because "traffic since that
+    snapshot" is how every caller reads.
+    """
 
     #: bytes moved by DMA between main memory and LDM.
     dma_bytes: int
@@ -61,26 +68,7 @@ class ContextStats:
 
     def since(self, earlier: "ContextStats") -> "ContextStats":
         """Counter deltas relative to an earlier snapshot."""
-        return ContextStats(
-            *(
-                getattr(self, f.name) - getattr(earlier, f.name)
-                for f in fields(self)
-            )
-        )
-
-    def plus(self, other: "ContextStats") -> "ContextStats":
-        """Counter sums — aggregation across contexts (e.g. a CG pool)."""
-        return ContextStats(
-            *(
-                getattr(self, f.name) + getattr(other, f.name)
-                for f in fields(self)
-            )
-        )
-
-    @classmethod
-    def zero(cls) -> "ContextStats":
-        """The additive identity for :meth:`plus`."""
-        return cls(*(0 for _ in fields(cls)))
+        return self.delta(earlier)
 
 
 class ExecutionContext:

@@ -41,8 +41,15 @@ class Engine(ABC):
         alpha: float = 1.0,
         beta: float = 0.0,
         params: BlockingParams | None = None,
+        tracer=None,
     ) -> None:
-        """Execute ``impl``'s program for these operands on ``cg``."""
+        """Execute ``impl``'s program for these operands on ``cg``.
+
+        ``tracer`` (a :class:`repro.obs.SpanTracer`, or ``None`` for
+        the no-op default) receives the engine's kernel-phase spans —
+        ``strip_mult`` per panel on the vectorized path, one aggregate
+        ``kernel`` span on the per-CPE device path.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"

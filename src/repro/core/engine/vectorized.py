@@ -59,6 +59,8 @@ from repro.core.kernel_functional import tile_multiply_batched
 from repro.core.params import GRID, BlockingParams
 from repro.core.sharing import Scheme, step_owner_indices
 from repro.core.variants.base import check_gemm_shapes
+from repro.obs.registry import cg_meter
+from repro.obs.tracer import ensure_tracer
 
 __all__ = ["VectorizedEngine", "TileStacks"]
 
@@ -114,10 +116,12 @@ class VectorizedEngine(Engine):
         alpha: float = 1.0,
         beta: float = 0.0,
         params: BlockingParams | None = None,
+        tracer=None,
     ) -> None:
         name = impl.traits.name
+        tracer = ensure_tracer(tracer)
         if not impl.traits.shared:
-            self._run_raw(impl, cg, a, b, c, alpha, beta)
+            self._run_raw(impl, cg, a, b, c, alpha, beta, tracer)
             return
         if not hasattr(impl, "scheme") or not hasattr(impl, "mapping_cls"):
             raise ConfigError(
@@ -143,15 +147,15 @@ class VectorizedEngine(Engine):
         # exactly.
         if self.stepwise:
             self._shared_stepwise(impl, cg, a, b, c, alpha, beta,
-                                  params, mapping, grid)
+                                  params, mapping, grid, tracer)
         else:
             self._shared_fused(impl, cg, a, b, c, alpha, beta,
-                               params, mapping, grid, m)
+                               params, mapping, grid, m, tracer)
 
     # -- the blocked, shared variants (PE / ROW / DB / SCHED) -----------
 
     def _shared_fused(self, impl, cg, a, b, c, alpha, beta,
-                      params, mapping, grid, m) -> None:
+                      params, mapping, grid, m, tracer) -> None:
         """One BLAS panel product per (j, l); stats booked analytically.
 
         The stack gathers, owner-index gathers, and write-back scatters
@@ -167,41 +171,47 @@ class VectorizedEngine(Engine):
         b_v = cg.memory.array(b)
         c_v = cg.memory.array(c)
         res_t = np.empty((b_n, m))
+        meter = cg_meter(cg)
         for j in range(grid_n):
             jb = slice(j * b_n, (j + 1) * b_n)
             for l in range(grid_k):
                 lb = slice(l * b_k, (l + 1) * b_k)
-                if l == 0 and beta != 1.0:
-                    c_v[:, jb] *= beta
-                np.matmul(b_v[lb, jb].T, a_v[:, lb].T, out=res_t)
-                if alpha != 1.0:
-                    res_t *= alpha
-                c_v[:, jb] += res_t.T
-                mapping.tally_load_b(cg)
-                for _ in range(grid_m):
-                    mapping.tally_load_a(cg)
-                    mapping.tally_load_c(cg)
-                    mapping.tally_store_c(cg)
-                    self._tally_sharing(cg, impl.scheme, params)
+                with tracer.span("strip_mult", cat="kernel", meter=meter,
+                                 j=j, l=l):
+                    if l == 0 and beta != 1.0:
+                        c_v[:, jb] *= beta
+                    np.matmul(b_v[lb, jb].T, a_v[:, lb].T, out=res_t)
+                    if alpha != 1.0:
+                        res_t *= alpha
+                    c_v[:, jb] += res_t.T
+                    mapping.tally_load_b(cg)
+                    for _ in range(grid_m):
+                        mapping.tally_load_a(cg)
+                        mapping.tally_load_c(cg)
+                        mapping.tally_store_c(cg)
+                        self._tally_sharing(cg, impl.scheme, params)
 
     def _shared_stepwise(self, impl, cg, a, b, c, alpha, beta,
-                         params, mapping, grid) -> None:
+                         params, mapping, grid, tracer) -> None:
         """The literal mesh-wide program: stacks, gathers, batched steps."""
         grid_m, grid_n, grid_k = grid
         stacks = TileStacks(params)
         idx_a, idx_b = step_owner_indices(impl.scheme)
+        meter = cg_meter(cg)
         for j in range(grid_n):
             for l in range(grid_k):
-                mapping.stack_load_b(cg, b, l, j, stacks.b)
-                beta_now = beta if l == 0 else 1.0
-                for i in range(grid_m):
-                    mapping.stack_load_a(cg, a, i, l, stacks.a)
-                    mapping.stack_load_c(cg, c, i, j, stacks.c)
-                    if beta_now != 1.0:
-                        stacks.c *= beta_now
-                    self._strip_multiply(cg, impl.scheme, stacks,
-                                         idx_a, idx_b, alpha, params)
-                    mapping.stack_store_c(cg, c, i, j, stacks.c)
+                with tracer.span("strip_mult", cat="kernel", meter=meter,
+                                 j=j, l=l):
+                    mapping.stack_load_b(cg, b, l, j, stacks.b)
+                    beta_now = beta if l == 0 else 1.0
+                    for i in range(grid_m):
+                        mapping.stack_load_a(cg, a, i, l, stacks.a)
+                        mapping.stack_load_c(cg, c, i, j, stacks.c)
+                        if beta_now != 1.0:
+                            stacks.c *= beta_now
+                        self._strip_multiply(cg, impl.scheme, stacks,
+                                             idx_a, idx_b, alpha, params)
+                        mapping.stack_store_c(cg, c, i, j, stacks.c)
 
     def _strip_multiply(self, cg, scheme, stacks, idx_a, idx_b,
                         alpha, params) -> None:
@@ -241,7 +251,7 @@ class VectorizedEngine(Engine):
 
     # -- RAW ------------------------------------------------------------
 
-    def _run_raw(self, impl, cg, a, b, c, alpha, beta) -> None:
+    def _run_raw(self, impl, cg, a, b, c, alpha, beta, tracer) -> None:
         """RAW's per-thread tiled triple loop, batched over the mesh.
 
         A tile row is shared by a whole mesh row and a B tile by a
@@ -262,29 +272,31 @@ class VectorizedEngine(Engine):
         b_v = cg.memory.array(b).reshape(k, GRID, panel_n)
         c_v = cg.memory.array(c).reshape(GRID, panel_m, GRID, panel_n)
         n_kk = k // t_k
-        for ti in range(panel_m // t_m):
-            rows = slice(ti * t_m, (ti + 1) * t_m)
-            for tj in range(panel_n // t_n):
-                cols = slice(tj * t_n, (tj + 1) * t_n)
-                c_region = c_v[:, rows, :, cols]
-                c_stack = c_region.transpose(0, 2, 1, 3).copy()
-                if beta != 1.0:
-                    c_stack *= beta
-                for kk in range(n_kk):
-                    ks = slice(kk * t_k, (kk + 1) * t_k)
-                    a_stack = a_v[:, rows, ks].copy()               # (8, tM, tK)
-                    b_stack = b_v[ks, :, cols].transpose(1, 0, 2).copy()
-                    prod = np.matmul(a_stack[:, None], b_stack[None, :])
-                    if alpha == 1.0:
-                        c_stack += prod
-                    else:
-                        c_stack += alpha * prod
-                c_region[:] = c_stack.transpose(0, 2, 1, 3)
-                stats.tally(DMAMode.PE, DMADirection.GET,
-                            t_m * t_n * 8, t_m * t_n * 8 // tb, n_cpes)
-                stats.tally(DMAMode.PE, DMADirection.GET,
-                            t_m * t_k * 8, t_m * t_k * 8 // tb, n_cpes * n_kk)
-                stats.tally(DMAMode.PE, DMADirection.GET,
-                            t_k * t_n * 8, t_k * t_n * 8 // tb, n_cpes * n_kk)
-                stats.tally(DMAMode.PE, DMADirection.PUT,
-                            t_m * t_n * 8, t_m * t_n * 8 // tb, n_cpes)
+        with tracer.span("kernel", cat="kernel", meter=cg_meter(cg),
+                         variant=impl.traits.name, engine=self.name):
+            for ti in range(panel_m // t_m):
+                rows = slice(ti * t_m, (ti + 1) * t_m)
+                for tj in range(panel_n // t_n):
+                    cols = slice(tj * t_n, (tj + 1) * t_n)
+                    c_region = c_v[:, rows, :, cols]
+                    c_stack = c_region.transpose(0, 2, 1, 3).copy()
+                    if beta != 1.0:
+                        c_stack *= beta
+                    for kk in range(n_kk):
+                        ks = slice(kk * t_k, (kk + 1) * t_k)
+                        a_stack = a_v[:, rows, ks].copy()           # (8, tM, tK)
+                        b_stack = b_v[ks, :, cols].transpose(1, 0, 2).copy()
+                        prod = np.matmul(a_stack[:, None], b_stack[None, :])
+                        if alpha == 1.0:
+                            c_stack += prod
+                        else:
+                            c_stack += alpha * prod
+                    c_region[:] = c_stack.transpose(0, 2, 1, 3)
+                    stats.tally(DMAMode.PE, DMADirection.GET,
+                                t_m * t_n * 8, t_m * t_n * 8 // tb, n_cpes)
+                    stats.tally(DMAMode.PE, DMADirection.GET,
+                                t_m * t_k * 8, t_m * t_k * 8 // tb, n_cpes * n_kk)
+                    stats.tally(DMAMode.PE, DMADirection.GET,
+                                t_k * t_n * 8, t_k * t_n * 8 // tb, n_cpes * n_kk)
+                    stats.tally(DMAMode.PE, DMADirection.PUT,
+                                t_m * t_n * 8, t_m * t_n * 8 // tb, n_cpes)

@@ -27,7 +27,7 @@ the session opened.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -40,14 +40,22 @@ from repro.core.params import BlockingParams
 from repro.core.variants import get_variant
 from repro.multi.processor import SW26010Processor
 from repro.multi.scheduler import CGScheduler, ScheduleResult
+from repro.obs.tracer import ensure_tracer
 from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.utils.stats import StatsProtocol
 
 __all__ = ["Session", "SessionStats"]
 
 
 @dataclass(frozen=True)
-class SessionStats:
-    """Cumulative accounting for one session."""
+class SessionStats(StatsProtocol):
+    """Cumulative accounting for one session.
+
+    Carries the uniform :class:`~repro.utils.stats.StatsProtocol`
+    surface (``as_dict``/``delta``/``plus``/``zero``), with the nested
+    ``traffic`` record combined recursively — two sessions' stats sum
+    with one ``plus``, and a before/after pair diffs with one ``delta``.
+    """
 
     #: scalar ``session.dgemm`` calls.
     calls: int
@@ -73,6 +81,13 @@ class Session:
     shapes) and ``n_core_groups`` sizes the batch-dispatch pool (scalar
     calls always run on CG 0).  Usable as a context manager or via an
     explicit :meth:`close`; a closed session raises on use.
+
+    ``tracer=`` (a :class:`repro.obs.SpanTracer`) turns on phase-level
+    telemetry: ``session.batch`` → ``cg_dispatch`` → ``dgemm`` →
+    ``stage_*``/``strip_mult``/``store_C`` spans with counter deltas,
+    exportable as a Chrome trace via :mod:`repro.obs.export`.  The
+    default ``None`` is the no-op tracer (<=2% overhead budget on the
+    untraced path).
     """
 
     def __init__(
@@ -87,7 +102,9 @@ class Session:
         calibration: Calibration = DEFAULT_CALIBRATION,
         pad: bool = True,
         check: bool = False,
+        tracer=None,
     ) -> None:
+        self.tracer = ensure_tracer(tracer)
         self.variant = str(variant).upper()
         # None means "per-path default": scalar dgemm keeps the checked
         # device model (fidelity), while batch dispatch — the throughput
@@ -107,6 +124,7 @@ class Session:
             calibration=calibration,
             pad=pad,
             check=check,
+            tracer=self.tracer,
         )
         self._ctx = ExecutionContext(self.processor.cg(0))
         self._ctx_open = False
@@ -191,6 +209,7 @@ class Session:
             params=self.params, context=ctx,
             pad=self.pad if pad is None else pad,
             check=self.check if check is None else check,
+            tracer=self.tracer,
         )
         self._traffic = self._traffic.plus(ctx.stats().since(before))
         self._calls += 1
@@ -221,14 +240,17 @@ class Session:
         contract of serial :func:`~repro.core.batch.dgemm_batch`.
         """
         self._require_open()
-        result = self.scheduler.run(items, isolate_failures=isolate_failures)
+        items = list(items)
+        with self.tracer.span(
+            "session.batch", cat="session", items=len(items), batch=self._batches,
+        ):
+            result = self.scheduler.run(items, isolate_failures=isolate_failures)
         self._batches += 1
         self._items += len(result)
         self._failures += len(result.errors)
         self._flops += result.flops
         self._padded_flops += result.padded_flops
-        for t in result.per_cg:
-            self._traffic = self._traffic.plus(t.stats)
+        self._traffic = self._traffic.plus(result.traffic)
         return result
 
     def stats(self) -> SessionStats:
@@ -243,7 +265,7 @@ class Session:
             failures=self._failures,
             flops=self._flops,
             padded_flops=self._padded_flops,
-            traffic=replace(self._traffic),
+            traffic=self._traffic.snapshot(),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -21,12 +21,13 @@ import numpy as np
 
 from repro.errors import ConfigError, MeshError
 from repro.arch.memory import MatrixHandle
+from repro.utils.stats import StatsProtocol
 
 __all__ = ["NoCStats", "NoC"]
 
 
 @dataclass
-class NoCStats:
+class NoCStats(StatsProtocol):
     """Cumulative NoC transfer counters."""
 
     messages: int = 0

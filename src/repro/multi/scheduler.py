@@ -48,6 +48,8 @@ from repro.core.context import ContextStats, ExecutionContext
 from repro.core.params import BlockingParams
 from repro.core.variants import get_variant
 from repro.multi.processor import SW26010Processor
+from repro.obs.registry import context_meter
+from repro.obs.tracer import ensure_tracer
 from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.perf.estimator import Estimator
 
@@ -133,10 +135,12 @@ class CGTraffic:
 class ScheduleResult:
     """Aggregate of a pool run: outputs, failures, per-CG traffic, plan.
 
-    The accounting fields (``dma_bytes`` ... ``padded_flops``) mirror
-    :class:`repro.core.batch.BatchResult`, so callers that consume a
-    serial batch result can consume a scheduled one unchanged; ``flops``
-    counts successfully executed items only.
+    ``traffic`` is the :class:`ContextStats` sum over every CG's
+    context delta (one ``plus`` fold, no ad-hoc per-field arithmetic);
+    the ``dma_bytes``/``dma_transactions``/``regcomm_bytes`` properties
+    mirror :class:`repro.core.batch.BatchResult`, so callers that
+    consume a serial batch result can consume a scheduled one
+    unchanged.  ``flops`` counts successfully executed items only.
     """
 
     #: per-item results in input order; ``None`` where the item failed.
@@ -144,15 +148,26 @@ class ScheduleResult:
     errors: tuple[ItemError, ...]
     per_cg: tuple[CGTraffic, ...]
     plan: SchedulePlan
-    dma_bytes: int
-    dma_transactions: int
-    regcomm_bytes: int
+    #: summed staging/DMA/regcomm deltas across the pool's contexts.
+    traffic: ContextStats
     flops: int
     padded_flops: int = 0
 
     @property
     def ok(self) -> bool:
         return not self.errors
+
+    @property
+    def dma_bytes(self) -> int:
+        return self.traffic.dma_bytes
+
+    @property
+    def dma_transactions(self) -> int:
+        return self.traffic.dma_transactions
+
+    @property
+    def regcomm_bytes(self) -> int:
+        return self.traffic.regcomm_bytes
 
     @property
     def n_core_groups(self) -> int:
@@ -211,8 +226,10 @@ class CGScheduler:
         calibration: Calibration = DEFAULT_CALIBRATION,
         pad: bool = True,
         check: bool = False,
+        tracer=None,
     ) -> None:
         self.processor = processor or SW26010Processor(spec)
+        self.tracer = ensure_tracer(tracer)
         limit = self.processor.N_CORE_GROUPS
         pool = limit if n_core_groups is None else int(n_core_groups)
         if not 1 <= pool <= limit:
@@ -323,19 +340,29 @@ class CGScheduler:
             for ctx in self._contexts:
                 stack.enter_context(ctx)
             starts = [ctx.stats() for ctx in self._contexts]
+            tracer = self.tracer
             for idx, item in enumerate(items):
                 home = plan.assignments[idx]
                 counts[home] += 1
                 try:
-                    outputs[idx] = dgemm(
-                        item.a, item.b, item.c,
-                        alpha=item.alpha, beta=item.beta,
-                        transa=item.transa, transb=item.transb,
-                        variant=self.variant, engine=self.engine,
-                        params=self.params,
-                        context=self._contexts[home], pad=self.pad,
-                        check=self.check,
-                    )
+                    # the dispatch span pins its subtree to track
+                    # ``home + 1`` (track 0 is the host), so each CG
+                    # renders as its own row in the Chrome trace.
+                    with tracer.span(
+                        "cg_dispatch", cat="dispatch",
+                        meter=context_meter(self._contexts[home]),
+                        track=home + 1, item=idx, cg=home,
+                        modeled_seconds=plan.item_seconds[idx],
+                    ):
+                        outputs[idx] = dgemm(
+                            item.a, item.b, item.c,
+                            alpha=item.alpha, beta=item.beta,
+                            transa=item.transa, transb=item.transb,
+                            variant=self.variant, engine=self.engine,
+                            params=self.params,
+                            context=self._contexts[home], pad=self.pad,
+                            check=self.check, tracer=tracer,
+                        )
                 except Exception as exc:
                     if not isolate_failures:
                         raise
@@ -364,14 +391,15 @@ class CGScheduler:
             )
             for g in range(self.n_core_groups)
         )
+        total = ContextStats.zero()
+        for delta in deltas:
+            total = total.plus(delta)
         return ScheduleResult(
             outputs=tuple(outputs),
             errors=tuple(errors),
             per_cg=per_cg,
             plan=plan,
-            dma_bytes=sum(d.dma_bytes for d in deltas),
-            dma_transactions=sum(d.dma_transactions for d in deltas),
-            regcomm_bytes=sum(d.regcomm_bytes for d in deltas),
+            traffic=total,
             flops=flops,
             padded_flops=padded_flops,
         )

@@ -1,0 +1,66 @@
+"""Observability: span tracing, a metrics registry, and trace export.
+
+The runtime's counters (seven ``*Stats`` dataclasses sharing the
+:class:`~repro.utils.stats.StatsProtocol`) report end states; this
+subsystem adds *attribution* — which phase of which call moved those
+bytes, and when:
+
+- :mod:`repro.obs.tracer` — nestable wall-clock spans with attached
+  counter deltas (:class:`SpanTracer`; :data:`NULL_TRACER` is the
+  default no-op every ``tracer=`` keyword resolves to);
+- :mod:`repro.obs.registry` — one namespaced snapshot/delta view over
+  the scattered stats objects (``dma.pe_mode.bytes``,
+  ``regcomm.row_broadcasts``, ...) plus the span-meter helpers;
+- :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto), JSONL,
+  and per-phase text reports including model-vs-measured diffs.
+
+Spans are emitted by ``Session``/``dgemm``/``dgemm_batch``, both
+execution engines and ``CGScheduler`` whenever a real tracer is passed;
+``tools/check_trace.py`` validates exported traces in CI.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    jsonl_lines,
+    model_gap_report,
+    phase_report,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.registry import (
+    MetricsRegistry,
+    cg_meter,
+    context_meter,
+    flatten,
+    processor_meter,
+    session_meter,
+    snapshot_core_group,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    SpanTracer,
+    TraceSpan,
+    ensure_tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanTracer",
+    "TraceSpan",
+    "ensure_tracer",
+    "MetricsRegistry",
+    "cg_meter",
+    "context_meter",
+    "flatten",
+    "processor_meter",
+    "session_meter",
+    "snapshot_core_group",
+    "chrome_trace",
+    "jsonl_lines",
+    "model_gap_report",
+    "phase_report",
+    "write_chrome_trace",
+    "write_jsonl",
+]

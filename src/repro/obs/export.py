@@ -1,0 +1,222 @@
+"""Trace exporters: Chrome trace-event JSON, JSONL, and text reports.
+
+Three consumers, three formats:
+
+- :func:`chrome_trace` — the Trace Event Format (``ph: "X"`` complete
+  events, microsecond timestamps) that chrome://tracing and Perfetto
+  load directly; span attributes and counter deltas ride in ``args``;
+- :func:`jsonl_lines` / :func:`write_jsonl` — one JSON object per span,
+  for ad-hoc ``jq``/pandas analysis;
+- :func:`phase_report` — a per-phase text table (time, DMA/regcomm
+  traffic, flops, arithmetic intensity) and :func:`model_gap_report`,
+  which diffs measured phase times against a *modeled* timeline (e.g.
+  :mod:`repro.perf.timeline`'s device-time predictions) so
+  model-vs-measured gaps are a printed column, not a guess.
+
+All exporters take a sequence of closed
+:class:`~repro.obs.tracer.TraceSpan` records (``tracer.spans``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.obs.tracer import TraceSpan
+from repro.utils.format import Table
+
+__all__ = [
+    "chrome_trace",
+    "jsonl_lines",
+    "model_gap_report",
+    "phase_report",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+#: Chrome trace ``pid`` — one simulated process.
+TRACE_PID = 1
+
+
+def _time_origin(spans: Sequence[TraceSpan]) -> float:
+    return min((s.start for s in spans), default=0.0)
+
+
+def chrome_trace(spans: Sequence[TraceSpan], *, label: str = "repro") -> dict:
+    """Spans as a Trace Event Format payload (Perfetto-loadable).
+
+    Every span becomes a complete (``"X"``) event: ``ts``/``dur`` in
+    microseconds from the earliest span, ``tid`` from the span's track
+    (CG-bound spans carry their CG index, so each core group renders as
+    its own row), counter deltas under ``args.counters``.
+    """
+    t0 = _time_origin(spans)
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": label},
+        }
+    ]
+    tracks = sorted({s.track for s in spans})
+    for track in tracks:
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": TRACE_PID,
+                "tid": track,
+                "args": {"name": "host" if track == 0 else f"CG{track - 1}"},
+            }
+        )
+    for span in sorted(spans, key=lambda s: s.index):
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": (span.start - t0) * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": TRACE_PID,
+                "tid": span.track,
+                "args": {
+                    **{str(k): v for k, v in span.attrs.items()},
+                    "counters": dict(span.counters),
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    spans: Sequence[TraceSpan], path, *, label: str = "repro"
+) -> None:
+    """Serialize :func:`chrome_trace` to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(spans, label=label), fh, indent=1)
+        fh.write("\n")
+
+
+def jsonl_lines(spans: Sequence[TraceSpan]) -> Iterable[str]:
+    """One compact JSON object per span, in opening order."""
+    t0 = _time_origin(spans)
+    for span in sorted(spans, key=lambda s: s.index):
+        yield json.dumps(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "start_us": (span.start - t0) * 1e6,
+                "dur_us": span.duration * 1e6,
+                "index": span.index,
+                "parent": span.parent,
+                "depth": span.depth,
+                "track": span.track,
+                "attrs": dict(span.attrs),
+                "counters": dict(span.counters),
+            },
+            sort_keys=True,
+        )
+
+
+def write_jsonl(spans: Sequence[TraceSpan], path) -> None:
+    with open(path, "w") as fh:
+        for line in jsonl_lines(spans):
+            fh.write(line + "\n")
+
+
+# -- text reports -----------------------------------------------------
+
+
+def _span_dma_bytes(span: TraceSpan) -> int:
+    c = span.counters
+    return int(
+        c.get("ctx.dma_bytes", 0)
+        + c.get("dma.bytes_get", 0)
+        + c.get("dma.bytes_put", 0)
+    )
+
+
+def _span_regcomm_bytes(span: TraceSpan) -> int:
+    c = span.counters
+    return int(c.get("ctx.regcomm_bytes", 0) + c.get("regcomm.bytes_moved", 0))
+
+
+def _span_flops(span: TraceSpan) -> int:
+    return int(span.attrs.get("flops", 0))
+
+
+def phase_report(spans: Sequence[TraceSpan], *, title: str | None = None) -> str:
+    """Per-phase table: count, time, traffic, arithmetic intensity.
+
+    Phases are span names; the traffic columns read each phase's own
+    counter deltas (DMA bytes from either a context or a core-group
+    meter), and ``flop/B`` is the measured arithmetic intensity — the
+    quantity the paper's Sec III-C bandwidth model prices phases by.
+    Nested phases each report their own row, so child times are *not*
+    subtracted from parents (``dgemm`` contains its stages).
+    """
+    if not spans:
+        return "(no spans recorded)"
+    t0 = _time_origin(spans)
+    wall = max(s.end for s in spans) - t0
+    order: list[str] = []
+    grouped: dict[str, list[TraceSpan]] = {}
+    for span in sorted(spans, key=lambda s: s.index):
+        grouped.setdefault(span.name, []).append(span)
+        if span.name not in order:
+            order.append(span.name)
+    table = Table(
+        ["phase", "spans", "total ms", "% wall", "DMA MB", "regcomm MB",
+         "Gflop", "flop/B"],
+        title=title,
+    )
+    for name in order:
+        group = grouped[name]
+        seconds = sum(s.duration for s in group)
+        dma = sum(_span_dma_bytes(s) for s in group)
+        regcomm = sum(_span_regcomm_bytes(s) for s in group)
+        flops = sum(_span_flops(s) for s in group)
+        moved = dma + regcomm
+        table.add_row(
+            [
+                name,
+                len(group),
+                f"{seconds * 1e3:.3f}",
+                f"{100 * seconds / wall:.1f}" if wall else "-",
+                f"{dma / 1e6:.2f}",
+                f"{regcomm / 1e6:.2f}",
+                f"{flops / 1e9:.3f}",
+                f"{flops / moved:.2f}" if flops and moved else "-",
+            ]
+        )
+    return table.render()
+
+
+def model_gap_report(
+    spans: Sequence[TraceSpan],
+    modeled_seconds: dict,
+    *,
+    title: str | None = "model vs measured",
+) -> str:
+    """Diff measured phase wall time against a modeled timeline.
+
+    ``modeled_seconds`` maps phase names to the performance model's
+    predicted seconds (e.g. a :class:`SchedulePlan`'s makespan for
+    ``session.batch``, the estimator's per-item times summed for
+    ``dgemm``).  The measured side is the *simulation's* wall clock, so
+    the ratio column exposes exactly where simulation cost and modeled
+    device time diverge — the gap this layer exists to make visible.
+    """
+    table = Table(
+        ["phase", "measured ms", "modeled ms", "measured/modeled"],
+        title=title,
+    )
+    for name, modeled in modeled_seconds.items():
+        measured = sum(s.duration for s in spans if s.name == name)
+        ratio = f"{measured / modeled:.2f}x" if modeled else "-"
+        table.add_row(
+            [name, f"{measured * 1e3:.3f}", f"{modeled * 1e3:.3f}", ratio]
+        )
+    return table.render()

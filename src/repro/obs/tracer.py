@@ -1,0 +1,240 @@
+"""Nestable wall-clock spans with attached counter deltas.
+
+The paper's analysis lives and dies on *attribution*: Sec III-C prices
+DMA strip loads against register broadcasts against kernel flops, and
+Fig. 6 explains each variant's gain by where its time went.  The
+runtime counters (:class:`~repro.arch.dma.DMAStats` and friends) say
+*how much* moved in total; a :class:`SpanTracer` says *when* and *under
+which phase*:
+
+    tracer = SpanTracer()
+    with Session(tracer=tracer) as s:
+        s.batch(items)
+    chrome_trace(tracer.spans, "trace.json")     # load in Perfetto
+
+Every entry point takes ``tracer=None`` and defaults to
+:data:`NULL_TRACER`, whose ``span()`` hands back one shared no-op
+context manager — tracing off costs two dictionary-free function calls
+per span site, which keeps the untraced hot path within its <=2%
+overhead budget (enforced relative to ``bench_engine --smoke``).
+
+A span records its wall time via :func:`time.perf_counter` and, when
+given a ``meter`` (a zero-argument callable returning a flat
+``{counter_name: number}`` dict, see :mod:`repro.obs.registry`), the
+counter *deltas* across its body.  Spans nest: the tracer keeps the
+open-span stack, so exporters can reconstruct the tree
+(``session.batch`` → ``cg_dispatch`` → ``dgemm`` →
+``stage_A``/``stage_B``/``strip_mult``/``store_C``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanTracer",
+    "TraceSpan",
+    "ensure_tracer",
+]
+
+
+@dataclass(frozen=True)
+class TraceSpan:
+    """One closed span: a named interval with attributes and deltas."""
+
+    #: phase name, e.g. ``"dgemm"`` or ``"stage_A"``.
+    name: str
+    #: coarse category for trace viewers (``"session"``, ``"stage"``, ...).
+    cat: str
+    #: start/end on the tracer's clock (:func:`time.perf_counter` seconds).
+    start: float
+    end: float
+    #: position in the span tree.
+    index: int
+    parent: int | None
+    depth: int
+    #: trace track (Chrome ``tid``); CG-bound spans use the CG index.
+    track: int
+    #: free-form labels attached at the call site (shape, variant, ...).
+    attrs: dict = field(default_factory=dict)
+    #: metered counter deltas over the span body (empty without a meter).
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class _NullSpan:
+    """The shared do-nothing context manager of :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracing disabled: every ``span()`` is the same no-op.
+
+    Stateless and safe to share — :data:`NULL_TRACER` is the module
+    singleton every ``tracer=None`` entry point resolves to.
+    """
+
+    enabled = False
+
+    def span(self, name, cat="span", meter=None, track=None, **attrs):
+        return _NULL_SPAN
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NullTracer()"
+
+
+NULL_TRACER = NullTracer()
+
+
+def ensure_tracer(tracer):
+    """Resolve a ``tracer=`` keyword: ``None`` means tracing off."""
+    return NULL_TRACER if tracer is None else tracer
+
+
+class _OpenSpan:
+    """Context manager recording one span into its tracer on exit."""
+
+    __slots__ = ("tracer", "name", "cat", "meter", "track", "attrs",
+                 "index", "parent", "depth", "start", "before")
+
+    def __init__(self, tracer, name, cat, meter, track, attrs):
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.meter = meter
+        self.track = track
+        self.attrs = attrs
+
+    def __enter__(self) -> "_OpenSpan":
+        tracer = self.tracer
+        stack = tracer._stack
+        if stack:
+            top = stack[-1]
+            self.parent = top.index
+            self.depth = top.depth + 1
+            if self.track is None:
+                self.track = top.track
+        else:
+            self.parent = None
+            self.depth = 0
+            if self.track is None:
+                self.track = 0
+        self.index = tracer._next_index
+        tracer._next_index += 1
+        stack.append(self)
+        self.before = self.meter() if self.meter is not None else None
+        self.start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        end = perf_counter()
+        if self.before is not None:
+            after = self.meter()
+            counters = {
+                key: after[key] - self.before.get(key, 0) for key in after
+            }
+        else:
+            counters = {}
+        tracer = self.tracer
+        top = tracer._stack.pop()
+        if top is not self:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"span {self.name!r} closed out of order (found {top.name!r})"
+            )
+        tracer.spans.append(
+            TraceSpan(
+                name=self.name,
+                cat=self.cat,
+                start=self.start,
+                end=end,
+                index=self.index,
+                parent=self.parent,
+                depth=self.depth,
+                track=self.track,
+                attrs=self.attrs,
+                counters=counters,
+            )
+        )
+        return False
+
+
+class SpanTracer:
+    """Collects :class:`TraceSpan` records from nested ``span()`` scopes.
+
+    Spans are appended in *closing* order (children before parents);
+    ``index`` restores opening order and ``parent`` the tree.  The
+    tracer is deliberately single-threaded — the simulation is serial,
+    and the open-span stack assumes strictly nested scopes (enforced:
+    closing out of order raises).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: list[TraceSpan] = []
+        self._stack: list[_OpenSpan] = []
+        self._next_index = 0
+
+    def span(self, name, cat="span", meter=None, track=None, **attrs):
+        """Open a nested span; use as ``with tracer.span("dgemm"): ...``.
+
+        ``meter`` is a zero-argument callable returning a flat numeric
+        dict; the span stores ``after - before`` per counter.  ``track``
+        pins the span to a Chrome-trace track (defaults to the parent's
+        track, or 0 at the root).
+        """
+        return _OpenSpan(self, name, cat, meter, track, attrs)
+
+    # -- aggregate views ----------------------------------------------
+
+    def by_name(self, name: str) -> list[TraceSpan]:
+        """All closed spans with this phase name, in closing order."""
+        return [s for s in self.spans if s.name == name]
+
+    def total_seconds(self, name: str) -> float:
+        """Summed duration of a phase (overlapping nesting counts twice)."""
+        return sum(s.duration for s in self.spans if s.name == name)
+
+    def counter_totals(self, name: str | None = None) -> dict:
+        """Sum of counter deltas over spans (optionally one phase only).
+
+        Summing one tree level (e.g. every ``dgemm`` span) reconciles
+        exactly with the cumulative runtime counters — the property the
+        trace tests assert against ``Session.stats()``.
+        """
+        totals: dict = {}
+        for span in self.spans:
+            if name is not None and span.name != name:
+                continue
+            for key, value in span.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def roots(self) -> list[TraceSpan]:
+        """Top-level spans in opening order."""
+        return sorted(
+            (s for s in self.spans if s.parent is None),
+            key=lambda s: s.index,
+        )
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SpanTracer({len(self.spans)} spans, {len(self._stack)} open)"

@@ -16,8 +16,10 @@ from repro.utils.validation import (
     check_range,
 )
 from repro.utils.format import Table, format_si
+from repro.utils.stats import StatsProtocol
 
 __all__ = [
+    "StatsProtocol",
     "GIGA",
     "KIB",
     "MIB",

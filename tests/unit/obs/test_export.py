@@ -1,0 +1,167 @@
+"""Exporter tests: Chrome-trace round-trip, JSONL, and text reports."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.core.params import BlockingParams
+from repro.core.session import Session
+from repro.obs import (
+    SpanTracer,
+    chrome_trace,
+    jsonl_lines,
+    model_gap_report,
+    phase_report,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.workloads.matrices import mixed_batch
+
+CHECK_TRACE = (
+    pathlib.Path(__file__).resolve().parents[3] / "tools" / "check_trace.py"
+)
+
+
+@pytest.fixture(scope="module")
+def validate_payload():
+    spec = importlib.util.spec_from_file_location("check_trace", CHECK_TRACE)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.validate_payload
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """One traced two-CG batch: (tracer, session totals)."""
+    params = BlockingParams.small(double_buffered=True)
+    tracer = SpanTracer()
+    with Session(params=params, n_core_groups=2, tracer=tracer) as session:
+        result = session.batch(mixed_batch(4, params=params, seed=11))
+        assert not result.errors
+        totals = session.stats().traffic
+    return tracer, totals
+
+
+class TestChromeTrace:
+    def test_round_trip_is_json_and_well_formed(self, traced, tmp_path):
+        tracer, _ = traced
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer.spans, path, label="test")
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == len(tracer.spans)
+        for event in events:
+            assert event["ph"] in ("X", "M")
+            assert isinstance(event["name"], str) and event["name"]
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+        for event in complete:
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert isinstance(event["args"]["counters"], dict)
+
+    def test_validator_accepts_real_trace(self, traced, validate_payload):
+        tracer, _ = traced
+        assert validate_payload(chrome_trace(tracer.spans)) == []
+
+    def test_metadata_names_host_and_cg_tracks(self, traced):
+        tracer, _ = traced
+        payload = chrome_trace(tracer.spans, label="mylabel")
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert "mylabel" in names        # process_name
+        assert "host" in names           # track 0
+        assert any(n.startswith("CG") for n in names)
+
+    def test_spans_strictly_nested_per_track(self, traced):
+        tracer, _ = traced
+        events = [e for e in chrome_trace(tracer.spans)["traceEvents"]
+                  if e["ph"] == "X"]
+        by_track: dict = {}
+        for event in events:
+            by_track.setdefault(event["tid"], []).append(
+                (event["ts"], event["ts"] + event["dur"]))
+        eps = 1e-6
+        for intervals in by_track.values():
+            intervals.sort(key=lambda iv: (iv[0], -iv[1]))
+            stack = []
+            for start, end in intervals:
+                while stack and start >= stack[-1] - eps:
+                    stack.pop()
+                if stack:
+                    assert end <= stack[-1] + eps, "partial overlap"
+                stack.append(end)
+
+    def test_validator_rejects_partial_overlap(self, validate_payload):
+        payload = {"traceEvents": [
+            {"ph": "X", "name": "a", "ts": 0.0, "dur": 10.0, "pid": 1,
+             "tid": 0},
+            {"ph": "X", "name": "b", "ts": 5.0, "dur": 10.0, "pid": 1,
+             "tid": 0},
+        ]}
+        errors = validate_payload(payload)
+        assert any("partially overlaps" in e for e in errors)
+
+    def test_validator_rejects_bad_fields(self, validate_payload):
+        payload = {"traceEvents": [
+            {"ph": "X", "name": "a", "ts": -1.0, "dur": float("nan"),
+             "pid": 1, "tid": 0,
+             "args": {"counters": {"bytes": "lots"}}},
+            {"ph": "B", "name": "begin", "pid": 1, "tid": 0},
+        ]}
+        errors = validate_payload(payload)
+        joined = "\n".join(errors)
+        assert "ts" in joined and "dur" in joined
+        assert "non-numeric" in joined
+        assert "unsupported ph" in joined
+
+    def test_validator_requires_complete_events(self, validate_payload):
+        assert validate_payload({"traceEvents": []})
+        assert validate_payload([]) == [
+            "top level: expected an object with a traceEvents list"
+        ]
+
+
+class TestJsonl:
+    def test_one_line_per_span_in_opening_order(self, traced, tmp_path):
+        tracer, _ = traced
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(tracer.spans, path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(tracer.spans)
+        records = [json.loads(line) for line in lines]
+        assert [r["index"] for r in records] == sorted(
+            r["index"] for r in records)
+        root = records[0]
+        assert root["name"] == "session.batch" and root["parent"] is None
+
+    def test_lines_carry_counters_and_attrs(self, traced):
+        tracer, _ = traced
+        records = [json.loads(line) for line in jsonl_lines(tracer.spans)]
+        dgemms = [r for r in records if r["name"] == "dgemm"]
+        assert dgemms
+        for record in dgemms:
+            assert record["counters"]["ctx.dma_bytes"] > 0
+            assert record["attrs"]["flops"] > 0
+
+
+class TestReports:
+    def test_phase_report_covers_every_phase(self, traced):
+        tracer, _ = traced
+        text = phase_report(tracer.spans)
+        for phase in ("session.batch", "cg_dispatch", "dgemm", "stage_A",
+                      "strip_mult", "store_C"):
+            assert phase in text
+        assert "flop/B" in text
+
+    def test_phase_report_empty(self):
+        assert phase_report([]) == "(no spans recorded)"
+
+    def test_model_gap_report_ratio_column(self, traced):
+        tracer, _ = traced
+        modeled = {"session.batch": 1e-3, "absent": 0.0}
+        text = model_gap_report(tracer.spans, modeled)
+        assert "measured/modeled" in text
+        assert "absent" in text and "-" in text

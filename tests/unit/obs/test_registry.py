@@ -1,0 +1,124 @@
+"""Unit tests for the metrics registry and the meter helpers."""
+
+import pytest
+
+from repro.arch.core_group import CoreGroup
+from repro.core.context import ExecutionContext
+from repro.multi.processor import SW26010Processor
+from repro.obs import (
+    MetricsRegistry,
+    cg_meter,
+    context_meter,
+    flatten,
+    processor_meter,
+    snapshot_core_group,
+)
+from repro.workloads.matrices import gemm_operands
+
+
+def _run_small_dgemm(cg):
+    from repro.core.api import dgemm
+    from repro.core.params import BlockingParams
+
+    params = BlockingParams.small(double_buffered=True)
+    m, n, k = 2 * params.b_m, params.b_n, params.b_k
+    a, b, c = gemm_operands(m, n, k, seed=3)
+    return dgemm(a, b, c, beta=1.0, variant="SCHED", params=params,
+                 core_group=cg)
+
+
+class TestFlatten:
+    def test_nested_dicts_become_dot_paths(self):
+        flat = flatten("dma", {"bytes": 4, "by_mode": {"PE_MODE": 2}})
+        assert flat == {"dma.bytes": 4, "dma.by_mode.pe_mode": 2}
+
+    def test_non_numeric_and_bool_leaves_dropped(self):
+        flat = flatten("x", {"n": 1, "name": "hi", "flag": True})
+        assert flat == {"x.n": 1}
+
+    def test_empty_prefix_keeps_bare_names(self):
+        assert flatten("", {"N": 2}) == {"n": 2}
+
+
+class TestCoreGroupNamespacing:
+    def test_snapshot_uses_paper_counter_names(self):
+        cg = CoreGroup()
+        _run_small_dgemm(cg)
+        snap = snapshot_core_group(cg)
+        # the issue's canonical examples: per-mode DMA traffic and the
+        # register-network broadcast counts, one flat address space.
+        assert snap["dma.pe_mode.bytes"] > 0
+        assert snap["regcomm.row_broadcasts"] > 0
+        assert snap["dma.bytes_get"] > 0
+        assert snap["memory.stores"] >= 3
+        assert all(isinstance(v, (int, float)) for v in snap.values())
+
+    def test_cg_meter_deltas_track_one_call(self):
+        cg = CoreGroup()
+        meter = cg_meter(cg)
+        before = meter()
+        _run_small_dgemm(cg)
+        delta = MetricsRegistry.delta(meter(), before)
+        assert delta["dma.bytes_get"] > 0
+        assert delta["regcomm.bytes_moved"] > 0
+
+
+class TestRegistry:
+    def test_register_snapshot_delta(self):
+        counters = {"hits": 1}
+        registry = MetricsRegistry().register("cache", lambda: counters)
+        first = registry.snapshot()
+        counters["hits"] = 5
+        second = registry.snapshot()
+        assert first == {"cache.hits": 1}
+        assert MetricsRegistry.delta(second, first) == {"cache.hits": 4}
+
+    def test_duplicate_namespace_rejected(self):
+        registry = MetricsRegistry().register("dma", {"bytes": 0})
+        with pytest.raises(ValueError):
+            registry.register("dma", {"bytes": 1})
+
+    def test_bad_source_type_rejected(self):
+        registry = MetricsRegistry().register("bad", object())
+        with pytest.raises(TypeError):
+            registry.snapshot()
+
+    def test_for_core_group_namespaces(self):
+        registry = MetricsRegistry.for_core_group(CoreGroup())
+        assert registry.namespaces == ("dma", "regcomm", "memory")
+
+    def test_for_processor_covers_every_cg_and_the_noc(self):
+        processor = SW26010Processor()
+        registry = MetricsRegistry.for_processor(processor)
+        names = registry.namespaces
+        assert "noc" in names
+        for index in range(len(processor.core_groups)):
+            assert f"cg{index}.dma" in names
+        snap = registry.snapshot()
+        assert "cg0.dma.bytes_get" in snap
+        assert "noc.messages" in snap
+
+    def test_processor_meter_is_callable_snapshot(self):
+        meter = processor_meter(SW26010Processor())
+        snap = meter()
+        assert "cg3.regcomm.bytes_moved" in snap
+
+
+class TestContextMeter:
+    def test_delta_matches_context_stats_exactly(self):
+        cg = CoreGroup()
+        with ExecutionContext(cg) as ctx:
+            meter = context_meter(ctx)
+            before_snap = meter()
+            before = ctx.stats()
+            from repro.core.api import dgemm
+            from repro.core.params import BlockingParams
+
+            params = BlockingParams.small(double_buffered=True)
+            m, n, k = 2 * params.b_m, params.b_n, params.b_k
+            a, b, c = gemm_operands(m, n, k, seed=3)
+            dgemm(a, b, c, beta=1.0, variant="SCHED", params=params,
+                  context=ctx)
+            delta = MetricsRegistry.delta(meter(), before_snap)
+            expected = ctx.stats().since(before).as_dict()
+        assert delta == {f"ctx.{k}": v for k, v in expected.items()}

@@ -1,0 +1,141 @@
+"""Unit tests for the span tracer (nesting, timing, counter deltas)."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, SpanTracer, ensure_tracer
+
+
+class TestNesting:
+    def test_parent_depth_and_index_restore_the_tree(self):
+        tr = SpanTracer()
+        with tr.span("root"):
+            with tr.span("child"):
+                with tr.span("grandchild"):
+                    pass
+            with tr.span("sibling"):
+                pass
+        by_name = {s.name: s for s in tr.spans}
+        root = by_name["root"]
+        assert root.parent is None and root.depth == 0 and root.index == 0
+        assert by_name["child"].parent == root.index
+        assert by_name["child"].depth == 1
+        assert by_name["grandchild"].parent == by_name["child"].index
+        assert by_name["grandchild"].depth == 2
+        assert by_name["sibling"].parent == root.index
+        assert by_name["sibling"].depth == 1
+
+    def test_spans_close_children_first_index_restores_opening_order(self):
+        tr = SpanTracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        assert [s.name for s in tr.spans] == ["inner", "outer"]
+        assert [s.name for s in sorted(tr.spans, key=lambda s: s.index)] \
+            == ["outer", "inner"]
+
+    def test_track_inherited_from_parent_unless_pinned(self):
+        tr = SpanTracer()
+        with tr.span("root"):
+            with tr.span("dispatch", track=3):
+                with tr.span("leaf"):
+                    pass
+        by_name = {s.name: s for s in tr.spans}
+        assert by_name["root"].track == 0
+        assert by_name["dispatch"].track == 3
+        assert by_name["leaf"].track == 3
+
+    def test_roots_in_opening_order(self):
+        tr = SpanTracer()
+        for name in ("first", "second"):
+            with tr.span(name):
+                with tr.span("child"):
+                    pass
+        assert [s.name for s in tr.roots()] == ["first", "second"]
+
+    def test_intervals_strictly_nested(self):
+        tr = SpanTracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        by_name = {s.name: s for s in tr.spans}
+        assert by_name["outer"].start <= by_name["inner"].start
+        assert by_name["inner"].end <= by_name["outer"].end
+
+    def test_span_closed_on_exception(self):
+        tr = SpanTracer()
+        with pytest.raises(ValueError):
+            with tr.span("outer"):
+                with tr.span("inner"):
+                    raise ValueError("boom")
+        assert [s.name for s in tr.spans] == ["inner", "outer"]
+        assert not tr._stack
+
+
+class TestCounters:
+    def test_meter_deltas_are_after_minus_before(self):
+        counters = {"bytes": 100, "ops": 5}
+        tr = SpanTracer()
+        with tr.span("work", meter=lambda: dict(counters)):
+            counters["bytes"] += 40
+            counters["ops"] += 2
+        (span,) = tr.spans
+        assert span.counters == {"bytes": 40, "ops": 2}
+
+    def test_missing_before_key_counts_from_zero(self):
+        counters = {}
+        tr = SpanTracer()
+        with tr.span("work", meter=lambda: dict(counters)):
+            counters["late"] = 7
+        (span,) = tr.spans
+        assert span.counters == {"late": 7}
+
+    def test_no_meter_means_no_counters(self):
+        tr = SpanTracer()
+        with tr.span("work"):
+            pass
+        assert tr.spans[0].counters == {}
+
+    def test_counter_totals_sums_one_phase(self):
+        counters = {"x": 0}
+        tr = SpanTracer()
+        for bump in (3, 4):
+            with tr.span("work", meter=lambda: dict(counters)):
+                counters["x"] += bump
+        with tr.span("other", meter=lambda: dict(counters)):
+            counters["x"] += 100
+        assert tr.counter_totals("work") == {"x": 7}
+        assert tr.counter_totals() == {"x": 107}
+
+    def test_attrs_recorded(self):
+        tr = SpanTracer()
+        with tr.span("dgemm", cat="gemm", m=4, n=8):
+            pass
+        (span,) = tr.spans
+        assert span.cat == "gemm"
+        assert span.attrs == {"m": 4, "n": 8}
+
+    def test_total_seconds_and_duration_positive(self):
+        tr = SpanTracer()
+        with tr.span("work"):
+            pass
+        assert tr.spans[0].duration >= 0
+        assert tr.total_seconds("work") == pytest.approx(
+            tr.spans[0].duration)
+
+
+class TestNullTracer:
+    def test_ensure_tracer_resolves_none_to_singleton(self):
+        assert ensure_tracer(None) is NULL_TRACER
+        tr = SpanTracer()
+        assert ensure_tracer(tr) is tr
+
+    def test_null_span_is_shared_and_records_nothing(self):
+        a = NULL_TRACER.span("x", meter=lambda: {"n": 1}, track=2, m=3)
+        b = NULL_TRACER.span("y")
+        assert a is b
+        with a:
+            pass  # no state, no error
+
+    def test_enabled_flags(self):
+        assert SpanTracer().enabled is True
+        assert NullTracer().enabled is False

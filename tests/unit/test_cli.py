@@ -1,8 +1,15 @@
 """Unit tests for the repro-dgemm CLI."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, build_schedule_parser, main
+from repro.cli import (
+    build_parser,
+    build_schedule_parser,
+    build_trace_parser,
+    main,
+)
 
 
 class TestParser:
@@ -79,3 +86,37 @@ class TestSchedule:
     def test_schedule_bad_pool_returns_error_code(self, capsys):
         assert main(["schedule", "--cgs", "9"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_parser_defaults(self):
+        args = build_trace_parser().parse_args([])
+        assert args.items == 8
+        assert args.cgs == 4
+        assert args.format == "chrome"
+        assert args.out == "trace.json"
+
+    def test_smoke_emits_valid_chrome_trace(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--smoke", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "counters reconcile" in stdout
+        payload = json.loads(out.read_text())
+        events = payload["traceEvents"]
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert {"session.batch", "cg_dispatch", "dgemm"} <= names
+
+    def test_jsonl_format(self, capsys, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "--smoke", "--format", "jsonl",
+                     "--out", str(out)]) == 0
+        lines = out.read_text().splitlines()
+        assert lines
+        assert json.loads(lines[0])["name"] == "session.batch"
+
+    def test_report_prints_phase_table(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--smoke", "--report",
+                     "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "phase" in stdout and "flop/B" in stdout

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by ``repro.obs``.
+
+Checks the invariants Perfetto (and our own exporters) rely on:
+
+- the payload is an object with a ``traceEvents`` list;
+- every event has a ``ph`` we emit (``X`` complete events, ``M``
+  metadata) plus ``name``/``pid``/``tid``, and ``X`` events carry
+  finite non-negative ``ts``/``dur`` microseconds;
+- within each ``(pid, tid)`` track, complete events are **strictly
+  nested** — a child interval lies inside its parent, never partially
+  overlapping (the tracer's open-span stack guarantees this; the
+  check catches exporter regressions);
+- counter deltas under ``args.counters`` are numeric.
+
+Run standalone (CI does, on the ``repro-dgemm trace --smoke`` output)::
+
+    python tools/check_trace.py trace.json
+
+Exits 0 when valid, 1 with one line per violation otherwise.  The
+test suite imports :func:`validate_payload` directly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+#: tolerance for float microsecond round-off in nesting comparisons.
+EPS_US = 1e-6
+
+
+def _check_event(idx: int, event, errors: list[str]) -> None:
+    if not isinstance(event, dict):
+        errors.append(f"event {idx}: not an object")
+        return
+    ph = event.get("ph")
+    if ph not in ("X", "M"):
+        errors.append(f"event {idx}: unsupported ph {ph!r} (expected X or M)")
+        return
+    if not isinstance(event.get("name"), str) or not event["name"]:
+        errors.append(f"event {idx}: missing or empty name")
+    for key in ("pid", "tid"):
+        if not isinstance(event.get(key), int):
+            errors.append(f"event {idx}: {key} must be an int")
+    if ph != "X":
+        return
+    for key in ("ts", "dur"):
+        value = event.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or not math.isfinite(value) or value < 0:
+            errors.append(
+                f"event {idx}: {key} must be a finite non-negative number, "
+                f"got {value!r}"
+            )
+    counters = event.get("args", {}).get("counters")
+    if counters is not None:
+        if not isinstance(counters, dict):
+            errors.append(f"event {idx}: args.counters must be an object")
+        else:
+            for name, value in counters.items():
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    errors.append(
+                        f"event {idx}: counter {name!r} is non-numeric "
+                        f"({value!r})"
+                    )
+
+
+def _check_nesting(events, errors: list[str]) -> None:
+    """Per track: every pair of X events is disjoint or fully nested."""
+    tracks: dict = {}
+    for idx, event in enumerate(events):
+        if isinstance(event, dict) and event.get("ph") == "X":
+            try:
+                start = float(event["ts"])
+                end = start + float(event["dur"])
+            except (KeyError, TypeError, ValueError):
+                continue  # already reported by _check_event
+            key = (event.get("pid"), event.get("tid"))
+            tracks.setdefault(key, []).append((start, end, idx,
+                                               event.get("name")))
+    for (pid, tid), spans in tracks.items():
+        # sort by start, longest first so a parent precedes its children
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack: list = []
+        for start, end, idx, name in spans:
+            while stack and start >= stack[-1][1] - EPS_US:
+                stack.pop()
+            if stack and end > stack[-1][1] + EPS_US:
+                top = stack[-1]
+                errors.append(
+                    f"track pid={pid} tid={tid}: event {idx} ({name!r}, "
+                    f"[{start:.3f}, {end:.3f}] us) partially overlaps "
+                    f"event {top[2]} ({top[3]!r}, ends {top[1]:.3f} us) — "
+                    "spans must be strictly nested"
+                )
+                continue
+            stack.append((start, end, idx, name))
+
+
+def validate_payload(payload) -> list[str]:
+    """Return every violation found in a parsed trace payload."""
+    if not isinstance(payload, dict):
+        return ["top level: expected an object with a traceEvents list"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top level: traceEvents must be a list"]
+    errors: list[str] = []
+    if not any(isinstance(e, dict) and e.get("ph") == "X" for e in events):
+        errors.append("traceEvents contains no complete (ph=X) events")
+    for idx, event in enumerate(events):
+        _check_event(idx, event, errors)
+    _check_nesting(events, errors)
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(f"usage: {Path(argv[0]).name} TRACE_JSON", file=sys.stderr)
+        return 2
+    path = Path(argv[1])
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{path}: unreadable trace: {exc}", file=sys.stderr)
+        return 1
+    errors = validate_payload(payload)
+    for error in errors:
+        print(f"{path}: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    n_complete = sum(1 for e in payload["traceEvents"] if e.get("ph") == "X")
+    print(f"{path}: OK ({n_complete} spans, strictly nested per track)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
