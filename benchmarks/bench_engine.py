@@ -18,6 +18,17 @@ Runnable standalone::
 
     PYTHONPATH=src python benchmarks/bench_engine.py --json BENCH_engine.json
     PYTHONPATH=src python benchmarks/bench_engine.py --smoke   # CI gate
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke \
+        --baseline BENCH_engine.json --max-regression 0.25
+
+The ``--baseline`` flag turns the smoke run into a performance
+*regression* gate: the p50 speedup of each smoke case is compared
+against the ``smoke`` section of the committed trajectory file, and the
+run fails if any case lost more than ``--max-regression`` (a fraction;
+0.25 means "a quarter of the baseline speedup").  A baseline without a
+``smoke`` section downgrades the gate to a warning so the first run on
+a fresh baseline never hard-fails; ``--write-baseline`` refreshes the
+section in place.
 """
 
 from __future__ import annotations
@@ -195,12 +206,15 @@ def full(json_path: str) -> int:
             f"SCHED speedup {sched:.1f}x is below the "
             f"{SCHED_SPEEDUP_FLOOR:.0f}x acceptance floor"
         )
+    smoke_records, smoke_errs = measure_smoke()
+    failures.extend(smoke_errs)
     payload = {
         "benchmark": "bench_engine",
         "description": "device vs vectorized execution engine, per variant",
         "tolerance": {"rtol": 1e-12, "atol": 1e-9},
         "variants": records,
         "sched_speedup": sched,
+        "smoke": smoke_section(smoke_records),
     }
     with open(json_path, "w") as fh:
         json.dump(payload, fh, indent=2)
@@ -211,37 +225,137 @@ def full(json_path: str) -> int:
     return 1 if failures else 0
 
 
-def smoke() -> int:
-    """Fast engine regression check for CI (no benchmark harness).
-
-    Verifies result/statistics equivalence on small blocks for a
-    single- and a double-buffered variant and fails if the vectorized
-    engine is not faster than the device engine.
-    """
-    failures: list[str] = []
-    speedups: dict[str, float] = {}
+def smoke_cases() -> list[tuple[str, tuple[int, int, int], BlockingParams]]:
+    """The two CI smoke configurations (single- and double-buffered)."""
     single = BlockingParams.small(double_buffered=False)
-    cases = [
+    return [
         ("PE", (2 * single.b_m, 2 * single.b_n, 2 * single.b_k), single),
         ("SCHED", (2 * SMOKE_PARAMS.b_m, 2 * SMOKE_PARAMS.b_n,
                    2 * SMOKE_PARAMS.b_k), SMOKE_PARAMS),
     ]
-    for variant, shape, params in cases:
+
+
+def measure_smoke() -> tuple[dict[str, dict], list[str]]:
+    """Run the smoke cases; return (records by variant, failures)."""
+    failures: list[str] = []
+    records: dict[str, dict] = {}
+    for variant, shape, params in smoke_cases():
         record, errs = bench_variant(
             variant, shape, params, device_reps=3, vectorized_reps=5)
         failures.extend(errs)
-        speedups[variant] = record["speedup"]
+        records[variant] = record
         if record["speedup"] <= 1.0:
             failures.append(
                 f"{variant}: vectorized engine is slower than device "
                 f"({record['vectorized_seconds']:.4f}s vs "
                 f"{record['device_seconds']:.4f}s)"
             )
+    return records, failures
+
+
+def smoke_section(records: dict[str, dict]) -> dict:
+    """The ``smoke`` block of the trajectory file: p50 speedups.
+
+    The gate compares p50-over-p50 rather than best-of-reps speedup —
+    medians are far less sensitive to a single lucky (or preempted)
+    repetition on shared CI runners.
+    """
+    return {
+        "speedup_p50": {
+            v: r["device_timing"]["p50"] / r["vectorized_timing"]["p50"]
+            for v, r in records.items()
+        },
+        "shapes": {v: r["shape"] for v, r in records.items()},
+    }
+
+
+def check_regression(
+    records: dict[str, dict], baseline_path: str, max_regression: float
+) -> list[str]:
+    """Compare smoke p50 speedups against the committed baseline.
+
+    Returns gate failures.  A baseline file without a ``smoke`` section
+    (or a section missing a variant) only warns: the gate must not
+    hard-fail the first run after the baseline format changes.
+    """
+    try:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"WARN: baseline {baseline_path} unreadable ({exc}); "
+              "skipping regression gate", file=sys.stderr)
+        return []
+    base_speedups = baseline.get("smoke", {}).get("speedup_p50")
+    if not base_speedups:
+        print(f"WARN: baseline {baseline_path} has no smoke section; "
+              "skipping regression gate (run --smoke --write-baseline)",
+              file=sys.stderr)
+        return []
+    failures: list[str] = []
+    for variant, record in records.items():
+        base = base_speedups.get(variant)
+        if base is None:
+            print(f"WARN: baseline has no smoke entry for {variant}; "
+                  "skipping it", file=sys.stderr)
+            continue
+        now = record["device_timing"]["p50"] / record["vectorized_timing"]["p50"]
+        floor = base * (1.0 - max_regression)
+        verdict = "ok" if now >= floor else "REGRESSION"
+        print(
+            f"{variant:6s} p50 speedup {now:.2f}x vs baseline {base:.2f}x "
+            f"(floor {floor:.2f}x at -{max_regression:.0%}): {verdict}"
+        )
+        if now < floor:
+            failures.append(
+                f"{variant}: p50 speedup regressed to {now:.2f}x, below "
+                f"the {floor:.2f}x floor ({base:.2f}x baseline minus "
+                f"{max_regression:.0%} allowance)"
+            )
+    return failures
+
+
+def write_smoke_baseline(records: dict[str, dict], json_path: str) -> None:
+    """Refresh the ``smoke`` section of the trajectory file in place.
+
+    The full-mode payload (paper-sized per-variant records) is kept as
+    is when the file already exists; only the smoke block is replaced.
+    """
+    try:
+        with open(json_path) as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        payload = {"benchmark": "bench_engine"}
+    payload["smoke"] = smoke_section(records)
+    with open(json_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote smoke baseline section to {json_path}")
+
+
+def smoke(
+    baseline: str | None = None,
+    max_regression: float = 0.25,
+    write_baseline: str | None = None,
+) -> int:
+    """Fast engine regression check for CI (no benchmark harness).
+
+    Verifies result/statistics equivalence on small blocks for a
+    single- and a double-buffered variant and fails if the vectorized
+    engine is not faster than the device engine.  With ``baseline``
+    set, additionally gates the p50 speedup of each case against the
+    committed trajectory file (see :func:`check_regression`).
+    """
+    records, failures = measure_smoke()
+    speedups = {v: r["speedup"] for v, r in records.items()}
+    if baseline is not None:
+        failures.extend(check_regression(records, baseline, max_regression))
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:
         summary = ", ".join(f"{v} {s:.1f}x" for v, s in speedups.items())
         print(f"engine smoke OK: results and stats match; {summary}")
+        if write_baseline is not None:
+            write_smoke_baseline(records, write_baseline)
     return 1 if failures else 0
 
 
@@ -255,9 +369,28 @@ def main(argv: list[str] | None = None) -> int:
         "--json", metavar="PATH", default="BENCH_engine.json",
         help="trajectory file to write in full mode (default: %(default)s)",
     )
+    parser.add_argument(
+        "--baseline", metavar="PATH",
+        help="smoke mode: gate p50 speedups against this trajectory file",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.25, metavar="FRAC",
+        help="smoke gate: allowed fractional p50-speedup loss vs the "
+             "baseline (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--write-baseline", nargs="?", const="BENCH_engine.json",
+        metavar="PATH",
+        help="smoke mode: refresh the smoke section of PATH (default "
+             "BENCH_engine.json) after a passing run",
+    )
     args = parser.parse_args(argv)
+    if not 0.0 <= args.max_regression < 1.0:
+        parser.error("--max-regression must be in [0, 1)")
     if args.smoke:
-        return smoke()
+        return smoke(args.baseline, args.max_regression, args.write_baseline)
+    if args.baseline or args.write_baseline:
+        parser.error("--baseline/--write-baseline require --smoke")
     return full(args.json)
 
 

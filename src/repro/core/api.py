@@ -29,6 +29,7 @@ from repro.core.reference import reference_dgemm
 from repro.core.variants import get_variant
 from repro.obs.registry import cg_meter, context_meter
 from repro.obs.tracer import ensure_tracer
+from repro.resil.faults import fault_phase
 
 __all__ = ["dgemm"]
 
@@ -158,11 +159,15 @@ def dgemm(
             flops=2 * m * n * k,
         ):
             meter = cg_meter(cg)
-            with tracer.span("stage_A", cat="stage", meter=meter):
+            injector = cg.injector
+            with tracer.span("stage_A", cat="stage", meter=meter), \
+                    fault_phase(injector, "stage_A"):
                 ha = ctx.stage("A", a, rows=pm, cols=pk)
-            with tracer.span("stage_B", cat="stage", meter=meter):
+            with tracer.span("stage_B", cat="stage", meter=meter), \
+                    fault_phase(injector, "stage_B"):
                 hb = ctx.stage("B", b, rows=pk, cols=pn)
-            with tracer.span("stage_C", cat="stage", meter=meter):
+            with tracer.span("stage_C", cat="stage", meter=meter), \
+                    fault_phase(injector, "stage_C"):
                 hc = (
                     ctx.stage("C", c, rows=pm, cols=pn)
                     if c is not None
@@ -170,7 +175,8 @@ def dgemm(
                 )
             eng.run(impl, cg, ha, hb, hc, alpha=alpha, beta=beta,
                     params=params, tracer=tracer)
-            with tracer.span("store_C", cat="stage", meter=meter):
+            with tracer.span("store_C", cat="stage", meter=meter), \
+                    fault_phase(injector, "store_C"):
                 result = np.array(cg.memory.array(hc)[:m, :n], order="F",
                                   copy=True)
 

@@ -42,6 +42,8 @@ from repro.multi.processor import SW26010Processor
 from repro.multi.scheduler import CGScheduler, ScheduleResult
 from repro.obs.tracer import ensure_tracer
 from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.resil.faults import FaultInjector
+from repro.resil.policy import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.utils.stats import StatsProtocol
 
 __all__ = ["Session", "SessionStats"]
@@ -88,6 +90,17 @@ class Session:
     exportable as a Chrome trace via :mod:`repro.obs.export`.  The
     default ``None`` is the no-op tracer (<=2% overhead budget on the
     untraced path).
+
+    Resilience is on by default for batches: ``retry_policy`` (two
+    bit-exact retries of transiently faulted items) and
+    ``fallback_engine="auto"`` (a failed vectorized item re-runs once
+    on the checked ``device`` engine) cost nothing on clean runs.  Pass
+    ``injector=`` (a :class:`repro.resil.FaultInjector`) to chaos-test:
+    it is wired through every CG's devices, batch items recover per the
+    ladder in :mod:`repro.resil`, and :meth:`resil_stats` /
+    ``result.fault_reports`` expose what happened.  Scalar
+    :meth:`dgemm` calls are *not* retried — a fault there propagates to
+    the caller.
     """
 
     def __init__(
@@ -103,6 +116,9 @@ class Session:
         pad: bool = True,
         check: bool = False,
         tracer=None,
+        injector: FaultInjector | None = None,
+        retry_policy: RetryPolicy | None = DEFAULT_RETRY_POLICY,
+        fallback_engine: str | None = "auto",
     ) -> None:
         self.tracer = ensure_tracer(tracer)
         self.variant = str(variant).upper()
@@ -115,16 +131,25 @@ class Session:
         self.pad = pad
         self.check = check
         self.processor = processor or SW26010Processor(spec)
+        self.injector = injector
+        batch_engine = self.engine or "vectorized"
+        if fallback_engine == "auto":
+            # degrade the fast batch engine to the checked device model;
+            # a forced single engine has nowhere sensible to fall to.
+            fallback_engine = "device" if batch_engine == "vectorized" else None
         self.scheduler = CGScheduler(
             self.processor,
             n_core_groups=n_core_groups,
             variant=self.variant,
-            engine=self.engine or "vectorized",
+            engine=batch_engine,
             params=self.params,
             calibration=calibration,
             pad=pad,
             check=check,
             tracer=self.tracer,
+            injector=injector,
+            retry_policy=retry_policy,
+            fallback_engine=fallback_engine,
         )
         self._ctx = ExecutionContext(self.processor.cg(0))
         self._ctx_open = False
@@ -252,6 +277,11 @@ class Session:
         self._padded_flops += result.padded_flops
         self._traffic = self._traffic.plus(result.traffic)
         return result
+
+    def resil_stats(self) -> dict:
+        """Cumulative resilience counters (see
+        :meth:`~repro.multi.scheduler.CGScheduler.resil_stats`)."""
+        return self.scheduler.resil_stats()
 
     def stats(self) -> SessionStats:
         """Cumulative accounting since the session opened."""

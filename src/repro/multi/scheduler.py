@@ -21,9 +21,17 @@ single-CG kernel into a chip-level throughput engine:
 - **per-item failure isolation** — an item that raises is recorded as
   an :class:`ItemError` and its CG's context stays usable; the other
   items and CGs are unaffected;
+- **resilience** — with a :class:`~repro.resil.FaultInjector` and a
+  :class:`~repro.resil.RetryPolicy` wired in, a transiently faulted
+  item retries from freshly restaged operands (bit-exact recovery,
+  deterministic backoff charged in modeled seconds), degrades once to
+  the ``fallback_engine`` when retries exhaust, and a whole-CG fault
+  (site ``"cg"``) quarantines the group and respills its queue to the
+  least-loaded healthy CG; every disturbed item carries a
+  :class:`~repro.resil.FaultReport` in ``result.fault_reports``;
 - **aggregated accounting** — :class:`ScheduleResult` reports per-CG
   traffic deltas, the modeled makespan vs. the serial single-CG time,
-  and the load-balance efficiency.
+  and the load-balance efficiency over the *healthy* CGs.
 
 Every CG is driven through its own long-lived ``ExecutionContext``,
 entered for the duration of one :meth:`CGScheduler.run` — so after a
@@ -40,7 +48,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, FaultInjectedError, QuarantineError
 from repro.arch.config import SW26010Spec, DEFAULT_SPEC
 from repro.core.api import dgemm
 from repro.core.batch import BatchItem, validate_items
@@ -52,6 +60,8 @@ from repro.obs.registry import context_meter
 from repro.obs.tracer import ensure_tracer
 from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.perf.estimator import Estimator
+from repro.resil.faults import FaultInjector
+from repro.resil.policy import FaultReport, RecoveryStats, RetryPolicy
 
 __all__ = [
     "CGScheduler",
@@ -125,7 +135,8 @@ class CGTraffic:
     core_group: int
     items: int
     failures: int
-    #: modeled seconds of the work dispatched here (includes failed items).
+    #: modeled seconds of the work run here (every attempt dispatched
+    #: to this CG, plus retry backoff charged against it).
     modeled_seconds: float
     #: staging/DMA/regcomm deltas of this CG's context over the run.
     stats: ContextStats
@@ -141,6 +152,13 @@ class ScheduleResult:
     mirror :class:`repro.core.batch.BatchResult`, so callers that
     consume a serial batch result can consume a scheduled one
     unchanged.  ``flops`` counts successfully executed items only.
+
+    Timing properties are computed from the *runtime* per-CG seconds in
+    ``per_cg`` (which include retry backoff and respilled work), not
+    the plan's predictions — the two coincide exactly on a fault-free
+    run.  ``load_balance_efficiency`` divides by the healthy CG count:
+    a pool that lost a CG to quarantine is not penalized for the work
+    the dead CG could not have done.
     """
 
     #: per-item results in input order; ``None`` where the item failed.
@@ -152,6 +170,10 @@ class ScheduleResult:
     traffic: ContextStats
     flops: int
     padded_flops: int = 0
+    #: one report per fault-disturbed item (empty on a clean run).
+    fault_reports: tuple[FaultReport, ...] = ()
+    #: CGs quarantined by whole-CG faults during this run.
+    quarantined: tuple[int, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -174,8 +196,21 @@ class ScheduleResult:
         return len(self.per_cg)
 
     @property
+    def healthy_core_groups(self) -> int:
+        """CGs still accepting work at the end of the run."""
+        return self.n_core_groups - len(self.quarantined)
+
+    @property
+    def recovered(self) -> tuple[FaultReport, ...]:
+        """The fault reports whose items still produced a correct output."""
+        return tuple(r for r in self.fault_reports if r.recovered)
+
+    @property
     def makespan_seconds(self) -> float:
-        return self.plan.makespan_seconds
+        """Runtime makespan: the most-loaded CG's accumulated seconds."""
+        if not self.per_cg:
+            return self.plan.makespan_seconds
+        return max(t.modeled_seconds for t in self.per_cg)
 
     @property
     def serial_seconds(self) -> float:
@@ -183,11 +218,14 @@ class ScheduleResult:
 
     @property
     def modeled_speedup(self) -> float:
-        return self.plan.modeled_speedup
+        makespan = self.makespan_seconds
+        return self.serial_seconds / makespan if makespan else 1.0
 
     @property
     def load_balance_efficiency(self) -> float:
-        return self.plan.load_balance_efficiency
+        """``speedup / healthy CGs`` — 1.0 is a perfect healthy split."""
+        healthy = self.healthy_core_groups
+        return self.modeled_speedup / healthy if healthy else 0.0
 
     @property
     def padding_overhead(self) -> float:
@@ -212,6 +250,16 @@ class CGScheduler:
     compares against).  The scheduler is not reentrant: two in-flight
     ``run`` calls would race on the per-CG contexts, and the context's
     own non-reentrancy guard raises loudly.
+
+    Resilience is opt-in: pass ``injector=`` (wired through every CG's
+    devices here), ``retry_policy=`` to retry transiently faulted items
+    with deterministic modeled backoff, and ``fallback_engine=`` to
+    re-run an item once on a different engine after retries exhaust.
+    Whole-CG faults (site ``"cg"``, fired at dispatch) quarantine the
+    group for the rest of the run and respill its queue to the
+    least-loaded healthy CG.  Cumulative counters live in
+    :meth:`resil_stats`; per-item outcomes in
+    :attr:`ScheduleResult.fault_reports`.
     """
 
     def __init__(
@@ -227,6 +275,9 @@ class CGScheduler:
         pad: bool = True,
         check: bool = False,
         tracer=None,
+        injector: FaultInjector | None = None,
+        retry_policy: RetryPolicy | None = None,
+        fallback_engine: str | None = None,
     ) -> None:
         self.processor = processor or SW26010Processor(spec)
         self.tracer = ensure_tracer(tracer)
@@ -242,6 +293,14 @@ class CGScheduler:
         self.params = params or get_variant(self.variant).default_params()
         self.pad = pad
         self.check = check
+        self.injector = injector
+        if injector is not None:
+            self.processor.attach_injector(injector)
+        self.retry_policy = retry_policy
+        self.fallback_engine = (
+            str(fallback_engine).lower() if fallback_engine else None
+        )
+        self.resil = RecoveryStats()
         self._estimator = Estimator(self.processor.spec, calibration)
         self._contexts = [
             ExecutionContext(self.processor.cg(g)) for g in range(pool)
@@ -315,15 +374,17 @@ class CGScheduler:
     ) -> ScheduleResult:
         """Execute a batch across the pool.
 
-        With ``isolate_failures`` (the default), an item that raises is
-        recorded in ``result.errors`` — its slot in ``outputs`` is
+        With ``isolate_failures`` (the default), an item that fails —
+        after the resilience ladder, when one is configured — is
+        recorded in ``result.errors``: its slot in ``outputs`` is
         ``None``, its CG's context stays usable, and the rest of the
         batch proceeds.  With ``isolate_failures=False`` the first
-        failure propagates (the serial ``dgemm_batch`` contract).
+        unrecoverable failure propagates (the serial ``dgemm_batch``
+        contract).
 
         Either way, every CG's staged handles are freed when the run
         exits, so each ``MainMemory.used_bytes`` returns to its pre-run
-        baseline.
+        baseline — failed attempts and retries included.
         """
         items = list(items)
         if not items:
@@ -332,8 +393,11 @@ class CGScheduler:
         plan = self.plan_shapes(shapes)
         outputs: list = [None] * len(items)
         errors: list[ItemError] = []
+        reports: list[FaultReport] = []
         counts = [0] * self.n_core_groups
         failures = [0] * self.n_core_groups
+        run_seconds = [0.0] * self.n_core_groups
+        quarantined: set[int] = set()
         flops = 0
         padded_flops = 0
         with contextlib.ExitStack() as stack:
@@ -342,35 +406,17 @@ class CGScheduler:
             starts = [ctx.stats() for ctx in self._contexts]
             tracer = self.tracer
             for idx, item in enumerate(items):
-                home = plan.assignments[idx]
-                counts[home] += 1
-                try:
-                    # the dispatch span pins its subtree to track
-                    # ``home + 1`` (track 0 is the host), so each CG
-                    # renders as its own row in the Chrome trace.
-                    with tracer.span(
-                        "cg_dispatch", cat="dispatch",
-                        meter=context_meter(self._contexts[home]),
-                        track=home + 1, item=idx, cg=home,
-                        modeled_seconds=plan.item_seconds[idx],
-                    ):
-                        outputs[idx] = dgemm(
-                            item.a, item.b, item.c,
-                            alpha=item.alpha, beta=item.beta,
-                            transa=item.transa, transb=item.transb,
-                            variant=self.variant, engine=self.engine,
-                            params=self.params,
-                            context=self._contexts[home], pad=self.pad,
-                            check=self.check, tracer=tracer,
-                        )
-                except Exception as exc:
-                    if not isolate_failures:
-                        raise
-                    failures[home] += 1
-                    errors.append(
-                        ItemError(idx, home, type(exc).__name__, str(exc))
-                    )
+                out, report, error = self._run_item(
+                    idx, item, plan.assignments[idx],
+                    plan.item_seconds[idx], quarantined, run_seconds,
+                    counts, failures, isolate_failures, tracer,
+                )
+                if report is not None:
+                    reports.append(report)
+                if error is not None:
+                    errors.append(error)
                     continue
+                outputs[idx] = out
                 m, n, k = shapes[idx]
                 flops += 2 * m * n * k
                 pm, pn, pk = (
@@ -386,7 +432,7 @@ class CGScheduler:
                 core_group=g,
                 items=counts[g],
                 failures=failures[g],
-                modeled_seconds=plan.cg_seconds[g],
+                modeled_seconds=run_seconds[g],
                 stats=deltas[g],
             )
             for g in range(self.n_core_groups)
@@ -402,7 +448,204 @@ class CGScheduler:
             traffic=total,
             flops=flops,
             padded_flops=padded_flops,
+            fault_reports=tuple(reports),
+            quarantined=tuple(sorted(quarantined)),
         )
+
+    def _respill(
+        self, idx: int, src: int, quarantined: set, run_seconds: list, tracer
+    ) -> int | None:
+        """Re-home item ``idx`` from a quarantined CG, or ``None`` if
+        no healthy CG remains."""
+        healthy = [
+            g for g in range(self.n_core_groups) if g not in quarantined
+        ]
+        if not healthy:
+            return None
+        dst = min(healthy, key=run_seconds.__getitem__)
+        self.resil.respilled += 1
+        with tracer.span(
+            "resil.respill", cat="resil", item=idx, src=src, dst=dst
+        ):
+            pass
+        return dst
+
+    def _run_item(
+        self,
+        idx: int,
+        item: BatchItem,
+        home: int,
+        seconds: float,
+        quarantined: set,
+        run_seconds: list,
+        counts: list,
+        failures: list,
+        isolate_failures: bool,
+        tracer,
+    ):
+        """Run one item through the recovery ladder.
+
+        Returns ``(output, fault_report, item_error)`` — the report is
+        ``None`` unless the item saw a fault, retry, fallback or
+        quarantine; exactly one of ``output``/``item_error`` is set.
+        Mutates the run-level accounting (``quarantined``,
+        ``run_seconds``, ``counts``, ``failures``) and ``self.resil``.
+        """
+        policy = self.retry_policy
+        injector = self.injector
+        engine = self.engine
+        retries = 0
+        attempts = 0
+        backoff = 0.0
+        first_site: str | None = None
+        q_here: list[int] = []
+        fallback_used: str | None = None
+
+        def report(recovered: bool, exc: BaseException | None = None):
+            return FaultReport(
+                index=idx,
+                site=first_site,
+                attempts=attempts,
+                retries=retries,
+                backoff_seconds=backoff,
+                fallback_engine=fallback_used,
+                quarantined_cgs=tuple(q_here),
+                core_group=home,
+                recovered=recovered,
+                error_kind=type(exc).__name__ if exc is not None else None,
+                error_message=str(exc) if exc is not None else None,
+            )
+
+        while True:
+            if home in quarantined:
+                new_home = self._respill(
+                    idx, home, quarantined, run_seconds, tracer
+                )
+                if new_home is None:
+                    exc = QuarantineError(
+                        f"item {idx}: all {self.n_core_groups} core "
+                        "groups quarantined"
+                    )
+                    self.resil.exhausted += 1
+                    failures[home] += 1
+                    counts[home] += 1
+                    if not isolate_failures:
+                        raise exc
+                    return None, report(False, exc), ItemError(
+                        idx, home, type(exc).__name__, str(exc)
+                    )
+                home = new_home
+            if injector is not None:
+                try:
+                    injector.fire("cg", cg=home)
+                except FaultInjectedError as exc:
+                    if first_site is None:
+                        first_site = exc.site
+                    self.resil.record_fault(exc.site)
+                    self.resil.quarantines += 1
+                    quarantined.add(home)
+                    q_here.append(home)
+                    with tracer.span(
+                        "resil.quarantine", cat="resil", item=idx, cg=home
+                    ):
+                        pass
+                    continue
+            attempts += 1
+            run_seconds[home] += seconds
+            try:
+                # the dispatch span pins its subtree to track
+                # ``home + 1`` (track 0 is the host), so each CG
+                # renders as its own row in the Chrome trace.
+                with tracer.span(
+                    "cg_dispatch", cat="dispatch",
+                    meter=context_meter(self._contexts[home]),
+                    track=home + 1, item=idx, cg=home,
+                    modeled_seconds=seconds, engine=engine,
+                ):
+                    out = dgemm(
+                        item.a, item.b, item.c,
+                        alpha=item.alpha, beta=item.beta,
+                        transa=item.transa, transb=item.transb,
+                        variant=self.variant, engine=engine,
+                        params=self.params,
+                        context=self._contexts[home], pad=self.pad,
+                        check=self.check, tracer=tracer,
+                    )
+            except Exception as exc:
+                # an aborted attempt can die mid-protocol; wipe the
+                # CG's transient device state (CPE LDM/registers,
+                # undelivered broadcasts) so neither a retry nor the
+                # next item inherits the wreckage.
+                self._contexts[home].core_group.reset_transient_state()
+                if isinstance(exc, FaultInjectedError):
+                    if first_site is None:
+                        first_site = exc.site
+                    self.resil.record_fault(exc.site)
+                    with tracer.span(
+                        "resil.fault", cat="resil", item=idx, cg=home,
+                        site=exc.site,
+                    ):
+                        pass
+                if policy is not None and policy.should_retry(exc, retries):
+                    retries += 1
+                    pause = policy.backoff_for(retries)
+                    backoff += pause
+                    run_seconds[home] += pause
+                    self.resil.retries += 1
+                    self.resil.backoff_seconds += pause
+                    with tracer.span(
+                        "resil.retry", cat="resil", item=idx, cg=home,
+                        retry=retries, backoff_seconds=pause,
+                    ):
+                        pass
+                    continue
+                if (
+                    self.fallback_engine is not None
+                    and fallback_used is None
+                    and engine != self.fallback_engine
+                ):
+                    fallback_used = self.fallback_engine
+                    engine = self.fallback_engine
+                    self.resil.fallbacks += 1
+                    with tracer.span(
+                        "resil.fallback", cat="resil", item=idx, cg=home,
+                        engine=engine,
+                    ):
+                        pass
+                    continue
+                # ladder exhausted (or no ladder configured)
+                counts[home] += 1
+                failures[home] += 1
+                disturbed = bool(
+                    first_site or retries or fallback_used or q_here
+                )
+                if disturbed:
+                    self.resil.exhausted += 1
+                if not isolate_failures:
+                    raise
+                return None, report(False, exc) if disturbed else None, (
+                    ItemError(idx, home, type(exc).__name__, str(exc))
+                )
+            counts[home] += 1
+            disturbed = bool(first_site or retries or fallback_used or q_here)
+            if not disturbed:
+                return out, None, None
+            self.resil.recovered += 1
+            return out, report(True), None
+
+    def resil_stats(self) -> dict:
+        """Cumulative resilience counters (the ``resil.*`` namespace).
+
+        Merges the scheduler's :class:`~repro.resil.RecoveryStats` with
+        the attached injector's
+        :class:`~repro.resil.InjectionStats` (under ``"injection"``),
+        ready for :meth:`repro.obs.MetricsRegistry.register` as a dict
+        source.
+        """
+        data = self.resil.as_dict()
+        if self.injector is not None:
+            data["injection"] = self.injector.stats.as_dict()
+        return data
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

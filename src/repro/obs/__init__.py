@@ -33,6 +33,7 @@ from repro.obs.registry import (
     context_meter,
     flatten,
     processor_meter,
+    resil_meter,
     session_meter,
     snapshot_core_group,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "context_meter",
     "flatten",
     "processor_meter",
+    "resil_meter",
     "session_meter",
     "snapshot_core_group",
     "chrome_trace",

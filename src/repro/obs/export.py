@@ -20,6 +20,7 @@ All exporters take a sequence of closed
 from __future__ import annotations
 
 import json
+import os
 from typing import Iterable, Sequence
 
 from repro.obs.tracer import TraceSpan
@@ -91,7 +92,7 @@ def chrome_trace(spans: Sequence[TraceSpan], *, label: str = "repro") -> dict:
 
 
 def write_chrome_trace(
-    spans: Sequence[TraceSpan], path, *, label: str = "repro"
+    spans: Sequence[TraceSpan], path: str | os.PathLike[str], *, label: str = "repro"
 ) -> None:
     """Serialize :func:`chrome_trace` to ``path``."""
     with open(path, "w") as fh:
@@ -120,7 +121,7 @@ def jsonl_lines(spans: Sequence[TraceSpan]) -> Iterable[str]:
         )
 
 
-def write_jsonl(spans: Sequence[TraceSpan], path) -> None:
+def write_jsonl(spans: Sequence[TraceSpan], path: str | os.PathLike[str]) -> None:
     with open(path, "w") as fh:
         for line in jsonl_lines(spans):
             fh.write(line + "\n")
@@ -168,8 +169,16 @@ def phase_report(spans: Sequence[TraceSpan], *, title: str | None = None) -> str
         if span.name not in order:
             order.append(span.name)
     table = Table(
-        ["phase", "spans", "total ms", "% wall", "DMA MB", "regcomm MB",
-         "Gflop", "flop/B"],
+        [
+            "phase",
+            "spans",
+            "total ms",
+            "% wall",
+            "DMA MB",
+            "regcomm MB",
+            "Gflop",
+            "flop/B",
+        ],
         title=title,
     )
     for name in order:
@@ -216,7 +225,5 @@ def model_gap_report(
     for name, modeled in modeled_seconds.items():
         measured = sum(s.duration for s in spans if s.name == name)
         ratio = f"{measured / modeled:.2f}x" if modeled else "-"
-        table.add_row(
-            [name, f"{measured * 1e3:.3f}", f"{modeled * 1e3:.3f}", ratio]
-        )
+        table.add_row([name, f"{measured * 1e3:.3f}", f"{modeled * 1e3:.3f}", ratio])
     return table.render()

@@ -20,6 +20,8 @@ one merged snapshot dict; ``delta`` subtracts two snapshots.  The
 from __future__ import annotations
 
 import numbers
+from collections.abc import Callable
+from typing import Any
 
 from repro.utils.stats import StatsProtocol
 
@@ -29,6 +31,7 @@ __all__ = [
     "context_meter",
     "flatten",
     "processor_meter",
+    "resil_meter",
     "session_meter",
     "snapshot_core_group",
 ]
@@ -51,18 +54,18 @@ def flatten(prefix: str, data: dict) -> dict:
     return out
 
 
-def _as_mapping(stats) -> dict:
+def _as_mapping(stats: object) -> dict:
     if isinstance(stats, StatsProtocol):
         return stats.as_dict()
     if isinstance(stats, dict):
         return stats
     raise TypeError(
-        f"metrics source must be a StatsProtocol or dict, got "
+        "metrics source must be a StatsProtocol or dict, got "
         f"{type(stats).__name__}"
     )
 
 
-def _dma_dict(stats) -> dict:
+def _dma_dict(stats: Any) -> dict:
     """DMAStats with ``by_mode`` spelled as ``<mode>.bytes`` counters."""
     data = stats.as_dict()
     for mode, nbytes in data.pop("by_mode").items():
@@ -83,7 +86,12 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._sources: dict = {}
 
-    def register(self, namespace: str, source, adapter=None) -> "MetricsRegistry":
+    def register(
+        self,
+        namespace: str,
+        source: Any,
+        adapter: Callable[[Any], dict] | None = None,
+    ) -> "MetricsRegistry":
         """Bind ``namespace`` to a source; returns self for chaining."""
         namespace = str(namespace)
         if namespace in self._sources:
@@ -110,14 +118,14 @@ class MetricsRegistry:
         keys = set(after) | set(before)
         return {k: after.get(k, 0) - before.get(k, 0) for k in keys}
 
-    def meter(self):
+    def meter(self) -> Callable[[], dict]:
         """This registry as a span meter (see :meth:`SpanTracer.span`)."""
         return self.snapshot
 
     # -- canonical bindings -------------------------------------------
 
     @classmethod
-    def for_core_group(cls, cg, prefix: str = "") -> "MetricsRegistry":
+    def for_core_group(cls, cg: Any, prefix: str = "") -> "MetricsRegistry":
         """DMA + register-communication + staging counters of one CG."""
         dot = f"{prefix}." if prefix else ""
         registry = cls()
@@ -127,7 +135,7 @@ class MetricsRegistry:
         return registry
 
     @classmethod
-    def for_processor(cls, processor) -> "MetricsRegistry":
+    def for_processor(cls, processor: Any) -> "MetricsRegistry":
         """Every CG's counters (``cg0.dma...``) plus the NoC's."""
         registry = cls()
         for index, cg in enumerate(processor.core_groups):
@@ -141,7 +149,7 @@ class MetricsRegistry:
         return f"MetricsRegistry({', '.join(self._sources) or 'empty'})"
 
 
-def snapshot_core_group(cg) -> dict:
+def snapshot_core_group(cg: Any) -> dict:
     """Flat ``dma.* / regcomm.* / memory.*`` snapshot of one core group."""
     out = flatten("dma", _dma_dict(cg.dma.stats))
     out.update(flatten("regcomm", cg.regcomm.stats.as_dict()))
@@ -149,12 +157,12 @@ def snapshot_core_group(cg) -> dict:
     return out
 
 
-def cg_meter(cg):
+def cg_meter(cg: Any) -> Callable[[], dict]:
     """Span meter over one core group's device counters."""
     return lambda: snapshot_core_group(cg)
 
 
-def context_meter(ctx):
+def context_meter(ctx: Any) -> Callable[[], dict]:
     """Span meter over one execution context's traffic deltas.
 
     Metered per span, the difference of two ``ctx.stats()`` reads is
@@ -165,11 +173,22 @@ def context_meter(ctx):
     return lambda: flatten("ctx", ctx.stats().as_dict())
 
 
-def processor_meter(processor):
+def processor_meter(processor: Any) -> Callable[[], dict]:
     """Span meter over a whole chip (all four CGs plus the NoC)."""
     return MetricsRegistry.for_processor(processor).meter()
 
 
-def session_meter(session):
+def session_meter(session: Any) -> Callable[[], dict]:
     """Span meter over a session's cumulative accounting."""
     return lambda: flatten("session", session.stats().as_dict())
+
+
+def resil_meter(scheduler: Any) -> Callable[[], dict]:
+    """Span meter over a scheduler's resilience counters (``resil.*``).
+
+    Covers recovery-ladder counts (``resil.recovered``,
+    ``resil.retries``, ``resil.quarantines``, ...) and, when an
+    injector is attached, its injection totals
+    (``resil.injection.injected``, ``resil.injection.by_site.*``).
+    """
+    return lambda: flatten("resil", scheduler.resil_stats())

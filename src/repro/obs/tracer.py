@@ -29,8 +29,12 @@ open-span stack, so exporters can reconstruct the tree
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from time import perf_counter
+
+#: a span meter: zero-argument callable returning flat numeric counters.
+Meter = Callable[[], dict]
 
 __all__ = [
     "NULL_TRACER",
@@ -76,7 +80,7 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc_info) -> bool:
+    def __exit__(self, *exc_info: object) -> bool:
         return False
 
 
@@ -92,7 +96,14 @@ class NullTracer:
 
     enabled = False
 
-    def span(self, name, cat="span", meter=None, track=None, **attrs):
+    def span(
+        self,
+        name: str,
+        cat: str = "span",
+        meter: Meter | None = None,
+        track: int | None = None,
+        **attrs: object,
+    ) -> "_NullSpan":
         return _NULL_SPAN
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -102,7 +113,7 @@ class NullTracer:
 NULL_TRACER = NullTracer()
 
 
-def ensure_tracer(tracer):
+def ensure_tracer(tracer: SpanTracer | NullTracer | None) -> SpanTracer | NullTracer:
     """Resolve a ``tracer=`` keyword: ``None`` means tracing off."""
     return NULL_TRACER if tracer is None else tracer
 
@@ -110,10 +121,35 @@ def ensure_tracer(tracer):
 class _OpenSpan:
     """Context manager recording one span into its tracer on exit."""
 
-    __slots__ = ("tracer", "name", "cat", "meter", "track", "attrs",
-                 "index", "parent", "depth", "start", "before")
+    __slots__ = (
+        "tracer",
+        "name",
+        "cat",
+        "meter",
+        "track",
+        "attrs",
+        "index",
+        "parent",
+        "depth",
+        "start",
+        "before",
+    )
 
-    def __init__(self, tracer, name, cat, meter, track, attrs):
+    index: int
+    parent: int | None
+    depth: int
+    start: float
+    before: dict | None
+
+    def __init__(
+        self,
+        tracer: "SpanTracer",
+        name: str,
+        cat: str,
+        meter: Meter | None,
+        track: int | None,
+        attrs: dict,
+    ) -> None:
         self.tracer = tracer
         self.name = name
         self.cat = cat
@@ -142,13 +178,12 @@ class _OpenSpan:
         self.start = perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> bool:
+    def __exit__(self, *exc_info: object) -> bool:
         end = perf_counter()
-        if self.before is not None:
+        before = self.before
+        if self.meter is not None and before is not None:
             after = self.meter()
-            counters = {
-                key: after[key] - self.before.get(key, 0) for key in after
-            }
+            counters = {key: after[key] - before.get(key, 0) for key in after}
         else:
             counters = {}
         tracer = self.tracer
@@ -166,7 +201,7 @@ class _OpenSpan:
                 index=self.index,
                 parent=self.parent,
                 depth=self.depth,
-                track=self.track,
+                track=self.track or 0,
                 attrs=self.attrs,
                 counters=counters,
             )
@@ -191,7 +226,14 @@ class SpanTracer:
         self._stack: list[_OpenSpan] = []
         self._next_index = 0
 
-    def span(self, name, cat="span", meter=None, track=None, **attrs):
+    def span(
+        self,
+        name: str,
+        cat: str = "span",
+        meter: Meter | None = None,
+        track: int | None = None,
+        **attrs: object,
+    ) -> _OpenSpan:
         """Open a nested span; use as ``with tracer.span("dgemm"): ...``.
 
         ``meter`` is a zero-argument callable returning a flat numeric

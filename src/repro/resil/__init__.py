@@ -1,0 +1,49 @@
+"""Fault injection and resilience for the Session/scheduler stack.
+
+The paper's pipeline is a chain of asynchronous DMA stages, register
+exchanges and multi-CG dispatch; co-designed BLAS stacks treat runtime
+resilience as a first-class layer, not an afterthought.  This package
+supplies that layer for the reproduction:
+
+- :class:`FaultInjector` / :class:`FaultSpec` — deterministic, seedable
+  fault injection over the pipeline's known fault sites
+  (:data:`FAULT_SITES`), threaded through the device model, both
+  execution engines and the scheduler;
+- :class:`RetryPolicy` — bounded bit-exact retries with deterministic
+  backoff accounted in modeled time;
+- :class:`FaultReport` — the per-item observable outcome of the
+  recovery ladder (retry -> engine fallback -> CG quarantine ->
+  structured failure);
+- :class:`RecoveryStats` / :class:`InjectionStats` — the ``resil.*``
+  counter namespace surfaced through
+  :mod:`repro.obs.registry` and span telemetry.
+
+See ``docs/architecture.md`` ("Resilience") for the fault model and
+the invariants ``tools/check_resilience.py`` enforces.
+"""
+
+from repro.resil.faults import (
+    FAULT_SITES,
+    FaultInjector,
+    FaultSpec,
+    InjectionStats,
+    fault_phase,
+)
+from repro.resil.policy import (
+    DEFAULT_RETRY_POLICY,
+    FaultReport,
+    RecoveryStats,
+    RetryPolicy,
+)
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "FAULT_SITES",
+    "FaultInjector",
+    "FaultReport",
+    "FaultSpec",
+    "InjectionStats",
+    "RecoveryStats",
+    "RetryPolicy",
+    "fault_phase",
+]

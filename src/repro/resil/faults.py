@@ -1,0 +1,250 @@
+"""Deterministic, seedable fault injection for the DGEMM pipeline.
+
+The stack this package hardens is a long chain of asynchronous stages —
+host staging copies, DMA gets/puts, register-communication broadcasts,
+tile compute, multi-CG dispatch — and a transient failure at any link
+silently corrupts a whole batch unless the runtime can observe and
+recover from it.  :class:`FaultInjector` makes those failures a
+first-class, *reproducible* input: a set of :class:`FaultSpec` records
+armed over the known fault sites, threaded through the device model
+(:class:`~repro.arch.dma.DMAEngine`,
+:class:`~repro.arch.regcomm.RegisterComm`,
+:class:`~repro.arch.memory.MainMemory`), both execution engines, and
+:class:`~repro.multi.scheduler.CGScheduler`.
+
+Determinism is the design constraint: the simulation is serial, every
+fire point calls :meth:`FaultInjector.fire` in program order, and
+probability triggers draw from one seeded generator — so a fault
+schedule is a pure function of ``(specs, seed, workload)`` and every
+chaos run replays exactly.  That is what lets the resilience checker
+assert *bit-identical* recovery instead of "close enough".
+
+Fault sites
+-----------
+
+==================  ====================================================
+``dma.get``         main memory -> LDM transfer (PE/ROW/BCAST get)
+``dma.put``         LDM -> main memory transfer (PE/ROW put)
+``regcomm``         register-network broadcast or point-to-point send
+``memory.store``    host-side staging copy into main memory
+``compute``         a CPE tile-compute phase (kernel / strip multiply)
+``cg``              whole-CG dispatch (scheduler-level; quarantines)
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigError, FaultInjectedError
+from repro.utils.stats import StatsProtocol
+
+__all__ = ["FAULT_SITES", "FaultInjector", "FaultSpec", "InjectionStats", "fault_phase"]
+
+#: every site the package's fire points name, in pipeline order.
+FAULT_SITES = (
+    "memory.store",
+    "dma.get",
+    "dma.put",
+    "regcomm",
+    "compute",
+    "cg",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: where it strikes and what triggers it.
+
+    Exactly one trigger must be set: ``nth`` fires on the N-th eligible
+    call (1-based, once), ``probability`` fires each eligible call with
+    that chance from the injector's seeded generator.  Eligibility is
+    the conjunction of the filters: ``site`` always, plus ``phase``
+    (the pipeline phase pushed by :func:`fault_phase`, e.g.
+    ``"stage_A"`` or ``"kernel"``) and ``cg`` (core-group index) when
+    given.  ``max_fires`` bounds how often the spec strikes in total
+    (``None`` = unbounded for probability specs; ``nth`` specs always
+    fire exactly once).
+    """
+
+    site: str
+    probability: float = 0.0
+    nth: int | None = None
+    phase: str | None = None
+    cg: int | None = None
+    max_fires: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ConfigError(
+                f"unknown fault site {self.site!r}; expected one of "
+                f"{', '.join(FAULT_SITES)}"
+            )
+        if self.nth is not None and self.probability:
+            raise ConfigError("give nth= or probability=, not both")
+        if self.nth is None and not self.probability:
+            raise ConfigError("a FaultSpec needs a trigger: nth= or probability=")
+        if self.nth is not None and self.nth < 1:
+            raise ConfigError(f"nth is 1-based, got {self.nth}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigError(f"probability must be in [0, 1], got {self.probability}")
+        if self.max_fires is not None and self.max_fires < 1:
+            raise ConfigError(f"max_fires must be >= 1, got {self.max_fires}")
+
+    @property
+    def fire_limit(self) -> int | None:
+        """Effective cap on fires: ``nth`` specs are one-shot."""
+        if self.nth is not None:
+            return 1
+        return self.max_fires
+
+
+@dataclass
+class InjectionStats(StatsProtocol):
+    """What the injector has done: calls seen and faults raised."""
+
+    #: fire-point calls observed (eligible or not).
+    calls: int = 0
+    #: faults actually raised.
+    injected: int = 0
+    #: faults raised, keyed by site name.
+    by_site: dict = field(default_factory=dict)
+
+
+class FaultInjector:
+    """Raises :class:`~repro.errors.FaultInjectedError` on armed sites.
+
+    Attach to a device tree via
+    :meth:`~repro.arch.core_group.CoreGroup.attach_injector` (or
+    :meth:`~repro.multi.processor.SW26010Processor.attach_injector`);
+    pass to :class:`~repro.core.session.Session` /
+    :class:`~repro.multi.scheduler.CGScheduler` as ``injector=`` and
+    the wiring happens for you.  One injector may serve all four CGs —
+    per-spec ``cg`` filters target a single one.
+
+    The injector is *passive* between fires: a fire point costs one
+    attribute check when no injector is attached, and one loop over the
+    armed specs when one is.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = (), *, seed: int = 0) -> None:
+        self.specs = tuple(specs)
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise ConfigError(
+                    f"specs must be FaultSpec instances, got {type(spec).__name__}"
+                )
+        self.seed = int(seed)
+        self.enabled = True
+        self.stats = InjectionStats()
+        self._phase: str | None = None
+        self._rng = np.random.default_rng(self.seed)
+        self._eligible = [0] * len(self.specs)
+        self._fired = [0] * len(self.specs)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def reset(self) -> None:
+        """Back to the armed state: counters zeroed, generator reseeded.
+
+        After ``reset()`` the injector replays the identical fault
+        schedule for the identical call sequence — the property the
+        resilience checker's fault-free/faulted comparisons build on.
+        """
+        self.stats = InjectionStats()
+        self._rng = np.random.default_rng(self.seed)
+        self._eligible = [0] * len(self.specs)
+        self._fired = [0] * len(self.specs)
+
+    @contextlib.contextmanager
+    def disabled(self) -> Iterator["FaultInjector"]:
+        """Scope with every spec disarmed (baseline / verification runs)."""
+        prev = self.enabled
+        self.enabled = False
+        try:
+            yield self
+        finally:
+            self.enabled = prev
+
+    # -- phase scoping -------------------------------------------------
+
+    @property
+    def current_phase(self) -> str | None:
+        return self._phase
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> Iterator["FaultInjector"]:
+        """Scope marking the current pipeline phase for ``phase=`` specs."""
+        prev = self._phase
+        self._phase = name
+        try:
+            yield self
+        finally:
+            self._phase = prev
+
+    # -- the fire point ------------------------------------------------
+
+    def fire(self, site: str, *, cg: int | None = None) -> None:
+        """Called by instrumented code at ``site``; raises when armed.
+
+        ``cg`` is the core-group index when the caller knows it (device
+        fire points attached via ``attach_injector`` always do).  Specs
+        filtered to a CG never match a call that cannot name one.
+        """
+        if not self.enabled:
+            return
+        self.stats.calls += 1
+        for i, spec in enumerate(self.specs):
+            if spec.site != site:
+                continue
+            if spec.cg is not None and spec.cg != cg:
+                continue
+            if spec.phase is not None and spec.phase != self._phase:
+                continue
+            limit = spec.fire_limit
+            if limit is not None and self._fired[i] >= limit:
+                continue
+            self._eligible[i] += 1
+            if spec.nth is not None:
+                triggered = self._eligible[i] == spec.nth
+            else:
+                triggered = bool(self._rng.random() < spec.probability)
+            if not triggered:
+                continue
+            self._fired[i] += 1
+            self.stats.injected += 1
+            self.stats.by_site[site] = self.stats.by_site.get(site, 0) + 1
+            raise FaultInjectedError(site, cg=cg, phase=self._phase)
+
+    def fires_remaining(self) -> bool:
+        """Whether any armed spec can still strike."""
+        if not self.enabled:
+            return False
+        return any(
+            spec.fire_limit is None or fired < spec.fire_limit
+            for spec, fired in zip(self.specs, self._fired)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "armed" if self.enabled else "disarmed"
+        return (
+            f"FaultInjector({len(self.specs)} specs, seed={self.seed}, "
+            f"{state}, injected={self.stats.injected})"
+        )
+
+
+def fault_phase(
+    injector: FaultInjector | None, name: str
+) -> contextlib.AbstractContextManager[FaultInjector | None]:
+    """``injector.phase(name)``, or a no-op scope when no injector is wired.
+
+    The shared idiom of the instrumented pipeline: phases cost nothing
+    unless chaos testing is on.
+    """
+    if injector is None:
+        return contextlib.nullcontext()
+    return injector.phase(name)

@@ -1,0 +1,229 @@
+"""Unit tests for the fault-injection core (repro.resil.faults)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, FaultInjectedError
+from repro.resil import FAULT_SITES, FaultInjector, FaultSpec, fault_phase
+
+
+class TestFaultSpec:
+    def test_requires_exactly_one_trigger(self):
+        with pytest.raises(ConfigError):
+            FaultSpec("dma.get")
+        with pytest.raises(ConfigError):
+            FaultSpec("dma.get", nth=1, probability=0.5)
+
+    def test_rejects_unknown_site(self):
+        with pytest.raises(ConfigError):
+            FaultSpec("dma.scatter", nth=1)
+
+    def test_nth_is_one_based(self):
+        with pytest.raises(ConfigError):
+            FaultSpec("dma.get", nth=0)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultSpec("dma.get", probability=1.5)
+
+    def test_nth_specs_are_one_shot(self):
+        assert FaultSpec("compute", nth=3).fire_limit == 1
+        assert FaultSpec("compute", probability=0.5).fire_limit is None
+        assert FaultSpec("compute", probability=0.5, max_fires=2).fire_limit == 2
+
+
+class TestFaultInjector:
+    def test_nth_fires_on_exact_call(self):
+        inj = FaultInjector([FaultSpec("dma.get", nth=3)])
+        inj.fire("dma.get")
+        inj.fire("dma.get")
+        with pytest.raises(FaultInjectedError) as exc_info:
+            inj.fire("dma.get")
+        assert exc_info.value.site == "dma.get"
+        # one-shot: never fires again
+        for _ in range(10):
+            inj.fire("dma.get")
+        assert inj.stats.injected == 1
+        assert inj.stats.by_site == {"dma.get": 1}
+
+    def test_site_filter(self):
+        inj = FaultInjector([FaultSpec("regcomm", nth=1)])
+        inj.fire("dma.get")
+        inj.fire("compute")
+        with pytest.raises(FaultInjectedError):
+            inj.fire("regcomm")
+
+    def test_cg_filter(self):
+        inj = FaultInjector([FaultSpec("compute", nth=1, cg=2)])
+        inj.fire("compute", cg=0)
+        inj.fire("compute")  # no CG named: cannot match a cg-filtered spec
+        with pytest.raises(FaultInjectedError) as exc_info:
+            inj.fire("compute", cg=2)
+        assert exc_info.value.cg == 2
+
+    def test_phase_filter(self):
+        inj = FaultInjector([FaultSpec("dma.get", nth=1, phase="kernel")])
+        inj.fire("dma.get")
+        with fault_phase(inj, "stage_A"):
+            inj.fire("dma.get")
+        with fault_phase(inj, "kernel"):
+            with pytest.raises(FaultInjectedError) as exc_info:
+                inj.fire("dma.get")
+        assert exc_info.value.phase == "kernel"
+        assert inj.current_phase is None
+
+    def test_probability_is_seed_deterministic(self):
+        def schedule(seed):
+            inj = FaultInjector([FaultSpec("compute", probability=0.3)],
+                                seed=seed)
+            fired = []
+            for i in range(50):
+                try:
+                    inj.fire("compute")
+                except FaultInjectedError:
+                    fired.append(i)
+            return fired
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_reset_replays_identically(self):
+        inj = FaultInjector([FaultSpec("compute", probability=0.5)], seed=3)
+
+        def run():
+            fired = []
+            for i in range(20):
+                try:
+                    inj.fire("compute")
+                except FaultInjectedError:
+                    fired.append(i)
+            return fired
+
+        first = run()
+        inj.reset()
+        assert run() == first
+        assert inj.stats.calls == 20
+
+    def test_disabled_scope(self):
+        inj = FaultInjector([FaultSpec("compute", nth=1)])
+        with inj.disabled():
+            inj.fire("compute")
+            assert not inj.fires_remaining()
+        assert inj.stats.calls == 0
+        with pytest.raises(FaultInjectedError):
+            inj.fire("compute")
+
+    def test_fires_remaining(self):
+        inj = FaultInjector([FaultSpec("compute", nth=1)])
+        assert inj.fires_remaining()
+        with pytest.raises(FaultInjectedError):
+            inj.fire("compute")
+        assert not inj.fires_remaining()
+
+    def test_rejects_non_spec(self):
+        with pytest.raises(ConfigError):
+            FaultInjector([{"site": "compute"}])
+
+
+class TestDeviceWiring:
+    """attach_injector threads one injector through a CG's devices."""
+
+    def test_core_group_attach(self):
+        from repro.arch.core_group import CoreGroup
+
+        cg = CoreGroup()
+        inj = FaultInjector([FaultSpec("memory.store", nth=1)])
+        cg.attach_injector(inj, cg_index=1)
+        assert cg.memory.injector is inj and cg.memory.cg_index == 1
+        assert cg.dma.injector is inj and cg.regcomm.injector is inj
+        with pytest.raises(FaultInjectedError) as exc_info:
+            cg.memory.store("x", np.ones((8, 8)))
+        assert exc_info.value.cg == 1
+        # the fault fired before any byte was stored
+        assert not any(h.name == "x" for h in cg.memory.handles())
+        cg.attach_injector(None)
+        cg.memory.store("x", np.ones((8, 8)))
+
+    def test_processor_attach_tags_cg_indices(self):
+        from repro.multi.processor import SW26010Processor
+
+        proc = SW26010Processor()
+        inj = FaultInjector([FaultSpec("memory.store", nth=1, cg=3)])
+        proc.attach_injector(inj)
+        proc.cg(0).memory.store("ok", np.ones((4, 4)))
+        with pytest.raises(FaultInjectedError):
+            proc.cg(3).memory.store("boom", np.ones((4, 4)))
+
+
+class TestEngineFirePoints:
+    """Both engines hit dma/regcomm/compute sites for the same program."""
+
+    @pytest.mark.parametrize("engine", ["device", "vectorized"])
+    @pytest.mark.parametrize("site",
+                             ["dma.get", "dma.put", "regcomm", "compute"])
+    def test_first_fault_raises_site(self, engine, site):
+        from repro.arch.core_group import CoreGroup
+        from repro.core.api import dgemm
+        from repro.core.params import BlockingParams
+
+        params = BlockingParams.small(double_buffered=True)
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((params.b_m, params.b_k))
+        b = rng.standard_normal((params.b_k, params.b_n))
+        cg = CoreGroup()
+        cg.attach_injector(FaultInjector([FaultSpec(site, nth=1)]))
+        with pytest.raises(FaultInjectedError) as exc_info:
+            dgemm(a, b, params=params, core_group=cg, engine=engine)
+        assert exc_info.value.site == site
+        # staging scope freed everything despite the raise
+        assert cg.memory.used_bytes == 0
+
+    def test_kernel_phase_scopes_both_engines(self):
+        from repro.arch.core_group import CoreGroup
+        from repro.core.api import dgemm
+        from repro.core.params import BlockingParams
+
+        params = BlockingParams.small(double_buffered=True)
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((params.b_m, params.b_k))
+        b = rng.standard_normal((params.b_k, params.b_n))
+        for engine in ("device", "vectorized"):
+            cg = CoreGroup()
+            cg.attach_injector(
+                FaultInjector([FaultSpec("dma.get", nth=1, phase="kernel")])
+            )
+            with pytest.raises(FaultInjectedError) as exc_info:
+                dgemm(a, b, params=params, core_group=cg, engine=engine)
+            assert exc_info.value.phase == "kernel"
+
+    def test_stage_phases_are_scoped(self):
+        from repro.arch.core_group import CoreGroup
+        from repro.core.api import dgemm
+        from repro.core.params import BlockingParams
+
+        params = BlockingParams.small(double_buffered=True)
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((params.b_m, params.b_k))
+        b = rng.standard_normal((params.b_k, params.b_n))
+        cg = CoreGroup()
+        cg.attach_injector(
+            FaultInjector([FaultSpec("memory.store", nth=1, phase="stage_B")])
+        )
+        with pytest.raises(FaultInjectedError) as exc_info:
+            dgemm(a, b, params=params, core_group=cg)
+        assert exc_info.value.phase == "stage_B"
+
+
+def test_all_sites_are_reachable():
+    """Every declared site has at least one live fire point."""
+    from repro.core.session import Session
+    from repro.core.params import BlockingParams
+    from repro.workloads.matrices import mixed_batch
+
+    params = BlockingParams.small(double_buffered=True)
+    items = mixed_batch(4, params=params, seed=0)
+    for site in FAULT_SITES:
+        inj = FaultInjector([FaultSpec(site, nth=1)])
+        with Session(params=params, n_core_groups=2, injector=inj) as s:
+            s.batch(items)
+        assert inj.stats.injected == 1, site

@@ -1,0 +1,100 @@
+"""Unit tests for RetryPolicy / FaultReport / RecoveryStats."""
+
+import pytest
+
+from repro.errors import ConfigError, FaultInjectedError
+from repro.resil import (
+    DEFAULT_RETRY_POLICY,
+    FaultReport,
+    RecoveryStats,
+    RetryPolicy,
+)
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.enabled
+        assert policy.max_retries == 2
+        assert policy.retry_faults_only
+        assert DEFAULT_RETRY_POLICY == policy
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_seconds=-1e-6)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_should_retry_bounds(self):
+        policy = RetryPolicy(max_retries=2)
+        fault = FaultInjectedError("compute")
+        assert policy.should_retry(fault, 0)
+        assert policy.should_retry(fault, 1)
+        assert not policy.should_retry(fault, 2)
+
+    def test_faults_only_by_default(self):
+        policy = RetryPolicy()
+        assert not policy.should_retry(ValueError("deterministic"), 0)
+        assert RetryPolicy(retry_faults_only=False).should_retry(
+            ValueError("transient-ish"), 0
+        )
+
+    def test_zero_retries_disables(self):
+        policy = RetryPolicy(max_retries=0)
+        assert not policy.enabled
+        assert not policy.should_retry(FaultInjectedError("compute"), 0)
+
+    def test_backoff_is_geometric_and_deterministic(self):
+        policy = RetryPolicy(backoff_seconds=1e-6, backoff_factor=2.0)
+        assert policy.backoff_for(1) == 1e-6
+        assert policy.backoff_for(2) == 2e-6
+        assert policy.backoff_for(3) == 4e-6
+        assert policy.total_backoff(3) == pytest.approx(7e-6)
+        with pytest.raises(ConfigError):
+            policy.backoff_for(0)
+
+
+class TestFaultReport:
+    def test_ok_mirrors_recovered(self):
+        report = FaultReport(
+            index=0, site="dma.get", attempts=2, retries=1,
+            backoff_seconds=1e-6, fallback_engine=None,
+            quarantined_cgs=(), core_group=1, recovered=True,
+        )
+        assert report.ok
+        assert report.error_kind is None
+
+    def test_exhausted_report_carries_error(self):
+        report = FaultReport(
+            index=3, site="compute", attempts=4, retries=2,
+            backoff_seconds=3e-6, fallback_engine="device",
+            quarantined_cgs=(1,), core_group=0, recovered=False,
+            error_kind="FaultInjectedError", error_message="injected",
+        )
+        assert not report.ok
+        assert report.fallback_engine == "device"
+
+
+class TestRecoveryStats:
+    def test_stats_protocol_surface(self):
+        stats = RecoveryStats(recovered=2, retries=3, backoff_seconds=1e-6,
+                              faults_seen={"dma.get": 2, "compute": 1})
+        other = RecoveryStats(recovered=1, quarantines=1,
+                              faults_seen={"compute": 2})
+        total = stats.plus(other)
+        assert total.recovered == 3
+        assert total.retries == 3
+        assert total.quarantines == 1
+        assert total.faults_seen == {"dma.get": 2, "compute": 3}
+        delta = total.delta(stats)
+        assert delta.recovered == 1
+        assert delta.faults_seen == {"dma.get": 0, "compute": 2}
+        assert RecoveryStats.zero().as_dict()["recovered"] == 0
+
+    def test_record_fault(self):
+        stats = RecoveryStats()
+        stats.record_fault("dma.get")
+        stats.record_fault("dma.get")
+        assert stats.faults_seen == {"dma.get": 2}

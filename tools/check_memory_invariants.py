@@ -11,7 +11,11 @@ guarantees the ExecutionContext refactor made contractual:
    the rest in place,
 4. the multi-CG pool (CGScheduler / dgemm_multi_cg / Session) returns
    **every** core group's used_bytes to its pre-run baseline — with and
-   without a failing item in the batch.
+   without a failing item in the batch,
+5. fault-injected runs (retries, engine fallback, CG quarantine,
+   exhausted items) leak nothing either: every failed or re-run
+   attempt restages from the host arrays and frees on exit, so the
+   byte budgets return to baseline however the recovery ladder ends.
 
 The single-CG checks run under **both execution engines** (device and
 vectorized): staging is engine-independent, so the lifecycle
@@ -132,6 +136,31 @@ def main() -> int:
     session.close()
     check([proc.cg(g).memory.used_bytes for g in range(4)] == baselines,
           "all four CG byte budgets back to baseline after close()")
+
+    print("fault-injected pool runs restore every CG's baseline:")
+    from repro.resil import FaultInjector, FaultSpec, RetryPolicy
+
+    chaos_items = mixed_batch(6, params=PARAMS, seed=4)
+    injector = FaultInjector(
+        [FaultSpec("dma.get", nth=2), FaultSpec("memory.store", nth=5),
+         FaultSpec("cg", nth=1, cg=1)]
+    )
+    with Session(processor=proc, params=PARAMS, injector=injector) as s:
+        result = s.batch(chaos_items)
+    check(result.ok and len(result.recovered) >= 1,
+          "faulted items recovered through the retry/quarantine ladder")
+    check([proc.cg(g).memory.used_bytes for g in range(4)] == baselines,
+          "all four CG byte budgets back to baseline after recovery")
+
+    injector = FaultInjector([FaultSpec("compute", probability=1.0)])
+    with Session(processor=proc, params=PARAMS, injector=injector,
+                 retry_policy=RetryPolicy(max_retries=1),
+                 fallback_engine=None) as s:
+        result = s.batch(chaos_items)
+    check(len(result.errors) == len(chaos_items),
+          "persistent fault exhausts every item's ladder")
+    check([proc.cg(g).memory.used_bytes for g in range(4)] == baselines,
+          "all four CG byte budgets back to baseline after exhaustion")
 
     if _failures:
         print(f"\n{len(_failures)} invariant violation(s)")

@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Smoke-check the resilience contracts of the Session/scheduler stack.
+
+Run as ``PYTHONPATH=src python tools/check_resilience.py``.  Injects
+faults into scheduled batches and verifies the guarantees the
+resilience layer (``repro.resil``) makes contractual:
+
+1. **bit-exact recovery** — any single injected fault, at any site,
+   with retries enabled, yields a batch whose every output is
+   *bit-identical* (``np.array_equal``) to the fault-free run;
+2. **no silent wrong answers** — with retries disabled and no fallback,
+   an injected fault surfaces as a structured per-item error
+   (``ItemError`` + ``FaultReport(recovered=False)``) with a ``None``
+   output slot; the undisturbed items still match the fault-free run
+   bit-exactly;
+3. **quarantine** — a whole-CG fault removes that CG for the rest of
+   the run, its queue respills to healthy CGs, results stay bit-exact,
+   and load-balance statistics count healthy CGs only;
+4. **total quarantine degrades loudly** — when every CG is
+   quarantined, remaining items report ``QuarantineError``; nothing is
+   silently dropped or wrong;
+5. **determinism** — the same (specs, seed, workload) replays the
+   identical fault schedule and the identical recovery trajectory;
+6. **no leaks under chaos** — after a faulted pool run (recovered or
+   exhausted items alike), every CG's ``used_bytes`` is back at its
+   pre-run baseline.
+
+Exits non-zero with a diagnostic on the first violation, so CI can run
+it alongside the unit suite as a fast end-to-end guard.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core.params import BlockingParams
+from repro.core.session import Session
+from repro.multi.processor import SW26010Processor
+from repro.resil import FAULT_SITES, FaultInjector, FaultSpec, RetryPolicy
+from repro.workloads.matrices import mixed_batch
+
+PARAMS = BlockingParams.small(double_buffered=True)
+N_ITEMS = 6
+
+_failures: list[str] = []
+
+
+def check(condition: bool, message: str) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {message}")
+    if not condition:
+        _failures.append(message)
+
+
+def run_batch(items, **session_kwargs):
+    with Session(params=PARAMS, **session_kwargs) as session:
+        result = session.batch(items)
+        stats = session.resil_stats()
+    return result, stats
+
+
+def bit_identical(outputs, reference) -> bool:
+    return all(
+        out is not None and np.array_equal(out, ref)
+        for out, ref in zip(outputs, reference)
+    )
+
+
+def main() -> int:
+    items = mixed_batch(N_ITEMS, params=PARAMS, seed=0)
+    baseline, _ = run_batch(items, n_core_groups=4)
+    if not baseline.ok:
+        print("fault-free baseline failed; aborting")
+        return 1
+    reference = baseline.outputs
+
+    print("single fault at every site, retries on -> bit-exact recovery:")
+    for site in FAULT_SITES:
+        injector = FaultInjector([FaultSpec(site, nth=2)])
+        result, stats = run_batch(items, n_core_groups=4, injector=injector)
+        fired = injector.stats.injected == 1
+        check(fired and result.ok and bit_identical(result.outputs, reference),
+              f"{site}: fault injected, batch ok, outputs bit-identical")
+        disturbed = result.fault_reports
+        check(len(disturbed) == 1 and disturbed[0].recovered
+              and disturbed[0].site == site,
+              f"{site}: exactly one FaultReport, recovered, site attributed")
+
+    print("retries disabled, no fallback -> structured error, no wrong answer:")
+    injector = FaultInjector([FaultSpec("compute", nth=2)])
+    result, stats = run_batch(items, n_core_groups=4, injector=injector,
+                              retry_policy=None, fallback_engine=None)
+    check(len(result.errors) == 1
+          and result.errors[0].kind == "FaultInjectedError",
+          "faulted item carries a structured FaultInjectedError")
+    failed = result.errors[0].index
+    check(result.outputs[failed] is None, "failed item's output slot is None")
+    report = result.fault_reports[0]
+    check(not report.recovered and report.index == failed
+          and report.error_kind == "FaultInjectedError",
+          "FaultReport records the exhausted ladder")
+    check(all(np.array_equal(out, reference[i])
+              for i, out in enumerate(result.outputs) if out is not None),
+          "every produced output is bit-identical to the fault-free run")
+
+    print("whole-CG fault -> quarantine, respill, healthy-only stats:")
+    for target in (0, 2):
+        injector = FaultInjector([FaultSpec("cg", nth=1, cg=target)])
+        result, stats = run_batch(items, n_core_groups=4, injector=injector)
+        check(result.ok and bit_identical(result.outputs, reference),
+              f"CG{target} quarantined: batch ok, outputs bit-identical")
+        check(result.quarantined == (target,)
+              and result.healthy_core_groups == 3,
+              f"CG{target} quarantined: result reports it, 3 healthy")
+        check(result.per_cg[target].items == 0,
+              f"CG{target} quarantined: ran no items")
+        check(stats["quarantines"] == 1 and stats["respilled"] >= 1,
+              f"CG{target} quarantined: respill accounted")
+
+    print("every CG quarantined -> QuarantineError per item, nothing silent:")
+    injector = FaultInjector([FaultSpec("cg", probability=1.0)])
+    result, stats = run_batch(items, n_core_groups=2, injector=injector)
+    check(result.healthy_core_groups == 0, "no healthy CG remains")
+    check(len(result.errors) == len(items)
+          and all(e.kind == "QuarantineError" for e in result.errors),
+          "every item reports QuarantineError")
+    check(all(out is None for out in result.outputs),
+          "no output produced without a healthy CG")
+
+    print("determinism: identical (specs, seed, workload) replays exactly:")
+    def trajectory():
+        injector = FaultInjector(
+            [FaultSpec("dma.get", probability=0.02),
+             FaultSpec("compute", probability=0.01)],
+            seed=42,
+        )
+        result, stats = run_batch(items, n_core_groups=4, injector=injector)
+        return (injector.stats.as_dict(), stats,
+                tuple((r.index, r.site, r.attempts, r.recovered)
+                      for r in result.fault_reports))
+    check(trajectory() == trajectory(),
+          "two runs produce identical injection stats and fault reports")
+
+    print("no leaks under chaos: byte budgets return to baseline:")
+    proc = SW26010Processor()
+    baselines = [proc.cg(g).memory.used_bytes for g in range(4)]
+    injector = FaultInjector(
+        [FaultSpec("dma.put", nth=2), FaultSpec("cg", nth=1, cg=1)]
+    )
+    result, _ = run_batch(items, processor=proc, n_core_groups=4,
+                          injector=injector)
+    check(result.ok, "faulted pool run completed")
+    check([proc.cg(g).memory.used_bytes for g in range(4)] == baselines,
+          "all four CG byte budgets back to baseline after recovery")
+    injector = FaultInjector([FaultSpec("compute", probability=1.0)])
+    result, _ = run_batch(items, processor=proc, n_core_groups=4,
+                          injector=injector,
+                          retry_policy=RetryPolicy(max_retries=1),
+                          fallback_engine=None)
+    check(not result.ok, "persistent fault exhausts the ladder")
+    check([proc.cg(g).memory.used_bytes for g in range(4)] == baselines,
+          "byte budgets back to baseline after exhausted items")
+
+    if _failures:
+        print(f"\n{len(_failures)} resilience violation(s)")
+        return 1
+    print("\nall resilience contracts hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
