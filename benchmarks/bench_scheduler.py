@@ -2,13 +2,20 @@
 
 Not a paper artifact — this measures the *library*: what
 :class:`~repro.multi.scheduler.CGScheduler` buys over serializing the
-same batch on one core group.  Two claims are checked:
+same batch on one core group.  Three claims are checked:
 
 - the **modeled makespan** on the pool never exceeds the serial
   single-CG modeled time (the acceptance bar for the scheduler), and
   approaches ``serial / n_cgs`` as the mix balances;
 - the **functional outputs** are bit-identical to the serial
-  ``dgemm_batch`` run, so the dispatch layer costs no numerics.
+  ``dgemm_batch`` run, so the dispatch layer costs no numerics;
+- **parallel dispatch** (``run(parallel=True)``, fused vectorized
+  engine, paper-sized blocking) beats serial dispatch in *wall-clock*
+  p50 — the fused strip multiplies release the GIL, so on a >=4-core
+  host a 4-CG batch must reach at least
+  :data:`PARALLEL_SPEEDUP_FLOOR`x; on smaller hosts the wall-clock
+  gate downgrades to a warning (there is nothing to overlap on one
+  core) while the bit-identity checks stay hard.
 
 Runnable standalone (used by CI)::
 
@@ -18,19 +25,120 @@ Runnable standalone (used by CI)::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 
 import numpy as np
 import pytest
 
 from repro.core.batch import dgemm_batch
 from repro.core.params import BlockingParams
+from repro.core.variants import get_variant
 from repro.multi.processor import SW26010Processor
 from repro.multi.scheduler import CGScheduler
 from repro.workloads.matrices import mixed_batch
 
 PARAMS = BlockingParams.small(double_buffered=True)
 ITEMS = 16
+
+#: the parallel-dispatch bench runs fused mode at paper-sized blocking.
+PAPER_PARAMS = get_variant("SCHED").default_params()
+PARALLEL_ITEMS = 16
+PARALLEL_REPS = 5
+#: wall-clock acceptance bar for a 4-CG fused batch on a >=4-core host.
+PARALLEL_SPEEDUP_FLOOR = 2.0
+#: softer bar when only 2-3 cores are available to overlap on.
+PARALLEL_SPEEDUP_FLOOR_2CORE = 1.1
+
+
+def effective_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _p50(samples: list[float]) -> float:
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), 50))
+
+
+def measure_parallel_dispatch(
+    reps: int = PARALLEL_REPS,
+) -> tuple[dict, list[str], list[str]]:
+    """Serial vs parallel dispatch of one fused-mode paper-size batch.
+
+    Returns ``(record, failures, warnings)``.  Bit-identity of the
+    parallel outputs is always a hard failure; the wall-clock p50
+    speedup bar scales with the host's effective core count (a 1-core
+    runner cannot overlap anything, so there it only warns).
+    """
+    items = mixed_batch(PARALLEL_ITEMS, params=PAPER_PARAMS, seed=2)
+    cores = effective_cores()
+    failures: list[str] = []
+    warnings: list[str] = []
+    serial_samples: list[float] = []
+    parallel_samples: list[float] = []
+    with CGScheduler(
+        n_core_groups=4, params=PAPER_PARAMS, engine="vectorized"
+    ) as serial_sched, CGScheduler(
+        n_core_groups=4, params=PAPER_PARAMS, engine="vectorized"
+    ) as par_sched:
+        # warmup both paths (staging-plan caches, thread pool spin-up)
+        # and take the bit-identity reference from the serial run.
+        reference = serial_sched.run(items)
+        parallel = par_sched.run(items, parallel=True)
+        if not reference.ok or not parallel.ok:
+            failures.append(
+                f"dispatch reported item errors: "
+                f"{reference.errors + parallel.errors}"
+            )
+        if not all(
+            np.array_equal(x, y)
+            for x, y in zip(reference.outputs, parallel.outputs)
+        ):
+            failures.append(
+                "parallel outputs are not bit-identical to serial dispatch"
+            )
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            serial_sched.run(items)
+            serial_samples.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            par_sched.run(items, parallel=True)
+            parallel_samples.append(time.perf_counter() - t0)
+
+    serial_p50 = _p50(serial_samples)
+    parallel_p50 = _p50(parallel_samples)
+    speedup = serial_p50 / parallel_p50 if parallel_p50 else float("inf")
+    record = {
+        "items": PARALLEL_ITEMS,
+        "reps": reps,
+        "effective_cores": cores,
+        "serial_p50_seconds": serial_p50,
+        "parallel_p50_seconds": parallel_p50,
+        "p50_speedup": speedup,
+        "modeled_speedup": parallel.modeled_speedup,
+    }
+
+    if cores >= 4 and speedup < PARALLEL_SPEEDUP_FLOOR:
+        failures.append(
+            f"parallel dispatch p50 speedup {speedup:.2f}x is below the "
+            f"{PARALLEL_SPEEDUP_FLOOR:.1f}x floor on a {cores}-core host"
+        )
+    elif cores >= 2 and speedup < PARALLEL_SPEEDUP_FLOOR_2CORE:
+        failures.append(
+            f"parallel dispatch p50 speedup {speedup:.2f}x is below the "
+            f"{PARALLEL_SPEEDUP_FLOOR_2CORE:.1f}x floor on a "
+            f"{cores}-core host"
+        )
+    elif cores < 2:
+        warnings.append(
+            f"single-core host: wall-clock gate skipped "
+            f"(p50 speedup {speedup:.2f}x informational only)"
+        )
+    return record, failures, warnings
 
 
 def test_scheduler_vs_serial_outputs(benchmark, show):
@@ -70,6 +178,21 @@ def test_scheduler_pool_scaling(pool, benchmark, show):
     assert result.makespan_seconds <= result.serial_seconds + 1e-15
 
 
+def test_parallel_dispatch_wall_clock(show):
+    """Fused-mode wall-clock: parallel workers vs the inline loop."""
+    record, failures, warnings = measure_parallel_dispatch(reps=3)
+    show(
+        f"parallel dispatch ({record['effective_cores']} cores): serial p50 "
+        f"{record['serial_p50_seconds'] * 1e3:.1f} ms, parallel p50 "
+        f"{record['parallel_p50_seconds'] * 1e3:.1f} ms "
+        f"-> {record['p50_speedup']:.2f}x wall-clock "
+        f"({record['modeled_speedup']:.2f}x modeled)"
+    )
+    for warning in warnings:
+        show(f"WARN: {warning}")
+    assert not failures, failures
+
+
 def smoke() -> int:
     """Fast scheduler regression check for CI (no benchmark harness)."""
     items = mixed_batch(ITEMS, params=PARAMS, seed=0)
@@ -94,13 +217,20 @@ def smoke() -> int:
     if after != baselines:
         failures.append(f"CG byte budgets leaked: {baselines} -> {after}")
 
+    record, par_failures, warnings = measure_parallel_dispatch(reps=3)
+    failures.extend(par_failures)
+    for warning in warnings:
+        print(f"WARN: {warning}", file=sys.stderr)
+
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:
         print(
             f"scheduler smoke OK: {ITEMS} items, "
             f"{result.modeled_speedup:.2f}x modeled speedup on 4 CGs, "
-            f"budgets restored"
+            f"budgets restored; parallel dispatch "
+            f"{record['p50_speedup']:.2f}x wall-clock p50 on "
+            f"{record['effective_cores']} core(s), outputs bit-identical"
         )
     return 1 if failures else 0
 

@@ -184,6 +184,10 @@ def build_trace_parser() -> argparse.ArgumentParser:
                              "span per JSONL line")
     parser.add_argument("--report", action="store_true",
                         help="also print the per-phase text report")
+    parser.add_argument("--parallel", action="store_true",
+                        help="dispatch the batch on per-CG worker threads "
+                             "(the trace must still nest strictly per "
+                             "track and reconcile bit-exactly)")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny fixed workload (4 items, 2 CGs, small "
                              "preset) for CI; still reconciles counters")
@@ -208,7 +212,7 @@ def _run_trace(argv: list[str]) -> int:
             n_core_groups=args.cgs, tracer=tracer,
         ) as session:
             items = mixed_batch(args.items, params=params, seed=args.seed)
-            result = session.batch(items)
+            result = session.batch(items, parallel=args.parallel)
             totals = session.stats().traffic.as_dict()
         if result.errors:
             print(f"error: {len(result.errors)} batch item(s) failed",

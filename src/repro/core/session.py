@@ -182,6 +182,9 @@ class Session:
             self._ctx_open = False
         else:
             self._ctx.close()
+        # releases the scheduler's worker pool (no-op if the session
+        # never ran a parallel batch).
+        self.scheduler.close()
 
     @property
     def n_core_groups(self) -> int:
@@ -254,6 +257,7 @@ class Session:
         items,
         *,
         isolate_failures: bool = True,
+        parallel: bool = False,
     ) -> ScheduleResult:
         """Dispatch a batch across the session's CG pool.
 
@@ -263,13 +267,20 @@ class Session:
         default item failures are isolated — inspect ``result.errors``;
         pass ``isolate_failures=False`` for the raise-on-first-failure
         contract of serial :func:`~repro.core.batch.dgemm_batch`.
+
+        ``parallel=True`` runs each CG's queue on its own worker thread
+        (see :meth:`CGScheduler.run
+        <repro.multi.scheduler.CGScheduler.run>`); outputs and
+        accounting are bit-identical to the default serial dispatch.
         """
         self._require_open()
         items = list(items)
         with self.tracer.span(
             "session.batch", cat="session", items=len(items), batch=self._batches,
         ):
-            result = self.scheduler.run(items, isolate_failures=isolate_failures)
+            result = self.scheduler.run(
+                items, isolate_failures=isolate_failures, parallel=parallel
+            )
         self._batches += 1
         self._items += len(result)
         self._failures += len(result.errors)

@@ -38,11 +38,43 @@ entered for the duration of one :meth:`CGScheduler.run` — so after a
 pool run (raise or no raise) every CG's ``MainMemory.used_bytes`` is
 back at its pre-run baseline, the same memory-budget invariant the
 single-CG path guarantees.
+
+Parallel dispatch
+-----------------
+
+``run(items, parallel=True)`` executes each CG's item queue on its own
+worker thread from a pool the scheduler owns.  The heavy work per item
+— the fused engine's panel ``np.matmul`` calls and the staging copies —
+releases the GIL, so a 4-CG batch genuinely overlaps on a multi-core
+host while the Python coordination glue stays thin.  Thread correctness
+rests on a sharding discipline rather than a big lock:
+
+- ``counts`` / ``failures`` / ``run_seconds`` and each CG's
+  ``ExecutionContext`` are **sharded per CG**: only the worker that
+  owns a core group mutates its slots, so per-CG accounting needs no
+  lock and span-metered context deltas stay exact;
+- the cross-CG structures — the quarantine set, respill target
+  selection over the shared load vector, the ``unplaced`` tally — are
+  guarded by one **accounting lock**; :class:`~repro.resil.RecoveryStats`
+  mutations take a **resilience lock**; the shared
+  :class:`~repro.resil.FaultInjector` and the modeled-seconds cache
+  carry their own locks;
+- a quarantined CG's worker turns into a *respiller*: items left on its
+  queue are re-homed (under the accounting lock) to the least-loaded
+  healthy CG's queue and executed by that CG's own worker, so the
+  single-writer discipline survives failover.
+
+Serial mode remains the default and is bit-identical to previous
+releases — the ladder stepper runs the exact same operation sequence,
+just driven by an inline loop instead of worker queues.
 """
 
 from __future__ import annotations
 
+import collections
 import contextlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -159,6 +191,14 @@ class ScheduleResult:
     run.  ``load_balance_efficiency`` divides by the healthy CG count:
     a pool that lost a CG to quarantine is not penalized for the work
     the dead CG could not have done.
+
+    ``unplaced`` lists the items no CG could accept (every group
+    quarantined before they dispatched).  They appear in ``errors``
+    with a :class:`~repro.errors.QuarantineError`, but are *not*
+    charged to any CG's ``items``/``failures`` — an item that never
+    executed anywhere must not skew :class:`CGTraffic` or the
+    load-balance figures of the group that happened to be its last
+    planned home.
     """
 
     #: per-item results in input order; ``None`` where the item failed.
@@ -174,6 +214,9 @@ class ScheduleResult:
     fault_reports: tuple[FaultReport, ...] = ()
     #: CGs quarantined by whole-CG faults during this run.
     quarantined: tuple[int, ...] = ()
+    #: items (by index) that no healthy CG could accept — counted here,
+    #: never in any CG's traffic.
+    unplaced: tuple[int, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -236,20 +279,81 @@ class ScheduleResult:
         return len(self.outputs)
 
 
+class _ItemTask:
+    """One batch item's mutable trip through the recovery ladder.
+
+    Owning the ladder state (retries burned, faults seen, current home)
+    lets an item cross threads on respill without losing its history:
+    the quarantined CG's worker re-enqueues the *task*, and the healthy
+    CG's worker resumes exactly where the ladder left off.
+    """
+
+    __slots__ = (
+        "idx", "item", "seconds", "home", "engine",
+        "retries", "attempts", "backoff", "first_site", "q_here",
+        "fallback_used",
+    )
+
+    def __init__(
+        self, idx: int, item: BatchItem, home: int, seconds: float,
+        engine: str,
+    ) -> None:
+        self.idx = idx
+        self.item = item
+        self.seconds = seconds
+        self.home = home
+        self.engine = engine
+        self.retries = 0
+        self.attempts = 0
+        self.backoff = 0.0
+        self.first_site: str | None = None
+        self.q_here: list[int] = []
+        self.fallback_used: str | None = None
+
+    def report(self, recovered: bool, exc: BaseException | None = None) -> FaultReport:
+        return FaultReport(
+            index=self.idx,
+            site=self.first_site,
+            attempts=self.attempts,
+            retries=self.retries,
+            backoff_seconds=self.backoff,
+            fallback_engine=self.fallback_used,
+            quarantined_cgs=tuple(self.q_here),
+            core_group=self.home,
+            recovered=recovered,
+            error_kind=type(exc).__name__ if exc is not None else None,
+            error_message=str(exc) if exc is not None else None,
+        )
+
+    @property
+    def disturbed(self) -> bool:
+        return bool(
+            self.first_site or self.retries or self.fallback_used or self.q_here
+        )
+
+
+#: outcome kinds returned by ``CGScheduler._run_item``.
+_OK, _ERROR, _UNPLACED, _RESPILL = "ok", "error", "unplaced", "respill"
+
+
 class CGScheduler:
     """Dispatch a stream of :class:`BatchItem`s across a CG pool.
 
     One scheduler owns an :class:`SW26010Processor` (built here unless
-    passed in) and a per-CG :class:`ExecutionContext`.  ``run`` plans
-    the batch, executes every item on its assigned CG, and returns a
-    :class:`ScheduleResult`; ``plan``/``plan_shapes`` expose the
-    dispatch decision and modeled timing without executing anything.
+    passed in), a per-CG :class:`ExecutionContext`, and — once a
+    parallel run has been requested — a thread pool with one worker per
+    core group.  ``run`` plans the batch, executes every item on its
+    assigned CG (inline, or on the CG's worker thread with
+    ``parallel=True``), and returns a :class:`ScheduleResult`;
+    ``plan``/``plan_shapes`` expose the dispatch decision and modeled
+    timing without executing anything.
 
     ``n_core_groups`` may restrict the pool to a prefix of the chip's
     CGs (the 1-CG pool is the serial baseline the scaling experiment
-    compares against).  The scheduler is not reentrant: two in-flight
-    ``run`` calls would race on the per-CG contexts, and the context's
-    own non-reentrancy guard raises loudly.
+    compares against).  The scheduler is not reentrant: overlapping
+    ``run`` calls would race on the per-CG contexts, so a second
+    in-flight call raises :class:`~repro.errors.ConfigError` loudly
+    instead of corrupting state.
 
     Resilience is opt-in: pass ``injector=`` (wired through every CG's
     devices here), ``retry_policy=`` to retry transiently faulted items
@@ -260,6 +364,10 @@ class CGScheduler:
     least-loaded healthy CG.  Cumulative counters live in
     :meth:`resil_stats`; per-item outcomes in
     :attr:`ScheduleResult.fault_reports`.
+
+    Call :meth:`close` (or use the scheduler as a context manager) to
+    release the worker pool; a scheduler that never ran in parallel
+    holds no threads.
     """
 
     def __init__(
@@ -308,18 +416,55 @@ class CGScheduler:
         #: padded shape -> modeled seconds (estimates are pure functions
         #: of shape, so one batch full of repeats costs one estimate).
         self._seconds_cache: dict[tuple[int, int, int], float] = {}
+        # -- thread coordination (see module docstring) ----------------
+        #: non-reentrancy guard: held for the duration of one run().
+        self._run_guard = threading.Lock()
+        #: guards cross-CG accounting: quarantine set, respill target
+        #: selection over the load vector, the unplaced tally.
+        self._account_lock = threading.Lock()
+        #: guards every RecoveryStats mutation.
+        self._resil_lock = threading.Lock()
+        #: guards the modeled-seconds estimate cache.
+        self._cache_lock = threading.Lock()
+        #: lazily created pool of one worker per CG (parallel runs only).
+        self._workers: ThreadPoolExecutor | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Release the worker pool, if one was ever created (idempotent)."""
+        if self._workers is not None:
+            self._workers.shutdown(wait=True)
+            self._workers = None
+
+    def __enter__(self) -> "CGScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    def _worker_pool(self) -> ThreadPoolExecutor:
+        if self._workers is None:
+            self._workers = ThreadPoolExecutor(
+                max_workers=self.n_core_groups,
+                thread_name_prefix="cg-worker",
+            )
+        return self._workers
 
     # -- planning ------------------------------------------------------
 
     def modeled_item_seconds(self, m: int, n: int, k: int) -> float:
         """Modeled single-CG seconds for one item (at its padded shape)."""
         key = self.params.pad_shape(m, n, k)
-        seconds = self._seconds_cache.get(key)
+        with self._cache_lock:
+            seconds = self._seconds_cache.get(key)
         if seconds is None:
             seconds = self._estimator.estimate(
                 self.variant, *key, params=self.params
             ).seconds
-            self._seconds_cache[key] = seconds
+            with self._cache_lock:
+                self._seconds_cache[key] = seconds
         return seconds
 
     def plan(self, items: Sequence[BatchItem] | Iterable[BatchItem]) -> SchedulePlan:
@@ -371,6 +516,7 @@ class CGScheduler:
         items: Sequence[BatchItem] | Iterable[BatchItem],
         *,
         isolate_failures: bool = True,
+        parallel: bool = False,
     ) -> ScheduleResult:
         """Execute a batch across the pool.
 
@@ -382,6 +528,12 @@ class CGScheduler:
         unrecoverable failure propagates (the serial ``dgemm_batch``
         contract).
 
+        With ``parallel=True`` every CG's item queue runs on its own
+        worker thread from the scheduler's pool; outputs, modeled
+        accounting and span-counter reconciliation are identical to
+        serial mode (see the module docstring for the threading model).
+        Serial mode (the default) executes items inline in input order.
+
         Either way, every CG's staged handles are freed when the run
         exits, so each ``MainMemory.used_bytes`` returns to its pre-run
         baseline — failed attempts and retries included.
@@ -389,40 +541,84 @@ class CGScheduler:
         items = list(items)
         if not items:
             raise ConfigError("empty batch")
+        if not self._run_guard.acquire(blocking=False):
+            raise ConfigError(
+                "CGScheduler.run is not reentrant: another run is already "
+                "in flight on this scheduler's contexts — overlapping runs "
+                "need separate CGScheduler instances"
+            )
+        try:
+            return self._run(items, isolate_failures, parallel)
+        finally:
+            self._run_guard.release()
+
+    def _run(
+        self, items: list, isolate_failures: bool, parallel: bool
+    ) -> ScheduleResult:
         shapes = validate_items(items)
         plan = self.plan_shapes(shapes)
         outputs: list = [None] * len(items)
         errors: list[ItemError] = []
         reports: list[FaultReport] = []
+        unplaced: list[int] = []
         counts = [0] * self.n_core_groups
         failures = [0] * self.n_core_groups
         run_seconds = [0.0] * self.n_core_groups
         quarantined: set[int] = set()
-        flops = 0
-        padded_flops = 0
+        flops = [0, 0]  # logical, padded
+        results_lock = threading.Lock()
+        tracer = self.tracer
+        # the calling thread's innermost span (session.batch) adopts the
+        # worker threads' dispatch subtrees, so the trace stays one tree.
+        parent = tracer.current()
+        tasks = [
+            _ItemTask(idx, item, plan.assignments[idx],
+                      plan.item_seconds[idx], self.engine)
+            for idx, item in enumerate(items)
+        ]
+
+        def finish(task: _ItemTask, outcome: tuple) -> None:
+            """Record one terminal outcome (thread-safe)."""
+            kind = outcome[0]
+            with results_lock:
+                if kind == _OK:
+                    _, out, report = outcome
+                    outputs[task.idx] = out
+                    if report is not None:
+                        reports.append(report)
+                    m, n, k = shapes[task.idx]
+                    flops[0] += 2 * m * n * k
+                    pm, pn, pk = (
+                        self.params.pad_shape(m, n, k)
+                        if self.pad else (m, n, k)
+                    )
+                    flops[1] += 2 * pm * pn * pk
+                elif kind == _ERROR:
+                    _, report, error = outcome
+                    if report is not None:
+                        reports.append(report)
+                    errors.append(error)
+                else:  # _UNPLACED
+                    _, report, error = outcome
+                    unplaced.append(task.idx)
+                    reports.append(report)
+                    errors.append(error)
+
         with contextlib.ExitStack() as stack:
             for ctx in self._contexts:
                 stack.enter_context(ctx)
             starts = [ctx.stats() for ctx in self._contexts]
-            tracer = self.tracer
-            for idx, item in enumerate(items):
-                out, report, error = self._run_item(
-                    idx, item, plan.assignments[idx],
-                    plan.item_seconds[idx], quarantined, run_seconds,
-                    counts, failures, isolate_failures, tracer,
-                )
-                if report is not None:
-                    reports.append(report)
-                if error is not None:
-                    errors.append(error)
-                    continue
-                outputs[idx] = out
-                m, n, k = shapes[idx]
-                flops += 2 * m * n * k
-                pm, pn, pk = (
-                    self.params.pad_shape(m, n, k) if self.pad else (m, n, k)
-                )
-                padded_flops += 2 * pm * pn * pk
+            args = (quarantined, run_seconds, counts, failures,
+                    isolate_failures, tracer, parent)
+            if parallel and self.n_core_groups > 1 and len(items) > 1:
+                self._execute_parallel(tasks, finish, args)
+            else:
+                for task in tasks:
+                    while True:
+                        outcome = self._run_item(task, *args)
+                        if outcome[0] != _RESPILL:
+                            break
+                    finish(task, outcome)
             deltas = [
                 ctx.stats().since(start)
                 for ctx, start in zip(self._contexts, starts)
@@ -440,118 +636,171 @@ class CGScheduler:
         total = ContextStats.zero()
         for delta in deltas:
             total = total.plus(delta)
+        errors.sort(key=lambda e: e.index)
+        reports.sort(key=lambda r: r.index)
         return ScheduleResult(
             outputs=tuple(outputs),
             errors=tuple(errors),
             per_cg=per_cg,
             plan=plan,
             traffic=total,
-            flops=flops,
-            padded_flops=padded_flops,
+            flops=flops[0],
+            padded_flops=flops[1],
             fault_reports=tuple(reports),
             quarantined=tuple(sorted(quarantined)),
+            unplaced=tuple(sorted(unplaced)),
         )
 
+    def _execute_parallel(self, tasks, finish, args) -> None:
+        """Drive per-CG worker threads over per-CG item queues.
+
+        Termination: ``pending`` counts items not yet terminal; it only
+        reaches zero when nothing can be respilled anymore, at which
+        point every waiting worker wakes up, finds its queue empty, and
+        returns.  A worker whose CG was quarantined keeps draining its
+        queue — each pop respills to a healthy CG's queue — so no item
+        is ever stranded.  An exception escaping the ladder (the
+        ``isolate_failures=False`` contract) aborts the run: it is
+        captured, every worker drains out, and the first one re-raises
+        on the calling thread.
+        """
+        pool = self.n_core_groups
+        cond = threading.Condition()
+        queues = [collections.deque() for _ in range(pool)]
+        for task in tasks:
+            queues[task.home].append(task)
+        pending = [len(tasks)]
+        aborts: list[BaseException] = []
+
+        def worker(g: int) -> None:
+            while True:
+                with cond:
+                    while not queues[g] and pending[0] > 0 and not aborts:
+                        cond.wait()
+                    if aborts or not queues[g]:
+                        return
+                    task = queues[g].popleft()
+                try:
+                    outcome = self._run_item(task, *args)
+                except BaseException as exc:
+                    with cond:
+                        aborts.append(exc)
+                        cond.notify_all()
+                    return
+                if outcome[0] == _RESPILL:
+                    with cond:
+                        queues[task.home].append(task)
+                        cond.notify_all()
+                    continue
+                finish(task, outcome)
+                with cond:
+                    pending[0] -= 1
+                    if pending[0] == 0:
+                        cond.notify_all()
+
+        futures = [self._worker_pool().submit(worker, g) for g in range(pool)]
+        for future in futures:
+            future.result()  # surfaces worker-plumbing bugs loudly
+        if aborts:
+            raise aborts[0]
+
     def _respill(
-        self, idx: int, src: int, quarantined: set, run_seconds: list, tracer
+        self, idx: int, src: int, quarantined: set, run_seconds: list, tracer,
+        parent,
     ) -> int | None:
         """Re-home item ``idx`` from a quarantined CG, or ``None`` if
-        no healthy CG remains."""
-        healthy = [
-            g for g in range(self.n_core_groups) if g not in quarantined
-        ]
-        if not healthy:
-            return None
-        dst = min(healthy, key=run_seconds.__getitem__)
-        self.resil.respilled += 1
+        no healthy CG remains.  Target selection runs under the
+        accounting lock so concurrent respills see a consistent load
+        vector."""
+        with self._account_lock:
+            healthy = [
+                g for g in range(self.n_core_groups) if g not in quarantined
+            ]
+            if not healthy:
+                return None
+            dst = min(healthy, key=run_seconds.__getitem__)
+        with self._resil_lock:
+            self.resil.respilled += 1
+        # pinned to the source CG's track: each track then has a single
+        # writer thread, keeping parallel traces strictly nested per track.
         with tracer.span(
-            "resil.respill", cat="resil", item=idx, src=src, dst=dst
+            "resil.respill", cat="resil", parent=parent, track=src + 1,
+            item=idx, src=src, dst=dst,
         ):
             pass
         return dst
 
     def _run_item(
         self,
-        idx: int,
-        item: BatchItem,
-        home: int,
-        seconds: float,
+        task: _ItemTask,
         quarantined: set,
         run_seconds: list,
         counts: list,
         failures: list,
         isolate_failures: bool,
         tracer,
-    ):
-        """Run one item through the recovery ladder.
+        parent,
+    ) -> tuple:
+        """Advance one item through the recovery ladder on its home CG.
 
-        Returns ``(output, fault_report, item_error)`` — the report is
-        ``None`` unless the item saw a fault, retry, fallback or
-        quarantine; exactly one of ``output``/``item_error`` is set.
-        Mutates the run-level accounting (``quarantined``,
-        ``run_seconds``, ``counts``, ``failures``) and ``self.resil``.
+        Returns a terminal outcome tuple — ``("ok", output, report)``,
+        ``("error", report, item_error)``, ``("unplaced", report,
+        item_error)`` — or ``("respill",)`` after re-homing ``task`` to
+        a healthy CG (``task.home`` already updated); the caller decides
+        whether to continue inline (serial) or re-enqueue the task on
+        the new home's worker (parallel).  Retries and engine fallback
+        stay on the current home inside this call.
+
+        Accounting discipline: ``counts``/``failures``/``run_seconds``
+        slots are only ever touched for ``task.home`` — the calling
+        worker owns that CG — while cross-CG state goes through the
+        scheduler's locks.  ``parent`` is the calling thread's batch
+        span, adopted by spans opened on worker threads.
         """
         policy = self.retry_policy
         injector = self.injector
-        engine = self.engine
-        retries = 0
-        attempts = 0
-        backoff = 0.0
-        first_site: str | None = None
-        q_here: list[int] = []
-        fallback_used: str | None = None
-
-        def report(recovered: bool, exc: BaseException | None = None):
-            return FaultReport(
-                index=idx,
-                site=first_site,
-                attempts=attempts,
-                retries=retries,
-                backoff_seconds=backoff,
-                fallback_engine=fallback_used,
-                quarantined_cgs=tuple(q_here),
-                core_group=home,
-                recovered=recovered,
-                error_kind=type(exc).__name__ if exc is not None else None,
-                error_message=str(exc) if exc is not None else None,
-            )
 
         while True:
+            home = task.home
             if home in quarantined:
                 new_home = self._respill(
-                    idx, home, quarantined, run_seconds, tracer
+                    task.idx, home, quarantined, run_seconds, tracer, parent
                 )
                 if new_home is None:
                     exc = QuarantineError(
-                        f"item {idx}: all {self.n_core_groups} core "
+                        f"item {task.idx}: all {self.n_core_groups} core "
                         "groups quarantined"
                     )
-                    self.resil.exhausted += 1
-                    failures[home] += 1
-                    counts[home] += 1
+                    with self._resil_lock:
+                        self.resil.exhausted += 1
                     if not isolate_failures:
                         raise exc
-                    return None, report(False, exc), ItemError(
-                        idx, home, type(exc).__name__, str(exc)
+                    return _UNPLACED, task.report(False, exc), ItemError(
+                        task.idx, home, type(exc).__name__, str(exc)
                     )
-                home = new_home
+                task.home = new_home
+                return (_RESPILL,)
             if injector is not None:
                 try:
                     injector.fire("cg", cg=home)
                 except FaultInjectedError as exc:
-                    if first_site is None:
-                        first_site = exc.site
-                    self.resil.record_fault(exc.site)
-                    self.resil.quarantines += 1
-                    quarantined.add(home)
-                    q_here.append(home)
+                    if task.first_site is None:
+                        task.first_site = exc.site
+                    with self._resil_lock:
+                        self.resil.record_fault(exc.site)
+                        self.resil.quarantines += 1
+                    with self._account_lock:
+                        quarantined.add(home)
+                    task.q_here.append(home)
                     with tracer.span(
-                        "resil.quarantine", cat="resil", item=idx, cg=home
+                        "resil.quarantine", cat="resil", parent=parent,
+                        track=home + 1,
+                        item=task.idx, cg=home,
                     ):
                         pass
                     continue
-            attempts += 1
-            run_seconds[home] += seconds
+            task.attempts += 1
+            run_seconds[home] += task.seconds
             try:
                 # the dispatch span pins its subtree to track
                 # ``home + 1`` (track 0 is the host), so each CG
@@ -559,14 +808,15 @@ class CGScheduler:
                 with tracer.span(
                     "cg_dispatch", cat="dispatch",
                     meter=context_meter(self._contexts[home]),
-                    track=home + 1, item=idx, cg=home,
-                    modeled_seconds=seconds, engine=engine,
+                    track=home + 1, parent=parent,
+                    item=task.idx, cg=home,
+                    modeled_seconds=task.seconds, engine=task.engine,
                 ):
                     out = dgemm(
-                        item.a, item.b, item.c,
-                        alpha=item.alpha, beta=item.beta,
-                        transa=item.transa, transb=item.transb,
-                        variant=self.variant, engine=engine,
+                        task.item.a, task.item.b, task.item.c,
+                        alpha=task.item.alpha, beta=task.item.beta,
+                        transa=task.item.transa, transb=task.item.transb,
+                        variant=self.variant, engine=task.engine,
                         params=self.params,
                         context=self._contexts[home], pad=self.pad,
                         check=self.check, tracer=tracer,
@@ -578,60 +828,65 @@ class CGScheduler:
                 # next item inherits the wreckage.
                 self._contexts[home].core_group.reset_transient_state()
                 if isinstance(exc, FaultInjectedError):
-                    if first_site is None:
-                        first_site = exc.site
-                    self.resil.record_fault(exc.site)
+                    if task.first_site is None:
+                        task.first_site = exc.site
+                    with self._resil_lock:
+                        self.resil.record_fault(exc.site)
                     with tracer.span(
-                        "resil.fault", cat="resil", item=idx, cg=home,
-                        site=exc.site,
+                        "resil.fault", cat="resil", parent=parent,
+                        track=home + 1,
+                        item=task.idx, cg=home, site=exc.site,
                     ):
                         pass
-                if policy is not None and policy.should_retry(exc, retries):
-                    retries += 1
-                    pause = policy.backoff_for(retries)
-                    backoff += pause
+                if policy is not None and policy.should_retry(exc, task.retries):
+                    task.retries += 1
+                    pause = policy.backoff_for(task.retries)
+                    task.backoff += pause
                     run_seconds[home] += pause
-                    self.resil.retries += 1
-                    self.resil.backoff_seconds += pause
+                    with self._resil_lock:
+                        self.resil.retries += 1
+                        self.resil.backoff_seconds += pause
                     with tracer.span(
-                        "resil.retry", cat="resil", item=idx, cg=home,
-                        retry=retries, backoff_seconds=pause,
+                        "resil.retry", cat="resil", parent=parent,
+                        track=home + 1,
+                        item=task.idx, cg=home,
+                        retry=task.retries, backoff_seconds=pause,
                     ):
                         pass
                     continue
                 if (
                     self.fallback_engine is not None
-                    and fallback_used is None
-                    and engine != self.fallback_engine
+                    and task.fallback_used is None
+                    and task.engine != self.fallback_engine
                 ):
-                    fallback_used = self.fallback_engine
-                    engine = self.fallback_engine
-                    self.resil.fallbacks += 1
+                    task.fallback_used = self.fallback_engine
+                    task.engine = self.fallback_engine
+                    with self._resil_lock:
+                        self.resil.fallbacks += 1
                     with tracer.span(
-                        "resil.fallback", cat="resil", item=idx, cg=home,
-                        engine=engine,
+                        "resil.fallback", cat="resil", parent=parent,
+                        track=home + 1,
+                        item=task.idx, cg=home, engine=task.engine,
                     ):
                         pass
                     continue
                 # ladder exhausted (or no ladder configured)
                 counts[home] += 1
                 failures[home] += 1
-                disturbed = bool(
-                    first_site or retries or fallback_used or q_here
-                )
-                if disturbed:
-                    self.resil.exhausted += 1
+                if task.disturbed:
+                    with self._resil_lock:
+                        self.resil.exhausted += 1
                 if not isolate_failures:
                     raise
-                return None, report(False, exc) if disturbed else None, (
-                    ItemError(idx, home, type(exc).__name__, str(exc))
-                )
+                return _ERROR, (
+                    task.report(False, exc) if task.disturbed else None
+                ), ItemError(task.idx, home, type(exc).__name__, str(exc))
             counts[home] += 1
-            disturbed = bool(first_site or retries or fallback_used or q_here)
-            if not disturbed:
-                return out, None, None
-            self.resil.recovered += 1
-            return out, report(True), None
+            if not task.disturbed:
+                return _OK, out, None
+            with self._resil_lock:
+                self.resil.recovered += 1
+            return _OK, out, task.report(True)
 
     def resil_stats(self) -> dict:
         """Cumulative resilience counters (the ``resil.*`` namespace).
@@ -641,10 +896,14 @@ class CGScheduler:
         :class:`~repro.resil.InjectionStats` (under ``"injection"``),
         ready for :meth:`repro.obs.MetricsRegistry.register` as a dict
         source.
+
+        Both reads are lock-held snapshots, so metering resilience
+        counters while a parallel run mutates them is safe.
         """
-        data = self.resil.as_dict()
+        with self._resil_lock:
+            data = self.resil.as_dict()
         if self.injector is not None:
-            data["injection"] = self.injector.stats.as_dict()
+            data["injection"] = self.injector.stats_snapshot()
         return data
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

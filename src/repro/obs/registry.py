@@ -190,5 +190,10 @@ def resil_meter(scheduler: Any) -> Callable[[], dict]:
     ``resil.retries``, ``resil.quarantines``, ...) and, when an
     injector is attached, its injection totals
     (``resil.injection.injected``, ``resil.injection.by_site.*``).
+
+    ``resil_stats`` reads are lock-held snapshots, so this meter is
+    safe to sample while a parallel run's workers bump the counters.
+    The per-context and per-device meters need no locks: each is read
+    only inside spans on the one thread that owns that CG.
     """
     return lambda: flatten("resil", scheduler.resil_stats())

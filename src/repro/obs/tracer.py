@@ -21,17 +21,35 @@ overhead budget (enforced relative to ``bench_engine --smoke``).
 A span records its wall time via :func:`time.perf_counter` and, when
 given a ``meter`` (a zero-argument callable returning a flat
 ``{counter_name: number}`` dict, see :mod:`repro.obs.registry`), the
-counter *deltas* across its body.  Spans nest: the tracer keeps the
-open-span stack, so exporters can reconstruct the tree
+counter *deltas* across its body.  Spans nest: the tracer keeps one
+open-span stack *per thread*, so exporters can reconstruct the tree
 (``session.batch`` → ``cg_dispatch`` → ``dgemm`` →
-``stage_A``/``stage_B``/``strip_mult``/``store_C``).
+``stage_A``/``stage_B``/``strip_mult``/``store_C``) even when the
+scheduler dispatches core groups on worker threads.
+
+Thread model
+------------
+
+The closed-span list and the span index counter are shared (guarded by
+one lock, so ``index`` stays a global opening order), while the
+open-span stack is thread-local: spans opened on different threads
+never see each other as parents.  A worker thread's first span would
+therefore be a root — unless the code that hands work to the thread
+captures the spawning thread's current span (:meth:`SpanTracer.current`)
+and passes it as ``parent=`` when opening spans on the worker, which is
+exactly what the parallel scheduler does so every ``cg_dispatch``
+subtree stays attached to its ``session.batch``.  Track inheritance
+follows the same rule, so CG-pinned subtrees still render one row per
+core group in the Chrome trace.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from time import perf_counter
+from types import TracebackType
 
 #: a span meter: zero-argument callable returning flat numeric counters.
 Meter = Callable[[], dict]
@@ -102,9 +120,14 @@ class NullTracer:
         cat: str = "span",
         meter: Meter | None = None,
         track: int | None = None,
+        parent: "object | None" = None,
         **attrs: object,
     ) -> "_NullSpan":
         return _NULL_SPAN
+
+    def current(self) -> None:
+        """No open spans on the no-op tracer, on any thread."""
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "NullTracer()"
@@ -128,6 +151,7 @@ class _OpenSpan:
         "meter",
         "track",
         "attrs",
+        "explicit_parent",
         "index",
         "parent",
         "depth",
@@ -148,6 +172,7 @@ class _OpenSpan:
         cat: str,
         meter: Meter | None,
         track: int | None,
+        parent: "_OpenSpan | None",
         attrs: dict,
     ) -> None:
         self.tracer = tracer
@@ -155,13 +180,17 @@ class _OpenSpan:
         self.cat = cat
         self.meter = meter
         self.track = track
+        self.explicit_parent = parent
         self.attrs = attrs
 
     def __enter__(self) -> "_OpenSpan":
         tracer = self.tracer
-        stack = tracer._stack
-        if stack:
-            top = stack[-1]
+        stack = tracer._thread_stack()
+        # this thread's enclosing span wins; ``parent=`` only adopts a
+        # cross-thread parent when the local stack is empty (a worker
+        # thread's first span).
+        top = stack[-1] if stack else self.explicit_parent
+        if top is not None:
             self.parent = top.index
             self.depth = top.depth + 1
             if self.track is None:
@@ -171,29 +200,52 @@ class _OpenSpan:
             self.depth = 0
             if self.track is None:
                 self.track = 0
-        self.index = tracer._next_index
-        tracer._next_index += 1
-        stack.append(self)
+        # read the meter *before* pushing onto the stack: a meter that
+        # raises here must not leave a phantom open span behind to
+        # mis-parent every later span on this thread.
         self.before = self.meter() if self.meter is not None else None
+        with tracer._lock:
+            self.index = tracer._next_index
+            tracer._next_index += 1
+        stack.append(self)
         self.start = perf_counter()
         return self
 
-    def __exit__(self, *exc_info: object) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         end = perf_counter()
-        before = self.before
-        if self.meter is not None and before is not None:
-            after = self.meter()
-            counters = {key: after[key] - before.get(key, 0) for key in after}
-        else:
-            counters = {}
         tracer = self.tracer
-        top = tracer._stack.pop()
-        if top is not self:  # pragma: no cover - defensive
-            raise RuntimeError(
-                f"span {self.name!r} closed out of order (found {top.name!r})"
-            )
-        tracer.spans.append(
-            TraceSpan(
+        counters: dict = {}
+        try:
+            before = self.before
+            if self.meter is not None and before is not None:
+                after = self.meter()
+                # union of keys: a counter present before but dropped
+                # from the after-snapshot still contributes its final
+                # delta (as 0 - before would lose it entirely).
+                keys = list(after) + [k for k in before if k not in after]
+                counters = {k: after.get(k, 0) - before.get(k, 0) for k in keys}
+        finally:
+            # the stack pop and the span record are unconditional: a
+            # meter raising on exit must not leave the span open.
+            stack = tracer._thread_stack()
+            top = stack.pop() if stack else None
+            if top is not self:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"span {self.name!r} closed out of order "
+                    f"(found {top.name if top else None!r})"
+                )
+            attrs = self.attrs
+            if exc_type is not None:
+                # mark spans closed by an in-flight exception so the
+                # trace shows *where* a run aborted.
+                attrs = dict(attrs)
+                attrs["error"] = getattr(exc_type, "__name__", str(exc_type))
+            record = TraceSpan(
                 name=self.name,
                 cat=self.cat,
                 start=self.start,
@@ -202,10 +254,11 @@ class _OpenSpan:
                 parent=self.parent,
                 depth=self.depth,
                 track=self.track or 0,
-                attrs=self.attrs,
+                attrs=attrs,
                 counters=counters,
             )
-        )
+            with tracer._lock:
+                tracer.spans.append(record)
         return False
 
 
@@ -214,17 +267,38 @@ class SpanTracer:
 
     Spans are appended in *closing* order (children before parents);
     ``index`` restores opening order and ``parent`` the tree.  The
-    tracer is deliberately single-threaded — the simulation is serial,
-    and the open-span stack assumes strictly nested scopes (enforced:
-    closing out of order raises).
+    tracer is thread-aware: each thread nests spans on its own
+    open-span stack (strictly nested per thread — closing out of order
+    raises), while the closed-span list and the index counter are
+    shared under one lock so the merged record is a single, globally
+    ordered span list.  Cross-thread subtrees attach via the
+    ``parent=`` keyword (see the module docstring).
     """
 
     enabled = True
 
     def __init__(self) -> None:
         self.spans: list[TraceSpan] = []
-        self._stack: list[_OpenSpan] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
         self._next_index = 0
+
+    def _thread_stack(self) -> list[_OpenSpan]:
+        stack: list[_OpenSpan] | None = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> _OpenSpan | None:
+        """This thread's innermost open span (``None`` outside any span).
+
+        Capture it before handing work to another thread and pass it as
+        ``span(..., parent=...)`` there, so the worker's spans join this
+        thread's subtree instead of becoming orphan roots.
+        """
+        stack = self._thread_stack()
+        return stack[-1] if stack else None
 
     def span(
         self,
@@ -232,6 +306,7 @@ class SpanTracer:
         cat: str = "span",
         meter: Meter | None = None,
         track: int | None = None,
+        parent: _OpenSpan | None = None,
         **attrs: object,
     ) -> _OpenSpan:
         """Open a nested span; use as ``with tracer.span("dgemm"): ...``.
@@ -239,9 +314,11 @@ class SpanTracer:
         ``meter`` is a zero-argument callable returning a flat numeric
         dict; the span stores ``after - before`` per counter.  ``track``
         pins the span to a Chrome-trace track (defaults to the parent's
-        track, or 0 at the root).
+        track, or 0 at the root).  ``parent`` adopts an open span from
+        another thread as this span's parent when this thread's own
+        stack is empty; it is ignored inside an enclosing span.
         """
-        return _OpenSpan(self, name, cat, meter, track, attrs)
+        return _OpenSpan(self, name, cat, meter, track, parent, attrs)
 
     # -- aggregate views ----------------------------------------------
 
@@ -279,4 +356,5 @@ class SpanTracer:
         return len(self.spans)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"SpanTracer({len(self.spans)} spans, {len(self._stack)} open)"
+        open_spans = len(self._thread_stack())
+        return f"SpanTracer({len(self.spans)} spans, {open_spans} open)"

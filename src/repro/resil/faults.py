@@ -35,6 +35,7 @@ Fault sites
 from __future__ import annotations
 
 import contextlib
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -128,7 +129,11 @@ class FaultInjector:
 
     The injector is *passive* between fires: a fire point costs one
     attribute check when no injector is attached, and one loop over the
-    armed specs when one is.
+    armed specs when one is.  Fire points are thread-safe: one lock
+    serializes the call/eligibility counters and the seeded generator,
+    so the parallel scheduler's per-CG workers share one injector
+    without corrupting its bookkeeping (the *order* of fires across
+    threads follows the thread interleaving, as on real hardware).
     """
 
     def __init__(self, specs: Iterable[FaultSpec] = (), *, seed: int = 0) -> None:
@@ -141,7 +146,10 @@ class FaultInjector:
         self.seed = int(seed)
         self.enabled = True
         self.stats = InjectionStats()
-        self._phase: str | None = None
+        #: pipeline phase is tracked per thread: parallel CG workers
+        #: scope their own phases without clobbering each other's.
+        self._phase_local = threading.local()
+        self._lock = threading.Lock()
         self._rng = np.random.default_rng(self.seed)
         self._eligible = [0] * len(self.specs)
         self._fired = [0] * len(self.specs)
@@ -155,10 +163,11 @@ class FaultInjector:
         schedule for the identical call sequence — the property the
         resilience checker's fault-free/faulted comparisons build on.
         """
-        self.stats = InjectionStats()
-        self._rng = np.random.default_rng(self.seed)
-        self._eligible = [0] * len(self.specs)
-        self._fired = [0] * len(self.specs)
+        with self._lock:
+            self.stats = InjectionStats()
+            self._rng = np.random.default_rng(self.seed)
+            self._eligible = [0] * len(self.specs)
+            self._fired = [0] * len(self.specs)
 
     @contextlib.contextmanager
     def disabled(self) -> Iterator["FaultInjector"]:
@@ -174,17 +183,19 @@ class FaultInjector:
 
     @property
     def current_phase(self) -> str | None:
-        return self._phase
+        """This thread's pipeline phase (``phase=`` spec filter scope)."""
+        phase: str | None = getattr(self._phase_local, "phase", None)
+        return phase
 
     @contextlib.contextmanager
     def phase(self, name: str) -> Iterator["FaultInjector"]:
         """Scope marking the current pipeline phase for ``phase=`` specs."""
-        prev = self._phase
-        self._phase = name
+        prev = self.current_phase
+        self._phase_local.phase = name
         try:
             yield self
         finally:
-            self._phase = prev
+            self._phase_local.phase = prev
 
     # -- the fire point ------------------------------------------------
 
@@ -197,28 +208,40 @@ class FaultInjector:
         """
         if not self.enabled:
             return
-        self.stats.calls += 1
-        for i, spec in enumerate(self.specs):
-            if spec.site != site:
-                continue
-            if spec.cg is not None and spec.cg != cg:
-                continue
-            if spec.phase is not None and spec.phase != self._phase:
-                continue
-            limit = spec.fire_limit
-            if limit is not None and self._fired[i] >= limit:
-                continue
-            self._eligible[i] += 1
-            if spec.nth is not None:
-                triggered = self._eligible[i] == spec.nth
-            else:
-                triggered = bool(self._rng.random() < spec.probability)
-            if not triggered:
-                continue
-            self._fired[i] += 1
-            self.stats.injected += 1
-            self.stats.by_site[site] = self.stats.by_site.get(site, 0) + 1
-            raise FaultInjectedError(site, cg=cg, phase=self._phase)
+        phase = self.current_phase
+        with self._lock:
+            self.stats.calls += 1
+            for i, spec in enumerate(self.specs):
+                if spec.site != site:
+                    continue
+                if spec.cg is not None and spec.cg != cg:
+                    continue
+                if spec.phase is not None and spec.phase != phase:
+                    continue
+                limit = spec.fire_limit
+                if limit is not None and self._fired[i] >= limit:
+                    continue
+                self._eligible[i] += 1
+                if spec.nth is not None:
+                    triggered = self._eligible[i] == spec.nth
+                else:
+                    triggered = bool(self._rng.random() < spec.probability)
+                if not triggered:
+                    continue
+                self._fired[i] += 1
+                self.stats.injected += 1
+                self.stats.by_site[site] = self.stats.by_site.get(site, 0) + 1
+                raise FaultInjectedError(site, cg=cg, phase=phase)
+
+    def stats_snapshot(self) -> dict:
+        """A consistent copy of the injection totals.
+
+        Taken under the injector's lock, so a snapshot read while
+        parallel workers are firing never observes (or trips over) a
+        half-updated ``by_site`` table.
+        """
+        with self._lock:
+            return self.stats.as_dict()
 
     def fires_remaining(self) -> bool:
         """Whether any armed spec can still strike."""

@@ -68,7 +68,7 @@ def test_span_tree_is_strictly_nested(items, pool):
     with Session(params=PARAMS, n_core_groups=pool, tracer=tracer) as s:
         s.batch(items)
 
-    assert not tracer._stack  # every span closed
+    assert tracer.current() is None  # every span closed
     by_index = {s.index: s for s in tracer.spans}
     assert sorted(by_index) == list(range(len(tracer.spans)))
     for span in tracer.spans:

@@ -78,9 +78,13 @@ def test_random_fault_schedules_never_corrupt(specs, fault_seed,
     report_index = {r.index: r for r in result.fault_reports}
     for error in result.errors:
         assert not report_index[error.index].recovered
-    # accounting stays coherent under any schedule
-    assert sum(t.items for t in result.per_cg) == len(items)
-    assert sum(t.failures for t in result.per_cg) == len(result.errors)
+    # accounting stays coherent under any schedule: items that no CG
+    # could accept are tallied as unplaced, never in per-CG traffic
+    assert sum(t.items for t in result.per_cg) + len(result.unplaced) == len(items)
+    assert sum(t.failures for t in result.per_cg) + len(result.unplaced) == len(
+        result.errors
+    )
+    assert set(result.unplaced) <= {e.index for e in result.errors}
     for g in result.quarantined:
         assert result.per_cg[g].failures + result.per_cg[g].items >= 0
         assert g < pool

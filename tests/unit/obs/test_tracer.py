@@ -68,7 +68,7 @@ class TestNesting:
                 with tr.span("inner"):
                     raise ValueError("boom")
         assert [s.name for s in tr.spans] == ["inner", "outer"]
-        assert not tr._stack
+        assert tr.current() is None
 
 
 class TestCounters:
@@ -139,3 +139,139 @@ class TestNullTracer:
     def test_enabled_flags(self):
         assert SpanTracer().enabled is True
         assert NullTracer().enabled is False
+
+
+class TestMeterExceptionSafety:
+    def test_meter_raising_on_enter_leaves_no_phantom_span(self):
+        """A meter that raises while opening must not leave an open
+        span behind to mis-parent everything that follows."""
+        tr = SpanTracer()
+
+        def broken():
+            raise RuntimeError("meter down")
+
+        with pytest.raises(RuntimeError, match="meter down"):
+            with tr.span("work", meter=broken):
+                pass  # pragma: no cover - never entered
+        assert tr.current() is None
+        with tr.span("after"):
+            pass
+        (span,) = tr.spans
+        assert span.parent is None and span.depth == 0
+
+    def test_meter_raising_on_exit_still_pops_and_records(self):
+        tr = SpanTracer()
+        calls = [0]
+
+        def flaky():
+            calls[0] += 1
+            if calls[0] > 1:
+                raise RuntimeError("meter down")
+            return {"x": 1}
+
+        with pytest.raises(RuntimeError, match="meter down"):
+            with tr.span("work", meter=flaky):
+                pass
+        assert tr.current() is None
+        # the span itself was still recorded (without counters)
+        assert [s.name for s in tr.spans] == ["work"]
+        assert tr.spans[0].counters == {}
+
+    def test_exception_in_body_records_error_attr(self):
+        tr = SpanTracer()
+        with pytest.raises(ValueError):
+            with tr.span("work", step=3):
+                raise ValueError("boom")
+        (span,) = tr.spans
+        assert span.attrs == {"step": 3, "error": "ValueError"}
+
+    def test_clean_exit_has_no_error_attr(self):
+        tr = SpanTracer()
+        with tr.span("work"):
+            pass
+        assert "error" not in tr.spans[0].attrs
+
+    def test_key_dropped_from_after_snapshot_keeps_its_delta(self):
+        """Union-of-keys: a counter present before but missing after
+        still contributes (as ``0 - before``), instead of vanishing."""
+        counters = {"stable": 10, "doomed": 4}
+        tr = SpanTracer()
+
+        def meter():
+            return dict(counters)
+
+        with tr.span("work", meter=meter):
+            counters["stable"] = 16
+            del counters["doomed"]
+        (span,) = tr.spans
+        assert span.counters == {"stable": 6, "doomed": -4}
+
+
+class TestThreadAwareness:
+    def test_threads_nest_on_their_own_stacks(self):
+        import threading
+
+        tr = SpanTracer()
+        ready = threading.Barrier(3)
+
+        def work(track):
+            with tr.span("outer", track=track):
+                ready.wait(timeout=30)
+                with tr.span("inner"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in (1, 2, 3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tr.spans) == 6
+        # globally unique, contiguous indices under the shared lock
+        assert sorted(s.index for s in tr.spans) == list(range(6))
+        by_index = {s.index: s for s in tr.spans}
+        for span in tr.spans:
+            if span.name == "inner":
+                parent = by_index[span.parent]
+                # each inner span is parented to *its* thread's outer
+                assert parent.name == "outer"
+                assert parent.track == span.track
+
+    def test_explicit_parent_adopts_cross_thread_subtree(self):
+        import threading
+
+        tr = SpanTracer()
+        with tr.span("batch") as batch_span:
+            parent = tr.current()
+            assert parent is batch_span
+
+            def work():
+                with tr.span("dispatch", parent=parent, track=2):
+                    pass
+
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        by_name = {s.name: s for s in tr.spans}
+        assert by_name["dispatch"].parent == by_name["batch"].index
+        assert by_name["dispatch"].depth == 1
+        assert by_name["dispatch"].track == 2
+
+    def test_explicit_parent_ignored_inside_enclosing_span(self):
+        tr = SpanTracer()
+        with tr.span("a"):
+            outer = tr.current()
+        with tr.span("b"):
+            with tr.span("child", parent=outer):
+                pass
+        by_name = {s.name: s for s in tr.spans}
+        assert by_name["child"].parent == by_name["b"].index
+
+    def test_current_is_none_outside_any_span(self):
+        tr = SpanTracer()
+        assert tr.current() is None
+        with tr.span("x"):
+            assert tr.current() is not None
+        assert tr.current() is None
+        assert NULL_TRACER.current() is None
