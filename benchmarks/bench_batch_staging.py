@@ -12,7 +12,8 @@ import numpy as np
 import pytest
 
 from repro.arch.core_group import CoreGroup
-from repro.core.batch import BatchItem, dgemm_batch
+from repro.api import GemmRequest
+from repro.core.batch import dgemm_batch
 from repro.core.context import ExecutionContext
 from repro.core.params import BlockingParams
 from repro.workloads.matrices import gemm_operands
@@ -21,9 +22,9 @@ PARAMS = BlockingParams.small(double_buffered=True)
 ITEMS = 8
 
 
-def make_items() -> list[BatchItem]:
+def make_items() -> list[GemmRequest]:
     return [
-        BatchItem(*gemm_operands(PARAMS.b_m, PARAMS.b_n, PARAMS.b_k, seed=s))
+        GemmRequest(*gemm_operands(PARAMS.b_m, PARAMS.b_n, PARAMS.b_k, seed=s))
         for s in range(ITEMS)
     ]
 

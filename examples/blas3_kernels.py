@@ -14,7 +14,8 @@ import numpy as np
 
 from repro import BlockingParams, CoreGroup
 from repro.apps import dsyrk_ln, dtrsm_llnu
-from repro.core.batch import BatchItem, dgemm_batch
+from repro.api import GemmRequest
+from repro.core.batch import dgemm_batch
 
 params = BlockingParams.small(double_buffered=True)
 cg = CoreGroup()
@@ -41,7 +42,7 @@ assert err < 1e-9
 
 # --- batched GEMM: a convolution-layer-like sequence ---------------------
 items = [
-    BatchItem(rng.standard_normal((64, 27)), rng.standard_normal((27, 196)))
+    GemmRequest(rng.standard_normal((64, 27)), rng.standard_normal((27, 196)))
     for _ in range(4)
 ]
 result = dgemm_batch(items, params=params, core_group=cg)

@@ -34,6 +34,20 @@ The functional entry points (``dgemm``, ``dgemm_batch``,
 ``dgemm_multi_cg``) remain available for one-shot calls and for code
 that manages devices explicitly.
 
+The typed request surface (:mod:`repro.api`) is the structured
+alternative: build a :class:`~repro.api.GemmRequest` /
+:class:`~repro.api.ConvRequest` / :class:`~repro.api.LuRequest` and
+``Session.submit`` it for a :class:`~repro.api.RequestResult` with
+per-request traffic and typed errors — or serve the same requests
+asynchronously with coalescing, admission control, an operand cache
+and SLO reporting through :mod:`repro.serve`::
+
+    from repro import GemmRequest
+    from repro.serve import ReproServer, ServeConfig
+
+    async with ReproServer(config=ServeConfig()) as server:
+        result = await server.submit(GemmRequest(a, b))
+
 Telemetry (:mod:`repro.obs`) is opt-in: pass ``tracer=SpanTracer()``
 to a session (or to ``dgemm``/``dgemm_batch`` directly) and every
 phase — staging, per-panel multiplies, stores, dispatch — records its
@@ -49,6 +63,14 @@ trace::
 """
 
 from repro._version import __version__
+from repro.api import (
+    ConvRequest,
+    GemmRequest,
+    LuRequest,
+    RequestError,
+    RequestResult,
+    SubmitOptions,
+)
 from repro.arch import CoreGroup, SW26010Spec, DEFAULT_SPEC
 from repro.core import (
     BatchItem,
@@ -91,6 +113,12 @@ __all__ = [
     "SessionStats",
     "BatchItem",
     "BatchResult",
+    "GemmRequest",
+    "LuRequest",
+    "ConvRequest",
+    "SubmitOptions",
+    "RequestResult",
+    "RequestError",
     "dgemm",
     "dgemm_batch",
     "reference_dgemm",

@@ -37,6 +37,7 @@ def dtrsm_llnu(
     params: BlockingParams | None = None,
     core_group: CoreGroup | None = None,
     context: ExecutionContext | None = None,
+    tracer=None,
 ) -> np.ndarray:
     """Solve ``L X = B`` for unit-lower-triangular L (blocked).
 
@@ -79,6 +80,7 @@ def dtrsm_llnu(
                     params=params,
                     context=ctx,
                     pad=True,
+                    tracer=tracer,
                 )
             # unit-lower diagonal block solve on the MPE
             diag = np.tril(l_matrix[lo:hi, lo:hi], -1) + np.eye(hi - lo)
@@ -97,6 +99,7 @@ def dsyrk_ln(
     params: BlockingParams | None = None,
     core_group: CoreGroup | None = None,
     context: ExecutionContext | None = None,
+    tracer=None,
 ) -> np.ndarray:
     """Symmetric rank-k update ``C = alpha*A*A^T + beta*C`` (lower).
 
@@ -136,6 +139,7 @@ def dsyrk_ln(
                 params=params,
                 context=ctx,
                 pad=True,
+                tracer=tracer,
             )
             out[lo:hi, :hi] = update
     # zero the strict upper triangle for a canonical result

@@ -14,9 +14,10 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.errors import ConfigError, UnsupportedShapeError
+from repro.api import GemmRequest
 from repro.arch.core_group import CoreGroup
 from repro.core.api import dgemm
-from repro.core.batch import BatchItem, dgemm_batch
+from repro.core.batch import dgemm_batch
 from repro.core.context import ExecutionContext
 from repro.core.params import BlockingParams
 
@@ -120,7 +121,7 @@ def conv2d_gemm_batch(
     if not layers:
         raise ConfigError("empty layer batch")
     params = params or BlockingParams.small(double_buffered=True)
-    items: list[BatchItem] = []
+    items: list[GemmRequest] = []
     folds: list[tuple[int, int, int, int]] = []
     for images, kernels in layers:
         if np.asarray(kernels).ndim != 4:
@@ -135,7 +136,7 @@ def conv2d_gemm_batch(
             )
         cols = im2col(np.asarray(images, dtype=np.float64), kh, kw, stride)
         w_flat = np.asarray(kernels, dtype=np.float64).reshape(o, c * kh * kw)
-        items.append(BatchItem(w_flat, cols))
+        items.append(GemmRequest(w_flat, cols))
         folds.append((o, n, (h - kh) // stride + 1, (w - kw) // stride + 1))
     result = dgemm_batch(
         items, variant=variant, params=params, pad=True,

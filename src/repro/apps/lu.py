@@ -83,6 +83,7 @@ def blocked_lu(
     core_group: CoreGroup | None = None,
     context: ExecutionContext | None = None,
     processor: "SW26010Processor | None" = None,
+    tracer=None,
 ) -> LUResult:
     """Factor PA = LU with trailing updates on the simulated CG.
 
@@ -132,7 +133,7 @@ def blocked_lu(
             lu[col0:hi, hi:] = dtrsm_llnu(
                 lu[col0:hi, col0:hi], lu[col0:hi, hi:],
                 block=max(16, width // 2), variant=variant,
-                params=params, context=ctx,
+                params=params, context=ctx, tracer=tracer,
             )
             # trailing update on the CPE cluster: A22 -= L21 @ U12
             l21 = lu[hi:, col0:hi]
@@ -156,6 +157,7 @@ def blocked_lu(
                     params=params,
                     context=ctx,
                     pad=True,
+                    tracer=tracer,
                 )
             gemm_flops += 2 * l21.shape[0] * u12.shape[1] * width
     return LUResult(lu=lu, piv=piv, panel=panel, gemm_flops=gemm_flops)

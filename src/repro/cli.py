@@ -9,6 +9,8 @@ Installed as ``repro-dgemm``::
     repro-dgemm trace --items 8 --cgs 4 --out trace.json --report
     repro-dgemm chaos --items 12 --fault dma.get:nth=3 --fault cg:nth=1
     repro-dgemm chaos --smoke
+    repro-dgemm serve --requests 32 --concurrency 32
+    repro-dgemm serve --smoke
 
 ``--estimate-only`` skips the functional simulation and prints the
 performance model's prediction (any paper-scale size is fine there);
@@ -23,7 +25,13 @@ before it reports success.  The ``chaos`` subcommand runs the same
 batch twice — fault-free, then with the requested faults armed — and
 verifies the resilience contract: every recovered item is
 *bit-identical* to the fault-free run, and every non-recovered item
-carries a structured error instead of a wrong answer.
+carries a structured error instead of a wrong answer.  The ``serve``
+subcommand stands up the asyncio serving tier, drives it with the
+seeded load generator, then verifies the serving contract: zero
+dropped responses, same-bin coalescing (strictly fewer dispatched
+batches than batch-path requests), a cache wave served without
+touching the device, and per-request span traffic reconciling
+bit-exactly with the session totals.
 """
 
 from __future__ import annotations
@@ -47,6 +55,7 @@ __all__ = [
     "build_chaos_parser",
     "build_parser",
     "build_schedule_parser",
+    "build_serve_parser",
     "build_trace_parser",
     "main",
     "parse_fault_spec",
@@ -449,6 +458,142 @@ def _run_chaos(argv: list[str]) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dgemm serve",
+        description="Drive the asyncio serving tier (repro.serve) with a "
+                    "seeded mixed workload and verify the serving contract",
+    )
+    parser.add_argument("--requests", type=int, default=32,
+                        help="requests in the main wave (default 32)")
+    parser.add_argument("--concurrency", type=int, default=32,
+                        help="concurrent client submissions (default 32)")
+    parser.add_argument("--cgs", type=int, default=4,
+                        help="pool size, 1..4 core groups (default 4)")
+    parser.add_argument(
+        "--variant", default="SCHED", choices=sorted(VARIANTS),
+        type=lambda s: s.upper(), help="implementation (paper Sec V)",
+    )
+    parser.add_argument(
+        "--preset", choices=["small", "paper"], default="small",
+        help="blocking parameters: scaled-down (default) or the paper's",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--window", type=float, default=0.05,
+                        help="coalescing window in seconds (default 0.05; "
+                             "0 disables coalescing)")
+    parser.add_argument("--batch", type=int, default=8,
+                        help="max requests per dispatched batch (default 8)")
+    parser.add_argument("--pending", type=int, default=64,
+                        help="admission bound on in-flight requests "
+                             "(default 64)")
+    parser.add_argument("--cache-wave", type=int, default=4,
+                        help="earlier requests resubmitted after the main "
+                             "wave to exercise the operand cache (default 4)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fixed workload (12 requests, 2 CGs) "
+                             "for CI; same contract checks")
+    return parser
+
+
+async def _serve_session(args) -> int:
+    from repro.serve import LoadGenerator, ReproServer, ServeConfig
+
+    params = _params_for(args)
+    config = ServeConfig(
+        window_seconds=args.window,
+        max_batch_size=args.batch,
+        max_pending=args.pending,
+    )
+    async with ReproServer(
+        config=config, variant=args.variant, params=params,
+        n_core_groups=args.cgs,
+    ) as server:
+        generator = LoadGenerator(seed=args.seed, params=params)
+        requests = generator.generate(args.requests)
+        results = await generator.run(
+            server, requests, concurrency=args.concurrency
+        )
+
+        dropped = args.requests - len(results)
+        failed = [r for r in results if not r.ok]
+        print(f"{len(results)} responses to {args.requests} requests "
+              f"({dropped} dropped, {len(failed)} failed, "
+              f"{sum(r.cache_hit for r in results)} cache hits) over "
+              f"{server.stats()['batches']} dispatched batches")
+        if dropped or failed:
+            print("error: serving contract violated "
+                  f"({dropped} dropped, {len(failed)} failed)",
+                  file=sys.stderr)
+            return 1
+
+        # cache wave: resubmitting completed requests must be served
+        # from the operand cache without touching the device.
+        wave = requests[: args.cache_wave]
+        if wave:
+            replays = await generator.run(server, wave, concurrency=4)
+            misses = [r for r in replays if not (r.ok and r.cache_hit)]
+            print(f"cache wave: {len(replays) - len(misses)}/{len(wave)} "
+                  "served from cache")
+            if misses:
+                print("error: cache wave missed the operand cache",
+                      file=sys.stderr)
+                return 1
+
+        # coalescing: with a window armed, same-bin requests must share
+        # dispatches — strictly fewer session.batch spans than
+        # batch-path (non-LU) requests.
+        tracer = server.session.tracer
+        batch_spans = sum(
+            1 for s in tracer.spans if s.name == "session.batch"
+        )
+        batch_path = sum(
+            1 for s in tracer.spans if s.name == "serve.request"
+        ) - sum(1 for r in results if r.bin.startswith("lu:"))
+        if args.window > 0 and batch_spans >= batch_path:
+            print(f"error: no coalescing — {batch_spans} dispatches for "
+                  f"{batch_path} batch-path requests", file=sys.stderr)
+            return 1
+        print(f"coalescing: {batch_path} batch-path requests ran in "
+              f"{batch_spans} session.batch dispatches")
+
+        # the reconciliation contract: summing every serve.request
+        # span's traffic delta must equal Session.stats() bit-exactly.
+        deltas = tracer.counter_totals("serve.request")
+        totals = server.session.stats().traffic.as_dict()
+        mismatched = [
+            f"{field}: spans={deltas.get(f'ctx.{field}', 0)!r} "
+            f"session={total!r}"
+            for field, total in totals.items()
+            if deltas.get(f"ctx.{field}", 0) != total
+        ]
+        if mismatched:
+            print("error: per-request traffic does not reconcile with "
+                  "Session.stats():", file=sys.stderr)
+            for line in mismatched:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"per-request span traffic reconciles with Session.stats() "
+              f"({len(totals)} fields)")
+        print()
+        print(server.slo.render())
+    return 0
+
+
+def _run_serve(argv: list[str]) -> int:
+    import asyncio
+
+    args = build_serve_parser().parse_args(argv)
+    if args.smoke:
+        args.requests, args.cgs, args.preset = 12, 2, "small"
+        args.concurrency = 12
+    try:
+        return asyncio.run(_serve_session(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _params_for(args) -> BlockingParams:
     traits = VARIANTS[args.variant].traits
     if args.preset == "paper":
@@ -465,6 +610,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_trace(argv[1:])
     if argv and argv[0] == "chaos":
         return _run_chaos(argv[1:])
+    if argv and argv[0] == "serve":
+        return _run_serve(argv[1:])
     args = build_parser().parse_args(argv)
     params = _params_for(args)
     m = args.m if args.m is not None else 2 * params.b_m

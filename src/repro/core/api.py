@@ -17,9 +17,11 @@ plans across calls (the batched hot path).
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
-from repro.errors import UnsupportedShapeError
+from repro.api import apply_trans, as_gemm_request
 from repro.arch.config import SW26010Spec, DEFAULT_SPEC
 from repro.arch.core_group import CoreGroup
 from repro.core.context import ExecutionContext
@@ -33,22 +35,9 @@ from repro.resil.faults import fault_phase
 
 __all__ = ["dgemm"]
 
-
-def _apply_trans(name: str, flag: str, array: np.ndarray) -> np.ndarray:
-    """Resolve a BLAS trans flag (extension).
-
-    Returns a transposed *view*; the MPE materializes it during the
-    single staging copy, so ``"T"`` costs no extra host-side pass.
-    """
-    flag = str(flag).upper()
-    if flag == "N":
-        return array
-    if flag == "T":
-        return array.T
-    raise UnsupportedShapeError(
-        f"{name} must be 'N' or 'T', got {flag!r} (conjugate transpose "
-        "is meaningless for real matrices)"
-    )
+# re-exported for callers that used the private helper (dgemm4 did);
+# the implementation now lives on the typed surface.
+_apply_trans = apply_trans
 
 
 def dgemm(
@@ -69,6 +58,7 @@ def dgemm(
     pad: bool = False,
     check: bool = False,
     tracer=None,
+    **legacy: Any,
 ) -> np.ndarray:
     """Compute ``alpha * a @ b + beta * c`` on the simulated CG.
 
@@ -82,6 +72,9 @@ def dgemm(
         non-transposed case; ``"T"`` is an extension handled by staging
         an explicit transpose on the MPE before the CG kernel runs (the
         approach production libraries use for unsupported layouts).
+        The legacy spellings ``trans``/``trans_a``/``trans_b`` are
+        still accepted with a :class:`DeprecationWarning` — every call
+        is normalized through :func:`repro.api.as_gemm_request`.
     variant:
         one of ``RAW``, ``PE``, ``ROW``, ``DB``, ``SCHED`` (default:
         the paper's best version).
@@ -126,27 +119,25 @@ def dgemm(
     numpy.ndarray
         the m x n result, column-major.
     """
+    request = as_gemm_request(
+        a, b, c, alpha=alpha, beta=beta, transa=transa, transb=transb,
+        legacy=legacy, caller="dgemm",
+    )
     impl = get_variant(variant)
     eng = get_engine(engine)
     params = params or impl.default_params()
 
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
-    if a.ndim != 2 or b.ndim != 2:
-        raise UnsupportedShapeError("dgemm operates on 2-D matrices")
-    a = _apply_trans("transa", transa, a)
-    b = _apply_trans("transb", transb, b)
+    a = apply_trans(
+        "transa", request.transa, np.asarray(request.a, dtype=np.float64)
+    )
+    b = apply_trans(
+        "transb", request.transb, np.asarray(request.b, dtype=np.float64)
+    )
     m, k = a.shape
     k2, n = b.shape
-    if k2 != k:
-        raise UnsupportedShapeError(f"A is {a.shape} but B is {b.shape}")
-    if c is None:
-        if beta != 0.0:
-            raise UnsupportedShapeError("beta != 0 requires an input C")
-    else:
+    c = request.c
+    if c is not None:
         c = np.asarray(c, dtype=np.float64)
-        if c.shape != (m, n):
-            raise UnsupportedShapeError(f"C is {c.shape}, expected {(m, n)}")
 
     pm, pn, pk = (params.pad_shape(m, n, k) if pad else (m, n, k))
 

@@ -27,12 +27,14 @@ on one CG.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigError, UnsupportedShapeError
+from repro.api import GemmRequest, resolve_legacy_kwargs
 from repro.arch.config import SW26010Spec, DEFAULT_SPEC
 from repro.arch.core_group import CoreGroup
 from repro.core.api import dgemm
@@ -47,77 +49,49 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 __all__ = ["BatchItem", "BatchResult", "dgemm_batch", "validate_items"]
 
 
-@dataclass(frozen=True)
-class BatchItem:
-    """One multiply in a batch (C may be None when beta == 0).
+class BatchItem(GemmRequest):
+    """Deprecated alias of :class:`repro.api.GemmRequest`.
 
-    ``transa``/``transb`` carry the BLAS trans flags per item, exactly
-    as the scalar :func:`repro.core.api.dgemm` accepts them — the
-    transpose is materialized on the MPE during the single staging
-    copy, so it costs no extra host-side pass.
+    The typed request surface (PR 7) renamed the batch work unit;
+    ``BatchItem`` remains a construction-compatible subclass so old
+    call sites keep working, but new code should build
+    :class:`~repro.api.GemmRequest` directly.  Every entry point that
+    accepted ``BatchItem`` now accepts any ``GemmRequest``.
     """
 
-    a: np.ndarray
-    b: np.ndarray
-    c: np.ndarray | None = None
-    alpha: float = 1.0
-    beta: float = 0.0
-    transa: str = "N"
-    transb: str = "N"
-
-
-def _trans_shape(flag: str, shape: tuple[int, int]) -> tuple[int, int]:
-    return shape[::-1] if str(flag).upper() == "T" else shape
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "BatchItem is deprecated; construct repro.api.GemmRequest "
+            "instead (same fields, same semantics)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        super().__post_init__()
 
 
 def validate_items(
-    items: Sequence[BatchItem],
+    items: Sequence[GemmRequest],
 ) -> list[tuple[int, int, int]]:
     """Validate every item up front; return the effective (m, n, k) shapes.
 
     The returned shapes account for ``transa``/``transb``.  Any
     mis-shaped item raises :class:`UnsupportedShapeError` (or
     :class:`ConfigError` for a non-item) naming the item's index, so a
-    bad batch fails before a single operand is staged.
+    bad batch fails before a single operand is staged.  Validation
+    itself lives on :meth:`repro.api.GemmRequest.validate`; this
+    wrapper only contributes the index prefix.
     """
     shapes: list[tuple[int, int, int]] = []
     for idx, item in enumerate(items):
-        if not isinstance(item, BatchItem):
+        if not isinstance(item, GemmRequest):
             raise ConfigError(
-                f"batch item {idx} is {type(item).__name__}, expected BatchItem"
+                f"batch item {idx} is {type(item).__name__}, expected "
+                "GemmRequest (or the deprecated BatchItem alias)"
             )
-        a = np.asarray(item.a)
-        b = np.asarray(item.b)
-        if a.ndim != 2 or b.ndim != 2:
-            raise UnsupportedShapeError(
-                f"batch item {idx}: operands must be 2-D matrices, got "
-                f"A ndim={a.ndim}, B ndim={b.ndim}"
-            )
-        for name, flag in (("transa", item.transa), ("transb", item.transb)):
-            if str(flag).upper() not in ("N", "T"):
-                raise UnsupportedShapeError(
-                    f"batch item {idx}: {name} must be 'N' or 'T', got {flag!r}"
-                )
-        m, k = _trans_shape(item.transa, a.shape)
-        k2, n = _trans_shape(item.transb, b.shape)
-        if k2 != k:
-            raise UnsupportedShapeError(
-                f"batch item {idx}: A is {a.shape} (transa={item.transa!r}) "
-                f"but B is {b.shape} (transb={item.transb!r}) — inner "
-                f"dimensions {k} != {k2}"
-            )
-        if item.c is None:
-            if item.beta != 0.0:
-                raise UnsupportedShapeError(
-                    f"batch item {idx}: beta={item.beta} requires an input C"
-                )
-        else:
-            c = np.asarray(item.c)
-            if c.shape != (m, n):
-                raise UnsupportedShapeError(
-                    f"batch item {idx}: C is {c.shape}, expected {(m, n)}"
-                )
-        shapes.append((m, n, k))
+        try:
+            shapes.append(item.validate())
+        except UnsupportedShapeError as exc:
+            raise UnsupportedShapeError(f"batch item {idx}: {exc}") from None
     return shapes
 
 
@@ -149,7 +123,7 @@ class BatchResult:
 
 
 def dgemm_batch(
-    items: Sequence[BatchItem] | Iterable[BatchItem],
+    items: Sequence[GemmRequest] | Iterable[GemmRequest],
     variant: str = "SCHED",
     engine: str = "device",
     params: BlockingParams | None = None,
@@ -161,6 +135,7 @@ def dgemm_batch(
     processor: "SW26010Processor | None" = None,
     n_core_groups: int | None = None,
     tracer=None,
+    **legacy: Any,
 ) -> "BatchResult | ScheduleResult":
     """Run every item on one shared core group — or across a CG pool.
 
@@ -185,6 +160,21 @@ def dgemm_batch(
     pool path, the scheduler's ``cg_dispatch`` spans) into a
     :class:`repro.obs.SpanTracer`; ``None`` disables tracing.
     """
+    if legacy:
+        resolved = resolve_legacy_kwargs("dgemm_batch", legacy)
+        unexpected = set(resolved) - {"n_core_groups"}
+        if unexpected:
+            raise TypeError(
+                "dgemm_batch() got an unexpected keyword argument "
+                f"{sorted(unexpected)[0]!r}"
+            )
+        if "n_core_groups" in resolved:
+            if n_core_groups is not None:
+                raise ConfigError(
+                    "dgemm_batch(): n_core_groups given both directly and "
+                    "through a legacy spelling"
+                )
+            n_core_groups = resolved["n_core_groups"]
     items = list(items)
     if not items:
         raise ConfigError("empty batch")

@@ -27,14 +27,26 @@ the session opened.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, UnsupportedShapeError
+from repro.api import (
+    DEFAULT_SUBMIT_OPTIONS,
+    ConvRequest,
+    GemmRequest,
+    LuRequest,
+    Request,
+    RequestError,
+    RequestResult,
+    SubmitOptions,
+    as_request,
+    format_bin,
+)
 from repro.arch.config import SW26010Spec, DEFAULT_SPEC
 from repro.core.api import dgemm as _dgemm
-from repro.core.batch import BatchItem, BatchResult, validate_items
 from repro.core.context import ContextStats, ExecutionContext
 from repro.core.params import BlockingParams
 from repro.core.variants import get_variant
@@ -154,6 +166,14 @@ class Session:
         self._ctx = ExecutionContext(self.processor.cg(0))
         self._ctx_open = False
         self._closed = False
+        #: serializes close() against itself — double-close from two
+        #: threads (server shutdown racing a with-block exit) must tear
+        #: down exactly once; scheduler.close() additionally waits out
+        #: any in-flight batch on the scheduler's own run guard.
+        self._close_lock = threading.Lock()
+        #: guards the cumulative accounting fold (concurrent submit()
+        #: callers each fold their own deltas).
+        self._stats_lock = threading.Lock()
         self._calls = 0
         self._batches = 0
         self._items = 0
@@ -173,18 +193,28 @@ class Session:
         return False
 
     def close(self) -> None:
-        """Free every staged handle this session holds (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
+        """Free every staged handle this session holds.
+
+        Idempotent, and safe to call concurrently — with another
+        ``close()`` or with an in-flight :meth:`batch`: the first
+        caller wins the close lock and marks the session closed;
+        :meth:`CGScheduler.close
+        <repro.multi.scheduler.CGScheduler.close>` then waits for any
+        in-flight run to drain before releasing the worker pool, so
+        live workers never lose their contexts mid-item.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        # scheduler first: its close() blocks on the run guard, so an
+        # in-flight batch finishes before any teardown proceeds.
+        self.scheduler.close()
         if self._ctx_open:
             self._ctx.__exit__(None, None, None)
             self._ctx_open = False
         else:
             self._ctx.close()
-        # releases the scheduler's worker pool (no-op if the session
-        # never ran a parallel batch).
-        self.scheduler.close()
 
     @property
     def n_core_groups(self) -> int:
@@ -219,12 +249,15 @@ class Session:
         engine: str | None = None,
         pad: bool | None = None,
         check: bool | None = None,
+        **legacy,
     ) -> np.ndarray:
         """One multiply on CG 0, staging kept warm across calls.
 
         ``engine=`` overrides the session's engine for this call;
         scalar calls default to ``"device"`` (full protocol checking)
         unless the session was built with an explicit ``engine=``.
+        Legacy kwarg spellings (``trans``/``trans_a``/...) pass through
+        to the normalization funnel, which warns and maps them.
         """
         self._require_open()
         ctx = self._scalar_context()
@@ -238,18 +271,21 @@ class Session:
             pad=self.pad if pad is None else pad,
             check=self.check if check is None else check,
             tracer=self.tracer,
+            **legacy,
         )
-        self._traffic = self._traffic.plus(ctx.stats().since(before))
-        self._calls += 1
         m, n = out.shape
-        k = a.shape[0] if str(transa).upper() == "T" else a.shape[1]
-        self._flops += 2 * m * n * k
+        eff_transa = legacy.get("trans", legacy.get("trans_a", transa))
+        k = a.shape[0] if str(eff_transa).upper() == "T" else a.shape[1]
         pm, pn, pk = (
             self.params.pad_shape(m, n, k)
             if (self.pad if pad is None else pad)
             else (m, n, k)
         )
-        self._padded_flops += 2 * pm * pn * pk
+        with self._stats_lock:
+            self._traffic = self._traffic.plus(ctx.stats().since(before))
+            self._calls += 1
+            self._flops += 2 * m * n * k
+            self._padded_flops += 2 * pm * pn * pk
         return out
 
     def batch(
@@ -258,6 +294,7 @@ class Session:
         *,
         isolate_failures: bool = True,
         parallel: bool = False,
+        options: SubmitOptions | None = None,
     ) -> ScheduleResult:
         """Dispatch a batch across the session's CG pool.
 
@@ -272,22 +309,136 @@ class Session:
         (see :meth:`CGScheduler.run
         <repro.multi.scheduler.CGScheduler.run>`); outputs and
         accounting are bit-identical to the default serial dispatch.
+
+        ``options=`` (a :class:`~repro.api.SubmitOptions`) applies
+        per-batch execution overrides: engine, result checking, and the
+        retry budget (``max_retries`` rebinds the session's retry
+        policy for this batch only — ``0`` disables retrying).  The
+        serving tier coalesces same-option requests so every dispatched
+        batch has one uniform ``options``.
         """
         self._require_open()
         items = list(items)
+        opts = options or DEFAULT_SUBMIT_OPTIONS
+        retry_policy = None
+        if opts.max_retries is not None:
+            base = self.scheduler.retry_policy or DEFAULT_RETRY_POLICY
+            retry_policy = replace(base, max_retries=opts.max_retries)
+        with self._stats_lock:
+            batch_no = self._batches
+            self._batches += 1
         with self.tracer.span(
-            "session.batch", cat="session", items=len(items), batch=self._batches,
+            "session.batch", cat="session", items=len(items), batch=batch_no,
         ):
             result = self.scheduler.run(
-                items, isolate_failures=isolate_failures, parallel=parallel
+                items,
+                isolate_failures=isolate_failures,
+                parallel=parallel,
+                engine=opts.engine,
+                check=opts.check,
+                retry_policy=retry_policy,
             )
-        self._batches += 1
-        self._items += len(result)
-        self._failures += len(result.errors)
-        self._flops += result.flops
-        self._padded_flops += result.padded_flops
-        self._traffic = self._traffic.plus(result.traffic)
+        with self._stats_lock:
+            self._items += len(result)
+            self._failures += len(result.errors)
+            self._flops += result.flops
+            self._padded_flops += result.padded_flops
+            self._traffic = self._traffic.plus(result.traffic)
         return result
+
+    def submit(
+        self,
+        request: Request,
+        *,
+        options: SubmitOptions | None = None,
+    ) -> RequestResult:
+        """Execute one typed request; never raises on request failure.
+
+        The synchronous half of the typed surface shared with
+        :mod:`repro.serve`: takes a
+        :class:`~repro.api.GemmRequest`/:class:`~repro.api.ConvRequest`
+        /:class:`~repro.api.LuRequest` and returns a structured
+        :class:`~repro.api.RequestResult` — value, this request's own
+        traffic delta, fault reports from the resilience ladder, and a
+        :class:`~repro.api.RequestError` instead of an exception when
+        the request is malformed or exhausts its retry budget.
+        (Session-level misuse — submitting on a closed session — still
+        raises.)
+
+        GEMM and conv requests run as a batch of one through the
+        scheduler (conv is lowered via im2col and its output folded
+        back to feature maps); LU runs :func:`repro.apps.lu.blocked_lu`
+        on the session's warm CG-0 context.  Either way the request's
+        traffic is folded into :meth:`stats`, so summing per-request
+        deltas over any set of submissions reconciles bit-exactly with
+        the session totals.
+        """
+        self._require_open()
+        opts = options or DEFAULT_SUBMIT_OPTIONS
+        try:
+            request = as_request(request)
+            request.validate()
+            bin_label = format_bin(request.shape_bin(self.params))
+        except (ConfigError, UnsupportedShapeError) as exc:
+            return RequestResult(
+                error=RequestError(kind=type(exc).__name__, message=str(exc)),
+                traffic=ContextStats.zero(),
+            )
+        if isinstance(request, LuRequest):
+            return self._submit_lu(request, bin_label)
+        gemm = request.lower() if isinstance(request, ConvRequest) else request
+        result = self.batch([gemm], options=opts)
+        traffic = result.item_traffic[0]
+        if result.errors:
+            err = result.errors[0]
+            return RequestResult(
+                error=RequestError(kind=err.kind, message=err.message),
+                traffic=traffic,
+                fault_reports=result.fault_reports,
+                bin=bin_label,
+            )
+        value = result.outputs[0]
+        if isinstance(request, ConvRequest):
+            value = request.fold(value)
+        return RequestResult(
+            value=value,
+            traffic=traffic,
+            fault_reports=result.fault_reports,
+            bin=bin_label,
+        )
+
+    def _submit_lu(self, request: LuRequest, bin_label: str) -> RequestResult:
+        """Run one LU factorization on the warm scalar context."""
+        from repro.apps.lu import blocked_lu
+
+        ctx = self._scalar_context()
+        before = ctx.stats()
+        try:
+            value = blocked_lu(
+                request.a,
+                panel=request.panel,
+                variant=self.variant,
+                params=self.params,
+                context=ctx,
+                tracer=self.tracer,
+            )
+        except Exception as exc:
+            delta = ctx.stats().since(before)
+            with self._stats_lock:
+                self._traffic = self._traffic.plus(delta)
+                self._failures += 1
+            return RequestResult(
+                error=RequestError(kind=type(exc).__name__, message=str(exc)),
+                traffic=delta,
+                bin=bin_label,
+            )
+        delta = ctx.stats().since(before)
+        with self._stats_lock:
+            self._traffic = self._traffic.plus(delta)
+            self._calls += 1
+            self._flops += value.gemm_flops
+            self._padded_flops += value.gemm_flops
+        return RequestResult(value=value, traffic=delta, bin=bin_label)
 
     def resil_stats(self) -> dict:
         """Cumulative resilience counters (see
@@ -299,15 +450,16 @@ class Session:
         # the scalar context may have moved since the last snapshot
         # (it is long-lived, unlike the scheduler's per-run scopes);
         # fold nothing here — dgemm() folds its own deltas eagerly.
-        return SessionStats(
-            calls=self._calls,
-            batches=self._batches,
-            items=self._items,
-            failures=self._failures,
-            flops=self._flops,
-            padded_flops=self._padded_flops,
-            traffic=self._traffic.snapshot(),
-        )
+        with self._stats_lock:
+            return SessionStats(
+                calls=self._calls,
+                batches=self._batches,
+                items=self._items,
+                failures=self._failures,
+                flops=self._flops,
+                padded_flops=self._padded_flops,
+                traffic=self._traffic.snapshot(),
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "closed" if self._closed else "open"

@@ -26,12 +26,15 @@ keep panel staging warm across calls.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.errors import ConfigError, UnsupportedShapeError
+from repro.api import apply_trans as _apply_trans
+from repro.api import resolve_legacy_kwargs
 from repro.arch.config import SW26010Spec, DEFAULT_SPEC
-from repro.core.api import dgemm, _apply_trans
+from repro.core.api import dgemm
 from repro.core.context import ExecutionContext
 from repro.core.params import BlockingParams
 from repro.core.reference import reference_dgemm
@@ -56,9 +59,11 @@ def dgemm_multi_cg(
     params: BlockingParams | None = None,
     spec: SW26010Spec = DEFAULT_SPEC,
     processor: SW26010Processor | None = None,
+    n_core_groups: int | None = None,
     contexts: "list[ExecutionContext] | None" = None,
     pad: bool = False,
     check: bool = False,
+    **legacy: Any,
 ) -> np.ndarray:
     """Compute ``alpha*a@b + beta*c`` across all four CGs (functional).
 
@@ -67,7 +72,24 @@ def dgemm_multi_cg(
     block-factor multiples; with ``pad=True`` every dimension is
     zero-padded up (``n`` to a whole number of block-multiple panels)
     and the result is truncated back, as in the single-CG entry point.
+
+    ``n_core_groups=`` restricts the decomposition to the first N CGs
+    (default: all of them), matching the other entry points'
+    harmonized keyword surface; the legacy spellings
+    (``ncgs``/``num_core_groups``/``trans``/...) are accepted with a
+    :class:`DeprecationWarning`.
     """
+    if legacy:
+        resolved = resolve_legacy_kwargs("dgemm_multi_cg", legacy)
+        if "n_core_groups" in resolved:
+            if n_core_groups is not None:
+                raise ConfigError(
+                    "dgemm_multi_cg(): n_core_groups given both directly "
+                    "and through a legacy spelling"
+                )
+            n_core_groups = resolved.pop("n_core_groups")
+        transa = resolved.get("transa", transa)
+        transb = resolved.get("transb", transb)
     proc = processor or SW26010Processor(spec)
     params = params or BlockingParams.small(double_buffered=True)
     a = np.asarray(a, dtype=np.float64)
@@ -87,7 +109,11 @@ def dgemm_multi_cg(
     c = np.asfortranarray(c, dtype=np.float64)
     if c.shape != (m, n):
         raise UnsupportedShapeError(f"C is {c.shape}, expected {(m, n)}")
-    n_cgs = proc.N_CORE_GROUPS
+    n_cgs = n_core_groups if n_core_groups is not None else proc.N_CORE_GROUPS
+    if not 1 <= n_cgs <= proc.N_CORE_GROUPS:
+        raise ConfigError(
+            f"n_core_groups must be in [1, {proc.N_CORE_GROUPS}], got {n_cgs}"
+        )
     if contexts is not None and len(contexts) != n_cgs:
         raise ConfigError(
             f"contexts must supply one ExecutionContext per CG "

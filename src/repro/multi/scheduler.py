@@ -81,9 +81,10 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.errors import ConfigError, FaultInjectedError, QuarantineError
+from repro.api import GemmRequest
 from repro.arch.config import SW26010Spec, DEFAULT_SPEC
 from repro.core.api import dgemm
-from repro.core.batch import BatchItem, validate_items
+from repro.core.batch import validate_items
 from repro.core.context import ContextStats, ExecutionContext
 from repro.core.params import BlockingParams
 from repro.core.variants import get_variant
@@ -217,6 +218,13 @@ class ScheduleResult:
     #: items (by index) that no healthy CG could accept — counted here,
     #: never in any CG's traffic.
     unplaced: tuple[int, ...] = ()
+    #: per-item staging/DMA/regcomm deltas, in input order (every
+    #: attempt the item made, on whichever CGs it touched).  Exact, not
+    #: approximate: each CG's context is mutated only by the worker
+    #: running an item's attempt, so attempt-scoped snapshots partition
+    #: the CG's delta — summing ``item_traffic`` reproduces ``traffic``
+    #: bit-exactly.  Empty tuple on results from older call sites.
+    item_traffic: tuple[ContextStats, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -291,11 +299,11 @@ class _ItemTask:
     __slots__ = (
         "idx", "item", "seconds", "home", "engine",
         "retries", "attempts", "backoff", "first_site", "q_here",
-        "fallback_used",
+        "fallback_used", "traffic",
     )
 
     def __init__(
-        self, idx: int, item: BatchItem, home: int, seconds: float,
+        self, idx: int, item: GemmRequest, home: int, seconds: float,
         engine: str,
     ) -> None:
         self.idx = idx
@@ -309,6 +317,8 @@ class _ItemTask:
         self.first_site: str | None = None
         self.q_here: list[int] = []
         self.fallback_used: str | None = None
+        #: this item's accumulated context delta across every attempt.
+        self.traffic = ContextStats.zero()
 
     def report(self, recovered: bool, exc: BaseException | None = None) -> FaultReport:
         return FaultReport(
@@ -337,7 +347,7 @@ _OK, _ERROR, _UNPLACED, _RESPILL = "ok", "error", "unplaced", "respill"
 
 
 class CGScheduler:
-    """Dispatch a stream of :class:`BatchItem`s across a CG pool.
+    """Dispatch a stream of :class:`~repro.api.GemmRequest`s across a CG pool.
 
     One scheduler owns an :class:`SW26010Processor` (built here unless
     passed in), a per-CG :class:`ExecutionContext`, and — once a
@@ -426,16 +436,29 @@ class CGScheduler:
         self._resil_lock = threading.Lock()
         #: guards the modeled-seconds estimate cache.
         self._cache_lock = threading.Lock()
+        #: serializes close() against itself (idempotency under
+        #: concurrent calls) and the _workers handle swap.
+        self._close_lock = threading.Lock()
         #: lazily created pool of one worker per CG (parallel runs only).
         self._workers: ThreadPoolExecutor | None = None
 
     # -- lifecycle -----------------------------------------------------
 
     def close(self) -> None:
-        """Release the worker pool, if one was ever created (idempotent)."""
-        if self._workers is not None:
-            self._workers.shutdown(wait=True)
-            self._workers = None
+        """Release the worker pool, if one was ever created.
+
+        Idempotent, and safe to call concurrently — with another
+        ``close()`` or with an in-flight :meth:`run`: it first waits
+        out any run holding the non-reentrancy guard (so the pool is
+        never yanked from under live workers), then atomically takes
+        ownership of the pool handle, so exactly one caller performs
+        the shutdown.  A later :meth:`run` simply builds a fresh pool.
+        """
+        with self._run_guard:
+            with self._close_lock:
+                workers, self._workers = self._workers, None
+        if workers is not None:
+            workers.shutdown(wait=True)
 
     def __enter__(self) -> "CGScheduler":
         return self
@@ -445,12 +468,15 @@ class CGScheduler:
         return False
 
     def _worker_pool(self) -> ThreadPoolExecutor:
-        if self._workers is None:
-            self._workers = ThreadPoolExecutor(
-                max_workers=self.n_core_groups,
-                thread_name_prefix="cg-worker",
-            )
-        return self._workers
+        # only called while a run holds the non-reentrancy guard, so it
+        # cannot race close() (which waits on the same guard).
+        with self._close_lock:
+            if self._workers is None:
+                self._workers = ThreadPoolExecutor(
+                    max_workers=self.n_core_groups,
+                    thread_name_prefix="cg-worker",
+                )
+            return self._workers
 
     # -- planning ------------------------------------------------------
 
@@ -467,7 +493,9 @@ class CGScheduler:
                 self._seconds_cache[key] = seconds
         return seconds
 
-    def plan(self, items: Sequence[BatchItem] | Iterable[BatchItem]) -> SchedulePlan:
+    def plan(
+        self, items: Sequence[GemmRequest] | Iterable[GemmRequest]
+    ) -> SchedulePlan:
         """Validate ``items`` and plan their dispatch (no execution)."""
         items = list(items)
         if not items:
@@ -513,10 +541,13 @@ class CGScheduler:
 
     def run(
         self,
-        items: Sequence[BatchItem] | Iterable[BatchItem],
+        items: Sequence[GemmRequest] | Iterable[GemmRequest],
         *,
         isolate_failures: bool = True,
         parallel: bool = False,
+        engine: str | None = None,
+        check: bool | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> ScheduleResult:
         """Execute a batch across the pool.
 
@@ -537,6 +568,12 @@ class CGScheduler:
         Either way, every CG's staged handles are freed when the run
         exits, so each ``MainMemory.used_bytes`` returns to its pre-run
         baseline — failed attempts and retries included.
+
+        ``engine=``/``check=``/``retry_policy=`` override the
+        scheduler's configuration *for this run only* — the hook
+        :class:`~repro.api.SubmitOptions` maps onto, so a serving batch
+        can carry its own engine choice and retry budget without
+        rebuilding the pool.
         """
         items = list(items)
         if not items:
@@ -548,12 +585,19 @@ class CGScheduler:
                 "need separate CGScheduler instances"
             )
         try:
-            return self._run(items, isolate_failures, parallel)
+            return self._run(
+                items, isolate_failures, parallel,
+                engine=str(engine).lower() if engine else self.engine,
+                check=self.check if check is None else bool(check),
+                policy=retry_policy if retry_policy is not None
+                else self.retry_policy,
+            )
         finally:
             self._run_guard.release()
 
     def _run(
-        self, items: list, isolate_failures: bool, parallel: bool
+        self, items: list, isolate_failures: bool, parallel: bool,
+        *, engine: str, check: bool, policy: RetryPolicy | None,
     ) -> ScheduleResult:
         shapes = validate_items(items)
         plan = self.plan_shapes(shapes)
@@ -571,9 +615,12 @@ class CGScheduler:
         # the calling thread's innermost span (session.batch) adopts the
         # worker threads' dispatch subtrees, so the trace stays one tree.
         parent = tracer.current()
+        item_traffic: list[ContextStats] = [
+            ContextStats.zero() for _ in items
+        ]
         tasks = [
             _ItemTask(idx, item, plan.assignments[idx],
-                      plan.item_seconds[idx], self.engine)
+                      plan.item_seconds[idx], engine)
             for idx, item in enumerate(items)
         ]
 
@@ -581,6 +628,10 @@ class CGScheduler:
             """Record one terminal outcome (thread-safe)."""
             kind = outcome[0]
             with results_lock:
+                # attributed even on failure: a failed attempt moved
+                # real bytes, and bit-exact reconciliation (sum of
+                # item_traffic == traffic) must account for them.
+                item_traffic[task.idx] = task.traffic
                 if kind == _OK:
                     _, out, report = outcome
                     outputs[task.idx] = out
@@ -609,7 +660,7 @@ class CGScheduler:
                 stack.enter_context(ctx)
             starts = [ctx.stats() for ctx in self._contexts]
             args = (quarantined, run_seconds, counts, failures,
-                    isolate_failures, tracer, parent)
+                    isolate_failures, tracer, parent, check, policy)
             if parallel and self.n_core_groups > 1 and len(items) > 1:
                 self._execute_parallel(tasks, finish, args)
             else:
@@ -649,6 +700,7 @@ class CGScheduler:
             fault_reports=tuple(reports),
             quarantined=tuple(sorted(quarantined)),
             unplaced=tuple(sorted(unplaced)),
+            item_traffic=tuple(item_traffic),
         )
 
     def _execute_parallel(self, tasks, finish, args) -> None:
@@ -740,6 +792,8 @@ class CGScheduler:
         isolate_failures: bool,
         tracer,
         parent,
+        check: bool,
+        policy: RetryPolicy | None,
     ) -> tuple:
         """Advance one item through the recovery ladder on its home CG.
 
@@ -756,8 +810,9 @@ class CGScheduler:
         worker owns that CG — while cross-CG state goes through the
         scheduler's locks.  ``parent`` is the calling thread's batch
         span, adopted by spans opened on worker threads.
+        ``check``/``policy`` are this run's effective values (the
+        scheduler's own, unless :meth:`run` was given overrides).
         """
-        policy = self.retry_policy
         injector = self.injector
 
         while True:
@@ -801,6 +856,11 @@ class CGScheduler:
                     continue
             task.attempts += 1
             run_seconds[home] += task.seconds
+            # attempt-scoped traffic attribution: this worker is the
+            # context's only writer, so the before/after delta is
+            # exactly what this attempt moved — charged to the item on
+            # both the success and the failure path.
+            attempt_start = self._contexts[home].stats()
             try:
                 # the dispatch span pins its subtree to track
                 # ``home + 1`` (track 0 is the host), so each CG
@@ -819,9 +879,12 @@ class CGScheduler:
                         variant=self.variant, engine=task.engine,
                         params=self.params,
                         context=self._contexts[home], pad=self.pad,
-                        check=self.check, tracer=tracer,
+                        check=check, tracer=tracer,
                     )
             except Exception as exc:
+                task.traffic = task.traffic.plus(
+                    self._contexts[home].stats().since(attempt_start)
+                )
                 # an aborted attempt can die mid-protocol; wipe the
                 # CG's transient device state (CPE LDM/registers,
                 # undelivered broadcasts) so neither a retry nor the
@@ -881,6 +944,9 @@ class CGScheduler:
                 return _ERROR, (
                     task.report(False, exc) if task.disturbed else None
                 ), ItemError(task.idx, home, type(exc).__name__, str(exc))
+            task.traffic = task.traffic.plus(
+                self._contexts[home].stats().since(attempt_start)
+            )
             counts[home] += 1
             if not task.disturbed:
                 return _OK, out, None

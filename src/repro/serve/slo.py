@@ -1,0 +1,139 @@
+"""Per-shape-bin latency percentiles: the server's SLO ledger.
+
+Every completed request records its queue/service/total seconds under
+its shape-bin label (``"gemm:64x96x32"``); :meth:`SLOTracker.report`
+renders nearest-rank p50/p95/p99 per bin.  Nearest-rank is the right
+estimator here: it always returns an *observed* sample (no
+interpolation inventing latencies nobody saw), and it is exact at the
+small per-bin counts a test run produces.
+
+The tracker doubles as a :class:`~repro.obs.registry.MetricsRegistry`
+source: :meth:`snapshot` is a flat numeric dict, so the serving tier's
+SLO state lands in the same namespaced counter space as the device's
+DMA and regcomm counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["BinReport", "SLOTracker", "percentile"]
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (q in [0, 100])."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without floats
+    return ordered[int(rank) - 1]
+
+
+@dataclass(frozen=True)
+class BinReport:
+    """Latency summary of one shape bin."""
+
+    bin: str
+    count: int
+    errors: int
+    cache_hits: int
+    p50_seconds: float
+    p95_seconds: float
+    p99_seconds: float
+    mean_queue_seconds: float
+    mean_service_seconds: float
+
+
+class SLOTracker:
+    """Accumulates per-bin latency samples and renders percentiles."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._samples: dict[str, list[float]] = {}
+        self._queue: dict[str, float] = {}
+        self._service: dict[str, float] = {}
+        self._errors: dict[str, int] = {}
+        self._cache_hits: dict[str, int] = {}
+
+    def record(
+        self,
+        bin_label: str,
+        *,
+        total_seconds: float,
+        queue_seconds: float = 0.0,
+        service_seconds: float = 0.0,
+        error: bool = False,
+        cache_hit: bool = False,
+    ) -> None:
+        """Record one completed request under its bin label."""
+        label = bin_label or "unbinned"
+        with self._lock:
+            self._samples.setdefault(label, []).append(float(total_seconds))
+            self._queue[label] = self._queue.get(label, 0.0) + queue_seconds
+            self._service[label] = (
+                self._service.get(label, 0.0) + service_seconds
+            )
+            if error:
+                self._errors[label] = self._errors.get(label, 0) + 1
+            if cache_hit:
+                self._cache_hits[label] = self._cache_hits.get(label, 0) + 1
+
+    def report(self) -> tuple[BinReport, ...]:
+        """One :class:`BinReport` per bin, sorted by label."""
+        with self._lock:
+            reports = []
+            for label in sorted(self._samples):
+                samples = self._samples[label]
+                count = len(samples)
+                reports.append(
+                    BinReport(
+                        bin=label,
+                        count=count,
+                        errors=self._errors.get(label, 0),
+                        cache_hits=self._cache_hits.get(label, 0),
+                        p50_seconds=percentile(samples, 50),
+                        p95_seconds=percentile(samples, 95),
+                        p99_seconds=percentile(samples, 99),
+                        mean_queue_seconds=self._queue.get(label, 0.0) / count,
+                        mean_service_seconds=(
+                            self._service.get(label, 0.0) / count
+                        ),
+                    )
+                )
+            return tuple(reports)
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat numeric counters, one namespace per bin label.
+
+        Dots inside a bin label would split it across namespace
+        levels, so the label is used verbatim (labels are
+        ``kind:MxNxK`` and contain no dots).
+        """
+        out: dict[str, float] = {}
+        for report in self.report():
+            out[f"{report.bin}.count"] = float(report.count)
+            out[f"{report.bin}.errors"] = float(report.errors)
+            out[f"{report.bin}.cache_hits"] = float(report.cache_hits)
+            out[f"{report.bin}.p50_seconds"] = report.p50_seconds
+            out[f"{report.bin}.p95_seconds"] = report.p95_seconds
+            out[f"{report.bin}.p99_seconds"] = report.p99_seconds
+        return out
+
+    def render(self) -> str:
+        """The human-readable SLO table the CLI prints."""
+        reports = self.report()
+        if not reports:
+            return "(no completed requests)"
+        width = max(len(r.bin) for r in reports)
+        lines = [
+            f"{'bin':<{width}}  {'count':>5}  {'err':>3}  {'hit':>3}  "
+            f"{'p50 ms':>8}  {'p95 ms':>8}  {'p99 ms':>8}"
+        ]
+        for r in reports:
+            lines.append(
+                f"{r.bin:<{width}}  {r.count:>5}  {r.errors:>3}  "
+                f"{r.cache_hits:>3}  {r.p50_seconds * 1e3:>8.3f}  "
+                f"{r.p95_seconds * 1e3:>8.3f}  {r.p99_seconds * 1e3:>8.3f}"
+            )
+        return "\n".join(lines)

@@ -66,13 +66,13 @@ def trace_items(trace: HPLTrace, seed: int = 0) -> list:
     random operands of the traced shape — the data content is
     irrelevant to the staging/traffic behaviour being exercised.
     """
-    from repro.core.batch import BatchItem
+    from repro.api import GemmRequest
 
     rng = np.random.default_rng(seed)
     items = []
     for m, n_, k in trace.updates:
         items.append(
-            BatchItem(
+            GemmRequest(
                 a=rng.standard_normal((m, k)),
                 b=rng.standard_normal((k, n_)),
                 c=rng.standard_normal((m, n_)),

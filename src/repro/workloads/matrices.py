@@ -31,7 +31,7 @@ def gemm_operands(
 
 
 def mixed_batch(n_items: int, params=None, seed: int = 0) -> list:
-    """A mixed-shape :class:`~repro.core.batch.BatchItem` stream.
+    """A mixed-shape :class:`~repro.api.GemmRequest` stream.
 
     The canonical scheduler workload: a few recurring shapes (so the
     staging-plan caches get hits) at different sizes (so the load is
@@ -39,7 +39,7 @@ def mixed_batch(n_items: int, params=None, seed: int = 0) -> list:
     multiples/near-multiples of the blocking factors of ``params``
     (default: the small test preset), sized for fast functional runs.
     """
-    from repro.core.batch import BatchItem
+    from repro.api import GemmRequest
     from repro.core.params import BlockingParams
 
     if n_items < 1:
@@ -56,7 +56,7 @@ def mixed_batch(n_items: int, params=None, seed: int = 0) -> list:
     order = [shapes[i % len(shapes)] for i in range(n_items)]
     rng.shuffle(order)
     return [
-        BatchItem(
+        GemmRequest(
             rng.standard_normal((m, k)),
             rng.standard_normal((k, n)),
         )

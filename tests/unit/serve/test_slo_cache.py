@@ -1,0 +1,110 @@
+"""Unit tests for the serving tier's SLO ledger and operand cache."""
+
+import numpy as np
+import pytest
+
+from repro.api import SubmitOptions
+from repro.errors import ConfigError
+from repro.serve import OperandCache, ServeConfig, SLOTracker
+from repro.serve.slo import percentile
+
+
+class TestPercentile:
+    def test_nearest_rank_returns_observed_samples(self):
+        samples = [float(v) for v in range(1, 101)]
+        assert percentile(samples, 50) == 50.0
+        assert percentile(samples, 95) == 95.0
+        assert percentile(samples, 99) == 99.0
+        assert percentile(samples, 100) == 100.0
+
+    def test_small_sample_counts(self):
+        assert percentile([3.0], 99) == 3.0
+        assert percentile([1.0, 2.0], 50) == 1.0
+        assert percentile([], 50) == 0.0
+
+
+class TestSLOTracker:
+    def test_per_bin_reports_are_ordered(self):
+        slo = SLOTracker()
+        for ms in (1, 9, 5, 7, 3):
+            slo.record("gemm:64x64x64", total_seconds=ms / 1e3)
+        slo.record("lu:128x32", total_seconds=0.5, error=True)
+        reports = slo.report()
+        assert [r.bin for r in reports] == ["gemm:64x64x64", "lu:128x32"]
+        gemm = reports[0]
+        assert gemm.count == 5
+        assert gemm.p50_seconds == 0.005
+        assert gemm.p50_seconds <= gemm.p95_seconds <= gemm.p99_seconds
+        assert reports[1].errors == 1
+
+    def test_snapshot_is_flat_and_numeric(self):
+        slo = SLOTracker()
+        slo.record("gemm:64x64x64", total_seconds=0.25, cache_hit=True)
+        snap = slo.snapshot()
+        assert snap["gemm:64x64x64.count"] == 1.0
+        assert snap["gemm:64x64x64.cache_hits"] == 1.0
+        assert all(
+            isinstance(v, float) for v in snap.values()
+        )
+
+    def test_render_mentions_every_bin(self):
+        slo = SLOTracker()
+        slo.record("gemm:64x64x64", total_seconds=0.001)
+        table = slo.render()
+        assert "gemm:64x64x64" in table
+        assert "p99" in table
+
+
+class TestOperandCache:
+    def test_hit_returns_an_independent_copy(self):
+        cache = OperandCache(4)
+        key = ("abc", SubmitOptions())
+        value = np.ones((3, 3))
+        cache.put(key, value)
+        value[0, 0] = 99.0  # caller mutates after insert
+        hit, out = cache.get(key)
+        assert hit
+        assert out[0, 0] == 1.0
+        out[1, 1] = 77.0  # response mutates after serve
+        _, again = cache.get(key)
+        assert again[1, 1] == 1.0
+
+    def test_lru_eviction_order(self):
+        cache = OperandCache(2)
+        opts = SubmitOptions()
+        cache.put(("a", opts), 1)
+        cache.put(("b", opts), 2)
+        assert cache.get(("a", opts))[0]  # refresh a
+        cache.put(("c", opts), 3)  # evicts b
+        assert not cache.get(("b", opts))[0]
+        assert cache.get(("a", opts))[0]
+        assert cache.get(("c", opts))[0]
+
+    def test_options_are_part_of_the_key(self):
+        cache = OperandCache(4)
+        cache.put(("h", SubmitOptions(engine="device")), 1)
+        assert not cache.get(("h", SubmitOptions()))[0]
+
+    def test_zero_capacity_disables_storage(self):
+        cache = OperandCache(0)
+        cache.put(("h", SubmitOptions()), 1)
+        assert not cache.get(("h", SubmitOptions()))[0]
+        assert cache.stats()["entries"] == 0
+
+
+class TestServeConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="window_seconds"):
+            ServeConfig(window_seconds=-1)
+        with pytest.raises(ConfigError, match="max_batch_size"):
+            ServeConfig(max_batch_size=0)
+        with pytest.raises(ConfigError, match="max_pending"):
+            ServeConfig(max_pending=0)
+        with pytest.raises(ConfigError, match="cache_entries"):
+            ServeConfig(cache_entries=-1)
+
+    def test_defaults_are_sane(self):
+        config = ServeConfig()
+        assert config.window_seconds > 0
+        assert config.max_batch_size >= 2
+        assert config.options == SubmitOptions()

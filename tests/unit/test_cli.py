@@ -8,6 +8,7 @@ from repro.cli import (
     build_chaos_parser,
     build_parser,
     build_schedule_parser,
+    build_serve_parser,
     build_trace_parser,
     main,
     parse_fault_spec,
@@ -184,3 +185,28 @@ class TestChaos:
     def test_bad_fault_spec_returns_error_code(self, capsys):
         assert main(["chaos", "--fault", "nope:nth=1"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_parser_defaults(self):
+        args = build_serve_parser().parse_args([])
+        assert args.requests == 32
+        assert args.window > 0
+        assert args.batch >= 2
+        assert not args.smoke
+
+    def test_smoke_serves_with_zero_drops(self, capsys):
+        assert main(["serve", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "0 dropped, 0 failed" in out
+        assert "served from cache" in out
+        assert "session.batch dispatches" in out
+        assert "reconciles with Session.stats()" in out
+        # the SLO table made it out with percentile columns
+        assert "p50 ms" in out and "p99 ms" in out
+
+    def test_zero_window_skips_coalescing_check(self, capsys):
+        assert main(["serve", "--smoke", "--window", "0",
+                     "--cache-wave", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "0 dropped" in out

@@ -33,7 +33,8 @@ import sys
 import numpy as np
 
 from repro.arch.core_group import CoreGroup
-from repro.core.batch import BatchItem, dgemm_batch
+from repro.api import GemmRequest
+from repro.core.batch import dgemm_batch
 from repro.core.api import dgemm
 from repro.core.params import BlockingParams
 from repro.core.session import Session
@@ -78,7 +79,7 @@ def main() -> int:
 
         print(f"same-shape batch reuses staging allocations [{engine} engine]:")
         items = [
-            BatchItem(*gemm_operands(PARAMS.b_m, PARAMS.b_n, PARAMS.b_k,
+            GemmRequest(*gemm_operands(PARAMS.b_m, PARAMS.b_n, PARAMS.b_k,
                                      seed=s)[:2])
             for s in range(4)
         ]
@@ -114,7 +115,7 @@ def main() -> int:
 
     print("pool run with a failing item still restores baselines:")
     bad_items = mixed_batch(6, params=PARAMS, seed=1)
-    bad_items[3] = BatchItem(np.full_like(bad_items[3].a, np.nan),
+    bad_items[3] = GemmRequest(np.full_like(bad_items[3].a, np.nan),
                              bad_items[3].b)
     result = CGScheduler(proc, params=PARAMS, check=True).run(bad_items)
     check(len(result.errors) == 1 and result.errors[0].index == 3,
