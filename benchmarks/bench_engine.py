@@ -8,6 +8,14 @@ the library comparison tolerance (``rtol=1e-12 / atol=1e-9``, the same
 bar ``dgemm(check=True)`` applies) and the DMA / register-communication
 statistics must match exactly, otherwise the run fails.
 
+The stepwise plan path is covered too: warm plan-compiled stepwise runs
+are measured against the legacy per-call index derivation (bitwise
+equality plus exact-stats verification), gated at
+``STEPWISE_PLAN_SPEEDUP_FLOOR`` at the 768^3 paper size in full mode,
+and the smoke run additionally asserts the plan-cache counters (one
+build per signature, hits across repeated parallel ``Session`` batches,
+drain on close).
+
 Timings cover ``engine.run`` on pre-staged operands — the execution
 engine itself, excluding the engine-independent host staging copies.
 Every repetition's wall-clock is kept; records report the best-of-reps
@@ -40,10 +48,12 @@ import time
 
 import numpy as np
 
+from repro.api import GemmRequest
 from repro.arch.core_group import CoreGroup
 from repro.core.context import ExecutionContext
-from repro.core.engine import get_engine
+from repro.core.engine import PlanCache, StepwiseEngine, get_engine
 from repro.core.params import BlockingParams
+from repro.core.session import Session
 from repro.core.variants import get_variant
 
 #: paper-sized shapes per variant (multiples of the CG block factors).
@@ -54,10 +64,15 @@ PAPER_SHAPES = {
     "DB": (1024, 1024, 768),
     "SCHED": (1024, 1024, 768),
 }
+#: the 768^3 paper size the stepwise-plan acceptance bar is quoted at.
+PLAN_SHAPE = (768, 768, 768)
 SMOKE_PARAMS = BlockingParams.small(double_buffered=True)
 #: the acceptance bar: vectorized must beat device by this factor on
 #: the paper-sized SCHED variant.
 SCHED_SPEEDUP_FLOOR = 10.0
+#: the acceptance bar: warm-plan stepwise must beat the legacy
+#: (per-call index derivation) stepwise path by this factor at 768^3.
+STEPWISE_PLAN_SPEEDUP_FLOOR = 2.0
 
 
 def _stats_snapshot(cg: CoreGroup) -> dict:
@@ -92,16 +107,21 @@ def _timing_summary(samples: list[float]) -> dict:
 
 def _run_engine(
     variant: str,
-    engine_name: str,
+    engine_name,
     shape: tuple[int, int, int],
     params: BlockingParams | None,
     reps: int,
+    plan_cache: PlanCache | None = None,
 ) -> tuple[np.ndarray, dict, list[float]]:
     """Return (result, stats, per-rep seconds) for one engine run.
 
     The first repetition runs on the freshly staged C and provides the
     verified result and statistics; later repetitions only refine the
     timing (they accumulate into C, which does not affect wall-clock).
+    ``engine_name`` may be a registry name or an engine instance;
+    ``plan_cache`` is handed to plan-aware engines, so with a shared
+    cache the first repetition is the cold (plan-building) sample and
+    every later repetition is warm.
     """
     impl = get_variant(variant)
     params = params or impl.default_params()
@@ -121,7 +141,8 @@ def _run_engine(
         stats = None
         for rep in range(reps):
             t0 = time.perf_counter()
-            eng.run(impl, cg, ha, hb, hc, alpha=1.0, beta=1.0, params=params)
+            eng.run(impl, cg, ha, hb, hc, alpha=1.0, beta=1.0, params=params,
+                    plan_cache=plan_cache)
             samples.append(time.perf_counter() - t0)
             if rep == 0:
                 result = np.array(cg.memory.array(hc), order="F", copy=True)
@@ -181,6 +202,79 @@ def bench_variant(
     return record, failures
 
 
+def bench_stepwise_plan(
+    shape: tuple[int, int, int],
+    params: BlockingParams | None = None,
+    variant: str = "SCHED",
+    reps: int = 5,
+) -> tuple[dict, list[str]]:
+    """Legacy stepwise vs plan-compiled stepwise; return (record, failures).
+
+    The legacy path (``use_plans=False``) re-derives its owner tables
+    and copy recipes on every call; the planned path compiles them once
+    into the shared :class:`PlanCache`.  Repetition 0 of the planned run
+    is the cold (plan-building) sample; the warm timing summary covers
+    repetitions 1..reps.  The two paths must agree *bitwise* and produce
+    identical traffic statistics, and the cache counters must show
+    exactly one build with a hit on every warm repetition.
+    """
+    legacy_out, legacy_stats, legacy_samples = _run_engine(
+        variant, StepwiseEngine(use_plans=False), shape, params, reps)
+    cache = PlanCache()
+    plan_out, plan_stats, plan_samples = _run_engine(
+        variant, StepwiseEngine(), shape, params, reps + 1, plan_cache=cache)
+    cold_s = plan_samples[0]
+    warm_samples = plan_samples[1:]
+
+    failures: list[str] = []
+    if not np.array_equal(plan_out, legacy_out):
+        worst = float(np.max(np.abs(plan_out - legacy_out)))
+        failures.append(
+            f"{variant}: planned stepwise result is not bit-identical to "
+            f"the legacy stepwise path (max abs err {worst:.3e})"
+        )
+    if plan_stats != legacy_stats:
+        diff = {k for k in legacy_stats if legacy_stats[k] != plan_stats[k]}
+        failures.append(
+            f"{variant}: planned stepwise traffic statistics differ on "
+            f"{sorted(diff)}"
+        )
+    counters = cache.stats()
+    if counters.builds != 1 or counters.hits != reps:
+        failures.append(
+            f"{variant}: plan cache counters off — expected 1 build / "
+            f"{reps} hits, got {counters.builds} / {counters.hits}"
+        )
+
+    m, n, k = shape
+    legacy_s = min(legacy_samples)
+    warm_s = min(warm_samples)
+    record = {
+        "shape": {"m": m, "n": n, "k": k},
+        "variant": variant,
+        "flops": 2 * m * n * k,
+        "legacy_seconds": legacy_s,
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "legacy_timing": _timing_summary(legacy_samples),
+        "warm_timing": _timing_summary(warm_samples),
+        "speedup": legacy_s / warm_s,
+        "speedup_p50": (
+            _timing_summary(legacy_samples)["p50"]
+            / _timing_summary(warm_samples)["p50"]
+        ),
+        "warm_gflops": 2 * m * n * k / warm_s / 1e9,
+        "plan_cache": {
+            "builds": counters.builds,
+            "hits": counters.hits,
+            "bytes": counters.bytes,
+        },
+        "results_bitwise_equal": bool(np.array_equal(plan_out, legacy_out)),
+        "stats_match": plan_stats == legacy_stats,
+    }
+    return record, failures
+
+
 def full(json_path: str) -> int:
     """Measure every variant at paper size and write the trajectory file."""
     records: dict[str, dict] = {}
@@ -206,6 +300,24 @@ def full(json_path: str) -> int:
             f"SCHED speedup {sched:.1f}x is below the "
             f"{SCHED_SPEEDUP_FLOOR:.0f}x acceptance floor"
         )
+
+    plan_record, plan_errs = bench_stepwise_plan(PLAN_SHAPE, reps=5)
+    failures.extend(plan_errs)
+    print(
+        f"stepwise_plan {PLAN_SHAPE}: legacy "
+        f"{plan_record['legacy_seconds']:.3f}s, cold "
+        f"{plan_record['cold_seconds']:.3f}s, warm "
+        f"{plan_record['warm_seconds']:.3f}s "
+        f"-> p50 {plan_record['speedup_p50']:.1f}x"
+    )
+    plan_speedup = plan_record["speedup_p50"]
+    if plan_speedup < STEPWISE_PLAN_SPEEDUP_FLOOR:
+        failures.append(
+            f"warm-plan stepwise p50 speedup {plan_speedup:.1f}x at "
+            f"{PLAN_SHAPE} is below the "
+            f"{STEPWISE_PLAN_SPEEDUP_FLOOR:.0f}x acceptance floor"
+        )
+
     smoke_records, smoke_errs = measure_smoke()
     failures.extend(smoke_errs)
     payload = {
@@ -214,6 +326,8 @@ def full(json_path: str) -> int:
         "tolerance": {"rtol": 1e-12, "atol": 1e-9},
         "variants": records,
         "sched_speedup": sched,
+        "stepwise_plan": plan_record,
+        "stepwise_plan_speedup_p50": plan_speedup,
         "smoke": smoke_section(smoke_records),
     }
     with open(json_path, "w") as fh:
@@ -235,8 +349,50 @@ def smoke_cases() -> list[tuple[str, tuple[int, int, int], BlockingParams]]:
     ]
 
 
+def _smoke_plan_counters() -> list[str]:
+    """Verify plan-cache behavior end to end through ``Session``.
+
+    Two repeated ``batch(parallel=True)`` waves over a single shape must
+    compile exactly one plan, hit it on every other item (across the CG
+    worker threads), and ``close()`` must drain the cache to zero bytes.
+    """
+    m, n, k = (SMOKE_PARAMS.b_m, SMOKE_PARAMS.b_n, SMOKE_PARAMS.b_k)
+    rng = np.random.default_rng(11)
+    items = [
+        GemmRequest(rng.standard_normal((m, k)), rng.standard_normal((k, n)))
+        for _ in range(4)
+    ]
+    failures: list[str] = []
+    session = Session(params=SMOKE_PARAMS, engine="stepwise", n_core_groups=2)
+    try:
+        session.batch(items, parallel=True)
+        first = session.plan_cache.stats()
+        session.batch(items, parallel=True)
+        second = session.plan_cache.stats()
+    finally:
+        session.close()
+    drained = session.plan_cache.stats()
+    if first.builds != 1 or first.hits != len(items) - 1:
+        failures.append(
+            f"plan counters: first parallel batch expected 1 build / "
+            f"{len(items) - 1} hits, got {first.builds} / {first.hits}"
+        )
+    if second.builds != 1 or second.hits != 2 * len(items) - 1:
+        failures.append(
+            f"plan counters: second parallel batch expected the plan to be "
+            f"hit, not rebuilt (1 build / {2 * len(items) - 1} hits), got "
+            f"{second.builds} / {second.hits}"
+        )
+    if drained.plans != 0 or drained.bytes != 0:
+        failures.append(
+            f"plan counters: Session.close() left {drained.plans} plans / "
+            f"{drained.bytes} bytes in the cache"
+        )
+    return failures
+
+
 def measure_smoke() -> tuple[dict[str, dict], list[str]]:
-    """Run the smoke cases; return (records by variant, failures)."""
+    """Run the smoke cases; return (records by case, failures)."""
     failures: list[str] = []
     records: dict[str, dict] = {}
     for variant, shape, params in smoke_cases():
@@ -250,7 +406,31 @@ def measure_smoke() -> tuple[dict[str, dict], list[str]]:
                 f"({record['vectorized_seconds']:.4f}s vs "
                 f"{record['device_seconds']:.4f}s)"
             )
+    plan_shape = (2 * SMOKE_PARAMS.b_m, 2 * SMOKE_PARAMS.b_n,
+                  2 * SMOKE_PARAMS.b_k)
+    plan_record, plan_errs = bench_stepwise_plan(
+        plan_shape, SMOKE_PARAMS, reps=5)
+    failures.extend(plan_errs)
+    records["STEPWISE_PLAN"] = plan_record
+    if plan_record["speedup"] <= 1.0:
+        failures.append(
+            f"STEPWISE_PLAN: warm planned stepwise is slower than the "
+            f"legacy stepwise path ({plan_record['warm_seconds']:.4f}s vs "
+            f"{plan_record['legacy_seconds']:.4f}s)"
+        )
+    failures.extend(_smoke_plan_counters())
     return records, failures
+
+
+def _p50_speedup(record: dict) -> float:
+    """The p50-over-p50 speedup of a smoke record, either shape.
+
+    Engine records compare device vs vectorized; stepwise-plan records
+    (marked by ``legacy_timing``) compare legacy vs warm planned.
+    """
+    if "legacy_timing" in record:
+        return record["legacy_timing"]["p50"] / record["warm_timing"]["p50"]
+    return record["device_timing"]["p50"] / record["vectorized_timing"]["p50"]
 
 
 def smoke_section(records: dict[str, dict]) -> dict:
@@ -261,10 +441,7 @@ def smoke_section(records: dict[str, dict]) -> dict:
     repetition on shared CI runners.
     """
     return {
-        "speedup_p50": {
-            v: r["device_timing"]["p50"] / r["vectorized_timing"]["p50"]
-            for v, r in records.items()
-        },
+        "speedup_p50": {v: _p50_speedup(r) for v, r in records.items()},
         "shapes": {v: r["shape"] for v, r in records.items()},
     }
 
@@ -298,7 +475,7 @@ def check_regression(
             print(f"WARN: baseline has no smoke entry for {variant}; "
                   "skipping it", file=sys.stderr)
             continue
-        now = record["device_timing"]["p50"] / record["vectorized_timing"]["p50"]
+        now = _p50_speedup(record)
         floor = base * (1.0 - max_regression)
         verdict = "ok" if now >= floor else "REGRESSION"
         print(

@@ -490,9 +490,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-wave", type=int, default=4,
                         help="earlier requests resubmitted after the main "
                              "wave to exercise the operand cache (default 4)")
+    parser.add_argument("--engine", choices=["device", "vectorized",
+                                             "stepwise"], default=None,
+                        help="execution engine for the serving session "
+                             "(default: the session's per-path choice)")
     parser.add_argument("--smoke", action="store_true",
-                        help="small fixed workload (12 requests, 2 CGs) "
-                             "for CI; same contract checks")
+                        help="small fixed workload (12 requests, 2 CGs, "
+                             "stepwise engine) for CI; same contract "
+                             "checks plus plan-cache counters")
     return parser
 
 
@@ -507,7 +512,7 @@ async def _serve_session(args) -> int:
     )
     async with ReproServer(
         config=config, variant=args.variant, params=params,
-        n_core_groups=args.cgs,
+        n_core_groups=args.cgs, engine=args.engine,
     ) as server:
         generator = LoadGenerator(seed=args.seed, params=params)
         requests = generator.generate(args.requests)
@@ -537,6 +542,36 @@ async def _serve_session(args) -> int:
                   "served from cache")
             if misses:
                 print("error: cache wave missed the operand cache",
+                      file=sys.stderr)
+                return 1
+
+        # plan cache: a *fresh* same-shape request (new operands, so
+        # the operand cache cannot serve it) must hit the compiled
+        # plan, not rebuild it — one build per shape bin per session.
+        if server.session.engine == "stepwise":
+            from repro.api import GemmRequest
+
+            before = server.session.plan_cache.stats()
+            template = next(
+                r for r in requests if isinstance(r, GemmRequest)
+            )
+            rng = np.random.default_rng(len(requests))
+            fresh = GemmRequest(
+                a=rng.standard_normal(np.asarray(template.a).shape),
+                b=rng.standard_normal(np.asarray(template.b).shape),
+            )
+            resp = await server.submit(fresh)
+            after = server.session.plan_cache.stats()
+            print(f"plan cache: {after.builds} builds, {after.hits} hits, "
+                  f"{after.bytes} bytes resident")
+            if not resp.ok or resp.cache_hit:
+                print("error: fresh same-shape request did not execute",
+                      file=sys.stderr)
+                return 1
+            if after.builds != before.builds or after.hits <= before.hits:
+                print("error: plan cache rebuilt (or missed) on a "
+                      f"same-shape resubmit: builds {before.builds} -> "
+                      f"{after.builds}, hits {before.hits} -> {after.hits}",
                       file=sys.stderr)
                 return 1
 
@@ -587,6 +622,9 @@ def _run_serve(argv: list[str]) -> int:
     if args.smoke:
         args.requests, args.cgs, args.preset = 12, 2, "small"
         args.concurrency = 12
+        # exercise the plan-compiled engine so the smoke run verifies
+        # the plan-cache counters (unless an engine was forced).
+        args.engine = args.engine or "stepwise"
     try:
         return asyncio.run(_serve_session(args))
     except ReproError as exc:

@@ -26,10 +26,16 @@ from repro.arch.config import SW26010Spec, DEFAULT_SPEC
 from repro.arch.core_group import CoreGroup
 from repro.core.context import ExecutionContext
 from repro.core.engine import get_engine
+from repro.core.engine.plans import default_plan_cache
 from repro.core.params import BlockingParams
 from repro.core.reference import reference_dgemm
 from repro.core.variants import get_variant
-from repro.obs.registry import cg_meter, context_meter
+from repro.obs.registry import (
+    cg_meter,
+    combine_meters,
+    context_meter,
+    plan_cache_meter,
+)
 from repro.obs.tracer import ensure_tracer
 from repro.resil.faults import fault_phase
 
@@ -58,6 +64,7 @@ def dgemm(
     pad: bool = False,
     check: bool = False,
     tracer=None,
+    plan_cache=None,
     **legacy: Any,
 ) -> np.ndarray:
     """Compute ``alpha * a @ b + beta * c`` on the simulated CG.
@@ -84,7 +91,10 @@ def dgemm(
         runs the same program mesh-wide over stacked tiles (batched
         ``np.matmul`` per sharing step) — same results to at least
         rtol=1e-12, identical traffic statistics, an order of
-        magnitude faster.  See :mod:`repro.core.engine`.
+        magnitude faster; ``"stepwise"`` is the plan-compiled
+        stacked-tile formulation, *bit-identical* to the device engine
+        and several times faster than rebuilding its index algebra per
+        call.  See :mod:`repro.core.engine`.
     params:
         blocking parameters; defaults to the variant's paper values.
         Pass :meth:`BlockingParams.small` for fast experimentation.
@@ -111,8 +121,15 @@ def dgemm(
     tracer:
         a :class:`repro.obs.SpanTracer` to record phase spans into
         (``dgemm`` → ``stage_A``/``stage_B``/``stage_C``/``strip_mult``
-        /``store_C``) with counter deltas attached; ``None`` (the
-        default) resolves to the no-op tracer.
+        /``store_C``, plus ``plan.build`` when an execution plan is
+        compiled) with counter deltas attached; ``None`` (the default)
+        resolves to the no-op tracer.
+    plan_cache:
+        a :class:`repro.core.engine.plans.PlanCache` supplying compiled
+        index plans to the plan-aware engines; ``None`` (the default)
+        uses the process-wide cache, so repeated shapes build their
+        plan exactly once per process.  Sessions and schedulers pass
+        their own (drained on close).
 
     Returns
     -------
@@ -142,10 +159,12 @@ def dgemm(
     pm, pn, pk = (params.pad_shape(m, n, k) if pad else (m, n, k))
 
     tracer = ensure_tracer(tracer)
+    pc = default_plan_cache() if plan_cache is None else plan_cache
     with ExecutionContext.scoped(context, core_group, spec) as ctx, ctx.executing():
         cg = ctx.core_group
         with tracer.span(
-            "dgemm", cat="dgemm", meter=context_meter(ctx),
+            "dgemm", cat="dgemm",
+            meter=combine_meters(context_meter(ctx), plan_cache_meter(pc)),
             m=m, n=n, k=k, variant=str(variant).upper(), engine=eng.name,
             flops=2 * m * n * k,
         ):
@@ -165,7 +184,7 @@ def dgemm(
                     else ctx.stage_zeros("C", pm, pn)
                 )
             eng.run(impl, cg, ha, hb, hc, alpha=alpha, beta=beta,
-                    params=params, tracer=tracer)
+                    params=params, tracer=tracer, plan_cache=pc)
             with tracer.span("store_C", cat="stage", meter=meter), \
                     fault_phase(injector, "store_C"):
                 result = np.array(cg.memory.array(hc)[:m, :n], order="F",

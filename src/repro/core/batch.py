@@ -135,6 +135,7 @@ def dgemm_batch(
     processor: "SW26010Processor | None" = None,
     n_core_groups: int | None = None,
     tracer=None,
+    plan_cache=None,
     **legacy: Any,
 ) -> "BatchResult | ScheduleResult":
     """Run every item on one shared core group — or across a CG pool.
@@ -159,6 +160,11 @@ def dgemm_batch(
     ``tracer=`` records per-item ``dgemm`` phase spans (and, on the
     pool path, the scheduler's ``cg_dispatch`` spans) into a
     :class:`repro.obs.SpanTracer`; ``None`` disables tracing.
+
+    ``plan_cache=`` supplies compiled index plans to plan-aware engines
+    (see :func:`repro.core.api.dgemm`); a batch full of repeated shapes
+    builds each plan once.  On the pool path the scheduler owns its own
+    cache.
     """
     if legacy:
         resolved = resolve_legacy_kwargs("dgemm_batch", legacy)
@@ -213,6 +219,7 @@ def dgemm_batch(
                 transa=item.transa, transb=item.transb,
                 variant=variant, engine=engine, params=params,
                 context=ctx, pad=pad, check=check, tracer=tracer,
+                plan_cache=plan_cache,
             )
             flops += 2 * m * n * k
             pm, pn, pk = params.pad_shape(m, n, k) if pad else (m, n, k)

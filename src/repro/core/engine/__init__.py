@@ -20,7 +20,14 @@ exchanges strips, in what order tiles multiply.  An **engine** decides
     DMA/register-communication statistics the device path would have
     measured are booked analytically, so accounting is identical.
 
-Both engines mutate C in core-group main memory and are
+``stepwise`` (:class:`StepwiseEngine`)
+    the bit-exact fast path: the vectorized engine pinned to its
+    stepwise formulation, executing through cached
+    :class:`~repro.core.engine.plans.IndexPlan`\\ s — results *and*
+    stats match the device engine bit for bit, several times faster
+    than the legacy stepwise path.
+
+The engines mutate C in core-group main memory and are
 interchangeable behind the ``engine=`` keyword of
 :func:`repro.core.api.dgemm`, :func:`repro.core.batch.dgemm_batch`,
 :class:`repro.multi.scheduler.CGScheduler` and
@@ -34,14 +41,34 @@ from __future__ import annotations
 from repro.errors import ConfigError
 from repro.core.engine.base import Engine
 from repro.core.engine.device import DeviceEngine
-from repro.core.engine.vectorized import VectorizedEngine
+from repro.core.engine.plans import (
+    IndexPlan,
+    PlanCache,
+    PlanCacheStats,
+    PlanSignature,
+    default_plan_cache,
+)
+from repro.core.engine.vectorized import StepwiseEngine, VectorizedEngine
 
-__all__ = ["Engine", "DeviceEngine", "VectorizedEngine", "ENGINES", "get_engine"]
+__all__ = [
+    "Engine",
+    "DeviceEngine",
+    "VectorizedEngine",
+    "StepwiseEngine",
+    "IndexPlan",
+    "PlanCache",
+    "PlanCacheStats",
+    "PlanSignature",
+    "default_plan_cache",
+    "ENGINES",
+    "get_engine",
+]
 
 #: registry, keyed by the ``engine=`` keyword values.
 ENGINES: dict[str, type[Engine]] = {
     "device": DeviceEngine,
     "vectorized": VectorizedEngine,
+    "stepwise": StepwiseEngine,
 }
 
 

@@ -42,6 +42,7 @@ class Engine(ABC):
         beta: float = 0.0,
         params: BlockingParams | None = None,
         tracer=None,
+        plan_cache=None,
     ) -> None:
         """Execute ``impl``'s program for these operands on ``cg``.
 
@@ -49,6 +50,12 @@ class Engine(ABC):
         the no-op default) receives the engine's kernel-phase spans —
         ``strip_mult`` per panel on the vectorized path, one aggregate
         ``kernel`` span on the per-CPE device path.
+
+        ``plan_cache`` (a :class:`repro.core.engine.plans.PlanCache`,
+        or ``None`` for the process-wide default) supplies compiled
+        index plans to the engines that use them; the device path
+        accepts and ignores it — its per-CPE mechanics *are* the
+        product.
         """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

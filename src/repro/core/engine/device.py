@@ -42,6 +42,7 @@ class DeviceEngine(Engine):
         beta: float = 0.0,
         params: BlockingParams | None = None,
         tracer=None,
+        plan_cache=None,  # accepted for interface parity; unused here
     ) -> None:
         tracer = ensure_tracer(tracer)
         with tracer.span(

@@ -15,12 +15,22 @@ mesh-wide formulation:
   by ``DataThreadMapping.stack_load_* / stack_store_c`` — one strided
   slice copy replaces 64 per-CPE DMA calls (or 8 collective ROW_MODE
   transfers);
-- a sharing step is two fancy-indexed gathers through the
+- a sharing step resolves through the
   :func:`~repro.core.sharing.step_owner_indices` tables — the owner
   lines' tiles land where the register networks would have delivered
   them — and all 64 tile multiplies of the step execute as one batched
-  :func:`~repro.core.kernel_functional.tile_multiply_batched`;
+  ``matmul``;
 - the beta scaling is one ``stack *= beta`` over the whole C stack.
+
+By default the stepwise path executes through a compiled
+:class:`~repro.core.engine.plans.IndexPlan` (PR 8): the owner tables,
+stack copy recipes, and block origins are built once per
+``(shape, variant, params)`` signature, cached in an LDM-budgeted
+:class:`~repro.core.engine.plans.PlanCache`, and each sharing step's
+two gather *copies* become two broadcast *views* over a 4-D reshape of
+the stacks — same BLAS calls on the same operands, several times
+faster.  ``use_plans=False`` keeps the legacy per-call gather path
+(the benchmark baseline).
 
 It performs the identical arithmetic in the identical order as the
 device path (same BLAS calls on the same operands), so its results are
@@ -55,6 +65,7 @@ from repro.arch.core_group import CoreGroup
 from repro.arch.dma import DMADirection, DMAMode
 from repro.arch.memory import MatrixHandle
 from repro.core.engine.base import Engine
+from repro.core.engine.plans import IndexPlan, default_plan_cache
 from repro.core.kernel_functional import tile_multiply_batched
 from repro.core.params import GRID, BlockingParams
 from repro.core.sharing import Scheme, step_owner_indices
@@ -63,7 +74,7 @@ from repro.obs.registry import cg_meter
 from repro.obs.tracer import ensure_tracer
 from repro.resil.faults import fault_phase
 
-__all__ = ["VectorizedEngine", "TileStacks"]
+__all__ = ["VectorizedEngine", "StepwiseEngine", "TileStacks"]
 
 
 def _fire(cg: CoreGroup, site: str) -> None:
@@ -85,17 +96,19 @@ class TileStacks:
     ``a[t]``, ``b[t]``, ``c[t]`` are the tiles of flat thread ``t``
     (row-major coordinate order, matching
     :meth:`~repro.arch.mesh.CPEMesh.linear_index`).  Scratch stacks for
-    the per-step gathers and the batched product are preallocated here
-    so the hot loop performs no allocations at all.
+    the batched product (and, with ``scratch=True``, the legacy path's
+    per-step gathers) are preallocated here so the hot loop performs no
+    allocations at all; the planned path reads owner tiles through
+    broadcast views and needs no gather scratch.
     """
 
-    def __init__(self, params: BlockingParams) -> None:
+    def __init__(self, params: BlockingParams, scratch: bool = True) -> None:
         n = GRID * GRID
         self.a = np.empty((n, params.p_m, params.p_k))
         self.b = np.empty((n, params.p_k, params.p_n))
         self.c = np.empty((n, params.p_m, params.p_n))
-        self.a_step = np.empty_like(self.a)
-        self.b_step = np.empty_like(self.b)
+        self.a_step = np.empty_like(self.a) if scratch else None
+        self.b_step = np.empty_like(self.b) if scratch else None
         self.prod = np.empty_like(self.c)
 
 
@@ -110,15 +123,19 @@ class VectorizedEngine(Engine):
     the shapes were validated by :class:`BlockingParams` up front.
 
     ``stepwise=True`` selects the per-step stacked-tile formulation
-    (bit-identical to the device, ~5x); the default fused formulation
+    (bit-identical to the device); the default fused formulation
     collapses each strip multiplication into one BLAS panel product
-    (>=10x, same results to the library comparison tolerance).
+    (>=10x, same results to the library comparison tolerance).  The
+    stepwise formulation executes through a cached
+    :class:`~repro.core.engine.plans.IndexPlan` unless
+    ``use_plans=False`` pins it to the legacy per-call gather path.
     """
 
     name = "vectorized"
 
-    def __init__(self, stepwise: bool = False) -> None:
+    def __init__(self, stepwise: bool = False, use_plans: bool = True) -> None:
         self.stepwise = stepwise
+        self.use_plans = use_plans
 
     def run(
         self,
@@ -131,6 +148,7 @@ class VectorizedEngine(Engine):
         beta: float = 0.0,
         params: BlockingParams | None = None,
         tracer=None,
+        plan_cache=None,
     ) -> None:
         name = impl.traits.name
         tracer = ensure_tracer(tracer)
@@ -160,8 +178,16 @@ class VectorizedEngine(Engine):
         # and the cumulative statistics still match the device path
         # exactly.
         if self.stepwise:
-            self._shared_stepwise(impl, cg, a, b, c, alpha, beta,
-                                  params, mapping, grid, tracer)
+            if self.use_plans:
+                cache = (default_plan_cache() if plan_cache is None
+                         else plan_cache)
+                plan = cache.get_or_build(impl, params, m, n, k,
+                                          tracer=tracer)
+                self._shared_stepwise_planned(cg, a, b, c, alpha, beta,
+                                              params, mapping, plan, tracer)
+            else:
+                self._shared_stepwise(impl, cg, a, b, c, alpha, beta,
+                                      params, mapping, grid, tracer)
         else:
             self._shared_fused(impl, cg, a, b, c, alpha, beta,
                                params, mapping, grid, m, tracer)
@@ -245,6 +271,77 @@ class VectorizedEngine(Engine):
                                   alpha, out=stacks.prod)
         self._tally_sharing(cg, scheme, params)
 
+    # -- the plan-compiled stepwise path --------------------------------
+
+    def _shared_stepwise_planned(self, cg, a, b, c, alpha, beta,
+                                 params, mapping, plan: IndexPlan,
+                                 tracer) -> None:
+        """The stepwise program driven entirely by a compiled plan.
+
+        Same transfers, same tallies, same fire points, same BLAS calls
+        on the same operands as :meth:`_shared_stepwise` — the plan
+        only removes per-call index derivation and the per-step gather
+        copies (owner tiles are read through broadcast views over the
+        4-D stacks).  Outputs and analytic stats are bit-identical;
+        ``tests/property/test_prop_engine.py`` holds that line.
+        """
+        grid_m, grid_n, grid_k = plan.grid
+        stacks = TileStacks(params, scratch=False)
+        a_v = cg.memory.array(a)
+        b_v = cg.memory.array(b)
+        c_v = cg.memory.array(c)
+        a4 = stacks.a.reshape(plan.a4_shape)
+        b4 = stacks.b.reshape(plan.b4_shape)
+        c4 = stacks.c.reshape(plan.c4_shape)
+        prod4 = stacks.prod.reshape(plan.c4_shape)
+        meter = cg_meter(cg)
+        for j in range(grid_n):
+            for l in range(grid_k):
+                with tracer.span("strip_mult", cat="kernel", meter=meter,
+                                 j=j, l=l), fault_phase(cg.injector, "kernel"):
+                    _fire(cg, "compute")
+                    _fire(cg, "dma.get")
+                    plan.load_b(b_v, l, j, stacks.b)
+                    mapping.tally_load_b(cg)
+                    beta_now = beta if l == 0 else 1.0
+                    for i in range(grid_m):
+                        _fire(cg, "dma.get")
+                        plan.load_a(a_v, i, l, stacks.a)
+                        mapping.tally_load_a(cg)
+                        plan.load_c(c_v, i, j, stacks.c)
+                        mapping.tally_load_c(cg)
+                        if beta_now != 1.0:
+                            stacks.c *= beta_now
+                        self._strip_multiply_planned(
+                            cg, plan, a4, b4, c4, prod4, alpha, params)
+                        _fire(cg, "dma.put")
+                        plan.store_c(c_v, i, j, stacks.c)
+                        mapping.tally_store_c(cg)
+
+    def _strip_multiply_planned(self, cg, plan, a4, b4, c4, prod4,
+                                alpha, params) -> None:
+        """Eight sharing steps as broadcast views + batched multiplies.
+
+        ``plan.step_views`` selects each step's owner line and
+        broadcasts it against the free mesh axis, reproducing the
+        owner-index gather tables exactly (validated at plan build) —
+        so the batched ``matmul`` multiplies the identical tile pairs
+        :func:`~repro.core.kernel_functional.tile_multiply_batched`
+        would see, with the gather copies gone.  The accumulation is
+        spelled exactly as there (``+= prod`` / scaled product) to keep
+        the floating-point sequence, and therefore the result, bitwise
+        identical.
+        """
+        for step in range(GRID):
+            a_view, b_view = plan.step_views(a4, b4, step)
+            np.matmul(a_view, b_view, out=prod4)
+            if alpha == 1.0:
+                c4 += prod4
+            else:
+                np.multiply(prod4, alpha, out=prod4)
+                c4 += prod4
+        self._tally_sharing(cg, plan.scheme, params)
+
     @staticmethod
     def _tally_sharing(cg, scheme, params) -> None:
         """Book the register traffic of one full strip multiplication.
@@ -327,3 +424,20 @@ class VectorizedEngine(Engine):
                                 t_k * t_n * 8, t_k * t_n * 8 // tb, n_cpes * n_kk)
                     stats.tally(DMAMode.PE, DMADirection.PUT,
                                 t_m * t_n * 8, t_m * t_n * 8 // tb, n_cpes)
+
+
+class StepwiseEngine(VectorizedEngine):
+    """The plan-compiled stepwise formulation as a named engine.
+
+    Registered as ``"stepwise"`` so sessions, batch items, and serve
+    requests can select the bit-exact fast path by name (previously it
+    was only reachable by constructing ``VectorizedEngine(stepwise=
+    True)`` directly).  Results and analytic stats match the device
+    engine bit for bit; wall-clock sits between the device and fused
+    paths.
+    """
+
+    name = "stepwise"
+
+    def __init__(self, use_plans: bool = True) -> None:
+        super().__init__(stepwise=True, use_plans=use_plans)

@@ -146,9 +146,12 @@ class Session:
         self.injector = injector
         batch_engine = self.engine or "vectorized"
         if fallback_engine == "auto":
-            # degrade the fast batch engine to the checked device model;
+            # degrade the fast batch engines to the checked device model;
             # a forced single engine has nowhere sensible to fall to.
-            fallback_engine = "device" if batch_engine == "vectorized" else None
+            fallback_engine = (
+                "device" if batch_engine in ("vectorized", "stepwise")
+                else None
+            )
         self.scheduler = CGScheduler(
             self.processor,
             n_core_groups=n_core_groups,
@@ -163,6 +166,9 @@ class Session:
             retry_policy=retry_policy,
             fallback_engine=fallback_engine,
         )
+        #: the scheduler's pool-wide plan cache, shared by scalar calls
+        #: too — one compiled plan serves both entry points.
+        self.plan_cache = self.scheduler.plan_cache
         self._ctx = ExecutionContext(self.processor.cg(0))
         self._ctx_open = False
         self._closed = False
@@ -208,7 +214,8 @@ class Session:
                 return
             self._closed = True
         # scheduler first: its close() blocks on the run guard, so an
-        # in-flight batch finishes before any teardown proceeds.
+        # in-flight batch finishes before any teardown proceeds (and it
+        # drains the shared plan cache on the way out).
         self.scheduler.close()
         if self._ctx_open:
             self._ctx.__exit__(None, None, None)
@@ -271,6 +278,7 @@ class Session:
             pad=self.pad if pad is None else pad,
             check=self.check if check is None else check,
             tracer=self.tracer,
+            plan_cache=self.plan_cache,
             **legacy,
         )
         m, n = out.shape

@@ -29,6 +29,7 @@ Two schemes exist because the Sec IV-A remapping transposes ownership:
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np
@@ -38,7 +39,15 @@ from repro.arch.core_group import CoreGroup
 from repro.arch.mesh import Coord
 from repro.core.params import GRID
 
-__all__ = ["Role", "role_of", "exchange_step", "step_owner_indices", "Scheme"]
+__all__ = [
+    "Role",
+    "role_of",
+    "exchange_step",
+    "step_owner_indices",
+    "step_owner_slots",
+    "OwnerSlots",
+    "Scheme",
+]
 
 
 class Scheme(enum.Enum):
@@ -156,3 +165,72 @@ def step_owner_indices(scheme: Scheme) -> tuple[np.ndarray, np.ndarray]:
         a_idx = steps * GRID + cols[None, :]
         b_idx = rows[None, :] * GRID + steps
     return a_idx, b_idx
+
+
+@dataclass(frozen=True)
+class OwnerSlots:
+    """The sharing scheme compressed to its mesh-line structure.
+
+    :func:`step_owner_indices` spells each step as 64 gather entries,
+    but only ``GRID`` of them are distinct — an owner tile is consumed
+    by its entire mesh line.  ``a_slots[s, x]`` / ``b_slots[s, x]`` give
+    the flat stack index of the tile the line with free coordinate
+    ``x`` operates on in step ``s``; ``a_axis`` / ``b_axis`` name the
+    mesh axis that must equal ``s`` for ownership (0 = row, 1 = column).
+
+    Over a ``(GRID, GRID, rows, cols)`` reshape of a tile stack this
+    makes each step two *views* (no gather copy at all): for the
+    ``pe`` scheme, ``stack4[:, s]`` broadcast against the column axis
+    is exactly ``step_owner_indices``'s A gather of step ``s``.
+    """
+
+    #: ``(GRID, GRID)`` int32, flat owner index per (step, free coord).
+    a_slots: np.ndarray
+    b_slots: np.ndarray
+    #: mesh axis owning A / B when it equals the step (0 row, 1 column).
+    a_axis: int
+    b_axis: int
+
+    def expand(self) -> tuple[np.ndarray, np.ndarray]:
+        """Decompress back to :func:`step_owner_indices`'s full tables."""
+        def full(slots: np.ndarray, axis: int) -> np.ndarray:
+            # axis is the *owning* axis; the slot entry varies along the
+            # other one, so the owning axis is where values repeat.
+            grids = (
+                slots[:, :, None] if axis == 1 else slots[:, None, :]
+            )
+            return np.broadcast_to(
+                grids, (GRID, GRID, GRID)
+            ).reshape(GRID, GRID * GRID)
+
+        return full(self.a_slots, self.a_axis), full(self.b_slots, self.b_axis)
+
+
+def step_owner_slots(scheme: Scheme) -> OwnerSlots:
+    """Compress :func:`step_owner_indices` into per-line owner tables.
+
+    The full tables are row- or column-constant over the mesh (an owner
+    broadcasts to its whole line), so ``GRID * GRID`` int32 entries per
+    operand capture the entire eight-step exchange.  The execution-plan
+    layer (:mod:`repro.core.engine.plans`) builds these once per
+    ``(shape, variant)`` signature and validates them against the full
+    tables at build time.
+    """
+    steps = np.arange(GRID, dtype=np.int32)[:, None]
+    lines = np.arange(GRID, dtype=np.int32)[None, :]
+    if scheme is Scheme.PE:
+        # A owner for mesh row r is CPE (r, s); B owner for column c is (s, c)
+        a_slots = lines * GRID + steps
+        b_slots = steps * GRID + lines
+        a_axis, b_axis = 1, 0
+    else:
+        # A owner for mesh column c is CPE (s, c); B owner for row r is (r, s)
+        a_slots = steps * GRID + lines
+        b_slots = lines * GRID + steps
+        a_axis, b_axis = 0, 1
+    a_slots = np.ascontiguousarray(a_slots, dtype=np.int32)
+    b_slots = np.ascontiguousarray(b_slots, dtype=np.int32)
+    a_slots.setflags(write=False)
+    b_slots.setflags(write=False)
+    return OwnerSlots(a_slots=a_slots, b_slots=b_slots,
+                      a_axis=a_axis, b_axis=b_axis)

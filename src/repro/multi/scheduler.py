@@ -86,6 +86,7 @@ from repro.arch.config import SW26010Spec, DEFAULT_SPEC
 from repro.core.api import dgemm
 from repro.core.batch import validate_items
 from repro.core.context import ContextStats, ExecutionContext
+from repro.core.engine.plans import PlanCache
 from repro.core.params import BlockingParams
 from repro.core.variants import get_variant
 from repro.multi.processor import SW26010Processor
@@ -396,6 +397,7 @@ class CGScheduler:
         injector: FaultInjector | None = None,
         retry_policy: RetryPolicy | None = None,
         fallback_engine: str | None = None,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         self.processor = processor or SW26010Processor(spec)
         self.tracer = ensure_tracer(tracer)
@@ -419,6 +421,13 @@ class CGScheduler:
             str(fallback_engine).lower() if fallback_engine else None
         )
         self.resil = RecoveryStats()
+        #: compiled index plans, one cache for the whole pool: plans are
+        #: immutable after build, so every CG worker thread reads the
+        #: same plan object for a repeated shape — one build per
+        #: signature per scheduler, budgeted by the pool's LDM bytes.
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache(
+            spec=self.processor.spec, n_core_groups=pool
+        )
         self._estimator = Estimator(self.processor.spec, calibration)
         self._contexts = [
             ExecutionContext(self.processor.cg(g)) for g in range(pool)
@@ -459,6 +468,9 @@ class CGScheduler:
                 workers, self._workers = self._workers, None
         if workers is not None:
             workers.shutdown(wait=True)
+        # drain compiled plans with the pool: a closed scheduler holds
+        # no index-table bytes (the memory-invariant checker verifies).
+        self.plan_cache.clear()
 
     def __enter__(self) -> "CGScheduler":
         return self
@@ -880,6 +892,7 @@ class CGScheduler:
                         params=self.params,
                         context=self._contexts[home], pad=self.pad,
                         check=check, tracer=tracer,
+                        plan_cache=self.plan_cache,
                     )
             except Exception as exc:
                 task.traffic = task.traffic.plus(

@@ -28,8 +28,10 @@ from repro.utils.stats import StatsProtocol
 __all__ = [
     "MetricsRegistry",
     "cg_meter",
+    "combine_meters",
     "context_meter",
     "flatten",
+    "plan_cache_meter",
     "processor_meter",
     "resil_meter",
     "session_meter",
@@ -181,6 +183,31 @@ def processor_meter(processor: Any) -> Callable[[], dict]:
 def session_meter(session: Any) -> Callable[[], dict]:
     """Span meter over a session's cumulative accounting."""
     return lambda: flatten("session", session.stats().as_dict())
+
+
+def plan_cache_meter(cache: Any) -> Callable[[], dict]:
+    """Span meter over a plan cache's counters (``plan.cache.*``).
+
+    Attached to ``dgemm`` spans alongside the context meter, so a
+    span's delta shows whether the call hit a warm plan
+    (``plan.cache.hits`` +1) or compiled one (``plan.cache.builds``
+    +1, with the build time under its own ``plan.build`` span).
+    ``cache.stats()`` reads are lock-held snapshots, safe under
+    parallel CG workers.
+    """
+    return lambda: flatten("plan.cache", cache.stats().as_dict())
+
+
+def combine_meters(*meters: Callable[[], dict]) -> Callable[[], dict]:
+    """Merge several span meters into one (later meters win on collisions)."""
+
+    def merged() -> dict:
+        out: dict = {}
+        for meter in meters:
+            out.update(meter())
+        return out
+
+    return merged
 
 
 def resil_meter(scheduler: Any) -> Callable[[], dict]:

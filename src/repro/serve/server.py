@@ -507,11 +507,15 @@ class ReproServer:
         """Bind the server's counters into a metrics registry.
 
         Namespaces: ``serve.*`` (admission/dispatch counters, cache
-        counters under ``serve.cache.*``) and ``slo.<bin>.*``
-        (per-bin counts and percentile seconds).
+        counters under ``serve.cache.*``), ``slo.<bin>.*`` (per-bin
+        counts and percentile seconds), and ``plan.cache.*`` (the
+        session's compiled-index-plan cache — repeated shape-bin
+        batches should show ``hits`` rising while ``builds`` stays at
+        the number of distinct signatures).
         """
         registry.register("serve", self.stats)
         registry.register("slo", self.slo.snapshot)
+        registry.register("plan.cache", lambda: self.session.plan_cache.stats())
         return registry
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -17,7 +17,8 @@ from hypothesis import given, settings, strategies as st
 from repro.arch.core_group import CoreGroup
 from repro.core.api import dgemm
 from repro.core.context import ExecutionContext
-from repro.core.engine.vectorized import VectorizedEngine
+from repro.core.engine.plans import PlanCache
+from repro.core.engine.vectorized import StepwiseEngine, VectorizedEngine
 from repro.core.params import BlockingParams
 from repro.workloads.matrices import gemm_operands
 
@@ -52,7 +53,7 @@ def _regcomm_stats(cg: CoreGroup) -> dict:
 
 
 def _run(engine, variant, params, a, b, c, alpha, beta, transa="N",
-         transb="N", pad=False):
+         transb="N", pad=False, plan_cache=None):
     """One dgemm on a fresh device; returns (result, ctx delta, stats)."""
     cg = CoreGroup()
     ctx = ExecutionContext(cg)
@@ -60,7 +61,7 @@ def _run(engine, variant, params, a, b, c, alpha, beta, transa="N",
         out = dgemm(
             a, b, c, alpha=alpha, beta=beta, transa=transa, transb=transb,
             variant=variant, engine=engine, params=params,
-            context=ctx, pad=pad,
+            context=ctx, pad=pad, plan_cache=plan_cache,
         )
         delta = ctx.stats()
     return out, delta, (_dma_stats(cg), _regcomm_stats(cg))
@@ -139,3 +140,41 @@ def test_stepwise_mode_is_bitwise_identical(variant, alpha, beta, seed):
     assert np.array_equal(step, dev)
     assert step_delta == dev_delta
     assert step_stats == dev_stats
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    variant=st.sampled_from(["RAW", "PE", "ROW", "DB", "SCHED"]),
+    alpha=scalars, beta=scalars, seed=st.integers(0, 2**16),
+)
+def test_warm_plan_stepwise_is_bitwise_identical(variant, alpha, beta, seed):
+    """A warm-cache stepwise run equals the cold-cache run, the legacy
+    unplanned path, and the device engine — results bit for bit, DMA
+    and regcomm counters field by field.  (RAW has no shared plan; the
+    stepwise engine still serves it, building nothing.)"""
+    if variant == "RAW":
+        p, (m, n, k) = None, (128, 64, 96)
+    else:
+        p = _params_for(variant)
+        m, n, k = p.b_m, p.b_n, 2 * p.b_k
+    a, b, c = gemm_operands(m, n, k, seed=seed)
+    cache = PlanCache(n_core_groups=1)
+    cold = _run(StepwiseEngine(), variant, p, a, b, c, alpha, beta,
+                plan_cache=cache)
+    warm = _run(StepwiseEngine(), variant, p, a, b, c, alpha, beta,
+                plan_cache=cache)
+    legacy = _run(StepwiseEngine(use_plans=False), variant, p, a, b, c,
+                  alpha, beta)
+    dev = _run("device", variant, p, a, b, c, alpha, beta)
+    for other in (cold, legacy, dev):
+        assert np.array_equal(warm[0], other[0])
+        assert warm[1] == other[1]          # ContextStats delta
+        assert warm[2] == other[2]          # DMA + regcomm counters
+    stats = cache.stats()
+    if variant == "RAW":
+        assert stats.builds == 0 and stats.hits == 0
+    else:
+        # the regression the plan cache exists to fix: one build per
+        # signature, every repeat a hit.
+        assert stats.builds == 1
+        assert stats.hits == 1

@@ -5,7 +5,13 @@ import pytest
 
 from repro.core.batch import BatchItem, dgemm_batch
 from repro.core.api import dgemm
-from repro.core.engine import ENGINES, DeviceEngine, VectorizedEngine, get_engine
+from repro.core.engine import (
+    ENGINES,
+    DeviceEngine,
+    StepwiseEngine,
+    VectorizedEngine,
+    get_engine,
+)
 from repro.core.engine.base import Engine
 from repro.core.kernel_functional import tile_multiply_batched
 from repro.core.params import BlockingParams
@@ -22,7 +28,9 @@ class TestRegistry:
         assert isinstance(get_engine("device"), DeviceEngine)
         assert isinstance(get_engine("vectorized"), VectorizedEngine)
         assert isinstance(get_engine("DEVICE"), DeviceEngine)
-        assert set(ENGINES) == {"device", "vectorized"}
+        assert isinstance(get_engine("stepwise"), StepwiseEngine)
+        assert get_engine("stepwise").stepwise
+        assert set(ENGINES) == {"device", "vectorized", "stepwise"}
 
     def test_instances_pass_through(self):
         eng = VectorizedEngine(stepwise=True)

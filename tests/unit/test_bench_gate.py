@@ -25,6 +25,14 @@ def fake_record(device_p50: float, vec_p50: float) -> dict:
     }
 
 
+def fake_plan_record(legacy_p50: float, warm_p50: float) -> dict:
+    return {
+        "shape": {"m": 256, "n": 128, "k": 256},
+        "legacy_timing": {"p50": legacy_p50},
+        "warm_timing": {"p50": warm_p50},
+    }
+
+
 def write_baseline(path: Path, speedups: dict) -> None:
     path.write_text(json.dumps({
         "benchmark": "bench_engine",
@@ -40,6 +48,16 @@ class TestSmokeSection:
         })
         assert section["speedup_p50"] == {"PE": 100.0, "SCHED": 100.0}
         assert section["shapes"]["PE"]["m"] == 256
+
+    def test_handles_both_record_shapes(self):
+        """Engine records compare device/vectorized; stepwise-plan
+        records compare legacy/warm — one section covers both."""
+        section = bench_engine.smoke_section({
+            "SCHED": fake_record(1.0, 0.01),
+            "STEPWISE_PLAN": fake_plan_record(1.0, 0.25),
+        })
+        assert section["speedup_p50"] == {"SCHED": 100.0,
+                                          "STEPWISE_PLAN": 4.0}
 
 
 class TestCheckRegression:
@@ -109,11 +127,25 @@ class TestArgParsing:
             bench_engine.main(["--smoke", "--max-regression", "1.5"])
 
 
+class TestPlanRegression:
+    def test_plan_record_gated_like_engine_records(self, tmp_path, capsys):
+        baseline = tmp_path / "b.json"
+        write_baseline(baseline, {"STEPWISE_PLAN": 4.0})
+        records = {"STEPWISE_PLAN": fake_plan_record(1.0, 0.5)}  # 2x < 3x floor
+        failures = bench_engine.check_regression(records, str(baseline), 0.25)
+        assert len(failures) == 1 and "regressed" in failures[0]
+        assert "REGRESSION" in capsys.readouterr().out
+
+
 def test_committed_baseline_has_smoke_section():
     """The perf gate is only armed if the committed trajectory file
     carries the smoke section the CI job compares against."""
     committed = BENCH_DIR.parent / "BENCH_engine.json"
     payload = json.loads(committed.read_text())
     speedups = payload["smoke"]["speedup_p50"]
-    assert set(speedups) == {"PE", "SCHED"}
+    assert set(speedups) == {"PE", "SCHED", "STEPWISE_PLAN"}
     assert all(v > 1.0 for v in speedups.values())
+    plan = payload["stepwise_plan"]
+    assert plan["speedup_p50"] >= bench_engine.STEPWISE_PLAN_SPEEDUP_FLOOR
+    assert plan["results_bitwise_equal"] and plan["stats_match"]
+    assert plan["plan_cache"]["builds"] == 1

@@ -17,10 +17,15 @@ guarantees the ExecutionContext refactor made contractual:
    attempt restages from the host arrays and frees on exit, so the
    byte budgets return to baseline however the recovery ladder ends.
 
-The single-CG checks run under **both execution engines** (device and
-vectorized): staging is engine-independent, so the lifecycle
-guarantees must hold identically whichever engine executes the
-multiply.
+6. the execution-plan cache keeps its resident bytes within the
+   LDM-derived budget while in use (evicting LRU signatures when a
+   tiny budget forces it) and drains to zero plans / zero bytes on
+   ``Session.close()`` / ``CGScheduler.close()``.
+
+The single-CG checks run under **all three execution engines** (device,
+vectorized and stepwise): staging is engine-independent, so the
+lifecycle guarantees must hold identically whichever engine executes
+the multiply.
 
 Exits non-zero with a diagnostic on the first violation, so CI can run
 it alongside the unit suite as a fast end-to-end guard.
@@ -61,7 +66,7 @@ def main() -> int:
     baseline = cg.memory.used_bytes
     resident = sorted(h.name for h in cg.memory.handles())
 
-    for engine in ("device", "vectorized"):
+    for engine in ("device", "vectorized", "stepwise"):
         print(f"single dgemm on a shared CoreGroup [{engine} engine]:")
         a, b, c = gemm_operands(PARAMS.b_m, PARAMS.b_n, PARAMS.b_k, seed=0)
         out = dgemm(a, b, c, beta=1.0, params=PARAMS, core_group=cg,
@@ -137,6 +142,38 @@ def main() -> int:
     session.close()
     check([proc.cg(g).memory.used_bytes for g in range(4)] == baselines,
           "all four CG byte budgets back to baseline after close()")
+
+    print("plan cache stays within its LDM budget and drains on close():")
+    plan_session = Session(processor=proc, params=PARAMS, engine="stepwise")
+    plan_session.batch(mixed_batch(6, params=PARAMS, seed=5), parallel=True)
+    stats = plan_session.plan_cache.stats()
+    check(stats.builds >= 1, "stepwise batch compiled at least one plan")
+    check(stats.bytes <= plan_session.plan_cache.max_bytes,
+          f"resident plan bytes within the LDM budget "
+          f"({stats.bytes} <= {plan_session.plan_cache.max_bytes})")
+    plan_session.close()
+    drained = plan_session.plan_cache.stats()
+    check(drained.plans == 0 and drained.bytes == 0,
+          "Session.close() drained the plan cache to zero plans / bytes")
+    check([proc.cg(g).memory.used_bytes for g in range(4)] == baselines,
+          "all four CG byte budgets back to baseline after stepwise close()")
+
+    print("a starved plan-cache budget evicts instead of accumulating:")
+    from repro.core.engine import PlanCache
+
+    tiny = PlanCache(max_bytes=1)
+    starved = CGScheduler(proc, params=PARAMS, engine="stepwise",
+                          plan_cache=tiny)
+    starved.run(mixed_batch(6, params=PARAMS, seed=6))
+    stats = tiny.stats()
+    check(stats.plans == 1,
+          f"1-byte budget keeps a single resident plan (got {stats.plans})")
+    check(stats.evictions >= 1,
+          f"over-budget inserts evicted LRU plans (got {stats.evictions})")
+    starved.close()
+    drained = tiny.stats()
+    check(drained.plans == 0 and drained.bytes == 0,
+          "CGScheduler.close() drained the starved cache too")
 
     print("fault-injected pool runs restore every CG's baseline:")
     from repro.resil import FaultInjector, FaultSpec, RetryPolicy
