@@ -1,0 +1,192 @@
+"""Overhead of the continuous telemetry pipeline on the serving path.
+
+Not a paper artifact — this measures the *observability tax*: the same
+request wave is served with the 10 ms :class:`~repro.obs.MetricsSampler`
+(plus alert evaluation) on and off, and the per-wave wall-clock p50s are
+compared.  The sampler runs on its own thread and only reads counters,
+so the serving path should not notice it; the acceptance target is
+<= 2% p50 overhead.
+
+Wall-clock ratios on shared CI hosts are noisy, so the smoke gate is
+deliberately lenient: reps are interleaved on/off to cancel drift, the
+headline number is the p50 ratio, and only an overhead beyond
+:data:`OVERHEAD_FAIL` (far above any plausible sampler cost) fails the
+run; anything between :data:`OVERHEAD_TARGET` and the gate prints a
+warning.  The pytest entry points only check functional invariants
+(zero sampler errors, zero drops) and report the ratio.
+
+Runnable standalone (used by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.params import BlockingParams
+from repro.serve import LoadGenerator, ReproServer, ServeConfig
+
+PARAMS = BlockingParams.small(double_buffered=True)
+
+REQUESTS = 24
+CONCURRENCY = 8
+REPS = 5
+SAMPLER_PERIOD = 0.01
+
+#: acceptance target from the telemetry design: the sampler thread
+#: should cost at most this fraction of serving p50.
+OVERHEAD_TARGET = 0.02
+#: hard smoke gate, set far above the target so host noise cannot
+#: fail CI while a real regression (sampling in the request path,
+#: lock contention on the registry) still would.
+OVERHEAD_FAIL = 0.25
+
+
+def _config(sampling: bool) -> ServeConfig:
+    return ServeConfig(
+        window_seconds=0.005,
+        max_batch_size=8,
+        sampler_period_seconds=SAMPLER_PERIOD if sampling else None,
+        alerts=sampling,
+    )
+
+
+async def _one_wave(sampling: bool, seed: int) -> tuple[float, int]:
+    """Serve one wave; returns (wall seconds, sampler sample count)."""
+    generator = LoadGenerator(seed=seed, params=PARAMS)
+    requests = generator.generate(REQUESTS)
+    async with ReproServer(
+        config=_config(sampling), params=PARAMS, n_core_groups=2
+    ) as server:
+        start = time.perf_counter()
+        results = await generator.run(
+            server, requests, concurrency=CONCURRENCY
+        )
+        elapsed = time.perf_counter() - start
+        if not all(r.ok for r in results):
+            raise AssertionError("telemetry bench wave dropped requests")
+        sampler = server.sampler
+    if sampling:
+        if sampler is None or sampler.errors:
+            raise AssertionError("sampler must run cleanly when enabled")
+        return elapsed, sampler.samples
+    return elapsed, 0
+
+
+def measure(reps: int = REPS) -> dict:
+    """Interleaved on/off reps -> p50 and best-of wall-clock ratio."""
+    on: list[float] = []
+    off: list[float] = []
+    samples = 0
+    asyncio.run(_one_wave(False, seed=99))  # warmup: numpy/import costs
+    for rep in range(reps):
+        # interleave and alternate order per rep so thermal/load drift
+        # and any order bias hit both arms equally.
+        arms = [False, True] if rep % 2 == 0 else [True, False]
+        for sampling in arms:
+            elapsed, n = asyncio.run(_one_wave(sampling, seed=rep))
+            if sampling:
+                on.append(elapsed)
+                samples += n
+            else:
+                off.append(elapsed)
+    p50_on = float(np.percentile(on, 50))
+    p50_off = float(np.percentile(off, 50))
+    return {
+        "requests": REQUESTS,
+        "reps": reps,
+        "sampler_period_seconds": SAMPLER_PERIOD,
+        "sampler_samples": samples,
+        "p50_on_seconds": p50_on,
+        "p50_off_seconds": p50_off,
+        "p50_overhead": p50_on / p50_off - 1.0,
+        "best_overhead": min(on) / min(off) - 1.0,
+    }
+
+
+@pytest.mark.benchmark(group="telemetry")
+def test_sampler_overhead_is_small(show):
+    record = measure(reps=3)
+    show(
+        f"sampler overhead: p50 {record['p50_overhead']:+.1%}, "
+        f"best-of {record['best_overhead']:+.1%} "
+        f"({record['sampler_samples']} samples)"
+    )
+    # functional gate only: wall-clock ratios are advisory under pytest.
+    assert record["sampler_samples"] > 0
+    assert record["p50_overhead"] < OVERHEAD_FAIL
+
+
+def test_sampler_sees_serving_counters(show):
+    async def scenario():
+        generator = LoadGenerator(seed=0, params=PARAMS)
+        async with ReproServer(
+            config=_config(True), params=PARAMS, n_core_groups=2
+        ) as server:
+            await generator.run(
+                server, generator.generate(8), concurrency=4
+            )
+            sampler = server.sampler
+        points = sampler.series("serve.completed").points()
+        assert points[0][1] == 0.0 and points[-1][1] == 8.0
+        return sampler.samples
+
+    samples = asyncio.run(scenario())
+    show(f"sampler recorded {samples} samples during the wave")
+
+
+def smoke() -> int:
+    record = measure()
+    overhead = record["p50_overhead"]
+    best = record["best_overhead"]
+    print(
+        f"telemetry smoke: {record['reps']} reps x {REQUESTS} requests, "
+        f"{record['sampler_samples']} samples at "
+        f"{SAMPLER_PERIOD * 1e3:.0f} ms: p50 "
+        f"{record['p50_off_seconds'] * 1e3:.1f} -> "
+        f"{record['p50_on_seconds'] * 1e3:.1f} ms "
+        f"({overhead:+.1%} p50, {best:+.1%} best-of)"
+    )
+    if overhead > OVERHEAD_FAIL and best > OVERHEAD_FAIL:
+        print(
+            f"telemetry smoke FAIL: sampler overhead {overhead:.1%} "
+            f"exceeds the {OVERHEAD_FAIL:.0%} gate",
+            file=sys.stderr,
+        )
+        return 1
+    if overhead > OVERHEAD_TARGET:
+        print(
+            f"telemetry smoke WARN: p50 overhead {overhead:+.1%} above "
+            f"the {OVERHEAD_TARGET:.0%} target (best-of {best:+.1%}); "
+            "likely host noise"
+        )
+    else:
+        print(
+            f"telemetry smoke OK: sampler overhead within the "
+            f"{OVERHEAD_TARGET:.0%} p50 target"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the CI overhead gate and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return smoke()
+    parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,11 @@ Installed as ``repro-dgemm``::
     repro-dgemm chaos --items 12 --fault dma.get:nth=3 --fault cg:nth=1
     repro-dgemm chaos --smoke
     repro-dgemm serve --requests 32 --concurrency 32
-    repro-dgemm serve --smoke
+    repro-dgemm serve --smoke --metrics-out scrape.prom
+    repro-dgemm metrics --items 8 --out scrape1.prom --out2 scrape2.prom
+    repro-dgemm metrics --url http://127.0.0.1:9464/metrics
+    repro-dgemm top --requests 24 --interval 0.5
+    repro-dgemm top --once
 
 ``--estimate-only`` skips the functional simulation and prints the
 performance model's prediction (any paper-scale size is fine there);
@@ -31,7 +35,15 @@ seeded load generator, then verifies the serving contract: zero
 dropped responses, same-bin coalescing (strictly fewer dispatched
 batches than batch-path requests), a cache wave served without
 touching the device, and per-request span traffic reconciling
-bit-exactly with the session totals.
+bit-exactly with the session totals — optionally scraping its own
+OpenMetrics endpoint mid-run and at shutdown (``--metrics-out`` /
+``--metrics-out2``) for ``tools/check_metrics.py``.  The ``metrics``
+subcommand takes one-shot OpenMetrics scrapes: either of a live
+endpoint (``--url``) or of an internal sampled session run, dumping
+one scrape per output file.  The ``top`` subcommand renders the live
+terminal dashboard (throughput, per-CG DMA bars, cache hit rates,
+SLO table, firing alerts) over an internally driven server;
+``--once`` prints a single frame and exits.
 """
 
 from __future__ import annotations
@@ -53,9 +65,11 @@ from repro.workloads.matrices import gemm_operands
 
 __all__ = [
     "build_chaos_parser",
+    "build_metrics_parser",
     "build_parser",
     "build_schedule_parser",
     "build_serve_parser",
+    "build_top_parser",
     "build_trace_parser",
     "main",
     "parse_fault_spec",
@@ -494,21 +508,82 @@ def build_serve_parser() -> argparse.ArgumentParser:
                                              "stepwise"], default=None,
                         help="execution engine for the serving session "
                              "(default: the session's per-path choice)")
+    parser.add_argument("--sampler-period", type=float, default=0.01,
+                        help="metrics sampler period in seconds "
+                             "(default 0.01; 0 disables sampling)")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="scrape the server's OpenMetrics endpoint "
+                             "after the main wave and write it here")
+    parser.add_argument("--metrics-out2", default=None, metavar="FILE",
+                        help="second scrape, taken after all waves "
+                             "(check_metrics.py compares the pair for "
+                             "counter monotonicity)")
     parser.add_argument("--smoke", action="store_true",
                         help="small fixed workload (12 requests, 2 CGs, "
                              "stepwise engine) for CI; same contract "
-                             "checks plus plan-cache counters")
+                             "checks plus plan-cache counters and a "
+                             "validated OpenMetrics scrape")
     return parser
+
+
+async def _scrape_openmetrics(address: tuple[str, int]) -> str:
+    """GET /metrics from a running exposition endpoint, over real HTTP."""
+    import asyncio
+
+    host, port = address
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET /metrics HTTP/1.1\r\nHost: {host}\r\n"
+            "Connection: close\r\n\r\n".encode("latin-1")
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+    if " 200 " not in f"{status} ":
+        raise ReproError(f"metrics endpoint answered {status!r}")
+    return body.decode("utf-8")
+
+
+def _parse_scrape(text: str) -> dict[str, float]:
+    """Sample lines of an OpenMetrics scrape as ``{name: value}``.
+
+    Ints parse as ints so bit-exact comparison against integer session
+    counters holds; histogram bucket lines (with labels) keep their
+    ``{...}`` in the name and are simply never looked up.
+    """
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            out[name] = int(value)
+        except ValueError:
+            try:
+                out[name] = float(value)
+            except ValueError:
+                continue
+    return out
 
 
 async def _serve_session(args) -> int:
     from repro.serve import LoadGenerator, ReproServer, ServeConfig
 
     params = _params_for(args)
+    # --smoke always arms the endpoint so CI exercises a real scrape
+    # even when no output files were requested.
+    scraping = bool(args.metrics_out or args.metrics_out2 or args.smoke)
     config = ServeConfig(
         window_seconds=args.window,
         max_batch_size=args.batch,
         max_pending=args.pending,
+        sampler_period_seconds=args.sampler_period or None,
+        metrics_port=0 if scraping else None,
     )
     async with ReproServer(
         config=config, variant=args.variant, params=params,
@@ -531,6 +606,14 @@ async def _serve_session(args) -> int:
                   f"({dropped} dropped, {len(failed)} failed)",
                   file=sys.stderr)
             return 1
+
+        # mid-run scrape: the exposition endpoint must answer while
+        # the server keeps serving (the second scrape at the end lets
+        # check_metrics.py verify counter monotonicity).
+        scrape1 = None
+        if scraping:
+            assert server.metrics_address is not None
+            scrape1 = await _scrape_openmetrics(server.metrics_address)
 
         # cache wave: resubmitting completed requests must be served
         # from the operand cache without touching the device.
@@ -610,6 +693,56 @@ async def _serve_session(args) -> int:
             return 1
         print(f"per-request span traffic reconciles with Session.stats() "
               f"({len(totals)} fields)")
+
+        if server.sampler is not None:
+            sampled = server.sampler.stats()
+            print(f"sampler: {sampled['samples']:.0f} samples over "
+                  f"{sampled['series']:.0f} series at "
+                  f"{sampled['period_seconds'] * 1e3:.0f} ms "
+                  f"({sampled['errors']:.0f} errors)")
+            if sampled["errors"]:
+                print("error: the metrics sampler recorded source errors",
+                      file=sys.stderr)
+                return 1
+
+        if scraping:
+            from repro.obs.promexp import metric_name
+
+            assert server.metrics_address is not None
+            scrape2 = await _scrape_openmetrics(server.metrics_address)
+            # the scraped text must reconcile bit-exactly too: the
+            # serve.request counter totals render via repr/str, so
+            # parsing them back recovers the exact session counters.
+            parsed = _parse_scrape(scrape2)
+            bad = [
+                f"{field}: scraped={parsed.get(name)!r} session={total!r}"
+                for field, total in server.session.stats()
+                .traffic.as_dict().items()
+                for name in [
+                    metric_name(f"serve.request.ctx.{field}") + "_total"
+                ]
+                if parsed.get(name) != total
+            ]
+            if bad:
+                print("error: scraped OpenMetrics counters do not "
+                      "reconcile with Session.stats():", file=sys.stderr)
+                for line in bad:
+                    print(f"  {line}", file=sys.stderr)
+                return 1
+            print("scraped serve.request counters reconcile with "
+                  "Session.stats()")
+            for path, text in ((args.metrics_out, scrape1),
+                               (args.metrics_out2, scrape2)):
+                if path and text is not None:
+                    with open(path, "w", encoding="utf-8") as handle:
+                        handle.write(text)
+                    print(f"wrote OpenMetrics scrape to {path}")
+
+        if server.alerts is not None and server.alerts.active():
+            for alert in server.alerts.active():
+                print(f"ALERT [{alert.severity}] {alert.rule}: "
+                      f"{alert.message}")
+
         print()
         print(server.slo.render())
     return 0
@@ -627,6 +760,215 @@ def _run_serve(argv: list[str]) -> int:
         args.engine = args.engine or "stepwise"
     try:
         return asyncio.run(_serve_session(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def build_metrics_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dgemm metrics",
+        description="Take one-shot OpenMetrics scrapes: of a live "
+                    "exposition endpoint (--url) or of an internal "
+                    "sampled session run",
+    )
+    parser.add_argument("--url", default=None,
+                        help="scrape a running endpoint "
+                             "(http://host:port/metrics) instead of "
+                             "running a workload")
+    parser.add_argument("--items", type=int, default=8,
+                        help="batch items per half of the internal run "
+                             "(default 8)")
+    parser.add_argument("--cgs", type=int, default=2,
+                        help="pool size, 1..4 core groups (default 2)")
+    parser.add_argument(
+        "--variant", default="SCHED", choices=sorted(VARIANTS),
+        type=lambda s: s.upper(), help="implementation (paper Sec V)",
+    )
+    parser.add_argument(
+        "--preset", choices=["small", "paper"], default="small",
+        help="blocking parameters: scaled-down (default) or the paper's",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--period", type=float, default=0.01,
+                        help="sampler period in seconds (default 0.01)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the (first) scrape here instead of "
+                             "stdout")
+    parser.add_argument("--out2", default=None, metavar="FILE",
+                        help="write a second scrape, taken after the "
+                             "second half of the run, for counter-"
+                             "monotonicity checks")
+    return parser
+
+
+def _run_metrics(argv: list[str]) -> int:
+    from repro.core.session import Session
+    from repro.obs import MetricsSampler, render_openmetrics
+    from repro.workloads.matrices import mixed_batch
+
+    args = build_metrics_parser().parse_args(argv)
+
+    def deliver(text: str, path: str | None) -> None:
+        if path:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote OpenMetrics scrape to {path} "
+                  f"({len(text.splitlines())} lines)")
+        else:
+            print(text, end="")
+
+    if args.url:
+        from urllib.parse import urlsplit
+
+        parts = urlsplit(args.url)
+        if not parts.hostname or not parts.port:
+            print(f"error: --url needs host and port, got {args.url!r}",
+                  file=sys.stderr)
+            return 2
+        import asyncio
+
+        try:
+            text = asyncio.run(
+                _scrape_openmetrics((parts.hostname, parts.port))
+            )
+        except (OSError, ReproError) as exc:
+            print(f"error: scrape failed: {exc}", file=sys.stderr)
+            return 2
+        deliver(text, args.out)
+        return 0
+
+    params = _params_for(args)
+    try:
+        with Session(
+            variant=args.variant, params=params, n_core_groups=args.cgs,
+        ) as session:
+            sampler = MetricsSampler(
+                session.metrics_registry(), period_seconds=args.period,
+            )
+            with sampler:
+                items = mixed_batch(
+                    2 * args.items, params=params, seed=args.seed
+                )
+                session.batch(items[: args.items], parallel=True)
+                first = render_openmetrics(sampler.sample_once())
+                session.batch(items[args.items:], parallel=True)
+            second = render_openmetrics(sampler.sample_once())
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    deliver(first, args.out)
+    if args.out2:
+        deliver(second, args.out2)
+    return 0
+
+
+def build_top_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dgemm top",
+        description="Live terminal dashboard over a self-driven serving "
+                    "tier: throughput, per-CG DMA bars, cache hit "
+                    "rates, SLOs, firing alerts",
+    )
+    parser.add_argument("--requests", type=int, default=16,
+                        help="requests per generated wave (default 16)")
+    parser.add_argument("--concurrency", type=int, default=16,
+                        help="concurrent client submissions (default 16)")
+    parser.add_argument("--cgs", type=int, default=4,
+                        help="pool size, 1..4 core groups (default 4)")
+    parser.add_argument(
+        "--variant", default="SCHED", choices=sorted(VARIANTS),
+        type=lambda s: s.upper(), help="implementation (paper Sec V)",
+    )
+    parser.add_argument(
+        "--preset", choices=["small", "paper"], default="small",
+        help="blocking parameters: scaled-down (default) or the paper's",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--window", type=float, default=0.02,
+                        help="coalescing window in seconds (default 0.02)")
+    parser.add_argument("--engine", choices=["device", "vectorized",
+                                             "stepwise"], default=None,
+                        help="execution engine for the serving session")
+    parser.add_argument("--period", type=float, default=0.01,
+                        help="sampler period in seconds (default 0.01)")
+    parser.add_argument("--interval", type=float, default=0.5,
+                        help="seconds between dashboard frames "
+                             "(default 0.5)")
+    parser.add_argument("--frames", type=int, default=10,
+                        help="frames to render before exiting "
+                             "(default 10)")
+    parser.add_argument("--once", action="store_true",
+                        help="drive one wave, print a single frame, exit "
+                             "(what the tests run)")
+    return parser
+
+
+async def _top_session(args) -> int:
+    import asyncio
+
+    from repro.obs.dashboard import render_dashboard
+    from repro.serve import LoadGenerator, ReproServer, ServeConfig
+
+    params = _params_for(args)
+    config = ServeConfig(
+        window_seconds=args.window,
+        sampler_period_seconds=args.period,
+    )
+    async with ReproServer(
+        config=config, variant=args.variant, params=params,
+        n_core_groups=args.cgs, engine=args.engine,
+    ) as server:
+        assert server.sampler is not None
+        generator = LoadGenerator(seed=args.seed, params=params)
+        requests = generator.generate(args.requests)
+
+        def frame() -> str:
+            return render_dashboard(
+                server.sampler,
+                slo_table=server.slo.render(),
+                alerts=server.alerts,
+                events=server.events,
+            )
+
+        if args.once:
+            await generator.run(
+                server, requests, concurrency=args.concurrency
+            )
+            server.sampler.sample_once()
+            print(frame())
+            return 0
+
+        stopping = asyncio.Event()
+
+        async def drive() -> None:
+            while not stopping.is_set():
+                await generator.run(
+                    server, requests, concurrency=args.concurrency
+                )
+
+        driver = asyncio.create_task(drive(), name="repro-top-load")
+        try:
+            for _ in range(max(1, args.frames)):
+                await asyncio.sleep(args.interval)
+                if sys.stdout.isatty():  # pragma: no cover - terminal only
+                    print("\x1b[2J\x1b[H", end="")
+                print(frame())
+                print()
+        finally:
+            stopping.set()
+            await driver
+    return 0
+
+
+def _run_top(argv: list[str]) -> int:
+    import asyncio
+
+    args = build_top_parser().parse_args(argv)
+    try:
+        return asyncio.run(_top_session(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -650,6 +992,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_chaos(argv[1:])
     if argv and argv[0] == "serve":
         return _run_serve(argv[1:])
+    if argv and argv[0] == "metrics":
+        return _run_metrics(argv[1:])
+    if argv and argv[0] == "top":
+        return _run_top(argv[1:])
     args = build_parser().parse_args(argv)
     params = _params_for(args)
     m = args.m if args.m is not None else 2 * params.b_m

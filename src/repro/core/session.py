@@ -453,6 +453,23 @@ class Session:
         :meth:`~repro.multi.scheduler.CGScheduler.resil_stats`)."""
         return self.scheduler.resil_stats()
 
+    def metrics_registry(self):
+        """This session's counters as one sampler-ready registry.
+
+        The scheduler's registry (per-CG device counters, NoC, plan
+        cache, resilience) plus the cumulative session accounting
+        under ``session.*`` (``session.traffic.dma_bytes``, ...).
+        Attach a :class:`~repro.obs.series.MetricsSampler` to stream
+        the whole address space as time series; because
+        :meth:`stats` reads are lock-held and registry snapshots
+        telescope, summing sampler-window deltas of the
+        ``session.traffic.*`` counters over a run reconciles
+        bit-exactly with :meth:`stats` ``.traffic``.
+        """
+        registry = self.scheduler.metrics_registry()
+        registry.register("session", lambda: self.stats().as_dict())
+        return registry
+
     def stats(self) -> SessionStats:
         """Cumulative accounting since the session opened."""
         # the scalar context may have moved since the last snapshot

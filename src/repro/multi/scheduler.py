@@ -90,7 +90,7 @@ from repro.core.engine.plans import PlanCache
 from repro.core.params import BlockingParams
 from repro.core.variants import get_variant
 from repro.multi.processor import SW26010Processor
-from repro.obs.registry import context_meter
+from repro.obs.registry import MetricsRegistry, context_meter
 from repro.obs.tracer import ensure_tracer
 from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.perf.estimator import Estimator
@@ -966,6 +966,25 @@ class CGScheduler:
             with self._resil_lock:
                 self.resil.recovered += 1
             return _OK, out, task.report(True)
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The scheduler's counters as one sampler-ready registry.
+
+        Namespaces: every pool CG's device counters (``cg0.dma.*``,
+        ``cg0.regcomm.*``, ``cg0.memory.*``, ...), the NoC's
+        (``noc.*``), the pool-wide plan cache (``plan.cache.*``) and
+        the recovery ladder (``resil.*``).  Attach a
+        :class:`~repro.obs.series.MetricsSampler` to stream them as
+        time series; every source read here is either a plain counter
+        read under the GIL or an internally lock-held snapshot, so
+        sampling is safe while a parallel run mutates the counters.
+        """
+        registry = MetricsRegistry.for_processor(self.processor)
+        registry.register(
+            "plan.cache", lambda: self.plan_cache.stats().as_dict()
+        )
+        registry.register("resil", self.resil_stats)
+        return registry
 
     def resil_stats(self) -> dict:
         """Cumulative resilience counters (the ``resil.*`` namespace).

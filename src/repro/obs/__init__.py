@@ -1,9 +1,10 @@
-"""Observability: span tracing, a metrics registry, and trace export.
+"""Observability: tracing, metrics, continuous telemetry, and alerts.
 
 The runtime's counters (seven ``*Stats`` dataclasses sharing the
 :class:`~repro.utils.stats.StatsProtocol`) report end states; this
 subsystem adds *attribution* — which phase of which call moved those
-bytes, and when:
+bytes, and when — plus the always-on pipeline an operating serving
+tier needs:
 
 - :mod:`repro.obs.tracer` — nestable wall-clock spans with attached
   counter deltas (:class:`SpanTracer`; :data:`NULL_TRACER` is the
@@ -12,13 +13,37 @@ bytes, and when:
   the scattered stats objects (``dma.pe_mode.bytes``,
   ``regcomm.row_broadcasts``, ...) plus the span-meter helpers;
 - :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto), JSONL,
-  and per-phase text reports including model-vs-measured diffs.
+  and per-phase text reports including model-vs-measured diffs;
+- :mod:`repro.obs.series` — :class:`MetricsSampler`, a background
+  thread turning registry snapshots into ring-buffer
+  :class:`TimeSeries` with window deltas and rates;
+- :mod:`repro.obs.histogram` — :class:`LatencyHistogram`, bounded
+  log-bucketed distributions (latency, Gflop/s, DMA bytes);
+- :mod:`repro.obs.promexp` — Prometheus/OpenMetrics text exposition
+  of snapshots and histogram families;
+- :mod:`repro.obs.events` — :class:`EventLog`, a leveled structured
+  event ring with JSONL export;
+- :mod:`repro.obs.alerts` — :class:`AlertEngine` rules (SLO burn
+  rate, eviction storms, quarantines) over sampled series;
+- :mod:`repro.obs.dashboard` — the ``repro-dgemm top`` terminal
+  dashboard renderer.
 
 Spans are emitted by ``Session``/``dgemm``/``dgemm_batch``, both
 execution engines and ``CGScheduler`` whenever a real tracer is passed;
-``tools/check_trace.py`` validates exported traces in CI.
+``tools/check_trace.py`` validates exported traces and
+``tools/check_metrics.py`` validates OpenMetrics scrapes in CI.
 """
 
+from repro.obs.alerts import (
+    Alert,
+    AlertEngine,
+    AlertRule,
+    BurnRateRule,
+    RateThresholdRule,
+    default_serve_rules,
+)
+from repro.obs.dashboard import render_dashboard, sparkline
+from repro.obs.events import Event, EventLog
 from repro.obs.export import (
     chrome_trace,
     jsonl_lines,
@@ -26,6 +51,14 @@ from repro.obs.export import (
     phase_report,
     write_chrome_trace,
     write_jsonl,
+)
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.promexp import (
+    HistogramFamily,
+    format_value,
+    is_counter_name,
+    metric_name,
+    render_openmetrics,
 )
 from repro.obs.registry import (
     MetricsRegistry,
@@ -37,6 +70,7 @@ from repro.obs.registry import (
     session_meter,
     snapshot_core_group,
 )
+from repro.obs.series import MetricsSampler, TimeSeries
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -47,22 +81,40 @@ from repro.obs.tracer import (
 
 __all__ = [
     "NULL_TRACER",
-    "NullTracer",
-    "SpanTracer",
-    "TraceSpan",
-    "ensure_tracer",
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "BurnRateRule",
+    "Event",
+    "EventLog",
+    "HistogramFamily",
+    "LatencyHistogram",
     "MetricsRegistry",
+    "MetricsSampler",
+    "NullTracer",
+    "RateThresholdRule",
+    "SpanTracer",
+    "TimeSeries",
+    "TraceSpan",
     "cg_meter",
+    "chrome_trace",
     "context_meter",
+    "default_serve_rules",
+    "ensure_tracer",
     "flatten",
+    "format_value",
+    "is_counter_name",
+    "jsonl_lines",
+    "metric_name",
+    "model_gap_report",
+    "phase_report",
     "processor_meter",
+    "render_dashboard",
+    "render_openmetrics",
     "resil_meter",
     "session_meter",
     "snapshot_core_group",
-    "chrome_trace",
-    "jsonl_lines",
-    "model_gap_report",
-    "phase_report",
+    "sparkline",
     "write_chrome_trace",
     "write_jsonl",
 ]

@@ -1,0 +1,357 @@
+"""Alert rules over sampled series: burn rates, storms, quarantines.
+
+An :class:`AlertEngine` watches a :class:`~repro.obs.series.MetricsSampler`
+and keeps a set of declarative rules evaluated after every sample (the
+engine registers itself as a sampler listener).  Two rule shapes cover
+the serving tier's failure modes:
+
+- :class:`BurnRateRule` — the SRE multiwindow SLO burn-rate alert: the
+  error fraction over a *fast* and a *slow* trailing window, divided by
+  the error budget, must both exceed their factors before the alert
+  fires.  The fast window catches a cliff quickly; the slow window
+  keeps one unlucky request from paging at low traffic.
+- :class:`RateThresholdRule` — fires when a counter's per-second rate
+  over a window exceeds a threshold: CG quarantine events (threshold
+  0: *any* quarantine fires), plan-cache eviction storms, admission
+  rejections.
+
+State transitions — inactive→firing and firing→resolved — are emitted
+as structured events (``alert.fired`` / ``alert.resolved``) through
+the attached :class:`~repro.obs.events.EventLog`, so the alert history
+is a JSONL stream.  :func:`default_serve_rules` is the rule set the
+serving tier and the ``top`` dashboard arm by default.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from time import monotonic
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.obs.events import EventLog
+from repro.obs.series import MetricsSampler
+
+__all__ = [
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "BurnRateRule",
+    "RateThresholdRule",
+    "default_serve_rules",
+]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One firing alert: the rule's identity plus the offending value."""
+
+    rule: str
+    severity: str
+    message: str
+    #: the evaluated quantity (burn rate, events/second, ...).
+    value: float
+    threshold: float
+    #: engine clock time the alert transitioned to firing.
+    since: float
+
+
+class AlertRule:
+    """Base rule: a named, leveled predicate over a sampler's series."""
+
+    def __init__(
+        self, name: str, *, severity: str = "warning", description: str = ""
+    ) -> None:
+        self.name = str(name)
+        self.severity = str(severity)
+        self.description = str(description)
+
+    def evaluate(self, sampler: MetricsSampler) -> tuple[bool, float, float]:
+        """Return ``(firing, value, threshold)`` for the current sample."""
+        raise NotImplementedError
+
+    def message(self, value: float, threshold: float) -> str:
+        return (
+            f"{self.name}: {value:.4g} over threshold {threshold:.4g}"
+            + (f" — {self.description}" if self.description else "")
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class RateThresholdRule(AlertRule):
+    """Fires when a counter rises faster than ``threshold_per_second``.
+
+    A threshold of 0 fires on *any* increase within the window — the
+    right shape for should-never-happen counters like CG quarantines.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        metric: str,
+        *,
+        threshold_per_second: float,
+        window_seconds: float = 5.0,
+        severity: str = "warning",
+        description: str = "",
+    ) -> None:
+        super().__init__(name, severity=severity, description=description)
+        if window_seconds <= 0:
+            raise ConfigError(
+                f"window_seconds must be > 0, got {window_seconds}"
+            )
+        self.metric = str(metric)
+        self.threshold_per_second = float(threshold_per_second)
+        self.window_seconds = float(window_seconds)
+
+    def evaluate(self, sampler: MetricsSampler) -> tuple[bool, float, float]:
+        rate = sampler.rate(self.metric, self.window_seconds)
+        if self.threshold_per_second == 0:
+            # "any increase" semantics: the delta, not the rate, decides
+            # (a tiny window rate could round to 0.0).
+            firing = sampler.delta(self.metric, self.window_seconds) > 0
+        else:
+            firing = rate > self.threshold_per_second
+        return firing, rate, self.threshold_per_second
+
+
+class BurnRateRule(AlertRule):
+    """Multiwindow SLO burn-rate: fast AND slow windows must burn hot.
+
+    ``objective`` is the allowed error fraction (0.001 for a 99.9%
+    SLO); burn rate is ``(errors/total) / objective`` over a window.
+    The canonical page-worthy pairing is a 5 m fast / 1 h slow window
+    at 14.4x burn; the defaults here are scaled to the seconds-long
+    runs this repo's smoke tests produce.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        error_metric: str,
+        total_metric: str,
+        objective: float = 0.001,
+        fast_window_seconds: float = 5.0,
+        slow_window_seconds: float = 60.0,
+        burn_factor: float = 14.4,
+        min_total: float = 1.0,
+        severity: str = "critical",
+        description: str = "",
+    ) -> None:
+        super().__init__(name, severity=severity, description=description)
+        if not (0 < objective < 1):
+            raise ConfigError(f"objective must be in (0, 1), got {objective}")
+        if fast_window_seconds >= slow_window_seconds:
+            raise ConfigError("fast window must be shorter than slow window")
+        self.error_metric = str(error_metric)
+        self.total_metric = str(total_metric)
+        self.objective = float(objective)
+        self.fast_window_seconds = float(fast_window_seconds)
+        self.slow_window_seconds = float(slow_window_seconds)
+        self.burn_factor = float(burn_factor)
+        self.min_total = float(min_total)
+
+    def _burn(self, sampler: MetricsSampler, window: float) -> float:
+        total = sampler.delta(self.total_metric, window)
+        if total < self.min_total:
+            return 0.0
+        errors = max(0.0, sampler.delta(self.error_metric, window))
+        return (errors / total) / self.objective
+
+    def evaluate(self, sampler: MetricsSampler) -> tuple[bool, float, float]:
+        fast = self._burn(sampler, self.fast_window_seconds)
+        slow = self._burn(sampler, self.slow_window_seconds)
+        firing = fast >= self.burn_factor and slow >= self.burn_factor
+        # report the fast burn — it is the one that moves first.
+        return firing, fast, self.burn_factor
+
+
+class AlertEngine:
+    """Evaluates rules against a sampler, tracking firing transitions.
+
+    ``attach()`` registers the engine as a sampler listener so rules
+    re-evaluate after every sample on the sampler thread; calling
+    :meth:`evaluate` directly works too (the ``top`` dashboard does,
+    once per frame).  Transition edges are emitted to the event log;
+    steady states are not, so the log carries information, not noise.
+    """
+
+    def __init__(
+        self,
+        rules: tuple[AlertRule, ...] | list[AlertRule],
+        *,
+        events: EventLog | None = None,
+        clock: Callable[[], float] = monotonic,
+    ) -> None:
+        names = [r.name for r in rules]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate rule names in {names}")
+        self.rules = tuple(rules)
+        self.events = events
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._active: dict[str, Alert] = {}
+        self.fired = 0
+        self.resolved = 0
+        self.evaluations = 0
+
+    def attach(
+        self,
+        sampler: MetricsSampler,
+        *,
+        min_interval_seconds: float = 0.25,
+    ) -> "AlertEngine":
+        """Evaluate on ``sampler``'s thread, at most every
+        ``min_interval_seconds``; returns self.
+
+        Rule evaluation costs tens of microseconds per rule (window
+        scans over every referenced series), which would dominate a
+        10 ms sampling budget if run per sample; alert latency of a
+        quarter second is indistinguishable operationally, so
+        evaluation is throttled independently of the sample rate.
+        Pass ``0.0`` to evaluate on every sample.
+        """
+        last: float | None = None
+
+        def listener(s: MetricsSampler, _snapshot: dict) -> None:
+            nonlocal last
+            now = self.clock()
+            if last is not None and now - last < min_interval_seconds:
+                return
+            last = now
+            self.evaluate(s)
+
+        sampler.add_listener(listener)
+        return self
+
+    def evaluate(self, sampler: MetricsSampler) -> tuple[Alert, ...]:
+        """Run every rule once; returns the currently firing set."""
+        now = self.clock()
+        with self._lock:
+            self.evaluations += 1
+            for rule in self.rules:
+                firing, value, threshold = rule.evaluate(sampler)
+                current = self._active.get(rule.name)
+                if firing and current is None:
+                    alert = Alert(
+                        rule=rule.name,
+                        severity=rule.severity,
+                        message=rule.message(value, threshold),
+                        value=value,
+                        threshold=threshold,
+                        since=now,
+                    )
+                    self._active[rule.name] = alert
+                    self.fired += 1
+                    if self.events is not None:
+                        self.events.emit(
+                            rule.severity,
+                            "alert.fired",
+                            rule=rule.name,
+                            value=value,
+                            threshold=threshold,
+                            message=alert.message,
+                        )
+                elif not firing and current is not None:
+                    del self._active[rule.name]
+                    self.resolved += 1
+                    if self.events is not None:
+                        self.events.info(
+                            "alert.resolved",
+                            rule=rule.name,
+                            value=value,
+                            active_seconds=now - current.since,
+                        )
+            return tuple(self._active.values())
+
+    def active(self) -> tuple[Alert, ...]:
+        """The currently firing alerts (stable rule order)."""
+        with self._lock:
+            return tuple(
+                self._active[r.name]
+                for r in self.rules
+                if r.name in self._active
+            )
+
+    def stats(self) -> dict[str, float]:
+        """Engine counters (a registry source: ``alerts.*``)."""
+        with self._lock:
+            out: dict[str, float] = {
+                "rules": float(len(self.rules)),
+                "active": float(len(self._active)),
+                "fired": float(self.fired),
+                "resolved": float(self.resolved),
+                "evaluations": float(self.evaluations),
+            }
+            for rule in self.rules:
+                out[f"firing.{rule.name}"] = float(
+                    rule.name in self._active
+                )
+            return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AlertEngine({len(self.rules)} rules, "
+            f"{len(self.active())} active)"
+        )
+
+
+def default_serve_rules(
+    *,
+    availability_objective: float = 0.01,
+    fast_window_seconds: float = 5.0,
+    slow_window_seconds: float = 60.0,
+) -> tuple[AlertRule, ...]:
+    """The serving tier's standing rule set.
+
+    Metric names follow :meth:`ReproServer.metrics_registry
+    <repro.serve.server.ReproServer.metrics_registry>`: request
+    failures and admissions under ``serve.*``, recovery counters under
+    ``resil.*``, cache churn under ``serve.cache.*`` and
+    ``plan.cache.*``.
+    """
+    return (
+        BurnRateRule(
+            "slo-burn-rate",
+            error_metric="serve.failed",
+            total_metric="serve.admitted",
+            objective=availability_objective,
+            fast_window_seconds=fast_window_seconds,
+            slow_window_seconds=slow_window_seconds,
+            description="request failures are burning the error budget",
+        ),
+        RateThresholdRule(
+            "cg-quarantine",
+            "resil.quarantines",
+            threshold_per_second=0.0,
+            window_seconds=slow_window_seconds,
+            severity="critical",
+            description="a core group was quarantined",
+        ),
+        RateThresholdRule(
+            "plan-cache-eviction-storm",
+            "plan.cache.evictions",
+            threshold_per_second=10.0,
+            window_seconds=fast_window_seconds,
+            description="compiled plans are churning faster than reuse",
+        ),
+        RateThresholdRule(
+            "operand-cache-eviction-storm",
+            "serve.cache.evictions",
+            threshold_per_second=50.0,
+            window_seconds=fast_window_seconds,
+            severity="info",
+            description="operand cache capacity is under pressure",
+        ),
+        RateThresholdRule(
+            "admission-rejections",
+            "serve.rejected",
+            threshold_per_second=5.0,
+            window_seconds=fast_window_seconds,
+            description="backpressure is turning requests away",
+        ),
+    )

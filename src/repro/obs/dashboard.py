@@ -1,0 +1,179 @@
+"""Text dashboard frames over a live sampler: the ``top`` view.
+
+Renders one self-contained text frame — throughput, per-CG DMA
+utilization bars, cache hit rates, SLO table, active alerts, recent
+events — from a :class:`~repro.obs.series.MetricsSampler` plus the
+optional serving-tier sources.  The CLI's ``repro-dgemm top`` clears
+the terminal and reprints a frame per refresh; tests render one frame
+and assert on its text, so everything here is pure string building
+with no terminal control beyond what the caller adds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.obs.alerts import AlertEngine
+from repro.obs.events import EventLog
+from repro.obs.series import MetricsSampler
+
+__all__ = ["render_dashboard", "sparkline"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], width: int = 32) -> str:
+    """A unicode block sparkline of the last ``width`` values."""
+    if not values:
+        return ""
+    tail = values[-width:]
+    top = max(tail)
+    if top <= 0:
+        return _BLOCKS[0] * len(tail)
+    scale = len(_BLOCKS) - 1
+    return "".join(
+        _BLOCKS[min(scale, round(v / top * scale))] for v in tail
+    )
+
+
+def _fmt_rate(value: float) -> str:
+    if value >= 1e9:
+        return f"{value / 1e9:.2f}G"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.2f}k"
+    return f"{value:.1f}"
+
+
+def _bar(fraction: float, width: int) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _hit_rate(hits: float, misses: float) -> str:
+    total = hits + misses
+    if total <= 0:
+        return "  -- "
+    return f"{100.0 * hits / total:4.1f}%"
+
+
+def render_dashboard(
+    sampler: MetricsSampler,
+    *,
+    slo_table: str | None = None,
+    alerts: AlertEngine | None = None,
+    events: EventLog | None = None,
+    window_seconds: float = 2.0,
+    width: int = 78,
+    title: str = "repro top",
+    clock: Callable[[], float] | None = None,
+) -> str:
+    """One dashboard frame as plain text.
+
+    Reads only the sampler's retained series (latest values and
+    trailing-window rates), so a frame is safe to render from any
+    thread while sampling continues.
+    """
+    latest = sampler.latest()
+    now = (clock or sampler.clock)()
+    uptime = now - (sampler.started_at or now)
+
+    def value(name: str) -> float:
+        return latest.get(name, 0.0)
+
+    lines = [
+        f"{title} — up {uptime:7.1f}s   samples {sampler.samples}   "
+        f"series {len(latest)}   period "
+        f"{sampler.period_seconds * 1e3:.0f} ms",
+        "=" * width,
+    ]
+
+    # -- serving throughput -------------------------------------------
+    if any(name.startswith("serve.") for name in latest):
+        req_rate = sampler.rate("serve.completed", window_seconds)
+        lines.append(
+            f"requests  {_fmt_rate(req_rate)}/s   "
+            f"admitted {value('serve.admitted'):.0f}   "
+            f"completed {value('serve.completed'):.0f}   "
+            f"failed {value('serve.failed'):.0f}   "
+            f"rejected {value('serve.rejected'):.0f}   "
+            f"inflight {value('serve.inflight'):.0f}"
+        )
+        lines.append(
+            f"batches   {value('serve.batches'):.0f} dispatched, "
+            f"{value('serve.batched_requests'):.0f} riders   "
+            f"operand cache "
+            f"{_hit_rate(value('serve.cache.hits'), value('serve.cache.misses'))}"
+            f" hit ({value('serve.cache.evictions'):.0f} evictions)   "
+            f"plan cache "
+            f"{_hit_rate(value('plan.cache.hits'), value('plan.cache.misses'))}"
+            " hit"
+        )
+        series = sampler.series("serve.completed")
+        if series is not None and len(series) > 1:
+            deltas = [
+                max(0.0, b[1] - a[1])
+                for a, b in zip(series.points(), series.points()[1:])
+            ]
+            lines.append(f"completed {sparkline(deltas, width - 12)}")
+
+    # -- per-CG utilization (DMA byte rate as the activity proxy) -----
+    cg_rates = []
+    index = 0
+    while f"cg{index}.dma.transactions" in latest:
+        cg_rates.append(
+            sampler.rate(f"cg{index}.dma.bytes_get", window_seconds)
+            + sampler.rate(f"cg{index}.dma.bytes_put", window_seconds)
+        )
+        index += 1
+    if cg_rates:
+        peak = max(cg_rates)
+        lines.append("-" * width)
+        for cg, rate in enumerate(cg_rates):
+            fraction = rate / peak if peak > 0 else 0.0
+            lines.append(
+                f"CG{cg}  {_bar(fraction, width - 24)}  "
+                f"{_fmt_rate(rate)}B/s DMA"
+            )
+
+    # -- session accounting -------------------------------------------
+    if any(name.startswith("session.") for name in latest):
+        lines.append("-" * width)
+        lines.append(
+            f"session   items {value('session.items'):.0f}   "
+            f"failures {value('session.failures'):.0f}   "
+            f"flops {_fmt_rate(value('session.flops'))}   "
+            f"dma {_fmt_rate(value('session.traffic.dma_bytes'))}B   "
+            f"regcomm {_fmt_rate(value('session.traffic.regcomm_bytes'))}B"
+        )
+
+    # -- SLOs ---------------------------------------------------------
+    if slo_table:
+        lines.append("-" * width)
+        lines.extend(slo_table.splitlines())
+
+    # -- alerts -------------------------------------------------------
+    lines.append("-" * width)
+    active = alerts.active() if alerts is not None else ()
+    if active:
+        for alert in active:
+            lines.append(
+                f"ALERT [{alert.severity}] {alert.rule}: {alert.message}"
+            )
+    else:
+        lines.append("alerts: none firing")
+
+    # -- recent events ------------------------------------------------
+    if events is not None:
+        for event in events.tail(3):
+            detail: dict[str, Any] = dict(event.fields)
+            summary = ", ".join(
+                f"{k}={v}" for k, v in list(detail.items())[:3]
+            )
+            lines.append(
+                f"event [{event.level}] {event.kind}"
+                + (f" ({summary})" if summary else "")
+            )
+
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""A leveled, structured event log with JSONL export.
+
+Alerts firing, CGs entering quarantine, caches evicting under pressure
+— discrete *events*, not counters.  :class:`EventLog` records them as
+structured dicts in a bounded ring (memory stays O(capacity) on an
+always-on server), optionally streaming each one as a JSONL line to an
+attached sink the moment it is emitted.
+
+Levels follow the conventional ladder ``debug < info < warning <
+critical``; events below the log's level are counted but not retained,
+so a production log at ``info`` still reports how much debug chatter
+it suppressed.  The per-level counters make the log its own metrics
+source (``events.emitted``, ``events.warning``, ...).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from time import time
+from typing import IO, Any, Callable
+
+from repro.errors import ConfigError
+
+__all__ = ["Event", "EventLog", "LEVELS"]
+
+#: the level ladder; higher numbers are more severe.
+LEVELS: dict[str, int] = {
+    "debug": 10,
+    "info": 20,
+    "warning": 30,
+    "critical": 40,
+}
+
+
+def _level_no(level: str) -> int:
+    try:
+        return LEVELS[str(level).lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown level {level!r} (expected one of {sorted(LEVELS)})"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured event: a leveled kind plus free-form fields."""
+
+    #: monotonically increasing per-log sequence number.
+    seq: int
+    #: wall-clock emission time (``time.time`` seconds).
+    time: float
+    level: str
+    #: machine-readable event kind, e.g. ``"alert.fired"``.
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "time": self.time,
+            "level": self.level,
+            "kind": self.kind,
+            **self.fields,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True, default=str)
+
+
+class EventLog:
+    """Bounded structured event ring with an optional JSONL sink.
+
+    ``level`` filters retention (suppressed events are still counted);
+    ``sink`` is any text stream — each retained event is written to it
+    as one JSON line immediately, so tailing the file follows the
+    system live.  Thread-safe: the serving tier emits from the event
+    loop while the alert engine emits from the sampler thread.
+    """
+
+    def __init__(
+        self,
+        *,
+        level: str = "info",
+        capacity: int = 1024,
+        sink: IO[str] | None = None,
+        clock: Callable[[], float] = time,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        self.level = str(level).lower()
+        self._level_no = _level_no(level)
+        self._events: deque[Event] = deque(maxlen=int(capacity))
+        self._sink = sink
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._counts: dict[str, int] = {name: 0 for name in LEVELS}
+        self._suppressed = 0
+
+    def emit(self, level: str, kind: str, **fields: Any) -> Event | None:
+        """Record one event; returns ``None`` when below the log level."""
+        level_no = _level_no(level)
+        with self._lock:
+            self._seq += 1
+            self._counts[str(level).lower()] += 1
+            if level_no < self._level_no:
+                self._suppressed += 1
+                return None
+            event = Event(
+                seq=self._seq,
+                time=self._clock(),
+                level=str(level).lower(),
+                kind=str(kind),
+                fields=dict(fields),
+            )
+            self._events.append(event)
+            sink = self._sink
+        if sink is not None:
+            sink.write(event.to_json() + "\n")
+        return event
+
+    def debug(self, kind: str, **fields: Any) -> Event | None:
+        return self.emit("debug", kind, **fields)
+
+    def info(self, kind: str, **fields: Any) -> Event | None:
+        return self.emit("info", kind, **fields)
+
+    def warning(self, kind: str, **fields: Any) -> Event | None:
+        return self.emit("warning", kind, **fields)
+
+    def critical(self, kind: str, **fields: Any) -> Event | None:
+        return self.emit("critical", kind, **fields)
+
+    # -- reading ------------------------------------------------------
+
+    def events(self, min_level: str = "debug") -> tuple[Event, ...]:
+        """Retained events at or above ``min_level``, oldest first."""
+        floor = _level_no(min_level)
+        with self._lock:
+            return tuple(
+                e for e in self._events if _level_no(e.level) >= floor
+            )
+
+    def tail(self, n: int) -> tuple[Event, ...]:
+        """The most recent ``n`` retained events, oldest first."""
+        with self._lock:
+            events = tuple(self._events)
+        return events[-n:]
+
+    def to_jsonl(self) -> str:
+        """Every retained event as JSONL (one object per line)."""
+        return "".join(e.to_json() + "\n" for e in self.events())
+
+    def write_jsonl(self, path: str) -> None:
+        """Dump the retained events to a JSONL file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+
+    def stats(self) -> dict[str, float]:
+        """Per-level emission counters (a registry source)."""
+        with self._lock:
+            out: dict[str, float] = {
+                name: float(count) for name, count in self._counts.items()
+            }
+            out["emitted"] = float(self._seq)
+            out["suppressed"] = float(self._suppressed)
+            out["retained"] = float(len(self._events))
+            return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EventLog(level={self.level}, {len(self)} retained, "
+            f"{self._seq} emitted)"
+        )

@@ -1,0 +1,217 @@
+"""Bounded log-bucketed histograms: latency and throughput distributions.
+
+The serving tier used to keep *every* latency sample in a per-bin list
+(``serve/slo.py``), which is unbounded on an always-on server.  A
+:class:`LatencyHistogram` is the HDR-style replacement: a fixed set of
+geometrically spaced buckets whose relative width is the configured
+``growth`` factor, so memory is O(buckets) forever while any quantile
+estimate is off by at most one bucket width (``growth - 1`` relative
+error, ~19% at the default latency scale).
+
+Two invariants make the histogram trustworthy telemetry:
+
+- **exact counts** — ``sum(bucket counts) == count`` always; every
+  recorded observation lands in exactly one bucket (:meth:`validate`
+  re-checks it, the unit tests assert it under merge and overflow);
+- **mergeable buckets** — two histograms built with the same bucket
+  scale merge by adding counts bucket-wise; :meth:`merge` of two
+  streams equals recording their concatenation (property-tested).
+
+The bucket layout is the classic Prometheus *cumulative* ``le``
+(less-or-equal) scheme, so :mod:`repro.obs.promexp` renders a
+histogram family straight from :meth:`bucket_bounds` /
+:meth:`cumulative`.
+
+Instances are not internally locked: every owner here
+(:class:`~repro.serve.slo.SLOTracker`) already serializes access under
+its own lock, and a per-record lock would double the cost of the hot
+``record`` path for nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from collections.abc import Iterable
+
+from repro.errors import ConfigError
+
+__all__ = ["LatencyHistogram"]
+
+
+def _bounds(lowest: float, highest: float, growth: float) -> tuple[float, ...]:
+    """Geometric ``le`` bucket upper bounds from lowest to past highest."""
+    bounds = [lowest]
+    while bounds[-1] < highest:
+        bounds.append(bounds[-1] * growth)
+    bounds.append(math.inf)
+    return tuple(bounds)
+
+
+class LatencyHistogram:
+    """A bounded log-bucketed distribution with exact counts.
+
+    ``lowest`` is the upper bound of the first bucket (everything at or
+    below it, including zero, lands there), ``highest`` the value the
+    finite buckets must reach, and ``growth`` the ratio between
+    consecutive bucket bounds — the relative quantile error.  The last
+    bucket is always ``+inf``, so no observation is ever dropped.
+
+    The default scale suits request latency in seconds (1 us to 1 h at
+    ~19% resolution, 128 buckets).  The ``for_*`` constructors pick
+    scales for the other distributions the pipeline tracks.
+    """
+
+    __slots__ = ("_bounds", "_counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        *,
+        lowest: float = 1e-6,
+        highest: float = 3600.0,
+        growth: float = 2.0 ** 0.25,
+    ) -> None:
+        if not (lowest > 0 and highest > lowest):
+            raise ConfigError(
+                f"need 0 < lowest < highest, got {lowest} and {highest}"
+            )
+        if growth <= 1.0:
+            raise ConfigError(f"growth must be > 1, got {growth}")
+        self._bounds = _bounds(lowest, highest, growth)
+        self._counts = [0] * len(self._bounds)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # -- alternate scales ---------------------------------------------
+
+    @classmethod
+    def for_seconds(cls) -> "LatencyHistogram":
+        """The default latency scale (1 us .. 1 h, ~19% buckets)."""
+        return cls()
+
+    @classmethod
+    def for_gflops(cls) -> "LatencyHistogram":
+        """Per-request Gflop/s (1e-3 .. 1e5, ~41% buckets)."""
+        return cls(lowest=1e-3, highest=1e5, growth=2.0 ** 0.5)
+
+    @classmethod
+    def for_bytes(cls) -> "LatencyHistogram":
+        """Per-request DMA bytes (1 KiB .. 1 TiB, power-of-two buckets)."""
+        return cls(lowest=1024.0, highest=2.0 ** 40, growth=2.0)
+
+    # -- recording ----------------------------------------------------
+
+    def record(self, value: float, n: int = 1) -> None:
+        """Count ``n`` observations of ``value`` in its bucket."""
+        if n < 1:
+            raise ConfigError(f"n must be >= 1, got {n}")
+        value = float(value)
+        if math.isnan(value):
+            raise ConfigError("cannot record NaN")
+        self._counts[bisect_left(self._bounds, value)] += n
+        self.count += n
+        self.sum += value * n
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record every value of an iterable."""
+        for value in values:
+            self.record(value)
+
+    # -- merging ------------------------------------------------------
+
+    def compatible(self, other: "LatencyHistogram") -> bool:
+        """True when the two histograms share one bucket scale."""
+        return self._bounds == other._bounds
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """A new histogram equal to recording both input streams.
+
+        Bucket counts, ``count``, ``min`` and ``max`` are exact;
+        ``sum`` is the float sum of the two partial sums (associativity
+        holds to ~1 ulp, which the property test pins).
+        """
+        if not self.compatible(other):
+            raise ConfigError(
+                "cannot merge histograms with different bucket scales"
+            )
+        out = LatencyHistogram.__new__(LatencyHistogram)
+        out._bounds = self._bounds
+        out._counts = [a + b for a, b in zip(self._counts, other._counts)]
+        out.count = self.count + other.count
+        out.sum = self.sum + other.sum
+        out.min = min(self.min, other.min)
+        out.max = max(self.max, other.max)
+        return out
+
+    # -- reading ------------------------------------------------------
+
+    def bucket_bounds(self) -> tuple[float, ...]:
+        """The ``le`` upper bounds, last one ``+inf``."""
+        return self._bounds
+
+    def cumulative(self) -> tuple[int, ...]:
+        """Cumulative counts per ``le`` bound (Prometheus semantics)."""
+        total = 0
+        out = []
+        for n in self._counts:
+            total += n
+            out.append(total)
+        return tuple(out)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank quantile estimate (q in [0, 100]).
+
+        Returns the upper bound of the bucket holding the rank, clamped
+        to the observed ``max`` so the estimate is never above a value
+        nobody saw (and the +inf bucket never leaks an infinity).
+        """
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(self.count * q / 100.0))
+        total = 0
+        for bound, n in zip(self._bounds, self._counts):
+            total += n
+            if total >= rank:
+                return min(bound, self.max)
+        return self.max  # pragma: no cover - cumulative always reaches
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the recorded values (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def validate(self) -> None:
+        """Assert the exact-count invariant; raises on corruption."""
+        if sum(self._counts) != self.count:
+            raise ConfigError(
+                f"bucket counts sum to {sum(self._counts)} but count is "
+                f"{self.count}"
+            )
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat numeric summary (a ready-made metrics source)."""
+        return {
+            "count": float(self.count),
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LatencyHistogram({self.count} observations over "
+            f"{len(self._bounds)} buckets)"
+        )

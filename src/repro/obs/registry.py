@@ -39,6 +39,23 @@ __all__ = [
 ]
 
 
+#: memoized ``(prefix, key) -> flattened name`` strings.  The counter
+#: name space is small and fixed per process, and a continuous sampler
+#: flattens the same names hundreds of times a second — interning them
+#: keeps per-sample cost to dict lookups instead of string building.
+_NAMES: dict[tuple[str, str], str] = {}
+
+
+def _flat_name(prefix: str, key: object) -> str:
+    raw = key if isinstance(key, str) else str(key)
+    name = _NAMES.get((prefix, raw))
+    if name is None:
+        lowered = raw.lower()
+        name = f"{prefix}.{lowered}" if prefix else lowered
+        _NAMES[(prefix, raw)] = name
+    return name
+
+
 def flatten(prefix: str, data: dict) -> dict:
     """Flatten a (possibly nested) dict into ``prefix.key`` counters.
 
@@ -48,8 +65,13 @@ def flatten(prefix: str, data: dict) -> dict:
     """
     out: dict = {}
     for key, value in data.items():
-        name = f"{prefix}.{str(key).lower()}" if prefix else str(key).lower()
-        if isinstance(value, dict):
+        name = _flat_name(prefix, key)
+        # exact-type fast path first: int/float leaves dominate every
+        # snapshot and ``numbers.Number`` is an abc-machinery check.
+        vt = type(value)
+        if vt is int or vt is float:
+            out[name] = value
+        elif vt is dict or isinstance(value, dict):
             out.update(flatten(name, value))
         elif isinstance(value, numbers.Number) and not isinstance(value, bool):
             out[name] = value
@@ -57,10 +79,12 @@ def flatten(prefix: str, data: dict) -> dict:
 
 
 def _as_mapping(stats: object) -> dict:
+    # dict first: most registry sources are callables returning plain
+    # dicts, and the StatsProtocol check walks the abc registry.
+    if type(stats) is dict or isinstance(stats, dict):
+        return stats
     if isinstance(stats, StatsProtocol):
         return stats.as_dict()
-    if isinstance(stats, dict):
-        return stats
     raise TypeError(
         "metrics source must be a StatsProtocol or dict, got "
         f"{type(stats).__name__}"
@@ -104,6 +128,12 @@ class MetricsRegistry:
     @property
     def namespaces(self) -> tuple[str, ...]:
         return tuple(self._sources)
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Adopt every source of ``other`` (namespace collisions raise)."""
+        for namespace, (source, adapter) in other._sources.items():
+            self.register(namespace, source, adapter)
+        return self
 
     def snapshot(self) -> dict:
         """One flat ``{namespaced_counter: number}`` view of every source."""

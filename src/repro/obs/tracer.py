@@ -282,6 +282,12 @@ class SpanTracer:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._next_index = 0
+        # counter_totals() memo: phase name -> (spans consumed, totals).
+        # The span list is append-only, so totals accumulate
+        # incrementally instead of rescanning history — a continuous
+        # sampler polls totals every few milliseconds for the lifetime
+        # of a server, and a full rescan would grow without bound.
+        self._totals_cache: dict[str | None, tuple[int, dict]] = {}
 
     def _thread_stack(self) -> list[_OpenSpan]:
         stack: list[_OpenSpan] | None = getattr(self._local, "stack", None)
@@ -337,13 +343,18 @@ class SpanTracer:
         exactly with the cumulative runtime counters — the property the
         trace tests assert against ``Session.stats()``.
         """
-        totals: dict = {}
-        for span in self.spans:
-            if name is not None and span.name != name:
-                continue
-            for key, value in span.counters.items():
-                totals[key] = totals.get(key, 0) + value
-        return totals
+        with self._lock:
+            n = len(self.spans)
+            seen, totals = self._totals_cache.get(name, (0, {}))
+            if seen < n:
+                totals = dict(totals)
+                for span in self.spans[seen:n]:
+                    if name is not None and span.name != name:
+                        continue
+                    for key, value in span.counters.items():
+                        totals[key] = totals.get(key, 0) + value
+                self._totals_cache[name] = (n, totals)
+        return dict(totals)
 
     def roots(self) -> list[TraceSpan]:
         """Top-level spans in opening order."""

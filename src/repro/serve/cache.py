@@ -54,6 +54,7 @@ class OperandCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: CacheKey) -> tuple[bool, Any]:
         """Probe the cache; returns ``(hit, copied_value_or_None)``."""
@@ -74,19 +75,29 @@ class OperandCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                self.evictions += 1
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
     def stats(self) -> dict[str, int]:
-        """Flat numeric counters (a ready-made metrics source)."""
+        """Flat numeric counters (a ready-made metrics source).
+
+        Surfaced in the ``serve.cache.*`` namespace of
+        :meth:`ReproServer.metrics_registry
+        <repro.serve.server.ReproServer.metrics_registry>`, so cache
+        effectiveness shows up in sampler snapshots, the OpenMetrics
+        exposition, and the ``top`` dashboard — not just server-
+        internal state.
+        """
         with self._lock:
             return {
                 "entries": len(self._entries),
                 "capacity": self.capacity,
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

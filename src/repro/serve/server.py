@@ -31,7 +31,18 @@ are exactly that request's attributed traffic — so
 
 Threading discipline: bins, timers, the cache, the SLO ledger and all
 counters are touched only on the event-loop thread; the executor
-thread touches only the session and the tracer.
+thread touches only the session and the tracer; the metrics sampler
+thread only *reads* counters (plain int/float loads under the GIL).
+
+The continuous telemetry pipeline rides on top: :meth:`start` arms a
+:class:`~repro.obs.series.MetricsSampler` over
+:meth:`metrics_registry` (every counter becomes a live time series),
+attaches the default :class:`~repro.obs.alerts.AlertEngine` rules to
+it, and — when ``config.metrics_port`` is set — serves the
+:meth:`openmetrics` exposition over a minimal asyncio HTTP endpoint
+(``GET /metrics``, plus ``/healthz``).  Lifecycle transitions and
+alert edges land in :attr:`events`, a structured
+:class:`~repro.obs.events.EventLog`.
 """
 
 from __future__ import annotations
@@ -56,7 +67,11 @@ from repro.api import (
 from repro.core.context import ContextStats
 from repro.core.session import Session
 from repro.errors import ConfigError, UnsupportedShapeError
+from repro.obs.alerts import AlertEngine, default_serve_rules
+from repro.obs.events import EventLog
+from repro.obs.promexp import render_openmetrics
 from repro.obs.registry import MetricsRegistry, flatten
+from repro.obs.series import MetricsSampler
 from repro.obs.tracer import SpanTracer
 from repro.serve.cache import OperandCache
 from repro.serve.config import ServeConfig
@@ -117,6 +132,20 @@ def _delta_meter(traffic: ContextStats) -> Callable[[], dict]:
     return meter
 
 
+def _request_flops(request: Request, shape: tuple[int, int, int]) -> float:
+    """Nominal flop count of one request from its validated shape.
+
+    GEMM and lowered conv do ``2*m*n*k``; blocked LU of an ``n x n``
+    matrix does the classic ``2/3 * n^3`` (``shape`` is ``(n, n,
+    panel)`` there, so the panel width is ignored).
+    """
+    if isinstance(request, LuRequest):
+        n = float(shape[0])
+        return (2.0 / 3.0) * n * n * n
+    m, n, k = shape
+    return 2.0 * float(m) * float(n) * float(k)
+
+
 class ReproServer:
     """Async front end over one session; see the module docstring.
 
@@ -147,7 +176,13 @@ class ReproServer:
             session = Session(**session_kwargs)
         self.session = session
         self.cache = OperandCache(self.config.cache_entries)
-        self.slo = SLOTracker()
+        self.slo = SLOTracker(exact_reservoir=self.config.slo_exact_reservoir)
+        self.events = EventLog(level=self.config.event_level)
+        self.sampler: MetricsSampler | None = None
+        self.alerts: AlertEngine | None = None
+        self.metrics_address: tuple[str, int] | None = None
+        self._metrics_server: asyncio.AbstractServer | None = None
+        self._registry: MetricsRegistry | None = None
         self._bins: dict[BinKey, list[_Pending]] = {}
         self._timers: dict[BinKey, asyncio.TimerHandle] = {}
         self._queue: "asyncio.Queue[list[_Pending] | None]" = asyncio.Queue()
@@ -183,6 +218,33 @@ class ReproServer:
             self._dispatch_loop(), name="repro-serve-dispatch"
         )
         self._started = True
+        registry = self.metrics_registry()
+        if self.config.sampler_period_seconds is not None:
+            self.sampler = MetricsSampler(
+                registry,
+                period_seconds=self.config.sampler_period_seconds,
+                capacity=self.config.sampler_capacity,
+            )
+            if self.config.alerts:
+                self.alerts = AlertEngine(
+                    default_serve_rules(), events=self.events
+                ).attach(self.sampler)
+            self.sampler.start()
+        if self.config.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._serve_metrics,
+                host=self.config.metrics_host,
+                port=self.config.metrics_port,
+            )
+            sock = self._metrics_server.sockets[0]
+            host, port = sock.getsockname()[:2]
+            self.metrics_address = (str(host), int(port))
+        self.events.info(
+            "server.started",
+            sampler_period_seconds=self.config.sampler_period_seconds,
+            metrics_address=self.metrics_address,
+            alerts=self.alerts is not None,
+        )
         return self
 
     async def stop(self) -> None:
@@ -208,6 +270,20 @@ class ReproServer:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
+        if self.sampler is not None:
+            # stop() takes one final sample, so the last window covers
+            # every request answered above.
+            self.sampler.stop()
+        self.events.info(
+            "server.stopped",
+            admitted=self._admitted,
+            completed=self._completed,
+            failed=self._failed,
+        )
         if self._owns_session:
             self.session.close()
 
@@ -247,8 +323,9 @@ class ReproServer:
             )
         try:
             request = as_request(request)
-            request.validate()
+            shape = request.validate()
             bin_label = format_bin(request.shape_bin(self.session.params))
+            flops = _request_flops(request, shape)
         except (ConfigError, UnsupportedShapeError) as exc:
             result = RequestResult(
                 error=RequestError(kind=type(exc).__name__, message=str(exc)),
@@ -312,12 +389,20 @@ class ReproServer:
                 self.cache.put(cache_key, result.value)
         else:
             self._failed += 1
+        gflops: float | None = None
+        if result.ok and result.service_seconds > 0:
+            gflops = flops / result.service_seconds / 1e9
+        dma_bytes: float | None = None
+        if result.traffic is not None and result.traffic.dma_bytes > 0:
+            dma_bytes = float(result.traffic.dma_bytes)
         self.slo.record(
             result.bin or bin_label,
             total_seconds=result.total_seconds,
             queue_seconds=result.queue_seconds,
             service_seconds=result.service_seconds,
             error=not result.ok,
+            gflops=gflops,
+            dma_bytes=dma_bytes,
         )
         return result
 
@@ -504,19 +589,113 @@ class ReproServer:
         return self.slo.report()
 
     def register_metrics(self, registry: MetricsRegistry) -> MetricsRegistry:
-        """Bind the server's counters into a metrics registry.
+        """Bind the server's own counters into a metrics registry.
 
         Namespaces: ``serve.*`` (admission/dispatch counters, cache
         counters under ``serve.cache.*``), ``slo.<bin>.*`` (per-bin
-        counts and percentile seconds), and ``plan.cache.*`` (the
-        session's compiled-index-plan cache — repeated shape-bin
-        batches should show ``hits`` rising while ``builds`` stays at
-        the number of distinct signatures).
+        counts and percentile seconds), ``events.*`` (the structured
+        log's level counters), ``sampler.*`` / ``alerts.*`` (pipeline
+        self-telemetry; empty until :meth:`start` arms them), and —
+        when the session's tracer keeps span totals —
+        ``serve.request.ctx.*``, the summed per-request span deltas
+        that reconcile bit-exactly with ``session.traffic.*``.
+
+        Session-level namespaces (``cg0.dma.*``, ``plan.cache.*``,
+        ``resil.*``, ``session.*``) are *not* registered here — pass a
+        ``Session.metrics_registry()`` in (what :meth:`metrics_registry`
+        does) to get both address spaces without collisions.
         """
         registry.register("serve", self.stats)
         registry.register("slo", self.slo.snapshot)
-        registry.register("plan.cache", lambda: self.session.plan_cache.stats())
+        registry.register("events", self.events.stats)
+        registry.register(
+            "sampler",
+            lambda: self.sampler.stats() if self.sampler is not None else {},
+        )
+        registry.register(
+            "alerts",
+            lambda: self.alerts.stats() if self.alerts is not None else {},
+        )
+        tracer = self.session.tracer
+        if hasattr(tracer, "counter_totals"):
+            registry.register(
+                "serve.request",
+                lambda: tracer.counter_totals("serve.request"),
+            )
         return registry
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The server's full counter address space (built once).
+
+        Composes the session's registry (device, NoC, plan-cache,
+        resilience and session accounting) with the serve-local
+        sources of :meth:`register_metrics`.  This is the registry the
+        attached sampler and the ``/metrics`` endpoint read.
+        """
+        if self._registry is None:
+            self._registry = self.register_metrics(
+                self.session.metrics_registry()
+            )
+        return self._registry
+
+    def openmetrics(self) -> str:
+        """One OpenMetrics text scrape: every counter plus histograms."""
+        return render_openmetrics(
+            self.metrics_registry().snapshot(),
+            self.slo.histogram_families(),
+        )
+
+    async def _serve_metrics(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One HTTP/1.1 exchange on the exposition endpoint.
+
+        Deliberately minimal: read the request line, drain headers,
+        answer ``/metrics`` (OpenMetrics), ``/healthz`` (liveness) or
+        404, close.  Rendering happens on the event-loop thread, which
+        is safe — every source read is a lock-held or GIL-atomic
+        counter snapshot.
+        """
+        try:
+            request_line = await reader.readline()
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            path = path.split("?", 1)[0]
+            if path in ("/metrics", "/"):
+                status = "200 OK"
+                ctype = (
+                    "application/openmetrics-text; "
+                    "version=1.0.0; charset=utf-8"
+                )
+                body = self.openmetrics().encode("utf-8")
+            elif path == "/healthz":
+                status = "200 OK"
+                ctype = "text/plain; charset=utf-8"
+                body = b"ok\n"
+            else:
+                status = "404 Not Found"
+                ctype = "text/plain; charset=utf-8"
+                body = b"not found\n"
+            head = (
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # a scraper hanging up mid-exchange is not an error
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - platform noise
+                pass
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = (

@@ -1,22 +1,37 @@
-"""Per-shape-bin latency percentiles: the server's SLO ledger.
+"""Per-shape-bin latency SLOs on bounded histograms.
 
-Every completed request records its queue/service/total seconds under
-its shape-bin label (``"gemm:64x96x32"``); :meth:`SLOTracker.report`
-renders nearest-rank p50/p95/p99 per bin.  Nearest-rank is the right
-estimator here: it always returns an *observed* sample (no
-interpolation inventing latencies nobody saw), and it is exact at the
-small per-bin counts a test run produces.
+Every completed request records its queue/service/total seconds — and,
+when known, its achieved Gflop/s and DMA bytes — under its shape-bin
+label (``"gemm:64x96x32"``).  Storage is *bounded*: each bin keeps
+log-bucketed :class:`~repro.obs.histogram.LatencyHistogram` instances
+(fixed bucket count forever) plus, optionally, a small ring of the
+most recent total-latency samples for exact percentiles.  The previous
+implementation retained every sample in an unbounded per-bin list and
+re-sorted per percentile call; an always-on server cannot afford
+either.
+
+Percentile policy: while a bin has seen no more samples than the
+reservoir holds, :meth:`SLOTracker.report` sorts the reservoir *once*
+and reads exact nearest-rank p50/p95/p99 — observed values, as before.
+Past that, percentiles come from the histogram (at most one bucket
+width of relative error, ~19% at the latency scale) and the report is
+flagged ``exact=False``.  ``exact_reservoir=0`` disables the reservoir
+entirely for histogram-only operation.
 
 The tracker doubles as a :class:`~repro.obs.registry.MetricsRegistry`
-source: :meth:`snapshot` is a flat numeric dict, so the serving tier's
-SLO state lands in the same namespaced counter space as the device's
-DMA and regcomm counters.
+source (:meth:`snapshot`) and exports its distributions as
+OpenMetrics histogram families (:meth:`histogram_families`) for
+:mod:`repro.obs.promexp`.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.promexp import HistogramFamily
 
 __all__ = ["BinReport", "SLOTracker", "percentile"]
 
@@ -27,6 +42,12 @@ def percentile(samples: list[float], q: float) -> float:
         return 0.0
     ordered = sorted(samples)
     rank = max(1, -(-len(ordered) * q // 100))  # ceil without floats
+    return ordered[int(rank) - 1]
+
+
+def _ranked(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list."""
+    rank = max(1, -(-len(ordered) * q // 100))
     return ordered[int(rank) - 1]
 
 
@@ -43,18 +64,64 @@ class BinReport:
     p99_seconds: float
     mean_queue_seconds: float
     mean_service_seconds: float
+    #: True when percentiles are exact observed samples (reservoir
+    #: covered every record); False when histogram-estimated.
+    exact: bool = True
+    #: median achieved Gflop/s (0 when never recorded for this bin).
+    p50_gflops: float = 0.0
+    #: mean DMA bytes per request (0 when never recorded).
+    mean_dma_bytes: float = 0.0
+
+
+@dataclass
+class _Bin:
+    """One bin's bounded accounting."""
+
+    total: LatencyHistogram = field(
+        default_factory=LatencyHistogram.for_seconds
+    )
+    queue: LatencyHistogram = field(
+        default_factory=LatencyHistogram.for_seconds
+    )
+    service: LatencyHistogram = field(
+        default_factory=LatencyHistogram.for_seconds
+    )
+    gflops: LatencyHistogram = field(
+        default_factory=LatencyHistogram.for_gflops
+    )
+    dma_bytes: LatencyHistogram = field(
+        default_factory=LatencyHistogram.for_bytes
+    )
+    reservoir: deque[float] | None = None
+    errors: int = 0
+    cache_hits: int = 0
 
 
 class SLOTracker:
-    """Accumulates per-bin latency samples and renders percentiles."""
+    """Accumulates per-bin latency distributions and renders reports.
 
-    def __init__(self) -> None:
+    ``exact_reservoir`` bounds the per-bin sample ring kept for exact
+    percentiles (default 1024; 0 keeps no samples at all).  Memory per
+    bin is O(buckets + reservoir) regardless of how long the server
+    runs.
+    """
+
+    def __init__(self, *, exact_reservoir: int = 1024) -> None:
         self._lock = threading.Lock()
-        self._samples: dict[str, list[float]] = {}
-        self._queue: dict[str, float] = {}
-        self._service: dict[str, float] = {}
-        self._errors: dict[str, int] = {}
-        self._cache_hits: dict[str, int] = {}
+        self._bins: dict[str, _Bin] = {}
+        self._reservoir_size = max(0, int(exact_reservoir))
+
+    def _bin(self, label: str) -> _Bin:
+        entry = self._bins.get(label)
+        if entry is None:
+            entry = self._bins[label] = _Bin(
+                reservoir=(
+                    deque(maxlen=self._reservoir_size)
+                    if self._reservoir_size
+                    else None
+                )
+            )
+        return entry
 
     def record(
         self,
@@ -65,40 +132,65 @@ class SLOTracker:
         service_seconds: float = 0.0,
         error: bool = False,
         cache_hit: bool = False,
+        gflops: float | None = None,
+        dma_bytes: float | None = None,
     ) -> None:
         """Record one completed request under its bin label."""
         label = bin_label or "unbinned"
         with self._lock:
-            self._samples.setdefault(label, []).append(float(total_seconds))
-            self._queue[label] = self._queue.get(label, 0.0) + queue_seconds
-            self._service[label] = (
-                self._service.get(label, 0.0) + service_seconds
-            )
+            entry = self._bin(label)
+            entry.total.record(float(total_seconds))
+            entry.queue.record(float(queue_seconds))
+            entry.service.record(float(service_seconds))
+            if entry.reservoir is not None:
+                entry.reservoir.append(float(total_seconds))
+            if gflops is not None:
+                entry.gflops.record(float(gflops))
+            if dma_bytes is not None:
+                entry.dma_bytes.record(float(dma_bytes))
             if error:
-                self._errors[label] = self._errors.get(label, 0) + 1
+                entry.errors += 1
             if cache_hit:
-                self._cache_hits[label] = self._cache_hits.get(label, 0) + 1
+                entry.cache_hits += 1
 
     def report(self) -> tuple[BinReport, ...]:
-        """One :class:`BinReport` per bin, sorted by label."""
+        """One :class:`BinReport` per bin, sorted by label.
+
+        Sorts each bin's reservoir at most once per call (not per
+        percentile, not per record).
+        """
         with self._lock:
             reports = []
-            for label in sorted(self._samples):
-                samples = self._samples[label]
-                count = len(samples)
+            for label in sorted(self._bins):
+                entry = self._bins[label]
+                count = entry.total.count
+                exact = (
+                    entry.reservoir is not None
+                    and count <= self._reservoir_size
+                )
+                if exact and entry.reservoir:
+                    ordered = sorted(entry.reservoir)
+                    p50 = _ranked(ordered, 50)
+                    p95 = _ranked(ordered, 95)
+                    p99 = _ranked(ordered, 99)
+                else:
+                    p50 = entry.total.percentile(50)
+                    p95 = entry.total.percentile(95)
+                    p99 = entry.total.percentile(99)
                 reports.append(
                     BinReport(
                         bin=label,
                         count=count,
-                        errors=self._errors.get(label, 0),
-                        cache_hits=self._cache_hits.get(label, 0),
-                        p50_seconds=percentile(samples, 50),
-                        p95_seconds=percentile(samples, 95),
-                        p99_seconds=percentile(samples, 99),
-                        mean_queue_seconds=self._queue.get(label, 0.0) / count,
-                        mean_service_seconds=(
-                            self._service.get(label, 0.0) / count
-                        ),
+                        errors=entry.errors,
+                        cache_hits=entry.cache_hits,
+                        p50_seconds=p50,
+                        p95_seconds=p95,
+                        p99_seconds=p99,
+                        mean_queue_seconds=entry.queue.mean,
+                        mean_service_seconds=entry.service.mean,
+                        exact=exact,
+                        p50_gflops=entry.gflops.percentile(50),
+                        mean_dma_bytes=entry.dma_bytes.mean,
                     )
                 )
             return tuple(reports)
@@ -118,7 +210,42 @@ class SLOTracker:
             out[f"{report.bin}.p50_seconds"] = report.p50_seconds
             out[f"{report.bin}.p95_seconds"] = report.p95_seconds
             out[f"{report.bin}.p99_seconds"] = report.p99_seconds
+            out[f"{report.bin}.p50_gflops"] = report.p50_gflops
+            out[f"{report.bin}.mean_dma_bytes"] = report.mean_dma_bytes
         return out
+
+    def histogram_families(self) -> tuple[HistogramFamily, ...]:
+        """The per-bin distributions as OpenMetrics histogram families.
+
+        Families: ``serve.latency.total_seconds`` /
+        ``.queue_seconds`` / ``.service_seconds``, ``serve.gflops``
+        and ``serve.dma_bytes``, each labelled by ``bin``.  Bins whose
+        optional distributions never recorded are omitted from those
+        families.
+        """
+        with self._lock:
+            labels = sorted(self._bins)
+
+            def family(
+                name: str, pick: str, skip_empty: bool = False
+            ) -> HistogramFamily:
+                series = []
+                for label in labels:
+                    hist: LatencyHistogram = getattr(self._bins[label], pick)
+                    if skip_empty and hist.count == 0:
+                        continue
+                    series.append((label, hist))
+                return HistogramFamily(
+                    name=name, label="bin", series=tuple(series)
+                )
+
+            return (
+                family("serve.latency.total_seconds", "total"),
+                family("serve.latency.queue_seconds", "queue"),
+                family("serve.latency.service_seconds", "service"),
+                family("serve.gflops", "gflops", skip_empty=True),
+                family("serve.dma_bytes", "dma_bytes", skip_empty=True),
+            )
 
     def render(self) -> str:
         """The human-readable SLO table the CLI prints."""
@@ -131,9 +258,10 @@ class SLOTracker:
             f"{'p50 ms':>8}  {'p95 ms':>8}  {'p99 ms':>8}"
         ]
         for r in reports:
+            marker = "" if r.exact else "~"
             lines.append(
                 f"{r.bin:<{width}}  {r.count:>5}  {r.errors:>3}  "
-                f"{r.cache_hits:>3}  {r.p50_seconds * 1e3:>8.3f}  "
+                f"{r.cache_hits:>3}  {marker}{r.p50_seconds * 1e3:>8.3f}  "
                 f"{r.p95_seconds * 1e3:>8.3f}  {r.p99_seconds * 1e3:>8.3f}"
             )
         return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Property: telemetry never loses a byte or an observation.
+
+Two reconciliation laws back the telemetry pipeline:
+
+1. Sampler deltas telescope.  For any batch mix driven through a live
+   ``Session``, summing the per-sample deltas of each traffic counter
+   must reproduce ``Session.stats().traffic`` bit-exactly — sampling is
+   a lossless re-serialization of the accounting, regardless of how the
+   samples land relative to the work.
+
+2. Histogram merge is concatenation.  Merging two histograms must be
+   indistinguishable from recording both observation streams into one,
+   for every derived quantity the exposition layer reads (cumulative
+   buckets, count, min, max, percentiles).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.api import GemmRequest
+from repro.core.params import BlockingParams
+from repro.core.session import Session
+from repro.obs import LatencyHistogram, MetricsSampler
+
+PARAMS = BlockingParams.small(double_buffered=True)
+
+_DIMS = st.sampled_from([24, 64, 100])
+
+
+@st.composite
+def batch_items(draw):
+    m, n, k = draw(_DIMS), draw(_DIMS), draw(_DIMS)
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    beta = draw(st.sampled_from([0.0, 1.0]))
+    return GemmRequest(
+        rng.standard_normal((m, k)),
+        rng.standard_normal((k, n)),
+        rng.standard_normal((m, n)) if beta else None,
+        beta=beta,
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    waves=st.lists(
+        st.lists(batch_items(), min_size=1, max_size=3),
+        min_size=1,
+        max_size=3,
+    ),
+    pool=st.integers(1, 4),
+)
+def test_sampler_deltas_reconcile_with_session_traffic(waves, pool):
+    with Session(params=PARAMS, n_core_groups=pool) as session:
+        sampler = MetricsSampler(
+            session.metrics_registry(), period_seconds=0.01
+        )
+        sampler.sample_once()  # t=0 baseline, before any traffic
+        for wave in waves:
+            result = session.batch(wave, parallel=True)
+            assert not result.errors
+            sampler.sample_once()  # mid-run samples between waves
+        traffic = session.stats().traffic.as_dict()
+
+    for field, total in traffic.items():
+        name = f"session.traffic.{field}"
+        deltas = sampler.deltas(name)
+        assert len(deltas) == len(waves)
+        assert sum(d for _, d in deltas) == total, field
+        # the series itself telescopes: last - first == total
+        points = sampler.series(name).points()
+        assert points[-1][1] - points[0][1] == total, field
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    waves=st.lists(
+        st.lists(batch_items(), min_size=1, max_size=3),
+        min_size=1,
+        max_size=2,
+    ),
+)
+def test_live_sampler_brackets_all_traffic(waves):
+    """With the background thread running, start()'s baseline and
+    stop()'s closing sample still bracket every byte."""
+    with Session(params=PARAMS, n_core_groups=2) as session:
+        sampler = MetricsSampler(
+            session.metrics_registry(), period_seconds=0.005
+        )
+        with sampler:
+            for wave in waves:
+                assert not session.batch(wave, parallel=True).errors
+        traffic = session.stats().traffic.as_dict()
+
+    assert sampler.errors == 0
+    for field, total in traffic.items():
+        points = sampler.series(f"session.traffic.{field}").points()
+        assert points[0][1] == 0.0, field
+        assert points[-1][1] == total, field
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    left=st.lists(
+        st.floats(0.0, 1e4, allow_nan=False), min_size=0, max_size=40
+    ),
+    right=st.lists(
+        st.floats(0.0, 1e4, allow_nan=False), min_size=0, max_size=40
+    ),
+)
+def test_histogram_merge_equals_concatenated_recording(left, right):
+    a = LatencyHistogram.for_seconds()
+    b = LatencyHistogram.for_seconds()
+    combined = LatencyHistogram.for_seconds()
+    a.extend(left)
+    b.extend(right)
+    combined.extend(left + right)
+
+    merged = a.merge(b)
+    merged.validate()
+    assert merged.cumulative() == combined.cumulative()
+    assert merged.count == combined.count
+    assert merged.min == combined.min
+    assert merged.max == combined.max
+    assert merged.sum == sum(left) + sum(right)
+    for q in (50, 90, 99):
+        assert merged.percentile(q) == combined.percentile(q)
+    # merge is observationally commutative
+    swapped = b.merge(a)
+    assert swapped.cumulative() == merged.cumulative()
+    assert swapped.percentile(95) == merged.percentile(95)

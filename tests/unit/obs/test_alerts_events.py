@@ -1,0 +1,286 @@
+"""Unit tests for the event log, alert rules/engine, and dashboard."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import (
+    AlertEngine,
+    BurnRateRule,
+    EventLog,
+    MetricsRegistry,
+    MetricsSampler,
+    RateThresholdRule,
+    default_serve_rules,
+    render_dashboard,
+    sparkline,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_sampler(source: dict) -> tuple[MetricsSampler, FakeClock]:
+    clock = FakeClock()
+    registry = MetricsRegistry().register("", lambda: source)
+    sampler = MetricsSampler(registry, clock=clock)
+    return sampler, clock
+
+
+class TestEventLog:
+    def test_emit_retains_at_or_above_level(self):
+        log = EventLog(level="warning")
+        assert log.info("quiet") is None
+        event = log.critical("loud", cg=2)
+        assert event is not None and event.fields == {"cg": 2}
+        assert [e.kind for e in log.events()] == ["loud"]
+
+    def test_suppressed_still_counted(self):
+        log = EventLog(level="warning")
+        log.debug("a")
+        log.info("b")
+        stats = log.stats()
+        assert stats["emitted"] == 2.0
+        assert stats["suppressed"] == 2.0
+        assert stats["retained"] == 0.0
+        assert stats["debug"] == 1.0 and stats["info"] == 1.0
+
+    def test_ring_is_bounded(self):
+        log = EventLog(capacity=3)
+        for i in range(10):
+            log.info("e", i=i)
+        assert len(log) == 3
+        assert [e.fields["i"] for e in log.tail(3)] == [7, 8, 9]
+
+    def test_sink_receives_jsonl_immediately(self):
+        sink = io.StringIO()
+        log = EventLog(sink=sink)
+        log.info("hello", x=1)
+        payload = json.loads(sink.getvalue())
+        assert payload["kind"] == "hello" and payload["x"] == 1
+
+    def test_jsonl_round_trip_and_seq_order(self):
+        log = EventLog()
+        log.info("a")
+        log.warning("b")
+        lines = log.to_jsonl().splitlines()
+        seqs = [json.loads(line)["seq"] for line in lines]
+        assert seqs == sorted(seqs)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ConfigError):
+            EventLog(level="loudest")
+        with pytest.raises(ConfigError):
+            EventLog().emit("nope", "kind")
+
+
+class TestRateThresholdRule:
+    def test_fires_above_threshold(self):
+        source = {"evictions": 0}
+        sampler, clock = make_sampler(source)
+        rule = RateThresholdRule(
+            "storm", "evictions", threshold_per_second=10.0,
+            window_seconds=5.0,
+        )
+        sampler.sample_once()
+        clock.now = 1.0
+        source["evictions"] = 100
+        sampler.sample_once()
+        firing, value, threshold = rule.evaluate(sampler)
+        assert firing and value == 100.0 and threshold == 10.0
+
+    def test_zero_threshold_fires_on_any_increase(self):
+        source = {"quarantines": 0}
+        sampler, clock = make_sampler(source)
+        rule = RateThresholdRule(
+            "quarantine", "quarantines", threshold_per_second=0.0,
+        )
+        sampler.sample_once()
+        clock.now = 1.0
+        sampler.sample_once()
+        assert rule.evaluate(sampler)[0] is False
+        source["quarantines"] = 1
+        clock.now = 2.0
+        sampler.sample_once()
+        assert rule.evaluate(sampler)[0] is True
+
+
+class TestBurnRateRule:
+    def _rule(self) -> BurnRateRule:
+        return BurnRateRule(
+            "burn", error_metric="failed", total_metric="admitted",
+            objective=0.01, fast_window_seconds=2.0,
+            slow_window_seconds=10.0, burn_factor=10.0,
+        )
+
+    def test_fires_when_both_windows_burn(self):
+        source = {"failed": 0, "admitted": 0}
+        sampler, clock = make_sampler(source)
+        rule = self._rule()
+        for step in range(1, 6):
+            source["admitted"] = 10 * step
+            source["failed"] = 2 * step  # 20% errors vs 1% objective
+            sampler.sample_once()
+            clock.now += 1.0
+        firing, value, threshold = rule.evaluate(sampler)
+        assert firing and value >= threshold == 10.0
+
+    def test_quiet_traffic_cannot_fire(self):
+        source = {"failed": 0, "admitted": 0}
+        sampler, clock = make_sampler(source)
+        rule = self._rule()
+        sampler.sample_once()
+        clock.now = 1.0
+        sampler.sample_once()
+        assert rule.evaluate(sampler) == (False, 0.0, 10.0)
+
+    def test_window_ordering_enforced(self):
+        with pytest.raises(ConfigError):
+            BurnRateRule(
+                "bad", error_metric="e", total_metric="t",
+                fast_window_seconds=60.0, slow_window_seconds=5.0,
+            )
+
+
+class TestAlertEngine:
+    def test_transitions_emit_fired_and_resolved_events(self):
+        source = {"rejected": 0}
+        sampler, clock = make_sampler(source)
+        events = EventLog()
+        rule = RateThresholdRule(
+            "rejections", "rejected", threshold_per_second=1.0,
+            window_seconds=5.0, severity="warning",
+        )
+        engine = AlertEngine([rule], events=events, clock=clock)
+        sampler.sample_once()
+        clock.now = 1.0
+        source["rejected"] = 50
+        sampler.sample_once()
+        active = engine.evaluate(sampler)
+        assert [a.rule for a in active] == ["rejections"]
+        assert engine.stats()["firing.rejections"] == 1.0
+        # steady state: still firing, no new event.
+        engine.evaluate(sampler)
+        # recovery: rate decays once the window moves past the spike.
+        clock.now = 20.0
+        sampler.sample_once()
+        assert engine.evaluate(sampler) == ()
+        kinds = [e.kind for e in events.events()]
+        assert kinds == ["alert.fired", "alert.resolved"]
+        assert engine.fired == 1 and engine.resolved == 1
+
+    def test_attach_evaluates_per_sample(self):
+        source = {"rejected": 0}
+        sampler, clock = make_sampler(source)
+        engine = AlertEngine(
+            [RateThresholdRule("r", "rejected", threshold_per_second=0.0)],
+            clock=clock,
+        )
+        engine.attach(sampler)
+        sampler.sample_once()
+        clock.now = 1.0
+        source["rejected"] = 3
+        sampler.sample_once()
+        assert engine.evaluations >= 2
+        assert [a.rule for a in engine.active()] == ["r"]
+
+    def test_duplicate_rule_names_rejected(self):
+        rule = RateThresholdRule("dup", "x", threshold_per_second=1.0)
+        with pytest.raises(ConfigError):
+            AlertEngine([rule, rule])
+
+    def test_default_serve_rules_cover_the_issue_list(self):
+        names = {rule.name for rule in default_serve_rules()}
+        assert names == {
+            "slo-burn-rate",
+            "cg-quarantine",
+            "plan-cache-eviction-storm",
+            "operand-cache-eviction-storm",
+            "admission-rejections",
+        }
+
+
+class TestDashboard:
+    def test_sparkline_scales_to_peak(self):
+        line = sparkline([0.0, 1.0, 2.0, 4.0])
+        assert len(line) == 4
+        assert line[0] == " " and line[-1] == "█"
+        assert sparkline([]) == ""
+        assert sparkline([0.0, 0.0]) == "  "
+
+    def test_frame_contains_every_section(self):
+        source = {
+            "serve.admitted": 8.0,
+            "serve.completed": 8.0,
+            "serve.failed": 0.0,
+            "serve.rejected": 0.0,
+            "serve.inflight": 0.0,
+            "serve.batches": 2.0,
+            "serve.batched_requests": 8.0,
+            "serve.cache.hits": 3.0,
+            "serve.cache.misses": 1.0,
+            "serve.cache.evictions": 0.0,
+            "plan.cache.hits": 4.0,
+            "plan.cache.misses": 2.0,
+            "cg0.dma.transactions": 10.0,
+            "cg0.dma.bytes_get": 1000.0,
+            "cg0.dma.bytes_put": 200.0,
+            "cg1.dma.transactions": 0.0,
+            "cg1.dma.bytes_get": 0.0,
+            "cg1.dma.bytes_put": 0.0,
+            "session.items": 8.0,
+            "session.failures": 0.0,
+            "session.flops": 1e9,
+            "session.traffic.dma_bytes": 1200.0,
+            "session.traffic.regcomm_bytes": 900.0,
+        }
+        registry = MetricsRegistry().register("", lambda: source)
+        clock = FakeClock()
+        sampler = MetricsSampler(registry, clock=clock)
+        sampler.started_at = 0.0
+        sampler.sample_once()
+        clock.now = 2.0
+        for key in ("serve.completed", "cg0.dma.bytes_get"):
+            source[key] *= 2
+        sampler.sample_once()
+        events = EventLog()
+        events.warning("cg.quarantined", cg=1)
+        frame = render_dashboard(
+            sampler,
+            slo_table="bin  count\ngemm:1x1x1  8",
+            alerts=AlertEngine([], clock=clock),
+            events=events,
+            clock=clock,
+        )
+        assert "requests" in frame
+        assert "operand cache 75.0% hit" in frame
+        assert "CG0" in frame and "CG1" in frame
+        assert "session   items 8" in frame
+        assert "gemm:1x1x1" in frame
+        assert "alerts: none firing" in frame
+        assert "cg.quarantined" in frame
+
+    def test_firing_alert_rendered(self):
+        source = {"serve.rejected": 0.0}
+        sampler, clock = make_sampler(source)
+        engine = AlertEngine(
+            [RateThresholdRule(
+                "rejections", "serve.rejected", threshold_per_second=0.0,
+                severity="critical",
+            )],
+            clock=clock,
+        )
+        sampler.sample_once()
+        clock.now = 1.0
+        source["serve.rejected"] = 5.0
+        sampler.sample_once()
+        engine.evaluate(sampler)
+        frame = render_dashboard(sampler, alerts=engine, clock=clock)
+        assert "ALERT [critical] rejections" in frame

@@ -1,0 +1,139 @@
+"""Unit tests for the bounded log-bucketed LatencyHistogram."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import LatencyHistogram
+
+
+class TestBuckets:
+    def test_bounds_are_geometric_and_end_with_inf(self):
+        hist = LatencyHistogram(lowest=1.0, highest=8.0, growth=2.0)
+        assert hist.bucket_bounds() == (1.0, 2.0, 4.0, 8.0, math.inf)
+
+    def test_default_scale_is_bounded(self):
+        hist = LatencyHistogram.for_seconds()
+        # memory is O(buckets) forever: 1 us .. 1 h at ~19% growth.
+        assert 100 < len(hist.bucket_bounds()) < 200
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyHistogram(lowest=0.0, highest=1.0)
+        with pytest.raises(ConfigError):
+            LatencyHistogram(lowest=2.0, highest=1.0)
+        with pytest.raises(ConfigError):
+            LatencyHistogram(lowest=1.0, highest=2.0, growth=1.0)
+
+
+class TestRecording:
+    def test_every_observation_lands_in_exactly_one_bucket(self):
+        hist = LatencyHistogram(lowest=1.0, highest=8.0, growth=2.0)
+        for value in (0.0, 0.5, 1.0, 1.5, 3.9, 8.0, 9.0, 1e9):
+            hist.record(value)
+        hist.validate()
+        assert hist.count == 8
+        assert hist.cumulative()[-1] == 8
+
+    def test_below_lowest_and_zero_land_in_first_bucket(self):
+        hist = LatencyHistogram(lowest=1.0, highest=8.0, growth=2.0)
+        hist.record(0.0)
+        hist.record(1.0)  # le semantics: at the bound is inside
+        assert hist.cumulative()[0] == 2
+
+    def test_overflow_lands_in_inf_bucket_not_dropped(self):
+        hist = LatencyHistogram(lowest=1.0, highest=8.0, growth=2.0)
+        hist.record(1e12)
+        assert hist.count == 1
+        hist.validate()
+
+    def test_weighted_record(self):
+        hist = LatencyHistogram()
+        hist.record(0.5, n=5)
+        assert hist.count == 5
+        assert hist.sum == 2.5
+
+    def test_min_max_mean_track_exactly(self):
+        hist = LatencyHistogram()
+        hist.extend([0.25, 0.5, 1.0])
+        assert hist.min == 0.25
+        assert hist.max == 1.0
+        assert hist.mean == pytest.approx(1.75 / 3)
+
+    def test_nan_and_nonpositive_n_rejected(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ConfigError):
+            hist.record(float("nan"))
+        with pytest.raises(ConfigError):
+            hist.record(1.0, n=0)
+
+
+class TestPercentiles:
+    def test_empty_returns_zero(self):
+        assert LatencyHistogram().percentile(50) == 0.0
+
+    def test_estimate_within_one_bucket(self):
+        hist = LatencyHistogram(lowest=1e-3, highest=10.0, growth=2.0)
+        hist.extend([0.010] * 50 + [0.100] * 50)
+        p50 = hist.percentile(50)
+        # nearest-rank p50 is in the 0.010 bucket; its upper bound is
+        # at most one growth factor above the true value.
+        assert 0.010 <= p50 <= 0.010 * 2.0
+
+    def test_clamped_to_observed_max(self):
+        hist = LatencyHistogram(lowest=1.0, highest=8.0, growth=2.0)
+        hist.record(2.5)
+        assert hist.percentile(99) == 2.5
+
+
+class TestMerge:
+    def test_merge_equals_concatenated_recording(self):
+        left = LatencyHistogram(lowest=1.0, highest=64.0, growth=2.0)
+        right = LatencyHistogram(lowest=1.0, highest=64.0, growth=2.0)
+        both = LatencyHistogram(lowest=1.0, highest=64.0, growth=2.0)
+        left.extend([0.5, 3.0, 100.0])
+        right.extend([2.0, 2.0, 64.0])
+        both.extend([0.5, 3.0, 100.0, 2.0, 2.0, 64.0])
+        merged = left.merge(right)
+        merged.validate()
+        assert merged.cumulative() == both.cumulative()
+        assert merged.count == both.count
+        assert merged.min == both.min
+        assert merged.max == both.max
+        assert merged.sum == pytest.approx(both.sum, rel=1e-12)
+
+    def test_incompatible_scales_refuse_to_merge(self):
+        with pytest.raises(ConfigError):
+            LatencyHistogram.for_seconds().merge(
+                LatencyHistogram.for_bytes()
+            )
+
+    def test_merge_leaves_inputs_untouched(self):
+        left = LatencyHistogram()
+        right = LatencyHistogram()
+        left.record(1.0)
+        right.record(2.0)
+        left.merge(right)
+        assert left.count == 1 and right.count == 1
+
+
+class TestSnapshot:
+    def test_flat_numeric_summary(self):
+        hist = LatencyHistogram()
+        hist.extend([0.001, 0.002, 0.004])
+        snap = hist.snapshot()
+        assert snap["count"] == 3.0
+        assert snap["min"] == 0.001
+        assert snap["max"] == 0.004
+        assert snap["p50"] >= 0.001
+        assert all(isinstance(v, float) for v in snap.values())
+
+    def test_empty_snapshot_has_no_infinities(self):
+        snap = LatencyHistogram().snapshot()
+        assert snap["min"] == 0.0 and snap["max"] == 0.0
+
+    def test_len_is_count(self):
+        hist = LatencyHistogram()
+        hist.record(1.0, n=4)
+        assert len(hist) == 4

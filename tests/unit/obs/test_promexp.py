@@ -1,0 +1,110 @@
+"""Unit tests for the OpenMetrics text exposition."""
+
+from repro.obs import (
+    HistogramFamily,
+    LatencyHistogram,
+    format_value,
+    is_counter_name,
+    metric_name,
+    render_openmetrics,
+)
+
+
+class TestNaming:
+    def test_dots_become_underscores_with_prefix(self):
+        assert metric_name("serve.cache.hits") == "repro_serve_cache_hits"
+
+    def test_illegal_characters_sanitized(self):
+        assert (
+            metric_name("slo.gemm:64x96x32.count")
+            == "repro_slo_gemm:64x96x32_count"
+        )
+        assert metric_name("a b-c") == "repro_a_b_c"
+
+    def test_prefixless_name_gets_a_legal_first_character(self):
+        assert metric_name("9lives", prefix="")[0] == "_"
+
+    def test_counter_classification_by_leaf(self):
+        assert is_counter_name("cg0.dma.bytes")
+        assert is_counter_name("serve.request.ctx.dma_bytes")
+        assert is_counter_name("serve.admitted")
+        assert is_counter_name("noc.messages")
+        assert not is_counter_name("serve.inflight")
+        assert not is_counter_name("memory.bytes_peak")
+        assert not is_counter_name("sampler.period_seconds")
+
+
+class TestValues:
+    def test_ints_render_plain(self):
+        assert format_value(23068672) == "23068672"
+
+    def test_floats_round_trip_bit_exactly(self):
+        for value in (0.1, 1e-9, 3.141592653589793, 1234.5678):
+            assert float(format_value(value)) == value
+
+    def test_infinities_spelled_openmetrics_style(self):
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+
+
+class TestRender:
+    def test_counters_get_total_suffix_and_type_lines(self):
+        text = render_openmetrics({"serve.admitted": 6, "serve.inflight": 2})
+        lines = text.splitlines()
+        assert "# TYPE repro_serve_admitted counter" in lines
+        assert "repro_serve_admitted_total 6" in lines
+        assert "# TYPE repro_serve_inflight gauge" in lines
+        assert "repro_serve_inflight 2" in lines
+        assert lines[-1] == "# EOF"
+
+    def test_negative_counter_clamped_to_zero(self):
+        text = render_openmetrics({"x.hits": -3})
+        assert "repro_x_hits_total 0" in text.splitlines()
+
+    def test_name_collisions_deduplicated(self):
+        lines = render_openmetrics({"a.b": 1, "a_b": 2}).splitlines()
+        samples = [ln for ln in lines if ln.startswith("repro_a_b ")]
+        assert samples == ["repro_a_b 1"]
+
+    def test_histogram_family_renders_cumulative_buckets(self):
+        hist = LatencyHistogram(lowest=1.0, highest=4.0, growth=2.0)
+        hist.extend([0.5, 1.5, 100.0])
+        family = HistogramFamily(
+            name="serve.latency.total_seconds",
+            label="bin",
+            series=(("gemm:64x96x32", hist),),
+        )
+        lines = family.render()
+        assert lines[0] == "# TYPE repro_serve_latency_total_seconds histogram"
+        assert (
+            'repro_serve_latency_total_seconds_bucket'
+            '{bin="gemm:64x96x32",le="1.0"} 1' in lines
+        )
+        assert (
+            'repro_serve_latency_total_seconds_bucket'
+            '{bin="gemm:64x96x32",le="+Inf"} 3' in lines
+        )
+        assert (
+            'repro_serve_latency_total_seconds_count'
+            '{bin="gemm:64x96x32"} 3' in lines
+        )
+
+    def test_unlabelled_family_renders_bare_sum_and_count(self):
+        hist = LatencyHistogram(lowest=1.0, highest=2.0, growth=2.0)
+        hist.record(1.0)
+        lines = HistogramFamily(name="x", label="", series=(("", hist),)).render()
+        assert "repro_x_sum 1.0" in lines
+        assert "repro_x_count 1" in lines
+
+    def test_label_values_escaped(self):
+        hist = LatencyHistogram(lowest=1.0, highest=2.0, growth=2.0)
+        hist.record(1.0)
+        family = HistogramFamily(
+            name="x", label="bin", series=(('we"ird\\', hist),)
+        )
+        rendered = "\n".join(family.render())
+        assert 'bin="we\\"ird\\\\"' in rendered
+
+    def test_full_scrape_ends_with_eof_newline(self):
+        text = render_openmetrics({"a.count": 1})
+        assert text.endswith("# EOF\n")

@@ -1,0 +1,145 @@
+"""Unit tests for TimeSeries rings and the MetricsSampler."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import MetricsRegistry, MetricsSampler, TimeSeries
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTimeSeries:
+    def test_capacity_floor(self):
+        with pytest.raises(ConfigError):
+            TimeSeries(1)
+
+    def test_ring_overwrites_oldest(self):
+        series = TimeSeries(3)
+        for t in range(5):
+            series.push(float(t), float(10 * t))
+        assert len(series) == 3
+        assert series.points() == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+        assert series.latest() == (4.0, 40.0)
+
+    def test_window_selects_trailing_points(self):
+        series = TimeSeries(8)
+        for t in range(6):
+            series.push(float(t), float(t))
+        assert series.window(2.0) == [(3.0, 3.0), (4.0, 4.0), (5.0, 5.0)]
+        assert series.window(2.0, now=10.0) == []
+
+    def test_delta_and_rate(self):
+        series = TimeSeries(8)
+        series.push(0.0, 100.0)
+        series.push(2.0, 150.0)
+        assert series.delta(10.0) == 50.0
+        assert series.rate(10.0) == 25.0
+
+    def test_rate_clamps_counter_resets(self):
+        series = TimeSeries(4)
+        series.push(0.0, 100.0)
+        series.push(1.0, 5.0)
+        assert series.rate(10.0) == 0.0
+
+    def test_underdetermined_is_zero(self):
+        series = TimeSeries(4)
+        assert series.delta(1.0) == 0.0
+        series.push(0.0, 1.0)
+        assert series.rate(1.0) == 0.0
+        assert series.latest() == (0.0, 1.0)
+
+
+class TestMetricsSampler:
+    def _sampler(self, source: dict, capacity: int = 16) -> MetricsSampler:
+        registry = MetricsRegistry().register("src", lambda: source)
+        return MetricsSampler(
+            registry, period_seconds=0.01, capacity=capacity,
+            clock=FakeClock(),
+        )
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ConfigError):
+            MetricsSampler(MetricsRegistry(), period_seconds=0.0)
+
+    def test_sample_once_builds_one_series_per_counter(self):
+        source = {"a": 1, "b": 2}
+        sampler = self._sampler(source)
+        sampler.sample_once()
+        source["a"] = 5
+        sampler.sample_once()
+        assert sampler.names() == ("src.a", "src.b")
+        assert sampler.latest() == {"src.a": 5.0, "src.b": 2.0}
+        assert sampler.samples == 2
+
+    def test_deltas_telescope_to_last_minus_first(self):
+        source = {"n": 0}
+        sampler = self._sampler(source)
+        clock = sampler.clock
+        for value in (0, 3, 7, 7, 20):
+            source["n"] = value
+            sampler.sample_once()
+            clock.now += 1.0
+        deltas = sampler.deltas("src.n")
+        assert [d for _, d in deltas] == [3.0, 4.0, 0.0, 13.0]
+        assert sum(d for _, d in deltas) == 20.0
+
+    def test_window_delta_and_rate_lookup(self):
+        source = {"n": 0}
+        sampler = self._sampler(source)
+        clock = sampler.clock
+        for value in (0, 10, 30):
+            source["n"] = value
+            sampler.sample_once()
+            clock.now += 1.0
+        assert sampler.delta("src.n", 10.0) == 30.0
+        assert sampler.rate("src.n", 10.0) == 15.0
+        assert sampler.delta("missing", 10.0) == 0.0
+        assert sampler.rate("missing", 10.0) == 0.0
+
+    def test_source_errors_counted_not_raised(self):
+        registry = MetricsRegistry().register(
+            "bad", lambda: (_ for _ in ()).throw(RuntimeError("boom"))
+        )
+        sampler = MetricsSampler(registry, clock=FakeClock())
+        assert sampler.sample_once() == {}
+        assert sampler.errors == 1
+        assert sampler.samples == 0
+
+    def test_listener_runs_and_errors_are_contained(self):
+        source = {"a": 1}
+        sampler = self._sampler(source)
+        seen = []
+        sampler.add_listener(lambda s, snap: seen.append(dict(snap)))
+        sampler.add_listener(lambda s, snap: 1 / 0)
+        sampler.sample_once()
+        assert seen == [{"src.a": 1}]
+        assert sampler.errors == 1
+
+    def test_thread_lifecycle_brackets_run_with_samples(self):
+        source = {"n": 0}
+        registry = MetricsRegistry().register("src", lambda: source)
+        sampler = MetricsSampler(registry, period_seconds=0.002)
+        with sampler:
+            assert sampler.running
+            source["n"] = 42
+        assert not sampler.running
+        # start() took a baseline, stop() took a closing sample, so the
+        # full change is covered regardless of thread timing.
+        assert sampler.samples >= 2
+        pts = sampler.series("src.n").points()
+        assert pts[0][1] == 0.0 and pts[-1][1] == 42.0
+
+    def test_stats_is_a_registry_source(self):
+        sampler = self._sampler({"a": 1})
+        sampler.sample_once()
+        stats = sampler.stats()
+        assert stats["samples"] == 1.0
+        assert stats["errors"] == 0.0
+        assert stats["series"] == 1.0
+        assert stats["period_seconds"] == 0.01

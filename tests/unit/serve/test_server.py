@@ -284,6 +284,127 @@ class TestReconciliation:
         run(scenario())
 
 
+class TestTelemetry:
+    def test_sampler_runs_for_the_server_lifetime(self):
+        async def scenario():
+            config = ServeConfig(
+                window_seconds=0.01, sampler_period_seconds=0.005
+            )
+            async with make_server(config) as server:
+                assert server.sampler is not None
+                assert server.sampler.running
+                generator = LoadGenerator(seed=3, params=PARAMS)
+                await generator.run(
+                    server, generator.generate(4), concurrency=4
+                )
+                sampler = server.sampler
+            assert not sampler.running
+            assert sampler.errors == 0
+            # baseline + final samples bracket the run.
+            points = sampler.series("serve.admitted").points()
+            assert points[0][1] == 0.0 and points[-1][1] == 4.0
+
+        run(scenario())
+
+    def test_sampler_and_alerts_can_be_disabled(self):
+        async def scenario():
+            config = ServeConfig(
+                sampler_period_seconds=None, alerts=False
+            )
+            async with make_server(config) as server:
+                assert server.sampler is None
+                assert server.alerts is None
+
+        run(scenario())
+
+    def test_metrics_registry_is_cached_and_composed(self):
+        async def scenario():
+            async with make_server() as server:
+                registry = server.metrics_registry()
+                assert registry is server.metrics_registry()
+                snap = registry.snapshot()
+                # serving tier, session tier, and obs tier all present.
+                assert "serve.admitted" in snap
+                assert "cg0.dma.transactions" in snap
+                assert "plan.cache.hits" in snap
+                assert "events.emitted" in snap
+                assert "sampler.samples" in snap
+
+        run(scenario())
+
+    def test_openmetrics_text_is_valid_and_reconciles(self):
+        async def scenario():
+            config = ServeConfig(window_seconds=0.01)
+            async with make_server(config) as server:
+                generator = LoadGenerator(seed=4, params=PARAMS)
+                results = await generator.run(
+                    server, generator.generate(6), concurrency=6
+                )
+                assert all(r.ok for r in results)
+                text = server.openmetrics()
+                totals = server.session.stats().traffic.as_dict()
+            assert text.endswith("# EOF\n")
+            assert "# TYPE repro_serve_admitted counter" in text
+            assert "# TYPE repro_serve_latency_total_seconds histogram" in text
+            samples = {}
+            for line in text.splitlines():
+                if line.startswith("#") or "{" in line:
+                    continue
+                name, _, value = line.partition(" ")
+                samples[name] = value
+            for field, total in totals.items():
+                key = f"repro_serve_request_ctx_{field}_total"
+                assert int(samples[key]) == total, field
+
+        run(scenario())
+
+    def test_http_endpoint_serves_scrapes_and_health(self):
+        async def fetch(address, target):
+            reader, writer = await asyncio.open_connection(*address)
+            writer.write(
+                f"GET {target} HTTP/1.1\r\nHost: x\r\n\r\n".encode()
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            head, _, body = raw.decode().partition("\r\n\r\n")
+            return head.splitlines()[0], body
+
+        async def scenario():
+            config = ServeConfig(metrics_port=0)
+            async with make_server(config) as server:
+                assert server.metrics_address is not None
+                status, body = await fetch(
+                    server.metrics_address, "/metrics"
+                )
+                assert " 200 " in status
+                assert body.endswith("# EOF\n")
+                status, body = await fetch(
+                    server.metrics_address, "/healthz"
+                )
+                assert " 200 " in status and body == "ok\n"
+                status, _ = await fetch(
+                    server.metrics_address, "/nope"
+                )
+                assert " 404 " in status
+
+        run(scenario())
+
+    def test_lifecycle_events_are_logged(self):
+        async def scenario():
+            server = make_server()
+            await server.start()
+            await server.submit(GemmRequest(a=np.eye(8), b=np.eye(8)))
+            await server.stop()
+            kinds = [e.kind for e in server.events.events()]
+            assert kinds[0] == "server.started"
+            assert kinds[-1] == "server.stopped"
+            stopped = server.events.events()[-1]
+            assert stopped.fields["completed"] == 1
+
+        run(scenario())
+
+
 class TestLifecycle:
     def test_submit_before_start_raises(self):
         async def scenario():

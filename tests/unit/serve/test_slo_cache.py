@@ -55,6 +55,73 @@ class TestSLOTracker:
         assert "p99" in table
 
 
+class TestSLOTrackerHistogramBacking:
+    def test_memory_is_bounded_but_percentiles_stay_useful(self):
+        slo = SLOTracker(exact_reservoir=100)
+        for i in range(10_000):
+            slo.record("gemm:64x64x64", total_seconds=0.001 * (1 + i % 10))
+        report = slo.report()[0]
+        assert report.count == 10_000
+        assert not report.exact  # reservoir overflowed -> histogram
+        # log buckets guarantee at most one growth factor of error.
+        assert 0.005 <= report.p50_seconds <= 0.005 * 1.25
+
+    def test_small_bins_report_exact_percentiles(self):
+        slo = SLOTracker()
+        for ms in (1, 2, 3):
+            slo.record("gemm:8x8x8", total_seconds=ms / 1e3)
+        report = slo.report()[0]
+        assert report.exact
+        assert report.p50_seconds == 0.002  # an observed sample
+
+    def test_zero_reservoir_disables_exact_mode(self):
+        slo = SLOTracker(exact_reservoir=0)
+        slo.record("gemm:8x8x8", total_seconds=0.004)
+        assert not slo.report()[0].exact
+
+    def test_gflops_and_dma_bytes_distributions(self):
+        slo = SLOTracker()
+        slo.record(
+            "gemm:64x64x64",
+            total_seconds=0.01,
+            gflops=12.0,
+            dma_bytes=4096.0,
+        )
+        slo.record("gemm:64x64x64", total_seconds=0.01)  # a cache hit
+        report = slo.report()[0]
+        assert report.p50_gflops > 0
+        assert report.mean_dma_bytes == 4096.0
+        snap = slo.snapshot()
+        assert snap["gemm:64x64x64.p50_gflops"] == report.p50_gflops
+
+    def test_histogram_families_cover_all_latency_bins(self):
+        slo = SLOTracker()
+        slo.record("gemm:64x64x64", total_seconds=0.01, gflops=3.0)
+        slo.record("lu:128x32", total_seconds=0.02)
+        families = {f.name: f for f in slo.histogram_families()}
+        total = families["serve.latency.total_seconds"]
+        assert [label for label, _ in total.series] == [
+            "gemm:64x64x64",
+            "lu:128x32",
+        ]
+        assert total.label == "bin"
+        # optional distributions omit bins that never recorded them.
+        gflops = families["serve.gflops"]
+        assert [label for label, _ in gflops.series] == ["gemm:64x64x64"]
+
+    def test_queue_and_service_means(self):
+        slo = SLOTracker()
+        slo.record(
+            "gemm:8x8x8",
+            total_seconds=0.010,
+            queue_seconds=0.004,
+            service_seconds=0.006,
+        )
+        report = slo.report()[0]
+        assert report.mean_queue_seconds == pytest.approx(0.004)
+        assert report.mean_service_seconds == pytest.approx(0.006)
+
+
 class TestOperandCache:
     def test_hit_returns_an_independent_copy(self):
         cache = OperandCache(4)
@@ -90,6 +157,15 @@ class TestOperandCache:
         cache.put(("h", SubmitOptions()), 1)
         assert not cache.get(("h", SubmitOptions()))[0]
         assert cache.stats()["entries"] == 0
+
+    def test_evictions_are_counted(self):
+        cache = OperandCache(2)
+        opts = SubmitOptions()
+        for key in ("a", "b", "c", "d"):
+            cache.put((key, opts), 1)
+        stats = cache.stats()
+        assert stats["evictions"] == 2
+        assert stats["entries"] == 2
 
 
 class TestServeConfig:

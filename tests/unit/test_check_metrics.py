@@ -1,0 +1,161 @@
+"""Unit tests for tools/check_metrics.py (the OpenMetrics validator)."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.obs import HistogramFamily, LatencyHistogram, render_openmetrics
+
+CHECK_METRICS = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "tools" / "check_metrics.py"
+)
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_metrics", CHECK_METRICS
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def render_sample_scrape(counter: int = 5) -> str:
+    hist = LatencyHistogram(lowest=0.001, highest=1.0, growth=2.0)
+    hist.extend([0.002, 0.01, 5.0])
+    return render_openmetrics(
+        {
+            "serve.admitted": counter,
+            "serve.inflight": 2,
+            "slo.gemm:64x96x32.p50_seconds": 0.0125,
+        },
+        families=(
+            HistogramFamily(
+                name="serve.latency.total_seconds",
+                label="bin",
+                series=(("gemm:64x96x32", hist),),
+            ),
+        ),
+    )
+
+
+class TestValidateText:
+    def test_rendered_scrape_is_clean(self, checker):
+        assert checker.validate_text(render_sample_scrape()) == []
+
+    def test_missing_eof_flagged(self, checker):
+        text = render_sample_scrape().replace("# EOF\n", "")
+        assert any("EOF" in e for e in checker.validate_text(text))
+
+    def test_counter_without_total_suffix_flagged(self, checker):
+        text = "# TYPE repro_x counter\nrepro_x 5\n# EOF"
+        errors = checker.validate_text(text)
+        assert any("_total" in e for e in errors)
+
+    def test_negative_counter_flagged(self, checker):
+        text = "# TYPE repro_x counter\nrepro_x_total -1\n# EOF"
+        assert any("negative" in e for e in checker.validate_text(text))
+
+    def test_sample_without_type_flagged(self, checker):
+        text = "repro_x 1\n# EOF"
+        assert any("TYPE" in e for e in checker.validate_text(text))
+
+    def test_duplicate_type_flagged(self, checker):
+        text = (
+            "# TYPE repro_x gauge\nrepro_x 1\n"
+            "# TYPE repro_x gauge\nrepro_x 2\n# EOF"
+        )
+        assert any("duplicate" in e for e in checker.validate_text(text))
+
+    def test_non_cumulative_histogram_flagged(self, checker):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1.0"} 5\n'
+            'repro_h_bucket{le="+Inf"} 3\n'
+            "repro_h_sum 1.0\n"
+            "repro_h_count 3\n"
+            "# EOF"
+        )
+        assert any(
+            "cumulative" in e for e in checker.validate_text(text)
+        )
+
+    def test_inf_bucket_must_equal_count(self, checker):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1.0"} 2\n'
+            'repro_h_bucket{le="+Inf"} 3\n'
+            "repro_h_sum 1.0\n"
+            "repro_h_count 7\n"
+            "# EOF"
+        )
+        assert any(
+            "exact-count" in e for e in checker.validate_text(text)
+        )
+
+    def test_histogram_missing_sum_flagged(self, checker):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 1\n'
+            "repro_h_count 1\n"
+            "# EOF"
+        )
+        assert any("_sum" in e for e in checker.validate_text(text))
+
+    def test_unparseable_sample_flagged(self, checker):
+        text = "# TYPE repro_x gauge\nrepro_x one two three\n# EOF"
+        assert any(
+            "unparseable" in e or "bad value" in e
+            for e in checker.validate_text(text)
+        )
+
+    def test_empty_scrape_flagged(self, checker):
+        assert any(
+            "no samples" in e for e in checker.validate_text("# EOF")
+        )
+
+
+class TestCompareScrapes:
+    def test_monotonic_counters_pass(self, checker):
+        first = render_sample_scrape(counter=5)
+        second = render_sample_scrape(counter=9)
+        assert checker.compare_scrapes(first, second) == []
+
+    def test_decreasing_counter_flagged(self, checker):
+        first = render_sample_scrape(counter=9)
+        second = render_sample_scrape(counter=5)
+        errors = checker.compare_scrapes(first, second)
+        assert any("decreased" in e for e in errors)
+
+    def test_gauges_may_decrease(self, checker):
+        first = "# TYPE repro_g gauge\nrepro_g 9\n# EOF"
+        second = "# TYPE repro_g gauge\nrepro_g 1\n# EOF"
+        assert checker.compare_scrapes(first, second) == []
+
+
+class TestMain:
+    def test_ok_pair_exits_zero(self, checker, tmp_path, capsys):
+        one = tmp_path / "one.prom"
+        two = tmp_path / "two.prom"
+        one.write_text(render_sample_scrape(counter=1))
+        two.write_text(render_sample_scrape(counter=4))
+        assert checker.main(["check", str(one), str(two)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "monotonic" in out
+
+    def test_violation_exits_one(self, checker, tmp_path, capsys):
+        bad = tmp_path / "bad.prom"
+        bad.write_text("repro_x 1\n")
+        assert checker.main(["check", str(bad)]) == 1
+        assert "TYPE" in capsys.readouterr().err
+
+    def test_usage_exits_two(self, checker, capsys):
+        assert checker.main(["check"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_unreadable_file_exits_one(self, checker, tmp_path, capsys):
+        assert checker.main(["check", str(tmp_path / "none.prom")]) == 1
+        assert "unreadable" in capsys.readouterr().err

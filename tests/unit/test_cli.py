@@ -6,9 +6,11 @@ import pytest
 
 from repro.cli import (
     build_chaos_parser,
+    build_metrics_parser,
     build_parser,
     build_schedule_parser,
     build_serve_parser,
+    build_top_parser,
     build_trace_parser,
     main,
     parse_fault_spec,
@@ -210,3 +212,64 @@ class TestServe:
                      "--cache-wave", "0"]) == 0
         out = capsys.readouterr().out
         assert "0 dropped" in out
+
+    def test_smoke_writes_scrapes_that_validate(self, capsys, tmp_path):
+        one = tmp_path / "one.prom"
+        two = tmp_path / "two.prom"
+        assert main([
+            "serve", "--smoke",
+            "--metrics-out", str(one), "--metrics-out2", str(two),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sampler:" in out and "(0 errors)" in out
+        for path in (one, two):
+            text = path.read_text()
+            assert text.endswith("# EOF\n")
+            assert "# TYPE repro_serve_admitted counter" in text
+
+
+class TestMetrics:
+    def test_parser_defaults(self):
+        args = build_metrics_parser().parse_args([])
+        assert args.items > 0
+        assert args.url is None
+
+    def test_two_scrapes_to_files(self, capsys, tmp_path):
+        one = tmp_path / "one.prom"
+        two = tmp_path / "two.prom"
+        assert main([
+            "metrics", "--items", "4",
+            "--out", str(one), "--out2", str(two),
+        ]) == 0
+        first, second = one.read_text(), two.read_text()
+        assert first.endswith("# EOF\n") and second.endswith("# EOF\n")
+
+        def value(text, name):
+            for line in text.splitlines():
+                if line.startswith(name + " "):
+                    return float(line.split()[1])
+            return None
+
+        # counters advance between the two scrapes.
+        counter = "repro_session_items_total"
+        assert value(first, counter) == 4.0
+        assert value(second, counter) == 8.0
+
+    def test_single_scrape_to_stdout(self, capsys):
+        assert main(["metrics", "--items", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "# EOF" in out
+
+
+class TestTop:
+    def test_parser_defaults(self):
+        args = build_top_parser().parse_args([])
+        assert args.interval > 0
+        assert not args.once
+
+    def test_once_renders_a_full_frame(self, capsys):
+        assert main(["top", "--once", "--requests", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "requests" in out
+        assert "CG0" in out
+        assert "alerts:" in out

@@ -1,0 +1,305 @@
+#!/usr/bin/env python3
+"""Validate OpenMetrics text scrapes emitted by ``repro.obs.promexp``.
+
+Checks the exposition-format invariants a Prometheus scraper relies
+on, plus the repo's own telemetry contracts:
+
+- every sample line parses as ``name[{labels}] value`` with a legal
+  metric name (``[a-zA-Z_:][a-zA-Z0-9_:]*``) and a finite value;
+- every sample belongs to a family declared by a preceding ``# TYPE``
+  line, each family is declared exactly once, and the declared type
+  matches the sample shape: ``counter`` samples end in ``_total`` and
+  are non-negative, ``histogram`` samples are ``_bucket``/``_sum``/
+  ``_count``;
+- per histogram series (one label set): bucket counts are cumulative
+  (non-decreasing as ``le`` grows), the ``le`` bounds are strictly
+  increasing and end with ``+Inf``, and the ``+Inf`` bucket equals the
+  series' ``_count`` — the exact-count invariant of
+  :class:`repro.obs.histogram.LatencyHistogram`;
+- the scrape ends with the mandatory ``# EOF`` terminator.
+
+Given **two** scrape files (taken from the same process, second one
+later), additionally checks that every ``counter`` sample present in
+both is monotonically non-decreasing.
+
+Run standalone (CI does, on the ``repro-dgemm serve --smoke``
+scrapes)::
+
+    python tools/check_metrics.py scrape1.prom [scrape2.prom]
+
+Exits 0 when valid, 1 with one line per violation otherwise.  The
+test suite imports :func:`validate_text` and :func:`compare_scrapes`
+directly.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+from pathlib import Path
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+_TYPES = frozenset({"counter", "gauge", "histogram"})
+
+
+def _parse_value(text: str) -> float | None:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _family_of(name: str) -> tuple[str, str]:
+    """Split a sample name into (family, suffix) per OpenMetrics rules."""
+    for suffix in ("_total", "_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)], suffix
+    return name, ""
+
+
+def _label_value(labels: str, key: str) -> str | None:
+    match = re.search(rf'{key}="((?:[^"\\]|\\.)*)"', labels)
+    return match.group(1) if match else None
+
+
+def parse_samples(text: str) -> dict[str, float]:
+    """Every unlabelled sample of a scrape as ``{name: value}``.
+
+    Labelled samples (histogram buckets) are skipped — this is the
+    parse the cross-scrape counter monotonicity check runs on.
+    """
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None or match.group("labels") is not None:
+            continue
+        value = _parse_value(match.group("value"))
+        if value is not None:
+            out[match.group("name")] = value
+    return out
+
+
+def _check_histogram_series(
+    family: str,
+    label_set: str,
+    buckets: list[tuple[float, float]],
+    count: float | None,
+    errors: list[str],
+) -> None:
+    where = f"histogram {family}" + (f"{{{label_set}}}" if label_set else "")
+    if not buckets:
+        errors.append(f"{where}: has _sum/_count but no _bucket samples")
+        return
+    bounds = [b for b, _ in buckets]
+    if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+        errors.append(f"{where}: le bounds are not strictly increasing")
+    if not math.isinf(bounds[-1]):
+        errors.append(f"{where}: last bucket must be le=\"+Inf\"")
+    counts = [c for _, c in buckets]
+    if any(b > a for b, a in zip(counts, counts[1:])):
+        errors.append(f"{where}: bucket counts are not cumulative")
+    if count is None:
+        errors.append(f"{where}: missing _count sample")
+    elif counts and counts[-1] != count:
+        errors.append(
+            f"{where}: +Inf bucket {counts[-1]:g} != _count {count:g} "
+            "(exact-count invariant)"
+        )
+
+
+def validate_text(text: str) -> list[str]:
+    """Return every violation found in one OpenMetrics scrape."""
+    errors: list[str] = []
+    lines = text.splitlines()
+    if not lines or lines[-1].strip() != "# EOF":
+        errors.append("scrape does not end with the # EOF terminator")
+    types: dict[str, str] = {}
+    #: histogram state: (family, label_set) -> ([(le, count)], _count)
+    hist_buckets: dict[tuple[str, str], list[tuple[float, float]]] = {}
+    hist_counts: dict[tuple[str, str], float] = {}
+    hist_sums: set[tuple[str, str]] = set()
+    samples_seen = 0
+
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "EOF":
+                if lineno != len(lines):
+                    errors.append(f"line {lineno}: # EOF before end of scrape")
+                continue
+            if len(parts) != 4 or parts[1] != "TYPE":
+                errors.append(f"line {lineno}: malformed comment {line!r}")
+                continue
+            _, _, family, mtype = parts
+            if not _NAME_RE.match(family):
+                errors.append(f"line {lineno}: bad family name {family!r}")
+            if mtype not in _TYPES:
+                errors.append(
+                    f"line {lineno}: unknown type {mtype!r} for {family}"
+                )
+            if family in types:
+                errors.append(f"line {lineno}: duplicate TYPE for {family}")
+            types[family] = mtype
+            continue
+
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        samples_seen += 1
+        name = match.group("name")
+        labels = match.group("labels") or ""
+        value = _parse_value(match.group("value"))
+        if value is None or math.isnan(value):
+            errors.append(
+                f"line {lineno}: {name}: bad value {match.group('value')!r}"
+            )
+            continue
+        family, suffix = _family_of(name)
+        mtype = types.get(family)
+        if mtype is None and suffix:
+            # "_total" etc. may be part of the metric name proper for a
+            # gauge; retry against the undivided name.
+            family, suffix, mtype = name, "", types.get(name)
+        if mtype is None:
+            errors.append(
+                f"line {lineno}: sample {name} has no preceding # TYPE"
+            )
+            continue
+        if mtype == "counter":
+            if suffix != "_total":
+                errors.append(
+                    f"line {lineno}: counter sample {name} must use the "
+                    "_total suffix"
+                )
+            if value < 0:
+                errors.append(
+                    f"line {lineno}: counter {name} is negative ({value:g})"
+                )
+        elif mtype == "histogram":
+            key = (family, labels and _strip_le(labels))
+            if suffix == "_bucket":
+                le_text = _label_value(labels, "le")
+                le = _parse_value(le_text) if le_text is not None else None
+                if le is None:
+                    errors.append(
+                        f"line {lineno}: histogram bucket without a "
+                        f"parseable le label: {line!r}"
+                    )
+                    continue
+                hist_buckets.setdefault(key, []).append((le, value))
+            elif suffix == "_count":
+                hist_counts[key] = value
+            elif suffix == "_sum":
+                hist_sums.add(key)
+            else:
+                errors.append(
+                    f"line {lineno}: sample {name} is not a histogram "
+                    "sample shape (_bucket/_sum/_count)"
+                )
+
+    for key, buckets in hist_buckets.items():
+        family, label_set = key
+        _check_histogram_series(
+            family, label_set, buckets, hist_counts.get(key), errors
+        )
+        if key not in hist_sums:
+            errors.append(
+                f"histogram {family}"
+                + (f"{{{label_set}}}" if label_set else "")
+                + ": missing _sum sample"
+            )
+    for key in set(hist_counts) - set(hist_buckets):
+        family, label_set = key
+        _check_histogram_series(
+            family, label_set, [], hist_counts.get(key), errors
+        )
+
+    if samples_seen == 0:
+        errors.append("scrape contains no samples")
+    return errors
+
+
+def _strip_le(labels: str) -> str:
+    """The label set identifying one histogram series (le removed)."""
+    parts = [
+        p for p in labels.split(",")
+        if p and not p.lstrip().startswith("le=")
+    ]
+    return ",".join(parts)
+
+
+def compare_scrapes(first: str, second: str) -> list[str]:
+    """Violations of counter monotonicity between two ordered scrapes."""
+    counter_families = {
+        line.split()[2]
+        for line in second.splitlines()
+        if line.startswith("# TYPE ") and line.rstrip().endswith(" counter")
+    }
+    before = parse_samples(first)
+    after = parse_samples(second)
+    errors: list[str] = []
+    for name in sorted(set(before) & set(after)):
+        family, suffix = _family_of(name)
+        if suffix != "_total" or family not in counter_families:
+            continue
+        if after[name] < before[name]:
+            errors.append(
+                f"counter {name} decreased between scrapes: "
+                f"{before[name]:g} -> {after[name]:g}"
+            )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) not in (2, 3):
+        print(
+            f"usage: {Path(argv[0]).name} SCRAPE [SECOND_SCRAPE]",
+            file=sys.stderr,
+        )
+        return 2
+    texts: list[str] = []
+    for arg in argv[1:]:
+        path = Path(arg)
+        try:
+            texts.append(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            print(f"{path}: unreadable scrape: {exc}", file=sys.stderr)
+            return 1
+    failed = False
+    for arg, text in zip(argv[1:], texts):
+        errors = validate_text(text)
+        for error in errors:
+            print(f"{arg}: {error}", file=sys.stderr)
+        if errors:
+            failed = True
+        else:
+            n = len(parse_samples(text))
+            print(f"{arg}: OK ({n} unlabelled samples)")
+    if len(texts) == 2 and not failed:
+        errors = compare_scrapes(texts[0], texts[1])
+        for error in errors:
+            print(f"{argv[2]}: {error}", file=sys.stderr)
+        if errors:
+            failed = True
+        else:
+            print(f"{argv[2]}: counters monotonic vs {argv[1]}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
