@@ -1,4 +1,12 @@
-"""A1-A4 — regenerate the ablation tables."""
+"""A1-A4 — regenerate the paper's ablation tables.
+
+These four sweeps reproduce specific tables from the paper (reside
+matrix, register tiles, b_k/b_n split, double-buffer LDM budget).
+Component-level ablation of this codebase — one-component-off runs
+over stage/engine/scheduler/retry/parallel/blocking with importance
+ranking — moved to the systematic ``repro.ablate`` harness
+(``repro-dgemm ablate``; see docs/ablation.md).
+"""
 
 from repro.experiments import ablations
 

@@ -1,0 +1,79 @@
+"""Systematic ablation: switch one component off, measure what it buys.
+
+The harness the ROADMAP's co-design item asks for, replacing the ad-hoc
+``benchmarks/bench_ablations.py`` driver:
+
+- :mod:`repro.ablate.config` — frozen configurations with stable
+  deterministic run IDs;
+- :mod:`repro.ablate.matrix` — baseline + one-component-off run
+  generation over stage, engine, scheduler policy, retry, parallel
+  dispatch and blocking;
+- :mod:`repro.ablate.executor` — drives each config through a real
+  :class:`~repro.core.session.Session`, capturing wall p50, modeled
+  makespan/Gflop/s, and DMA bytes from the metrics registry;
+- :mod:`repro.ablate.rank` — per-component importance from metric
+  deltas vs the baseline;
+- :mod:`repro.ablate.report` — JSON + rendered emitters.
+
+:func:`run_ablation` chains all of it; ``repro-dgemm ablate`` is the
+CLI entry (``--smoke`` is the CI gate asserting the baseline beats
+every stage-off config on modeled Gflop/s).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.ablate.config import COMPONENTS, AblationConfig
+from repro.ablate.executor import RunMetrics, execute_matrix, execute_run
+from repro.ablate.matrix import (
+    AblationRun,
+    build_matrix,
+    default_blocking_alternatives,
+)
+from repro.ablate.rank import ComponentImportance, RunDelta, rank_importance
+from repro.ablate.report import REPORT_VERSION, AblationReport, render_report
+
+__all__ = [
+    "COMPONENTS",
+    "REPORT_VERSION",
+    "AblationConfig",
+    "AblationReport",
+    "AblationRun",
+    "ComponentImportance",
+    "RunDelta",
+    "RunMetrics",
+    "build_matrix",
+    "default_blocking_alternatives",
+    "execute_matrix",
+    "execute_run",
+    "rank_importance",
+    "render_report",
+    "run_ablation",
+]
+
+
+def run_ablation(
+    baseline: AblationConfig | None = None,
+    *,
+    runs: Sequence[AblationRun] | None = None,
+    n_items: int = 8,
+    reps: int = 3,
+    seed: int = 0,
+    progress: Callable[[str], None] | None = None,
+) -> AblationReport:
+    """Generate the matrix (unless given), execute it, rank importance."""
+    if runs is None:
+        runs = build_matrix(baseline)
+    metrics = execute_matrix(
+        runs, n_items=n_items, reps=reps, seed=seed, progress=progress
+    )
+    baseline_metrics = next(
+        m for m in metrics if m.component == "baseline"
+    )
+    importance = rank_importance(baseline_metrics, metrics)
+    return AblationReport(
+        runs=tuple(runs),
+        metrics=tuple(metrics),
+        importance=tuple(importance),
+    )

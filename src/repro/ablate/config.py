@@ -1,0 +1,133 @@
+"""Ablation run configurations and their stable identities.
+
+An :class:`AblationConfig` pins every component the harness can switch:
+optimization stage (the paper's RAW→PE→ROW→DB→SCHED ladder), execution
+engine, scheduler dispatch policy, retry policy, parallel dispatch, and
+the blocking triple.  Configs are frozen and hashable, and each one has
+a deterministic :meth:`run_id` — a truncated SHA-256 over the canonical
+field string — so the same config names the same run across processes,
+machines, and report diffs (the aumai-ablation exemplar's requirement).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.core.params import BlockingParams
+from repro.core.variants import VARIANTS, get_variant
+from repro.errors import ConfigError
+from repro.multi.scheduler import POLICIES
+
+__all__ = ["COMPONENTS", "AblationConfig"]
+
+#: the switchable components, in report order.  ``build_matrix``
+#: produces exactly one run per (component, off-value) pair.
+COMPONENTS = ("stage", "engine", "scheduler", "retry", "parallel", "blocking")
+
+_ENGINES = ("device", "stepwise", "vectorized")
+
+
+@dataclass(frozen=True)
+class AblationConfig:
+    """One fully pinned harness configuration."""
+
+    #: optimization stage (variant name: RAW/PE/ROW/DB/SCHED/...).
+    variant: str = "SCHED"
+    #: execution engine driving every item.
+    engine: str = "stepwise"
+    #: scheduler dispatch policy (see :data:`repro.multi.scheduler.POLICIES`).
+    policy: str = "binned"
+    #: whether the resilience retry ladder is armed.
+    retry: bool = True
+    #: whether batch dispatch runs on per-CG worker threads.
+    parallel: bool = True
+    #: blocking triple ``(p_m, p_n, p_k)``; the buffering flag is
+    #: derived from the variant's traits (engines enforce the regime).
+    blocking: tuple[int, int, int] = (16, 8, 16)
+    #: CG pool size.
+    n_core_groups: int = 4
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "variant", str(self.variant).upper())
+        object.__setattr__(self, "engine", str(self.engine).lower())
+        object.__setattr__(self, "policy", str(self.policy).lower())
+        object.__setattr__(
+            self, "blocking", tuple(int(x) for x in self.blocking)
+        )
+        if self.variant not in VARIANTS:
+            raise ConfigError(
+                f"unknown variant {self.variant!r} "
+                f"(expected one of {', '.join(sorted(VARIANTS))})"
+            )
+        if self.engine not in _ENGINES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r} "
+                f"(expected one of {', '.join(_ENGINES)})"
+            )
+        if self.policy not in POLICIES:
+            raise ConfigError(
+                f"unknown policy {self.policy!r} "
+                f"(expected one of {', '.join(POLICIES)})"
+            )
+        if len(self.blocking) != 3:
+            raise ConfigError(
+                f"blocking must be a (p_m, p_n, p_k) triple, "
+                f"got {self.blocking!r}"
+            )
+
+    def params(self) -> BlockingParams:
+        """The blocking triple as live params, buffered per the variant."""
+        traits = get_variant(self.variant).traits
+        p_m, p_n, p_k = self.blocking
+        return BlockingParams(
+            p_m=p_m, p_n=p_n, p_k=p_k,
+            double_buffered=bool(traits.double_buffered),
+        )
+
+    def canonical(self) -> str:
+        """The identity string the run ID hashes — field order is part
+        of the scheme and must not change across releases."""
+        return (
+            f"variant={self.variant};engine={self.engine};"
+            f"policy={self.policy};retry={int(self.retry)};"
+            f"parallel={int(self.parallel)};"
+            f"blocking={self.blocking[0]}x{self.blocking[1]}"
+            f"x{self.blocking[2]};cgs={self.n_core_groups}"
+        )
+
+    def run_id(self) -> str:
+        """``ab-<12 hex>``: stable across processes for equal configs."""
+        digest = hashlib.sha256(self.canonical().encode("ascii")).hexdigest()
+        return f"ab-{digest[:12]}"
+
+    def with_component(self, component: str, value: Any) -> "AblationConfig":
+        """A copy with exactly one component switched to ``value``."""
+        if component == "stage":
+            return replace(self, variant=value)
+        if component == "engine":
+            return replace(self, engine=value)
+        if component == "scheduler":
+            return replace(self, policy=value)
+        if component == "retry":
+            return replace(self, retry=bool(value))
+        if component == "parallel":
+            return replace(self, parallel=bool(value))
+        if component == "blocking":
+            return replace(self, blocking=tuple(value))
+        raise ConfigError(
+            f"unknown ablation component {component!r} "
+            f"(expected one of {', '.join(COMPONENTS)})"
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "variant": self.variant,
+            "engine": self.engine,
+            "policy": self.policy,
+            "retry": self.retry,
+            "parallel": self.parallel,
+            "blocking": list(self.blocking),
+            "n_core_groups": self.n_core_groups,
+        }

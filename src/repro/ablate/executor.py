@@ -1,0 +1,143 @@
+"""Ablation executor: drive each config through a real ``Session``.
+
+Every run sees the *same* seeded workload (a ``mixed_batch`` stream),
+executes it ``reps`` times after one warm-up batch, and reports three
+kinds of metric:
+
+- **measured** — wall-clock p50 of the batch, and the Gflop/s it
+  implies.  Meaningful for axes that change what the Python simulation
+  actually does (engine, parallel dispatch, retry bookkeeping).
+- **modeled** — the makespan the hardware model assigns the batch, and
+  the Gflop/s it implies.  This is the *deterministic* signal for the
+  axes the paper is about (optimization stage, scheduler policy,
+  blocking): wall-clock of the simulation is not ordered across
+  variants (a simulated RAW run is slow hardware but cheap Python), the
+  model is.
+- **traffic** — DMA bytes per batch from the session's
+  :class:`~repro.obs.registry.MetricsRegistry` delta
+  (``session.traffic.dma_bytes``), the paper's other currency.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from statistics import median
+from typing import Any, Callable, Sequence
+
+from repro.ablate.matrix import AblationRun
+from repro.errors import ConfigError
+from repro.resil.policy import DEFAULT_RETRY_POLICY
+from repro.workloads.matrices import mixed_batch
+
+__all__ = ["RunMetrics", "execute_matrix", "execute_run"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Every metric captured for one ablation run."""
+
+    run_id: str
+    component: str
+    value: str
+    #: wall-clock p50 of one batch over the reps, seconds.
+    wall_p50_seconds: float
+    #: modeled makespan of one batch, seconds (deterministic).
+    modeled_makespan_seconds: float
+    #: logical flops of one batch.
+    flops: int
+    #: DMA bytes one batch moves (registry delta averaged over reps).
+    dma_bytes: int
+    #: batch items that failed (0 on a healthy config).
+    failures: int
+
+    @property
+    def measured_gflops(self) -> float:
+        """Gflop/s by wall clock — simulation speed, not modeled speed."""
+        if self.wall_p50_seconds <= 0:
+            return 0.0
+        return self.flops / self.wall_p50_seconds / 1e9
+
+    @property
+    def modeled_gflops(self) -> float:
+        """Gflop/s by the hardware model — the paper-facing metric."""
+        if self.modeled_makespan_seconds <= 0:
+            return 0.0
+        return self.flops / self.modeled_makespan_seconds / 1e9
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "component": self.component,
+            "value": self.value,
+            "wall_p50_seconds": self.wall_p50_seconds,
+            "modeled_makespan_seconds": self.modeled_makespan_seconds,
+            "measured_gflops": self.measured_gflops,
+            "modeled_gflops": self.modeled_gflops,
+            "flops": self.flops,
+            "dma_bytes": self.dma_bytes,
+            "failures": self.failures,
+        }
+
+
+def execute_run(
+    run: AblationRun, items: Sequence, reps: int = 3
+) -> RunMetrics:
+    """Execute one config against a fixed workload; capture all metrics."""
+    if reps < 1:
+        raise ConfigError(f"reps must be >= 1, got {reps}")
+    from repro.core.session import Session
+
+    config = run.config
+    with Session(
+        variant=config.variant,
+        engine=config.engine,
+        params=config.params(),
+        n_core_groups=config.n_core_groups,
+        policy=config.policy,
+        retry_policy=DEFAULT_RETRY_POLICY if config.retry else None,
+    ) as session:
+        registry = session.metrics_registry()
+        result = session.batch(list(items), parallel=config.parallel)
+        before = registry.snapshot()
+        samples = []
+        for _ in range(reps):
+            start = time.perf_counter()
+            result = session.batch(list(items), parallel=config.parallel)
+            samples.append(time.perf_counter() - start)
+        dma_delta = registry.delta(registry.snapshot(), before)
+    return RunMetrics(
+        run_id=run.run_id,
+        component=run.component,
+        value=run.value,
+        wall_p50_seconds=float(median(samples)),
+        modeled_makespan_seconds=result.makespan_seconds,
+        flops=result.flops,
+        dma_bytes=int(dma_delta.get("session.traffic.dma_bytes", 0)) // reps,
+        failures=len(result.errors),
+    )
+
+
+def execute_matrix(
+    runs: Sequence[AblationRun],
+    *,
+    n_items: int = 8,
+    reps: int = 3,
+    seed: int = 0,
+    progress: Callable[[str], None] | None = None,
+) -> list[RunMetrics]:
+    """Execute every run against one shared seeded workload."""
+    if not runs:
+        raise ConfigError("empty ablation matrix")
+    items = mixed_batch(n_items, seed=seed)
+    results = []
+    for run in runs:
+        metrics = execute_run(run, items, reps=reps)
+        results.append(metrics)
+        if progress is not None:
+            progress(
+                f"{run.run_id} {run.component}={run.value}: "
+                f"{metrics.modeled_gflops:.1f} Gflop/s modeled, "
+                f"{metrics.wall_p50_seconds * 1e3:.1f} ms wall p50"
+            )
+    return results

@@ -1,0 +1,153 @@
+"""Run-matrix generation: baseline plus one-component-off configs.
+
+The matrix is the classic ablation shape (AE-Scientist's
+``stage4_ablation``): one fully-on baseline, then one run per
+(component, off-value) pair, each differing from the baseline in
+*exactly one* component — the property the importance ranker needs to
+attribute a metric delta to a single switch, and the property the unit
+tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.ablate.config import AblationConfig
+from repro.core.variants import get_variant
+from repro.errors import ConfigError
+from repro.tuning.search import enumerate_candidates
+
+__all__ = ["AblationRun", "build_matrix", "default_blocking_alternatives"]
+
+#: stage ladder order, used to pick the "off" stages below a baseline.
+_STAGE_LADDER = ("RAW", "PE", "ROW", "DB", "SCHED")
+
+
+@dataclass(frozen=True)
+class AblationRun:
+    """One scheduled run: a config plus its place in the matrix."""
+
+    run_id: str
+    #: ``"baseline"`` or the single component this run switches off.
+    component: str
+    #: human label of the off-value (e.g. ``"DB"``, ``"device"``).
+    value: str
+    config: AblationConfig
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "component": self.component,
+            "value": self.value,
+            "config": self.config.as_dict(),
+        }
+
+
+def default_blocking_alternatives(
+    baseline: AblationConfig, count: int = 2
+) -> list[tuple[int, int, int]]:
+    """Deterministic alternative blocking triples for the blocking axis.
+
+    Drawn from :func:`~repro.tuning.search.enumerate_candidates` (so
+    every alternative is LDM-feasible for the baseline variant's
+    buffering regime): the first feasible triple and evenly spaced
+    picks after it, skipping the baseline's own.
+    """
+    traits = get_variant(baseline.variant).traits
+    feasible = [
+        (p.p_m, p.p_n, p.p_k)
+        for p in enumerate_candidates(
+            double_buffered=bool(traits.double_buffered), p_n_step=8
+        )
+        if (p.p_m, p.p_n, p.p_k) != baseline.blocking
+    ]
+    if not feasible:
+        return []
+    step = max(1, len(feasible) // max(count, 1))
+    picks = feasible[::step][:count]
+    return picks
+
+
+def build_matrix(
+    baseline: AblationConfig | None = None,
+    *,
+    stages: Sequence[str] | None = None,
+    engines: Sequence[str] = ("device",),
+    policies: Sequence[str] = ("round_robin",),
+    include_retry: bool = True,
+    include_parallel: bool = True,
+    blocking_alternatives: Sequence[tuple[int, int, int]] | None = None,
+) -> list[AblationRun]:
+    """The run matrix: baseline first, then one run per off-value.
+
+    ``stages`` defaults to every ladder stage below the baseline
+    variant (for SCHED: DB, ROW, PE, RAW).  ``engines``/``policies``
+    list the off-values for those axes (baseline's own value is
+    skipped if listed).  ``include_retry``/``include_parallel`` add the
+    boolean off-runs when the baseline has the feature on.
+    ``blocking_alternatives`` defaults to two deterministic feasible
+    triples from the candidate enumeration.
+    """
+    baseline = baseline or AblationConfig()
+    runs = [
+        AblationRun(
+            run_id=baseline.run_id(),
+            component="baseline",
+            value="baseline",
+            config=baseline,
+        )
+    ]
+    if stages is None:
+        if baseline.variant in _STAGE_LADDER:
+            position = _STAGE_LADDER.index(baseline.variant)
+            stages = tuple(reversed(_STAGE_LADDER[:position]))
+        else:
+            stages = ()
+    seen = {baseline.run_id()}
+
+    def add(component: str, value: str, config: AblationConfig) -> None:
+        run_id = config.run_id()
+        if run_id in seen:
+            raise ConfigError(
+                f"ablation matrix collision: {component}={value} "
+                f"reproduces an existing config ({run_id})"
+            )
+        seen.add(run_id)
+        runs.append(
+            AblationRun(
+                run_id=run_id, component=component, value=value, config=config
+            )
+        )
+
+    for stage in stages:
+        stage = str(stage).upper()
+        if stage == baseline.variant:
+            continue
+        add("stage", stage, baseline.with_component("stage", stage))
+    for engine in engines:
+        engine = str(engine).lower()
+        if engine == baseline.engine:
+            continue
+        add("engine", engine, baseline.with_component("engine", engine))
+    for policy in policies:
+        policy = str(policy).lower()
+        if policy == baseline.policy:
+            continue
+        add("scheduler", policy, baseline.with_component("scheduler", policy))
+    if include_retry and baseline.retry:
+        add("retry", "off", baseline.with_component("retry", False))
+    if include_parallel and baseline.parallel:
+        add("parallel", "off", baseline.with_component("parallel", False))
+    if blocking_alternatives is None:
+        blocking_alternatives = default_blocking_alternatives(baseline)
+    for triple in blocking_alternatives:
+        triple = tuple(int(x) for x in triple)
+        if triple == baseline.blocking:
+            continue
+        add(
+            "blocking",
+            f"{triple[0]}x{triple[1]}x{triple[2]}",
+            baseline.with_component("blocking", triple),
+        )
+    return runs

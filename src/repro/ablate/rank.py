@@ -1,0 +1,166 @@
+"""Importance ranking: per-component metric deltas vs the baseline.
+
+Each off-run is compared against the baseline run on the three captured
+metrics; a component's importance is the worst (largest) modeled
+Gflop/s drop among its off-values.  Components whose off-values leave
+the modeled figure untouched (retry and parallel dispatch change
+nothing the hardware model can see on a fault-free run) are ranked by
+their wall-clock slowdown instead, and always sort below any component
+with a real modeled drop — the report then reads top-down as "what
+costs paper-performance" before "what costs simulation time".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.ablate.executor import RunMetrics
+from repro.errors import ConfigError
+
+__all__ = ["ComponentImportance", "RunDelta", "rank_importance"]
+
+#: relative modeled drops below this are treated as model-invisible.
+_MODELED_EPSILON = 1e-9
+
+
+def _relative_drop(baseline: float, off: float) -> float:
+    """``(baseline - off) / baseline``: positive when switching off hurts."""
+    if baseline <= 0:
+        return 0.0
+    return (baseline - off) / baseline
+
+
+@dataclass(frozen=True)
+class RunDelta:
+    """One off-run's metrics relative to the baseline."""
+
+    run_id: str
+    component: str
+    value: str
+    modeled_gflops: float
+    #: relative modeled Gflop/s drop vs baseline (positive = worse).
+    modeled_drop: float
+    wall_p50_seconds: float
+    #: relative wall p50 increase vs baseline (positive = slower).
+    wall_slowdown: float
+    dma_bytes: int
+    #: relative DMA byte increase vs baseline (positive = more traffic).
+    dma_increase: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "component": self.component,
+            "value": self.value,
+            "modeled_gflops": self.modeled_gflops,
+            "modeled_drop": self.modeled_drop,
+            "wall_p50_seconds": self.wall_p50_seconds,
+            "wall_slowdown": self.wall_slowdown,
+            "dma_bytes": self.dma_bytes,
+            "dma_increase": self.dma_increase,
+        }
+
+
+@dataclass(frozen=True)
+class ComponentImportance:
+    """One component's aggregate importance over its off-values."""
+
+    component: str
+    #: off-value with the largest modeled drop (or wall slowdown).
+    worst_value: str
+    #: the component's worst relative modeled Gflop/s drop.
+    modeled_drop: float
+    #: the component's worst relative wall slowdown.
+    wall_slowdown: float
+    #: the component's worst relative DMA increase.
+    dma_increase: float
+    #: True when the modeled drop is the ranking signal, False when the
+    #: component is model-invisible and ranked by wall slowdown.
+    modeled: bool
+    deltas: tuple[RunDelta, ...]
+
+    @property
+    def score(self) -> float:
+        """The ranking key: modeled drop when visible, else slowdown."""
+        return self.modeled_drop if self.modeled else self.wall_slowdown
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "component": self.component,
+            "worst_value": self.worst_value,
+            "modeled_drop": self.modeled_drop,
+            "wall_slowdown": self.wall_slowdown,
+            "dma_increase": self.dma_increase,
+            "modeled": self.modeled,
+            "score": self.score,
+            "runs": [delta.as_dict() for delta in self.deltas],
+        }
+
+
+def run_deltas(
+    baseline: RunMetrics, results: Sequence[RunMetrics]
+) -> list[RunDelta]:
+    """Per-run deltas vs baseline, skipping the baseline itself."""
+    deltas = []
+    for metrics in results:
+        if metrics.component == "baseline":
+            continue
+        deltas.append(
+            RunDelta(
+                run_id=metrics.run_id,
+                component=metrics.component,
+                value=metrics.value,
+                modeled_gflops=metrics.modeled_gflops,
+                modeled_drop=_relative_drop(
+                    baseline.modeled_gflops, metrics.modeled_gflops
+                ),
+                wall_p50_seconds=metrics.wall_p50_seconds,
+                wall_slowdown=-_relative_drop(
+                    baseline.wall_p50_seconds, metrics.wall_p50_seconds
+                ),
+                dma_bytes=metrics.dma_bytes,
+                dma_increase=-_relative_drop(
+                    float(baseline.dma_bytes), float(metrics.dma_bytes)
+                ),
+            )
+        )
+    return deltas
+
+
+def rank_importance(
+    baseline: RunMetrics, results: Sequence[RunMetrics]
+) -> list[ComponentImportance]:
+    """Components ranked most-important first.
+
+    Modeled-visible components sort above model-invisible ones; within
+    each class, larger score first.  Ties break on component name for a
+    deterministic report.
+    """
+    if baseline.component != "baseline":
+        raise ConfigError(
+            f"baseline metrics must carry component='baseline', "
+            f"got {baseline.component!r}"
+        )
+    by_component: dict[str, list[RunDelta]] = {}
+    for delta in run_deltas(baseline, results):
+        by_component.setdefault(delta.component, []).append(delta)
+    ranked = []
+    for component, deltas in by_component.items():
+        worst = max(deltas, key=lambda d: d.modeled_drop)
+        modeled = worst.modeled_drop > _MODELED_EPSILON
+        if not modeled:
+            worst = max(deltas, key=lambda d: d.wall_slowdown)
+        ranked.append(
+            ComponentImportance(
+                component=component,
+                worst_value=worst.value,
+                modeled_drop=max(d.modeled_drop for d in deltas),
+                wall_slowdown=max(d.wall_slowdown for d in deltas),
+                dma_increase=max(d.dma_increase for d in deltas),
+                modeled=modeled,
+                deltas=tuple(deltas),
+            )
+        )
+    ranked.sort(key=lambda c: (not c.modeled, -c.score, c.component))
+    return ranked

@@ -1,0 +1,96 @@
+"""Report emitters: a machine-readable JSON document and a rendered table.
+
+The JSON document is the nightly-CI artifact (schema-versioned, stable
+key order); the rendered table is what ``repro-dgemm ablate`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.ablate.executor import RunMetrics
+from repro.ablate.matrix import AblationRun
+from repro.ablate.rank import ComponentImportance
+from repro.errors import ConfigError
+
+__all__ = ["REPORT_VERSION", "AblationReport", "render_report"]
+
+#: schema version of the JSON report artifact.
+REPORT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class AblationReport:
+    """Everything one ablation produced, ready to emit."""
+
+    runs: tuple[AblationRun, ...]
+    metrics: tuple[RunMetrics, ...]
+    importance: tuple[ComponentImportance, ...]
+
+    @property
+    def baseline(self) -> RunMetrics:
+        for metrics in self.metrics:
+            if metrics.component == "baseline":
+                return metrics
+        raise ConfigError("ablation report has no baseline run")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "version": REPORT_VERSION,
+            "baseline": self.baseline.as_dict(),
+            "runs": [run.as_dict() for run in self.runs],
+            "metrics": [metrics.as_dict() for metrics in self.metrics],
+            "importance": [imp.as_dict() for imp in self.importance],
+        }
+
+    def save(self, path: str | Path) -> Path:
+        target = Path(path)
+        target.write_text(
+            json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return target
+
+
+def _fmt_pct(value: float) -> str:
+    return f"{value * 100:+.1f}%"
+
+
+def render_report(report: AblationReport) -> str:
+    """The human-facing table: runs, then the importance ranking."""
+    baseline = report.baseline
+    lines = [
+        "ablation report",
+        f"  baseline {baseline.run_id}: "
+        f"{baseline.modeled_gflops:.1f} Gflop/s modeled, "
+        f"{baseline.wall_p50_seconds * 1e3:.1f} ms wall p50, "
+        f"{baseline.dma_bytes} DMA bytes/batch",
+        "",
+        f"  {'run':<16} {'component':<11} {'off-value':<12} "
+        f"{'modeled Gf/s':>12} {'wall p50 ms':>12} {'failures':>8}",
+    ]
+    for metrics in report.metrics:
+        lines.append(
+            f"  {metrics.run_id:<16} {metrics.component:<11} "
+            f"{metrics.value:<12} {metrics.modeled_gflops:>12.1f} "
+            f"{metrics.wall_p50_seconds * 1e3:>12.1f} "
+            f"{metrics.failures:>8}"
+        )
+    lines += [
+        "",
+        "importance (worst off-value per component, vs baseline):",
+        f"  {'component':<11} {'worst':<12} {'modeled drop':>12} "
+        f"{'wall slowdown':>13} {'DMA increase':>13}  signal",
+    ]
+    for imp in report.importance:
+        signal = "modeled" if imp.modeled else "wall"
+        lines.append(
+            f"  {imp.component:<11} {imp.worst_value:<12} "
+            f"{_fmt_pct(imp.modeled_drop):>12} "
+            f"{_fmt_pct(imp.wall_slowdown):>13} "
+            f"{_fmt_pct(imp.dma_increase):>13}  {signal}"
+        )
+    return "\n".join(lines)

@@ -56,6 +56,7 @@ from repro.obs.tracer import ensure_tracer
 from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.resil.faults import FaultInjector
 from repro.resil.policy import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.tuning.table import TuningTable
 from repro.utils.stats import StatsProtocol
 
 __all__ = ["Session", "SessionStats"]
@@ -131,6 +132,8 @@ class Session:
         injector: FaultInjector | None = None,
         retry_policy: RetryPolicy | None = DEFAULT_RETRY_POLICY,
         fallback_engine: str | None = "auto",
+        tuned: TuningTable | str | None = None,
+        policy: str = "binned",
     ) -> None:
         self.tracer = ensure_tracer(tracer)
         self.variant = str(variant).upper()
@@ -139,6 +142,10 @@ class Session:
         # path a session exists to serve — runs the vectorized engine.
         # Pass an explicit engine to force one choice everywhere.
         self.engine = None if engine is None else str(engine).lower()
+        # the learned table only fills in *defaulted* blocking; explicit
+        # params= pins every call to exactly those parameters.
+        self._explicit_params = params is not None
+        self._calibration = calibration
         self.params = params or get_variant(self.variant).default_params()
         self.pad = pad
         self.check = check
@@ -157,7 +164,7 @@ class Session:
             n_core_groups=n_core_groups,
             variant=self.variant,
             engine=batch_engine,
-            params=self.params,
+            params=params,
             calibration=calibration,
             pad=pad,
             check=check,
@@ -165,7 +172,12 @@ class Session:
             injector=injector,
             retry_policy=retry_policy,
             fallback_engine=fallback_engine,
+            tuned=tuned,
+            policy=policy,
         )
+        #: the loaded learned table (``None`` unless ``tuned=`` given);
+        #: shared with the scheduler, so both consult one fallback cache.
+        self.tuned = self.scheduler.tuned
         #: the scheduler's pool-wide plan cache, shared by scalar calls
         #: too — one compiled plan serves both entry points.
         self.plan_cache = self.scheduler.plan_cache
@@ -265,16 +277,37 @@ class Session:
         unless the session was built with an explicit ``engine=``.
         Legacy kwarg spellings (``trans``/``trans_a``/...) pass through
         to the normalization funnel, which warns and maps them.
+
+        With ``tuned=`` configured (and no explicit session ``params=``)
+        the call's blocking comes from the learned table for this
+        shape's bin, estimator fallback on a miss — the same resolution
+        batch dispatch uses.
         """
         self._require_open()
         ctx = self._scalar_context()
+        eff_engine = (engine or self.engine or "device").lower()
+        params = self.params
+        if self.tuned is not None and not self._explicit_params:
+            eff_transa = legacy.get("trans", legacy.get("trans_a", transa))
+            eff_transb = legacy.get("trans_b", transb)
+            rm, rk = (
+                (a.shape[1], a.shape[0])
+                if str(eff_transa).upper() == "T" else (a.shape[0], a.shape[1])
+            )
+            rn = (
+                b.shape[0] if str(eff_transb).upper() == "T" else b.shape[1]
+            )
+            params = self.tuned.resolve(
+                self.variant, eff_engine, rm, rn, rk,
+                spec=self.processor.spec, calibration=self._calibration,
+            ).params
         before = ctx.stats()
         out = _dgemm(
             a, b, c,
             alpha=alpha, beta=beta, transa=transa, transb=transb,
             variant=self.variant,
-            engine=engine or self.engine or "device",
-            params=self.params, context=ctx,
+            engine=eff_engine,
+            params=params, context=ctx,
             pad=self.pad if pad is None else pad,
             check=self.check if check is None else check,
             tracer=self.tracer,
@@ -285,7 +318,7 @@ class Session:
         eff_transa = legacy.get("trans", legacy.get("trans_a", transa))
         k = a.shape[0] if str(eff_transa).upper() == "T" else a.shape[1]
         pm, pn, pk = (
-            self.params.pad_shape(m, n, k)
+            params.pad_shape(m, n, k)
             if (self.pad if pad is None else pad)
             else (m, n, k)
         )
@@ -303,6 +336,9 @@ class Session:
         isolate_failures: bool = True,
         parallel: bool = False,
         options: SubmitOptions | None = None,
+        blocking: (
+            BlockingParams | list[BlockingParams | None] | None
+        ) = None,
     ) -> ScheduleResult:
         """Dispatch a batch across the session's CG pool.
 
@@ -324,6 +360,12 @@ class Session:
         policy for this batch only — ``0`` disables retrying).  The
         serving tier coalesces same-option requests so every dispatched
         batch has one uniform ``options``.
+
+        ``blocking=`` passes per-item :class:`BlockingParams` overrides
+        down the dispatch path: one instance for the whole batch, or a
+        sequence matching the batch length (``None`` entries resolve
+        via the tuned table / session default).  Bad overrides fail up
+        front with errors naming the item index.
         """
         self._require_open()
         items = list(items)
@@ -345,6 +387,7 @@ class Session:
                 engine=opts.engine,
                 check=opts.check,
                 retry_policy=retry_policy,
+                blocking=blocking,
             )
         with self._stats_lock:
             self._items += len(result)

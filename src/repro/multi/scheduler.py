@@ -96,14 +96,23 @@ from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.perf.estimator import Estimator
 from repro.resil.faults import FaultInjector
 from repro.resil.policy import FaultReport, RecoveryStats, RetryPolicy
+from repro.tuning.table import TuningTable
 
 __all__ = [
     "CGScheduler",
     "CGTraffic",
     "ItemError",
+    "POLICIES",
     "SchedulePlan",
     "ScheduleResult",
 ]
+
+#: dispatch policies accepted by ``CGScheduler(policy=...)``:
+#: ``"binned"`` is the shape-affine least-loaded dispatch described in
+#: the module docstring; ``"round_robin"`` ignores shape affinity and
+#: modeled load entirely (items go to ``idx % pool``) — it exists as
+#: the ablation baseline that quantifies what binning buys.
+POLICIES = ("binned", "round_robin")
 
 
 @dataclass(frozen=True)
@@ -123,7 +132,7 @@ class SchedulePlan:
     item_seconds: tuple[float, ...]
     #: accumulated modeled seconds per CG.
     cg_seconds: tuple[float, ...]
-    #: padded shape -> CG currently homing that shape's bin.
+    #: (padded shape, blocking params) -> CG currently homing that bin.
     shape_bins: dict = field(hash=False, compare=False, default_factory=dict)
 
     @property
@@ -298,20 +307,23 @@ class _ItemTask:
     """
 
     __slots__ = (
-        "idx", "item", "seconds", "home", "engine",
+        "idx", "item", "seconds", "home", "engine", "params",
         "retries", "attempts", "backoff", "first_site", "q_here",
         "fallback_used", "traffic",
     )
 
     def __init__(
         self, idx: int, item: GemmRequest, home: int, seconds: float,
-        engine: str,
+        engine: str, params: BlockingParams,
     ) -> None:
         self.idx = idx
         self.item = item
         self.seconds = seconds
         self.home = home
         self.engine = engine
+        #: this item's blocking parameters (a per-item ``blocking=``
+        #: override, a tuned-table pick, or the scheduler default).
+        self.params = params
         self.retries = 0
         self.attempts = 0
         self.backoff = 0.0
@@ -398,6 +410,8 @@ class CGScheduler:
         retry_policy: RetryPolicy | None = None,
         fallback_engine: str | None = None,
         plan_cache: PlanCache | None = None,
+        policy: str = "binned",
+        tuned: TuningTable | str | None = None,
     ) -> None:
         self.processor = processor or SW26010Processor(spec)
         self.tracer = ensure_tracer(tracer)
@@ -410,6 +424,19 @@ class CGScheduler:
         self.n_core_groups = pool
         self.variant = str(variant).upper()
         self.engine = str(engine).lower()
+        self.policy = str(policy).lower()
+        if self.policy not in POLICIES:
+            raise ConfigError(
+                f"unknown dispatch policy {policy!r} "
+                f"(expected one of {', '.join(POLICIES)})"
+            )
+        # the tuned table only overrides *defaulted* blocking: a caller
+        # who passed explicit params said what they want, and gets it.
+        self._explicit_params = params is not None
+        self.tuned = (
+            TuningTable.load(tuned) if isinstance(tuned, str) else tuned
+        )
+        self._calibration = calibration
         self.params = params or get_variant(self.variant).default_params()
         self.pad = pad
         self.check = check
@@ -432,9 +459,10 @@ class CGScheduler:
         self._contexts = [
             ExecutionContext(self.processor.cg(g)) for g in range(pool)
         ]
-        #: padded shape -> modeled seconds (estimates are pure functions
-        #: of shape, so one batch full of repeats costs one estimate).
-        self._seconds_cache: dict[tuple[int, int, int], float] = {}
+        #: (padded shape, params) -> modeled seconds (estimates are pure
+        #: functions of shape and blocking, so one batch full of repeats
+        #: costs one estimate).
+        self._seconds_cache: dict[tuple, float] = {}
         # -- thread coordination (see module docstring) ----------------
         #: non-reentrancy guard: held for the duration of one run().
         self._run_guard = threading.Lock()
@@ -492,53 +520,159 @@ class CGScheduler:
 
     # -- planning ------------------------------------------------------
 
-    def modeled_item_seconds(self, m: int, n: int, k: int) -> float:
-        """Modeled single-CG seconds for one item (at its padded shape)."""
-        key = self.params.pad_shape(m, n, k)
+    def modeled_item_seconds(
+        self, m: int, n: int, k: int, params: BlockingParams | None = None
+    ) -> float:
+        """Modeled single-CG seconds for one item (at its padded shape).
+
+        ``params`` defaults to the scheduler's blocking; per-item
+        overrides and tuned-table picks pass their own so the model
+        prices the blocking that will actually run.
+        """
+        params = params or self.params
+        key = (params.pad_shape(m, n, k), params)
         with self._cache_lock:
             seconds = self._seconds_cache.get(key)
         if seconds is None:
             seconds = self._estimator.estimate(
-                self.variant, *key, params=self.params
+                self.variant, *key[0], params=params
             ).seconds
             with self._cache_lock:
                 self._seconds_cache[key] = seconds
         return seconds
 
+    def resolve_blocking(
+        self,
+        shapes: Sequence[tuple[int, int, int]],
+        blocking: BlockingParams | Sequence[BlockingParams | None] | None = None,
+        engine: str | None = None,
+    ) -> list[BlockingParams]:
+        """Effective per-item blocking, validated (errors name the item).
+
+        Resolution order per item: an explicit ``blocking=`` override
+        wins; otherwise a configured tuned table is consulted — unless
+        the scheduler itself was built with explicit ``params=`` —
+        with the estimator picking for bins the table misses; otherwise
+        the scheduler's default parameters apply.  Every resolved
+        choice is checked against the LDM budget and the variant's
+        buffering regime up front, so a bad override fails before any
+        item executes, naming its index in ``dgemm_batch`` style.
+        """
+        count = len(shapes)
+        if blocking is None:
+            overrides: list[BlockingParams | None] = [None] * count
+        elif isinstance(blocking, BlockingParams):
+            overrides = [blocking] * count
+        else:
+            overrides = list(blocking)
+            if len(overrides) != count:
+                raise ConfigError(
+                    f"blocking= carries {len(overrides)} overrides for "
+                    f"{count} items"
+                )
+        spec = self.processor.spec
+        traits = get_variant(self.variant).traits
+        engine = (engine or self.engine).lower()
+        consult = self.tuned is not None and not self._explicit_params
+        resolved: list[BlockingParams] = []
+        for idx, (override, (m, n, k)) in enumerate(zip(overrides, shapes)):
+            params = override
+            if params is not None and not isinstance(params, BlockingParams):
+                raise ConfigError(
+                    f"batch item {idx}: blocking override must be "
+                    f"BlockingParams, got {type(params).__name__}"
+                )
+            if params is None and consult:
+                params = self.tuned.resolve(
+                    self.variant, engine, m, n, k,
+                    spec=spec, calibration=self._calibration,
+                ).params
+            if params is None:
+                params = self.params
+            try:
+                params.validate(spec)
+            except Exception as exc:
+                raise ConfigError(f"batch item {idx}: {exc}") from None
+            # the RAW path ignores blocking entirely; for the shared
+            # variants a wrong buffering regime would only surface as an
+            # engine error mid-batch — catch it here, with the index.
+            if traits.shared and bool(params.double_buffered) != bool(
+                traits.double_buffered
+            ):
+                regime = (
+                    "double" if traits.double_buffered else "single"
+                )
+                raise ConfigError(
+                    f"batch item {idx}: blocking for variant "
+                    f"{self.variant} must be {regime}-buffered"
+                )
+            resolved.append(params)
+        return resolved
+
     def plan(
-        self, items: Sequence[GemmRequest] | Iterable[GemmRequest]
+        self,
+        items: Sequence[GemmRequest] | Iterable[GemmRequest],
+        *,
+        blocking: BlockingParams | Sequence[BlockingParams | None] | None = None,
     ) -> SchedulePlan:
         """Validate ``items`` and plan their dispatch (no execution)."""
         items = list(items)
         if not items:
             raise ConfigError("empty batch")
-        return self.plan_shapes(validate_items(items))
+        shapes = validate_items(items)
+        return self.plan_shapes(
+            shapes, params_list=self.resolve_blocking(shapes, blocking)
+        )
 
     def plan_shapes(
-        self, shapes: Sequence[tuple[int, int, int]]
+        self,
+        shapes: Sequence[tuple[int, int, int]],
+        params_list: Sequence[BlockingParams] | None = None,
+        policy: str | None = None,
     ) -> SchedulePlan:
         """Plan a batch given only its (m, n, k) shapes.
 
-        Dispatch rule, per item in stream order: a shape already binned
-        goes to its bin's CG — unless that CG is ahead of the
-        least-loaded one by more than this item's own modeled cost, in
-        which case the bin spills (and re-homes) to the least-loaded CG.
-        A new shape always starts on the least-loaded CG.  Affinity
-        keeps the staging-plan cache hot; the spill bound keeps a
-        single dominant shape from serializing the whole pool.
+        Dispatch rule under the default ``"binned"`` policy, per item in
+        stream order: a shape already binned goes to its bin's CG —
+        unless that CG is ahead of the least-loaded one by more than
+        this item's own modeled cost, in which case the bin spills (and
+        re-homes) to the least-loaded CG.  A new shape always starts on
+        the least-loaded CG.  Affinity keeps the staging-plan cache
+        hot; the spill bound keeps a single dominant shape from
+        serializing the whole pool.  The ``"round_robin"`` policy
+        ignores affinity and load (item ``i`` goes to CG ``i % pool``)
+        — the ablation baseline for what binning buys.
+
+        ``params_list`` supplies per-item blocking (defaults to the
+        scheduler's own); bins are keyed on (padded shape, params), so
+        two items padding identically under *different* blocking do not
+        share staging-plan affinity they cannot actually exploit.
         """
+        policy = self.policy if policy is None else str(policy).lower()
+        if policy not in POLICIES:
+            raise ConfigError(
+                f"unknown dispatch policy {policy!r} "
+                f"(expected one of {', '.join(POLICIES)})"
+            )
         loads = [0.0] * self.n_core_groups
-        bins: dict[tuple[int, int, int], int] = {}
+        bins: dict[tuple, int] = {}
         assignments: list[int] = []
         item_seconds: list[float] = []
-        for m, n, k in shapes:
-            key = self.params.pad_shape(m, n, k)
-            seconds = self.modeled_item_seconds(m, n, k)
-            lightest = min(range(self.n_core_groups), key=loads.__getitem__)
-            home = bins.get(key)
-            if home is None or loads[home] - loads[lightest] > seconds:
-                home = lightest
+        for idx, (m, n, k) in enumerate(shapes):
+            params = params_list[idx] if params_list is not None else self.params
+            key = (params.pad_shape(m, n, k), params)
+            seconds = self.modeled_item_seconds(m, n, k, params=params)
+            if policy == "round_robin":
+                home = idx % self.n_core_groups
                 bins[key] = home
+            else:
+                lightest = min(
+                    range(self.n_core_groups), key=loads.__getitem__
+                )
+                home = bins.get(key)
+                if home is None or loads[home] - loads[lightest] > seconds:
+                    home = lightest
+                    bins[key] = home
             loads[home] += seconds
             assignments.append(home)
             item_seconds.append(seconds)
@@ -560,6 +694,7 @@ class CGScheduler:
         engine: str | None = None,
         check: bool | None = None,
         retry_policy: RetryPolicy | None = None,
+        blocking: BlockingParams | Sequence[BlockingParams | None] | None = None,
     ) -> ScheduleResult:
         """Execute a batch across the pool.
 
@@ -586,6 +721,12 @@ class CGScheduler:
         :class:`~repro.api.SubmitOptions` maps onto, so a serving batch
         can carry its own engine choice and retry budget without
         rebuilding the pool.
+
+        ``blocking=`` supplies per-item :class:`BlockingParams`: a
+        single instance applies to every item; a sequence (``None``
+        entries fall back to tuned/default resolution) must match the
+        batch length.  Overrides are validated up front with errors
+        naming the item index.
         """
         items = list(items)
         if not items:
@@ -603,6 +744,7 @@ class CGScheduler:
                 check=self.check if check is None else bool(check),
                 policy=retry_policy if retry_policy is not None
                 else self.retry_policy,
+                blocking=blocking,
             )
         finally:
             self._run_guard.release()
@@ -610,9 +752,11 @@ class CGScheduler:
     def _run(
         self, items: list, isolate_failures: bool, parallel: bool,
         *, engine: str, check: bool, policy: RetryPolicy | None,
+        blocking=None,
     ) -> ScheduleResult:
         shapes = validate_items(items)
-        plan = self.plan_shapes(shapes)
+        params_list = self.resolve_blocking(shapes, blocking, engine)
+        plan = self.plan_shapes(shapes, params_list=params_list)
         outputs: list = [None] * len(items)
         errors: list[ItemError] = []
         reports: list[FaultReport] = []
@@ -632,7 +776,7 @@ class CGScheduler:
         ]
         tasks = [
             _ItemTask(idx, item, plan.assignments[idx],
-                      plan.item_seconds[idx], engine)
+                      plan.item_seconds[idx], engine, params_list[idx])
             for idx, item in enumerate(items)
         ]
 
@@ -652,7 +796,7 @@ class CGScheduler:
                     m, n, k = shapes[task.idx]
                     flops[0] += 2 * m * n * k
                     pm, pn, pk = (
-                        self.params.pad_shape(m, n, k)
+                        task.params.pad_shape(m, n, k)
                         if self.pad else (m, n, k)
                     )
                     flops[1] += 2 * pm * pn * pk
@@ -889,7 +1033,7 @@ class CGScheduler:
                         alpha=task.item.alpha, beta=task.item.beta,
                         transa=task.item.transa, transb=task.item.transb,
                         variant=self.variant, engine=task.engine,
-                        params=self.params,
+                        params=task.params,
                         context=self._contexts[home], pad=self.pad,
                         check=check, tracer=tracer,
                         plan_cache=self.plan_cache,

@@ -1,0 +1,217 @@
+"""The closed autotuning loop: estimator prior, measured feedback.
+
+:func:`repro.tuning.search.autotune` ranks the feasible blocking space
+with the analytic model alone.  This module closes the co-design loop
+the dense-linear-algebra co-design literature describes: per shape bin,
+take the model's top candidates as the *prior*, measure each one's
+wall-clock through a real :class:`~repro.core.session.Session`, and
+keep the measured winner in a :class:`~repro.tuning.table.TuningTable`.
+
+Two invariants make the learned table safe to consult by default:
+
+- the estimator's #1 candidate is always in the measured set, so the
+  tuned pick is never slower (at tuning time) than what the
+  estimator-only fallback would choose for a missing bin;
+- the variant's own default parameters are always in the measured set,
+  so the tuned pick is never slower than an untuned ``Session``.
+
+Each entry records the estimator rank of the measured winner — the
+feedback signal: rank 0 everywhere means the analytic model needs no
+correction; persistent non-zero ranks localize where it is wrong.
+"""
+
+from __future__ import annotations
+
+import time
+from statistics import median
+from typing import Callable, Iterable, Sequence
+
+from repro.arch.config import DEFAULT_SPEC, SW26010Spec
+from repro.core.params import BlockingParams
+from repro.errors import ConfigError
+from repro.perf.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.tuning.search import TuningResult, autotune
+from repro.tuning.table import TunedEntry, TuningTable, shape_bin
+from repro.workloads.matrices import gemm_operands
+
+__all__ = ["measure_params", "tune", "tune_bin"]
+
+#: ``top`` passed to :func:`autotune` when the full ranking is wanted —
+#: far larger than the feasible space, so nothing is sliced away.
+_FULL_RANKING = 10_000
+
+
+def measure_params(
+    shape: tuple[int, int, int],
+    *,
+    variant: str,
+    engine: str,
+    params: BlockingParams,
+    reps: int = 3,
+    seed: int = 0,
+    spec: SW26010Spec = DEFAULT_SPEC,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> float:
+    """Wall-clock p50 seconds of one DGEMM under ``params``.
+
+    One warm-up call populates the staging-plan caches before timing,
+    so the measurement reflects the steady state a warm session sees.
+    """
+    if reps < 1:
+        raise ConfigError(f"reps must be >= 1, got {reps}")
+    from repro.core.session import Session
+
+    m, n, k = shape
+    a, b, _ = gemm_operands(m, n, k, seed=seed)
+    with Session(
+        variant=variant,
+        engine=engine,
+        params=params,
+        n_core_groups=1,
+        spec=spec,
+        calibration=calibration,
+    ) as session:
+        session.dgemm(a, b)
+        samples = []
+        for _ in range(reps):
+            start = time.perf_counter()
+            session.dgemm(a, b)
+            samples.append(time.perf_counter() - start)
+    return float(median(samples))
+
+
+def _prior_candidates(
+    full: TuningResult, variant: str, top: int
+) -> list[BlockingParams]:
+    """The measured set: estimator top-``top`` plus the variant default."""
+    from repro.core.variants import get_variant
+
+    chosen = [cand.params for cand in full.candidates[:top]]
+    default = get_variant(variant).default_params()
+    triples = {(p.p_m, p.p_n, p.p_k) for p in chosen}
+    if (default.p_m, default.p_n, default.p_k) not in triples:
+        chosen.append(default)
+    return chosen
+
+
+def _modeled_gflops(full: TuningResult, params: BlockingParams) -> float:
+    for cand in full.candidates:
+        if (cand.params.p_m, cand.params.p_n, cand.params.p_k) == (
+            params.p_m,
+            params.p_n,
+            params.p_k,
+        ):
+            return cand.gflops
+    return 0.0
+
+
+def tune_bin(
+    bin_shape: tuple[int, int, int],
+    *,
+    variant: str = "SCHED",
+    engine: str = "stepwise",
+    top: int = 3,
+    reps: int = 3,
+    seed: int = 0,
+    spec: SW26010Spec = DEFAULT_SPEC,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> TunedEntry:
+    """Measure the prior candidates for one bin; return the winner."""
+    if top < 1:
+        raise ConfigError(f"top must be >= 1, got {top}")
+    bm, bn, bk = bin_shape
+    full = autotune(
+        bm,
+        bn,
+        bk,
+        variant=variant,
+        top=_FULL_RANKING,
+        spec=spec,
+        calibration=calibration,
+    )
+    best_p50 = float("inf")
+    best_params: BlockingParams | None = None
+    for params in _prior_candidates(full, variant, top):
+        p50 = measure_params(
+            bin_shape,
+            variant=variant,
+            engine=engine,
+            params=params,
+            reps=reps,
+            seed=seed,
+            spec=spec,
+            calibration=calibration,
+        )
+        if p50 < best_p50:
+            best_p50 = p50
+            best_params = params
+    assert best_params is not None  # top >= 1 guarantees one candidate
+    try:
+        rank = full.rank_of(best_params)
+    except KeyError:
+        # the variant default can sit outside the enumerated step grid
+        rank = len(full.candidates)
+    return TunedEntry(
+        variant=variant.upper(),
+        engine=engine.lower(),
+        bin=(bm, bn, bk),
+        p_m=best_params.p_m,
+        p_n=best_params.p_n,
+        p_k=best_params.p_k,
+        double_buffered=bool(best_params.double_buffered),
+        measured_gflops=2.0 * bm * bn * bk / best_p50 / 1e9,
+        modeled_gflops=_modeled_gflops(full, best_params),
+        estimator_rank=rank,
+    )
+
+
+def tune(
+    shapes: Iterable[Sequence[int]],
+    *,
+    variant: str = "SCHED",
+    engine: str = "stepwise",
+    top: int = 3,
+    reps: int = 3,
+    seed: int = 0,
+    spec: SW26010Spec = DEFAULT_SPEC,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    table: TuningTable | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> TuningTable:
+    """Tune every distinct bin covering ``shapes``; return the table.
+
+    Shapes that fall into the same power-of-two bin are tuned once.
+    An existing ``table`` is updated in place (bins already covered by
+    other variants/engines are preserved), so repeated runs accumulate
+    a single artifact.
+    """
+    result = table if table is not None else TuningTable(ldm_doubles=spec.ldm_doubles)
+    seen: set[tuple[int, int, int]] = set()
+    for shape in shapes:
+        if len(shape) != 3:
+            raise ConfigError(f"shapes must be (m, n, k) triples, got {shape!r}")
+        bin_key = shape_bin(int(shape[0]), int(shape[1]), int(shape[2]))
+        if bin_key in seen:
+            continue
+        seen.add(bin_key)
+        entry = tune_bin(
+            bin_key,
+            variant=variant,
+            engine=engine,
+            top=top,
+            reps=reps,
+            seed=seed,
+            spec=spec,
+            calibration=calibration,
+        )
+        result.put(entry)
+        if progress is not None:
+            progress(
+                f"bin {bin_key[0]}x{bin_key[1]}x{bin_key[2]}: "
+                f"p=({entry.p_m},{entry.p_n},{entry.p_k}) "
+                f"{entry.measured_gflops:.2f} Gflop/s measured, "
+                f"estimator rank {entry.estimator_rank}"
+            )
+    if not seen:
+        raise ConfigError("tune() needs at least one shape")
+    return result

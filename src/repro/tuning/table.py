@@ -1,0 +1,292 @@
+"""The learned tuning table: measured blocking choices, persisted.
+
+:mod:`repro.tuning.search` ranks blocking configurations with the
+analytic :class:`~repro.perf.estimator.Estimator`; the closed loop in
+:mod:`repro.tuning.loop` *measures* the top-ranked candidates and keeps
+the fastest one per shape bin.  This module is the artifact between the
+two: a versioned, JSON-serializable table of
+``(variant, engine, shape bin) -> TunedEntry`` that
+
+- :class:`~repro.core.session.Session` and
+  :class:`~repro.multi.scheduler.CGScheduler` consult when the caller
+  gave no explicit blocking (``params=None``), falling back to the
+  estimator's best candidate when a bin is missing;
+- ``tools/check_tuning_table.py`` validates in CI (schema version, LDM
+  feasibility of every entry, recomputable estimator ranks);
+- the ``repro-dgemm tune`` subcommand refreshes and persists
+  (``TUNED.json`` at the repo root is the committed copy).
+
+Shape bins round every dimension up to the next power of two, so one
+measured entry serves the whole neighbourhood of shapes that pad to
+comparable work — the same coarse binning the serving tier's coalescer
+uses, but engine- and variant-qualified.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.arch.config import DEFAULT_SPEC, SW26010Spec
+from repro.core.params import BlockingParams
+from repro.errors import ConfigError
+from repro.perf.calibration import DEFAULT_CALIBRATION, Calibration
+
+__all__ = [
+    "DEFAULT_TABLE_PATH",
+    "TABLE_VERSION",
+    "Resolved",
+    "TunedEntry",
+    "TuningTable",
+    "shape_bin",
+]
+
+#: schema version of the persisted JSON artifact.
+TABLE_VERSION = 1
+
+#: where the committed table lives, relative to the repo root.
+DEFAULT_TABLE_PATH = Path("TUNED.json")
+
+
+def _next_pow2(value: int) -> int:
+    if value < 1:
+        raise ConfigError(f"shape dimensions must be positive, got {value}")
+    return 1 << (value - 1).bit_length()
+
+
+def shape_bin(m: int, n: int, k: int) -> tuple[int, int, int]:
+    """The table's bin key: each dimension rounded up to a power of two.
+
+    Coarse on purpose — a measured blocking choice generalizes across
+    the shapes that pad to similar block grids, and a small table can
+    then cover the whole workload instead of one entry per exact shape.
+    """
+    return (_next_pow2(m), _next_pow2(n), _next_pow2(k))
+
+
+@dataclass(frozen=True)
+class TunedEntry:
+    """One learned blocking choice for a ``(variant, engine, bin)``."""
+
+    variant: str
+    engine: str
+    bin: tuple[int, int, int]
+    p_m: int
+    p_n: int
+    p_k: int
+    double_buffered: bool
+    #: wall-clock Gflop/s of the winning measurement (p50 over reps).
+    measured_gflops: float
+    #: the analytic model's Gflop/s for the same candidate.
+    modeled_gflops: float
+    #: 0-based rank the estimator prior gave the winning candidate —
+    #: the co-design feedback signal (0 means model and measurement
+    #: agree on the best choice).
+    estimator_rank: int
+
+    def params(self) -> BlockingParams:
+        """The entry as live :class:`BlockingParams`."""
+        return BlockingParams(
+            p_m=self.p_m,
+            p_n=self.p_n,
+            p_k=self.p_k,
+            double_buffered=self.double_buffered,
+        )
+
+    def key(self) -> tuple[str, str, tuple[int, int, int]]:
+        return (self.variant, self.engine, self.bin)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "variant": self.variant,
+            "engine": self.engine,
+            "bin": list(self.bin),
+            "p_m": self.p_m,
+            "p_n": self.p_n,
+            "p_k": self.p_k,
+            "double_buffered": self.double_buffered,
+            "measured_gflops": self.measured_gflops,
+            "modeled_gflops": self.modeled_gflops,
+            "estimator_rank": self.estimator_rank,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TunedEntry":
+        try:
+            raw_bin = data["bin"]
+            return cls(
+                variant=str(data["variant"]).upper(),
+                engine=str(data["engine"]).lower(),
+                bin=(int(raw_bin[0]), int(raw_bin[1]), int(raw_bin[2])),
+                p_m=int(data["p_m"]),
+                p_n=int(data["p_n"]),
+                p_k=int(data["p_k"]),
+                double_buffered=bool(data["double_buffered"]),
+                measured_gflops=float(data["measured_gflops"]),
+                modeled_gflops=float(data["modeled_gflops"]),
+                estimator_rank=int(data["estimator_rank"]),
+            )
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed tuning entry {data!r}: {exc}") from None
+
+
+@dataclass(frozen=True)
+class Resolved:
+    """Outcome of a table consultation: the params plus their origin."""
+
+    params: BlockingParams
+    #: ``"tuned"`` when a table entry served the bin, ``"estimator"``
+    #: when the analytic fallback picked the candidate.
+    source: str
+    entry: TunedEntry | None = None
+
+
+@dataclass
+class TuningTable:
+    """A versioned, persistable map of learned blocking choices.
+
+    Mutable while the tuner fills it (:meth:`put`), immutable in
+    spirit once persisted — consumers only :meth:`lookup` /
+    :meth:`resolve`.  Estimator fallbacks are memoized per
+    ``(variant, bin)`` so a batch full of unmeasured bins costs one
+    candidate enumeration per bin, not per item.
+    """
+
+    version: int = TABLE_VERSION
+    ldm_doubles: int = DEFAULT_SPEC.ldm_doubles
+    _entries: dict[tuple[str, str, tuple[int, int, int]], TunedEntry] = field(
+        default_factory=dict
+    )
+    _fallbacks: dict[tuple[str, tuple[int, int, int]], BlockingParams] = field(
+        default_factory=dict, repr=False
+    )
+
+    # -- content -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> tuple[TunedEntry, ...]:
+        """Every entry, sorted for deterministic iteration/serialization."""
+        return tuple(
+            self._entries[key] for key in sorted(self._entries)
+        )
+
+    def put(self, entry: TunedEntry) -> None:
+        """Insert or replace the entry for its ``(variant, engine, bin)``."""
+        self._entries[entry.key()] = entry
+
+    def lookup(
+        self, variant: str, engine: str, m: int, n: int, k: int
+    ) -> TunedEntry | None:
+        """The learned entry covering this shape, or ``None`` on a miss."""
+        key = (str(variant).upper(), str(engine).lower(), shape_bin(m, n, k))
+        return self._entries.get(key)
+
+    def resolve(
+        self,
+        variant: str,
+        engine: str,
+        m: int,
+        n: int,
+        k: int,
+        *,
+        spec: SW26010Spec = DEFAULT_SPEC,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> Resolved:
+        """Blocking parameters for a shape: learned, or estimator-best.
+
+        A hit returns the measured winner.  A missing bin falls back to
+        the analytic prior — the estimator's top candidate at the bin
+        shape — so a table-consulting session never degrades below what
+        :func:`repro.tuning.search.autotune` would have picked cold.
+        """
+        entry = self.lookup(variant, engine, m, n, k)
+        if entry is not None:
+            return Resolved(params=entry.params(), source="tuned", entry=entry)
+        bin_key = shape_bin(m, n, k)
+        cache_key = (str(variant).upper(), bin_key)
+        params = self._fallbacks.get(cache_key)
+        if params is None:
+            from repro.tuning.search import autotune
+
+            result = autotune(
+                *bin_key,
+                variant=variant,
+                top=1,
+                spec=spec,
+                calibration=calibration,
+                p_n_step=16,
+            )
+            params = result.best.params
+            self._fallbacks[cache_key] = params
+        return Resolved(params=params, source="estimator", entry=None)
+
+    # -- persistence ---------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        """The JSON document: stable entry order, schema-versioned."""
+        return {
+            "version": self.version,
+            "ldm_doubles": self.ldm_doubles,
+            "entries": [entry.as_dict() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TuningTable":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"tuning table must be a JSON object, got {type(data).__name__}"
+            )
+        version = data.get("version")
+        if version != TABLE_VERSION:
+            raise ConfigError(
+                f"tuning table version {version!r} is not supported "
+                f"(expected {TABLE_VERSION})"
+            )
+        raw_entries = data.get("entries")
+        if not isinstance(raw_entries, list):
+            raise ConfigError("tuning table has no 'entries' list")
+        table = cls(
+            version=int(version),
+            ldm_doubles=int(data.get("ldm_doubles", DEFAULT_SPEC.ldm_doubles)),
+        )
+        for raw in raw_entries:
+            entry = TunedEntry.from_dict(raw)
+            if entry.key() in table._entries:
+                raise ConfigError(
+                    f"tuning table has duplicate entries for {entry.key()!r}"
+                )
+            table.put(entry)
+        return table
+
+    def save(self, path: str | Path) -> Path:
+        """Write the table as pretty-printed JSON; returns the path."""
+        target = Path(path)
+        target.write_text(
+            json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TuningTable":
+        """Read a persisted table (:class:`ConfigError` on bad schema)."""
+        target = Path(path)
+        try:
+            data = json.loads(target.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise ConfigError(f"tuning table {target} does not exist") from None
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"tuning table {target} is not JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_entries(cls, entries: Iterable[TunedEntry]) -> "TuningTable":
+        table = cls()
+        for entry in entries:
+            table.put(entry)
+        return table

@@ -1,0 +1,79 @@
+"""Unit tests for ablation configs and their stable run identities."""
+
+import pytest
+
+from repro.ablate import COMPONENTS, AblationConfig
+from repro.errors import ConfigError
+
+
+class TestRunId:
+    def test_equal_configs_share_an_id(self):
+        a = AblationConfig(variant="SCHED", engine="stepwise")
+        b = AblationConfig(variant="sched", engine="STEPWISE")
+        assert a == b
+        assert a.run_id() == b.run_id()
+
+    def test_golden_ids_pin_cross_process_stability(self):
+        """sha256 of the canonical string — no per-process salt, so the
+        exact IDs are part of the report contract and frozen here."""
+        assert AblationConfig().run_id() == "ab-d71983ae4113"
+        assert AblationConfig(n_core_groups=2).run_id() == "ab-fbaa56153943"
+
+    def test_canonical_field_string(self):
+        assert AblationConfig().canonical() == (
+            "variant=SCHED;engine=stepwise;policy=binned;retry=1;"
+            "parallel=1;blocking=16x8x16;cgs=4"
+        )
+
+    def test_id_shape(self):
+        run_id = AblationConfig(variant="DB").run_id()
+        assert run_id.startswith("ab-")
+        assert len(run_id) == 15
+        int(run_id[3:], 16)  # the suffix is hex
+
+    def test_every_component_flip_changes_the_id(self):
+        base = AblationConfig()
+        flips = {
+            "stage": "DB",
+            "engine": "device",
+            "scheduler": "round_robin",
+            "retry": False,
+            "parallel": False,
+            "blocking": (16, 16, 16),
+        }
+        assert set(flips) == set(COMPONENTS)
+        for component, value in flips.items():
+            flipped = base.with_component(component, value)
+            assert flipped.run_id() != base.run_id(), component
+
+
+class TestValidation:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigError, match="unknown variant"):
+            AblationConfig(variant="TURBO")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError, match="unknown engine"):
+            AblationConfig(engine="warp")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError, match="unknown policy"):
+            AblationConfig(policy="lifo")
+
+    def test_bad_blocking_rejected(self):
+        with pytest.raises(ConfigError, match="triple"):
+            AblationConfig(blocking=(16, 8))
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ConfigError, match="unknown ablation component"):
+            AblationConfig().with_component("luck", True)
+
+
+class TestParams:
+    def test_buffering_follows_variant_traits(self):
+        assert AblationConfig(variant="SCHED").params().double_buffered
+        assert not AblationConfig(variant="ROW").params().double_buffered
+
+    def test_triple_carried_through(self):
+        params = AblationConfig(blocking=(16, 16, 32)).params()
+        assert (params.p_m, params.p_n, params.p_k) == (16, 16, 32)

@@ -1,0 +1,76 @@
+"""Executor + report smoke tests on a tiny real matrix."""
+
+import json
+
+import pytest
+
+from repro.ablate import (
+    AblationConfig,
+    build_matrix,
+    render_report,
+    run_ablation,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One tiny but real ablation: baseline + 2 stage-offs + scheduler."""
+    baseline = AblationConfig(n_core_groups=2)
+    runs = build_matrix(
+        baseline,
+        stages=("DB", "RAW"),
+        engines=(),
+        policies=("round_robin",),
+        include_retry=False,
+        include_parallel=False,
+        blocking_alternatives=(),
+    )
+    return run_ablation(runs=runs, n_items=4, reps=1)
+
+
+class TestExecution:
+    def test_all_runs_executed_healthy(self, report):
+        assert len(report.metrics) == 4
+        assert all(m.failures == 0 for m in report.metrics)
+
+    def test_baseline_beats_stage_offs_on_modeled_gflops(self, report):
+        """The deterministic signal the CI smoke gate asserts."""
+        base = report.baseline
+        for metrics in report.metrics:
+            if metrics.component == "stage":
+                assert metrics.modeled_gflops < base.modeled_gflops
+
+    def test_metrics_positive(self, report):
+        for metrics in report.metrics:
+            assert metrics.wall_p50_seconds > 0
+            assert metrics.modeled_makespan_seconds > 0
+            assert metrics.flops > 0
+            assert metrics.dma_bytes > 0
+
+    def test_importance_covers_every_off_component(self, report):
+        assert {c.component for c in report.importance} == {
+            "stage", "scheduler",
+        }
+
+
+class TestReport:
+    def test_json_round_trip(self, report, tmp_path):
+        path = report.save(tmp_path / "ablation.json")
+        doc = json.loads(path.read_text())
+        assert doc["version"] == 1
+        assert doc["baseline"]["component"] == "baseline"
+        assert len(doc["runs"]) == len(doc["metrics"]) == 4
+        assert [i["component"] for i in doc["importance"]] == [
+            c.component for c in report.importance
+        ]
+
+    def test_render_mentions_every_run(self, report):
+        text = render_report(report)
+        for metrics in report.metrics:
+            assert metrics.run_id in text
+        assert "importance" in text
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ConfigError, match="empty"):
+            run_ablation(runs=[])

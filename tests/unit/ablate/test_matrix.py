@@ -1,0 +1,93 @@
+"""Unit tests for ablation matrix generation."""
+
+from dataclasses import fields
+
+import pytest
+
+from repro.ablate import AblationConfig, build_matrix
+from repro.ablate.matrix import default_blocking_alternatives
+from repro.errors import ConfigError
+
+
+def _differing_fields(a: AblationConfig, b: AblationConfig) -> set:
+    return {
+        f.name
+        for f in fields(AblationConfig)
+        if getattr(a, f.name) != getattr(b, f.name)
+    }
+
+
+class TestBuildMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return build_matrix(AblationConfig())
+
+    def test_baseline_first(self, matrix):
+        assert matrix[0].component == "baseline"
+        assert matrix[0].config == AblationConfig()
+
+    def test_exactly_one_component_varied(self, matrix):
+        """The property importance attribution rests on."""
+        baseline = matrix[0].config
+        axis_field = {
+            "stage": "variant",
+            "engine": "engine",
+            "scheduler": "policy",
+            "retry": "retry",
+            "parallel": "parallel",
+            "blocking": "blocking",
+        }
+        for run in matrix[1:]:
+            diff = _differing_fields(baseline, run.config)
+            assert diff == {axis_field[run.component]}, run.run_id
+
+    def test_run_ids_unique(self, matrix):
+        ids = [run.run_id for run in matrix]
+        assert len(ids) == len(set(ids))
+
+    def test_stage_ladder_below_baseline(self, matrix):
+        stages = [run.value for run in matrix if run.component == "stage"]
+        assert stages == ["DB", "ROW", "PE", "RAW"]
+
+    def test_every_component_represented(self, matrix):
+        components = {run.component for run in matrix}
+        assert components == {
+            "baseline", "stage", "engine", "scheduler", "retry",
+            "parallel", "blocking",
+        }
+
+    def test_db_baseline_shortens_the_ladder(self):
+        matrix = build_matrix(AblationConfig(variant="DB"))
+        stages = [run.value for run in matrix if run.component == "stage"]
+        assert stages == ["ROW", "PE", "RAW"]
+
+    def test_off_axes_skip_the_baseline_value(self):
+        matrix = build_matrix(
+            AblationConfig(), engines=("stepwise", "device")
+        )
+        engine_values = [
+            run.value for run in matrix if run.component == "engine"
+        ]
+        assert engine_values == ["device"]
+
+    def test_collision_detected(self):
+        with pytest.raises(ConfigError, match="collision"):
+            build_matrix(
+                AblationConfig(),
+                blocking_alternatives=[(16, 16, 16), (16, 16, 16)],
+            )
+
+
+class TestBlockingAlternatives:
+    def test_feasible_and_distinct_from_baseline(self):
+        baseline = AblationConfig()
+        picks = default_blocking_alternatives(baseline, count=2)
+        assert len(picks) == 2
+        assert baseline.blocking not in picks
+        assert len(set(picks)) == len(picks)
+
+    def test_deterministic(self):
+        baseline = AblationConfig()
+        assert default_blocking_alternatives(
+            baseline
+        ) == default_blocking_alternatives(baseline)

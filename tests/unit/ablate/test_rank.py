@@ -1,0 +1,85 @@
+"""Unit tests for importance ranking on synthetic metrics."""
+
+import pytest
+
+from repro.ablate import RunMetrics, rank_importance
+from repro.errors import ConfigError
+
+
+def _metrics(
+    component: str,
+    value: str,
+    *,
+    modeled: float = 1.0,
+    wall: float = 0.010,
+    dma: int = 1000,
+) -> RunMetrics:
+    """Synthetic run metrics; ``modeled`` is the makespan in seconds."""
+    return RunMetrics(
+        run_id=f"ab-{component}-{value}"[:15],
+        component=component,
+        value=value,
+        wall_p50_seconds=wall,
+        modeled_makespan_seconds=modeled,
+        flops=10**9,
+        dma_bytes=dma,
+        failures=0,
+    )
+
+
+class TestRankImportance:
+    @pytest.fixture(scope="class")
+    def ranking(self):
+        baseline = _metrics("baseline", "baseline")
+        results = [
+            baseline,
+            # stage off: modeled Gflop/s halves (makespan doubles).
+            _metrics("stage", "RAW", modeled=2.0, dma=3000),
+            _metrics("stage", "DB", modeled=1.25),
+            # blocking off: 20% modeled drop.
+            _metrics("blocking", "16x16x16", modeled=1.25),
+            # parallel off: model-invisible, 3x wall.
+            _metrics("parallel", "off", wall=0.030),
+            # retry off: model-invisible, slightly *faster* wall.
+            _metrics("retry", "off", wall=0.009),
+        ]
+        return rank_importance(baseline, results)
+
+    def test_modeled_components_rank_above_invisible_ones(self, ranking):
+        order = [c.component for c in ranking]
+        assert order.index("stage") < order.index("parallel")
+        assert order.index("blocking") < order.index("retry")
+
+    def test_sorted_by_score_within_class(self, ranking):
+        order = [c.component for c in ranking]
+        assert order == ["stage", "blocking", "parallel", "retry"]
+
+    def test_worst_off_value_wins(self, ranking):
+        stage = next(c for c in ranking if c.component == "stage")
+        assert stage.worst_value == "RAW"
+        assert stage.modeled_drop == pytest.approx(0.5)
+        assert stage.modeled
+
+    def test_invisible_component_scored_by_wall(self, ranking):
+        parallel = next(c for c in ranking if c.component == "parallel")
+        assert not parallel.modeled
+        assert parallel.score == pytest.approx(2.0)  # 30ms vs 10ms
+
+    def test_dma_increase_captured(self, ranking):
+        stage = next(c for c in ranking if c.component == "stage")
+        assert stage.dma_increase == pytest.approx(2.0)  # 3000 vs 1000
+
+    def test_deltas_keep_all_off_values(self, ranking):
+        stage = next(c for c in ranking if c.component == "stage")
+        assert {d.value for d in stage.deltas} == {"RAW", "DB"}
+
+    def test_baseline_must_be_baseline(self):
+        wrong = _metrics("stage", "DB")
+        with pytest.raises(ConfigError, match="baseline"):
+            rank_importance(wrong, [wrong])
+
+    def test_serializable(self, ranking):
+        doc = ranking[0].as_dict()
+        assert doc["component"] == "stage"
+        assert doc["modeled"] is True
+        assert len(doc["runs"]) == 2

@@ -1,0 +1,148 @@
+"""Unit tests for tools/check_tuning_table.py (the TUNED.json validator)."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.tuning import TunedEntry, TuningTable, tune
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+CHECK_TUNING_TABLE = REPO_ROOT / "tools" / "check_tuning_table.py"
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_tuning_table", CHECK_TUNING_TABLE
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def tuned_table():
+    """A real (tiny) tuned table: one measured bin."""
+    return tune([(64, 32, 64)], top=1, reps=1)
+
+
+class TestValidateDict:
+    def test_valid_document_clean(self, checker, tuned_table):
+        assert checker.validate_dict(tuned_table.as_dict()) == []
+
+    def test_wrong_version_flagged(self, checker, tuned_table):
+        doc = tuned_table.as_dict()
+        doc["version"] = 99
+        assert any("version" in e for e in checker.validate_dict(doc))
+
+    def test_non_pow2_bin_flagged(self, checker, tuned_table):
+        doc = tuned_table.as_dict()
+        doc["entries"][0]["bin"] = [96, 48, 80]
+        assert any("powers" in e for e in checker.validate_dict(doc))
+
+    def test_duplicate_key_flagged(self, checker, tuned_table):
+        doc = tuned_table.as_dict()
+        doc["entries"].append(dict(doc["entries"][0]))
+        assert any("duplicate" in e for e in checker.validate_dict(doc))
+
+    def test_bad_gflops_flagged(self, checker, tuned_table):
+        doc = tuned_table.as_dict()
+        doc["entries"][0]["measured_gflops"] = -1.0
+        assert any(
+            "measured_gflops" in e for e in checker.validate_dict(doc)
+        )
+
+    def test_unknown_variant_flagged(self, checker, tuned_table):
+        doc = tuned_table.as_dict()
+        doc["entries"][0]["variant"] = "TURBO"
+        assert any("variant" in e for e in checker.validate_dict(doc))
+
+    def test_non_object_rejected(self, checker):
+        assert checker.validate_dict([1, 2]) != []
+
+
+class TestValidateTable:
+    def test_real_table_passes_with_rank_recompute(
+        self, checker, tuned_table
+    ):
+        assert checker.validate_table(tuned_table, check_rank=True) == []
+
+    def test_ldm_infeasible_entry_flagged(self, checker):
+        table = TuningTable.from_entries(
+            [
+                TunedEntry(
+                    variant="SCHED",
+                    engine="stepwise",
+                    bin=(64, 32, 64),
+                    p_m=32,
+                    p_n=48,
+                    p_k=96,  # 2x(32*96 + 96*48) + 32*48 > 8192 doubles
+                    double_buffered=True,
+                    measured_gflops=1.0,
+                    modeled_gflops=1.0,
+                    estimator_rank=0,
+                )
+            ]
+        )
+        errors = checker.validate_table(table, check_rank=False)
+        assert any("LDM-infeasible" in e for e in errors)
+
+    def test_wrong_recorded_rank_flagged(self, checker, tuned_table):
+        entry = tuned_table.entries[0]
+        doc = tuned_table.as_dict()
+        doc["entries"][0]["estimator_rank"] = entry.estimator_rank + 7
+        table = TuningTable.from_dict(doc)
+        errors = checker.validate_table(table, check_rank=True)
+        assert any("estimator_rank" in e for e in errors)
+
+    def test_wrong_buffering_regime_flagged(self, checker):
+        table = TuningTable.from_entries(
+            [
+                TunedEntry(
+                    variant="SCHED",  # traits demand double buffering
+                    engine="stepwise",
+                    bin=(64, 32, 64),
+                    p_m=16,
+                    p_n=8,
+                    p_k=16,
+                    double_buffered=False,
+                    measured_gflops=1.0,
+                    modeled_gflops=1.0,
+                    estimator_rank=0,
+                )
+            ]
+        )
+        errors = checker.validate_table(table, check_rank=False)
+        assert any("double-buffered" in e for e in errors)
+
+
+class TestMain:
+    def test_committed_table_passes(self, checker, capsys):
+        """The repo's own TUNED.json must satisfy its validator."""
+        committed = REPO_ROOT / "TUNED.json"
+        assert checker.main(["check", "--no-rank", str(committed)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_good_file_ok(self, checker, tuned_table, tmp_path, capsys):
+        path = tuned_table.save(tmp_path / "TUNED.json")
+        assert checker.main(["check", str(path)]) == 0
+        assert "OK (1 entries)" in capsys.readouterr().out
+
+    def test_bad_file_fails(self, checker, tuned_table, tmp_path, capsys):
+        doc = tuned_table.as_dict()
+        doc["version"] = 99
+        path = tmp_path / "TUNED.json"
+        path.write_text(json.dumps(doc))
+        assert checker.main(["check", str(path)]) == 1
+        assert "version" in capsys.readouterr().err
+
+    def test_not_json_fails(self, checker, tmp_path, capsys):
+        path = tmp_path / "TUNED.json"
+        path.write_text("{nope")
+        assert checker.main(["check", str(path)]) == 1
+
+    def test_usage_on_bad_args(self, checker, capsys):
+        assert checker.main(["check"]) == 2
+        assert "usage" in capsys.readouterr().err

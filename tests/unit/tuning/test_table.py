@@ -1,0 +1,178 @@
+"""Unit tests for the learned tuning table and the closed loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import BlockingParams
+from repro.core.session import Session
+from repro.errors import ConfigError
+from repro.tuning import (
+    TABLE_VERSION,
+    TunedEntry,
+    TuningTable,
+    shape_bin,
+    tune,
+)
+from repro.workloads.matrices import gemm_operands
+
+
+def _entry(
+    variant: str = "SCHED",
+    engine: str = "stepwise",
+    bin_shape: tuple = (128, 64, 128),
+    triple: tuple = (16, 16, 32),
+) -> TunedEntry:
+    return TunedEntry(
+        variant=variant,
+        engine=engine,
+        bin=bin_shape,
+        p_m=triple[0],
+        p_n=triple[1],
+        p_k=triple[2],
+        double_buffered=True,
+        measured_gflops=5.0,
+        modeled_gflops=150.0,
+        estimator_rank=1,
+    )
+
+
+class TestShapeBin:
+    def test_rounds_up_to_pow2(self):
+        assert shape_bin(96, 48, 80) == (128, 64, 128)
+
+    def test_pow2_maps_to_itself(self):
+        assert shape_bin(256, 128, 256) == (256, 128, 256)
+
+    def test_positive_required(self):
+        with pytest.raises(ConfigError, match="positive"):
+            shape_bin(0, 64, 64)
+
+
+class TestRoundTrip:
+    def test_persist_load_identical(self, tmp_path):
+        table = TuningTable.from_entries(
+            [_entry(), _entry(engine="device", triple=(16, 8, 16))]
+        )
+        path = table.save(tmp_path / "TUNED.json")
+        loaded = TuningTable.load(path)
+        assert loaded.version == TABLE_VERSION
+        assert loaded.ldm_doubles == table.ldm_doubles
+        assert loaded.entries == table.entries
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "TUNED.json"
+        path.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ConfigError, match="version"):
+            TuningTable.load(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="does not exist"):
+            TuningTable.load(tmp_path / "absent.json")
+
+    def test_duplicate_keys_rejected(self):
+        doc = TuningTable.from_entries([_entry()]).as_dict()
+        doc["entries"].append(doc["entries"][0])
+        with pytest.raises(ConfigError, match="duplicate"):
+            TuningTable.from_dict(doc)
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(ConfigError, match="malformed"):
+            TunedEntry.from_dict({"variant": "SCHED"})
+
+
+class TestResolve:
+    def test_hit_returns_learned_entry(self):
+        table = TuningTable.from_entries([_entry()])
+        resolved = table.resolve("SCHED", "stepwise", 96, 48, 80)
+        assert resolved.source == "tuned"
+        assert (
+            resolved.params.p_m,
+            resolved.params.p_n,
+            resolved.params.p_k,
+        ) == (16, 16, 32)
+
+    def test_miss_falls_back_to_estimator(self):
+        """Missing bin -> the analytic prior's best candidate."""
+        table = TuningTable()
+        resolved = table.resolve("SCHED", "stepwise", 1024, 1024, 1024)
+        assert resolved.source == "estimator"
+        assert resolved.entry is None
+        resolved.params.validate()  # feasible by construction
+
+    def test_fallback_memoized(self):
+        table = TuningTable()
+        first = table.resolve("SCHED", "stepwise", 500, 500, 500)
+        second = table.resolve("SCHED", "stepwise", 300, 400, 450)
+        assert first.params is second.params  # same bin, one enumeration
+
+
+class TestSessionConsultation:
+    def test_tuned_session_bit_identical_to_explicit_params(self):
+        entry = _entry()
+        table = TuningTable.from_entries([entry])
+        a, b, _ = gemm_operands(*entry.bin, seed=0)
+        with Session(
+            variant="SCHED", engine="stepwise", tuned=table, n_core_groups=1
+        ) as tuned_session:
+            via_table = tuned_session.dgemm(a, b)
+        with Session(
+            variant="SCHED",
+            engine="stepwise",
+            params=entry.params(),
+            n_core_groups=1,
+        ) as explicit_session:
+            via_params = explicit_session.dgemm(a, b)
+        assert np.array_equal(via_table, via_params)
+
+    def test_explicit_params_win_over_table(self):
+        """A session constructed with params= never consults the table."""
+        entry = _entry(triple=(16, 16, 32))
+        table = TuningTable.from_entries([entry])
+        explicit = BlockingParams(p_m=16, p_n=8, p_k=16)
+        a, b, _ = gemm_operands(64, 32, 64, seed=1)
+        with Session(
+            variant="SCHED",
+            engine="stepwise",
+            params=explicit,
+            tuned=table,
+            n_core_groups=1,
+        ) as session:
+            session.dgemm(a, b)
+            assert session.scheduler.params == explicit
+
+    def test_session_estimator_fallback_on_missing_bin(self):
+        """An empty table still serves every shape via the estimator."""
+        a, b, _ = gemm_operands(64, 32, 64, seed=2)
+        with Session(
+            variant="SCHED",
+            engine="stepwise",
+            tuned=TuningTable(),
+            n_core_groups=1,
+        ) as session:
+            out = session.dgemm(a, b)
+        assert np.isfinite(out).all()
+
+
+class TestTuneLoop:
+    def test_tune_produces_feasible_winner(self):
+        table = tune([(64, 32, 64)], top=1, reps=1)
+        assert len(table) == 1
+        entry = table.entries[0]
+        assert entry.bin == (64, 32, 64)
+        entry.params().validate()
+        assert entry.measured_gflops > 0
+        assert entry.estimator_rank >= 0
+
+    def test_same_bin_tuned_once(self):
+        table = tune([(60, 30, 60), (64, 32, 64)], top=1, reps=1)
+        assert len(table) == 1
+
+    def test_existing_table_updated_in_place(self):
+        table = TuningTable.from_entries([_entry(engine="device")])
+        out = tune([(64, 32, 64)], top=1, reps=1, table=table)
+        assert out is table
+        assert len(table) == 2
+
+    def test_empty_shapes_rejected(self):
+        with pytest.raises(ConfigError, match="at least one shape"):
+            tune([])

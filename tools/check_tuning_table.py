@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Validate a committed ``TUNED.json`` learned-blocking table.
+
+Checks the contracts :class:`repro.tuning.table.TuningTable` promises
+its consumers (``Session``/``CGScheduler`` resolve blocking from this
+file when the caller gives none):
+
+- the document parses and carries the expected schema ``version`` and
+  a positive ``ldm_doubles`` budget matching the architecture spec;
+- every entry names a known variant, a known engine, a power-of-two
+  shape bin, and blocking factors that are **LDM-feasible**: the entry
+  reconstructs as :class:`~repro.core.params.BlockingParams` and
+  passes ``validate(spec)`` against the table's own LDM budget, with
+  the buffering regime the variant's traits require;
+- entry keys ``(variant, engine, bin)`` are unique (the loader also
+  enforces this — the check catches hand-edited duplicates early);
+- measured/modeled Gflop/s figures are finite and positive, and the
+  recorded ``estimator_rank`` is sane: non-negative, and the entry's
+  blocking actually appears in the analytic estimator's candidate
+  ranking at that position (``--no-rank`` skips the recompute).
+
+Run standalone (CI does, on the committed table)::
+
+    python tools/check_tuning_table.py TUNED.json
+
+Exits 0 when valid, 1 with one line per violation otherwise.  The
+test suite imports :func:`validate_table` and :func:`validate_dict`
+directly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(REPO_SRC) not in sys.path:  # pragma: no cover - direct invocation
+    sys.path.insert(0, str(REPO_SRC))
+
+from repro.arch.config import SW26010Spec  # noqa: E402
+from repro.core.params import BlockingParams  # noqa: E402
+from repro.core.variants import VARIANTS, get_variant  # noqa: E402
+from repro.errors import ReproError  # noqa: E402
+from repro.tuning import TABLE_VERSION, TuningTable, autotune  # noqa: E402
+
+_ENGINES = frozenset({"device", "stepwise", "vectorized"})
+
+
+def _is_pow2(value: int) -> bool:
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+def validate_dict(doc: object) -> list[str]:
+    """Schema-level violations of a raw JSON document."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be a JSON object, got {type(doc).__name__}"]
+    version = doc.get("version")
+    if version != TABLE_VERSION:
+        errors.append(
+            f"version must be {TABLE_VERSION}, got {version!r}"
+        )
+    ldm = doc.get("ldm_doubles")
+    if not isinstance(ldm, int) or ldm <= 0:
+        errors.append(f"ldm_doubles must be a positive int, got {ldm!r}")
+    elif ldm != SW26010Spec().ldm_doubles:
+        errors.append(
+            f"ldm_doubles {ldm} does not match the architecture spec's "
+            f"{SW26010Spec().ldm_doubles}"
+        )
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        errors.append(
+            f"entries must be a list, got {type(entries).__name__}"
+        )
+        return errors
+    seen: set[tuple[str, str, tuple[int, int, int]]] = set()
+    for idx, raw in enumerate(entries):
+        where = f"entry {idx}"
+        if not isinstance(raw, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        variant = str(raw.get("variant", "")).upper()
+        if variant not in VARIANTS:
+            errors.append(f"{where}: unknown variant {raw.get('variant')!r}")
+        engine = raw.get("engine")
+        if engine not in _ENGINES:
+            errors.append(f"{where}: unknown engine {engine!r}")
+        bin_shape = raw.get("bin")
+        if (
+            not isinstance(bin_shape, list)
+            or len(bin_shape) != 3
+            or not all(isinstance(d, int) for d in bin_shape)
+        ):
+            errors.append(f"{where}: bin must be [m, n, k] ints")
+        elif not all(_is_pow2(d) for d in bin_shape):
+            errors.append(
+                f"{where}: bin {tuple(bin_shape)} dims must be powers "
+                "of two"
+            )
+        elif variant in VARIANTS and engine in _ENGINES:
+            key = (variant, str(engine), tuple(bin_shape))
+            if key in seen:
+                errors.append(f"{where}: duplicate key {key}")
+            seen.add(key)
+        for field in ("measured_gflops", "modeled_gflops"):
+            value = raw.get(field)
+            if (
+                not isinstance(value, (int, float))
+                or not math.isfinite(value)
+                or value <= 0
+            ):
+                errors.append(
+                    f"{where}: {field} must be finite and positive, "
+                    f"got {value!r}"
+                )
+        rank = raw.get("estimator_rank")
+        if not isinstance(rank, int) or rank < 0:
+            errors.append(
+                f"{where}: estimator_rank must be a non-negative int, "
+                f"got {rank!r}"
+            )
+    return errors
+
+
+def validate_table(table: TuningTable, *, check_rank: bool = True) -> list[str]:
+    """Semantic violations of a loaded table.
+
+    ``check_rank`` recomputes the estimator ranking per entry (a few
+    hundred candidate evaluations each) — skip it for quick checks.
+    """
+    errors: list[str] = []
+    spec = SW26010Spec()
+    for entry in table.entries:
+        where = f"entry ({entry.variant}, {entry.engine}, {entry.bin})"
+        try:
+            params = entry.params()
+            params.validate(spec)
+        except ReproError as exc:
+            errors.append(f"{where}: LDM-infeasible blocking: {exc}")
+            continue
+        traits = get_variant(entry.variant).traits
+        if traits.shared and params.double_buffered != traits.double_buffered:
+            regime = "double" if traits.double_buffered else "single"
+            errors.append(
+                f"{where}: variant {entry.variant} requires "
+                f"{regime}-buffered blocking"
+            )
+        if params.ldm_doubles_per_cpe > table.ldm_doubles:
+            errors.append(
+                f"{where}: blocking needs "
+                f"{params.ldm_doubles_per_cpe} doubles/CPE, over the "
+                f"table's {table.ldm_doubles} budget"
+            )
+        if not check_rank:
+            continue
+        # same full ranking the tuner recorded the rank against
+        result = autotune(*entry.bin, variant=entry.variant, top=10_000)
+        try:
+            rank = result.rank_of(params)
+        except KeyError:
+            rank = len(result.candidates)
+        if rank != entry.estimator_rank:
+            errors.append(
+                f"{where}: recorded estimator_rank "
+                f"{entry.estimator_rank} != recomputed {rank}"
+            )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    args = [a for a in argv[1:] if a != "--no-rank"]
+    check_rank = "--no-rank" not in argv
+    if len(args) != 1:
+        print(
+            f"usage: {Path(argv[0]).name} [--no-rank] TUNED.json",
+            file=sys.stderr,
+        )
+        return 2
+    path = Path(args[0])
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        print(f"{path}: unreadable table: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"{path}: not valid JSON: {exc}", file=sys.stderr)
+        return 1
+    errors = validate_dict(doc)
+    if not errors:
+        try:
+            table = TuningTable.from_dict(doc)
+        except ReproError as exc:
+            errors = [str(exc)]
+        else:
+            errors = validate_table(table, check_rank=check_rank)
+    for error in errors:
+        print(f"{path}: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    n = len(doc.get("entries", []))
+    print(f"{path}: OK ({n} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
